@@ -1,0 +1,63 @@
+//! Criterion bench + ablation: exact DP vs greedy bit allocation
+//! (DESIGN.md ablation #2). Prints the cost-optimality gap once, then
+//! benchmarks both solvers across block counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paro::core::allocate::allocate_lagrangian;
+use paro::prelude::*;
+use paro::tensor::Tensor;
+
+fn table_for(blocks_per_side: usize) -> SensitivityTable {
+    let edge = 4;
+    let n = blocks_per_side * edge;
+    let map = Tensor::from_fn(&[n, n], |i| {
+        if i[0] / edge == i[1] / edge {
+            0.5 + 0.4 * (((i[0] * 13 + i[1] * 7) % 11) as f32 / 11.0)
+        } else {
+            0.002 * (((i[0] + i[1] * 3) % 7) as f32)
+        }
+    });
+    SensitivityTable::compute(&map, BlockGrid::square(edge).unwrap(), 0.5).unwrap()
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    // One-time optimality report.
+    let t = table_for(16);
+    let dp = allocate_dp(&t, 4.8).unwrap();
+    let greedy = allocate_greedy(&t, 4.8).unwrap();
+    let lagrangian = allocate_lagrangian(&t, 4.8).unwrap();
+    eprintln!(
+        "[allocation ablation] {} blocks @ 4.8b: dp cost {:.4}, greedy {:.4} \
+         (gap {:.2}%), lagrangian {:.4} (gap {:.2}%)",
+        t.len(),
+        dp.total_cost,
+        greedy.total_cost,
+        (greedy.total_cost / dp.total_cost.max(1e-9) - 1.0) * 100.0,
+        lagrangian.total_cost,
+        (lagrangian.total_cost / dp.total_cost.max(1e-9) - 1.0) * 100.0,
+    );
+
+    let mut group = c.benchmark_group("allocation");
+    for side in [4usize, 8, 16] {
+        let table = table_for(side);
+        group.bench_with_input(BenchmarkId::new("dp", table.len()), &table, |b, t| {
+            b.iter(|| allocate_dp(t, 4.8).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", table.len()), &table, |b, t| {
+            b.iter(|| allocate_greedy(t, 4.8).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lagrangian", table.len()),
+            &table,
+            |b, t| b.iter(|| allocate_lagrangian(t, 4.8).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allocation
+}
+criterion_main!(benches);

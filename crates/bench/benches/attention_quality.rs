@@ -1,0 +1,53 @@
+//! Criterion bench: runtime of each Table I quantization method on one
+//! attention head (the software cost of the quality experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paro::prelude::*;
+
+fn bench_methods(c: &mut Criterion) {
+    let grid = TokenGrid::new(4, 4, 4);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&grid, 32, &spec, 7);
+    let inputs =
+        AttentionInputs::new(head.q.clone(), head.k.clone(), head.v.clone(), grid).unwrap();
+
+    let mut group = c.benchmark_group("attention_quality");
+    for method in AttentionMethod::table1_roster() {
+        // Adapt block edges to the bench grid.
+        let method = match method {
+            AttentionMethod::BlockwiseInt { bits, .. } => AttentionMethod::BlockwiseInt {
+                bits,
+                block_edge: 4,
+            },
+            AttentionMethod::ParoInt { bits, .. } => AttentionMethod::ParoInt {
+                bits,
+                block_edge: 4,
+            },
+            AttentionMethod::ParoMixed {
+                budget,
+                alpha,
+                output_aware,
+                ..
+            } => AttentionMethod::ParoMixed {
+                budget,
+                block_edge: 4,
+                alpha,
+                output_aware,
+            },
+            other => other,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, m| b.iter(|| run_attention(&inputs, m).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench + ablation: quantization block-edge sweep (DESIGN.md
+//! ablation #5) — quality vs block size, and quantization throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paro::core::pipeline::attention_map;
+use paro::prelude::*;
+use paro::quant::fake_quant_2d;
+
+fn bench_block_size(c: &mut Criterion) {
+    let grid = TokenGrid::new(6, 6, 6);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&grid, 32, &spec, 13);
+    let inputs =
+        AttentionInputs::new(head.q.clone(), head.k.clone(), head.v.clone(), grid).unwrap();
+    let reference = reference_attention(&head.q, &head.k, &head.v).unwrap();
+
+    // Ablation: output error at INT4 across block edges.
+    for edge in [3usize, 6, 12, 24, 54] {
+        let run = run_attention(
+            &inputs,
+            &AttentionMethod::ParoInt {
+                bits: Bitwidth::B4,
+                block_edge: edge,
+            },
+        )
+        .unwrap();
+        let err = metrics::relative_l2(&reference, &run.output).unwrap();
+        eprintln!("[block-size ablation] edge {edge:>3}: PARO INT4 rel-L2 err {err:.4}");
+    }
+
+    let map = attention_map(&head.q, &head.k).unwrap();
+    let mut group = c.benchmark_group("block_quantization");
+    for edge in [6usize, 12, 24] {
+        let grid_q = BlockGrid::square(edge).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(edge), &grid_q, |b, g| {
+            b.iter(|| fake_quant_2d(&map, Grouping::Block(*g), Bitwidth::B4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_block_size
+}
+criterion_main!(benches);

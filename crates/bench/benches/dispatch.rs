@@ -1,0 +1,57 @@
+//! Criterion bench + ablation: dispatcher policies (DESIGN.md ablation
+//! #4) — load-balancing LPT vs static round-robin on mixed-precision
+//! block populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paro::prelude::*;
+use paro::sim::dispatch::{block_costs, dispatch, DispatchPolicy};
+use paro::quant::Bitwidth;
+
+fn population(profile: &AttentionProfile, blocks: usize) -> Vec<f64> {
+    let mut bits = Vec::with_capacity(blocks);
+    for b in Bitwidth::ALL {
+        let count = (profile.share(b) * blocks as f64).round() as usize;
+        bits.extend(std::iter::repeat_n(b, count));
+    }
+    bits.truncate(blocks);
+    while bits.len() < blocks {
+        bits.push(Bitwidth::B8);
+    }
+    block_costs(64.0, &bits)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    // Ablation: utilization of the two policies on the paper profile.
+    let costs = population(&AttentionProfile::paper_mp(), 1024);
+    for policy in [DispatchPolicy::GreedyLpt, DispatchPolicy::RoundRobin] {
+        let out = dispatch(&costs, 32, policy);
+        eprintln!(
+            "[dispatch ablation] {policy:?}: makespan {:.0} cycles, utilization {:.1}%, \
+             {} blocks bypassed",
+            out.makespan,
+            out.utilization * 100.0,
+            out.bypassed
+        );
+    }
+
+    let mut group = c.benchmark_group("dispatch");
+    for blocks in [256usize, 1024, 4096] {
+        let costs = population(&AttentionProfile::paper_mp(), blocks);
+        group.bench_with_input(BenchmarkId::new("lpt", blocks), &costs, |b, costs| {
+            b.iter(|| dispatch(costs, 32, DispatchPolicy::GreedyLpt))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("round_robin", blocks),
+            &costs,
+            |b, costs| b.iter(|| dispatch(costs, 32, DispatchPolicy::RoundRobin)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dispatch
+}
+criterion_main!(benches);

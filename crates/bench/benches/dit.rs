@@ -1,0 +1,55 @@
+//! Criterion bench: synthetic-DiT forward passes and DDIM steps under
+//! different quantization configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paro::core::diffusion::DdimSampler;
+use paro::core::exec::{forward, ForwardOptions};
+use paro::model::dit::SyntheticDit;
+use paro::prelude::*;
+use paro::tensor::rng::seeded;
+use rand::distributions::Uniform;
+
+fn bench_dit(c: &mut Criterion) {
+    let cfg = ModelConfig::tiny(4, 4, 4);
+    let dit = SyntheticDit::build(&cfg, 1);
+    let content = Tensor::random(
+        &[cfg.grid.len(), cfg.hidden],
+        &Uniform::new(-0.5f32, 0.5),
+        &mut seeded(2),
+    );
+
+    let mut group = c.benchmark_group("dit");
+    for (name, opts) in [
+        ("fp32", ForwardOptions::reference()),
+        (
+            "naive_int4",
+            ForwardOptions {
+                method: AttentionMethod::NaiveInt {
+                    bits: Bitwidth::B4,
+                },
+                linear_w8a8: true,
+                linear_bits: Bitwidth::B8,
+            },
+        ),
+        ("paro_mp", ForwardOptions::paro(4.8, 4)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("forward", name),
+            &opts,
+            |b, opts| b.iter(|| forward(&dit, &content, opts).unwrap()),
+        );
+    }
+
+    let sampler = DdimSampler::new(2);
+    group.bench_function("ddim_2steps_reference", |b| {
+        b.iter(|| sampler.sample(&dit, &ForwardOptions::reference(), 3).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dit
+}
+criterion_main!(benches);

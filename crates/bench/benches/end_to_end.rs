@@ -1,0 +1,39 @@
+//! Criterion bench: simulator throughput for each machine model on the
+//! Fig. 6(a) workloads (how fast the cycle simulator itself runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paro::prelude::*;
+
+fn bench_machines(c: &mut Criterion) {
+    let profile = AttentionProfile::paper_mp();
+    let mut group = c.benchmark_group("end_to_end_simulation");
+    for cfg in [ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()] {
+        let machines: Vec<(String, Box<dyn Machine>)> = vec![
+            ("sanger".into(), Box::new(SangerMachine::default_budget())),
+            ("vitcod".into(), Box::new(VitcodMachine::default_budget())),
+            (
+                "paro".into(),
+                Box::new(ParoMachine::new(
+                    HardwareConfig::paro_asic(),
+                    ParoOptimizations::all(),
+                )),
+            ),
+            ("a100".into(), Box::new(GpuMachine::a100())),
+        ];
+        for (name, machine) in machines {
+            group.bench_with_input(
+                BenchmarkId::new(name, &cfg.name),
+                &cfg,
+                |b, cfg| b.iter(|| machine.run_model(cfg, &profile)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_machines
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench + ablation: LDZ truncation throughput and the
+//! accuracy/speed trade-off of guard bits (DESIGN.md ablation #3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paro::core::ldz;
+
+fn bench_ldz(c: &mut Criterion) {
+    // Ablation: truncation error at the output bitwidth vs +1 guard bit.
+    let values: Vec<i8> = (-128i16..=127).map(|x| x as i8).collect();
+    for keep in [2u32, 4] {
+        for guard in [0u32, 1] {
+            let k = keep + guard;
+            let mean_err: f64 = values
+                .iter()
+                .map(|&v| (v as i32 - ldz::truncate(v, k) as i32).abs() as f64)
+                .sum::<f64>()
+                / values.len() as f64;
+            eprintln!(
+                "[ldz ablation] keep {keep}+{guard} guard bits: mean |err| {mean_err:.3} \
+                 (speedup factor {:.1}x of the 8-bit path)",
+                8.0 / k as f64
+            );
+        }
+    }
+
+    let data: Vec<i8> = (0..4096).map(|i| ((i * 37 + 11) % 255) as u8 as i8).collect();
+    let mut group = c.benchmark_group("ldz_truncate");
+    for keep in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(keep), &keep, |b, &k| {
+            b.iter(|| ldz::truncate_slice(&data, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ldz
+}
+criterion_main!(benches);

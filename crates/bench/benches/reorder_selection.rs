@@ -1,0 +1,54 @@
+//! Criterion bench + ablation: offline reorder-plan selection cost and
+//! calibration-bitwidth sensitivity (DESIGN.md ablation #1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paro::core::pipeline::attention_map;
+use paro::core::reorder::{select_plan, select_plan_weighted};
+use paro::prelude::*;
+
+fn bench_selection(c: &mut Criterion) {
+    // Ablation: does the calibration bitwidth change the selected plan?
+    let grid = TokenGrid::new(4, 4, 4);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&grid, 32, &spec, 3);
+    let map = attention_map(&head.q, &head.k).unwrap();
+    let block = BlockGrid::square(4).unwrap();
+    for bits in [Bitwidth::B2, Bitwidth::B4, Bitwidth::B8] {
+        let sel = select_plan(&map, &grid, block, bits).unwrap();
+        eprintln!(
+            "[plan-selection ablation] calib {}: selected '{}' (err {:.5})",
+            bits, sel.order, sel.error
+        );
+    }
+    // Ablation: plain quantization-error objective vs importance-weighted.
+    let plain = select_plan(&map, &grid, block, Bitwidth::B4).unwrap();
+    let weighted = select_plan_weighted(&map, &grid, block, Bitwidth::B4).unwrap();
+    eprintln!(
+        "[objective ablation] plain -> '{}' (err {:.5}); weighted -> '{}' (err {:.5})",
+        plain.order, plain.error, weighted.order, weighted.error
+    );
+
+    let mut group = c.benchmark_group("reorder_selection");
+    for edge in [3usize, 4, 5] {
+        let grid = TokenGrid::new(edge, edge, edge);
+        let spec = PatternSpec::new(PatternKind::SpatialCol);
+        let head = synthesize_head(&grid, 32, &spec, 9);
+        let map = attention_map(&head.q, &head.k).unwrap();
+        let block = BlockGrid::square(edge).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(grid.len()),
+            &(map, grid, block),
+            |b, (map, grid, block)| {
+                b.iter(|| select_plan(map, grid, *block, Bitwidth::B4).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_selection
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 1 / Sec. III-A analysis: why row-wise quantization fails on
+//! patterned attention maps and what the reorder buys.
+//!
+//! ```text
+//! cargo run --release -p paro-bench --bin analysis
+//! ```
+
+use paro::core::analysis::{compare_groupings, row_outlier_stats};
+use paro::core::pipeline::attention_map;
+use paro::core::reorder::{select_plan, ReorderPlan};
+use paro::prelude::*;
+use paro_bench::{print_table, save_json};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = TokenGrid::new(6, 6, 6);
+    let block = BlockGrid::square(6)?;
+    println!("Attention-map distribution analysis (paper Fig. 1 / Sec. III-A)\n");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for kind in [
+        PatternKind::Temporal,
+        PatternKind::SpatialRow,
+        PatternKind::SpatialCol,
+        PatternKind::default_window(&grid),
+        PatternKind::Diffuse,
+    ] {
+        let spec = PatternSpec::new(kind);
+        let head = synthesize_head(&grid, 32, &spec, 55);
+        let map = attention_map(&head.q, &head.k)?;
+        let outliers = row_outlier_stats(&map)?;
+        let sel = select_plan(&map, &grid, block, Bitwidth::B4)?;
+        let identity = compare_groupings(&map, &ReorderPlan::identity(&grid), block)?;
+        let reordered = compare_groupings(&map, &ReorderPlan::new(&grid, sel.order), block)?;
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.1}", outliers.mean_peak_to_mean),
+            format!("{:.2}", outliers.top1pct_mass),
+            format!("{:.4}", identity.mean_block_range),
+            format!("{:.4}", reordered.mean_block_range),
+            format!("{:.1}x", reordered.range_reduction),
+            sel.order.to_string(),
+        ]);
+        json.push((kind.name(), outliers, identity, reordered));
+    }
+    print_table(
+        &[
+            "pattern",
+            "row peak/mean",
+            "top-1% mass",
+            "block range (canonical)",
+            "block range (reordered)",
+            "row/block range ratio",
+            "plan",
+        ],
+        &rows,
+    );
+    println!("\nRow groups contain outliers that inflate the min-max scale (peak/mean");
+    println!("far above 1); reordering shrinks within-block ranges, which is exactly");
+    println!("the quantization-error reduction PARO exploits.");
+    save_json("analysis", &json)?;
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Energy efficiency (paper Sec. V-B): TOPS/W of PARO vs the A100.
+//!
+//! Paper: PARO achieves 3.46/3.61 TOPS/W on CogVideoX-2B/5B, which is
+//! 4.86/6.43x the A100.
+//!
+//! ```text
+//! cargo run --release -p paro-bench --bin energy
+//! ```
+
+use paro::prelude::*;
+use paro_bench::{print_table, save_json};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = AttentionProfile::paper_mp();
+    println!("Energy-efficiency reproduction (effective TOPS counted on nominal ops)\n");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (cfg, paper_tops_w, paper_ratio) in [
+        (ModelConfig::cogvideox_2b(), 3.46, 4.86),
+        (ModelConfig::cogvideox_5b(), 3.61, 6.43),
+    ] {
+        let paro = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())
+            .run_model(&cfg, &profile);
+        let a100 = GpuMachine::a100().run_model(&cfg, &profile);
+        let ratio = paro.tops_per_watt() / a100.tops_per_watt();
+        rows.push(vec![
+            cfg.name.clone(),
+            format!("{:.2}", paro.tops_per_watt()),
+            format!("{paper_tops_w:.2}"),
+            format!("{:.2}", a100.tops_per_watt()),
+            format!("{ratio:.2}x"),
+            format!("{paper_ratio:.2}x"),
+        ]);
+        json.push((
+            cfg.name.clone(),
+            paro.tops_per_watt(),
+            a100.tops_per_watt(),
+            ratio,
+        ));
+        println!(
+            "{}: PARO avg power {:.1} W over {:.0} s; A100 avg power {:.0} W over {:.0} s",
+            cfg.name,
+            paro.energy_joules / paro.seconds,
+            paro.seconds,
+            a100.energy_joules / a100.seconds,
+            a100.seconds
+        );
+    }
+    println!();
+    print_table(
+        &[
+            "model",
+            "PARO TOPS/W",
+            "paper",
+            "A100 TOPS/W",
+            "ratio (ours)",
+            "ratio (paper)",
+        ],
+        &rows,
+    );
+    save_json("energy", &json)?;
+    Ok(())
+}

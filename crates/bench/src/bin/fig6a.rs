@@ -1,0 +1,76 @@
+//! Fig. 6(a) — end-to-end speedup on CogVideoX-2B/5B, normalized to
+//! Sanger.
+//!
+//! Paper series: PARO 10.61/12.04x vs Sanger and 6.38/7.05x vs ViTCoD;
+//! the A100 sits above PARO (more resources); PARO-align-A100 is
+//! 1.68/2.71x faster than the A100.
+//!
+//! ```text
+//! cargo run --release -p paro-bench --bin fig6a
+//! ```
+
+use paro::prelude::*;
+use paro_bench::{print_table, save_json};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = AttentionProfile::paper_mp();
+    println!(
+        "Fig. 6(a) reproduction: end-to-end performance normalized to Sanger\n\
+         (attention profile: avg {:.2} bits, {:.0}% skipped blocks)\n",
+        profile.avg_bits(),
+        profile.skip_fraction() * 100.0
+    );
+
+    let mut json = Vec::new();
+    for cfg in [ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()] {
+        let machines: Vec<Box<dyn Machine>> = vec![
+            Box::new(SangerMachine::default_budget()),
+            Box::new(VitcodMachine::default_budget()),
+            Box::new(ParoMachine::new(
+                HardwareConfig::paro_asic(),
+                ParoOptimizations::all(),
+            )),
+            Box::new(GpuMachine::a100()),
+            Box::new(ParoMachine::new(
+                HardwareConfig::paro_align_a100(),
+                ParoOptimizations::all(),
+            )),
+        ];
+        let reports: Vec<Report> = machines.iter().map(|m| m.run_model(&cfg, &profile)).collect();
+        let sanger = reports[0].seconds;
+        println!("== {} ==", cfg.name);
+        let rows: Vec<Vec<String>> = reports
+            .iter()
+            .map(|r| {
+                vec![
+                    r.machine.clone(),
+                    format!("{:.1}", r.seconds),
+                    format!("{:.2}x", sanger / r.seconds),
+                ]
+            })
+            .collect();
+        print_table(&["machine", "e2e (s)", "norm. to Sanger"], &rows);
+        let paro = reports[2].seconds;
+        let vitcod = reports[1].seconds;
+        let a100 = reports[3].seconds;
+        let align = reports[4].seconds;
+        println!(
+            "\n  PARO vs Sanger  {:.2}x   (paper: {})",
+            sanger / paro,
+            if cfg.name.contains("2B") { "10.61x" } else { "12.04x" }
+        );
+        println!(
+            "  PARO vs ViTCoD  {:.2}x   (paper: {})",
+            vitcod / paro,
+            if cfg.name.contains("2B") { "6.38x" } else { "7.05x" }
+        );
+        println!(
+            "  PARO-align-A100 vs A100  {:.2}x   (paper: {})\n",
+            a100 / align,
+            if cfg.name.contains("2B") { "1.68x" } else { "2.71x" }
+        );
+        json.push((cfg.name.clone(), reports));
+    }
+    save_json("fig6a", &json)?;
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Fig. 6(b) — ablation of PARO's optimizations on the same hardware.
+//!
+//! Paper series (2B/5B, cumulative speedup over naive FP16):
+//! +W8A8 linear 1.07/1.11x, +4.80-bit attention quantization 2.33/2.38x,
+//! +output-bitwidth-aware PEs 3.06/3.00x.
+//!
+//! ```text
+//! cargo run --release -p paro-bench --bin fig6b
+//! ```
+
+use paro::prelude::*;
+use paro_bench::{print_table, save_json};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = AttentionProfile::paper_mp();
+    println!("Fig. 6(b) reproduction: optimization ablation on PARO hardware\n");
+    let paper = [
+        [1.0, 1.0],
+        [1.07, 1.11],
+        [2.33, 2.38],
+        [3.06, 3.00],
+    ];
+    let mut json = Vec::new();
+    for (ci, cfg) in [ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()]
+        .iter()
+        .enumerate()
+    {
+        println!("== {} ==", cfg.name);
+        let base = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::none())
+            .run_model(cfg, &profile)
+            .seconds;
+        let mut rows = Vec::new();
+        for (si, (name, opts)) in ParoOptimizations::ablation_ladder().into_iter().enumerate() {
+            let report =
+                ParoMachine::new(HardwareConfig::paro_asic(), opts).run_model(cfg, &profile);
+            let speedup = base / report.seconds;
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.1}", report.seconds),
+                format!("{:.2}x", speedup),
+                format!("{:.2}x", paper[si][ci]),
+            ]);
+            json.push((cfg.name.clone(), name.to_string(), speedup));
+        }
+        print_table(
+            &["configuration", "e2e (s)", "speedup (ours)", "speedup (paper)"],
+            &rows,
+        );
+        println!();
+    }
+    save_json("fig6b", &json)?;
+    Ok(())
+}

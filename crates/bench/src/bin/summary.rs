@@ -1,0 +1,138 @@
+//! One-shot summary: runs every table/figure experiment at reduced scale
+//! and writes a single markdown report to
+//! `target/experiments/SUMMARY.md` — the quick way to check the whole
+//! reproduction after a change.
+//!
+//! ```text
+//! cargo run --release -p paro-bench --bin summary
+//! ```
+
+use paro::prelude::*;
+use paro::sim::cost::CostModel;
+use paro::sim::OpCategory;
+use paro_bench::{evaluate_method, head_population};
+use std::fmt::Write as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut md = String::new();
+    writeln!(md, "# PARO reproduction — one-shot summary\n")?;
+
+    // ---- Table I ----
+    writeln!(md, "## Table I (quality proxies)\n")?;
+    writeln!(
+        md,
+        "| method | bitwidth | FVD-proxy ↓ | CLIPSIM-proxy ↑ | VQA-proxy ↑ |"
+    )?;
+    writeln!(md, "|---|---|---|---|---|")?;
+    let grid = TokenGrid::new(6, 6, 6);
+    let population = head_population(&grid, 32, 2);
+    for method in AttentionMethod::table1_roster() {
+        let method = match method {
+            AttentionMethod::BlockwiseInt { bits, .. } => AttentionMethod::BlockwiseInt {
+                bits,
+                block_edge: 6,
+            },
+            AttentionMethod::ParoInt { bits, .. } => AttentionMethod::ParoInt {
+                bits,
+                block_edge: 6,
+            },
+            AttentionMethod::ParoMixed {
+                budget,
+                alpha,
+                output_aware,
+                ..
+            } => AttentionMethod::ParoMixed {
+                budget,
+                block_edge: 6,
+                alpha,
+                output_aware,
+            },
+            other => other,
+        };
+        let row = evaluate_method(&method, &grid, &population)?;
+        writeln!(
+            md,
+            "| {} | {} | {:.4} | {:.4} | {:.1} |",
+            row.method, row.bitwidth, row.fvd_proxy, row.clipsim_proxy, row.vqa_proxy
+        )?;
+    }
+
+    // ---- Table II ----
+    writeln!(md, "\n## Table II (cost model)\n")?;
+    let cm = CostModel::for_hardware(&HardwareConfig::paro_asic());
+    writeln!(
+        md,
+        "Total {:.2} mm², {:.2} W (paper: 8.17 mm², 11.20 W).",
+        cm.total_area_mm2(),
+        cm.total_power_w()
+    )?;
+
+    // ---- Fig 6(a) + 6(b) + overhead + energy ----
+    let profile = AttentionProfile::paper_mp();
+    for cfg in [ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()] {
+        writeln!(md, "\n## {} — performance\n", cfg.name)?;
+        let machines: Vec<(&str, Box<dyn Machine>)> = vec![
+            ("Sanger", Box::new(SangerMachine::default_budget())),
+            ("ViTCoD", Box::new(VitcodMachine::default_budget())),
+            (
+                "PARO",
+                Box::new(ParoMachine::new(
+                    HardwareConfig::paro_asic(),
+                    ParoOptimizations::all(),
+                )),
+            ),
+            ("A100", Box::new(GpuMachine::a100())),
+            (
+                "PARO-align-A100",
+                Box::new(ParoMachine::new(
+                    HardwareConfig::paro_align_a100(),
+                    ParoOptimizations::all(),
+                )),
+            ),
+        ];
+        let reports: Vec<(&str, Report)> = machines
+            .iter()
+            .map(|(n, m)| (*n, m.run_model(&cfg, &profile)))
+            .collect();
+        let sanger = reports[0].1.seconds;
+        writeln!(md, "| machine | e2e (s) | vs Sanger | TOPS/W |")?;
+        writeln!(md, "|---|---|---|---|")?;
+        for (name, r) in &reports {
+            writeln!(
+                md,
+                "| {name} | {:.1} | {:.2}x | {:.2} |",
+                r.seconds,
+                sanger / r.seconds,
+                r.tops_per_watt()
+            )?;
+        }
+        // Ablation ladder.
+        let base = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::none())
+            .run_model(&cfg, &profile)
+            .seconds;
+        write!(md, "\nFig 6(b) ladder: ")?;
+        for (name, opts) in ParoOptimizations::ablation_ladder() {
+            let s = ParoMachine::new(HardwareConfig::paro_asic(), opts)
+                .run_model(&cfg, &profile)
+                .seconds;
+            write!(md, "{name} {:.2}x; ", base / s)?;
+        }
+        writeln!(md)?;
+        // Reorder share.
+        let paro = &reports[2].1;
+        let reorder = paro
+            .category_shares()
+            .get(&OpCategory::Reorder)
+            .copied()
+            .unwrap_or(0.0);
+        writeln!(md, "\nReorder overhead: {:.2}% of end-to-end latency.", reorder * 100.0)?;
+    }
+
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("SUMMARY.md");
+    std::fs::write(&path, &md)?;
+    println!("{md}");
+    println!("[written to {}]", path.display());
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Hardware design-space sweep around the PARO operating point
+//! (extension experiment; not in the paper, motivated by its resource-
+//! alignment methodology).
+//!
+//! ```text
+//! cargo run --release -p paro-bench --bin sweep [2b|5b]
+//! ```
+
+use paro::prelude::*;
+use paro::sim::sweeps::{sweep, SweepAxis};
+use paro_bench::{print_table, save_json};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "5b".to_string());
+    let cfg = match which.as_str() {
+        "2b" => ModelConfig::cogvideox_2b(),
+        _ => ModelConfig::cogvideox_5b(),
+    };
+    let profile = AttentionProfile::paper_mp();
+    let base = HardwareConfig::paro_asic();
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    println!(
+        "Design-space sweep on {} (baseline: 32x32x32 PEs, 51.2 GB/s, 2048 lanes)\n",
+        cfg.name
+    );
+    let mut json = Vec::new();
+    for axis in [
+        SweepAxis::PeMacs,
+        SweepAxis::DramBandwidth,
+        SweepAxis::VectorLanes,
+        SweepAxis::SramBytes,
+    ] {
+        let points = sweep(axis, &base, &factors, &cfg, &profile);
+        println!("== {} ==", axis.label());
+        let rows: Vec<Vec<String>> = factors
+            .iter()
+            .zip(&points)
+            .map(|(f, p)| {
+                vec![
+                    format!("{f}x"),
+                    format!("{:.4e}", p.value),
+                    format!("{:.1}", p.seconds),
+                    format!("{:.2}x", p.speedup_vs_base),
+                ]
+            })
+            .collect();
+        print_table(&["factor", "value", "e2e (s)", "speedup"], &rows);
+        println!();
+        json.push((axis.label(), points));
+    }
+    println!("Reading: PARO at its paper operating point is compute-bound, so PE");
+    println!("scaling pays off until the vector unit / DRAM take over.");
+    save_json("sweep", &json)?;
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Table II — area and power breakdown of PARO (TSMC 12 nm @ 1 GHz).
+//!
+//! ```text
+//! cargo run --release -p paro-bench --bin table2
+//! ```
+
+use paro::prelude::*;
+use paro::sim::cost::CostModel;
+use paro_bench::{print_table, save_json};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cm = CostModel::for_hardware(&HardwareConfig::paro_asic());
+    println!("Table II reproduction: area and power breakdown of PARO\n");
+    let mut rows = Vec::new();
+    for c in cm.components() {
+        rows.push(vec![
+            c.name.clone(),
+            c.config.clone(),
+            format!(
+                "{:.2} ({:.1}%)",
+                c.area_mm2,
+                c.area_mm2 / cm.total_area_mm2() * 100.0
+            ),
+            format!(
+                "{:.2} ({:.1}%)",
+                c.power_w,
+                c.power_w / cm.total_power_w() * 100.0
+            ),
+        ]);
+    }
+    rows.push(vec![
+        "Total".to_string(),
+        "TSMC 12nm".to_string(),
+        format!("{:.2} (100%)", cm.total_area_mm2()),
+        format!("{:.2} (100%)", cm.total_power_w()),
+    ]);
+    print_table(&["Component", "Config", "Area (mm2)", "Power (W)"], &rows);
+    println!("\nPaper Table II: total 8.17 mm2, 11.20 W.");
+    save_json("table2", &cm.components().to_vec())?;
+    Ok(())
+}

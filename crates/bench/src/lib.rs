@@ -1,0 +1,251 @@
+//! Shared harness utilities for the PARO experiment binaries and
+//! Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (see `DESIGN.md` for the index); this
+//! library holds the pieces they share: the synthetic head population,
+//! per-method quality evaluation, and plain-text table printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use paro::prelude::*;
+use paro::tensor::rng::derive_seed;
+
+/// Quality metrics of one method over a head population — one Table I row.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct QualityRow {
+    /// Method display name.
+    pub method: String,
+    /// The Table I "Bitwidth" column.
+    pub bitwidth: String,
+    /// FVD-proxy: mean relative-L2 output error vs FP16 (lower better).
+    pub fvd_proxy: f32,
+    /// CLIPSIM-proxy: mean cosine similarity (higher better).
+    pub clipsim_proxy: f32,
+    /// CLIP-Temp-proxy: temporal consistency ratio (higher better).
+    pub clip_temp_proxy: f32,
+    /// VQA-proxy: mean SNR in dB (higher better).
+    pub vqa_proxy: f32,
+    /// Flicker-proxy: 100 x (1 − frame-to-frame error variation), higher
+    /// better.
+    pub flicker_proxy: f32,
+    /// Mean attention-map average bitwidth reported by the pipeline.
+    pub avg_bits: f32,
+    /// Standard deviation of the FVD-proxy across the population (how much
+    /// head-to-head variability hides behind the mean).
+    pub fvd_std: f32,
+}
+
+/// The standard evaluation population: heads covering every pattern kind
+/// the paper observes, with deterministic seeds.
+pub fn head_population(
+    grid: &TokenGrid,
+    head_dim: usize,
+    per_kind: u64,
+) -> Vec<(PatternKind, paro::model::patterns::HeadSynthesis)> {
+    let kinds = [
+        PatternKind::Temporal,
+        PatternKind::SpatialRow,
+        PatternKind::SpatialCol,
+        PatternKind::default_window(grid),
+        PatternKind::Diffuse,
+    ];
+    let mut out = Vec::new();
+    for (i, kind) in kinds.iter().enumerate() {
+        for s in 0..per_kind {
+            let spec = PatternSpec::new(*kind);
+            out.push((
+                *kind,
+                synthesize_head(grid, head_dim, &spec, derive_seed(0xBEEF + i as u64, s)),
+            ));
+        }
+    }
+    out
+}
+
+/// Evaluates one method over a population, producing a [`QualityRow`].
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn evaluate_method(
+    method: &AttentionMethod,
+    grid: &TokenGrid,
+    population: &[(PatternKind, paro::model::patterns::HeadSynthesis)],
+) -> Result<QualityRow, CoreError> {
+    let mut fvd_samples = Vec::with_capacity(population.len());
+    let mut clipsim = 0.0f32;
+    let mut temp = 0.0f32;
+    let mut vqa = 0.0f32;
+    let mut flick = 0.0f32;
+    let mut bits = 0.0f32;
+    for (_, head) in population {
+        let reference = reference_attention(&head.q, &head.k, &head.v)?;
+        let inputs = AttentionInputs::new(head.q.clone(), head.k.clone(), head.v.clone(), *grid)?;
+        let run = run_attention(&inputs, method)?;
+        fvd_samples.push(paro::tensor::metrics::relative_l2(&reference, &run.output)?);
+        clipsim += paro::tensor::metrics::cosine_similarity(&reference, &run.output)?;
+        // View the output as frames x features for temporal metrics.
+        let frames = grid.frames();
+        let feat = run.output.len() / frames;
+        let ref_frames = reference.reshape(&[frames, feat])?;
+        let out_frames = run.output.reshape(&[frames, feat])?;
+        temp += paro::tensor::metrics::temporal_consistency(&ref_frames, &out_frames)?;
+        vqa += paro::tensor::metrics::snr_db(&reference, &run.output)?;
+        flick += flicker_score(&ref_frames, &out_frames)?;
+        bits += run.avg_bits;
+    }
+    let n = population.len() as f32;
+    let fvd_mean = fvd_samples.iter().sum::<f32>() / n;
+    let fvd_std = (fvd_samples
+        .iter()
+        .map(|v| (v - fvd_mean) * (v - fvd_mean))
+        .sum::<f32>()
+        / n)
+        .sqrt();
+    Ok(QualityRow {
+        method: method.name(),
+        bitwidth: method.bitwidth_label(),
+        fvd_proxy: fvd_mean,
+        fvd_std,
+        clipsim_proxy: clipsim / n,
+        clip_temp_proxy: temp / n,
+        vqa_proxy: vqa / n,
+        flicker_proxy: flick / n,
+        avg_bits: bits / n,
+    })
+}
+
+/// Flicker proxy: 100 x (1 − std of per-frame error), so frame-uniform
+/// corruption (which does not flicker) scores near 100 while frame-varying
+/// corruption is penalized — matching the paper's temporal-flickering
+/// metric direction.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors.
+pub fn flicker_score(
+    ref_frames: &Tensor,
+    out_frames: &Tensor,
+) -> Result<f32, paro::tensor::TensorError> {
+    let frames = ref_frames.shape()[0];
+    let feat = ref_frames.shape()[1];
+    let mut errs = Vec::with_capacity(frames);
+    for f in 0..frames {
+        let r = ref_frames.block(f, 0, 1, feat)?;
+        let o = out_frames.block(f, 0, 1, feat)?;
+        errs.push(paro::tensor::metrics::relative_l2(&r, &o)?);
+    }
+    let mean = errs.iter().sum::<f32>() / frames as f32;
+    let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f32>() / frames as f32;
+    Ok((100.0 * (1.0 - var.sqrt())).clamp(0.0, 100.0))
+}
+
+/// Prints a plain-text table with aligned columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Writes a serializable value as pretty JSON under `target/experiments/`.
+///
+/// # Errors
+///
+/// Returns I/O errors from directory creation or writing.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    println!("\n[saved {}]", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic_and_diverse() {
+        let grid = TokenGrid::new(4, 4, 4);
+        let a = head_population(&grid, 16, 2);
+        let b = head_population(&grid, 16, 2);
+        assert_eq!(a.len(), 10);
+        for ((ka, ha), (kb, hb)) in a.iter().zip(&b) {
+            assert_eq!(ka.name(), kb.name());
+            assert_eq!(ha.q, hb.q);
+        }
+    }
+
+    #[test]
+    fn evaluate_fp16_is_perfect() {
+        let grid = TokenGrid::new(4, 4, 4);
+        let pop = head_population(&grid, 16, 1);
+        let row = evaluate_method(&AttentionMethod::Fp16, &grid, &pop).unwrap();
+        assert_eq!(row.fvd_proxy, 0.0);
+        assert!((row.clipsim_proxy - 1.0).abs() < 1e-5);
+        assert_eq!(row.vqa_proxy, 100.0);
+        assert!(row.flicker_proxy > 99.0);
+    }
+
+    #[test]
+    fn evaluate_ranks_methods() {
+        let grid = TokenGrid::new(4, 4, 4);
+        let pop = head_population(&grid, 16, 1);
+        let naive4 = evaluate_method(
+            &AttentionMethod::NaiveInt {
+                bits: Bitwidth::B4,
+            },
+            &grid,
+            &pop,
+        )
+        .unwrap();
+        let paro4 = evaluate_method(
+            &AttentionMethod::ParoInt {
+                bits: Bitwidth::B4,
+                block_edge: 4,
+            },
+            &grid,
+            &pop,
+        )
+        .unwrap();
+        assert!(paro4.fvd_proxy < naive4.fvd_proxy);
+        assert!(paro4.vqa_proxy > naive4.vqa_proxy);
+    }
+
+    #[test]
+    fn flicker_penalizes_frame_varying_error() {
+        let frames = 6;
+        let feat = 32;
+        let reference = Tensor::from_fn(&[frames, feat], |i| (i[1] as f32 * 0.1).sin() + 2.0);
+        let uniform = reference.map(|x| x * 1.01);
+        // Error magnitude grows with the frame index -> nonzero per-frame
+        // error variation -> flicker.
+        let varying = Tensor::from_fn(&[frames, feat], |i| {
+            let v = (i[1] as f32 * 0.1).sin() + 2.0;
+            v * (1.0 + 0.02 * i[0] as f32)
+        });
+        let s_uniform = flicker_score(&reference, &uniform).unwrap();
+        let s_varying = flicker_score(&reference, &varying).unwrap();
+        assert!(s_uniform > s_varying);
+    }
+}

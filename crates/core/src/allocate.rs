@@ -1,0 +1,613 @@
+//! Mixed-precision bitwidth allocation (the paper's integer program).
+//!
+//! Paper Eq. (1): choose one bitwidth `b ∈ {0, 2, 4, 8}` per block to
+//! minimize total sensitivity `Σᵢ S_{i,b(i)}` subject to the average-
+//! bitwidth budget `Σᵢ b(i) ≤ B·N`. This is a multiple-choice knapsack;
+//! three solvers are provided:
+//!
+//! - [`allocate_dp`] — exact dynamic programming over the budget in 2-bit
+//!   units (`O(N·B·N/2·4)` time), the reference solver.
+//! - [`allocate_greedy`] — marginal-utility greedy (start at 0 bits,
+//!   repeatedly take the globally best ΔS/Δbits upgrade). Near-optimal in
+//!   practice and much faster.
+//! - [`allocate_lagrangian`] — bisection on the rate multiplier λ, the
+//!   classic rate-distortion formulation; optimal up to the duality gap.
+//!
+//! The `allocation` bench compares all three; a brute-force enumerator for
+//! tiny instances backs the property tests.
+
+use crate::sensitivity::SensitivityTable;
+use crate::CoreError;
+use paro_quant::Bitwidth;
+use serde::{Deserialize, Serialize};
+
+/// The result of a bitwidth allocation.
+///
+/// # Example
+///
+/// ```
+/// use paro_core::allocate::allocate_greedy;
+/// use paro_core::sensitivity::SensitivityTable;
+/// use paro_quant::BlockGrid;
+/// use paro_tensor::Tensor;
+/// # fn main() -> Result<(), paro_core::CoreError> {
+/// let map = Tensor::from_fn(&[8, 8], |i| if i[0] == i[1] { 0.9 } else { 0.01 });
+/// let table = SensitivityTable::compute(&map, BlockGrid::square(4)?, 0.5)?;
+/// let alloc = allocate_greedy(&table, 4.8)?;
+/// // The average-bitwidth budget is a hard constraint.
+/// assert!(alloc.avg_bits <= 4.8);
+/// assert_eq!(alloc.bits.len(), table.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitAllocation {
+    /// Chosen bitwidth per block (row-major block order).
+    pub bits: Vec<Bitwidth>,
+    /// Achieved average bitwidth over blocks.
+    pub avg_bits: f32,
+    /// Total sensitivity cost of the assignment.
+    pub total_cost: f32,
+}
+
+impl BitAllocation {
+    fn from_bits(bits: Vec<Bitwidth>, table: &SensitivityTable) -> Self {
+        let total_cost = table.total_cost(&bits);
+        let avg_bits = average_bits(&bits);
+        BitAllocation {
+            bits,
+            avg_bits,
+            total_cost,
+        }
+    }
+
+    /// Histogram of chosen bitwidths, indexed like [`Bitwidth::ALL`].
+    pub fn histogram(&self) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        for &b in &self.bits {
+            let j = Bitwidth::ALL
+                .iter()
+                .position(|&x| x == b)
+                .expect("Bitwidth::ALL covers every variant");
+            h[j] += 1;
+        }
+        h
+    }
+}
+
+/// Mean bitwidth of an assignment (0 for an empty one).
+pub fn average_bits(bits: &[Bitwidth]) -> f32 {
+    if bits.is_empty() {
+        return 0.0;
+    }
+    bits.iter().map(|b| b.bits() as f32).sum::<f32>() / bits.len() as f32
+}
+
+fn check_inputs(table: &SensitivityTable, budget_avg_bits: f32) -> Result<(), CoreError> {
+    if table.is_empty() {
+        return Err(CoreError::EmptyAllocation);
+    }
+    if !(0.0..=8.0).contains(&budget_avg_bits) || !budget_avg_bits.is_finite() {
+        return Err(CoreError::BadBudget {
+            budget: budget_avg_bits,
+        });
+    }
+    Ok(())
+}
+
+/// Exact solver: dynamic programming over the budget in 2-bit units.
+///
+/// Minimizes `Σ S_{i,b(i)}` subject to `Σ b(i) ≤ ⌊budget_avg_bits · N⌋`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyAllocation`] for an empty table and
+/// [`CoreError::BadBudget`] for a budget outside `[0, 8]`.
+pub fn allocate_dp(
+    table: &SensitivityTable,
+    budget_avg_bits: f32,
+) -> Result<BitAllocation, CoreError> {
+    check_inputs(table, budget_avg_bits)?;
+    let n = table.len();
+    // Budget in 2-bit units; bit options {0,2,4,8} cost {0,1,2,4} units.
+    let unit_options = [0usize, 1, 2, 4];
+    let budget_units = ((budget_avg_bits * n as f32) / 2.0).floor() as usize;
+    let max_units = budget_units.min(4 * n);
+
+    // tables[i][u] = min cost over blocks 0..i using at most u units.
+    // Full tables are kept for exact path reconstruction; N and budget are
+    // modest (thousands of blocks), so the O(N·U) memory is acceptable for
+    // a reference solver.
+    let mut tables = Vec::with_capacity(n + 1);
+    tables.push(vec![0.0f32; max_units + 1]);
+    for i in 0..n {
+        let prev = &tables[i];
+        let mut next = vec![f32::INFINITY; max_units + 1];
+        for u in 0..=max_units {
+            for (j, &units) in unit_options.iter().enumerate() {
+                if units > u {
+                    continue;
+                }
+                let cost = prev[u - units] + table.score(i, Bitwidth::ALL[j]);
+                if cost < next[u] {
+                    next[u] = cost;
+                }
+            }
+        }
+        tables.push(next);
+    }
+
+    // Reconstruct from the best final budget backwards.
+    let mut bits = vec![Bitwidth::B0; n];
+    let mut u = (0..=max_units)
+        .min_by(|&a, &b| tables[n][a].total_cmp(&tables[n][b]))
+        .unwrap_or(0);
+    for i in (0..n).rev() {
+        let target = tables[i + 1][u];
+        let mut picked = 0usize;
+        for (j, &units) in unit_options.iter().enumerate() {
+            if units > u {
+                continue;
+            }
+            let cost = tables[i][u - units] + table.score(i, Bitwidth::ALL[j]);
+            if (cost - target).abs() <= 1e-6 * (1.0 + target.abs()) {
+                picked = j;
+                break;
+            }
+        }
+        bits[i] = Bitwidth::ALL[picked];
+        u -= unit_options[picked];
+    }
+    Ok(BitAllocation::from_bits(bits, table))
+}
+
+/// Fast solver: marginal-utility greedy.
+///
+/// Starts every block at 0 bits and repeatedly applies the upgrade (any
+/// block, any higher bitwidth) with the best cost reduction per added bit,
+/// until the budget is exhausted or no upgrade reduces cost.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyAllocation`] for an empty table and
+/// [`CoreError::BadBudget`] for a budget outside `[0, 8]`.
+pub fn allocate_greedy(
+    table: &SensitivityTable,
+    budget_avg_bits: f32,
+) -> Result<BitAllocation, CoreError> {
+    check_inputs(table, budget_avg_bits)?;
+    let n = table.len();
+    let budget_bits = (budget_avg_bits * n as f32).floor() as u64;
+    let mut used: u64 = 0;
+    let mut level = vec![0usize; n]; // index into Bitwidth::ALL
+
+    #[derive(PartialEq)]
+    struct Upgrade {
+        gain_per_bit: f32,
+        block: usize,
+        to_level: usize,
+    }
+    // Max-heap on gain_per_bit.
+    impl Eq for Upgrade {}
+    impl PartialOrd for Upgrade {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Upgrade {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.gain_per_bit
+                .total_cmp(&other.gain_per_bit)
+                .then(self.block.cmp(&other.block).reverse())
+        }
+    }
+
+    // Best next upgrade for a block from its current level: consider every
+    // higher level, take the one with max gain/Δbits.
+    let best_upgrade = |block: usize, cur_level: usize| -> Option<Upgrade> {
+        let cur_cost = table.score(block, Bitwidth::ALL[cur_level]);
+        let mut best: Option<Upgrade> = None;
+        for to in cur_level + 1..Bitwidth::ALL.len() {
+            let dbits =
+                (Bitwidth::ALL[to].bits() - Bitwidth::ALL[cur_level].bits()) as f32;
+            let gain = cur_cost - table.score(block, Bitwidth::ALL[to]);
+            if gain <= 0.0 {
+                continue;
+            }
+            let g = gain / dbits;
+            if best.as_ref().is_none_or(|b| g > b.gain_per_bit) {
+                best = Some(Upgrade {
+                    gain_per_bit: g,
+                    block,
+                    to_level: to,
+                });
+            }
+        }
+        best
+    };
+
+    let mut heap = std::collections::BinaryHeap::new();
+    for b in 0..n {
+        if let Some(u) = best_upgrade(b, 0) {
+            heap.push(u);
+        }
+    }
+    while let Some(up) = heap.pop() {
+        let cur = level[up.block];
+        // Stale entry: the block moved since this upgrade was computed.
+        if up.to_level <= cur {
+            continue;
+        }
+        let from_bits = Bitwidth::ALL[cur].bits() as u64;
+        let to_bits = Bitwidth::ALL[up.to_level].bits() as u64;
+        // Re-derive the gain from the *current* level (the heap entry may
+        // have been computed from an older level).
+        let gain = table.score(up.block, Bitwidth::ALL[cur])
+            - table.score(up.block, Bitwidth::ALL[up.to_level]);
+        let recomputed = gain / (to_bits - from_bits) as f32;
+        if (recomputed - up.gain_per_bit).abs() > f32::EPSILON * recomputed.abs().max(1.0) {
+            // Stale priority: reinsert with the fresh value.
+            if recomputed > 0.0 {
+                heap.push(Upgrade {
+                    gain_per_bit: recomputed,
+                    block: up.block,
+                    to_level: up.to_level,
+                });
+            }
+            continue;
+        }
+        if used + (to_bits - from_bits) > budget_bits {
+            // Doesn't fit; a smaller upgrade for this block might.
+            continue;
+        }
+        used += to_bits - from_bits;
+        level[up.block] = up.to_level;
+        if let Some(next) = best_upgrade(up.block, up.to_level) {
+            heap.push(next);
+        }
+    }
+    let bits: Vec<Bitwidth> = level.into_iter().map(|l| Bitwidth::ALL[l]).collect();
+    Ok(BitAllocation::from_bits(bits, table))
+}
+
+/// Lagrangian solver: bisection on the rate multiplier λ.
+///
+/// Relaxes the budget constraint into the objective
+/// `min Σᵢ [S_{i,b(i)} + λ·b(i)]`, which decomposes per block (each block
+/// independently picks the bitwidth minimizing `S + λ·b`), and bisects λ
+/// until the realized average bitwidth meets the budget. The classic
+/// rate-distortion allocation: optimal up to the duality gap of the
+/// discrete choice set (i.e., on the lower convex hull of each block's
+/// (bits, sensitivity) curve).
+///
+/// Compared in the `allocation` bench against the exact DP and the
+/// marginal greedy.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyAllocation`] for an empty table and
+/// [`CoreError::BadBudget`] for a budget outside `[0, 8]`.
+pub fn allocate_lagrangian(
+    table: &SensitivityTable,
+    budget_avg_bits: f32,
+) -> Result<BitAllocation, CoreError> {
+    check_inputs(table, budget_avg_bits)?;
+    let n = table.len();
+    let budget_bits = (budget_avg_bits * n as f32).floor();
+
+    // Per-block choice at a given lambda (ties break toward fewer bits,
+    // which keeps the realized rate monotone non-increasing in lambda).
+    let assign = |lambda: f32| -> Vec<Bitwidth> {
+        (0..n)
+            .map(|i| {
+                let mut best = Bitwidth::B0;
+                let mut best_cost = f32::INFINITY;
+                for b in Bitwidth::ALL {
+                    let cost = table.score(i, b) + lambda * b.bits() as f32;
+                    if cost < best_cost - f32::EPSILON {
+                        best_cost = cost;
+                        best = b;
+                    }
+                }
+                best
+            })
+            .collect()
+    };
+    let total_bits = |bits: &[Bitwidth]| -> f32 {
+        bits.iter().map(|b| b.bits() as f32).sum()
+    };
+
+    // λ = 0: most bits anyone would ever take. If that already fits, done.
+    let free = assign(0.0);
+    if total_bits(&free) <= budget_bits {
+        return Ok(BitAllocation::from_bits(free, table));
+    }
+    // Find an upper λ that forces the budget.
+    let mut lo = 0.0f32;
+    let mut hi = 1.0f32;
+    while total_bits(&assign(hi)) > budget_bits {
+        hi *= 2.0;
+        if hi > 1e12 {
+            break; // scores are astronomically large; B0 everywhere below
+        }
+    }
+    // Bisect: keep `hi` feasible, `lo` infeasible.
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if total_bits(&assign(mid)) > budget_bits {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let mut bits = assign(hi);
+    // Spend any slack the duality gap left: greedy upgrades that still fit.
+    let mut used = total_bits(&bits);
+    loop {
+        let mut best: Option<(usize, Bitwidth, f32)> = None;
+        for (i, &cur) in bits.iter().enumerate() {
+            for b in Bitwidth::ALL {
+                if b.bits() <= cur.bits() {
+                    continue;
+                }
+                let extra = (b.bits() - cur.bits()) as f32;
+                if used + extra > budget_bits {
+                    continue;
+                }
+                let gain = (table.score(i, cur) - table.score(i, b)) / extra;
+                if gain > 0.0 && best.as_ref().is_none_or(|&(_, _, g)| gain > g) {
+                    best = Some((i, b, gain));
+                }
+            }
+        }
+        match best {
+            Some((i, b, _)) => {
+                used += (b.bits() - bits[i].bits()) as f32;
+                bits[i] = b;
+            }
+            None => break,
+        }
+    }
+    Ok(BitAllocation::from_bits(bits, table))
+}
+
+/// Brute-force exact solver for tiny instances (≤ ~12 blocks): enumerates
+/// all `4^N` assignments. Test oracle only.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyAllocation`] / [`CoreError::BadBudget`] as the
+/// other solvers do.
+pub fn allocate_brute(
+    table: &SensitivityTable,
+    budget_avg_bits: f32,
+) -> Result<BitAllocation, CoreError> {
+    check_inputs(table, budget_avg_bits)?;
+    let n = table.len();
+    assert!(n <= 12, "brute-force allocation is a test oracle; n={n} too large");
+    let budget_bits = (budget_avg_bits * n as f32).floor() as u64;
+    let mut best: Option<(f32, Vec<Bitwidth>)> = None;
+    let mut assignment = vec![Bitwidth::B0; n];
+    fn recurse(
+        i: usize,
+        used: u64,
+        cost: f32,
+        budget: u64,
+        table: &SensitivityTable,
+        assignment: &mut Vec<Bitwidth>,
+        best: &mut Option<(f32, Vec<Bitwidth>)>,
+    ) {
+        let n = table.len();
+        if i == n {
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                *best = Some((cost, assignment.clone()));
+            }
+            return;
+        }
+        for b in Bitwidth::ALL {
+            let nu = used + b.bits() as u64;
+            if nu > budget {
+                continue;
+            }
+            assignment[i] = b;
+            recurse(
+                i + 1,
+                nu,
+                cost + table.score(i, b),
+                budget,
+                table,
+                assignment,
+                best,
+            );
+        }
+    }
+    recurse(
+        0,
+        0,
+        0.0,
+        budget_bits,
+        table,
+        &mut assignment,
+        &mut best,
+    );
+    let (_, bits) = best.expect("B0 assignment always feasible");
+    Ok(BitAllocation::from_bits(bits, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paro_quant::BlockGrid;
+    use paro_tensor::Tensor;
+
+    fn table_from_map(n: usize, edge: usize) -> SensitivityTable {
+        let map = Tensor::from_fn(&[n, n], |i| {
+            if i[0] / edge == i[1] / edge {
+                0.5 + 0.4 * (((i[0] * 13 + i[1] * 7) % 11) as f32 / 11.0)
+            } else {
+                0.002 * (((i[0] + i[1] * 3) % 7) as f32)
+            }
+        });
+        SensitivityTable::compute(&map, BlockGrid::square(edge).unwrap(), 0.5).unwrap()
+    }
+
+    #[test]
+    fn budget_respected_by_all_solvers() {
+        let t = table_from_map(24, 4);
+        for budget in [0.0f32, 2.0, 4.8, 8.0] {
+            for alloc in [
+                allocate_dp(&t, budget).unwrap(),
+                allocate_greedy(&t, budget).unwrap(),
+                allocate_lagrangian(&t, budget).unwrap(),
+            ] {
+                assert!(
+                    alloc.avg_bits <= budget + 1e-4,
+                    "budget {budget}: got {}",
+                    alloc.avg_bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lagrangian_close_to_dp() {
+        let t = table_from_map(32, 4);
+        for budget in [2.0f32, 4.8, 6.0] {
+            let dp = allocate_dp(&t, budget).unwrap();
+            let lag = allocate_lagrangian(&t, budget).unwrap();
+            assert!(
+                lag.total_cost <= dp.total_cost * 1.10 + 1e-6,
+                "budget {budget}: lagrangian {} vs dp {}",
+                lag.total_cost,
+                dp.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn lagrangian_generous_budget_takes_free_optimum() {
+        let t = table_from_map(16, 4);
+        let alloc = allocate_lagrangian(&t, 8.0).unwrap();
+        // At budget 8 every block can afford its λ=0 optimum (8 bits, since
+        // scores are non-increasing).
+        let all8 = vec![Bitwidth::B8; t.len()];
+        assert!(alloc.total_cost <= t.total_cost(&all8) + 1e-6);
+    }
+
+    #[test]
+    fn full_budget_gives_all_eight_bits() {
+        let t = table_from_map(16, 4);
+        let alloc = allocate_dp(&t, 8.0).unwrap();
+        // With budget 8 every block can afford 8 bits; scores are
+        // non-increasing so 8 bits is always (weakly) optimal. DP may pick
+        // an equal-cost cheaper option; check cost equals the all-8 cost.
+        let all8 = vec![Bitwidth::B8; t.len()];
+        assert!(alloc.total_cost <= t.total_cost(&all8) + 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_gives_all_zero_bits() {
+        let t = table_from_map(16, 4);
+        for alloc in [
+            allocate_dp(&t, 0.0).unwrap(),
+            allocate_greedy(&t, 0.0).unwrap(),
+        ] {
+            assert!(alloc.bits.iter().all(|&b| b == Bitwidth::B0));
+            assert_eq!(alloc.avg_bits, 0.0);
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force() {
+        let t = table_from_map(12, 4); // 9 blocks
+        assert!(t.len() <= 12);
+        for budget in [1.0f32, 3.0, 4.8, 6.0] {
+            let dp = allocate_dp(&t, budget).unwrap();
+            let brute = allocate_brute(&t, budget).unwrap();
+            assert!(
+                (dp.total_cost - brute.total_cost).abs() <= 1e-5 * (1.0 + brute.total_cost),
+                "budget {budget}: dp {} vs brute {}",
+                dp.total_cost,
+                brute.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_close_to_dp() {
+        let t = table_from_map(32, 4);
+        for budget in [2.0f32, 4.8, 6.0] {
+            let dp = allocate_dp(&t, budget).unwrap();
+            let greedy = allocate_greedy(&t, budget).unwrap();
+            // Greedy is not exact but must be within a few percent on these
+            // well-behaved concave-ish instances.
+            assert!(
+                greedy.total_cost <= dp.total_cost * 1.10 + 1e-6,
+                "budget {budget}: greedy {} vs dp {}",
+                greedy.total_cost,
+                dp.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn important_blocks_get_more_bits() {
+        let t = table_from_map(24, 4);
+        let alloc = allocate_dp(&t, 4.8).unwrap();
+        // Diagonal blocks (those with highest B0 score) should receive at
+        // least as many bits as the background median.
+        let gc = 6; // 24/4
+        let mut diag_bits = Vec::new();
+        let mut off_bits = Vec::new();
+        for bi in 0..gc {
+            for bj in 0..gc {
+                let b = alloc.bits[bi * gc + bj].bits();
+                if bi == bj {
+                    diag_bits.push(b);
+                } else {
+                    off_bits.push(b);
+                }
+            }
+        }
+        let diag_avg = diag_bits.iter().sum::<u32>() as f32 / diag_bits.len() as f32;
+        let off_avg = off_bits.iter().sum::<u32>() as f32 / off_bits.len() as f32;
+        assert!(
+            diag_avg > off_avg,
+            "diagonal avg {diag_avg} should exceed off-diagonal {off_avg}"
+        );
+    }
+
+    #[test]
+    fn histogram_sums_to_block_count() {
+        let t = table_from_map(16, 4);
+        let alloc = allocate_greedy(&t, 4.8).unwrap();
+        assert_eq!(alloc.histogram().iter().sum::<usize>(), t.len());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let t = table_from_map(8, 4);
+        assert!(matches!(
+            allocate_dp(&t, 9.0),
+            Err(CoreError::BadBudget { .. })
+        ));
+        assert!(matches!(
+            allocate_greedy(&t, -1.0),
+            Err(CoreError::BadBudget { .. })
+        ));
+        assert!(matches!(
+            allocate_dp(&t, f32::NAN),
+            Err(CoreError::BadBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn average_bits_helper() {
+        assert_eq!(average_bits(&[]), 0.0);
+        assert_eq!(
+            average_bits(&[Bitwidth::B0, Bitwidth::B8]),
+            4.0
+        );
+        assert!((average_bits(&[Bitwidth::B2, Bitwidth::B4, Bitwidth::B8]) - 14.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,416 @@
+//! Data-distribution analysis behind the paper's Fig. 1 and Sec. III-A.
+//!
+//! Quantifies the two observations motivating PARO: (1) row-wise
+//! quantization groups of a patterned attention map contain extreme
+//! outliers, inflating the min-max scale and crushing the background
+//! values; (2) reordering into block-diagonal form shrinks within-group
+//! variation dramatically.
+
+use crate::reorder::{reorder_map, ReorderPlan};
+use crate::CoreError;
+use paro_model::patterns::PatternKind;
+use paro_quant::{group_stats, BlockGrid};
+use paro_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Outlier statistics of an attention map's rows (the naive quantization
+/// groups).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowOutlierStats {
+    /// Mean over rows of `max(row) / mean(row)` — how much the largest
+    /// element (which sets the min-max scale) exceeds the typical element.
+    pub mean_peak_to_mean: f32,
+    /// Maximum of that ratio over rows.
+    pub max_peak_to_mean: f32,
+    /// Mean fraction of row mass carried by the top 1% of entries.
+    pub top1pct_mass: f32,
+}
+
+/// Computes [`RowOutlierStats`] for a rank-2 attention map.
+///
+/// # Errors
+///
+/// Returns a rank error for non-rank-2 input.
+pub fn row_outlier_stats(map: &Tensor) -> Result<RowOutlierStats, CoreError> {
+    if map.rank() != 2 {
+        return Err(CoreError::Tensor(paro_tensor::TensorError::RankMismatch {
+            expected: 2,
+            actual: map.rank(),
+        }));
+    }
+    let (m, n) = (map.shape()[0], map.shape()[1]);
+    let a = map.as_slice();
+    let mut sum_ratio = 0.0f32;
+    let mut max_ratio = 0.0f32;
+    let mut sum_top_mass = 0.0f32;
+    let top_count = (n / 100).max(1);
+    for r in 0..m {
+        let row = &a[r * n..(r + 1) * n];
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let peak = row.iter().fold(f32::NEG_INFINITY, |acc, &x| acc.max(x));
+        let ratio = if mean > 0.0 { peak / mean } else { 1.0 };
+        sum_ratio += ratio;
+        max_ratio = max_ratio.max(ratio);
+        let mut sorted: Vec<f32> = row.to_vec();
+        sorted.sort_by(|x, y| y.total_cmp(x));
+        let top: f32 = sorted[..top_count].iter().sum();
+        let total: f32 = sorted.iter().sum();
+        sum_top_mass += if total > 0.0 { top / total } else { 0.0 };
+    }
+    Ok(RowOutlierStats {
+        mean_peak_to_mean: sum_ratio / m as f32,
+        max_peak_to_mean: max_ratio,
+        top1pct_mass: sum_top_mass / m as f32,
+    })
+}
+
+/// Comparison of within-group variation between row grouping and block
+/// grouping (after an optional reorder) — the quantity PARO minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupingComparison {
+    /// Mean within-row value range (max − min), the row-wise min-max scale
+    /// driver.
+    pub mean_row_range: f32,
+    /// Mean within-block value range under the block grid.
+    pub mean_block_range: f32,
+    /// `mean_row_range / mean_block_range` — how much the reorder + block
+    /// grouping shrinks the quantization scale.
+    pub range_reduction: f32,
+}
+
+/// Compares row-group vs block-group value ranges, with the map optionally
+/// reordered by `plan` first (pass the identity plan for "no reorder").
+///
+/// # Errors
+///
+/// Returns shape errors from the underlying machinery.
+pub fn compare_groupings(
+    map: &Tensor,
+    plan: &ReorderPlan,
+    block: BlockGrid,
+) -> Result<GroupingComparison, CoreError> {
+    let reordered = reorder_map(map, plan)?;
+    let (m, n) = (reordered.shape()[0], reordered.shape()[1]);
+    let a = reordered.as_slice();
+    let mut row_range_sum = 0.0f32;
+    for r in 0..m {
+        let row = &a[r * n..(r + 1) * n];
+        let lo = row.iter().fold(f32::INFINITY, |acc, &x| acc.min(x));
+        let hi = row.iter().fold(f32::NEG_INFINITY, |acc, &x| acc.max(x));
+        row_range_sum += hi - lo;
+    }
+    let mean_row_range = row_range_sum / m as f32;
+
+    let stats = group_stats(&reordered, block)?;
+    // Range proxy from block stats: use per-block (abs_max - min over data);
+    // group_stats does not carry min, so recompute ranges directly.
+    let (gr, gc) = block.grid_dims(m, n);
+    let mut block_range_sum = 0.0f32;
+    for bi in 0..gr {
+        for bj in 0..gc {
+            let (r0, c0, h, w) = block.block_bounds(bi, bj, m, n);
+            let b = reordered.block(r0, c0, h, w)?;
+            block_range_sum += b.max().unwrap_or(0.0) - b.min().unwrap_or(0.0);
+        }
+    }
+    let mean_block_range = block_range_sum / stats.len() as f32;
+    let range_reduction = if mean_block_range > 0.0 {
+        mean_row_range / mean_block_range
+    } else {
+        f32::INFINITY
+    };
+    Ok(GroupingComparison {
+        mean_row_range,
+        mean_block_range,
+        range_reduction,
+    })
+}
+
+/// Classifies the dominant aggregation pattern of an attention map: scores
+/// every candidate [`PatternKind`] by the fraction of attention mass that
+/// falls within its groups, and returns the candidates sorted best-first
+/// with their in-group mass.
+///
+/// A diagnostic for real maps (which kind of head is this?) and the
+/// inverse check on the synthetic generator: a planted pattern must
+/// classify as itself.
+///
+/// # Errors
+///
+/// Returns a shape error if `map` is not `[n, n]` for the grid's `n`.
+pub fn classify_pattern(
+    map: &Tensor,
+    grid: &paro_model::TokenGrid,
+) -> Result<Vec<(PatternKind, f32)>, CoreError> {
+    let n = grid.len();
+    if map.rank() != 2 || map.shape() != [n, n] {
+        return Err(CoreError::GridMismatch {
+            tokens: map.shape().first().copied().unwrap_or(0),
+            grid_len: n,
+        });
+    }
+    let candidates = [
+        PatternKind::Temporal,
+        PatternKind::SpatialRow,
+        PatternKind::SpatialCol,
+        PatternKind::default_window(grid),
+        PatternKind::Diffuse,
+    ];
+    let a = map.as_slice();
+    let total: f32 = a.iter().sum();
+    let mut scored: Vec<(PatternKind, f32)> = candidates
+        .iter()
+        .map(|kind| {
+            // Normalize by the group size share so big groups (Diffuse:
+            // everything) don't win trivially: score = in-group mass minus
+            // the mass a uniform map would have in-group.
+            let groups: Vec<usize> = (0..n).map(|t| kind.group_of(grid, t)).collect();
+            let mut in_group = 0.0f32;
+            let mut in_group_pairs = 0usize;
+            for r in 0..n {
+                for c in 0..n {
+                    if groups[r] == groups[c] {
+                        in_group += a[r * n + c];
+                        in_group_pairs += 1;
+                    }
+                }
+            }
+            let mass = if total > 0.0 { in_group / total } else { 0.0 };
+            let uniform = in_group_pairs as f32 / (n * n) as f32;
+            (*kind, mass - uniform)
+        })
+        .collect();
+    scored.sort_by(|x, y| y.1.total_cmp(&x.1));
+    Ok(scored)
+}
+
+/// Renormalizes each row of a quantized attention map to sum to 1.
+///
+/// Zeroing 0-bit blocks removes their mass from each row; this restores
+/// the softmax invariant. Whether it *helps* is an empirical question the
+/// paper leaves implicit: the removed mass belonged to genuinely small
+/// entries, so rescaling slightly inflates every surviving entry. The
+/// `renormalization_tradeoff` test quantifies it on patterned heads.
+///
+/// Rows that quantized to all-zero are left at zero.
+///
+/// # Errors
+///
+/// Returns a rank error for non-rank-2 input.
+pub fn renormalize_rows(map: &Tensor) -> Result<Tensor, CoreError> {
+    if map.rank() != 2 {
+        return Err(CoreError::Tensor(paro_tensor::TensorError::RankMismatch {
+            expected: 2,
+            actual: map.rank(),
+        }));
+    }
+    let (m, n) = (map.shape()[0], map.shape()[1]);
+    let a = map.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        let row = &a[r * n..(r + 1) * n];
+        let sum: f32 = row.iter().sum();
+        let orow = &mut out[r * n..(r + 1) * n];
+        if sum > 0.0 {
+            for (o, &v) in orow.iter_mut().zip(row) {
+                *o = v / sum;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(&[m, n], out)?)
+}
+
+/// Fraction of a map's diagonal-band mass: share of total mass within
+/// `band` of the main diagonal. High values after reorder confirm the
+/// block-diagonal unification (Fig. 8).
+///
+/// # Errors
+///
+/// Returns a rank error for non-square or non-rank-2 input.
+pub fn diagonal_band_mass(map: &Tensor, band: usize) -> Result<f32, CoreError> {
+    if map.rank() != 2 || map.shape()[0] != map.shape()[1] {
+        return Err(CoreError::Tensor(paro_tensor::TensorError::RankMismatch {
+            expected: 2,
+            actual: map.rank(),
+        }));
+    }
+    let n = map.shape()[0];
+    let a = map.as_slice();
+    let mut in_band = 0.0f32;
+    let mut total = 0.0f32;
+    for r in 0..n {
+        for c in 0..n {
+            let v = a[r * n + c];
+            total += v;
+            if r.abs_diff(c) <= band {
+                in_band += v;
+            }
+        }
+    }
+    Ok(if total > 0.0 { in_band / total } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paro_model::patterns::{synthesize_head, PatternKind, PatternSpec};
+    use paro_model::{AxisOrder, TokenGrid};
+    use paro_tensor::Tensor;
+
+    fn patterned_map(kind: PatternKind, grid: &TokenGrid, seed: u64) -> Tensor {
+        let head = synthesize_head(grid, 32, &PatternSpec::new(kind), seed);
+        crate::pipeline::attention_map(&head.q, &head.k).unwrap()
+    }
+
+    #[test]
+    fn patterned_rows_have_outliers() {
+        let grid = TokenGrid::new(4, 4, 4);
+        let map = patterned_map(PatternKind::Temporal, &grid, 3);
+        let stats = row_outlier_stats(&map).unwrap();
+        // Each row's peak concentrates on the 4-member group: peak/mean
+        // must far exceed 1 (uniform rows would be exactly 1).
+        assert!(
+            stats.mean_peak_to_mean > 5.0,
+            "peak/mean {}",
+            stats.mean_peak_to_mean
+        );
+        assert!(stats.max_peak_to_mean >= stats.mean_peak_to_mean);
+        assert!(stats.top1pct_mass > 0.1);
+    }
+
+    #[test]
+    fn uniform_map_has_no_outliers() {
+        let map = Tensor::full(&[16, 16], 1.0 / 16.0);
+        let stats = row_outlier_stats(&map).unwrap();
+        assert!((stats.mean_peak_to_mean - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reorder_shrinks_block_ranges() {
+        let grid = TokenGrid::new(4, 4, 4);
+        let map = patterned_map(PatternKind::Temporal, &grid, 5);
+        let block = BlockGrid::square(4).unwrap();
+        let identity = ReorderPlan::identity(&grid);
+        let good = ReorderPlan::new(&grid, AxisOrder::Hwf);
+        let before = compare_groupings(&map, &identity, block).unwrap();
+        let after = compare_groupings(&map, &good, block).unwrap();
+        // Row ranges are permutation-invariant...
+        assert!((before.mean_row_range - after.mean_row_range).abs() < 1e-4);
+        // ...but block ranges shrink once the pattern is block-diagonal.
+        assert!(
+            after.mean_block_range < before.mean_block_range,
+            "after {} vs before {}",
+            after.mean_block_range,
+            before.mean_block_range
+        );
+        assert!(after.range_reduction > before.range_reduction);
+    }
+
+    #[test]
+    fn reorder_concentrates_diagonal_mass() {
+        let grid = TokenGrid::new(4, 4, 4);
+        let map = patterned_map(PatternKind::Temporal, &grid, 6);
+        let plan = ReorderPlan::new(&grid, AxisOrder::Hwf);
+        let reordered = reorder_map(&map, &plan).unwrap();
+        let before = diagonal_band_mass(&map, 4).unwrap();
+        let after = diagonal_band_mass(&reordered, 4).unwrap();
+        assert!(
+            after > before + 0.2,
+            "diagonal mass before {before} after {after}"
+        );
+    }
+
+    #[test]
+    fn renormalize_restores_row_sums() {
+        let map = Tensor::from_fn(&[3, 4], |i| if i[1] == 0 { 0.0 } else { (i[0] + 1) as f32 });
+        let r = renormalize_rows(&map).unwrap();
+        for row in 0..3 {
+            let s: f32 = (0..4).map(|c| r.at(&[row, c])).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // All-zero rows stay zero.
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(renormalize_rows(&z).unwrap(), z);
+        assert!(renormalize_rows(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn renormalization_tradeoff() {
+        // Quantify whether restoring the softmax row-sum invariant after
+        // mixed-precision zeroing improves the attention *output*. With
+        // modest 0-bit shares the effect is small either way — the removed
+        // mass is genuinely small — which is why the paper can skip blocks
+        // without a correction term.
+        use crate::allocate::allocate_greedy;
+        use crate::sensitivity::SensitivityTable;
+        use paro_quant::fake_quant_blocks;
+        let grid = TokenGrid::new(4, 4, 4);
+        let head = synthesize_head(&grid, 32, &PatternSpec::new(PatternKind::Temporal), 44);
+        let map = crate::pipeline::attention_map(&head.q, &head.k).unwrap();
+        let block = BlockGrid::square(4).unwrap();
+        let table = SensitivityTable::compute(&map, block, 0.5).unwrap();
+        let alloc = allocate_greedy(&table, 4.0).unwrap();
+        let (map_q, _) = fake_quant_blocks(&map, block, &alloc.bits).unwrap();
+        let reference = map.matmul(&head.v).unwrap();
+        let plain = map_q.matmul(&head.v).unwrap();
+        let renorm = renormalize_rows(&map_q)
+            .unwrap()
+            .matmul(&head.v)
+            .unwrap();
+        let e_plain = paro_tensor::metrics::relative_l2(&reference, &plain).unwrap();
+        let e_renorm = paro_tensor::metrics::relative_l2(&reference, &renorm).unwrap();
+        // Both must be usable, and within 2x of each other: the correction
+        // is not load-bearing.
+        assert!(e_plain < 0.2 && e_renorm < 0.2, "{e_plain} vs {e_renorm}");
+        assert!(
+            e_renorm < e_plain * 2.0 + 1e-3 && e_plain < e_renorm * 2.0 + 1e-3,
+            "renormalization should be a small effect: {e_plain} vs {e_renorm}"
+        );
+    }
+
+    #[test]
+    fn planted_patterns_classify_as_themselves() {
+        let grid = TokenGrid::new(4, 4, 4);
+        for kind in [
+            PatternKind::Temporal,
+            PatternKind::SpatialRow,
+            PatternKind::SpatialCol,
+        ] {
+            let map = patterned_map(kind, &grid, 71);
+            let ranking = classify_pattern(&map, &grid).unwrap();
+            assert_eq!(
+                ranking[0].0.name(),
+                kind.name(),
+                "planted {kind} classified as {} ({ranking:?})",
+                ranking[0].0
+            );
+            assert!(ranking[0].1 > 0.3, "weak classification: {ranking:?}");
+        }
+    }
+
+    #[test]
+    fn diffuse_map_classifies_weakly_everywhere() {
+        let grid = TokenGrid::new(4, 4, 4);
+        let map = patterned_map(PatternKind::Diffuse, &grid, 72);
+        let ranking = classify_pattern(&map, &grid).unwrap();
+        // No structured candidate should claim strong excess mass.
+        for (kind, score) in &ranking {
+            assert!(
+                *score < 0.2,
+                "diffuse map scored {score} for {kind}: {ranking:?}"
+            );
+        }
+        // Shape errors.
+        let bad = Tensor::zeros(&[5, 5]);
+        assert!(classify_pattern(&bad, &grid).is_err());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let v = Tensor::zeros(&[4]);
+        assert!(row_outlier_stats(&v).is_err());
+        assert!(diagonal_band_mass(&v, 1).is_err());
+        let rect = Tensor::zeros(&[4, 6]);
+        assert!(diagonal_band_mass(&rect, 1).is_err());
+    }
+}

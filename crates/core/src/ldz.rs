@@ -1,0 +1,187 @@
+//! Functional model of the leading-zero (LDZ) unit.
+//!
+//! Paper Sec. IV-B: to make `QKᵀ` output-bitwidth aware, each PE row has an
+//! LDZ unit that reduces an 8-bit `K` operand to the bitwidth of the
+//! corresponding output attention-map block. The unit finds the **most
+//! significant valid bit** (MSVB) — the first 1 for positive values, the
+//! first 0 for negative values — keeps it and the following `k − 1` bits,
+//! and records the MSVB position so the product can be restored by a left
+//! shift. The paper's example: with a 2-bit configuration, `8'b00011010`
+//! (26) compresses to `2'b11`, i.e. the value is approximated as
+//! `0b11 << 3 = 24`.
+//!
+//! This module is the bit-exact software model of that datapath; both the
+//! accuracy pipeline (to measure the "no perceptible difference" claim) and
+//! the cycle simulator (for PE-mode selection) use it.
+
+/// Position (0-based from the LSB) of the most significant valid bit of an
+/// 8-bit two's-complement value.
+///
+/// For positive values this is the highest set bit; for negative values the
+/// highest zero bit below the sign (the first bit that carries magnitude
+/// information). Returns `None` for 0 and −1, which have no valid bit and
+/// are exactly representable at any width.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(paro_core::ldz::msvb(0b0001_1010), Some(4));
+/// assert_eq!(paro_core::ldz::msvb(1), Some(0));
+/// assert_eq!(paro_core::ldz::msvb(0), None);
+/// assert_eq!(paro_core::ldz::msvb(-1), None);
+/// assert_eq!(paro_core::ldz::msvb(-2), Some(0)); // 0b1111_1110
+/// ```
+pub fn msvb(x: i8) -> Option<u32> {
+    if x == 0 || x == -1 {
+        return None;
+    }
+    let bits = x as u8;
+    let probe = if x > 0 { bits } else { !bits };
+    Some(7 - probe.leading_zeros())
+}
+
+/// Truncates an 8-bit value to `keep_bits` effective bits at its MSVB,
+/// returning the restored (left-shifted) approximation.
+///
+/// `keep_bits = 8` (or any width reaching the LSB) returns `x` unchanged;
+/// `keep_bits = 0` returns 0 (the block is skipped). Low-order bits below
+/// the kept window are zeroed, which for negative two's-complement values
+/// rounds toward −∞ — matching a hardware truncate.
+///
+/// # Example
+///
+/// ```
+/// // The paper's example: 26 at 2 effective bits ≈ 24.
+/// assert_eq!(paro_core::ldz::truncate(26, 2), 24);
+/// assert_eq!(paro_core::ldz::truncate(26, 8), 26);
+/// assert_eq!(paro_core::ldz::truncate(26, 0), 0);
+/// ```
+pub fn truncate(x: i8, keep_bits: u32) -> i8 {
+    if keep_bits == 0 {
+        return 0;
+    }
+    let Some(m) = msvb(x) else {
+        return x; // 0 and -1 are exact at any width
+    };
+    if m < keep_bits {
+        return x; // all magnitude bits fit
+    }
+    let drop = m + 1 - keep_bits;
+    let mask = !((1i16 << drop) - 1);
+    ((x as i16) & mask) as i8
+}
+
+/// Truncates every element of a slice (one `K` column tile under one output
+/// block's bitwidth).
+pub fn truncate_slice(values: &[i8], keep_bits: u32) -> Vec<i8> {
+    values.iter().map(|&v| truncate(v, keep_bits)).collect()
+}
+
+/// Worst-case absolute truncation error for a value with the given MSVB
+/// position at `keep_bits` effective bits: `2^(msvb + 1 − keep_bits) − 1`.
+pub fn max_error(msvb_pos: u32, keep_bits: u32) -> u32 {
+    if keep_bits == 0 || msvb_pos < keep_bits {
+        return if keep_bits == 0 { i8::MAX as u32 } else { 0 };
+    }
+    (1u32 << (msvb_pos + 1 - keep_bits)) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // 8'b00011010 = 26, 2-bit LDZ keeps bits 4..=3 ("2'b11"), restored
+        // by left shift to 24.
+        assert_eq!(msvb(26), Some(4));
+        assert_eq!(truncate(26, 2), 24);
+    }
+
+    #[test]
+    fn msvb_of_every_positive_power_of_two() {
+        for p in 0..7 {
+            assert_eq!(msvb(1i8 << p), Some(p as u32));
+        }
+    }
+
+    #[test]
+    fn msvb_negative_values() {
+        // -2 = 0b1111_1110: first 0 from the top is bit 0.
+        assert_eq!(msvb(-2), Some(0));
+        // -128 = 0b1000_0000: bits 6..0 are zero, MSVB at 6.
+        assert_eq!(msvb(-128), Some(6));
+        // -27 = 0b1110_0101: first 0 at bit 4.
+        assert_eq!(msvb(-27), Some(4));
+    }
+
+    #[test]
+    fn truncate_full_width_is_identity() {
+        for x in i8::MIN..=i8::MAX {
+            assert_eq!(truncate(x, 8), x, "x={x}");
+        }
+    }
+
+    #[test]
+    fn truncate_zero_bits_is_zero() {
+        for x in [-128i8, -27, -1, 0, 1, 26, 127] {
+            assert_eq!(truncate(x, 0), 0);
+        }
+    }
+
+    #[test]
+    fn truncation_error_within_bound_exhaustive() {
+        for x in i8::MIN..=i8::MAX {
+            for keep in 1..=8u32 {
+                let t = truncate(x, keep);
+                let err = (x as i32 - t as i32).unsigned_abs();
+                let bound = match msvb(x) {
+                    None => 0,
+                    Some(m) => max_error(m, keep),
+                };
+                assert!(
+                    err <= bound,
+                    "x={x} keep={keep} trunc={t} err={err} bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_sign_and_monotone_magnitude() {
+        for x in i8::MIN..=i8::MAX {
+            for keep in 1..=8u32 {
+                let t = truncate(x, keep);
+                if x > 0 {
+                    assert!(t >= 0 && t <= x, "x={x} keep={keep} t={t}");
+                }
+                if x < 0 {
+                    assert!(t < 0 && t <= x.max(t), "x={x} keep={keep} t={t}");
+                    // Truncation toward -inf: t <= x.
+                    assert!(t <= x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_kept_bits_never_increase_error() {
+        for x in i8::MIN..=i8::MAX {
+            let mut prev = u32::MAX;
+            for keep in 1..=8u32 {
+                let err = (x as i32 - truncate(x, keep) as i32).unsigned_abs();
+                assert!(err <= prev, "x={x} keep={keep}");
+                prev = err;
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_slice_matches_scalar() {
+        let values = [-100i8, -27, -1, 0, 1, 26, 100];
+        let out = truncate_slice(&values, 3);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(out[i], truncate(v, 3));
+        }
+    }
+}

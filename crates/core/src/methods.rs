@@ -1,0 +1,241 @@
+//! The quantization-method zoo compared in the paper's Table I.
+//!
+//! Each variant of [`AttentionMethod`] is one row of Table I: the FP16
+//! reference, SageAttention (8-bit `QK` only), a Sanger-style sparse
+//! baseline, naive row-wise INT8/INT4, block-wise INT8/INT4 without
+//! reorder, PARO INT8/INT4 (reorder + block-wise), and PARO-MP (reorder +
+//! block-wise + importance-guided mixed precision).
+
+use paro_quant::Bitwidth;
+use serde::{Deserialize, Serialize};
+
+/// Default quantization block edge for block-wise methods.
+///
+/// The paper does not publish its exact block size; 16 balances pattern
+/// isolation against parameter overhead at the reduced experiment scale
+/// (the `block_size` bench sweeps this choice).
+pub const DEFAULT_BLOCK_EDGE: usize = 16;
+
+/// Default sensitivity balance `α` between block importance and
+/// quantization difficulty.
+pub const DEFAULT_ALPHA: f32 = 0.5;
+
+/// An attention quantization method (one Table I row).
+///
+/// # Example
+///
+/// ```
+/// use paro_core::methods::AttentionMethod;
+/// let m = AttentionMethod::paro_mixed(4.8);
+/// assert_eq!(m.name(), "PARO MP");
+/// assert_eq!(m.bitwidth_label(), "4.80");
+/// assert!(m.uses_reorder() && m.uses_blocks());
+/// // The full Table I roster, in row order:
+/// assert_eq!(AttentionMethod::table1_roster().len(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttentionMethod {
+    /// Full-precision reference (the paper's FP16 baseline; this
+    /// reproduction computes it in f32).
+    Fp16,
+    /// SageAttention: `Q`/`K` quantized to INT8 per token; the attention
+    /// map and `V` stay full precision.
+    SageAttention,
+    /// SageAttention2-style: `K` is mean-centered per channel ("outlier
+    /// smoothing" — exactly softmax-invariant) and `Q`/`K` quantize to
+    /// INT4 per token; the map and `V` stay full precision.
+    SageAttentionV2,
+    /// Sanger-style sparse attention: a low-bit (INT4) `QKᵀ` prediction
+    /// pass prunes map entries below `threshold`; surviving entries are
+    /// computed at full precision.
+    SangerSparse {
+        /// Post-softmax prediction threshold below which entries are pruned.
+        threshold: f32,
+    },
+    /// Naive round-to-nearest quantization: `QKV` INT8, attention map
+    /// quantized **row-wise** at `bits`.
+    NaiveInt {
+        /// Attention-map bitwidth.
+        bits: Bitwidth,
+    },
+    /// Block-wise quantization without reorder: `QKV` INT8, attention map
+    /// quantized per `block_edge x block_edge` block at `bits`.
+    BlockwiseInt {
+        /// Attention-map bitwidth.
+        bits: Bitwidth,
+        /// Quantization block edge.
+        block_edge: usize,
+    },
+    /// PARO fixed-precision: offline-selected token reorder, then
+    /// block-wise quantization at `bits`.
+    ParoInt {
+        /// Attention-map bitwidth.
+        bits: Bitwidth,
+        /// Quantization block edge.
+        block_edge: usize,
+    },
+    /// PARO mixed-precision ("PARO MP"): reorder + block-wise quantization
+    /// with sensitivity-guided bit allocation under an average-bitwidth
+    /// budget, optionally with output-bitwidth-aware `QKᵀ` (LDZ
+    /// truncation of `K`).
+    ParoMixed {
+        /// Average-bitwidth budget over blocks (the paper uses 4.80).
+        budget: f32,
+        /// Quantization block edge.
+        block_edge: usize,
+        /// Sensitivity balance between importance and difficulty.
+        alpha: f32,
+        /// Whether `QKᵀ` uses LDZ-truncated `K` operands matched to each
+        /// output block's bitwidth (the hardware-accurate mode).
+        output_aware: bool,
+    },
+}
+
+impl AttentionMethod {
+    /// PARO-MP with default block edge, `α`, and output-aware `QKᵀ` on.
+    pub fn paro_mixed(budget: f32) -> Self {
+        AttentionMethod::ParoMixed {
+            budget,
+            block_edge: DEFAULT_BLOCK_EDGE,
+            alpha: DEFAULT_ALPHA,
+            output_aware: true,
+        }
+    }
+
+    /// PARO fixed-precision with the default block edge.
+    pub fn paro_int(bits: Bitwidth) -> Self {
+        AttentionMethod::ParoInt {
+            bits,
+            block_edge: DEFAULT_BLOCK_EDGE,
+        }
+    }
+
+    /// Block-wise (no reorder) with the default block edge.
+    pub fn blockwise_int(bits: Bitwidth) -> Self {
+        AttentionMethod::BlockwiseInt {
+            bits,
+            block_edge: DEFAULT_BLOCK_EDGE,
+        }
+    }
+
+    /// The method's display name as it appears in Table I.
+    pub fn name(&self) -> String {
+        match self {
+            AttentionMethod::Fp16 => "FP16".to_string(),
+            AttentionMethod::SageAttention => "SageAttention".to_string(),
+            AttentionMethod::SageAttentionV2 => "SageAttention2".to_string(),
+            AttentionMethod::SangerSparse { .. } => "Sanger".to_string(),
+            AttentionMethod::NaiveInt { bits } => format!("Naive INT{}", bits.bits()),
+            AttentionMethod::BlockwiseInt { bits, .. } => {
+                format!("Block-wise INT{}", bits.bits())
+            }
+            AttentionMethod::ParoInt { bits, .. } => format!("PARO INT{}", bits.bits()),
+            AttentionMethod::ParoMixed { .. } => "PARO MP".to_string(),
+        }
+    }
+
+    /// The "Bitwidth" column of Table I.
+    pub fn bitwidth_label(&self) -> String {
+        match self {
+            AttentionMethod::Fp16 => "16".to_string(),
+            AttentionMethod::SageAttention => "8 (QK-only)".to_string(),
+            AttentionMethod::SageAttentionV2 => "4 (QK-only)".to_string(),
+            AttentionMethod::SangerSparse { .. } => "-".to_string(),
+            AttentionMethod::NaiveInt { bits }
+            | AttentionMethod::BlockwiseInt { bits, .. }
+            | AttentionMethod::ParoInt { bits, .. } => bits.bits().to_string(),
+            AttentionMethod::ParoMixed { budget, .. } => format!("{budget:.2}"),
+        }
+    }
+
+    /// Whether the method applies PARO's token reorder.
+    pub fn uses_reorder(&self) -> bool {
+        matches!(
+            self,
+            AttentionMethod::ParoInt { .. } | AttentionMethod::ParoMixed { .. }
+        )
+    }
+
+    /// Whether the method quantizes the attention map block-wise.
+    pub fn uses_blocks(&self) -> bool {
+        matches!(
+            self,
+            AttentionMethod::BlockwiseInt { .. }
+                | AttentionMethod::ParoInt { .. }
+                | AttentionMethod::ParoMixed { .. }
+        )
+    }
+
+    /// The full Table I roster, in the paper's row order.
+    pub fn table1_roster() -> Vec<AttentionMethod> {
+        vec![
+            AttentionMethod::Fp16,
+            AttentionMethod::SageAttention,
+            AttentionMethod::SangerSparse { threshold: 1e-3 },
+            AttentionMethod::NaiveInt {
+                bits: Bitwidth::B8,
+            },
+            AttentionMethod::blockwise_int(Bitwidth::B8),
+            AttentionMethod::paro_int(Bitwidth::B8),
+            AttentionMethod::NaiveInt {
+                bits: Bitwidth::B4,
+            },
+            AttentionMethod::blockwise_int(Bitwidth::B4),
+            AttentionMethod::paro_int(Bitwidth::B4),
+            AttentionMethod::paro_mixed(4.8),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_table1() {
+        let roster = AttentionMethod::table1_roster();
+        assert_eq!(roster.len(), 10);
+        let names: Vec<String> = roster.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "FP16",
+                "SageAttention",
+                "Sanger",
+                "Naive INT8",
+                "Block-wise INT8",
+                "PARO INT8",
+                "Naive INT4",
+                "Block-wise INT4",
+                "PARO INT4",
+                "PARO MP",
+            ]
+        );
+    }
+
+    #[test]
+    fn bitwidth_labels() {
+        assert_eq!(AttentionMethod::Fp16.bitwidth_label(), "16");
+        assert_eq!(
+            AttentionMethod::SageAttention.bitwidth_label(),
+            "8 (QK-only)"
+        );
+        assert_eq!(AttentionMethod::paro_mixed(4.8).bitwidth_label(), "4.80");
+        assert_eq!(
+            AttentionMethod::NaiveInt {
+                bits: Bitwidth::B4
+            }
+            .bitwidth_label(),
+            "4"
+        );
+    }
+
+    #[test]
+    fn feature_flags() {
+        assert!(!AttentionMethod::Fp16.uses_reorder());
+        assert!(!AttentionMethod::blockwise_int(Bitwidth::B4).uses_reorder());
+        assert!(AttentionMethod::blockwise_int(Bitwidth::B4).uses_blocks());
+        assert!(AttentionMethod::paro_int(Bitwidth::B4).uses_reorder());
+        assert!(AttentionMethod::paro_mixed(4.8).uses_blocks());
+    }
+}

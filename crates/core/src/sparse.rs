@@ -1,0 +1,220 @@
+//! Block-sparse attention execution: the algorithmic counterpart of the
+//! dispatcher's 0-bit bypass.
+//!
+//! When the allocator assigns 0 bits to a block, the accelerator skips its
+//! `AttnV` (and output-aware `QKᵀ`) work entirely. This module performs
+//! the same skip in software — a block-sparse `map x V` that never touches
+//! skipped blocks — and accounts the saved MACs, so the algorithm side and
+//! the performance model agree on exactly how much work the 0-bit share
+//! eliminates.
+
+use crate::allocate::BitAllocation;
+use crate::CoreError;
+use paro_quant::{Bitwidth, BlockGrid};
+use paro_tensor::{Tensor, TensorError};
+
+/// Result of a block-sparse `map x V`.
+///
+/// # Example
+///
+/// ```
+/// use paro_core::sparse::sparse_attn_v;
+/// use paro_quant::{Bitwidth, BlockGrid};
+/// use paro_tensor::Tensor;
+/// # fn main() -> Result<(), paro_core::CoreError> {
+/// let map = Tensor::zeros(&[4, 4]); // a fully-zeroed (skipped) map
+/// let v = Tensor::full(&[4, 2], 1.0);
+/// let grid = BlockGrid::square(2)?;
+/// let bits = vec![Bitwidth::B0; 4];
+/// let out = sparse_attn_v(&map, grid, &bits, &v)?;
+/// assert_eq!(out.skipped_fraction(), 1.0);
+/// assert_eq!(out.executed_macs, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseAttnV {
+    /// The attention output `[n, d]`.
+    pub output: Tensor,
+    /// MACs actually executed.
+    pub executed_macs: u64,
+    /// MACs a dense computation would have executed.
+    pub dense_macs: u64,
+}
+
+impl SparseAttnV {
+    /// Fraction of dense MACs skipped.
+    pub fn skipped_fraction(&self) -> f64 {
+        if self.dense_macs == 0 {
+            return 0.0;
+        }
+        1.0 - self.executed_macs as f64 / self.dense_macs as f64
+    }
+}
+
+/// Computes `map x V` skipping every 0-bit block of the map.
+///
+/// `map` is the (already block-quantized) attention map `[n, n]`, `grid`
+/// its quantization block grid, `bits` the per-block bitwidths (row-major)
+/// and `v` the value matrix `[n, d]`. The output is bit-identical to
+/// `map.matmul(v)` when the 0-bit blocks of `map` hold zeros (which the
+/// quantizer guarantees).
+///
+/// # Errors
+///
+/// Returns shape errors for non-rank-2 inputs, mismatched inner
+/// dimensions, or a bitwidth list inconsistent with the grid.
+pub fn sparse_attn_v(
+    map: &Tensor,
+    grid: BlockGrid,
+    bits: &[Bitwidth],
+    v: &Tensor,
+) -> Result<SparseAttnV, CoreError> {
+    if map.rank() != 2 || v.rank() != 2 {
+        return Err(CoreError::Tensor(TensorError::RankMismatch {
+            expected: 2,
+            actual: if map.rank() != 2 { map.rank() } else { v.rank() },
+        }));
+    }
+    let (m, n) = (map.shape()[0], map.shape()[1]);
+    if v.shape()[0] != n {
+        return Err(CoreError::Tensor(TensorError::MatmulDimMismatch {
+            left: map.shape().to_vec(),
+            right: v.shape().to_vec(),
+        }));
+    }
+    let d = v.shape()[1];
+    let (gr, gc) = grid.grid_dims(m, n);
+    if bits.len() != gr * gc {
+        return Err(CoreError::Quant(paro_quant::QuantError::BitwidthCountMismatch {
+            supplied: bits.len(),
+            blocks: gr * gc,
+        }));
+    }
+    let a = map.as_slice();
+    let b = v.as_slice();
+    let mut out = vec![0.0f32; m * d];
+    let mut executed: u64 = 0;
+    for bi in 0..gr {
+        for bj in 0..gc {
+            if bits[bi * gc + bj] == Bitwidth::B0 {
+                continue; // dispatcher bypass
+            }
+            let (r0, c0, h, w) = grid.block_bounds(bi, bj, m, n);
+            executed += (h * w * d) as u64;
+            for r in r0..r0 + h {
+                let orow = &mut out[r * d..(r + 1) * d];
+                for c in c0..c0 + w {
+                    let av = a[r * n + c];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[c * d..(c + 1) * d];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+    Ok(SparseAttnV {
+        output: Tensor::from_vec(&[m, d], out)?,
+        executed_macs: executed,
+        dense_macs: (m * n * d) as u64,
+    })
+}
+
+/// Convenience wrapper taking a [`BitAllocation`] directly.
+///
+/// # Errors
+///
+/// Same conditions as [`sparse_attn_v`].
+pub fn sparse_attn_v_with_allocation(
+    map: &Tensor,
+    grid: BlockGrid,
+    allocation: &BitAllocation,
+    v: &Tensor,
+) -> Result<SparseAttnV, CoreError> {
+    sparse_attn_v(map, grid, &allocation.bits, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paro_quant::fake_quant_blocks;
+    use paro_tensor::metrics;
+    use paro_tensor::rng::seeded;
+    use rand::distributions::Uniform;
+
+    fn setup(n: usize, d: usize, edge: usize) -> (Tensor, BlockGrid, Vec<Bitwidth>, Tensor) {
+        let raw = Tensor::random(&[n, n], &Uniform::new(0.0f32, 1.0), &mut seeded(3));
+        let grid = BlockGrid::square(edge).unwrap();
+        let count = grid.block_count(n, n);
+        let bits: Vec<Bitwidth> = (0..count)
+            .map(|i| match i % 4 {
+                0 => Bitwidth::B0,
+                1 => Bitwidth::B2,
+                2 => Bitwidth::B4,
+                _ => Bitwidth::B8,
+            })
+            .collect();
+        let (map, _) = fake_quant_blocks(&raw, grid, &bits).unwrap();
+        let v = Tensor::random(&[n, d], &Uniform::new(-1.0f32, 1.0), &mut seeded(4));
+        (map, grid, bits, v)
+    }
+
+    #[test]
+    fn matches_dense_matmul() {
+        let (map, grid, bits, v) = setup(16, 8, 4);
+        let sparse = sparse_attn_v(&map, grid, &bits, &v).unwrap();
+        let dense = map.matmul(&v).unwrap();
+        let err = metrics::relative_l2(&dense, &sparse.output).unwrap();
+        assert!(err < 1e-5, "sparse result must match dense: {err}");
+    }
+
+    #[test]
+    fn skipped_fraction_matches_allocation() {
+        let (map, grid, bits, v) = setup(16, 8, 4);
+        let sparse = sparse_attn_v(&map, grid, &bits, &v).unwrap();
+        // 1/4 of blocks are 0-bit (uniform block sizes here).
+        assert!((sparse.skipped_fraction() - 0.25).abs() < 1e-9);
+        assert_eq!(sparse.dense_macs, 16 * 16 * 8);
+    }
+
+    #[test]
+    fn all_skipped_is_zero_output() {
+        let n = 8;
+        let grid = BlockGrid::square(4).unwrap();
+        let bits = vec![Bitwidth::B0; grid.block_count(n, n)];
+        let map = Tensor::zeros(&[n, n]);
+        let v = Tensor::full(&[n, 4], 1.0);
+        let sparse = sparse_attn_v(&map, grid, &bits, &v).unwrap();
+        assert!(sparse.output.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(sparse.executed_macs, 0);
+        assert_eq!(sparse.skipped_fraction(), 1.0);
+    }
+
+    #[test]
+    fn non_divisible_edges_covered() {
+        let raw = Tensor::random(&[10, 10], &Uniform::new(0.0f32, 1.0), &mut seeded(9));
+        let grid = BlockGrid::square(4).unwrap();
+        let count = grid.block_count(10, 10);
+        let bits = vec![Bitwidth::B8; count];
+        let (map, _) = fake_quant_blocks(&raw, grid, &bits).unwrap();
+        let v = Tensor::random(&[10, 6], &Uniform::new(-1.0f32, 1.0), &mut seeded(10));
+        let sparse = sparse_attn_v(&map, grid, &bits, &v).unwrap();
+        let dense = map.matmul(&v).unwrap();
+        assert!(metrics::relative_l2(&dense, &sparse.output).unwrap() < 1e-5);
+        assert_eq!(sparse.executed_macs, sparse.dense_macs);
+    }
+
+    #[test]
+    fn validation() {
+        let (map, grid, bits, v) = setup(16, 8, 4);
+        assert!(sparse_attn_v(&map, grid, &bits[1..], &v).is_err());
+        let bad_v = Tensor::zeros(&[15, 8]);
+        assert!(sparse_attn_v(&map, grid, &bits, &bad_v).is_err());
+        let vec1 = Tensor::zeros(&[16]);
+        assert!(sparse_attn_v(&vec1, grid, &bits, &v).is_err());
+    }
+}

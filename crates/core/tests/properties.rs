@@ -1,0 +1,117 @@
+//! Property-based tests for the PARO core algorithm.
+
+use paro_core::allocate::{allocate_brute, allocate_dp, allocate_greedy};
+use paro_core::ldz;
+use paro_core::reorder::ReorderPlan;
+use paro_core::sensitivity::SensitivityTable;
+use paro_model::{AxisOrder, TokenGrid};
+use paro_quant::{Bitwidth, BlockGrid};
+use paro_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_grid() -> impl Strategy<Value = TokenGrid> {
+    (1usize..=4, 1usize..=4, 1usize..=4).prop_map(|(f, h, w)| TokenGrid::new(f, h, w))
+}
+
+fn axis_order() -> impl Strategy<Value = AxisOrder> {
+    prop::sample::select(AxisOrder::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn reorder_apply_invert_identity(grid in small_grid(), order in axis_order(), seed in 0u64..500) {
+        let plan = ReorderPlan::new(&grid, order);
+        let t = Tensor::random(
+            &[grid.len(), 6],
+            &rand::distributions::Uniform::new(-2.0f32, 2.0),
+            &mut paro_tensor::rng::seeded(seed),
+        );
+        prop_assert_eq!(plan.invert(&plan.apply(&t).unwrap()).unwrap(), t);
+    }
+
+    #[test]
+    fn reorder_forward_is_permutation(grid in small_grid(), order in axis_order()) {
+        let plan = ReorderPlan::new(&grid, order);
+        let mut idx = plan.forward_indices().to_vec();
+        idx.sort_unstable();
+        prop_assert_eq!(idx, (0..grid.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ldz_truncate_error_bounded(x in i8::MIN..=i8::MAX, keep in 1u32..=8) {
+        let t = ldz::truncate(x, keep);
+        let err = (x as i32 - t as i32).unsigned_abs();
+        match ldz::msvb(x) {
+            None => prop_assert_eq!(err, 0),
+            Some(m) => prop_assert!(err <= ldz::max_error(m, keep)),
+        }
+        // Relative error halves per extra kept bit: |err| < |x| / 2^(keep-1).
+        if x != 0 && x != -1 {
+            prop_assert!((err as f32) < (x as f32).abs() / (1u32 << (keep - 1)) as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn allocation_budget_and_feasibility(
+        n in 2usize..=10, budget in 0.0f32..=8.0, seed in 0u64..300
+    ) {
+        // Build a sensitivity table from a random positive map.
+        let edge = 2;
+        let side = n * edge;
+        let map = Tensor::random(
+            &[side, side],
+            &rand::distributions::Uniform::new(0.0f32, 1.0),
+            &mut paro_tensor::rng::seeded(seed),
+        );
+        let table = SensitivityTable::compute(&map, BlockGrid::square(edge).unwrap(), 0.5).unwrap();
+        for alloc in [
+            allocate_dp(&table, budget).unwrap(),
+            allocate_greedy(&table, budget).unwrap(),
+        ] {
+            prop_assert_eq!(alloc.bits.len(), table.len());
+            // Budget: sum of bits <= floor(budget * N).
+            let total: u64 = alloc.bits.iter().map(|b| b.bits() as u64).sum();
+            prop_assert!(total <= (budget * table.len() as f32).floor() as u64);
+            // Cost consistency.
+            prop_assert!((alloc.total_cost - table.total_cost(&alloc.bits)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dp_is_optimal_vs_brute(n_blocks in 1usize..=6, budget in 0.0f32..=8.0, seed in 0u64..200) {
+        let edge = 2;
+        // 1 x n_blocks grid of 2x2 blocks.
+        let map = Tensor::random(
+            &[edge, n_blocks * edge],
+            &rand::distributions::Uniform::new(0.0f32, 1.0),
+            &mut paro_tensor::rng::seeded(seed),
+        );
+        let table = SensitivityTable::compute(&map, BlockGrid::square(edge).unwrap(), 0.5).unwrap();
+        prop_assert_eq!(table.len(), n_blocks);
+        let dp = allocate_dp(&table, budget).unwrap();
+        let brute = allocate_brute(&table, budget).unwrap();
+        prop_assert!(
+            dp.total_cost <= brute.total_cost + 1e-5 * (1.0 + brute.total_cost),
+            "dp {} vs brute {}", dp.total_cost, brute.total_cost
+        );
+    }
+
+    #[test]
+    fn sensitivity_scores_nonnegative_and_monotone(seed in 0u64..300, alpha in 0.0f32..=1.0) {
+        let map = Tensor::random(
+            &[12, 12],
+            &rand::distributions::Uniform::new(0.0f32, 1.0),
+            &mut paro_tensor::rng::seeded(seed),
+        );
+        let table = SensitivityTable::compute(&map, BlockGrid::square(4).unwrap(), alpha).unwrap();
+        for blk in 0..table.len() {
+            let mut prev = f32::INFINITY;
+            for bits in Bitwidth::ALL {
+                let s = table.score(blk, bits);
+                prop_assert!(s >= 0.0 && s.is_finite());
+                prop_assert!(s <= prev);
+                prev = s;
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+use serde::{Deserialize, Serialize};
+
+/// The 3-D latent token grid of a video DiT: `frames x height x width`.
+///
+/// CogVideoX's "3D full attention" flattens this grid into one token
+/// sequence. The **canonical order** used throughout this reproduction is
+/// frame-major: token index `t = f·(H·W) + h·W + w`. PARO's reorder permutes
+/// this flattening order (see [`AxisOrder`]).
+///
+/// # Example
+///
+/// ```
+/// use paro_model::TokenGrid;
+///
+/// let grid = TokenGrid::new(13, 30, 45);
+/// assert_eq!(grid.len(), 17_550);
+/// let (f, h, w) = grid.coords(grid.index(3, 7, 11));
+/// assert_eq!((f, h, w), (3, 7, 11));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TokenGrid {
+    frames: usize,
+    height: usize,
+    width: usize,
+}
+
+impl TokenGrid {
+    /// Creates a grid. Zero-sized axes are allowed only for the degenerate
+    /// empty grid used in tests.
+    pub fn new(frames: usize, height: usize, width: usize) -> Self {
+        TokenGrid {
+            frames,
+            height,
+            width,
+        }
+    }
+
+    /// Derives the latent token grid from video parameters, the CogVideoX
+    /// way: the VAE compresses the spatial axes by `spatial_compression`
+    /// and packs frames in groups of `temporal_compression` (plus the
+    /// first frame standalone), then a `patch x patch` patchifier divides
+    /// the spatial latent.
+    ///
+    /// # Example
+    ///
+    /// CogVideoX's released 720x480, 49-frame setting with its 8x spatial /
+    /// 4x temporal VAE and 2x2 patching — this is the grid that makes the
+    /// paper's "17.8k tokens" arithmetic work out (the paper's text says
+    /// "640x480", but 640 gives only ~15.8k tokens with text; 720 gives
+    /// 17,550 + 226 = 17,776 ≈ 17.8k):
+    ///
+    /// ```
+    /// use paro_model::{ModelConfig, TokenGrid};
+    /// let grid = TokenGrid::from_video(720, 480, 49, 8, 4, 2);
+    /// assert_eq!(grid.frames(), 13);   // 1 + 48/4
+    /// assert_eq!(grid.height(), 30);   // 480 / 8 / 2
+    /// assert_eq!(grid.width(), 45);    // 720 / 8 / 2
+    /// assert_eq!(grid, ModelConfig::cogvideox_5b().grid);
+    /// assert_eq!(grid.len() + 226, 17_776); // the paper's 17.8k
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if any compression factor or the patch size is zero.
+    pub fn from_video(
+        width_px: usize,
+        height_px: usize,
+        frames: usize,
+        spatial_compression: usize,
+        temporal_compression: usize,
+        patch: usize,
+    ) -> Self {
+        assert!(spatial_compression > 0 && temporal_compression > 0 && patch > 0);
+        let latent_frames = if frames == 0 {
+            0
+        } else {
+            1 + (frames - 1) / temporal_compression
+        };
+        TokenGrid {
+            frames: latent_frames,
+            height: height_px / spatial_compression / patch,
+            width: width_px / spatial_compression / patch,
+        }
+    }
+
+    /// Number of frames (temporal extent).
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Latent height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Latent width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of visual tokens.
+    pub fn len(&self) -> usize {
+        self.frames * self.height * self.width
+    }
+
+    /// Whether the grid holds zero tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical (frame-major) token index of coordinate `(f, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn index(&self, f: usize, h: usize, w: usize) -> usize {
+        assert!(f < self.frames && h < self.height && w < self.width);
+        (f * self.height + h) * self.width + w
+    }
+
+    /// Coordinates `(f, h, w)` of a canonical token index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of range.
+    pub fn coords(&self, token: usize) -> (usize, usize, usize) {
+        assert!(token < self.len(), "token {token} out of range");
+        let w = token % self.width;
+        let rest = token / self.width;
+        let h = rest % self.height;
+        let f = rest / self.height;
+        (f, h, w)
+    }
+
+    /// The token permutation realizing an [`AxisOrder`]: element `i` of the
+    /// result is the canonical index of the token placed at position `i`
+    /// in the reordered sequence.
+    ///
+    /// The identity order [`AxisOrder::Fhw`] yields `0..len`.
+    pub fn reorder_indices(&self, order: AxisOrder) -> Vec<usize> {
+        let dims = order.extents(self);
+        let mut out = Vec::with_capacity(self.len());
+        for a in 0..dims[0] {
+            for b in 0..dims[1] {
+                for c in 0..dims[2] {
+                    let (f, h, w) = order.to_fhw([a, b, c]);
+                    out.push(self.index(f, h, w));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One of the six flattening orders of the `(frame, height, width)` axes.
+///
+/// The paper (Sec. III-A): "Given an input token of size
+/// `N_frame x N_width x N_height`, we achieve local block-wise patterns by
+/// permuting these dimensions for the QK embeddings through token-level
+/// reorder. There are a total of 6 possible reorder plans for each attention
+/// head." The variant name lists axes from outermost (slowest-varying) to
+/// innermost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AxisOrder {
+    /// frame, height, width — the canonical order (identity reorder).
+    Fhw,
+    /// frame, width, height.
+    Fwh,
+    /// height, frame, width.
+    Hfw,
+    /// height, width, frame — groups all frames of a `(h, w)` position.
+    Hwf,
+    /// width, frame, height.
+    Wfh,
+    /// width, height, frame — groups all frames of a `(w, h)` position.
+    Whf,
+}
+
+impl AxisOrder {
+    /// All six orders, the search space of the offline plan selection.
+    pub const ALL: [AxisOrder; 6] = [
+        AxisOrder::Fhw,
+        AxisOrder::Fwh,
+        AxisOrder::Hfw,
+        AxisOrder::Hwf,
+        AxisOrder::Wfh,
+        AxisOrder::Whf,
+    ];
+
+    /// Axis extents in this order's outer-to-inner sequence.
+    pub fn extents(&self, grid: &TokenGrid) -> [usize; 3] {
+        let (f, h, w) = (grid.frames(), grid.height(), grid.width());
+        match self {
+            AxisOrder::Fhw => [f, h, w],
+            AxisOrder::Fwh => [f, w, h],
+            AxisOrder::Hfw => [h, f, w],
+            AxisOrder::Hwf => [h, w, f],
+            AxisOrder::Wfh => [w, f, h],
+            AxisOrder::Whf => [w, h, f],
+        }
+    }
+
+    /// Maps an `(outer, middle, inner)` coordinate in this order back to
+    /// `(f, h, w)`.
+    pub fn to_fhw(&self, abc: [usize; 3]) -> (usize, usize, usize) {
+        let [a, b, c] = abc;
+        match self {
+            AxisOrder::Fhw => (a, b, c),
+            AxisOrder::Fwh => (a, c, b),
+            AxisOrder::Hfw => (b, a, c),
+            AxisOrder::Hwf => (c, a, b),
+            AxisOrder::Wfh => (b, c, a),
+            AxisOrder::Whf => (c, b, a),
+        }
+    }
+
+    /// The innermost (fastest-varying) axis: `'f'`, `'h'` or `'w'`.
+    ///
+    /// Two orders with the same innermost axis place the same sets of
+    /// tokens contiguously (they differ only in the ordering of the outer
+    /// blocks), so they are equivalent for block-diagonal pattern
+    /// unification.
+    pub fn innermost(&self) -> char {
+        self.name()
+            .chars()
+            .last()
+            .expect("names are three characters")
+    }
+
+    /// Short lowercase name, e.g. `"hwf"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AxisOrder::Fhw => "fhw",
+            AxisOrder::Fwh => "fwh",
+            AxisOrder::Hfw => "hfw",
+            AxisOrder::Hwf => "hwf",
+            AxisOrder::Wfh => "wfh",
+            AxisOrder::Whf => "whf",
+        }
+    }
+}
+
+impl std::fmt::Display for AxisOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let g = TokenGrid::new(3, 4, 5);
+        for t in 0..g.len() {
+            let (f, h, w) = g.coords(t);
+            assert_eq!(g.index(f, h, w), t);
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_frame_major() {
+        let g = TokenGrid::new(2, 2, 3);
+        assert_eq!(g.index(0, 0, 0), 0);
+        assert_eq!(g.index(0, 0, 2), 2);
+        assert_eq!(g.index(0, 1, 0), 3);
+        assert_eq!(g.index(1, 0, 0), 6);
+    }
+
+    #[test]
+    fn fhw_reorder_is_identity() {
+        let g = TokenGrid::new(2, 3, 4);
+        assert_eq!(
+            g.reorder_indices(AxisOrder::Fhw),
+            (0..g.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_orders_are_permutations() {
+        let g = TokenGrid::new(3, 4, 5);
+        for order in AxisOrder::ALL {
+            let mut idx = g.reorder_indices(order);
+            assert_eq!(idx.len(), g.len());
+            idx.sort_unstable();
+            idx.dedup();
+            assert_eq!(idx.len(), g.len(), "order {order} is not a permutation");
+        }
+    }
+
+    #[test]
+    fn hwf_groups_frames_contiguously() {
+        // Under hwf, the `frames` tokens sharing a spatial position must be
+        // adjacent — that is what turns a temporal-diagonal pattern into a
+        // block diagonal.
+        let g = TokenGrid::new(4, 2, 3);
+        let idx = g.reorder_indices(AxisOrder::Hwf);
+        for chunk in idx.chunks(g.frames()) {
+            let (_, h0, w0) = g.coords(chunk[0]);
+            for &t in chunk {
+                let (_, h, w) = g.coords(t);
+                assert_eq!((h, w), (h0, w0));
+            }
+            // All frames present exactly once.
+            let mut frames: Vec<usize> = chunk.iter().map(|&t| g.coords(t).0).collect();
+            frames.sort_unstable();
+            assert_eq!(frames, (0..g.frames()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn to_fhw_inverts_extents_indexing() {
+        let g = TokenGrid::new(3, 4, 5);
+        for order in AxisOrder::ALL {
+            let ext = order.extents(&g);
+            assert_eq!(ext.iter().product::<usize>(), g.len());
+            let (f, h, w) = order.to_fhw([ext[0] - 1, ext[1] - 1, ext[2] - 1]);
+            assert_eq!((f, h, w), (g.frames() - 1, g.height() - 1, g.width() - 1));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = AxisOrder::ALL.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn coords_out_of_range_panics() {
+        TokenGrid::new(1, 1, 1).coords(1);
+    }
+}

@@ -1,0 +1,39 @@
+//! CogVideoX-shaped workload models and the synthetic 3D-full-attention
+//! pattern generator.
+//!
+//! The PARO paper evaluates on CogVideoX-2B/5B, text-to-video diffusion
+//! transformers whose "3D full attention" flattens a
+//! `frames x height x width` token grid (~17.8k tokens) into one sequence.
+//! Real model weights cannot be run here, so this crate supplies the two
+//! things the reproduction actually needs from the model:
+//!
+//! 1. **Shape truth** ([`ModelConfig`], [`workload`]): layer counts, hidden
+//!    sizes, head counts and the exact GEMM/softmax/reorder op stream per
+//!    transformer block — which is all the performance experiments consume.
+//! 2. **Distribution truth** ([`patterns`]): synthetic `Q/K/V` embeddings
+//!    whose attention maps exhibit the paper's observed diagonal patterns
+//!    (local aggregation along frame / height / width, Fig. 1 and Fig. 8) —
+//!    which is all the quantization-accuracy experiments consume.
+//!
+//! # Example
+//!
+//! ```
+//! use paro_model::ModelConfig;
+//!
+//! let cfg = ModelConfig::cogvideox_5b();
+//! assert_eq!(cfg.blocks, 42);
+//! // ~17.8k tokens, as the paper reports.
+//! assert!(cfg.total_tokens() > 17_000 && cfg.total_tokens() < 18_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod dit;
+mod grid;
+pub mod patterns;
+pub mod workload;
+
+pub use config::ModelConfig;
+pub use grid::{AxisOrder, TokenGrid};

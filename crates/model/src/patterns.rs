@@ -1,0 +1,527 @@
+//! Synthetic 3D-full-attention pattern generator.
+//!
+//! The paper's Fig. 1/Fig. 8 observation is that CogVideoX attention heads
+//! perform *local aggregation along different dimensions*: some heads attend
+//! to the same spatial position across frames, some along image rows, some
+//! along columns, some within a local 3-D window — producing diverse
+//! "diagonal" patterns in the canonical token order. Those patterns, not the
+//! model weights, are what PARO's quantization story depends on, so this
+//! module synthesizes `Q/K/V` embeddings that plant a chosen pattern:
+//!
+//! Each token belongs to an *aggregation group* determined by the pattern
+//! kind (e.g. its `(h, w)` position for a temporal head). Tokens in the same
+//! group receive correlated `Q`/`K` code vectors, so `Q·Kᵀ` concentrates
+//! attention mass within groups — a strided diagonal in canonical order, a
+//! clean block diagonal once tokens are reordered group-contiguously.
+
+use crate::{AxisOrder, TokenGrid};
+use paro_tensor::rng::{derive_seed, seeded};
+use paro_tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The aggregation dimension of a synthetic attention head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Attends to the same `(h, w)` position across frames (the paper's
+    /// "frame" aggregation example in Fig. 8).
+    Temporal,
+    /// Attends along a row: same `(f, h)`, varying `w`.
+    SpatialRow,
+    /// Attends along a column: same `(f, w)`, varying `h` (the paper's
+    /// "height" aggregation example in Fig. 8).
+    SpatialCol,
+    /// Attends within a local 3-D window of the given bucket extents
+    /// (frames, height, width per bucket).
+    LocalWindow {
+        /// Frames per window bucket.
+        bucket_f: usize,
+        /// Height rows per window bucket.
+        bucket_h: usize,
+        /// Width columns per window bucket.
+        bucket_w: usize,
+    },
+    /// Near-uniform global attention (one group containing every token).
+    Diffuse,
+}
+
+impl PatternKind {
+    /// A default local window: half the frames, quarter of each spatial
+    /// axis per bucket (minimum 1).
+    pub fn default_window(grid: &TokenGrid) -> PatternKind {
+        PatternKind::LocalWindow {
+            bucket_f: (grid.frames() / 2).max(1),
+            bucket_h: (grid.height() / 4).max(1),
+            bucket_w: (grid.width() / 4).max(1),
+        }
+    }
+
+    /// The aggregation-group id of a canonical token index.
+    pub fn group_of(&self, grid: &TokenGrid, token: usize) -> usize {
+        let (f, h, w) = grid.coords(token);
+        match *self {
+            PatternKind::Temporal => h * grid.width() + w,
+            PatternKind::SpatialRow => f * grid.height() + h,
+            PatternKind::SpatialCol => f * grid.width() + w,
+            PatternKind::LocalWindow {
+                bucket_f,
+                bucket_h,
+                bucket_w,
+            } => {
+                let bf = f / bucket_f;
+                let bh = h / bucket_h;
+                let bw = w / bucket_w;
+                let nh = grid.height().div_ceil(bucket_h);
+                let nw = grid.width().div_ceil(bucket_w);
+                (bf * nh + bh) * nw + bw
+            }
+            PatternKind::Diffuse => 0,
+        }
+    }
+
+    /// Number of aggregation groups this pattern induces on a grid.
+    pub fn group_count(&self, grid: &TokenGrid) -> usize {
+        match *self {
+            PatternKind::Temporal => grid.height() * grid.width(),
+            PatternKind::SpatialRow => grid.frames() * grid.height(),
+            PatternKind::SpatialCol => grid.frames() * grid.width(),
+            PatternKind::LocalWindow {
+                bucket_f,
+                bucket_h,
+                bucket_w,
+            } => {
+                grid.frames().div_ceil(bucket_f)
+                    * grid.height().div_ceil(bucket_h)
+                    * grid.width().div_ceil(bucket_w)
+            }
+            PatternKind::Diffuse => 1,
+        }
+    }
+
+    /// The axis order under which this pattern's groups become contiguous —
+    /// the ground-truth answer the offline plan selection should discover.
+    ///
+    /// `LocalWindow` and `Diffuse` have no single perfect order; the
+    /// canonical order is returned for them.
+    pub fn preferred_order(&self) -> AxisOrder {
+        match self {
+            PatternKind::Temporal => AxisOrder::Hwf,
+            PatternKind::SpatialRow => AxisOrder::Fhw,
+            PatternKind::SpatialCol => AxisOrder::Fwh,
+            PatternKind::LocalWindow { .. } | PatternKind::Diffuse => AxisOrder::Fhw,
+        }
+    }
+
+    /// Short lowercase label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PatternKind::Temporal => "temporal",
+            PatternKind::SpatialRow => "spatial-row",
+            PatternKind::SpatialCol => "spatial-col",
+            PatternKind::LocalWindow { .. } => "local-window",
+            PatternKind::Diffuse => "diffuse",
+        }
+    }
+}
+
+impl std::fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full specification of one synthetic attention head.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternSpec {
+    /// Aggregation pattern.
+    pub kind: PatternKind,
+    /// Pre-softmax logit gap between in-group and out-of-group pairs.
+    /// Values around 4-7 produce the strong-but-not-degenerate diagonal
+    /// concentration seen in real video-DiT attention maps (background
+    /// values remain meaningful, as they do in real maps).
+    pub sharpness: f32,
+    /// Standard deviation of the isotropic noise added to `Q`/`K` codes —
+    /// controls within-group value variation.
+    pub noise: f32,
+    /// Standard deviation of per-key log-popularity: background logits vary
+    /// by this much across key tokens, giving the background the smooth
+    /// structure real attention maps have (information that naive
+    /// quantization destroys).
+    pub key_variation: f32,
+}
+
+impl PatternSpec {
+    /// A spec with default sharpness 5, noise 0.15, key variation 0.8.
+    pub fn new(kind: PatternKind) -> Self {
+        PatternSpec {
+            kind,
+            sharpness: 5.0,
+            noise: 0.15,
+            key_variation: 0.8,
+        }
+    }
+
+    /// Deterministically assigns a pattern to `(block, head)`, cycling
+    /// through the pattern kinds the paper observes so a synthetic model
+    /// exhibits the full diversity of Fig. 1.
+    pub fn for_head(grid: &TokenGrid, block: usize, head: usize) -> Self {
+        let kinds = [
+            PatternKind::Temporal,
+            PatternKind::SpatialRow,
+            PatternKind::SpatialCol,
+            PatternKind::default_window(grid),
+            PatternKind::Temporal,
+            PatternKind::Diffuse,
+        ];
+        let kind = kinds[(block * 31 + head * 7) % kinds.len()];
+        // Mild deterministic variation in sharpness across heads.
+        let sharpness = 4.5 + ((block * 13 + head * 5) % 5) as f32 * 0.5;
+        PatternSpec {
+            kind,
+            sharpness,
+            noise: 0.15,
+            key_variation: 0.8,
+        }
+    }
+}
+
+/// Synthetic `Q/K/V` embeddings of one attention head, `[tokens, head_dim]`
+/// each, in canonical token order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadSynthesis {
+    /// Query embeddings.
+    pub q: Tensor,
+    /// Key embeddings.
+    pub k: Tensor,
+    /// Value embeddings.
+    pub v: Tensor,
+}
+
+/// Synthesizes one attention head's `Q/K/V` with the given planted pattern.
+///
+/// # Example
+///
+/// ```
+/// use paro_model::patterns::{synthesize_head, PatternKind, PatternSpec};
+/// use paro_model::TokenGrid;
+/// let grid = TokenGrid::new(4, 4, 4);
+/// let spec = PatternSpec::new(PatternKind::Temporal);
+/// let head = synthesize_head(&grid, 32, &spec, 42);
+/// assert_eq!(head.q.shape(), &[64, 32]);
+/// // Deterministic per seed.
+/// assert_eq!(head, synthesize_head(&grid, 32, &spec, 42));
+/// ```
+///
+/// Group code vectors are random unit directions; `Q_i`/`K_j` are the code
+/// of the token's group scaled by `sqrt(sharpness · sqrt(d))` plus isotropic
+/// noise, so `Q_i·K_j / sqrt(d) ≈ sharpness` within a group and ≈ 0 across
+/// groups. `V` is group-correlated with independent per-token variation so
+/// attention outputs differ meaningfully between methods.
+///
+/// Deterministic for a given `(grid, head_dim, spec, seed)`.
+///
+/// # Panics
+///
+/// Panics if the grid is empty or `head_dim` is zero.
+pub fn synthesize_head(
+    grid: &TokenGrid,
+    head_dim: usize,
+    spec: &PatternSpec,
+    seed: u64,
+) -> HeadSynthesis {
+    assert!(!grid.is_empty(), "token grid must be non-empty");
+    assert!(head_dim > 0, "head_dim must be positive");
+    let n = grid.len();
+    let d = head_dim;
+    let group_count = spec.kind.group_count(grid);
+    let mut rng = seeded(derive_seed(seed, 0x9a77));
+
+    // Random unit code per group.
+    let normal = GaussLike;
+    let mut codes = Vec::with_capacity(group_count);
+    for _ in 0..group_count {
+        let mut v: Vec<f32> = (0..d).map(|_| normal.sample(&mut rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        for x in &mut v {
+            *x /= norm;
+        }
+        codes.push(v);
+    }
+
+    // Q_i·K_j = amp² · (code_gi · code_gj) + O(noise); dividing by sqrt(d)
+    // in the attention computation means amp² = sharpness·sqrt(d) plants a
+    // post-scale logit gap of `sharpness` between in-group and out-group.
+    let amp = (spec.sharpness * (d as f32).sqrt()).sqrt();
+
+    // A shared "popularity" direction gives every key token a smooth
+    // per-token logit offset: q carries coefficient `pc`, key j carries
+    // `popularity_j / pc · sqrt(d)`, so the product contributes
+    // `popularity_j · sqrt(d)`, i.e. `popularity_j` after the 1/sqrt(d)
+    // attention scaling.
+    let pop_dir: Vec<f32> = {
+        let mut v: Vec<f32> = (0..d).map(|_| normal.sample(&mut rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        v.iter_mut().for_each(|x| *x /= norm);
+        v
+    };
+    let pc = (d as f32).sqrt().sqrt();
+    let popularity: Vec<f32> = (0..n)
+        .map(|_| spec.key_variation * normal.sample(&mut rng))
+        .collect();
+
+    let mut q = vec![0.0f32; n * d];
+    let mut k = vec![0.0f32; n * d];
+    let mut v = vec![0.0f32; n * d];
+    for t in 0..n {
+        let g = spec.kind.group_of(grid, t);
+        let code = &codes[g];
+        let kp = popularity[t] * (d as f32).sqrt() / pc;
+        for j in 0..d {
+            let base = amp * code[j];
+            q[t * d + j] = base + pc * pop_dir[j] + spec.noise * normal.sample(&mut rng);
+            k[t * d + j] = base + kp * pop_dir[j] + spec.noise * normal.sample(&mut rng);
+            // V: half group signal, half token-specific detail.
+            v[t * d + j] = 0.5 * code[j] + 0.5 * normal.sample(&mut rng);
+        }
+    }
+    HeadSynthesis {
+        q: Tensor::from_vec(&[n, d], q).expect("length matches by construction"),
+        k: Tensor::from_vec(&[n, d], k).expect("length matches by construction"),
+        v: Tensor::from_vec(&[n, d], v).expect("length matches by construction"),
+    }
+}
+
+/// Synthesizes a head for the full CogVideoX sequence layout:
+/// `text_tokens` prompt tokens followed by the grid's visual tokens.
+///
+/// Text tokens carry diffuse random embeddings (prompt tokens attend and
+/// are attended broadly, without grid structure); visual tokens carry the
+/// planted pattern. Row `t < text_tokens` is a text token; row
+/// `text_tokens + i` is visual token `i` in canonical order.
+pub fn synthesize_head_with_text(
+    grid: &TokenGrid,
+    text_tokens: usize,
+    head_dim: usize,
+    spec: &PatternSpec,
+    seed: u64,
+) -> HeadSynthesis {
+    let visual = synthesize_head(grid, head_dim, spec, seed);
+    if text_tokens == 0 {
+        return visual;
+    }
+    let n = grid.len() + text_tokens;
+    let d = head_dim;
+    let mut rng = seeded(derive_seed(seed, 0x7e27));
+    let normal = GaussLike;
+    // Text embeddings at a scale that keeps text/visual attention
+    // interaction mild (as in real models, where text tokens are a small
+    // fraction of the map's mass).
+    let text_scale = 0.5f32;
+    let mut build = |vis: &Tensor| -> Tensor {
+        let mut out = Tensor::zeros(&[n, d]);
+        for t in 0..text_tokens {
+            for j in 0..d {
+                out.set(&[t, j], text_scale * normal.sample(&mut rng));
+            }
+        }
+        out.set_block(text_tokens, 0, vis)
+            .expect("shapes match by construction");
+        out
+    };
+    HeadSynthesis {
+        q: build(&visual.q),
+        k: build(&visual.k),
+        v: build(&visual.v),
+    }
+}
+
+/// A lightweight standard-normal sampler (Box-Muller on demand) so the crate
+/// avoids a dependency on `rand_distr`.
+struct GaussLike;
+
+impl Distribution<f32> for GaussLike {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Box-Muller transform; one value per call keeps the stream simple
+        // and deterministic.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> TokenGrid {
+        TokenGrid::new(4, 4, 4)
+    }
+
+    /// Reference softmax(QKᵀ/sqrt(d)) used only for testing the generator.
+    fn attention_map(q: &Tensor, k: &Tensor) -> Tensor {
+        let d = q.shape()[1] as f32;
+        q.matmul(&k.transpose2d().unwrap())
+            .unwrap()
+            .scale(1.0 / d.sqrt())
+            .softmax_rows()
+            .unwrap()
+    }
+
+    #[test]
+    fn groups_partition_tokens() {
+        let grid = small_grid();
+        for kind in [
+            PatternKind::Temporal,
+            PatternKind::SpatialRow,
+            PatternKind::SpatialCol,
+            PatternKind::default_window(&grid),
+            PatternKind::Diffuse,
+        ] {
+            let count = kind.group_count(&grid);
+            let mut sizes = vec![0usize; count];
+            for t in 0..grid.len() {
+                let g = kind.group_of(&grid, t);
+                assert!(g < count, "{kind}: group {g} >= count {count}");
+                sizes[g] += 1;
+            }
+            assert!(sizes.iter().all(|&s| s > 0), "{kind}: empty group");
+            assert_eq!(sizes.iter().sum::<usize>(), grid.len());
+        }
+    }
+
+    #[test]
+    fn temporal_groups_have_frame_size() {
+        let grid = TokenGrid::new(5, 3, 2);
+        let kind = PatternKind::Temporal;
+        let mut sizes = vec![0usize; kind.group_count(&grid)];
+        for t in 0..grid.len() {
+            sizes[kind.group_of(&grid, t)] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s == grid.frames()));
+    }
+
+    #[test]
+    fn preferred_order_makes_groups_contiguous() {
+        let grid = small_grid();
+        for kind in [
+            PatternKind::Temporal,
+            PatternKind::SpatialRow,
+            PatternKind::SpatialCol,
+        ] {
+            let order = kind.preferred_order();
+            let idx = grid.reorder_indices(order);
+            // Walk the reordered sequence; group ids must never revisit an
+            // earlier group.
+            let mut seen = std::collections::HashSet::new();
+            let mut current = usize::MAX;
+            for &t in &idx {
+                let g = kind.group_of(&grid, t);
+                if g != current {
+                    assert!(
+                        seen.insert(g),
+                        "{kind}: group {g} not contiguous under {order}"
+                    );
+                    current = g;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planted_pattern_concentrates_attention() {
+        let grid = small_grid();
+        for kind in [
+            PatternKind::Temporal,
+            PatternKind::SpatialRow,
+            PatternKind::SpatialCol,
+        ] {
+            let spec = PatternSpec::new(kind);
+            let head = synthesize_head(&grid, 32, &spec, 7);
+            let map = attention_map(&head.q, &head.k);
+            let n = grid.len();
+            // Average in-group mass per row should dominate: with G-sized
+            // groups out of N tokens, uniform attention would put G/N ≈ 6%
+            // in-group; the planted pattern should exceed 60%.
+            let mut in_group = 0.0f32;
+            for i in 0..n {
+                let gi = kind.group_of(&grid, i);
+                for j in 0..n {
+                    if kind.group_of(&grid, j) == gi {
+                        in_group += map.at(&[i, j]);
+                    }
+                }
+            }
+            let frac = in_group / n as f32;
+            assert!(
+                frac > 0.6,
+                "{kind}: in-group attention fraction {frac} too weak"
+            );
+        }
+    }
+
+    #[test]
+    fn diffuse_pattern_is_not_concentrated() {
+        let grid = small_grid();
+        let spec = PatternSpec::new(PatternKind::Diffuse);
+        let head = synthesize_head(&grid, 32, &spec, 9);
+        let map = attention_map(&head.q, &head.k);
+        // Max row entry should be far from 1 (no hard concentration).
+        let max = map.max().unwrap();
+        assert!(max < 0.5, "diffuse head too concentrated: {max}");
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let grid = small_grid();
+        let spec = PatternSpec::new(PatternKind::Temporal);
+        let a = synthesize_head(&grid, 16, &spec, 42);
+        let b = synthesize_head(&grid, 16, &spec, 42);
+        assert_eq!(a, b);
+        let c = synthesize_head(&grid, 16, &spec, 43);
+        assert_ne!(a.q, c.q);
+    }
+
+    #[test]
+    fn for_head_covers_multiple_kinds() {
+        let grid = small_grid();
+        let mut names = std::collections::HashSet::new();
+        for block in 0..4 {
+            for head in 0..8 {
+                names.insert(PatternSpec::for_head(&grid, block, head).kind.name());
+            }
+        }
+        assert!(
+            names.len() >= 4,
+            "head assignment should span several pattern kinds, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn window_pattern_groups_are_local() {
+        let grid = TokenGrid::new(4, 8, 8);
+        let kind = PatternKind::LocalWindow {
+            bucket_f: 2,
+            bucket_h: 4,
+            bucket_w: 4,
+        };
+        assert_eq!(kind.group_count(&grid), 2 * 2 * 2);
+        // Adjacent tokens in the same bucket share a group.
+        let a = grid.index(0, 0, 0);
+        let b = grid.index(1, 3, 3);
+        let c = grid.index(2, 0, 0);
+        assert_eq!(kind.group_of(&grid, a), kind.group_of(&grid, b));
+        assert_ne!(kind.group_of(&grid, a), kind.group_of(&grid, c));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_rejected() {
+        synthesize_head(
+            &TokenGrid::new(0, 4, 4),
+            8,
+            &PatternSpec::new(PatternKind::Diffuse),
+            0,
+        );
+    }
+}

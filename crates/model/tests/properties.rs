@@ -1,0 +1,108 @@
+//! Property-based tests for grids, patterns and workloads.
+
+use paro_model::patterns::{synthesize_head, PatternKind, PatternSpec};
+use paro_model::workload::{attention_mac_fraction, block_macs, block_ops, LayerOp};
+use paro_model::{AxisOrder, ModelConfig, TokenGrid};
+use proptest::prelude::*;
+
+fn grid() -> impl Strategy<Value = TokenGrid> {
+    (1usize..=5, 1usize..=5, 1usize..=5).prop_map(|(f, h, w)| TokenGrid::new(f, h, w))
+}
+
+proptest! {
+    #[test]
+    fn grid_index_roundtrip(g in grid()) {
+        for t in 0..g.len() {
+            let (f, h, w) = g.coords(t);
+            prop_assert_eq!(g.index(f, h, w), t);
+        }
+    }
+
+    #[test]
+    fn reorder_indices_are_permutations(g in grid()) {
+        for order in AxisOrder::ALL {
+            let mut idx = g.reorder_indices(order);
+            idx.sort_unstable();
+            prop_assert_eq!(idx, (0..g.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn innermost_orders_share_contiguity(g in grid()) {
+        // Two orders with the same innermost axis must produce the same
+        // partition of the sequence into innermost runs.
+        for (a, b) in [
+            (AxisOrder::Fhw, AxisOrder::Hfw), // innermost w
+            (AxisOrder::Fwh, AxisOrder::Wfh), // innermost h
+            (AxisOrder::Hwf, AxisOrder::Whf), // innermost f
+        ] {
+            prop_assert_eq!(a.innermost(), b.innermost());
+            let run_len = match a.innermost() {
+                'f' => g.frames(),
+                'h' => g.height(),
+                'w' => g.width(),
+                _ => unreachable!(),
+            };
+            let ia = g.reorder_indices(a);
+            let ib = g.reorder_indices(b);
+            let runs = |v: &[usize]| {
+                let mut set: Vec<Vec<usize>> = v
+                    .chunks(run_len)
+                    .map(|c| {
+                        let mut c = c.to_vec();
+                        c.sort_unstable();
+                        c
+                    })
+                    .collect();
+                set.sort();
+                set
+            };
+            prop_assert_eq!(runs(&ia), runs(&ib));
+        }
+    }
+
+    #[test]
+    fn pattern_groups_partition(g in grid()) {
+        for kind in [
+            PatternKind::Temporal,
+            PatternKind::SpatialRow,
+            PatternKind::SpatialCol,
+            PatternKind::default_window(&g),
+            PatternKind::Diffuse,
+        ] {
+            let count = kind.group_count(&g);
+            let mut sizes = vec![0usize; count];
+            for t in 0..g.len() {
+                sizes[kind.group_of(&g, t)] += 1;
+            }
+            prop_assert_eq!(sizes.iter().sum::<usize>(), g.len());
+            prop_assert!(sizes.iter().all(|&s| s > 0));
+        }
+    }
+
+    #[test]
+    fn synthesis_shapes_and_determinism(g in grid(), d in 1usize..=32, seed in 0u64..500) {
+        let spec = PatternSpec::new(PatternKind::Temporal);
+        let a = synthesize_head(&g, d, &spec, seed);
+        prop_assert_eq!(a.q.shape(), &[g.len(), d][..]);
+        prop_assert!(a.q.as_slice().iter().all(|v| v.is_finite()));
+        let b = synthesize_head(&g, d, &spec, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_macs_positive_and_consistent(
+        blocks in 1usize..8, hidden_units in 1usize..8, heads in 1usize..4
+    ) {
+        let mut cfg = ModelConfig::tiny(2, 2, 2);
+        cfg.blocks = blocks;
+        cfg.hidden = 64 * hidden_units * heads;
+        cfg.heads = heads * hidden_units; // keep divisible
+        prop_assume!(cfg.hidden.is_multiple_of(cfg.heads));
+        let total = block_macs(&cfg);
+        let from_ops: u64 = block_ops(&cfg, false).iter().map(LayerOp::macs).sum();
+        prop_assert_eq!(total, from_ops);
+        let frac = attention_mac_fraction(&cfg);
+        prop_assert!((0.0..1.0).contains(&frac));
+    }
+}

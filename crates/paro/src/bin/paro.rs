@@ -1,0 +1,124 @@
+//! The `paro` command-line tool: quantize synthetic heads, simulate
+//! machines, trace reorder-plan selection. Run `paro help` for usage.
+
+use paro::cli::{parse_args, CliCommand, USAGE};
+use paro::core::pipeline::attention_map;
+use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
+use paro::prelude::*;
+use paro::sim::OpCategory;
+use paro::tensor::render;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        CliCommand::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        CliCommand::Quantize {
+            grid,
+            pattern,
+            method,
+            seed,
+        } => {
+            let spec = PatternSpec::new(pattern);
+            let head = synthesize_head(&grid, 32, &spec, seed);
+            let reference = reference_attention(&head.q, &head.k, &head.v)?;
+            let inputs = AttentionInputs::new(head.q, head.k, head.v, grid)?;
+            let run = run_attention(&inputs, &method)?;
+            println!(
+                "method {} on a {} head over {} tokens (seed {seed})",
+                method.name(),
+                pattern,
+                grid.len()
+            );
+            println!(
+                "  rel-L2 error    {:.5}",
+                metrics::relative_l2(&reference, &run.output)?
+            );
+            println!(
+                "  cosine sim      {:.5}",
+                metrics::cosine_similarity(&reference, &run.output)?
+            );
+            println!("  avg map bits    {:.2}", run.avg_bits);
+            println!("  map sparsity    {:.1}%", run.map_sparsity * 100.0);
+            if let Some(plan) = &run.plan {
+                println!("  reorder plan    {}", plan.order());
+            }
+            if let Some(alloc) = &run.allocation {
+                let h = alloc.histogram();
+                println!(
+                    "  block bits      0b:{} 2b:{} 4b:{} 8b:{}",
+                    h[0], h[1], h[2], h[3]
+                );
+            }
+            Ok(())
+        }
+        CliCommand::Simulate { model, machine } => {
+            let profile = AttentionProfile::paper_mp();
+            let m: Box<dyn Machine> = match machine.as_str() {
+                "sanger" => Box::new(SangerMachine::default_budget()),
+                "vitcod" => Box::new(VitcodMachine::default_budget()),
+                "a100" => Box::new(GpuMachine::a100()),
+                "align" => Box::new(ParoMachine::new(
+                    HardwareConfig::paro_align_a100(),
+                    ParoOptimizations::all(),
+                )),
+                _ => Box::new(ParoMachine::new(
+                    HardwareConfig::paro_asic(),
+                    ParoOptimizations::all(),
+                )),
+            };
+            let report = m.run_model(&model, &profile);
+            print!("{}", report.format_text());
+            let _ = OpCategory::Linear;
+            Ok(())
+        }
+        CliCommand::Plan {
+            grid,
+            pattern,
+            block_edge,
+            seed,
+        } => {
+            let spec = PatternSpec::new(pattern);
+            let head = synthesize_head(&grid, 32, &spec, seed);
+            let map = attention_map(&head.q, &head.k)?;
+            let sel = select_plan(&map, &grid, BlockGrid::square(block_edge)?, Bitwidth::B4)?;
+            println!(
+                "plan selection for a {} head over {} tokens (block edge {block_edge}):",
+                pattern,
+                grid.len()
+            );
+            for (order, err) in &sel.candidate_errors {
+                let marker = if *order == sel.order { "  <== selected" } else { "" };
+                println!("  {order}: err {err:.5}{marker}");
+            }
+            let plan = ReorderPlan::new(&grid, sel.order);
+            let reordered = reorder_map(&map, &plan)?;
+            println!("\nbefore reorder:");
+            println!("{}", render::ascii_heatmap(&map, 32)?);
+            println!("after reorder ({}):", sel.order);
+            println!("{}", render::ascii_heatmap(&reordered, 32)?);
+            Ok(())
+        }
+    }
+}

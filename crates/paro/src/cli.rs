@@ -1,0 +1,347 @@
+//! Argument parsing for the `paro` command-line tool.
+//!
+//! Hand-rolled (no external argument-parser dependency): three
+//! subcommands, each with `--flag value` options. Parsing is pure and unit
+//! tested; the binary in `src/bin/paro.rs` dispatches on the result.
+
+use paro_core::methods::AttentionMethod;
+use paro_model::patterns::PatternKind;
+use paro_model::{ModelConfig, TokenGrid};
+use paro_quant::Bitwidth;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// `paro quantize`: run one synthetic head under a method and print
+    /// fidelity metrics.
+    Quantize {
+        /// Token grid.
+        grid: TokenGrid,
+        /// Planted pattern.
+        pattern: PatternKind,
+        /// Quantization method.
+        method: AttentionMethod,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `paro simulate`: run a machine model on a CogVideoX config.
+    Simulate {
+        /// Model config (2b or 5b).
+        model: ModelConfig,
+        /// Machine name: paro, sanger, vitcod, a100, align.
+        machine: String,
+    },
+    /// `paro plan`: offline reorder-plan selection trace for one head.
+    Plan {
+        /// Token grid.
+        grid: TokenGrid,
+        /// Planted pattern.
+        pattern: PatternKind,
+        /// Quantization block edge.
+        block_edge: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `paro help`: print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+paro — PARO attention-quantization toolkit
+
+USAGE:
+  paro quantize [--grid FxHxW] [--pattern KIND] [--method NAME] [--budget B] [--bits N] [--seed S]
+  paro simulate [--model 2b|5b] [--machine paro|sanger|vitcod|a100|align]
+  paro plan     [--grid FxHxW] [--pattern KIND] [--block EDGE] [--seed S]
+  paro help
+
+PATTERNS: temporal, spatial-row, spatial-col, window, diffuse
+METHODS:  fp16, sage, sage2, sanger, naive-int8, naive-int4,
+          block-int8, block-int4, paro-int8, paro-int4, paro-mp";
+
+/// Parses CLI arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, flags or
+/// malformed values.
+pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(CliCommand::Help);
+    };
+    let rest: Vec<&String> = it.collect();
+    let opts = parse_flags(&rest)?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(CliCommand::Help),
+        "quantize" => {
+            let grid = parse_grid(opts_get(&opts, "grid").unwrap_or("6x6x6"))?;
+            let pattern = parse_pattern(opts_get(&opts, "pattern").unwrap_or("temporal"), &grid)?;
+            let budget: f32 = parse_num(opts_get(&opts, "budget").unwrap_or("4.8"))?;
+            let bits = parse_bits(opts_get(&opts, "bits").unwrap_or("4"))?;
+            let method = parse_method(
+                opts_get(&opts, "method").unwrap_or("paro-mp"),
+                budget,
+                bits,
+            )?;
+            let seed: u64 = parse_num(opts_get(&opts, "seed").unwrap_or("42"))?;
+            Ok(CliCommand::Quantize {
+                grid,
+                pattern,
+                method,
+                seed,
+            })
+        }
+        "simulate" => {
+            let model = match opts_get(&opts, "model").unwrap_or("5b") {
+                "2b" => ModelConfig::cogvideox_2b(),
+                "5b" => ModelConfig::cogvideox_5b(),
+                other => return Err(format!("unknown model '{other}' (use 2b or 5b)")),
+            };
+            let machine = opts_get(&opts, "machine").unwrap_or("paro").to_string();
+            if !["paro", "sanger", "vitcod", "a100", "align"].contains(&machine.as_str()) {
+                return Err(format!("unknown machine '{machine}'"));
+            }
+            Ok(CliCommand::Simulate { model, machine })
+        }
+        "plan" => {
+            let grid = parse_grid(opts_get(&opts, "grid").unwrap_or("6x6x6"))?;
+            let pattern = parse_pattern(opts_get(&opts, "pattern").unwrap_or("temporal"), &grid)?;
+            let block_edge: usize = parse_num(opts_get(&opts, "block").unwrap_or("6"))?;
+            let seed: u64 = parse_num(opts_get(&opts, "seed").unwrap_or("42"))?;
+            Ok(CliCommand::Plan {
+                grid,
+                pattern,
+                block_edge,
+                seed,
+            })
+        }
+        other => Err(format!("unknown command '{other}'; see `paro help`")),
+    }
+}
+
+fn parse_flags<'a>(rest: &[&'a String]) -> Result<Vec<(&'a str, &'a str)>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{flag}'"));
+        };
+        let Some(value) = rest.get(i + 1) else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        out.push((name, value.as_str()));
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn opts_get<'a>(opts: &[(&'a str, &'a str)], name: &str) -> Option<&'a str> {
+    opts.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
+
+fn parse_grid(s: &str) -> Result<TokenGrid, String> {
+    let parts: Vec<&str> = s.split('x').collect();
+    if parts.len() != 3 {
+        return Err(format!("grid must be FxHxW, got '{s}'"));
+    }
+    let dims: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse::<usize>()).collect();
+    let dims = dims.map_err(|_| format!("grid must be FxHxW with integers, got '{s}'"))?;
+    if dims.contains(&0) {
+        return Err("grid dimensions must be positive".to_string());
+    }
+    Ok(TokenGrid::new(dims[0], dims[1], dims[2]))
+}
+
+fn parse_pattern(s: &str, grid: &TokenGrid) -> Result<PatternKind, String> {
+    match s {
+        "temporal" => Ok(PatternKind::Temporal),
+        "spatial-row" => Ok(PatternKind::SpatialRow),
+        "spatial-col" => Ok(PatternKind::SpatialCol),
+        "window" => Ok(PatternKind::default_window(grid)),
+        "diffuse" => Ok(PatternKind::Diffuse),
+        other => Err(format!("unknown pattern '{other}'")),
+    }
+}
+
+fn parse_bits(s: &str) -> Result<Bitwidth, String> {
+    s.parse::<Bitwidth>()
+        .map_err(|e| format!("bits must be one of 0/2/4/8: {e}"))
+}
+
+fn parse_method(s: &str, budget: f32, bits: Bitwidth) -> Result<AttentionMethod, String> {
+    Ok(match s {
+        "fp16" => AttentionMethod::Fp16,
+        "sage" => AttentionMethod::SageAttention,
+        "sage2" => AttentionMethod::SageAttentionV2,
+        "sanger" => AttentionMethod::SangerSparse { threshold: 1e-3 },
+        "naive-int8" => AttentionMethod::NaiveInt {
+            bits: Bitwidth::B8,
+        },
+        "naive-int4" => AttentionMethod::NaiveInt {
+            bits: Bitwidth::B4,
+        },
+        "block-int8" => AttentionMethod::blockwise_int(Bitwidth::B8),
+        "block-int4" => AttentionMethod::blockwise_int(Bitwidth::B4),
+        "paro-int8" => AttentionMethod::paro_int(Bitwidth::B8),
+        "paro-int4" => AttentionMethod::paro_int(Bitwidth::B4),
+        "paro-mp" => AttentionMethod::paro_mixed(budget),
+        "paro-int" => AttentionMethod::paro_int(bits),
+        other => return Err(format!("unknown method '{other}'")),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse::<T>()
+        .map_err(|_| format!("invalid number '{s}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), CliCommand::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), CliCommand::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), CliCommand::Help);
+    }
+
+    #[test]
+    fn quantize_defaults() {
+        let cmd = parse_args(&args(&["quantize"])).unwrap();
+        match cmd {
+            CliCommand::Quantize {
+                grid,
+                pattern,
+                method,
+                seed,
+            } => {
+                assert_eq!(grid, TokenGrid::new(6, 6, 6));
+                assert_eq!(pattern, PatternKind::Temporal);
+                assert_eq!(method, AttentionMethod::paro_mixed(4.8));
+                assert_eq!(seed, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantize_with_flags() {
+        let cmd = parse_args(&args(&[
+            "quantize",
+            "--grid",
+            "4x8x8",
+            "--pattern",
+            "spatial-col",
+            "--method",
+            "naive-int4",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::Quantize {
+                grid,
+                pattern,
+                method,
+                seed,
+            } => {
+                assert_eq!(grid, TokenGrid::new(4, 8, 8));
+                assert_eq!(pattern, PatternKind::SpatialCol);
+                assert_eq!(
+                    method,
+                    AttentionMethod::NaiveInt {
+                        bits: Bitwidth::B4
+                    }
+                );
+                assert_eq!(seed, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_parses_machine_and_model() {
+        let cmd = parse_args(&args(&["simulate", "--model", "2b", "--machine", "vitcod"]))
+            .unwrap();
+        match cmd {
+            CliCommand::Simulate { model, machine } => {
+                assert_eq!(model.name, "CogVideoX-2B");
+                assert_eq!(machine, "vitcod");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_parses() {
+        let cmd =
+            parse_args(&args(&["plan", "--pattern", "window", "--block", "3"])).unwrap();
+        match cmd {
+            CliCommand::Plan {
+                block_edge,
+                pattern,
+                ..
+            } => {
+                assert_eq!(block_edge, 3);
+                assert!(matches!(pattern, PatternKind::LocalWindow { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse_args(&args(&["bogus"])).unwrap_err().contains("bogus"));
+        assert!(parse_args(&args(&["quantize", "--grid", "4x4"]))
+            .unwrap_err()
+            .contains("FxHxW"));
+        assert!(parse_args(&args(&["quantize", "--grid", "0x4x4"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_args(&args(&["quantize", "--method", "magic"]))
+            .unwrap_err()
+            .contains("magic"));
+        assert!(parse_args(&args(&["simulate", "--machine", "tpu"]))
+            .unwrap_err()
+            .contains("tpu"));
+        assert!(parse_args(&args(&["quantize", "--seed"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_args(&args(&["quantize", "seed", "1"]))
+            .unwrap_err()
+            .contains("--flag"));
+        assert!(parse_args(&args(&["quantize", "--bits", "3"]))
+            .unwrap_err()
+            .contains("0/2/4/8"));
+    }
+
+    #[test]
+    fn all_documented_methods_parse() {
+        for m in [
+            "fp16",
+            "sage",
+            "sage2",
+            "sanger",
+            "naive-int8",
+            "naive-int4",
+            "block-int8",
+            "block-int4",
+            "paro-int8",
+            "paro-int4",
+            "paro-mp",
+        ] {
+            assert!(
+                parse_args(&args(&["quantize", "--method", m])).is_ok(),
+                "method {m} failed to parse"
+            );
+        }
+    }
+}

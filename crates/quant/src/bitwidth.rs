@@ -1,0 +1,165 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A quantization bitwidth from the paper's palette `{0, 2, 4, 8}`.
+///
+/// `B0` means "skip": the paper's mixed-precision allocator may assign zero
+/// bits to an attention-map block, in which case the accelerator's
+/// dispatcher bypasses the block entirely and its dequantized value is zero.
+///
+/// # Example
+///
+/// ```
+/// use paro_quant::Bitwidth;
+///
+/// assert_eq!(Bitwidth::B4.bits(), 4);
+/// assert_eq!(Bitwidth::B4.levels(), 16);
+/// assert_eq!(Bitwidth::ALL.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Bitwidth {
+    /// Zero bits: the block is skipped and reads back as exactly zero.
+    B0,
+    /// Two-bit codes (4 levels).
+    B2,
+    /// Four-bit codes (16 levels).
+    B4,
+    /// Eight-bit codes (256 levels).
+    B8,
+}
+
+impl Bitwidth {
+    /// All bitwidths in ascending order, matching the paper's `b ∈ {0,2,4,8}`.
+    pub const ALL: [Bitwidth; 4] = [Bitwidth::B0, Bitwidth::B2, Bitwidth::B4, Bitwidth::B8];
+
+    /// The number of bits.
+    pub const fn bits(self) -> u32 {
+        match self {
+            Bitwidth::B0 => 0,
+            Bitwidth::B2 => 2,
+            Bitwidth::B4 => 4,
+            Bitwidth::B8 => 8,
+        }
+    }
+
+    /// The number of representable levels, `2^bits` (1 for `B0`).
+    pub const fn levels(self) -> u32 {
+        1 << self.bits()
+    }
+
+    /// The maximum code value, `2^bits − 1`.
+    pub const fn max_code(self) -> u32 {
+        self.levels() - 1
+    }
+
+    /// Parses a bit count into a `Bitwidth`.
+    ///
+    /// Returns `None` for anything outside `{0, 2, 4, 8}`.
+    pub const fn from_bits(bits: u32) -> Option<Bitwidth> {
+        match bits {
+            0 => Some(Bitwidth::B0),
+            2 => Some(Bitwidth::B2),
+            4 => Some(Bitwidth::B4),
+            8 => Some(Bitwidth::B8),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for Bitwidth {
+    type Err = ParseBitwidthError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim().trim_end_matches("bit");
+        trimmed
+            .parse::<u32>()
+            .ok()
+            .and_then(Bitwidth::from_bits)
+            .ok_or_else(|| ParseBitwidthError {
+                input: s.to_string(),
+            })
+    }
+}
+
+impl TryFrom<u32> for Bitwidth {
+    type Error = ParseBitwidthError;
+
+    fn try_from(bits: u32) -> Result<Self, Self::Error> {
+        Bitwidth::from_bits(bits).ok_or_else(|| ParseBitwidthError {
+            input: bits.to_string(),
+        })
+    }
+}
+
+/// Error parsing a [`Bitwidth`] from text or an integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitwidthError {
+    input: String,
+}
+
+impl fmt::Display for ParseBitwidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{}' is not a valid bitwidth (expected 0, 2, 4 or 8)", self.input)
+    }
+}
+
+impl std::error::Error for ParseBitwidthError {}
+
+impl fmt::Display for Bitwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}bit", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_and_codes() {
+        assert_eq!(Bitwidth::B0.levels(), 1);
+        assert_eq!(Bitwidth::B2.levels(), 4);
+        assert_eq!(Bitwidth::B4.levels(), 16);
+        assert_eq!(Bitwidth::B8.levels(), 256);
+        assert_eq!(Bitwidth::B8.max_code(), 255);
+        assert_eq!(Bitwidth::B0.max_code(), 0);
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        for b in Bitwidth::ALL {
+            assert_eq!(Bitwidth::from_bits(b.bits()), Some(b));
+        }
+        assert_eq!(Bitwidth::from_bits(3), None);
+        assert_eq!(Bitwidth::from_bits(16), None);
+    }
+
+    #[test]
+    fn ordering_matches_bits() {
+        assert!(Bitwidth::B0 < Bitwidth::B2);
+        assert!(Bitwidth::B2 < Bitwidth::B4);
+        assert!(Bitwidth::B4 < Bitwidth::B8);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bitwidth::B4.to_string(), "4bit");
+        assert_eq!(Bitwidth::B0.to_string(), "0bit");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for b in Bitwidth::ALL {
+            // Display -> FromStr round trip.
+            assert_eq!(b.to_string().parse::<Bitwidth>().unwrap(), b);
+            // Bare number too.
+            assert_eq!(b.bits().to_string().parse::<Bitwidth>().unwrap(), b);
+            assert_eq!(Bitwidth::try_from(b.bits()).unwrap(), b);
+        }
+        assert!("3".parse::<Bitwidth>().is_err());
+        assert!("four".parse::<Bitwidth>().is_err());
+        assert!(Bitwidth::try_from(16u32).is_err());
+        let err = "3".parse::<Bitwidth>().unwrap_err();
+        assert!(err.to_string().contains("3"));
+    }
+}

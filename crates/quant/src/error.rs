@@ -1,0 +1,112 @@
+use paro_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for quantization operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A block grid configuration is invalid (zero block edge, or block
+    /// larger than the tensor in a context that forbids it).
+    BadBlockGrid {
+        /// Block rows requested.
+        block_rows: usize,
+        /// Block columns requested.
+        block_cols: usize,
+    },
+    /// A per-block bitwidth list has the wrong length for the block grid.
+    BitwidthCountMismatch {
+        /// Number of bitwidths supplied.
+        supplied: usize,
+        /// Number of blocks in the grid.
+        blocks: usize,
+    },
+    /// Packed-code payload length is inconsistent with the element count.
+    PackedLengthMismatch {
+        /// Bytes supplied.
+        bytes: usize,
+        /// Bytes expected for the element count and bitwidth.
+        expected: usize,
+    },
+    /// A code exceeds the representable range of the target bitwidth.
+    CodeOutOfRange {
+        /// The offending code.
+        code: u32,
+        /// The maximum representable code.
+        max: u32,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+            QuantError::BadBlockGrid {
+                block_rows,
+                block_cols,
+            } => write!(f, "invalid block grid {block_rows}x{block_cols}"),
+            QuantError::BitwidthCountMismatch { supplied, blocks } => write!(
+                f,
+                "bitwidth count mismatch: {supplied} supplied for {blocks} blocks"
+            ),
+            QuantError::PackedLengthMismatch { bytes, expected } => write!(
+                f,
+                "packed payload holds {bytes} bytes, expected {expected}"
+            ),
+            QuantError::CodeOutOfRange { code, max } => {
+                write!(f, "code {code} exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for QuantError {
+    fn from(e: TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            QuantError::Tensor(TensorError::EmptyDimension),
+            QuantError::BadBlockGrid {
+                block_rows: 0,
+                block_cols: 4,
+            },
+            QuantError::BitwidthCountMismatch {
+                supplied: 3,
+                blocks: 4,
+            },
+            QuantError::PackedLengthMismatch {
+                bytes: 1,
+                expected: 2,
+            },
+            QuantError::CodeOutOfRange { code: 300, max: 255 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let q: QuantError = TensorError::EmptyDimension.into();
+        assert!(matches!(q, QuantError::Tensor(_)));
+        assert!(Error::source(&q).is_some());
+    }
+}

@@ -1,0 +1,44 @@
+//! Quantization substrate for the PARO reproduction.
+//!
+//! Implements the quantization machinery of the paper's Sec. II-B and
+//! Sec. III: uniform affine quantization `x ≈ s·(x_int − z)` with dynamic
+//! min-max calibration, the grouping granularities used by the baselines and
+//! by PARO (per-tensor, per-row, per-dimension, per-block), bit-packed
+//! integer storage for 2/4/8-bit codes, and an integer GEMM that checks the
+//! fixed-point compute path against the fake-quantized float path.
+//!
+//! # Example
+//!
+//! ```
+//! use paro_quant::{Bitwidth, QuantParams};
+//!
+//! let values = [0.0f32, 0.25, 0.5, 1.0];
+//! let params = QuantParams::calibrate_minmax(&values, Bitwidth::B8);
+//! for &v in &values {
+//!     let code = params.quantize(v);
+//!     let back = params.dequantize(code);
+//!     // Within half a quantization step.
+//!     assert!((v - back).abs() <= params.scale() / 2.0 + 1e-6);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitwidth;
+mod error;
+mod gemm;
+mod grouping;
+mod mixed_map;
+mod packed;
+mod params;
+mod symmetric;
+
+pub use bitwidth::{Bitwidth, ParseBitwidthError};
+pub use error::QuantError;
+pub use gemm::{dequantize_gemm, quantized_gemm_i32, QuantizedGemmOperand};
+pub use grouping::{fake_quant_2d, fake_quant_blocks, group_stats, BlockGrid, GroupStats, Grouping};
+pub use mixed_map::MixedPrecisionMap;
+pub use packed::PackedCodes;
+pub use params::QuantParams;
+pub use symmetric::SymmetricInt8;

@@ -1,0 +1,332 @@
+use crate::Bitwidth;
+use serde::{Deserialize, Serialize};
+
+/// Uniform affine quantization parameters for one group.
+///
+/// Implements the paper's Sec. II-B scheme: a float `x` is approximated by
+/// `x̂ = s·(x_int − z)` where the integer code is
+/// `x_int = clamp(round(x/s) + z, 0, 2^b − 1)`.
+///
+/// Calibration is dynamic min-max, exactly as in the paper:
+/// `s = (max(x) − min(x)) / (2^b − 1)` and the zero point positions `min(x)`
+/// at code 0.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    scale: f32,
+    zero_point: i32,
+    bits: Bitwidth,
+}
+
+impl QuantParams {
+    /// Builds parameters directly from a scale, zero point and bitwidth.
+    ///
+    /// Prefer [`QuantParams::calibrate_minmax`] unless replaying stored
+    /// parameters. A non-positive or non-finite `scale` is clamped to a tiny
+    /// positive value so `quantize` never divides by zero.
+    pub fn new(scale: f32, zero_point: i32, bits: Bitwidth) -> Self {
+        let scale = if scale.is_finite() && scale > 0.0 {
+            scale
+        } else {
+            f32::MIN_POSITIVE
+        };
+        QuantParams {
+            scale,
+            zero_point,
+            bits,
+        }
+    }
+
+    /// Dynamic min-max calibration over a group of values (the paper's
+    /// activation-quantization rule).
+    ///
+    /// Degenerate groups (empty, constant, or all-non-finite) yield a scale
+    /// that reproduces the constant exactly via the zero point.
+    pub fn calibrate_minmax(values: &[f32], bits: Bitwidth) -> Self {
+        if bits == Bitwidth::B0 {
+            return QuantParams::new(1.0, 0, bits);
+        }
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return QuantParams::new(1.0, 0, bits);
+        }
+        let span = hi - lo;
+        if span <= 0.0 {
+            // Constant group: represent the constant `c = lo` exactly.
+            // With s = |c| and z = -sign(c), code 0 dequantizes to exactly
+            // c; a zero constant uses the trivial (s, z=0) pair.
+            if lo == 0.0 {
+                return QuantParams::new(f32::MIN_POSITIVE, 0, bits);
+            }
+            let z = if lo > 0.0 { -1 } else { 1 };
+            return QuantParams::new(lo.abs(), z, bits);
+        }
+        // True min-max affine calibration: the range is [min, max], NOT
+        // extended to include zero. This matters for PARO: after reorder,
+        // dense high-value blocks sit far from zero, and a [min, max] range
+        // gives them a far smaller scale than a [0, max] range would.
+        let scale = span / bits.max_code() as f32;
+        let zero_point = (-lo / scale).round() as i32;
+        QuantParams::new(scale, zero_point, bits)
+    }
+
+    /// Percentile-clipped calibration: like
+    /// [`QuantParams::calibrate_minmax`] but the range covers only the
+    /// central `pct` fraction of the (sorted) values, clipping the tails.
+    ///
+    /// A standard PTQ alternative to min-max for heavy-tailed activations.
+    /// For post-softmax attention maps it is usually the *wrong* choice —
+    /// the outliers carry the attention mass — which the `quant`
+    /// calibration ablation demonstrates; it is provided for that
+    /// comparison and for users quantizing other tensors.
+    ///
+    /// `pct` is clamped to `(0, 1]`; `pct = 1.0` reduces to min-max.
+    pub fn calibrate_percentile(values: &[f32], bits: Bitwidth, pct: f32) -> Self {
+        if bits == Bitwidth::B0 {
+            return QuantParams::new(1.0, 0, bits);
+        }
+        let pct = if pct.is_finite() {
+            pct.clamp(1e-3, 1.0)
+        } else {
+            1.0
+        };
+        let mut finite: Vec<f32> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return QuantParams::new(1.0, 0, bits);
+        }
+        finite.sort_by(f32::total_cmp);
+        let n = finite.len();
+        let cut = (((1.0 - pct) / 2.0) * n as f32).floor() as usize;
+        let lo = finite[cut.min(n - 1)];
+        let hi = finite[(n - 1 - cut).max(cut.min(n - 1))];
+        let span = hi - lo;
+        if span <= 0.0 {
+            return QuantParams::calibrate_minmax(&[lo], bits);
+        }
+        let scale = span / bits.max_code() as f32;
+        let zero_point = (-lo / scale).round() as i32;
+        QuantParams::new(scale, zero_point, bits)
+    }
+
+    /// The scaling factor `s`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The zero point `z`.
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// The bitwidth `b`.
+    pub fn bits(&self) -> Bitwidth {
+        self.bits
+    }
+
+    /// Quantizes a value to its integer code `clamp(round(x/s)+z, 0, 2^b−1)`.
+    ///
+    /// `B0` always returns code 0.
+    pub fn quantize(&self, x: f32) -> u32 {
+        if self.bits == Bitwidth::B0 {
+            return 0;
+        }
+        let q = (x / self.scale).round() as i64 + self.zero_point as i64;
+        q.clamp(0, self.bits.max_code() as i64) as u32
+    }
+
+    /// Dequantizes an integer code back to a float `s·(code − z)`.
+    ///
+    /// `B0` always returns 0 (the block is skipped).
+    pub fn dequantize(&self, code: u32) -> f32 {
+        if self.bits == Bitwidth::B0 {
+            return 0.0;
+        }
+        self.scale * (code as i64 - self.zero_point as i64) as f32
+    }
+
+    /// Quantize-then-dequantize ("fake quantization"), the float-side model
+    /// of the integer datapath.
+    pub fn fake_quant(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Fake-quantizes a slice in one pass.
+    pub fn fake_quant_slice(&self, values: &[f32]) -> Vec<f32> {
+        values.iter().map(|&v| self.fake_quant(v)).collect()
+    }
+
+    /// Sum of squared quantization errors over a group.
+    pub fn sq_error(&self, values: &[f32]) -> f32 {
+        values
+            .iter()
+            .map(|&v| {
+                let e = v - self.fake_quant(v);
+                e * e
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let values: Vec<f32> = (0..100).map(|i| (i as f32 * 0.173).sin() * 3.0).collect();
+        for bits in [Bitwidth::B2, Bitwidth::B4, Bitwidth::B8] {
+            let p = QuantParams::calibrate_minmax(&values, bits);
+            for &v in &values {
+                let err = (v - p.fake_quant(v)).abs();
+                assert!(
+                    err <= p.scale() / 2.0 + 1e-5,
+                    "bits={bits} v={v} err={err} scale={}",
+                    p.scale()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        // Post-softmax attention maps are full of (near-)zeros; the
+        // calibration must keep exact zeros exact.
+        let values = [0.0f32, 0.1, 0.9, 0.0, 0.3];
+        for bits in [Bitwidth::B2, Bitwidth::B4, Bitwidth::B8] {
+            let p = QuantParams::calibrate_minmax(&values, bits);
+            assert_eq!(p.fake_quant(0.0), 0.0, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn b0_skips_everything() {
+        let p = QuantParams::calibrate_minmax(&[1.0, 2.0, 3.0], Bitwidth::B0);
+        assert_eq!(p.quantize(2.5), 0);
+        assert_eq!(p.dequantize(0), 0.0);
+        assert_eq!(p.fake_quant(123.0), 0.0);
+    }
+
+    #[test]
+    fn constant_group_is_representable() {
+        let p = QuantParams::calibrate_minmax(&[0.0, 0.0, 0.0], Bitwidth::B4);
+        assert_eq!(p.fake_quant(0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_and_nonfinite_groups_do_not_panic() {
+        let p = QuantParams::calibrate_minmax(&[], Bitwidth::B8);
+        assert!(p.scale() > 0.0);
+        let p = QuantParams::calibrate_minmax(&[f32::NAN, f32::INFINITY], Bitwidth::B8);
+        assert!(p.fake_quant(1.0).is_finite());
+    }
+
+    #[test]
+    fn codes_stay_in_range() {
+        let values = [-5.0f32, -1.0, 0.0, 2.0, 7.0];
+        for bits in [Bitwidth::B2, Bitwidth::B4, Bitwidth::B8] {
+            let p = QuantParams::calibrate_minmax(&values, bits);
+            for v in [-100.0f32, -5.0, 0.0, 7.0, 100.0] {
+                assert!(p.quantize(v) <= bits.max_code());
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_never_worse() {
+        let values: Vec<f32> = (0..256).map(|i| ((i * 37) % 101) as f32 * 0.01).collect();
+        let e2 = QuantParams::calibrate_minmax(&values, Bitwidth::B2).sq_error(&values);
+        let e4 = QuantParams::calibrate_minmax(&values, Bitwidth::B4).sq_error(&values);
+        let e8 = QuantParams::calibrate_minmax(&values, Bitwidth::B8).sq_error(&values);
+        assert!(e2 >= e4);
+        assert!(e4 >= e8);
+    }
+
+    #[test]
+    fn outlier_inflates_scale() {
+        // The paper's core observation (Sec. III-A): a single large outlier
+        // in the group inflates the scale and crushes the small values.
+        let uniform = [0.01f32, 0.012, 0.011, 0.013];
+        let with_outlier = [0.01f32, 0.012, 0.011, 0.9];
+        let pu = QuantParams::calibrate_minmax(&uniform, Bitwidth::B4);
+        let po = QuantParams::calibrate_minmax(&with_outlier, Bitwidth::B4);
+        assert!(po.scale() > pu.scale() * 10.0);
+        // Small values become indistinguishable under the outlier-driven scale.
+        assert_eq!(po.quantize(0.01), po.quantize(0.012));
+        // Without the outlier they stay distinguishable.
+        assert_ne!(pu.quantize(0.01), pu.quantize(0.013));
+    }
+
+    #[test]
+    fn percentile_full_range_equals_minmax() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32 * 0.31).sin()).collect();
+        let a = QuantParams::calibrate_minmax(&values, Bitwidth::B4);
+        let b = QuantParams::calibrate_percentile(&values, Bitwidth::B4, 1.0);
+        assert!((a.scale() - b.scale()).abs() < 1e-6);
+        assert_eq!(a.zero_point(), b.zero_point());
+    }
+
+    #[test]
+    fn percentile_clips_tails() {
+        // One huge outlier among small values: 90th-percentile calibration
+        // ignores it and keeps the small values' resolution.
+        let mut values = vec![0.01f32; 99];
+        values.push(10.0);
+        let minmax = QuantParams::calibrate_minmax(&values, Bitwidth::B4);
+        let clipped = QuantParams::calibrate_percentile(&values, Bitwidth::B4, 0.9);
+        assert!(clipped.scale() < minmax.scale() / 10.0);
+        // But the outlier itself saturates badly under clipping.
+        let err_clipped = (10.0 - clipped.fake_quant(10.0)).abs();
+        let err_minmax = (10.0 - minmax.fake_quant(10.0)).abs();
+        assert!(err_clipped > err_minmax);
+    }
+
+    #[test]
+    fn percentile_wrong_for_attention_maps() {
+        // The ablation conclusion: on an attention-map-like distribution
+        // (few large in-group values carrying the mass, many near-zero
+        // background values), clipping the top percentile destroys the
+        // values that matter — total *mass-weighted* error explodes.
+        let mut values: Vec<f32> = (0..96).map(|i| 1e-3 + 1e-4 * (i % 7) as f32).collect();
+        values.extend([0.22f32, 0.24, 0.25, 0.29]); // the in-group mass
+        let minmax = QuantParams::calibrate_minmax(&values, Bitwidth::B4);
+        let clipped = QuantParams::calibrate_percentile(&values, Bitwidth::B4, 0.9);
+        let weighted_err = |p: &QuantParams| -> f32 {
+            values
+                .iter()
+                .map(|&v| v * (v - p.fake_quant(v)).abs())
+                .sum()
+        };
+        assert!(
+            weighted_err(&clipped) > weighted_err(&minmax) * 3.0,
+            "clipping should be far worse on attention maps: {} vs {}",
+            weighted_err(&clipped),
+            weighted_err(&minmax)
+        );
+    }
+
+    #[test]
+    fn percentile_degenerate_inputs() {
+        let p = QuantParams::calibrate_percentile(&[], Bitwidth::B8, 0.9);
+        assert!(p.scale() > 0.0);
+        let p = QuantParams::calibrate_percentile(&[f32::NAN], Bitwidth::B8, 0.9);
+        assert!(p.scale() > 0.0);
+        let p = QuantParams::calibrate_percentile(&[5.0; 10], Bitwidth::B8, 0.5);
+        assert_eq!(p.fake_quant(5.0), 5.0);
+        let p = QuantParams::calibrate_percentile(&[1.0, 2.0], Bitwidth::B0, 0.9);
+        assert_eq!(p.fake_quant(2.0), 0.0);
+    }
+
+    #[test]
+    fn new_clamps_bad_scale() {
+        let p = QuantParams::new(0.0, 0, Bitwidth::B8);
+        assert!(p.scale() > 0.0);
+        let p = QuantParams::new(f32::NAN, 0, Bitwidth::B8);
+        assert!(p.scale() > 0.0);
+    }
+}

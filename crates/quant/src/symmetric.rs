@@ -1,0 +1,226 @@
+//! Symmetric signed quantization: the datapath representation of `Q`/`K`.
+//!
+//! Attention embeddings are roughly zero-centered, and the accelerator's
+//! fixed-point multipliers (and the LDZ unit) operate on signed two's-
+//! complement operands, so `Q`/`K` quantize symmetrically: code =
+//! `round(x / s)` with `s = max|x| / 127`, no zero point. This module
+//! provides that codec per row (per token), which the pipeline and the
+//! integer-datapath tests share.
+
+use crate::QuantError;
+use paro_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A symmetrically-quantized `[rows, cols]` matrix: signed INT8 codes plus
+/// one scale per row.
+///
+/// # Example
+///
+/// ```
+/// use paro_quant::SymmetricInt8;
+/// use paro_tensor::Tensor;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let t = Tensor::from_vec(&[1, 4], vec![-1.27, 0.0, 0.635, 1.27])?;
+/// let q = SymmetricInt8::quantize_rowwise(&t)?;
+/// // The extreme value maps to ±127; zero maps to exactly zero.
+/// assert_eq!(q.codes(), &[-127, 0, 64, 127]);
+/// assert!((q.scales()[0] - 0.01).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymmetricInt8 {
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl SymmetricInt8 {
+    /// Quantizes a rank-2 tensor per row at signed INT8.
+    ///
+    /// Rows of all-zeros get scale 1 (codes are all zero anyway).
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for non-rank-2 input.
+    pub fn quantize_rowwise(t: &Tensor) -> Result<Self, QuantError> {
+        if t.rank() != 2 {
+            return Err(QuantError::Tensor(TensorError::RankMismatch {
+                expected: 2,
+                actual: t.rank(),
+            }));
+        }
+        let (rows, cols) = (t.shape()[0], t.shape()[1]);
+        let a = t.as_slice();
+        let mut codes = vec![0i8; rows * cols];
+        let mut scales = vec![1.0f32; rows];
+        for r in 0..rows {
+            let row = &a[r * cols..(r + 1) * cols];
+            let amax = row
+                .iter()
+                .filter(|v| v.is_finite())
+                .fold(0.0f32, |acc, &x| acc.max(x.abs()));
+            let s = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+            scales[r] = s;
+            for (c, &x) in row.iter().enumerate() {
+                let v = if x.is_finite() { x } else { 0.0 };
+                codes[r * cols + c] = (v / s).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Ok(SymmetricInt8 {
+            codes,
+            scales,
+            rows,
+            cols,
+        })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The signed codes, row-major.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// One row of codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_codes(&self, row: usize) -> &[i8] {
+        &self.codes[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Per-row scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Dequantizes back to a float tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let mut data = Vec::with_capacity(self.codes.len());
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            for c in 0..self.cols {
+                data.push(self.codes[r * self.cols + c] as f32 * s);
+            }
+        }
+        Tensor::from_vec(&[self.rows, self.cols], data).expect("size by construction")
+    }
+
+    /// The integer dot product of row `i` of `self` with row `j` of
+    /// `other`, rescaled to float — one `Q·Kᵀ` entry exactly as the
+    /// fixed-point PE computes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension mismatch if the column counts differ.
+    pub fn row_dot(&self, i: usize, other: &SymmetricInt8, j: usize) -> Result<f32, QuantError> {
+        if self.cols != other.cols {
+            return Err(QuantError::Tensor(TensorError::MatmulDimMismatch {
+                left: vec![self.rows, self.cols],
+                right: vec![other.rows, other.cols],
+            }));
+        }
+        let a = self.row_codes(i);
+        let b = other.row_codes(j);
+        let mut acc: i32 = 0;
+        for (&x, &y) in a.iter().zip(b) {
+            acc += x as i32 * y as i32;
+        }
+        Ok(acc as f32 * self.scales[i] * other.scales[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paro_tensor::metrics;
+    use paro_tensor::rng::seeded;
+    use rand::distributions::Uniform;
+
+    fn random(m: usize, n: usize, seed: u64) -> Tensor {
+        Tensor::random(&[m, n], &Uniform::new(-2.0f32, 2.0), &mut seeded(seed))
+    }
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let t = random(8, 16, 1);
+        let q = SymmetricInt8::quantize_rowwise(&t).unwrap();
+        let back = q.dequantize();
+        // Per element: |x - x̂| <= s/2 per row.
+        for r in 0..8 {
+            let s = q.scales()[r];
+            for c in 0..16 {
+                let err = (t.at(&[r, c]) - back.at(&[r, c])).abs();
+                assert!(err <= s / 2.0 + 1e-6, "r={r} c={c} err={err}");
+            }
+        }
+        assert!(metrics::relative_l2(&t, &back).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn symmetric_means_zero_maps_to_zero() {
+        let t = random(4, 8, 2);
+        let q = SymmetricInt8::quantize_rowwise(&t).unwrap();
+        // Symmetric codes: negate the input, codes negate (up to the ±127
+        // clamp of the most extreme entry).
+        let neg = t.scale(-1.0);
+        let qn = SymmetricInt8::quantize_rowwise(&neg).unwrap();
+        for (a, b) in q.codes().iter().zip(qn.codes()) {
+            assert_eq!(*a, -*b);
+        }
+    }
+
+    #[test]
+    fn row_dot_matches_float_dot() {
+        let a = random(4, 32, 3);
+        let b = random(6, 32, 4);
+        let qa = SymmetricInt8::quantize_rowwise(&a).unwrap();
+        let qb = SymmetricInt8::quantize_rowwise(&b).unwrap();
+        for i in 0..4 {
+            for j in 0..6 {
+                let int_dot = qa.row_dot(i, &qb, j).unwrap();
+                let mut float_dot = 0.0f32;
+                for c in 0..32 {
+                    float_dot += a.at(&[i, c]) * b.at(&[j, c]);
+                }
+                assert!(
+                    (int_dot - float_dot).abs() < 0.05 * (1.0 + float_dot.abs()),
+                    "i={i} j={j}: {int_dot} vs {float_dot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_rows() {
+        let t = Tensor::zeros(&[2, 4]);
+        let q = SymmetricInt8::quantize_rowwise(&t).unwrap();
+        assert!(q.codes().iter().all(|&c| c == 0));
+        assert!(q.dequantize().as_slice().iter().all(|&v| v == 0.0));
+        // Non-finite values are treated as zero.
+        let t = Tensor::from_vec(&[1, 3], vec![f32::NAN, 1.0, f32::INFINITY]).unwrap();
+        let q = SymmetricInt8::quantize_rowwise(&t).unwrap();
+        assert_eq!(q.codes()[0], 0);
+        assert_eq!(q.codes()[1], 127);
+        assert_eq!(q.codes()[2], 0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SymmetricInt8::quantize_rowwise(&Tensor::zeros(&[4])).is_err());
+        let a = SymmetricInt8::quantize_rowwise(&random(2, 8, 5)).unwrap();
+        let b = SymmetricInt8::quantize_rowwise(&random(2, 9, 6)).unwrap();
+        assert!(a.row_dot(0, &b, 0).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the quantization substrate.
+
+use paro_quant::{fake_quant_2d, fake_quant_blocks, Bitwidth, BlockGrid, Grouping, PackedCodes, QuantParams};
+use paro_tensor::Tensor;
+use proptest::prelude::*;
+
+fn finite_values() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1000.0f32..1000.0, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn quant_error_bounded_by_half_step(values in finite_values(), bi in 1usize..4) {
+        let bits = Bitwidth::ALL[bi];
+        let p = QuantParams::calibrate_minmax(&values, bits);
+        for &v in &values {
+            let err = (v - p.fake_quant(v)).abs();
+            // Codes clamp at the range edges; inside the calibrated range the
+            // error is at most half a step (+ float slack for large spans).
+            prop_assert!(err <= p.scale() * 0.5 + 1e-3 * v.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn quantize_is_monotonic(values in finite_values(), bi in 1usize..4) {
+        let bits = Bitwidth::ALL[bi];
+        let p = QuantParams::calibrate_minmax(&values, bits);
+        let mut sorted = values.clone();
+        sorted.sort_by(f32::total_cmp);
+        for w in sorted.windows(2) {
+            prop_assert!(p.quantize(w[0]) <= p.quantize(w[1]));
+        }
+    }
+
+    #[test]
+    fn codes_within_range(values in finite_values(), probe in -2000.0f32..2000.0, bi in 0usize..4) {
+        let bits = Bitwidth::ALL[bi];
+        let p = QuantParams::calibrate_minmax(&values, bits);
+        prop_assert!(p.quantize(probe) <= bits.max_code());
+    }
+
+    #[test]
+    fn pack_roundtrip(len in 0usize..100, bi in 0usize..4, seed in 0u64..1000) {
+        let bits = Bitwidth::ALL[bi];
+        let mut rng_state = seed;
+        let codes: Vec<u32> = (0..len).map(|_| {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng_state >> 33) as u32 % bits.levels()
+        }).collect();
+        let packed = PackedCodes::pack(&codes, bits).unwrap();
+        prop_assert_eq!(packed.unpack(), codes);
+        prop_assert_eq!(packed.byte_len(), PackedCodes::bytes_for(len, bits));
+    }
+
+    #[test]
+    fn finer_grouping_shrinks_scales(
+        m in 2usize..16, n in 2usize..16, seed in 0u64..500
+    ) {
+        // Per-row grouping refines per-tensor grouping: every row's value
+        // range is contained in the tensor's range, so every per-row scale
+        // is bounded by the per-tensor scale. (Total squared error is NOT
+        // monotone under refinement — rounding can conspire — so the scale
+        // bound is the invariant worth pinning.)
+        let t = Tensor::random(
+            &[m, n],
+            &rand::distributions::Uniform::new(-3.0f32, 3.0),
+            &mut paro_tensor::rng::seeded(seed),
+        );
+        let (_, pt) = fake_quant_2d(&t, Grouping::PerTensor, Bitwidth::B4).unwrap();
+        let (_, pr) = fake_quant_2d(&t, Grouping::PerRow, Bitwidth::B4).unwrap();
+        let tensor_scale = pt[0].scale();
+        for p in &pr {
+            prop_assert!(p.scale() <= tensor_scale * (1.0 + 1e-6));
+        }
+        // The worst-case per-element error bound (half a step) shrinks too.
+        let max_row_scale = pr.iter().map(|p| p.scale()).fold(0.0f32, f32::max);
+        prop_assert!(max_row_scale <= tensor_scale * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn blockwise_b8_high_fidelity(m in 2usize..24, n in 2usize..24, edge in 1usize..8, seed in 0u64..200) {
+        let t = Tensor::random(
+            &[m, n],
+            &rand::distributions::Uniform::new(0.0f32, 1.0),
+            &mut paro_tensor::rng::seeded(seed),
+        );
+        let grid = BlockGrid::square(edge).unwrap();
+        let count = grid.block_count(m, n);
+        let (q, params) = fake_quant_blocks(&t, grid, &vec![Bitwidth::B8; count]).unwrap();
+        prop_assert_eq!(params.len(), count);
+        prop_assert!(paro_tensor::metrics::relative_l2(&t, &q).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn zero_bit_blocks_read_zero(m in 2usize..16, n in 2usize..16, edge in 1usize..6, seed in 0u64..200) {
+        let t = Tensor::random(
+            &[m, n],
+            &rand::distributions::Uniform::new(0.5f32, 1.0),
+            &mut paro_tensor::rng::seeded(seed),
+        );
+        let grid = BlockGrid::square(edge).unwrap();
+        let count = grid.block_count(m, n);
+        let (q, _) = fake_quant_blocks(&t, grid, &vec![Bitwidth::B0; count]).unwrap();
+        prop_assert!(q.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Serde round-trip tests: every serializable quant type must survive a
+//! JSON round trip bit-for-bit (these types land in the experiment JSON
+//! dumps and in frozen calibration files).
+
+use paro_quant::{
+    fake_quant_blocks, Bitwidth, BlockGrid, Grouping, MixedPrecisionMap, PackedCodes, QuantParams,
+};
+use paro_tensor::Tensor;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn bitwidth_roundtrip() {
+    for b in Bitwidth::ALL {
+        assert_eq!(roundtrip(&b), b);
+    }
+}
+
+#[test]
+fn quant_params_roundtrip() {
+    let p = QuantParams::calibrate_minmax(&[0.1, 0.5, 0.9], Bitwidth::B4);
+    let q: QuantParams = roundtrip(&p);
+    assert_eq!(q, p);
+    // Behavioral equality, not just field equality.
+    for v in [0.0f32, 0.3, 0.7, 1.2] {
+        assert_eq!(q.fake_quant(v), p.fake_quant(v));
+    }
+}
+
+#[test]
+fn grouping_and_grid_roundtrip() {
+    let grid = BlockGrid::new(8, 16).unwrap();
+    assert_eq!(roundtrip(&grid), grid);
+    for g in [
+        Grouping::PerTensor,
+        Grouping::PerRow,
+        Grouping::PerCol,
+        Grouping::Block(grid),
+    ] {
+        assert_eq!(roundtrip(&g), g);
+    }
+}
+
+#[test]
+fn packed_codes_roundtrip() {
+    let codes: Vec<u32> = (0..50).map(|i| i % 4).collect();
+    let packed = PackedCodes::pack(&codes, Bitwidth::B2).unwrap();
+    let back: PackedCodes = roundtrip(&packed);
+    assert_eq!(back, packed);
+    assert_eq!(back.unpack(), codes);
+}
+
+#[test]
+fn mixed_map_roundtrip() {
+    let map = Tensor::from_fn(&[8, 8], |i| 0.1 + 0.05 * ((i[0] * 3 + i[1]) % 7) as f32);
+    let grid = BlockGrid::square(4).unwrap();
+    let bits = vec![Bitwidth::B8, Bitwidth::B4, Bitwidth::B2, Bitwidth::B0];
+    let packed = MixedPrecisionMap::quantize(&map, grid, &bits).unwrap();
+    let back: MixedPrecisionMap = roundtrip(&packed);
+    assert_eq!(back, packed);
+    assert_eq!(back.dequantize().unwrap(), packed.dequantize().unwrap());
+    // Matches the float-side fake quantization after the round trip too.
+    let (fq, _) = fake_quant_blocks(&map, grid, &bits).unwrap();
+    assert_eq!(back.dequantize().unwrap(), fq);
+}
+
+#[test]
+fn tensor_roundtrip() {
+    let t = Tensor::from_fn(&[3, 5], |i| (i[0] * 5 + i[1]) as f32 * 0.25 - 1.0);
+    let back: Tensor = roundtrip(&t);
+    assert_eq!(back, t);
+}

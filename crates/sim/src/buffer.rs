@@ -1,0 +1,203 @@
+//! On-chip buffer planning: which tensors of the attention dataflow live
+//! in the 1.5 MB SRAM, and when the plan stops fitting.
+//!
+//! The PARO dataflow processes the attention map as row panels
+//! (`tile_edge` query rows x all key columns) that must stay on-chip
+//! between `QKᵀ`, softmax and `AttnV`. This module builds the explicit
+//! buffer allocation for that dataflow and reports whether it fits — the
+//! capacity cliff that makes attention-map quantization so valuable on
+//! this architecture (an FP16 panel at 17.8k tokens does not fit; an INT8
+//! or mixed-precision panel does).
+
+use crate::{HardwareConfig, SimError};
+use paro_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One named buffer region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferRegion {
+    /// Region name (e.g. `"map row panel"`).
+    pub name: String,
+    /// Bytes reserved, including double-buffer copies.
+    pub bytes: u64,
+}
+
+/// A buffer allocation against a fixed SRAM capacity.
+///
+/// # Example
+///
+/// ```
+/// use paro_model::ModelConfig;
+/// use paro_sim::buffer::paro_attention_plan;
+/// use paro_sim::HardwareConfig;
+/// let hw = HardwareConfig::paro_asic();
+/// let cfg = ModelConfig::cogvideox_5b();
+/// // The paper's capacity cliff: FP16 map panels overflow the 1.5 MB SRAM,
+/// // INT8 and 4.8-bit panels fit.
+/// assert!(paro_attention_plan(&hw, &cfg, 16.0).is_err());
+/// assert!(paro_attention_plan(&hw, &cfg, 4.8).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferPlan {
+    capacity: u64,
+    regions: Vec<BufferRegion>,
+}
+
+impl BufferPlan {
+    /// Creates an empty plan over `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        BufferPlan {
+            capacity,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Reserves a region; `copies = 2` for double-buffered regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadHardwareConfig`] naming the region when the
+    /// reservation exceeds the remaining capacity.
+    pub fn reserve(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        copies: u64,
+    ) -> Result<(), SimError> {
+        let name = name.into();
+        let total = bytes * copies;
+        if self.used() + total > self.capacity {
+            return Err(SimError::BadProfile {
+                reason: format!(
+                    "buffer plan overflow: region '{name}' needs {total} B, only {} B free",
+                    self.free()
+                ),
+            });
+        }
+        self.regions.push(BufferRegion { name, bytes: total });
+        Ok(())
+    }
+
+    /// Total bytes reserved.
+    pub fn used(&self) -> u64 {
+        self.regions.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used())
+    }
+
+    /// SRAM capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The reserved regions.
+    pub fn regions(&self) -> &[BufferRegion] {
+        &self.regions
+    }
+}
+
+/// Builds the PARO attention row-panel buffer plan for a model at a map
+/// precision, or reports the overflow.
+///
+/// Regions:
+/// - `Q` tile: `tile_edge x head_dim` INT8, double buffered.
+/// - `K`/`V` streaming tiles: `tile_edge x head_dim` INT8 each, double
+///   buffered.
+/// - map row panel: `tile_edge x n_tokens` at the map's storage bits,
+///   double buffered (QKᵀ writes one copy while AttnV consumes the other).
+/// - output accumulator: `tile_edge x head_dim` FP32 partials.
+///
+/// # Errors
+///
+/// Returns the overflow error of the first region that does not fit.
+pub fn paro_attention_plan(
+    hw: &HardwareConfig,
+    cfg: &ModelConfig,
+    map_bits_per_elem: f64,
+) -> Result<BufferPlan, SimError> {
+    let tile_edge = (hw.int8_macs_per_cycle as f64).cbrt().round().max(1.0) as u64;
+    let n = cfg.total_tokens() as u64;
+    let hd = cfg.head_dim() as u64;
+    let mut plan = BufferPlan::new(hw.sram_bytes);
+    plan.reserve("q tile (int8)", tile_edge * hd, 2)?;
+    plan.reserve("k tile (int8)", tile_edge * hd, 2)?;
+    plan.reserve("v tile (int8)", tile_edge * hd, 2)?;
+    let panel_bytes = (tile_edge as f64 * n as f64 * map_bits_per_elem / 8.0).ceil() as u64;
+    plan.reserve("map row panel", panel_bytes, 2)?;
+    plan.reserve("output accumulator (fp32)", tile_edge * hd * 4, 1)?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paro_quant::Bitwidth;
+
+    #[test]
+    fn reserve_and_overflow() {
+        let mut plan = BufferPlan::new(1000);
+        plan.reserve("a", 300, 2).unwrap();
+        assert_eq!(plan.used(), 600);
+        assert_eq!(plan.free(), 400);
+        assert!(plan.reserve("b", 300, 2).is_err());
+        plan.reserve("c", 400, 1).unwrap();
+        assert_eq!(plan.free(), 0);
+    }
+
+    #[test]
+    fn fp16_panel_does_not_fit_but_int8_does() {
+        // The capacity cliff of the paper's dataflow, stated explicitly.
+        let hw = HardwareConfig::paro_asic();
+        let cfg = ModelConfig::cogvideox_5b();
+        assert!(
+            paro_attention_plan(&hw, &cfg, 16.0).is_err(),
+            "FP16 map panels must overflow the 1.5 MB SRAM"
+        );
+        let int8 = paro_attention_plan(&hw, &cfg, 8.0).expect("INT8 panels fit");
+        assert!(int8.used() <= hw.sram_bytes);
+        let mixed = paro_attention_plan(&hw, &cfg, 4.8).expect("mixed panels fit");
+        assert!(mixed.used() < int8.used());
+    }
+
+    #[test]
+    fn plan_matches_machine_spill_condition() {
+        // The ParoMachine charges a spill exactly when this plan overflows:
+        // cross-check the two formulations on both precisions.
+        use crate::machines::{Machine, ParoMachine, ParoOptimizations};
+        use crate::AttentionProfile;
+        let hw = HardwareConfig::paro_asic();
+        let cfg = ModelConfig::cogvideox_2b();
+        // Quantized (fits): the QkT record must be compute-bound.
+        let quant = ParoMachine::new(hw.clone(), ParoOptimizations::all())
+            .run_model(&cfg, &AttentionProfile::paper_mp());
+        let qkt = quant
+            .block_records
+            .iter()
+            .find(|r| r.name == "QkT")
+            .unwrap();
+        assert!(qkt.compute_cycles >= qkt.memory_cycles);
+        assert!(paro_attention_plan(&hw, &cfg, 4.8).is_ok());
+        // FP16 (overflows): the QkT record becomes memory-bound.
+        let fp16 = ParoMachine::new(hw.clone(), ParoOptimizations::none())
+            .run_model(&cfg, &AttentionProfile::uniform(Bitwidth::B8));
+        let qkt = fp16
+            .block_records
+            .iter()
+            .find(|r| r.name == "QkT")
+            .unwrap();
+        assert!(qkt.memory_cycles > qkt.compute_cycles);
+        assert!(paro_attention_plan(&hw, &cfg, 16.0).is_err());
+    }
+
+    #[test]
+    fn small_models_always_fit() {
+        let hw = HardwareConfig::paro_asic();
+        let cfg = ModelConfig::tiny(4, 4, 4);
+        let plan = paro_attention_plan(&hw, &cfg, 16.0).unwrap();
+        assert!(plan.used() < hw.sram_bytes / 10);
+        assert_eq!(plan.regions().len(), 5);
+    }
+}

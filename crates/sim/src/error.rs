@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the accelerator simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A hardware configuration value is invalid (zero frequency, zero
+    /// bandwidth, etc.).
+    BadHardwareConfig {
+        /// Which field is invalid.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An attention precision profile does not describe a distribution.
+    BadProfile {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadHardwareConfig { field, value } => {
+                write!(f, "invalid hardware configuration: {field} = {value}")
+            }
+            SimError::BadProfile { reason } => write!(f, "invalid attention profile: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!SimError::BadHardwareConfig {
+            field: "freq_ghz",
+            value: 0.0
+        }
+        .to_string()
+        .is_empty());
+        assert!(!SimError::BadProfile {
+            reason: "negative share".to_string()
+        }
+        .to_string()
+        .is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// A hardware resource budget shared by every simulated machine.
+///
+/// The paper compares PARO against Sanger and ViTCoD "under the same
+/// hardware resource constraints" and against an A100 by aligning "peak
+/// computing performance, memory bandwidth, frequency, on-chip buffer
+/// size" — this struct is that resource envelope.
+///
+/// # Example
+///
+/// ```
+/// use paro_sim::HardwareConfig;
+/// let hw = HardwareConfig::paro_asic();
+/// assert_eq!(hw.int8_macs_per_cycle, 32 * 32 * 32);
+/// assert!(hw.validate().is_ok());
+/// // 51.2 GB/s at 1 GHz = 51.2 bytes per cycle.
+/// assert!((hw.dram_bytes_per_cycle() - 51.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareConfig {
+    /// Machine label for reports.
+    pub name: String,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Peak INT8 multiply-accumulates per cycle across all PE arrays
+    /// (FP16 runs at half this rate: an FP16 MAC occupies two INT8 lanes,
+    /// matching the PE-area equivalence the paper's comparison assumes).
+    pub int8_macs_per_cycle: u64,
+    /// FP vector-unit throughput in elementwise operations per cycle
+    /// (softmax exp/add/div, dequantization, accumulation).
+    pub vector_ops_per_cycle: u64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// On-chip SRAM in bytes.
+    pub sram_bytes: u64,
+}
+
+impl HardwareConfig {
+    /// The PARO ASIC of Table II: 32x32x32 PEs at 1 GHz, 51.2 GB/s DDR,
+    /// 1.5 MB SRAM.
+    pub fn paro_asic() -> Self {
+        HardwareConfig {
+            name: "PARO".to_string(),
+            freq_ghz: 1.0,
+            int8_macs_per_cycle: 32 * 32 * 32,
+            vector_ops_per_cycle: 2048,
+            dram_gbps: 51.2,
+            sram_bytes: 3 * 512 * 1024, // 1.5 MB
+        }
+    }
+
+    /// An NVIDIA A100 (SXM, 80 GB) resource envelope: 312 TFLOPS FP16
+    /// (156e12 MACs/s), ~2.0 TB/s HBM2e, 40 MB L2 as the on-chip buffer.
+    pub fn a100() -> Self {
+        HardwareConfig {
+            name: "A100".to_string(),
+            freq_ghz: 1.41,
+            // 312 TFLOPS FP16 = 156e12 FP16 MACs/s; in this model FP16 runs
+            // at half the INT8 rate, so the INT8 peak is 312e12 MACs/s
+            // (matching the A100's 624 TOPS INT8 tensor-core peak).
+            int8_macs_per_cycle: (312e12 / 1.41e9) as u64,
+            // CUDA-core FP32 throughput for softmax-class work:
+            // 19.5 TFLOPS -> ~13.8e3 ops/cycle.
+            vector_ops_per_cycle: (19.5e12 / 1.41e9) as u64,
+            dram_gbps: 2039.0,
+            sram_bytes: 40 * 1024 * 1024,
+        }
+    }
+
+    /// PARO with its resource envelope aligned to the A100 ("PARO-align-
+    /// A100" in Fig. 6(a)): same peak ops, bandwidth, frequency and buffer.
+    pub fn paro_align_a100() -> Self {
+        let a100 = HardwareConfig::a100();
+        HardwareConfig {
+            name: "PARO-align-A100".to_string(),
+            ..a100
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadHardwareConfig`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.freq_ghz <= 0.0 || self.freq_ghz.is_nan() {
+            return Err(SimError::BadHardwareConfig {
+                field: "freq_ghz",
+                value: self.freq_ghz,
+            });
+        }
+        if self.int8_macs_per_cycle == 0 {
+            return Err(SimError::BadHardwareConfig {
+                field: "int8_macs_per_cycle",
+                value: 0.0,
+            });
+        }
+        if self.vector_ops_per_cycle == 0 {
+            return Err(SimError::BadHardwareConfig {
+                field: "vector_ops_per_cycle",
+                value: 0.0,
+            });
+        }
+        if self.dram_gbps <= 0.0 || self.dram_gbps.is_nan() {
+            return Err(SimError::BadHardwareConfig {
+                field: "dram_gbps",
+                value: self.dram_gbps,
+            });
+        }
+        if self.sram_bytes == 0 {
+            return Err(SimError::BadHardwareConfig {
+                field: "sram_bytes",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// DRAM bytes transferable per clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_gbps / self.freq_ghz
+    }
+
+    /// Converts a cycle count to seconds.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paro_asic_matches_table2() {
+        let hw = HardwareConfig::paro_asic();
+        assert_eq!(hw.int8_macs_per_cycle, 32768);
+        assert_eq!(hw.sram_bytes, 1536 * 1024);
+        assert!((hw.dram_gbps - 51.2).abs() < 1e-9);
+        assert!(hw.validate().is_ok());
+        // Peak INT8 throughput: 32768 MACs/cycle at 1 GHz = 65.5 TOPS.
+        let tops = hw.int8_macs_per_cycle as f64 * 2.0 * hw.freq_ghz / 1e3;
+        assert!((tops - 65.536).abs() < 0.01);
+    }
+
+    #[test]
+    fn a100_envelope_is_larger() {
+        let paro = HardwareConfig::paro_asic();
+        let a100 = HardwareConfig::a100();
+        assert!(a100.int8_macs_per_cycle > paro.int8_macs_per_cycle);
+        assert!(a100.dram_gbps > paro.dram_gbps * 10.0);
+        assert!(a100.validate().is_ok());
+    }
+
+    #[test]
+    fn align_shares_a100_resources() {
+        let a100 = HardwareConfig::a100();
+        let align = HardwareConfig::paro_align_a100();
+        assert_eq!(align.int8_macs_per_cycle, a100.int8_macs_per_cycle);
+        assert_eq!(align.dram_gbps, a100.dram_gbps);
+        assert_ne!(align.name, a100.name);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut hw = HardwareConfig::paro_asic();
+        hw.freq_ghz = 0.0;
+        assert!(hw.validate().is_err());
+        let mut hw = HardwareConfig::paro_asic();
+        hw.dram_gbps = -1.0;
+        assert!(hw.validate().is_err());
+        let mut hw = HardwareConfig::paro_asic();
+        hw.int8_macs_per_cycle = 0;
+        assert!(hw.validate().is_err());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let hw = HardwareConfig::paro_asic();
+        assert!((hw.dram_bytes_per_cycle() - 51.2).abs() < 1e-9);
+        assert!((hw.cycles_to_seconds(1e9) - 1.0).abs() < 1e-12);
+    }
+}

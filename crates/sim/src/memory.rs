@@ -1,0 +1,124 @@
+use crate::HardwareConfig;
+use serde::{Deserialize, Serialize};
+
+/// The memory system: DDR bandwidth model with SRAM double buffering.
+///
+/// The simulator charges every off-chip transfer at the configured
+/// bandwidth and lets compute overlap memory perfectly when double
+/// buffering applies (the per-op latency is `max(compute, memory)`), which
+/// is the standard idealization for weight/activation streaming on
+/// accelerators with split input/output buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystem {
+    bytes_per_cycle: f64,
+    sram_bytes: u64,
+    traffic_bytes: f64,
+}
+
+impl MemorySystem {
+    /// Builds the memory model from a hardware envelope.
+    pub fn new(hw: &HardwareConfig) -> Self {
+        MemorySystem {
+            bytes_per_cycle: hw.dram_bytes_per_cycle(),
+            sram_bytes: hw.sram_bytes,
+            traffic_bytes: 0.0,
+        }
+    }
+
+    /// Cycles to move `bytes` across the DRAM interface, also recording the
+    /// traffic for energy accounting.
+    pub fn transfer_cycles(&mut self, bytes: f64) -> f64 {
+        self.traffic_bytes += bytes.max(0.0);
+        bytes.max(0.0) / self.bytes_per_cycle
+    }
+
+    /// Cycles to move `bytes` without recording traffic (what-if queries).
+    pub fn transfer_cycles_dry(&self, bytes: f64) -> f64 {
+        bytes.max(0.0) / self.bytes_per_cycle
+    }
+
+    /// Total DRAM traffic recorded so far, in bytes.
+    pub fn traffic_bytes(&self) -> f64 {
+        self.traffic_bytes
+    }
+
+    /// On-chip SRAM capacity in bytes.
+    pub fn sram_bytes(&self) -> u64 {
+        self.sram_bytes
+    }
+
+    /// Whether a working set fits on chip (determines when intermediate
+    /// tensors — e.g. an attention-map row panel — avoid the DRAM
+    /// round-trip).
+    pub fn fits_on_chip(&self, bytes: u64) -> bool {
+        // Double buffering halves the usable capacity.
+        bytes <= self.sram_bytes / 2
+    }
+
+    /// Resets the traffic counter.
+    pub fn reset_traffic(&mut self) {
+        self.traffic_bytes = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(&HardwareConfig::paro_asic())
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        let mut m = mem();
+        // 51.2 GB/s at 1 GHz = 51.2 B/cycle.
+        let cycles = m.transfer_cycles(512.0);
+        assert!((cycles - 10.0).abs() < 1e-9);
+        assert_eq!(m.traffic_bytes(), 512.0);
+    }
+
+    #[test]
+    fn traffic_accumulates_and_resets() {
+        let mut m = mem();
+        m.transfer_cycles(100.0);
+        m.transfer_cycles(200.0);
+        assert_eq!(m.traffic_bytes(), 300.0);
+        m.reset_traffic();
+        assert_eq!(m.traffic_bytes(), 0.0);
+    }
+
+    #[test]
+    fn dry_transfer_records_nothing() {
+        let m = mem();
+        assert!((m.transfer_cycles_dry(512.0) - 10.0).abs() < 1e-9);
+        assert_eq!(m.traffic_bytes(), 0.0);
+    }
+
+    #[test]
+    fn negative_bytes_clamped() {
+        let mut m = mem();
+        assert_eq!(m.transfer_cycles(-5.0), 0.0);
+        assert_eq!(m.traffic_bytes(), 0.0);
+    }
+
+    #[test]
+    fn on_chip_fit_uses_half_capacity() {
+        let m = mem();
+        assert!(m.fits_on_chip(700 * 1024));
+        assert!(!m.fits_on_chip(800 * 1024));
+    }
+
+    #[test]
+    fn attention_row_panel_fits_but_full_map_does_not() {
+        // A 32-row x 17.8k-col INT8 score panel (~0.57 MB) fits the 1.5 MB
+        // SRAM with double buffering; the full map (~300 MB/head) does not.
+        // This is the dataflow fact that keeps PARO's attention map
+        // on-chip.
+        let m = mem();
+        let panel = 32u64 * 17_776;
+        let full = 17_776u64 * 17_776;
+        assert!(m.fits_on_chip(panel));
+        assert!(!m.fits_on_chip(full));
+    }
+}

@@ -1,0 +1,204 @@
+use crate::HardwareConfig;
+use paro_model::workload::GemmShape;
+use paro_quant::Bitwidth;
+use serde::{Deserialize, Serialize};
+
+/// The multiplication mode of a mixed-precision PE (paper Fig. 4(b)).
+///
+/// Each PE consists of four 2b×8b fixed-point multipliers and can execute
+/// one 8b×8b, two 4b×8b, or four 2b×8b multiplications per cycle. FP16 is
+/// modeled as consuming two INT8 issue slots (the equal-area assumption
+/// behind the paper's resource-aligned comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeMode {
+    /// FP16 × FP16 (half the INT8 rate).
+    Fp16,
+    /// 8-bit × 8-bit: one multiplication per PE per cycle.
+    Int8x8,
+    /// 4-bit × 8-bit: two multiplications per PE per cycle.
+    Int4x8,
+    /// 2-bit × 8-bit: four multiplications per PE per cycle.
+    Int2x8,
+    /// 0-bit block: skipped entirely by the dispatcher.
+    Skip,
+}
+
+impl PeMode {
+    /// Multiplications per PE per cycle relative to the INT8 baseline.
+    pub fn throughput_factor(&self) -> f64 {
+        match self {
+            PeMode::Fp16 => 0.5,
+            PeMode::Int8x8 => 1.0,
+            PeMode::Int4x8 => 2.0,
+            PeMode::Int2x8 => 4.0,
+            PeMode::Skip => f64::INFINITY,
+        }
+    }
+
+    /// The PE mode serving an attention-map block of the given bitwidth
+    /// (the operand the low-bit side of the multiplier consumes).
+    pub fn for_bitwidth(bits: Bitwidth) -> PeMode {
+        match bits {
+            Bitwidth::B0 => PeMode::Skip,
+            Bitwidth::B2 => PeMode::Int2x8,
+            Bitwidth::B4 => PeMode::Int4x8,
+            Bitwidth::B8 => PeMode::Int8x8,
+        }
+    }
+}
+
+/// The PE-array timing model: converts GEMM shapes to compute cycles under
+/// a PE mode, with tiling edge effects.
+///
+/// # Example
+///
+/// ```
+/// use paro_model::workload::GemmShape;
+/// use paro_sim::{HardwareConfig, PeArray, PeMode};
+/// let pe = PeArray::new(&HardwareConfig::paro_asic());
+/// let shape = GemmShape::new(256, 64, 256);
+/// let c8 = pe.gemm_cycles(shape, PeMode::Int8x8);
+/// let c2 = pe.gemm_cycles(shape, PeMode::Int2x8);
+/// // Four 2b x 8b multiplications per PE per cycle.
+/// assert!((c8 / c2 - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeArray {
+    macs_per_cycle_int8: u64,
+    /// Tile edge used for shape padding (the physical array is organized as
+    /// `edge x edge` PEs with an `edge`-deep reduction; shapes are padded to
+    /// tile multiples, wasting edge fractions exactly as real arrays do).
+    tile_edge: usize,
+}
+
+impl PeArray {
+    /// Builds the timing model from a hardware envelope. The tile edge is
+    /// the cube root of the MAC budget (32 for the default 32x32x32 array).
+    pub fn new(hw: &HardwareConfig) -> Self {
+        let tile_edge = (hw.int8_macs_per_cycle as f64).cbrt().round().max(1.0) as usize;
+        PeArray {
+            macs_per_cycle_int8: hw.int8_macs_per_cycle,
+            tile_edge,
+        }
+    }
+
+    /// Peak INT8 MACs per cycle.
+    pub fn macs_per_cycle_int8(&self) -> u64 {
+        self.macs_per_cycle_int8
+    }
+
+    /// The padding tile edge.
+    pub fn tile_edge(&self) -> usize {
+        self.tile_edge
+    }
+
+    /// Pads a dimension up to the tile edge.
+    fn pad(&self, x: usize) -> u64 {
+        let e = self.tile_edge as u64;
+        (x as u64).div_ceil(e) * e
+    }
+
+    /// Compute cycles for a full GEMM in a uniform mode.
+    ///
+    /// Shapes are padded to tile multiples before dividing by the array's
+    /// effective MAC rate, modeling edge under-utilization.
+    pub fn gemm_cycles(&self, shape: GemmShape, mode: PeMode) -> f64 {
+        if mode == PeMode::Skip {
+            return 0.0;
+        }
+        let padded = self.pad(shape.m) * self.pad(shape.k) * self.pad(shape.n);
+        padded as f64 / (self.macs_per_cycle_int8 as f64 * mode.throughput_factor())
+    }
+
+    /// Compute cycles for a GEMM whose MAC count is an explicit fraction of
+    /// a full shape (sparse baselines), with a load-balance efficiency in
+    /// `(0, 1]`.
+    pub fn sparse_gemm_cycles(
+        &self,
+        shape: GemmShape,
+        kept_fraction: f64,
+        efficiency: f64,
+        mode: PeMode,
+    ) -> f64 {
+        if mode == PeMode::Skip {
+            return 0.0;
+        }
+        let eff = efficiency.clamp(1e-6, 1.0);
+        self.gemm_cycles(shape, mode) * kept_fraction.clamp(0.0, 1.0) / eff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> PeArray {
+        PeArray::new(&HardwareConfig::paro_asic())
+    }
+
+    #[test]
+    fn mode_factors_match_paper() {
+        assert_eq!(PeMode::Int8x8.throughput_factor(), 1.0);
+        assert_eq!(PeMode::Int4x8.throughput_factor(), 2.0);
+        assert_eq!(PeMode::Int2x8.throughput_factor(), 4.0);
+        assert_eq!(PeMode::Fp16.throughput_factor(), 0.5);
+    }
+
+    #[test]
+    fn mode_for_bitwidth() {
+        assert_eq!(PeMode::for_bitwidth(Bitwidth::B0), PeMode::Skip);
+        assert_eq!(PeMode::for_bitwidth(Bitwidth::B2), PeMode::Int2x8);
+        assert_eq!(PeMode::for_bitwidth(Bitwidth::B4), PeMode::Int4x8);
+        assert_eq!(PeMode::for_bitwidth(Bitwidth::B8), PeMode::Int8x8);
+    }
+
+    #[test]
+    fn tile_edge_from_budget() {
+        assert_eq!(array().tile_edge(), 32);
+    }
+
+    #[test]
+    fn aligned_gemm_hits_peak() {
+        let a = array();
+        let shape = GemmShape::new(512, 512, 512);
+        let cycles = a.gemm_cycles(shape, PeMode::Int8x8);
+        assert!((cycles - shape.macs() as f64 / 32768.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unaligned_gemm_pays_padding() {
+        let a = array();
+        let exact = a.gemm_cycles(GemmShape::new(64, 64, 64), PeMode::Int8x8);
+        let ragged = a.gemm_cycles(GemmShape::new(65, 64, 64), PeMode::Int8x8);
+        assert!(ragged > exact, "padding should cost cycles");
+        assert!((ragged / exact - 96.0 / 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_bits_scale_cycles() {
+        let a = array();
+        let shape = GemmShape::new(256, 64, 256);
+        let c8 = a.gemm_cycles(shape, PeMode::Int8x8);
+        let c4 = a.gemm_cycles(shape, PeMode::Int4x8);
+        let c2 = a.gemm_cycles(shape, PeMode::Int2x8);
+        let cf = a.gemm_cycles(shape, PeMode::Fp16);
+        assert!((c8 / c4 - 2.0).abs() < 1e-9);
+        assert!((c8 / c2 - 4.0).abs() < 1e-9);
+        assert!((cf / c8 - 2.0).abs() < 1e-9);
+        assert_eq!(a.gemm_cycles(shape, PeMode::Skip), 0.0);
+    }
+
+    #[test]
+    fn sparse_cycles_scale_with_kept_fraction() {
+        let a = array();
+        let shape = GemmShape::new(256, 64, 256);
+        let dense = a.gemm_cycles(shape, PeMode::Int8x8);
+        let half = a.sparse_gemm_cycles(shape, 0.5, 1.0, PeMode::Int8x8);
+        assert!((half - dense * 0.5).abs() < 1e-6);
+        // Poor load balance inflates cycles.
+        let imbalanced = a.sparse_gemm_cycles(shape, 0.5, 0.5, PeMode::Int8x8);
+        assert!((imbalanced - dense).abs() < 1e-6);
+        // Fractions clamp.
+        assert!(a.sparse_gemm_cycles(shape, 2.0, 1.0, PeMode::Int8x8) <= dense + 1e-6);
+    }
+}

@@ -1,0 +1,190 @@
+use crate::SimError;
+use paro_quant::Bitwidth;
+use serde::{Deserialize, Serialize};
+
+/// The precision mix of an attention map: the fraction of quantization
+/// blocks at each bitwidth in `{0, 2, 4, 8}`.
+///
+/// # Example
+///
+/// ```
+/// use paro_sim::AttentionProfile;
+/// let p = AttentionProfile::paper_mp();
+/// assert!((p.avg_bits() - 4.8).abs() < 1e-9);
+/// // The PE array converts the bit mix into compute speedup over INT8.
+/// assert!((1.0 / p.inverse_throughput() - 8.0 / 4.8).abs() < 1e-9);
+/// ```
+///
+/// The performance simulator consumes this summary instead of concrete
+/// per-head allocations: the PE-mode speedups, dispatcher behavior and
+/// packed-map traffic all depend only on the bit distribution. Profiles can
+/// be built from a real [`paro_core::allocate::BitAllocation`] (see
+/// [`AttentionProfile::from_bits`]) or from the paper's reported operating
+/// point ([`AttentionProfile::paper_mp`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionProfile {
+    /// Block fraction at each bitwidth, indexed like [`Bitwidth::ALL`].
+    shares: [f64; 4],
+}
+
+impl AttentionProfile {
+    /// Builds a profile from explicit shares `[b0, b2, b4, b8]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadProfile`] if any share is negative or the sum
+    /// differs from 1 by more than 1e-6.
+    pub fn new(shares: [f64; 4]) -> Result<Self, SimError> {
+        if shares.iter().any(|&s| s < 0.0 || !s.is_finite()) {
+            return Err(SimError::BadProfile {
+                reason: format!("negative or non-finite share in {shares:?}"),
+            });
+        }
+        let total: f64 = shares.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(SimError::BadProfile {
+                reason: format!("shares sum to {total}, expected 1"),
+            });
+        }
+        Ok(AttentionProfile { shares })
+    }
+
+    /// The paper's mixed-precision operating point: an average of 4.80
+    /// bits with a substantial 0-bit (skipped) share.
+    pub fn paper_mp() -> Self {
+        // 10% skipped, 20% at 2b, 30% at 4b, 40% at 8b -> avg 4.80 bits.
+        AttentionProfile {
+            shares: [0.10, 0.20, 0.30, 0.40],
+        }
+    }
+
+    /// A uniform fixed-precision profile (every block at `bits`).
+    pub fn uniform(bits: Bitwidth) -> Self {
+        let mut shares = [0.0; 4];
+        let j = Bitwidth::ALL
+            .iter()
+            .position(|&b| b == bits)
+            .expect("Bitwidth::ALL covers every variant");
+        shares[j] = 1.0;
+        AttentionProfile { shares }
+    }
+
+    /// Derives a profile from a concrete per-block bit assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadProfile`] if `bits` is empty.
+    pub fn from_bits(bits: &[Bitwidth]) -> Result<Self, SimError> {
+        if bits.is_empty() {
+            return Err(SimError::BadProfile {
+                reason: "empty bit assignment".to_string(),
+            });
+        }
+        let mut shares = [0.0f64; 4];
+        for &b in bits {
+            let j = Bitwidth::ALL
+                .iter()
+                .position(|&x| x == b)
+                .expect("Bitwidth::ALL covers every variant");
+            shares[j] += 1.0;
+        }
+        for s in &mut shares {
+            *s /= bits.len() as f64;
+        }
+        Ok(AttentionProfile { shares })
+    }
+
+    /// Share of blocks at a bitwidth.
+    pub fn share(&self, bits: Bitwidth) -> f64 {
+        let j = Bitwidth::ALL
+            .iter()
+            .position(|&b| b == bits)
+            .expect("Bitwidth::ALL covers every variant");
+        self.shares[j]
+    }
+
+    /// Average bitwidth of the profile.
+    pub fn avg_bits(&self) -> f64 {
+        Bitwidth::ALL
+            .iter()
+            .map(|&b| self.share(b) * b.bits() as f64)
+            .sum()
+    }
+
+    /// The reciprocal-throughput factor of a MAC workload whose low-bit
+    /// operand follows this profile on the mixed-precision PE array:
+    /// `Σ share(b) / speedup(b)` with speedup 4/2/1 for 2/4/8 bits and
+    /// skipped work for 0 bits. The effective speedup over INT8 is the
+    /// reciprocal of this value.
+    pub fn inverse_throughput(&self) -> f64 {
+        self.share(Bitwidth::B2) / 4.0
+            + self.share(Bitwidth::B4) / 2.0
+            + self.share(Bitwidth::B8) / 1.0
+    }
+
+    /// Average stored bits per attention-map element under this profile
+    /// (drives packed-map traffic if the map ever spills).
+    pub fn storage_bits(&self) -> f64 {
+        self.avg_bits()
+    }
+
+    /// Fraction of map elements living in 0-bit (skipped) blocks.
+    pub fn skip_fraction(&self) -> f64 {
+        self.share(Bitwidth::B0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mp_is_4_80_bits() {
+        let p = AttentionProfile::paper_mp();
+        assert!((p.avg_bits() - 4.80).abs() < 1e-9);
+        assert!((p.skip_fraction() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_profiles() {
+        let p = AttentionProfile::uniform(Bitwidth::B8);
+        assert_eq!(p.avg_bits(), 8.0);
+        assert_eq!(p.inverse_throughput(), 1.0);
+        let p = AttentionProfile::uniform(Bitwidth::B2);
+        assert_eq!(p.inverse_throughput(), 0.25);
+        let p = AttentionProfile::uniform(Bitwidth::B0);
+        assert_eq!(p.inverse_throughput(), 0.0);
+    }
+
+    #[test]
+    fn mixed_speedup_equals_avg_bits_ratio() {
+        // For bit options {0,2,4,8} with speedups {skip,4x,2x,1x}, the
+        // inverse throughput is identically avg_bits/8: each block's cycle
+        // share is proportional to its bitwidth. The PE array therefore
+        // converts the 4.80-bit average directly into a 8/4.8 = 1.67x
+        // compute speedup over INT8 (before dispatcher effects).
+        let p = AttentionProfile::paper_mp();
+        let speedup = 1.0 / p.inverse_throughput();
+        assert!((speedup - 8.0 / p.avg_bits()).abs() < 1e-9);
+        assert!((speedup - 1.0 / (0.2 / 4.0 + 0.3 / 2.0 + 0.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_bits_counts_correctly() {
+        let bits = [Bitwidth::B0, Bitwidth::B8, Bitwidth::B8, Bitwidth::B4];
+        let p = AttentionProfile::from_bits(&bits).unwrap();
+        assert_eq!(p.share(Bitwidth::B0), 0.25);
+        assert_eq!(p.share(Bitwidth::B8), 0.5);
+        assert_eq!(p.share(Bitwidth::B4), 0.25);
+        assert_eq!(p.share(Bitwidth::B2), 0.0);
+        assert!(AttentionProfile::from_bits(&[]).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(AttentionProfile::new([0.25, 0.25, 0.25, 0.25]).is_ok());
+        assert!(AttentionProfile::new([0.5, 0.5, 0.5, -0.5]).is_err());
+        assert!(AttentionProfile::new([0.3, 0.3, 0.3, 0.3]).is_err());
+        assert!(AttentionProfile::new([f64::NAN, 0.0, 0.0, 1.0]).is_err());
+    }
+}

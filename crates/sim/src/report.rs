@@ -1,0 +1,226 @@
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Category of an accounted operation, for latency breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Weight-bearing linear layers (QKV/O projections, FFN).
+    Linear,
+    /// The `Q·Kᵀ` score computation.
+    QkT,
+    /// Softmax and related vector work.
+    Softmax,
+    /// The `Attn·V` computation.
+    AttnV,
+    /// Token reorder (PARO only).
+    Reorder,
+    /// Sparsity prediction / preprocessing passes (baselines).
+    Prediction,
+}
+
+impl OpCategory {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpCategory::Linear => "linear",
+            OpCategory::QkT => "qk_t",
+            OpCategory::Softmax => "softmax",
+            OpCategory::AttnV => "attn_v",
+            OpCategory::Reorder => "reorder",
+            OpCategory::Prediction => "prediction",
+        }
+    }
+}
+
+/// One accounted operation within a transformer block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Human-readable op name.
+    pub name: String,
+    /// Breakdown category.
+    pub category: OpCategory,
+    /// Cycles the compute units are busy.
+    pub compute_cycles: f64,
+    /// Cycles the DRAM interface is busy.
+    pub memory_cycles: f64,
+    /// Latency contribution after compute/memory overlap:
+    /// `max(compute, memory)` under double buffering.
+    pub cycles: f64,
+    /// Dynamic energy in picojoules.
+    pub energy_pj: f64,
+}
+
+impl OpRecord {
+    /// Builds a record, deriving the overlapped latency.
+    pub fn new(
+        name: impl Into<String>,
+        category: OpCategory,
+        compute_cycles: f64,
+        memory_cycles: f64,
+        energy_pj: f64,
+    ) -> Self {
+        OpRecord {
+            name: name.into(),
+            category,
+            compute_cycles,
+            memory_cycles,
+            cycles: compute_cycles.max(memory_cycles),
+            energy_pj,
+        }
+    }
+}
+
+/// A full end-to-end simulation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Machine label.
+    pub machine: String,
+    /// Model label.
+    pub model: String,
+    /// Per-op records of ONE transformer block (all blocks are identical).
+    pub block_records: Vec<OpRecord>,
+    /// Number of block executions (`blocks x steps`).
+    pub block_executions: u64,
+    /// End-to-end cycles.
+    pub cycles: f64,
+    /// End-to-end latency in seconds.
+    pub seconds: f64,
+    /// End-to-end energy in joules (dynamic + static).
+    pub energy_joules: f64,
+    /// Effective throughput in TOPS counted over *nominal* operations
+    /// (2 x MACs of the unquantized model), the convention the paper's
+    /// energy-efficiency numbers use.
+    pub effective_tops: f64,
+}
+
+impl Report {
+    /// Latency share per category over one block, as fractions of the
+    /// block's total cycles.
+    pub fn category_shares(&self) -> BTreeMap<OpCategory, f64> {
+        let total: f64 = self.block_records.iter().map(|r| r.cycles).sum();
+        let mut out = BTreeMap::new();
+        if total <= 0.0 {
+            return out;
+        }
+        for r in &self.block_records {
+            *out.entry(r.category).or_insert(0.0) += r.cycles / total;
+        }
+        out
+    }
+
+    /// Cycles of one transformer block.
+    pub fn block_cycles(&self) -> f64 {
+        self.block_records.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Effective TOPS per watt.
+    pub fn tops_per_watt(&self) -> f64 {
+        let watts = self.energy_joules / self.seconds.max(1e-12);
+        self.effective_tops / watts.max(1e-12)
+    }
+
+    /// Renders the report as human-readable text: headline numbers plus
+    /// the per-category latency breakdown of one transformer block.
+    pub fn format_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} on {}:", self.machine, self.model);
+        let _ = writeln!(
+            out,
+            "  end-to-end      {:.1} s ({:.3e} cycles, {} block executions)",
+            self.seconds, self.cycles, self.block_executions
+        );
+        let _ = writeln!(
+            out,
+            "  energy          {:.0} J ({:.1} W average)",
+            self.energy_joules,
+            self.energy_joules / self.seconds.max(1e-12)
+        );
+        let _ = writeln!(
+            out,
+            "  effective       {:.1} TOPS, {:.2} TOPS/W",
+            self.effective_tops,
+            self.tops_per_watt()
+        );
+        let _ = writeln!(out, "  block breakdown:");
+        for (cat, share) in self.category_shares() {
+            let _ = writeln!(out, "    {:<11} {:>5.1}%", cat.label(), share * 100.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let records = vec![
+            OpRecord::new("qkv", OpCategory::Linear, 100.0, 40.0, 1e6),
+            OpRecord::new("qk_t", OpCategory::QkT, 200.0, 10.0, 2e6),
+            OpRecord::new("softmax", OpCategory::Softmax, 50.0, 0.0, 5e5),
+            OpRecord::new("attn_v", OpCategory::AttnV, 200.0, 10.0, 2e6),
+        ];
+        let block_cycles: f64 = records.iter().map(|r| r.cycles).sum();
+        Report {
+            machine: "test".to_string(),
+            model: "tiny".to_string(),
+            block_records: records,
+            block_executions: 10,
+            cycles: block_cycles * 10.0,
+            seconds: 1.0,
+            energy_joules: 5.0,
+            effective_tops: 10.0,
+        }
+    }
+
+    #[test]
+    fn overlap_takes_max() {
+        let r = OpRecord::new("x", OpCategory::Linear, 10.0, 25.0, 0.0);
+        assert_eq!(r.cycles, 25.0);
+        let r = OpRecord::new("x", OpCategory::Linear, 30.0, 25.0, 0.0);
+        assert_eq!(r.cycles, 30.0);
+    }
+
+    #[test]
+    fn category_shares_sum_to_one() {
+        let rep = sample_report();
+        let shares = rep.category_shares();
+        let total: f64 = shares.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(shares[&OpCategory::QkT] > shares[&OpCategory::Softmax]);
+    }
+
+    #[test]
+    fn block_cycles_and_tops_per_watt() {
+        let rep = sample_report();
+        assert!((rep.block_cycles() - 550.0).abs() < 1e-9);
+        // 10 TOPS at 5 W = 2 TOPS/W.
+        assert!((rep.tops_per_watt() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn format_text_contains_headline_numbers() {
+        let rep = sample_report();
+        let text = rep.format_text();
+        assert!(text.contains("test on tiny"));
+        assert!(text.contains("TOPS/W"));
+        assert!(text.contains("qk_t"));
+        assert!(text.lines().count() >= 6);
+    }
+
+    #[test]
+    fn empty_report_shares_empty() {
+        let rep = Report {
+            machine: "m".into(),
+            model: "x".into(),
+            block_records: vec![],
+            block_executions: 0,
+            cycles: 0.0,
+            seconds: 0.0,
+            energy_joules: 0.0,
+            effective_tops: 0.0,
+        };
+        assert!(rep.category_shares().is_empty());
+    }
+}

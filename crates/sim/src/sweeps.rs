@@ -1,0 +1,186 @@
+//! Hardware design-space sweeps around the PARO operating point.
+//!
+//! The paper fixes one configuration (32x32x32 PEs, 51.2 GB/s, 1.5 MB);
+//! these sweeps show how the end-to-end latency responds to each resource
+//! — the roofline context that explains why the A100 comparison needed
+//! resource alignment, and which resource PARO should scale next.
+
+use crate::machines::{Machine, ParoMachine, ParoOptimizations};
+use crate::{AttentionProfile, HardwareConfig};
+use paro_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept resource's value (in its natural unit).
+    pub value: f64,
+    /// End-to-end seconds at this point.
+    pub seconds: f64,
+    /// Speedup relative to the sweep's baseline configuration.
+    pub speedup_vs_base: f64,
+}
+
+/// Which hardware resource a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Peak INT8 MACs/cycle (PE count).
+    PeMacs,
+    /// DRAM bandwidth in GB/s.
+    DramBandwidth,
+    /// Vector-unit lanes (ops/cycle).
+    VectorLanes,
+    /// On-chip SRAM bytes. Unlike the other axes this one is non-linear:
+    /// shrinking the buffer past the attention-map row-panel size triggers
+    /// the spill cliff even for the 4.8-bit map.
+    SramBytes,
+}
+
+impl SweepAxis {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepAxis::PeMacs => "pe_macs_per_cycle",
+            SweepAxis::DramBandwidth => "dram_gbps",
+            SweepAxis::VectorLanes => "vector_lanes",
+            SweepAxis::SramBytes => "sram_bytes",
+        }
+    }
+
+    fn apply(&self, base: &HardwareConfig, factor: f64) -> HardwareConfig {
+        let mut hw = base.clone();
+        match self {
+            SweepAxis::PeMacs => {
+                hw.int8_macs_per_cycle =
+                    ((hw.int8_macs_per_cycle as f64 * factor).round() as u64).max(1);
+            }
+            SweepAxis::DramBandwidth => hw.dram_gbps *= factor,
+            SweepAxis::VectorLanes => {
+                hw.vector_ops_per_cycle =
+                    ((hw.vector_ops_per_cycle as f64 * factor).round() as u64).max(1);
+            }
+            SweepAxis::SramBytes => {
+                hw.sram_bytes = ((hw.sram_bytes as f64 * factor).round() as u64).max(1);
+            }
+        }
+        hw
+    }
+
+    fn value_of(&self, hw: &HardwareConfig) -> f64 {
+        match self {
+            SweepAxis::PeMacs => hw.int8_macs_per_cycle as f64,
+            SweepAxis::DramBandwidth => hw.dram_gbps,
+            SweepAxis::VectorLanes => hw.vector_ops_per_cycle as f64,
+            SweepAxis::SramBytes => hw.sram_bytes as f64,
+        }
+    }
+}
+
+/// Sweeps one resource over multiplicative `factors` (1.0 = the baseline)
+/// and returns one point per factor.
+pub fn sweep(
+    axis: SweepAxis,
+    base: &HardwareConfig,
+    factors: &[f64],
+    cfg: &ModelConfig,
+    profile: &AttentionProfile,
+) -> Vec<SweepPoint> {
+    let base_seconds = ParoMachine::new(base.clone(), ParoOptimizations::all())
+        .run_model(cfg, profile)
+        .seconds;
+    factors
+        .iter()
+        .map(|&f| {
+            let hw = axis.apply(base, f);
+            let seconds = ParoMachine::new(hw.clone(), ParoOptimizations::all())
+                .run_model(cfg, profile)
+                .seconds;
+            SweepPoint {
+                value: axis.value_of(&hw),
+                seconds,
+                speedup_vs_base: base_seconds / seconds,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (HardwareConfig, ModelConfig, AttentionProfile) {
+        (
+            HardwareConfig::paro_asic(),
+            ModelConfig::cogvideox_2b(),
+            AttentionProfile::paper_mp(),
+        )
+    }
+
+    #[test]
+    fn more_resources_never_slower() {
+        let (hw, cfg, p) = setup();
+        for axis in [
+            SweepAxis::PeMacs,
+            SweepAxis::DramBandwidth,
+            SweepAxis::VectorLanes,
+            SweepAxis::SramBytes,
+        ] {
+            let points = sweep(axis, &hw, &[0.5, 1.0, 2.0, 4.0], &cfg, &p);
+            for w in points.windows(2) {
+                assert!(
+                    w[1].seconds <= w[0].seconds + 1e-9,
+                    "{}: latency must be non-increasing in resources",
+                    axis.label()
+                );
+            }
+            // Factor 1.0 is the baseline.
+            assert!((points[1].speedup_vs_base - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compute_scaling_saturates() {
+        // Past some point more PEs stop helping (memory/vector bound):
+        // the marginal speedup of 8x PEs over 4x must be below the ideal 2x.
+        let (hw, cfg, p) = setup();
+        let points = sweep(SweepAxis::PeMacs, &hw, &[4.0, 8.0], &cfg, &p);
+        let marginal = points[0].seconds / points[1].seconds;
+        assert!(
+            marginal < 1.9,
+            "8x/4x PE marginal speedup {marginal} should saturate below 1.9"
+        );
+    }
+
+    #[test]
+    fn shrinking_sram_triggers_the_spill_cliff() {
+        // At 1/8 the SRAM, even the 4.8-bit map's row panels overflow and
+        // the machine starts paying DRAM spills — the non-linear cliff the
+        // buffer planner predicts.
+        let (hw, cfg, p) = setup();
+        let points = sweep(SweepAxis::SramBytes, &hw, &[0.125, 1.0], &cfg, &p);
+        assert!(
+            points[0].seconds > points[1].seconds * 1.2,
+            "small SRAM should cliff: {:.1}s vs {:.1}s",
+            points[0].seconds,
+            points[1].seconds
+        );
+        // The cliff matches the buffer planner's verdict.
+        let mut small = hw.clone();
+        small.sram_bytes /= 8;
+        assert!(crate::buffer::paro_attention_plan(&small, &cfg, 4.8).is_err());
+        assert!(crate::buffer::paro_attention_plan(&hw, &cfg, 4.8).is_ok());
+    }
+
+    #[test]
+    fn bandwidth_matters_less_than_compute_at_baseline() {
+        // The paper's PARO is compute-bound at its operating point: doubling
+        // PEs should help more than doubling DRAM bandwidth.
+        let (hw, cfg, p) = setup();
+        let pe = sweep(SweepAxis::PeMacs, &hw, &[2.0], &cfg, &p)[0].speedup_vs_base;
+        let bw = sweep(SweepAxis::DramBandwidth, &hw, &[2.0], &cfg, &p)[0].speedup_vs_base;
+        assert!(
+            pe > bw,
+            "2x PEs ({pe:.3}x) should beat 2x bandwidth ({bw:.3}x)"
+        );
+    }
+}

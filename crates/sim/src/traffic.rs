@@ -1,0 +1,212 @@
+//! DRAM traffic accounting for the PARO dataflow, independent of the
+//! cycle simulator.
+//!
+//! The same byte formulas the [`crate::machines::ParoMachine`] charges,
+//! exposed as pure functions: per-op traffic under a precision
+//! configuration, per-block totals, and end-to-end totals. A cross-check
+//! test asserts the machine's recorded memory cycles equal these formulas
+//! at the configured bandwidth, so any divergence between the two
+//! formulations is caught immediately.
+
+use crate::{AttentionProfile, HardwareConfig, PeArray};
+use paro_model::workload::{block_ops, GemmKind, LayerOp};
+use paro_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Precision configuration of the PARO dataflow for traffic purposes.
+///
+/// # Example
+///
+/// ```
+/// use paro_model::ModelConfig;
+/// use paro_sim::traffic::{block_bytes, TrafficConfig};
+/// use paro_sim::{AttentionProfile, HardwareConfig};
+/// let hw = HardwareConfig::paro_asic();
+/// let cfg = ModelConfig::cogvideox_2b();
+/// let int8 = block_bytes(&hw, &cfg, &TrafficConfig::paro(&AttentionProfile::paper_mp()), true);
+/// let fp16 = block_bytes(&hw, &cfg, &TrafficConfig::fp16(), false);
+/// // FP16 doubles activations and spills the map.
+/// assert!(fp16 > int8 * 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Bytes per linear-layer weight/activation element (1 = INT8,
+    /// 2 = FP16).
+    pub act_bytes: f64,
+    /// Bytes per attention-path activation element.
+    pub attn_act_bytes: f64,
+    /// Stored bits per attention-map element (drives the spill fraction).
+    pub map_bits: f64,
+}
+
+impl TrafficConfig {
+    /// The full PARO configuration at an attention profile.
+    pub fn paro(profile: &AttentionProfile) -> Self {
+        TrafficConfig {
+            act_bytes: 1.0,
+            attn_act_bytes: 1.0,
+            map_bits: profile.storage_bits(),
+        }
+    }
+
+    /// The naive FP16 configuration.
+    pub fn fp16() -> Self {
+        TrafficConfig {
+            act_bytes: 2.0,
+            attn_act_bytes: 2.0,
+            map_bits: 16.0,
+        }
+    }
+}
+
+/// Fraction of the attention map that spills to DRAM: the overflow of the
+/// row panel beyond half the SRAM (double buffering), zero when the panel
+/// fits. Identical to the machine model's capacity-cliff formula.
+pub fn map_spill_fraction(hw: &HardwareConfig, cfg: &ModelConfig, map_bits: f64) -> f64 {
+    let tile_edge = PeArray::new(hw).tile_edge() as f64;
+    let n = cfg.total_tokens() as f64;
+    let panel_bytes = tile_edge * n * map_bits / 8.0;
+    let fit = ((hw.sram_bytes / 2) as f64 / panel_bytes).min(1.0);
+    1.0 - fit
+}
+
+/// DRAM bytes of one [`LayerOp`] under a traffic configuration.
+///
+/// Linear GEMMs stream weights + input/output activations; `QKᵀ` streams
+/// `Q`/`K` plus half the map-spill bytes; `AttnV` streams `V`/`O` plus the
+/// other half; softmax and the reorder are on-chip (zero DRAM bytes).
+pub fn op_bytes(op: &LayerOp, hw: &HardwareConfig, cfg: &ModelConfig, tc: &TrafficConfig) -> f64 {
+    let n = cfg.total_tokens() as f64;
+    let heads = cfg.heads as f64;
+    let spill_total =
+        map_spill_fraction(hw, cfg, tc.map_bits) * n * n * heads * tc.map_bits / 8.0;
+    match op {
+        LayerOp::Gemm { kind, shape, count } => {
+            let count_f = *count as f64;
+            match kind {
+                GemmKind::QkvProjection
+                | GemmKind::OutProjection
+                | GemmKind::FfnUp
+                | GemmKind::FfnDown => {
+                    let weight = (shape.k * shape.n) as f64 * tc.act_bytes * count_f;
+                    let io = ((shape.m * shape.k) + (shape.m * shape.n)) as f64
+                        * tc.act_bytes
+                        * count_f;
+                    weight + io
+                }
+                GemmKind::QkT => {
+                    2.0 * n * cfg.head_dim() as f64 * heads * tc.attn_act_bytes
+                        + spill_total / 2.0
+                }
+                GemmKind::AttnV => {
+                    n * cfg.head_dim() as f64 * heads * tc.attn_act_bytes
+                        + n * cfg.hidden as f64 * tc.attn_act_bytes
+                        + spill_total / 2.0
+                }
+            }
+        }
+        LayerOp::Softmax { .. } | LayerOp::Reorder { .. } => 0.0,
+    }
+}
+
+/// Total DRAM bytes of one transformer block.
+pub fn block_bytes(
+    hw: &HardwareConfig,
+    cfg: &ModelConfig,
+    tc: &TrafficConfig,
+    include_reorder: bool,
+) -> f64 {
+    block_ops(cfg, include_reorder)
+        .iter()
+        .map(|op| op_bytes(op, hw, cfg, tc))
+        .sum()
+}
+
+/// Total DRAM bytes of a full generation.
+pub fn model_bytes(
+    hw: &HardwareConfig,
+    cfg: &ModelConfig,
+    tc: &TrafficConfig,
+    include_reorder: bool,
+) -> f64 {
+    block_bytes(hw, cfg, tc, include_reorder) * (cfg.blocks * cfg.steps) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::{Machine, ParoMachine, ParoOptimizations};
+    use paro_quant::Bitwidth;
+
+    #[test]
+    fn spill_fraction_cliff() {
+        let hw = HardwareConfig::paro_asic();
+        let cfg = ModelConfig::cogvideox_5b();
+        assert_eq!(map_spill_fraction(&hw, &cfg, 8.0), 0.0);
+        assert_eq!(map_spill_fraction(&hw, &cfg, 4.8), 0.0);
+        let fp16 = map_spill_fraction(&hw, &cfg, 16.0);
+        assert!(
+            (0.2..0.5).contains(&fp16),
+            "FP16 spill fraction {fp16} should be a partial overflow"
+        );
+        // Tiny models never spill.
+        assert_eq!(map_spill_fraction(&hw, &ModelConfig::tiny(4, 4, 4), 16.0), 0.0);
+    }
+
+    #[test]
+    fn traffic_matches_machine_memory_cycles() {
+        // The cross-check: the ParoMachine's recorded per-block memory
+        // cycles equal these formulas divided by the DRAM bandwidth.
+        let hw = HardwareConfig::paro_asic();
+        for (cfg, profile, opts) in [
+            (
+                ModelConfig::cogvideox_2b(),
+                AttentionProfile::paper_mp(),
+                ParoOptimizations::all(),
+            ),
+            (
+                ModelConfig::cogvideox_5b(),
+                AttentionProfile::uniform(Bitwidth::B8),
+                ParoOptimizations::all(),
+            ),
+        ] {
+            let report = ParoMachine::new(hw.clone(), opts).run_model(&cfg, &profile);
+            let machine_mem_cycles: f64 =
+                report.block_records.iter().map(|r| r.memory_cycles).sum();
+            let tc = TrafficConfig::paro(&profile);
+            let expected_cycles =
+                block_bytes(&hw, &cfg, &tc, true) / hw.dram_bytes_per_cycle();
+            let rel = (machine_mem_cycles - expected_cycles).abs() / expected_cycles;
+            assert!(
+                rel < 1e-6,
+                "{} @ {:.1}b: machine {machine_mem_cycles} vs formulas {expected_cycles}",
+                cfg.name,
+                profile.avg_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn fp16_traffic_exceeds_int8() {
+        let hw = HardwareConfig::paro_asic();
+        let cfg = ModelConfig::cogvideox_2b();
+        let int8 = block_bytes(&hw, &cfg, &TrafficConfig::paro(&AttentionProfile::paper_mp()), true);
+        let fp16 = block_bytes(&hw, &cfg, &TrafficConfig::fp16(), false);
+        // FP16 doubles every activation AND spills the map.
+        assert!(
+            fp16 > int8 * 2.0,
+            "fp16 block traffic {fp16:.3e} vs int8 {int8:.3e}"
+        );
+    }
+
+    #[test]
+    fn model_bytes_scale() {
+        let hw = HardwareConfig::paro_asic();
+        let cfg = ModelConfig::cogvideox_2b();
+        let tc = TrafficConfig::paro(&AttentionProfile::paper_mp());
+        assert_eq!(
+            model_bytes(&hw, &cfg, &tc, true),
+            block_bytes(&hw, &cfg, &tc, true) * 1500.0
+        );
+    }
+}

@@ -1,0 +1,96 @@
+use crate::HardwareConfig;
+use serde::{Deserialize, Serialize};
+
+/// The floating-point vector unit (paper Fig. 4(a)).
+///
+/// Handles everything outside fixed-point matrix multiplication: softmax
+/// (exp / add / div), FP16 dequantization of integer accumulation results,
+/// and floating-point accumulation. Throughput is a configurable number of
+/// elementwise operations per cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorUnit {
+    ops_per_cycle: f64,
+}
+
+/// Elementwise operations softmax spends per attention-map element:
+/// max-scan, exponential, sum-scan, divide.
+pub const SOFTMAX_OPS_PER_ELEM: f64 = 4.0;
+
+/// Elementwise operations to dequantize one integer GEMM output element
+/// (scale multiply + FP accumulate).
+pub const DEQUANT_OPS_PER_ELEM: f64 = 2.0;
+
+impl VectorUnit {
+    /// Builds the vector-unit timing model from a hardware envelope.
+    pub fn new(hw: &HardwareConfig) -> Self {
+        VectorUnit {
+            ops_per_cycle: hw.vector_ops_per_cycle as f64,
+        }
+    }
+
+    /// Elementwise operations per cycle.
+    pub fn ops_per_cycle(&self) -> f64 {
+        self.ops_per_cycle
+    }
+
+    /// Cycles for a generic elementwise pass over `elems` elements with
+    /// `ops_per_elem` operations each.
+    pub fn elementwise_cycles(&self, elems: f64, ops_per_elem: f64) -> f64 {
+        (elems * ops_per_elem / self.ops_per_cycle).max(0.0)
+    }
+
+    /// Cycles for softmax over `elems` attention-map elements, with a
+    /// fraction of elements skipped (0-bit blocks are bypassed before
+    /// exponentiation; their contribution to the normalizer is zero by
+    /// construction of the 0-bit allocation).
+    pub fn softmax_cycles(&self, elems: f64, skip_fraction: f64) -> f64 {
+        let active = elems * (1.0 - skip_fraction.clamp(0.0, 1.0));
+        self.elementwise_cycles(active, SOFTMAX_OPS_PER_ELEM)
+    }
+
+    /// Cycles to dequantize an integer GEMM output of `elems` elements.
+    pub fn dequant_cycles(&self, elems: f64) -> f64 {
+        self.elementwise_cycles(elems, DEQUANT_OPS_PER_ELEM)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> VectorUnit {
+        VectorUnit::new(&HardwareConfig::paro_asic())
+    }
+
+    #[test]
+    fn softmax_cycles_scale_with_elements() {
+        let v = unit();
+        let c1 = v.softmax_cycles(1.0e6, 0.0);
+        let c2 = v.softmax_cycles(2.0e6, 0.0);
+        assert!((c2 / c1 - 2.0).abs() < 1e-9);
+        assert!((c1 - 1.0e6 * 4.0 / 2048.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn skip_fraction_reduces_softmax() {
+        let v = unit();
+        let full = v.softmax_cycles(1.0e6, 0.0);
+        let half = v.softmax_cycles(1.0e6, 0.5);
+        assert!((half - full * 0.5).abs() < 1e-6);
+        // Clamped.
+        assert_eq!(v.softmax_cycles(1.0e6, 2.0), 0.0);
+    }
+
+    #[test]
+    fn dequant_cheaper_than_softmax() {
+        let v = unit();
+        assert!(v.dequant_cycles(1.0e6) < v.softmax_cycles(1.0e6, 0.0));
+    }
+
+    #[test]
+    fn zero_elements_zero_cycles() {
+        let v = unit();
+        assert_eq!(v.softmax_cycles(0.0, 0.0), 0.0);
+        assert_eq!(v.dequant_cycles(0.0), 0.0);
+    }
+}

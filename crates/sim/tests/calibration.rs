@@ -1,0 +1,88 @@
+//! Calibration harness: prints the Fig. 6(a)/6(b) numbers the machine
+//! models produce, and asserts the paper-shape relationships that must
+//! hold regardless of exact constants.
+
+use paro_model::ModelConfig;
+use paro_sim::machines::{
+    GpuMachine, Machine, ParoMachine, ParoOptimizations, SangerMachine, VitcodMachine,
+};
+use paro_sim::{AttentionProfile, HardwareConfig};
+
+struct Numbers {
+    sanger: f64,
+    vitcod: f64,
+    paro: f64,
+    a100: f64,
+    align: f64,
+}
+
+fn numbers(cfg: &ModelConfig) -> Numbers {
+    let p = AttentionProfile::paper_mp();
+    Numbers {
+        sanger: SangerMachine::default_budget().run_model(cfg, &p).seconds,
+        vitcod: VitcodMachine::default_budget().run_model(cfg, &p).seconds,
+        paro: ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())
+            .run_model(cfg, &p)
+            .seconds,
+        a100: GpuMachine::a100().run_model(cfg, &p).seconds,
+        align: ParoMachine::new(HardwareConfig::paro_align_a100(), ParoOptimizations::all())
+            .run_model(cfg, &p)
+            .seconds,
+    }
+}
+
+#[test]
+fn fig6a_shape_holds() {
+    for cfg in [ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()] {
+        let n = numbers(&cfg);
+        println!(
+            "{}: e2e seconds — sanger {:.1}, vitcod {:.1}, paro {:.1}, a100 {:.1}, align {:.1}",
+            cfg.name, n.sanger, n.vitcod, n.paro, n.a100, n.align
+        );
+        println!(
+            "{}: PARO/Sanger {:.2} (paper 10.61/12.04), PARO/ViTCoD {:.2} (6.38/7.05), \
+             A100/PARO {:.2} (>1), align/A100 speedup {:.2} (1.68/2.71)",
+            cfg.name,
+            n.sanger / n.paro,
+            n.vitcod / n.paro,
+            n.paro / n.a100,
+            n.a100 / n.align,
+        );
+        // Shape assertions (who wins):
+        assert!(n.paro < n.vitcod, "PARO must beat ViTCoD");
+        assert!(n.vitcod < n.sanger, "ViTCoD must beat Sanger");
+        assert!(n.a100 < n.paro, "A100 beats the small PARO (more resources)");
+        assert!(n.align < n.a100, "PARO-align-A100 must beat the A100");
+        // Factor bands (within ~2x of the paper's):
+        let ps = n.sanger / n.paro;
+        assert!((5.0..25.0).contains(&ps), "PARO/Sanger {ps:.2}");
+        let pv = n.vitcod / n.paro;
+        assert!((3.0..14.0).contains(&pv), "PARO/ViTCoD {pv:.2}");
+        let aa = n.a100 / n.align;
+        assert!((1.2..5.5).contains(&aa), "align speedup {aa:.2}");
+    }
+}
+
+#[test]
+fn fig6b_ablation_shape() {
+    let p = AttentionProfile::paper_mp();
+    for cfg in [ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()] {
+        let mut speedups = Vec::new();
+        let base = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::none())
+            .run_model(&cfg, &p)
+            .seconds;
+        for (name, opts) in ParoOptimizations::ablation_ladder() {
+            let s = ParoMachine::new(HardwareConfig::paro_asic(), opts)
+                .run_model(&cfg, &p)
+                .seconds;
+            speedups.push((name, base / s));
+        }
+        println!("{}: ablation {:?}", cfg.name, speedups);
+        // Paper (2B/5B): +W8A8 1.07/1.11, +attention quant 2.33/2.38,
+        // +output-aware 3.06/3.00.
+        assert!((1.02..1.6).contains(&speedups[1].1), "w8a8 {:?}", speedups[1]);
+        assert!((1.7..3.2).contains(&speedups[2].1), "attn {:?}", speedups[2]);
+        assert!((2.3..4.2).contains(&speedups[3].1), "aware {:?}", speedups[3]);
+        assert!(speedups[3].1 > speedups[2].1 && speedups[2].1 > speedups[1].1);
+    }
+}

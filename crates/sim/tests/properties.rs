@@ -1,0 +1,118 @@
+//! Property-based tests for the accelerator simulator.
+
+use paro_model::workload::GemmShape;
+use paro_quant::Bitwidth;
+use paro_sim::dispatch::{dispatch, DispatchPolicy};
+use paro_sim::trace::trace_pipeline;
+use paro_sim::{AttentionProfile, HardwareConfig, PeArray, PeMode};
+use proptest::prelude::*;
+
+fn costs() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn dispatch_work_conservation(costs in costs(), rows in 1usize..32) {
+        let total: f64 = costs.iter().filter(|&&c| c > 0.0).sum();
+        for policy in [DispatchPolicy::GreedyLpt, DispatchPolicy::RoundRobin] {
+            let out = dispatch(&costs, rows, policy);
+            let useful = out.utilization * rows as f64 * out.makespan;
+            prop_assert!((useful - total).abs() <= 1e-6 * (1.0 + total));
+            prop_assert!(out.utilization <= 1.0 + 1e-9);
+            // Makespan bounded below by the mean load and the largest item.
+            let max_item = costs.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(out.makespan + 1e-9 >= total / rows as f64);
+            prop_assert!(out.makespan + 1e-9 >= max_item);
+        }
+    }
+
+    #[test]
+    fn lpt_satisfies_list_scheduling_bound(costs in costs(), rows in 1usize..16) {
+        // Greedy least-loaded assignment guarantees
+        // makespan <= total/m + (1 - 1/m) * max_item.
+        // (Per-instance LPT-vs-round-robin dominance does NOT hold — LPT is
+        // only a 4/3 approximation — so the guarantee is what we pin.)
+        let lpt = dispatch(&costs, rows, DispatchPolicy::GreedyLpt);
+        let total: f64 = costs.iter().filter(|&&c| c > 0.0).sum();
+        let max_item = costs.iter().cloned().fold(0.0f64, f64::max);
+        let m = rows as f64;
+        let decisions = costs.iter().filter(|&&c| c <= 0.0).count() as f64 / m;
+        let bound = (total / m + (1.0 - 1.0 / m) * max_item).max(decisions);
+        prop_assert!(
+            lpt.makespan <= bound + 1e-9,
+            "makespan {} vs bound {}", lpt.makespan, bound
+        );
+    }
+
+    #[test]
+    fn gemm_cycles_monotone_in_shape(
+        m in 1usize..300, k in 1usize..300, n in 1usize..300
+    ) {
+        let pe = PeArray::new(&HardwareConfig::paro_asic());
+        let base = pe.gemm_cycles(GemmShape::new(m, k, n), PeMode::Int8x8);
+        let bigger = pe.gemm_cycles(GemmShape::new(m + 32, k, n), PeMode::Int8x8);
+        prop_assert!(bigger > base);
+        // Mode speedups are exact ratios.
+        let c4 = pe.gemm_cycles(GemmShape::new(m, k, n), PeMode::Int4x8);
+        prop_assert!((base / c4 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_identities(
+        s0 in 0.0f64..1.0, s2 in 0.0f64..1.0, s4 in 0.0f64..1.0, s8 in 0.0f64..1.0
+    ) {
+        let total = s0 + s2 + s4 + s8;
+        prop_assume!(total > 1e-6);
+        let shares = [s0 / total, s2 / total, s4 / total, s8 / total];
+        let p = AttentionProfile::new(shares).unwrap();
+        // inverse_throughput == avg_bits / 8, always.
+        prop_assert!((p.inverse_throughput() - p.avg_bits() / 8.0).abs() < 1e-9);
+        prop_assert!((0.0..=8.0).contains(&p.avg_bits()));
+        prop_assert!((p.skip_fraction() - shares[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_from_bits_avg_matches(len in 1usize..100, seed in 0u64..1000) {
+        let mut state = seed;
+        let bits: Vec<Bitwidth> = (0..len).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Bitwidth::ALL[(state >> 33) as usize % 4]
+        }).collect();
+        let p = AttentionProfile::from_bits(&bits).unwrap();
+        let avg: f64 = bits.iter().map(|b| b.bits() as f64).sum::<f64>() / len as f64;
+        prop_assert!((p.avg_bits() - avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_latency_bounds(
+        tiles in 1usize..100, load in 0.0f64..50.0, compute in 0.0f64..50.0, store in 0.0f64..50.0
+    ) {
+        let t = paro_sim::trace::trace_uniform(tiles, load, compute, store);
+        let n = tiles as f64;
+        // Latency at least the busy time of the busier engine, at most the
+        // fully-serial execution.
+        prop_assert!(t.latency() + 1e-9 >= n * compute);
+        prop_assert!(t.latency() + 1e-9 >= n * (load + store));
+        prop_assert!(t.latency() <= n * (load + compute + store) + 1e-9);
+    }
+
+    #[test]
+    fn trace_heterogeneous_busy_conservation(
+        loads in proptest::collection::vec(0.0f64..20.0, 1..60),
+        seed in 0u64..1000,
+    ) {
+        let n = loads.len();
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 2000) as f64 / 100.0
+        };
+        let computes: Vec<f64> = (0..n).map(|_| next()).collect();
+        let stores: Vec<f64> = (0..n).map(|_| next()).collect();
+        let t = trace_pipeline(&loads, &computes, &stores);
+        prop_assert!((t.compute_busy() - computes.iter().sum::<f64>()).abs() < 1e-6);
+        let mem: f64 = loads.iter().sum::<f64>() + stores.iter().sum::<f64>();
+        prop_assert!((t.memory_busy() - mem).abs() < 1e-6);
+    }
+}

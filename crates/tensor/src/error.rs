@@ -1,0 +1,135 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Every fallible operation in this crate returns `Result<_, TensorError>`;
+/// the variants carry enough shape information to diagnose a failure without
+/// re-running the computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must match (element-wise op, metric) do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix multiplication disagree.
+    MatmulDimMismatch {
+        /// `[m, k]` of the left operand.
+        left: Vec<usize>,
+        /// `[k', n]` of the right operand with `k' != k`.
+        right: Vec<usize>,
+    },
+    /// An operation required a specific rank (e.g. 2-D for `transpose2d`).
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// A reshape asked for a different total element count.
+    ElementCountMismatch {
+        /// Element count implied by the requested shape.
+        requested: usize,
+        /// Element count actually held by the tensor.
+        actual: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A permutation was not a bijection over `0..rank`.
+    InvalidPermutation {
+        /// The offending permutation.
+        perm: Vec<usize>,
+    },
+    /// A gather/index list referenced a row outside the tensor.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of valid rows along the gathered axis.
+        len: usize,
+    },
+    /// A dimension of zero was supplied where a positive size is required.
+    EmptyDimension,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::MatmulDimMismatch { left, right } => {
+                write!(f, "matmul inner-dimension mismatch: {left:?} x {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::ElementCountMismatch { requested, actual } => write!(
+                f,
+                "element count mismatch: requested {requested}, tensor holds {actual}"
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidPermutation { perm } => {
+                write!(f, "invalid axis permutation {perm:?}")
+            }
+            TensorError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            TensorError::EmptyDimension => write!(f, "dimension of size zero is not allowed"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::ShapeMismatch {
+                left: vec![2],
+                right: vec![3],
+            },
+            TensorError::MatmulDimMismatch {
+                left: vec![2, 3],
+                right: vec![4, 5],
+            },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 3,
+            },
+            TensorError::ElementCountMismatch {
+                requested: 6,
+                actual: 4,
+            },
+            TensorError::AxisOutOfRange { axis: 5, rank: 2 },
+            TensorError::InvalidPermutation { perm: vec![0, 0] },
+            TensorError::IndexOutOfRange { index: 9, len: 3 },
+            TensorError::EmptyDimension,
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

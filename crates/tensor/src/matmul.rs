@@ -1,0 +1,204 @@
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Dense matrix multiplication of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// Uses a cache-friendly i-k-j loop order; adequate for the reduced-scale
+    /// workloads the reproduction runs (token counts in the hundreds to low
+    /// thousands).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not rank 2
+    /// and [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: other.rank(),
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Matrix multiplication with the second operand transposed:
+    /// `[m,k] x [n,k]ᵀ -> [m,n]`.
+    ///
+    /// This is the natural layout for `Q·Kᵀ` (both `Q` and `K` are stored
+    /// `[tokens, dim]`): rows of both operands stream contiguously, no
+    /// explicit transpose materialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 operands and
+    /// [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
+    pub fn matmul_transposed_b(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: other.rank(),
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.shape().to_vec(),
+                right: vec![k2, n],
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+    pub fn transpose2d(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(&[n, m], out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matmul() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let n = 7;
+        let eye = Tensor::from_fn(&[n, n], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        let x = Tensor::from_fn(&[n, n], |i| (i[0] * n + i[1]) as f32);
+        assert_eq!(eye.matmul(&x).unwrap(), x);
+        assert_eq!(x.matmul(&eye).unwrap(), x);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_transposed_b_matches_explicit_transpose() {
+        let a = Tensor::from_fn(&[5, 7], |i| ((i[0] * 7 + i[1]) as f32 * 0.3).sin());
+        let b = Tensor::from_fn(&[6, 7], |i| ((i[0] + i[1] * 2) as f32 * 0.2).cos());
+        let fast = a.matmul_transposed_b(&b).unwrap();
+        let slow = a.matmul(&b.transpose2d().unwrap()).unwrap();
+        assert_eq!(fast.shape(), &[5, 6]);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        // Shape errors.
+        let bad = Tensor::zeros(&[6, 8]);
+        assert!(a.matmul_transposed_b(&bad).is_err());
+        assert!(Tensor::zeros(&[3])
+            .matmul_transposed_b(&b)
+            .is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tensor::from_fn(&[3, 5], |i| (i[0] * 5 + i[1]) as f32);
+        let tt = t.transpose2d().unwrap();
+        assert_eq!(tt.shape(), &[5, 3]);
+        assert_eq!(tt.at(&[4, 2]), t.at(&[2, 4]));
+        assert_eq!(tt.transpose2d().unwrap(), t);
+    }
+
+    #[test]
+    fn matmul_transpose_identity_property() {
+        // (A B)^T == B^T A^T
+        let a = Tensor::from_fn(&[3, 4], |i| ((i[0] + 1) * (i[1] + 2)) as f32 * 0.1);
+        let b = Tensor::from_fn(&[4, 2], |i| ((i[0] * 2 + i[1]) as f32).sin());
+        let lhs = a.matmul(&b).unwrap().transpose2d().unwrap();
+        let rhs = b
+            .transpose2d()
+            .unwrap()
+            .matmul(&a.transpose2d().unwrap())
+            .unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Fidelity metrics between a reference tensor and an approximation.
+//!
+//! The PARO paper evaluates generated-video quality with learned metrics
+//! (FVD, CLIPSIM, CLIP-Temp, VQA, flickering). This reproduction cannot run
+//! those models, so the experiment harness substitutes output-error proxies
+//! computed by this module; see `DESIGN.md` §2 for the substitution argument.
+
+use crate::{Tensor, TensorError};
+
+/// Mean squared error between `reference` and `approx`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use paro_tensor::{metrics, Tensor};
+/// # fn main() -> Result<(), paro_tensor::TensorError> {
+/// let a = Tensor::full(&[4], 1.0);
+/// let b = Tensor::full(&[4], 1.5);
+/// assert!((metrics::mse(&a, &b)? - 0.25).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mse(reference: &Tensor, approx: &Tensor) -> Result<f32, TensorError> {
+    check_shapes(reference, approx)?;
+    let n = reference.len().max(1) as f32;
+    Ok(reference
+        .as_slice()
+        .iter()
+        .zip(approx.as_slice())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / n)
+}
+
+/// Relative L2 error `‖ref − approx‖ / ‖ref‖`.
+///
+/// Returns 0 when both tensors are zero, and `+∞` when only the reference is
+/// zero. This is the "FVD-proxy" used by the Table I reproduction: like FVD
+/// it is 0 for identical outputs and grows with output corruption.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn relative_l2(reference: &Tensor, approx: &Tensor) -> Result<f32, TensorError> {
+    check_shapes(reference, approx)?;
+    let diff = reference.sub(approx)?;
+    let ref_norm = reference.norm();
+    let diff_norm = diff.norm();
+    if ref_norm == 0.0 {
+        return Ok(if diff_norm == 0.0 { 0.0 } else { f32::INFINITY });
+    }
+    Ok(diff_norm / ref_norm)
+}
+
+/// Cosine similarity between the two tensors viewed as flat vectors.
+///
+/// Returns 1 for identical directions, 0 for orthogonal ones. Used as the
+/// "CLIPSIM-proxy": CLIP text-video similarity degrades monotonically with
+/// output corruption, as does this quantity.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn cosine_similarity(reference: &Tensor, approx: &Tensor) -> Result<f32, TensorError> {
+    check_shapes(reference, approx)?;
+    let dot: f32 = reference
+        .as_slice()
+        .iter()
+        .zip(approx.as_slice())
+        .map(|(&a, &b)| a * b)
+        .sum();
+    let denom = reference.norm() * approx.norm();
+    if denom == 0.0 {
+        return Ok(if reference.norm() == approx.norm() { 1.0 } else { 0.0 });
+    }
+    Ok(dot / denom)
+}
+
+/// Signal-to-noise ratio in decibels: `10·log10(‖ref‖² / ‖ref−approx‖²)`.
+///
+/// Capped at 100 dB for (near-)exact matches so downstream tables stay
+/// finite. Used as the "VQA-proxy" after affine mapping in the harness.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn snr_db(reference: &Tensor, approx: &Tensor) -> Result<f32, TensorError> {
+    check_shapes(reference, approx)?;
+    let signal = reference.norm().powi(2);
+    let noise = reference.sub(approx)?.norm().powi(2);
+    if noise <= signal * 1e-10 {
+        return Ok(100.0);
+    }
+    if signal == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((10.0 * (signal / noise).log10()).min(100.0))
+}
+
+/// Per-frame temporal consistency proxy ("CLIP-Temp-proxy").
+///
+/// Interprets a `[frames, features]` tensor as per-frame feature vectors and
+/// returns the mean cosine similarity between consecutive frames of
+/// `approx`, normalized by the same statistic of `reference`, clamped to
+/// `[0, 1]`. A quantization scheme that injects frame-varying noise lowers
+/// this value, mirroring the CLIP-Temp metric.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ or
+/// [`TensorError::RankMismatch`] if the tensors are not rank 2.
+pub fn temporal_consistency(reference: &Tensor, approx: &Tensor) -> Result<f32, TensorError> {
+    check_shapes(reference, approx)?;
+    if reference.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: reference.rank(),
+        });
+    }
+    let ref_c = mean_adjacent_cosine(reference)?;
+    let app_c = mean_adjacent_cosine(approx)?;
+    if ref_c <= 0.0 {
+        return Ok(1.0);
+    }
+    Ok((app_c / ref_c).clamp(0.0, 1.0))
+}
+
+fn mean_adjacent_cosine(t: &Tensor) -> Result<f32, TensorError> {
+    let frames = t.shape()[0];
+    if frames < 2 {
+        return Ok(1.0);
+    }
+    let mut acc = 0.0f32;
+    for f in 0..frames - 1 {
+        let a = t.block(f, 0, 1, t.shape()[1])?;
+        let b = t.block(f + 1, 0, 1, t.shape()[1])?;
+        acc += cosine_similarity(&a, &b)?;
+    }
+    Ok(acc / (frames - 1) as f32)
+}
+
+fn check_shapes(a: &Tensor, b: &Tensor) -> Result<(), TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lin(dims: &[usize]) -> Tensor {
+        Tensor::from_fn(dims, |i| {
+            (i.iter().sum::<usize>() as f32 * 0.37).sin() + 1.2
+        })
+    }
+
+    #[test]
+    fn identical_tensors_are_perfect() {
+        let t = lin(&[8, 8]);
+        assert_eq!(relative_l2(&t, &t).unwrap(), 0.0);
+        assert!((cosine_similarity(&t, &t).unwrap() - 1.0).abs() < 1e-6);
+        assert_eq!(snr_db(&t, &t).unwrap(), 100.0);
+        assert_eq!(mse(&t, &t).unwrap(), 0.0);
+        assert!((temporal_consistency(&t, &t).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corruption_monotonicity() {
+        // All metrics must rank light corruption better than heavy corruption
+        // — that ordering is what makes them valid proxies for Table I.
+        let t = lin(&[16, 16]);
+        let light = t.map(|x| x + 0.01);
+        let heavy = t.map(|x| x + 0.5);
+        assert!(relative_l2(&t, &light).unwrap() < relative_l2(&t, &heavy).unwrap());
+        assert!(cosine_similarity(&t, &light).unwrap() > cosine_similarity(&t, &heavy).unwrap());
+        assert!(snr_db(&t, &light).unwrap() > snr_db(&t, &heavy).unwrap());
+        assert!(mse(&t, &light).unwrap() < mse(&t, &heavy).unwrap());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(mse(&a, &b).is_err());
+        assert!(relative_l2(&a, &b).is_err());
+        assert!(cosine_similarity(&a, &b).is_err());
+        assert!(snr_db(&a, &b).is_err());
+    }
+
+    #[test]
+    fn zero_reference_edge_cases() {
+        let z = Tensor::zeros(&[4]);
+        let nz = Tensor::full(&[4], 1.0);
+        assert_eq!(relative_l2(&z, &z).unwrap(), 0.0);
+        assert_eq!(relative_l2(&z, &nz).unwrap(), f32::INFINITY);
+        assert_eq!(cosine_similarity(&z, &z).unwrap(), 1.0);
+        assert_eq!(cosine_similarity(&z, &nz).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn orthogonal_vectors_cosine_zero() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 0.0]).unwrap();
+        let b = Tensor::from_vec(&[2], vec![0.0, 1.0]).unwrap();
+        assert!(cosine_similarity(&a, &b).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn temporal_consistency_penalizes_frame_noise() {
+        let t = Tensor::from_fn(&[6, 16], |i| (i[1] as f32 * 0.2).cos() + 2.0);
+        // Alternate-frame sign flips break adjacent-frame similarity.
+        let corrupted = Tensor::from_fn(&[6, 16], |i| {
+            let v = (i[1] as f32 * 0.2).cos() + 2.0;
+            if i[0] % 2 == 0 {
+                v
+            } else {
+                -v
+            }
+        });
+        let good = temporal_consistency(&t, &t).unwrap();
+        let bad = temporal_consistency(&t, &corrupted).unwrap();
+        assert!(bad < good);
+    }
+
+    #[test]
+    fn single_frame_consistency_is_one() {
+        let t = lin(&[1, 8]);
+        assert_eq!(temporal_consistency(&t, &t).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Heatmap rendering for attention maps.
+//!
+//! The paper's Fig. 1 and Fig. 8 visualize attention maps before and after
+//! reorder. This module renders a rank-2 tensor as an ASCII heatmap (for
+//! terminal output from the experiment binaries) or as a binary PGM image
+//! (for inspection with any image viewer).
+
+use crate::{Tensor, TensorError};
+
+/// Characters from faint to intense used by [`ascii_heatmap`].
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a rank-2 tensor as an ASCII heatmap.
+///
+/// Values are min-max normalized over the whole tensor; each cell becomes
+/// one character from a 10-step intensity ramp. `max_edge` bounds the output
+/// size: larger tensors are downsampled by max-pooling so dominant structure
+/// (e.g. a block-diagonal) stays visible.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2 and
+/// [`TensorError::EmptyDimension`] if `max_edge` is zero or the tensor is
+/// empty.
+///
+/// # Example
+///
+/// ```
+/// use paro_tensor::{render, Tensor};
+/// # fn main() -> Result<(), paro_tensor::TensorError> {
+/// let eye = Tensor::from_fn(&[4, 4], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+/// let art = render::ascii_heatmap(&eye, 4)?;
+/// assert_eq!(art.lines().count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ascii_heatmap(map: &Tensor, max_edge: usize) -> Result<String, TensorError> {
+    let pooled = downsample_max(map, max_edge)?;
+    let (rows, cols) = (pooled.shape()[0], pooled.shape()[1]);
+    let lo = pooled.min().unwrap_or(0.0);
+    let hi = pooled.max().unwrap_or(0.0);
+    let span = (hi - lo).max(f32::EPSILON);
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let t = (pooled.at(&[r, c]) - lo) / span;
+            let idx = ((t * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Renders a rank-2 tensor as a binary PGM (P5) image, min-max normalized to
+/// 8-bit grayscale, downsampled to at most `max_edge` per side.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2 and
+/// [`TensorError::EmptyDimension`] if `max_edge` is zero or the tensor is
+/// empty.
+pub fn pgm_bytes(map: &Tensor, max_edge: usize) -> Result<Vec<u8>, TensorError> {
+    let pooled = downsample_max(map, max_edge)?;
+    let (rows, cols) = (pooled.shape()[0], pooled.shape()[1]);
+    let lo = pooled.min().unwrap_or(0.0);
+    let hi = pooled.max().unwrap_or(0.0);
+    let span = (hi - lo).max(f32::EPSILON);
+    let mut out = format!("P5\n{cols} {rows}\n255\n").into_bytes();
+    for r in 0..rows {
+        for c in 0..cols {
+            let t = (pooled.at(&[r, c]) - lo) / span;
+            out.push((t * 255.0).round().clamp(0.0, 255.0) as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Max-pools a rank-2 tensor so neither side exceeds `max_edge`.
+///
+/// Max (not mean) pooling preserves sparse diagonal structure, which is the
+/// whole point of rendering attention maps.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2 and
+/// [`TensorError::EmptyDimension`] if `max_edge` is zero or the tensor is
+/// empty.
+pub fn downsample_max(map: &Tensor, max_edge: usize) -> Result<Tensor, TensorError> {
+    if map.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: map.rank(),
+        });
+    }
+    if max_edge == 0 || map.is_empty() {
+        return Err(TensorError::EmptyDimension);
+    }
+    let (m, n) = (map.shape()[0], map.shape()[1]);
+    if m <= max_edge && n <= max_edge {
+        return Ok(map.clone());
+    }
+    let pr = m.div_ceil(max_edge);
+    let pc = n.div_ceil(max_edge);
+    let out_r = m.div_ceil(pr);
+    let out_c = n.div_ceil(pc);
+    let mut out = Tensor::full(&[out_r, out_c], f32::NEG_INFINITY);
+    for r in 0..m {
+        for c in 0..n {
+            let (orr, occ) = (r / pr, c / pc);
+            let cur = out.at(&[orr, occ]);
+            let v = map.at(&[r, c]);
+            if v > cur {
+                out.set(&[orr, occ], v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_shows_in_ascii() {
+        let eye = Tensor::from_fn(&[8, 8], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        let art = ascii_heatmap(&eye, 8).unwrap();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for (r, line) in lines.iter().enumerate() {
+            assert_eq!(line.as_bytes()[r], b'@');
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_diagonal_peak() {
+        let eye = Tensor::from_fn(&[32, 32], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        let pooled = downsample_max(&eye, 8).unwrap();
+        assert_eq!(pooled.shape(), &[8, 8]);
+        for r in 0..8 {
+            assert_eq!(pooled.at(&[r, r]), 1.0);
+        }
+    }
+
+    #[test]
+    fn downsample_non_divisible_sizes() {
+        let t = Tensor::from_fn(&[10, 7], |i| (i[0] * 7 + i[1]) as f32);
+        let pooled = downsample_max(&t, 4).unwrap();
+        assert!(pooled.shape()[0] <= 4 && pooled.shape()[1] <= 4);
+        assert_eq!(pooled.max(), t.max());
+    }
+
+    #[test]
+    fn small_tensor_not_downsampled() {
+        let t = Tensor::from_fn(&[3, 3], |i| i[0] as f32);
+        assert_eq!(downsample_max(&t, 8).unwrap(), t);
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let t = Tensor::from_fn(&[4, 6], |i| (i[0] + i[1]) as f32);
+        let pgm = pgm_bytes(&t, 16).unwrap();
+        assert!(pgm.starts_with(b"P5\n6 4\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n6 4\n255\n".len() + 24);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let v = Tensor::zeros(&[4]);
+        assert!(ascii_heatmap(&v, 4).is_err());
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(ascii_heatmap(&t, 0).is_err());
+    }
+
+    #[test]
+    fn constant_map_renders_uniformly() {
+        let t = Tensor::full(&[4, 4], 3.0);
+        let art = ascii_heatmap(&t, 4).unwrap();
+        let ch = art.chars().next().unwrap();
+        assert!(art.chars().filter(|c| *c != '\n').all(|c| c == ch));
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic RNG helpers.
+//!
+//! Every stochastic component of the reproduction (pattern generation,
+//! synthetic embeddings) takes an explicit seed so experiments are exactly
+//! repeatable; this module centralizes RNG construction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a deterministic [`StdRng`] from a 64-bit seed.
+///
+/// # Example
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = paro_tensor::rng::seeded(7);
+/// let mut b = paro_tensor::rng::seeded(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a base seed and a stream index.
+///
+/// Uses the SplitMix64 finalizer so nearby `(seed, stream)` pairs produce
+/// uncorrelated child seeds. This lets each attention head / transformer
+/// block own an independent deterministic stream.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = seeded(99);
+        let mut b = seeded(99);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u32>(), b.gen::<u32>());
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_across_streams() {
+        let s = 1234;
+        let children: Vec<u64> = (0..64).map(|i| derive_seed(s, i)).collect();
+        let mut sorted = children.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), children.len(), "derived seeds must be unique");
+    }
+
+    #[test]
+    fn derived_seed_is_stable() {
+        // Pin the derivation so stored experiment outputs stay reproducible.
+        assert_eq!(derive_seed(0, 0), derive_seed(0, 0));
+        assert_ne!(derive_seed(0, 0), derive_seed(0, 1));
+        assert_ne!(derive_seed(0, 0), derive_seed(1, 0));
+    }
+}

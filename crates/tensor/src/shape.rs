@@ -1,0 +1,196 @@
+use crate::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// A tensor shape: the extent of each axis, in row-major order.
+///
+/// `Shape` owns its dimension list and precomputes nothing; strides are
+/// derived on demand because the tensors in this crate are always contiguous
+/// and row-major.
+///
+/// # Example
+///
+/// ```
+/// use paro_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), Some(23));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dims; 1 for rank 0).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides, one per axis.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// Returns `None` if the index has the wrong rank or any coordinate is
+    /// out of range.
+    pub fn flat_index(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut flat = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+            if i >= d {
+                return None;
+            }
+            flat += i * s;
+        }
+        Some(flat)
+    }
+
+    /// Converts a flat row-major offset into a multi-dimensional index.
+    ///
+    /// Returns `None` if the offset is out of range.
+    pub fn multi_index(&self, mut flat: usize) -> Option<Vec<usize>> {
+        if flat >= self.len() {
+            return None;
+        }
+        let strides = self.strides();
+        let mut idx = vec![0usize; self.dims.len()];
+        for (slot, &s) in idx.iter_mut().zip(&strides) {
+            *slot = flat / s;
+            flat %= s;
+        }
+        Some(idx)
+    }
+
+    /// Validates that `perm` is a bijection over `0..rank` and returns the
+    /// permuted shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidPermutation`] if `perm` is not a
+    /// permutation of `0..rank`.
+    pub fn permuted(&self, perm: &[usize]) -> Result<Shape, TensorError> {
+        if perm.len() != self.dims.len() {
+            return Err(TensorError::InvalidPermutation {
+                perm: perm.to_vec(),
+            });
+        }
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if p >= perm.len() || seen[p] {
+                return Err(TensorError::InvalidPermutation {
+                    perm: perm.to_vec(),
+                });
+            }
+            seen[p] = true;
+        }
+        Ok(Shape::new(perm.iter().map(|&p| self.dims[p]).collect()))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+        assert!(Shape::new(vec![]).strides().is_empty());
+    }
+
+    #[test]
+    fn flat_and_multi_roundtrip() {
+        let s = Shape::new(vec![3, 4, 5]);
+        for flat in 0..s.len() {
+            let idx = s.multi_index(flat).unwrap();
+            assert_eq!(s.flat_index(&idx), Some(flat));
+        }
+    }
+
+    #[test]
+    fn flat_index_rejects_bad_input() {
+        let s = Shape::new(vec![2, 2]);
+        assert_eq!(s.flat_index(&[0]), None);
+        assert_eq!(s.flat_index(&[2, 0]), None);
+        assert_eq!(s.multi_index(4), None);
+    }
+
+    #[test]
+    fn permuted_shape() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.permuted(&[2, 0, 1]).unwrap().dims(), &[4, 2, 3]);
+        assert!(s.permuted(&[0, 0, 1]).is_err());
+        assert!(s.permuted(&[0, 1]).is_err());
+        assert!(s.permuted(&[0, 1, 3]).is_err());
+    }
+
+    #[test]
+    fn rank_zero_shape() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.flat_index(&[]), Some(0));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::new(vec![]).to_string(), "[]");
+    }
+}

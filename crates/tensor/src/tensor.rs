@@ -1,0 +1,378 @@
+use crate::{Shape, TensorError};
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// This is the single numeric container used throughout the PARO
+/// reproduction. It intentionally supports only what the workloads need:
+/// construction, element access, element-wise maps/zips, and the linear
+/// algebra in the sibling modules.
+///
+/// # Example
+///
+/// ```
+/// use paro_tensor::Tensor;
+///
+/// let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] + idx[1]) as f32);
+/// assert_eq!(t.at(&[1, 2]), 3.0);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::from(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with a constant value.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::from(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from existing row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if `data.len()` does not
+    /// equal the product of `dims`.
+    pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Result<Self, TensorError> {
+        let shape = Shape::from(dims);
+        if shape.len() != data.len() {
+            return Err(TensorError::ElementCountMismatch {
+                requested: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every multi-dimensional index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let shape = Shape::from(dims);
+        let len = shape.len();
+        let mut data = Vec::with_capacity(len);
+        for flat in 0..len {
+            let idx = shape
+                .multi_index(flat)
+                .expect("flat index in range by construction");
+            data.push(f(&idx));
+        }
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor with values drawn from `dist` using `rng`.
+    pub fn random<D, R>(dims: &[usize], dist: &D, rng: &mut R) -> Self
+    where
+        D: Distribution<f32>,
+        R: Rng + ?Sized,
+    {
+        let shape = Shape::from(dims);
+        let len = shape.len();
+        let data = (0..len).map(|_| dist.sample(rng)).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape as a dimension slice.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The tensor's [`Shape`].
+    pub fn shape_obj(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of range. Use
+    /// [`Tensor::get`] for a checked variant.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        let flat = self
+            .shape
+            .flat_index(index)
+            .unwrap_or_else(|| panic!("index {index:?} out of range for shape {}", self.shape));
+        self.data[flat]
+    }
+
+    /// Checked element access by multi-dimensional index.
+    pub fn get(&self, index: &[usize]) -> Option<f32> {
+        self.shape.flat_index(index).map(|flat| self.data[flat])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of range.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let flat = self
+            .shape
+            .flat_index(index)
+            .unwrap_or_else(|| panic!("index {index:?} out of range for shape {}", self.shape));
+        self.data[flat] = value;
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise combination of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_with(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Element-wise sum. See [`Tensor::zip_with`] for error conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference. See [`Tensor::zip_with`] for error conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        self.map(|x| x * factor)
+    }
+
+    /// Reinterprets the tensor with a new shape holding the same elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if the new shape implies
+    /// a different element count.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        let shape = Shape::from(dims);
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ElementCountMismatch {
+                requested: shape.len(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Minimum element, or `None` for an empty tensor.
+    pub fn min(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::min)
+    }
+
+    /// Maximum element, or `None` for an empty tensor.
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::max)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Mean of absolute values (0 for an empty tensor).
+    pub fn abs_mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().map(|x| x.abs()).sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Population variance of all elements (0 for an empty tensor).
+    pub fn variance(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Euclidean (Frobenius) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_fn(&[2, 3], |i| (i[0] * 10 + i[1]) as f32);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 2]), 12.0);
+        assert_eq!(t.get(&[2, 0]), None);
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor::from_vec(&[2, 2], vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(&[2, 2], vec![1.0; 3]),
+            Err(TensorError::ElementCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::full(&[2, 2], 3.0);
+        let b = Tensor::full(&[2, 2], 1.5);
+        assert_eq!(a.add(&b).unwrap().at(&[0, 0]), 4.5);
+        assert_eq!(a.sub(&b).unwrap().at(&[1, 1]), 1.5);
+        assert_eq!(a.scale(2.0).at(&[0, 1]), 6.0);
+        let c = Tensor::full(&[3], 1.0);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        assert_eq!(t.min(), Some(-3.0));
+        assert_eq!(t.max(), Some(4.0));
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.abs_mean(), 2.5);
+        assert!((t.norm() - (1.0f32 + 4.0 + 9.0 + 16.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let t = Tensor::full(&[10], 7.0);
+        assert_eq!(t.variance(), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn(&[2, 6], |i| (i[0] * 6 + i[1]) as f32);
+        let r = t.reshape(&[3, 4]).unwrap();
+        assert_eq!(r.at(&[2, 3]), 11.0);
+        assert!(t.reshape(&[5, 5]).is_err());
+    }
+
+    #[test]
+    fn set_and_mut_slice() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 0], 5.0);
+        assert_eq!(t.at(&[1, 0]), 5.0);
+        t.as_mut_slice()[3] = 9.0;
+        assert_eq!(t.at(&[1, 1]), 9.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let dist = rand::distributions::Uniform::new(0.0f32, 1.0);
+        let a = Tensor::random(&[8], &dist, &mut StdRng::seed_from_u64(42));
+        let b = Tensor::random(&[8], &dist, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the tensor substrate.
+
+use paro_tensor::{inverse_permutation, metrics, Tensor};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// Strategy: a rank-2 tensor with dims in 1..=12 and finite values.
+fn tensor2d() -> impl Strategy<Value = Tensor> {
+    (1usize..=12, 1usize..=12).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-100.0f32..100.0, m * n)
+            .prop_map(move |data| Tensor::from_vec(&[m, n], data).expect("len matches"))
+    })
+}
+
+/// Strategy: a permutation of 0..n.
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<_>>()).prop_shuffle()
+}
+
+proptest! {
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor2d()) {
+        let s = t.softmax_rows().unwrap();
+        let (m, n) = (s.shape()[0], s.shape()[1]);
+        for r in 0..m {
+            let mut sum = 0.0f32;
+            for c in 0..n {
+                let v = s.at(&[r, c]);
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&v));
+                sum += v;
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(t in tensor2d()) {
+        prop_assert_eq!(t.transpose2d().unwrap().transpose2d().unwrap(), t);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip(t in tensor2d()) {
+        let m = t.shape()[0];
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let perm = permutation(m).new_tree(runner).unwrap().current();
+        let g = t.gather_rows(&perm).unwrap();
+        prop_assert_eq!(g.scatter_rows(&perm).unwrap(), t);
+    }
+
+    #[test]
+    fn gather_by_inverse_equals_scatter(t in tensor2d()) {
+        let m = t.shape()[0];
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let perm = permutation(m).new_tree(runner).unwrap().current();
+        let inv = inverse_permutation(&perm);
+        let a = t.gather_rows(&perm).unwrap();
+        let b = a.gather_rows(&inv).unwrap();
+        prop_assert_eq!(b, t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor2d(), seed in 0u64..1000
+    ) {
+        // A(B + C) == AB + AC for same-shaped B, C.
+        let (_, k) = (a.shape()[0], a.shape()[1]);
+        let n = 5;
+        let mut rng = paro_tensor::rng::seeded(seed);
+        let dist = rand::distributions::Uniform::new(-1.0f32, 1.0);
+        let b = Tensor::random(&[k, n], &dist, &mut rng);
+        let c = Tensor::random(&[k, n], &dist, &mut rng);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 + 1e-3 * x.abs().max(y.abs()));
+        }
+    }
+
+    #[test]
+    fn relative_l2_scale_invariant(t in tensor2d(), s in 0.1f32..10.0) {
+        // Scaling both tensors leaves the relative error unchanged.
+        prop_assume!(t.norm() > 1e-3);
+        let approx = t.map(|x| x + 0.1);
+        let e1 = metrics::relative_l2(&t, &approx).unwrap();
+        let e2 = metrics::relative_l2(&t.scale(s), &approx.scale(s)).unwrap();
+        prop_assert!((e1 - e2).abs() < 1e-3 * (1.0 + e1));
+    }
+
+    #[test]
+    fn cosine_bounded(a in tensor2d()) {
+        let b = a.map(|x| x * 0.7 + 0.1);
+        let c = metrics::cosine_similarity(&a, &b).unwrap();
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
+    }
+
+    #[test]
+    fn permute_axes_roundtrip_rank3(
+        d0 in 1usize..=5, d1 in 1usize..=5, d2 in 1usize..=5, seed in 0u64..1000
+    ) {
+        let mut rng = paro_tensor::rng::seeded(seed);
+        let dist = rand::distributions::Uniform::new(-1.0f32, 1.0);
+        let t = Tensor::random(&[d0, d1, d2], &dist, &mut rng);
+        for perm in [[0usize,1,2],[0,2,1],[1,0,2],[1,2,0],[2,0,1],[2,1,0]] {
+            let inv = inverse_permutation(&perm);
+            let round = t.permute_axes(&perm).unwrap().permute_axes(&inv).unwrap();
+            prop_assert_eq!(&round, &t);
+        }
+    }
+
+    #[test]
+    fn block_roundtrip(t in tensor2d()) {
+        let (m, n) = (t.shape()[0], t.shape()[1]);
+        let b = t.block(0, 0, m, n).unwrap();
+        prop_assert_eq!(b, t.clone());
+        let mut copy = Tensor::zeros(&[m, n]);
+        copy.set_block(0, 0, &t).unwrap();
+        prop_assert_eq!(copy, t);
+    }
+}

@@ -1,0 +1,104 @@
+//! Accelerator explorer: simulate the PARO accelerator and every baseline
+//! machine on CogVideoX-2B/5B, printing end-to-end latency, per-category
+//! breakdown and energy efficiency.
+//!
+//! ```text
+//! cargo run --release --example accelerator_explorer [2b|5b]
+//! ```
+
+use paro::prelude::*;
+use paro::sim::cost::CostModel;
+use paro::sim::OpCategory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "5b".to_string());
+    let cfg = match which.as_str() {
+        "2b" => ModelConfig::cogvideox_2b(),
+        _ => ModelConfig::cogvideox_5b(),
+    };
+    let profile = AttentionProfile::paper_mp();
+    println!(
+        "Model: {} ({} blocks, hidden {}, {} heads, {} tokens, {} steps)",
+        cfg.name,
+        cfg.blocks,
+        cfg.hidden,
+        cfg.heads,
+        cfg.total_tokens(),
+        cfg.steps
+    );
+    println!(
+        "Attention profile: avg {:.2} bits, {:.0}% blocks skipped\n",
+        profile.avg_bits(),
+        profile.skip_fraction() * 100.0
+    );
+
+    let machines: Vec<Box<dyn Machine>> = vec![
+        Box::new(SangerMachine::default_budget()),
+        Box::new(VitcodMachine::default_budget()),
+        Box::new(ParoMachine::new(
+            HardwareConfig::paro_asic(),
+            ParoOptimizations::all(),
+        )),
+        Box::new(GpuMachine::a100()),
+        Box::new(ParoMachine::new(
+            HardwareConfig::paro_align_a100(),
+            ParoOptimizations::all(),
+        )),
+    ];
+
+    let mut reports = Vec::new();
+    for machine in &machines {
+        reports.push(machine.run_model(&cfg, &profile));
+    }
+    let sanger_seconds = reports[0].seconds;
+
+    println!(
+        "{:<18} {:>10} {:>12} {:>10} {:>10}",
+        "machine", "e2e (s)", "vs Sanger", "energy (J)", "TOPS/W"
+    );
+    for r in &reports {
+        println!(
+            "{:<18} {:>10.1} {:>11.2}x {:>10.0} {:>10.2}",
+            r.machine,
+            r.seconds,
+            sanger_seconds / r.seconds,
+            r.energy_joules,
+            r.tops_per_watt()
+        );
+    }
+
+    println!("\nPer-category latency breakdown (one transformer block):");
+    for r in &reports {
+        let shares = r.category_shares();
+        let get = |c: OpCategory| shares.get(&c).copied().unwrap_or(0.0) * 100.0;
+        println!(
+            "{:<18} linear {:>5.1}%  qk_t {:>5.1}%  softmax {:>5.1}%  attn_v {:>5.1}%  reorder {:>5.1}%  predict {:>5.1}%",
+            r.machine,
+            get(OpCategory::Linear),
+            get(OpCategory::QkT),
+            get(OpCategory::Softmax),
+            get(OpCategory::AttnV),
+            get(OpCategory::Reorder),
+            get(OpCategory::Prediction),
+        );
+    }
+
+    println!("\nPARO ASIC cost model (Table II, TSMC 12 nm @ 1 GHz):");
+    let cm = CostModel::for_hardware(&HardwareConfig::paro_asic());
+    for c in cm.components() {
+        println!(
+            "  {:<20} {:<22} {:>6.2} mm2 ({:>4.1}%)  {:>5.2} W ({:>4.1}%)",
+            c.name,
+            c.config,
+            c.area_mm2,
+            c.area_mm2 / cm.total_area_mm2() * 100.0,
+            c.power_w,
+            c.power_w / cm.total_power_w() * 100.0
+        );
+    }
+    println!(
+        "  {:<20} {:<22} {:>6.2} mm2 (100%)  {:>5.2} W (100%)",
+        "Total", "TSMC 12nm", cm.total_area_mm2(), cm.total_power_w()
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Pattern atlas: render every synthetic attention pattern before and
+//! after PARO's reorder (the paper's Fig. 8 visualization).
+//!
+//! ```text
+//! cargo run --release --example pattern_atlas
+//! ```
+//!
+//! Also writes PGM images of each map pair into `target/pattern_atlas/`.
+
+use paro::core::pipeline::attention_map;
+use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
+use paro::prelude::*;
+use paro::tensor::render;
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = TokenGrid::new(6, 6, 6);
+    let out_dir = std::path::Path::new("target/pattern_atlas");
+    fs::create_dir_all(out_dir)?;
+
+    let kinds = [
+        PatternKind::Temporal,
+        PatternKind::SpatialRow,
+        PatternKind::SpatialCol,
+        PatternKind::default_window(&grid),
+        PatternKind::Diffuse,
+    ];
+    for (i, kind) in kinds.iter().enumerate() {
+        let spec = PatternSpec::new(*kind);
+        let head = synthesize_head(&grid, 32, &spec, 100 + i as u64);
+        let map = attention_map(&head.q, &head.k)?;
+
+        // Offline plan selection at INT4 with 6x6 blocks.
+        let block = BlockGrid::square(6)?;
+        let sel = select_plan(&map, &grid, block, Bitwidth::B4)?;
+        let plan = ReorderPlan::new(&grid, sel.order);
+        let reordered = reorder_map(&map, &plan)?;
+
+        println!("== pattern '{kind}' -> selected order '{}' ==", sel.order);
+        println!("candidate errors:");
+        for (order, err) in &sel.candidate_errors {
+            let marker = if *order == sel.order {
+                " <-- selected"
+            } else {
+                ""
+            };
+            println!("  {order}: {err:.5}{marker}");
+        }
+        println!("\nbefore reorder:                      after reorder:");
+        let before = render::ascii_heatmap(&map, 36)?;
+        let after = render::ascii_heatmap(&reordered, 36)?;
+        for (l, r) in before.lines().zip(after.lines()) {
+            println!("{l}   {r}");
+        }
+        println!();
+
+        fs::write(
+            out_dir.join(format!("{}_before.pgm", kind.name())),
+            render::pgm_bytes(&map, 216)?,
+        )?;
+        fs::write(
+            out_dir.join(format!("{}_after.pgm", kind.name())),
+            render::pgm_bytes(&reordered, 216)?,
+        )?;
+    }
+    println!("PGM images written to {}", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Quickstart: quantize one attention head with PARO and inspect the
+//! result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use paro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small 3D token grid (8 frames x 8 x 8 spatial) and one synthetic
+    // attention head with a temporal-diagonal pattern: each token attends
+    // to the same spatial position across frames, as the paper observes in
+    // CogVideoX.
+    let cfg = ModelConfig::tiny(8, 8, 8);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&cfg.grid, cfg.head_dim(), &spec, 42);
+    println!(
+        "Synthesized head: {} tokens (grid {}x{}x{}), head_dim {}",
+        cfg.grid.len(),
+        cfg.grid.frames(),
+        cfg.grid.height(),
+        cfg.grid.width(),
+        cfg.head_dim()
+    );
+
+    // Full-precision reference output.
+    let reference = reference_attention(&head.q, &head.k, &head.v)?;
+    let inputs = AttentionInputs::new(head.q, head.k, head.v, cfg.grid)?;
+
+    // Compare the paper's Table I methods on this head.
+    println!(
+        "\n{:<18} {:>12} {:>12} {:>10}",
+        "method", "rel-L2 err", "cosine sim", "avg bits"
+    );
+    for method in [
+        AttentionMethod::Fp16,
+        AttentionMethod::SageAttention,
+        AttentionMethod::NaiveInt {
+            bits: Bitwidth::B4,
+        },
+        AttentionMethod::BlockwiseInt {
+            bits: Bitwidth::B4,
+            block_edge: 8,
+        },
+        AttentionMethod::ParoInt {
+            bits: Bitwidth::B4,
+            block_edge: 8,
+        },
+        AttentionMethod::ParoMixed {
+            budget: 4.8,
+            block_edge: 8,
+            alpha: 0.5,
+            output_aware: true,
+        },
+    ] {
+        let run = run_attention(&inputs, &method)?;
+        let err = metrics::relative_l2(&reference, &run.output)?;
+        let cos = metrics::cosine_similarity(&reference, &run.output)?;
+        println!(
+            "{:<18} {:>12.4} {:>12.4} {:>10.2}",
+            method.name(),
+            err,
+            cos,
+            run.avg_bits
+        );
+        if let Some(alloc) = &run.allocation {
+            let h = alloc.histogram();
+            println!(
+                "  mixed-precision blocks: {} x 0bit, {} x 2bit, {} x 4bit, {} x 8bit",
+                h[0], h[1], h[2], h[3]
+            );
+        }
+        if let Some(plan) = &run.plan {
+            println!("  reorder plan: axis order '{}'", plan.order());
+        }
+    }
+    println!("\nPARO MP at ~4.8 bits should match INT8-class fidelity while");
+    println!("naive row-wise INT4 collapses — the paper's Table I story.");
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! Video inference: run a scaled-down CogVideoX-like model — every block
+//! and head with its own attention pattern — under several quantization
+//! methods and aggregate the fidelity metrics, a miniature of the paper's
+//! Table I protocol.
+//!
+//! ```text
+//! cargo run --release --example video_inference [blocks] [heads]
+//! ```
+
+use paro::prelude::*;
+use paro::tensor::rng::derive_seed;
+
+struct Aggregate {
+    rel_l2: f64,
+    cosine: f64,
+    snr_db: f64,
+    avg_bits: f64,
+    heads: usize,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let blocks: usize = args.get(1).map_or(2, |s| s.parse().unwrap_or(2));
+    let heads: usize = args.get(2).map_or(4, |s| s.parse().unwrap_or(4));
+    let cfg = ModelConfig::tiny(6, 6, 6);
+    println!(
+        "Mini video model: {} blocks x {} heads, {} tokens/head, head_dim {}",
+        blocks,
+        heads,
+        cfg.grid.len(),
+        cfg.head_dim()
+    );
+
+    let methods = [
+        AttentionMethod::Fp16,
+        AttentionMethod::SageAttention,
+        AttentionMethod::SangerSparse { threshold: 1e-3 },
+        AttentionMethod::NaiveInt {
+            bits: Bitwidth::B8,
+        },
+        AttentionMethod::NaiveInt {
+            bits: Bitwidth::B4,
+        },
+        AttentionMethod::BlockwiseInt {
+            bits: Bitwidth::B4,
+            block_edge: 6,
+        },
+        AttentionMethod::ParoInt {
+            bits: Bitwidth::B4,
+            block_edge: 6,
+        },
+        AttentionMethod::ParoMixed {
+            budget: 4.8,
+            block_edge: 6,
+            alpha: 0.5,
+            output_aware: true,
+        },
+    ];
+
+    println!(
+        "\n{:<18} {:>10} {:>10} {:>10} {:>9}",
+        "method", "rel-L2", "cosine", "SNR (dB)", "avg bits"
+    );
+    for method in &methods {
+        let mut agg = Aggregate {
+            rel_l2: 0.0,
+            cosine: 0.0,
+            snr_db: 0.0,
+            avg_bits: 0.0,
+            heads: 0,
+        };
+        for b in 0..blocks {
+            for h in 0..heads {
+                let spec = PatternSpec::for_head(&cfg.grid, b, h);
+                let seed = derive_seed(2026, (b * heads + h) as u64);
+                let head = synthesize_head(&cfg.grid, cfg.head_dim(), &spec, seed);
+                let reference = reference_attention(&head.q, &head.k, &head.v)?;
+                let inputs = AttentionInputs::new(head.q, head.k, head.v, cfg.grid)?;
+                let run = run_attention(&inputs, method)?;
+                agg.rel_l2 += metrics::relative_l2(&reference, &run.output)? as f64;
+                agg.cosine += metrics::cosine_similarity(&reference, &run.output)? as f64;
+                agg.snr_db += metrics::snr_db(&reference, &run.output)? as f64;
+                agg.avg_bits += run.avg_bits as f64;
+                agg.heads += 1;
+            }
+        }
+        let n = agg.heads as f64;
+        println!(
+            "{:<18} {:>10.4} {:>10.4} {:>10.1} {:>9.2}",
+            method.name(),
+            agg.rel_l2 / n,
+            agg.cosine / n,
+            agg.snr_db / n,
+            agg.avg_bits / n
+        );
+    }
+    // Per-pattern breakdown for the flagship method: which head types are
+    // hardest to quantize?
+    println!("\nPARO MP per-pattern breakdown:");
+    let mp = AttentionMethod::ParoMixed {
+        budget: 4.8,
+        block_edge: 6,
+        alpha: 0.5,
+        output_aware: true,
+    };
+    let mut per_kind: std::collections::BTreeMap<&str, (f64, usize)> =
+        std::collections::BTreeMap::new();
+    for b in 0..blocks {
+        for h in 0..heads {
+            let spec = PatternSpec::for_head(&cfg.grid, b, h);
+            let seed = derive_seed(2026, (b * heads + h) as u64);
+            let head = synthesize_head(&cfg.grid, cfg.head_dim(), &spec, seed);
+            let reference = reference_attention(&head.q, &head.k, &head.v)?;
+            let inputs = AttentionInputs::new(head.q, head.k, head.v, cfg.grid)?;
+            let run = run_attention(&inputs, &mp)?;
+            let err = metrics::relative_l2(&reference, &run.output)? as f64;
+            let e = per_kind.entry(spec.kind.name()).or_insert((0.0, 0));
+            e.0 += err;
+            e.1 += 1;
+        }
+    }
+    for (kind, (sum, count)) in &per_kind {
+        println!("  {:<13} rel-L2 {:.4}  ({count} heads)", kind, sum / *count as f64);
+    }
+    println!("\nExpected ranking mirrors Table I: PARO MP ~ INT8-class quality,");
+    println!("block-wise beats naive, naive INT4 collapses. Diffuse heads (no");
+    println!("reorderable structure) are the hardest for block-wise quantization.");
+    Ok(())
+}

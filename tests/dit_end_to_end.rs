@@ -1,0 +1,174 @@
+//! Cross-crate integration: the full synthetic-DiT path — pattern-bearing
+//! weights, quantized forward passes, offline calibration, frozen-plan
+//! inference, and DDIM error dynamics — wired together end to end.
+
+use paro::core::calibration::{calibrate_head, plan_stability};
+use paro::core::diffusion::DdimSampler;
+use paro::core::exec::{forward, rms_norm, ForwardOptions};
+use paro::core::pipeline::{attention_map, run_attention_calibrated, AttentionInputs};
+use paro::model::dit::SyntheticDit;
+use paro::prelude::*;
+use paro::tensor::rng::seeded;
+use rand::distributions::Uniform;
+
+fn dit() -> SyntheticDit {
+    SyntheticDit::build(&ModelConfig::tiny(4, 4, 4), 31)
+}
+
+fn content(cfg: &ModelConfig, seed: u64) -> Tensor {
+    Tensor::random(
+        &[cfg.grid.len(), cfg.hidden],
+        &Uniform::new(-0.5f32, 0.5),
+        &mut seeded(seed),
+    )
+}
+
+#[test]
+fn quantized_forward_quality_ordering() {
+    let dit = dit();
+    let x = content(dit.config(), 4);
+    let (reference, _) = forward(&dit, &x, &ForwardOptions::reference()).unwrap();
+    let mut errs = Vec::new();
+    for (name, opts) in [
+        (
+            "naive-int4",
+            ForwardOptions {
+                method: AttentionMethod::NaiveInt {
+                    bits: Bitwidth::B4,
+                },
+                linear_w8a8: true,
+                linear_bits: Bitwidth::B8,
+            },
+        ),
+        (
+            "paro-int4",
+            ForwardOptions {
+                method: AttentionMethod::ParoInt {
+                    bits: Bitwidth::B4,
+                    block_edge: 4,
+                },
+                linear_w8a8: true,
+                linear_bits: Bitwidth::B8,
+            },
+        ),
+        ("paro-mp", ForwardOptions::paro(4.8, 4)),
+    ] {
+        let (out, _) = forward(&dit, &x, &opts).unwrap();
+        errs.push((name, metrics::relative_l2(&reference, &out).unwrap()));
+    }
+    // PARO MP < PARO INT4 < naive INT4, through a real multi-block forward.
+    assert!(errs[2].1 < errs[1].1, "{errs:?}");
+    assert!(errs[1].1 < errs[0].1, "{errs:?}");
+}
+
+#[test]
+fn calibrate_on_dit_then_run_frozen() {
+    // The deployment loop: collect calibration maps from DiT forward
+    // passes, freeze per-head configs, run frozen at inference on new
+    // content, and verify quality.
+    let dit = dit();
+    let cfg = dit.config().clone();
+    let hd = cfg.head_dim();
+    let block = 0usize;
+    let head = 1usize;
+
+    // Calibration maps from 3 content samples.
+    let maps: Vec<Tensor> = (0..3)
+        .map(|s| {
+            let x = rms_norm(&content(&cfg, 100 + s).add(dit.positional()).unwrap());
+            let w = &dit.blocks()[block];
+            let q = x.matmul(&w.w_q).unwrap();
+            let k = x.matmul(&w.w_k).unwrap();
+            attention_map(
+                &q.block(0, head * hd, cfg.grid.len(), hd).unwrap(),
+                &k.block(0, head * hd, cfg.grid.len(), hd).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let grid = cfg.grid;
+    let cal = calibrate_head(
+        &maps,
+        &grid,
+        BlockGrid::square(4).unwrap(),
+        Bitwidth::B4,
+        4.8,
+        0.5,
+    )
+    .unwrap();
+    assert!(cal.allocation.avg_bits <= 4.8 + 1e-4);
+
+    // Stability of the per-sample selections behind that calibration.
+    let stab = plan_stability(&maps, &grid, BlockGrid::square(4).unwrap(), Bitwidth::B4).unwrap();
+    assert!(
+        stab.mean_regret < 0.3,
+        "frozen-plan regret {} too high",
+        stab.mean_regret
+    );
+
+    // Frozen inference on unseen content.
+    let x = rms_norm(&content(&cfg, 999).add(dit.positional()).unwrap());
+    let w = &dit.blocks()[block];
+    let q = x.matmul(&w.w_q).unwrap();
+    let k = x.matmul(&w.w_k).unwrap();
+    let v = x.matmul(&w.w_v).unwrap();
+    let qs = q.block(0, head * hd, grid.len(), hd).unwrap();
+    let ks = k.block(0, head * hd, grid.len(), hd).unwrap();
+    let vs = v.block(0, head * hd, grid.len(), hd).unwrap();
+    let reference = reference_attention(&qs, &ks, &vs).unwrap();
+    let inputs = AttentionInputs::new(qs, ks, vs, grid).unwrap();
+    let run = run_attention_calibrated(&inputs, &cal, true).unwrap();
+    let err = metrics::relative_l2(&reference, &run.output).unwrap();
+    assert!(
+        err < 0.25,
+        "frozen calibrated inference on unseen content: err {err}"
+    );
+}
+
+#[test]
+fn ddim_trajectories_rank_methods() {
+    let dit = dit();
+    let sampler = DdimSampler::new(5);
+    let reference = sampler.sample(&dit, &ForwardOptions::reference(), 8).unwrap();
+    let paro = sampler.sample(&dit, &ForwardOptions::paro(4.8, 4), 8).unwrap();
+    let naive = sampler
+        .sample(
+            &dit,
+            &ForwardOptions {
+                method: AttentionMethod::NaiveInt {
+                    bits: Bitwidth::B4,
+                },
+                linear_w8a8: true,
+                linear_bits: Bitwidth::B8,
+            },
+            8,
+        )
+        .unwrap();
+    let d_paro = *paro.divergence_from(&reference).unwrap().last().unwrap();
+    let d_naive = *naive.divergence_from(&reference).unwrap().last().unwrap();
+    assert!(d_paro < d_naive, "paro {d_paro} vs naive {d_naive}");
+    // And the final sample stays usable.
+    let cos = metrics::cosine_similarity(reference.final_latent(), paro.final_latent()).unwrap();
+    assert!(cos > 0.95, "final-latent cosine {cos}");
+}
+
+#[test]
+fn forward_stats_expose_per_head_plans() {
+    let dit = dit();
+    let x = content(dit.config(), 6);
+    let opts = ForwardOptions {
+        method: AttentionMethod::ParoInt {
+            bits: Bitwidth::B4,
+            block_edge: 4,
+        },
+        linear_w8a8: false,
+        linear_bits: Bitwidth::B8,
+    };
+    let (_, stats) = forward(&dit, &x, &opts).unwrap();
+    assert_eq!(stats.plans.len(), dit.config().blocks);
+    for block_plans in &stats.plans {
+        assert_eq!(block_plans.len(), dit.config().heads);
+        assert!(block_plans.iter().all(|p| p.is_some()));
+    }
+    assert_eq!(stats.avg_bits, 4.0);
+}

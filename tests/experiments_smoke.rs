@@ -1,0 +1,132 @@
+//! Smoke tests: every experiment harness path used by the bench binaries
+//! runs end to end at reduced scale and produces the paper-shaped output.
+
+use paro::core::analysis;
+use paro::core::pipeline::attention_map;
+use paro::core::reorder::{select_plan, ReorderPlan};
+use paro::prelude::*;
+use paro::sim::OpCategory;
+use paro::tensor::render;
+
+#[test]
+fn table1_roster_runs_and_ranks() {
+    let grid = TokenGrid::new(4, 4, 4);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&grid, 32, &spec, 11);
+    let reference = reference_attention(&head.q, &head.k, &head.v).unwrap();
+    let inputs = AttentionInputs::new(head.q, head.k, head.v, grid).unwrap();
+    let mut rows = Vec::new();
+    for method in AttentionMethod::table1_roster() {
+        let run = run_attention(&inputs, &method).unwrap();
+        let err = metrics::relative_l2(&reference, &run.output).unwrap();
+        rows.push((method.name(), err));
+    }
+    assert_eq!(rows.len(), 10);
+    let err_of = |name: &str| rows.iter().find(|(n, _)| n == name).unwrap().1;
+    assert_eq!(err_of("FP16"), 0.0);
+    assert!(err_of("PARO INT4") < err_of("Naive INT4"));
+    assert!(err_of("PARO MP") < err_of("PARO INT4"));
+}
+
+#[test]
+fn fig6a_all_machines_report() {
+    let p = AttentionProfile::paper_mp();
+    let cfg = ModelConfig::cogvideox_2b();
+    let machines: Vec<Box<dyn Machine>> = vec![
+        Box::new(SangerMachine::default_budget()),
+        Box::new(VitcodMachine::default_budget()),
+        Box::new(ParoMachine::new(
+            HardwareConfig::paro_asic(),
+            ParoOptimizations::all(),
+        )),
+        Box::new(GpuMachine::a100()),
+        Box::new(ParoMachine::new(
+            HardwareConfig::paro_align_a100(),
+            ParoOptimizations::all(),
+        )),
+    ];
+    let seconds: Vec<f64> = machines
+        .iter()
+        .map(|m| m.run_model(&cfg, &p).seconds)
+        .collect();
+    assert!(seconds.iter().all(|&s| s > 0.0 && s.is_finite()));
+    // Normalized-to-Sanger ordering (Fig. 6(a)): Sanger slowest.
+    assert!(seconds[0] > seconds[1]); // ViTCoD beats Sanger
+    assert!(seconds[1] > seconds[2]); // PARO beats ViTCoD
+}
+
+#[test]
+fn fig6b_ladder_runs() {
+    let p = AttentionProfile::paper_mp();
+    let cfg = ModelConfig::cogvideox_2b();
+    let ladder = ParoOptimizations::ablation_ladder();
+    assert_eq!(ladder.len(), 4);
+    let mut prev = f64::INFINITY;
+    for (_, opts) in ladder {
+        let s = ParoMachine::new(HardwareConfig::paro_asic(), opts)
+            .run_model(&cfg, &p)
+            .seconds;
+        assert!(s < prev);
+        prev = s;
+    }
+}
+
+#[test]
+fn fig8_rendering_works() {
+    let grid = TokenGrid::new(4, 4, 4);
+    let spec = PatternSpec::new(PatternKind::SpatialCol);
+    let head = synthesize_head(&grid, 32, &spec, 21);
+    let map = attention_map(&head.q, &head.k).unwrap();
+    let sel = select_plan(&map, &grid, BlockGrid::square(4).unwrap(), Bitwidth::B4).unwrap();
+    let plan = ReorderPlan::new(&grid, sel.order);
+    let reordered = paro::core::reorder::reorder_map(&map, &plan).unwrap();
+    let art = render::ascii_heatmap(&reordered, 32).unwrap();
+    assert!(art.lines().count() > 8);
+    let pgm = render::pgm_bytes(&reordered, 64).unwrap();
+    assert!(pgm.starts_with(b"P5"));
+    // The reorder must concentrate mass near the diagonal.
+    let before = analysis::diagonal_band_mass(&map, 8).unwrap();
+    let after = analysis::diagonal_band_mass(&reordered, 8).unwrap();
+    assert!(after > before);
+}
+
+#[test]
+fn reorder_overhead_experiment() {
+    let p = AttentionProfile::paper_mp();
+    for cfg in [ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()] {
+        let report = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())
+            .run_model(&cfg, &p);
+        let share = report
+            .category_shares()
+            .get(&OpCategory::Reorder)
+            .copied()
+            .unwrap_or(0.0);
+        // Paper: 1.26% (2B), 1.07% (5B).
+        assert!(
+            share > 0.0 && share < 0.05,
+            "{}: reorder share {share}",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn analysis_experiment_shape() {
+    // The Fig. 1 analysis: patterned rows have outliers; reorder shrinks
+    // block ranges.
+    let grid = TokenGrid::new(4, 4, 4);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&grid, 32, &spec, 31);
+    let map = attention_map(&head.q, &head.k).unwrap();
+    let stats = analysis::row_outlier_stats(&map).unwrap();
+    assert!(stats.mean_peak_to_mean > 3.0);
+    let block = BlockGrid::square(4).unwrap();
+    let ident = analysis::compare_groupings(&map, &ReorderPlan::identity(&grid), block).unwrap();
+    let good = analysis::compare_groupings(
+        &map,
+        &ReorderPlan::new(&grid, PatternKind::Temporal.preferred_order()),
+        block,
+    )
+    .unwrap();
+    assert!(good.mean_block_range < ident.mean_block_range);
+}

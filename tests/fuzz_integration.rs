@@ -1,0 +1,133 @@
+//! Randomized cross-crate integration: arbitrary small model shapes pushed
+//! through the full stack, asserting structural invariants everywhere.
+
+use paro::core::pipeline::attention_map;
+use paro::core::reorder::select_plan;
+use paro::prelude::*;
+use paro::sim::traffic::{block_bytes, TrafficConfig};
+use proptest::prelude::*;
+
+fn small_grid() -> impl Strategy<Value = TokenGrid> {
+    (2usize..=4, 2usize..=4, 2usize..=4).prop_map(|(f, h, w)| TokenGrid::new(f, h, w))
+}
+
+fn method() -> impl Strategy<Value = AttentionMethod> {
+    prop::sample::select(vec![
+        AttentionMethod::Fp16,
+        AttentionMethod::SageAttention,
+        AttentionMethod::SageAttentionV2,
+        AttentionMethod::NaiveInt {
+            bits: Bitwidth::B4,
+        },
+        AttentionMethod::BlockwiseInt {
+            bits: Bitwidth::B4,
+            block_edge: 4,
+        },
+        AttentionMethod::ParoInt {
+            bits: Bitwidth::B4,
+            block_edge: 4,
+        },
+        AttentionMethod::ParoMixed {
+            budget: 4.8,
+            block_edge: 4,
+            alpha: 0.5,
+            output_aware: true,
+        },
+    ])
+}
+
+fn kind() -> impl Strategy<Value = PatternKind> {
+    prop::sample::select(vec![
+        PatternKind::Temporal,
+        PatternKind::SpatialRow,
+        PatternKind::SpatialCol,
+        PatternKind::Diffuse,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_method_on_any_grid_is_well_formed(
+        grid in small_grid(), m in method(), k in kind(), seed in 0u64..10_000
+    ) {
+        let head = synthesize_head(&grid, 16, &PatternSpec::new(k), seed);
+        let reference = reference_attention(&head.q, &head.k, &head.v).unwrap();
+        let inputs = AttentionInputs::new(head.q, head.k, head.v, grid).unwrap();
+        let run = run_attention(&inputs, &m).unwrap();
+        // Output well-formed.
+        prop_assert_eq!(run.output.shape(), &[grid.len(), 16][..]);
+        prop_assert!(run.output.as_slice().iter().all(|v| v.is_finite()));
+        // Any quantized output stays within a loose error envelope of the
+        // reference (nothing explodes).
+        let err = metrics::relative_l2(&reference, &run.output).unwrap();
+        prop_assert!(err < 1.0, "{}: err {err}", m.name());
+        // Statistics consistent with the method.
+        prop_assert!((0.0..=1.0).contains(&run.map_sparsity));
+        if let AttentionMethod::ParoMixed { budget, .. } = m {
+            prop_assert!(run.avg_bits <= budget + 1e-3);
+            prop_assert!(run.allocation.is_some());
+        }
+        prop_assert_eq!(run.plan.is_some(), m.uses_reorder());
+    }
+
+    #[test]
+    fn plan_selection_total_on_any_patterned_grid(
+        grid in small_grid(), k in kind(), seed in 0u64..10_000
+    ) {
+        let head = synthesize_head(&grid, 16, &PatternSpec::new(k), seed);
+        let map = attention_map(&head.q, &head.k).unwrap();
+        let edge = grid.frames().min(grid.height()).min(grid.width()).max(2);
+        let sel = select_plan(&map, &grid, BlockGrid::square(edge).unwrap(), Bitwidth::B4).unwrap();
+        prop_assert_eq!(sel.candidate_errors.len(), 6);
+        prop_assert!(sel.candidate_errors.iter().all(|(_, e)| e.is_finite() && *e >= 0.0));
+        let min = sel.candidate_errors.iter().map(|&(_, e)| e).fold(f32::INFINITY, f32::min);
+        prop_assert_eq!(sel.error, min);
+    }
+
+    #[test]
+    fn machine_invariants_on_random_configs(
+        blocks in 1usize..6, heads_pow in 0usize..3, steps in 1usize..4
+    ) {
+        // Random (small) model shapes through every machine: latency and
+        // energy are finite, positive, and scale linearly with steps.
+        let mut cfg = ModelConfig::tiny(4, 4, 4);
+        cfg.blocks = blocks;
+        cfg.heads = 1 << heads_pow;
+        cfg.steps = steps;
+        let p = AttentionProfile::paper_mp();
+        let machines: Vec<Box<dyn Machine>> = vec![
+            Box::new(ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())),
+            Box::new(SangerMachine::default_budget()),
+            Box::new(VitcodMachine::default_budget()),
+            Box::new(GpuMachine::a100()),
+        ];
+        for m in &machines {
+            let r1 = m.run_model(&cfg, &p);
+            prop_assert!(r1.seconds > 0.0 && r1.seconds.is_finite(), "{}", m.name());
+            prop_assert!(r1.energy_joules > 0.0 && r1.energy_joules.is_finite());
+            let mut cfg2 = cfg.clone();
+            cfg2.steps = steps * 2;
+            let r2 = m.run_model(&cfg2, &p);
+            prop_assert!(
+                (r2.seconds / r1.seconds - 2.0).abs() < 1e-6,
+                "{}: steps must scale latency linearly", m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_formulas_total_on_random_configs(
+        f in 2usize..5, h in 2usize..5, w in 2usize..5
+    ) {
+        let cfg = ModelConfig::tiny(f, h, w);
+        let hw = HardwareConfig::paro_asic();
+        let tc = TrafficConfig::paro(&AttentionProfile::paper_mp());
+        let bytes = block_bytes(&hw, &cfg, &tc, true);
+        prop_assert!(bytes > 0.0 && bytes.is_finite());
+        // Weights alone give a lower bound: 12 d² INT8 bytes.
+        let weight_floor = 12.0 * (cfg.hidden as f64).powi(2);
+        prop_assert!(bytes >= weight_floor);
+    }
+}

@@ -1,0 +1,147 @@
+//! Validation of the Table I metric substitution: for the proxies to
+//! stand in for FVD/CLIPSIM/VQA/Flicker, they must (a) rank controlled
+//! corruption levels consistently, (b) agree with each other on method
+//! ranking, and (c) be deterministic. These tests are the evidence behind
+//! DESIGN.md §2's claim that "output-error proxies preserve the ranking".
+
+use paro::prelude::*;
+use paro::tensor::rng::seeded;
+use rand::distributions::Uniform;
+use rand::Rng;
+
+fn reference_output() -> Tensor {
+    let grid = TokenGrid::new(4, 4, 4);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&grid, 32, &spec, 3);
+    reference_attention(&head.q, &head.k, &head.v).unwrap()
+}
+
+/// Adds zero-mean noise with the given relative magnitude.
+fn corrupt(reference: &Tensor, level: f32, seed: u64) -> Tensor {
+    let scale = reference.norm() / (reference.len() as f32).sqrt();
+    let mut rng = seeded(seed);
+    let dist = Uniform::new(-1.0f32, 1.0);
+    let noise: Vec<f32> = (0..reference.len())
+        .map(|_| level * scale * rng.sample(dist))
+        .collect();
+    let noise_t = Tensor::from_vec(reference.shape(), noise).unwrap();
+    reference.add(&noise_t).unwrap()
+}
+
+#[test]
+fn every_proxy_is_monotone_in_corruption() {
+    let reference = reference_output();
+    let levels = [0.0f32, 0.01, 0.05, 0.2, 0.8];
+    let outputs: Vec<Tensor> = levels
+        .iter()
+        .map(|&l| corrupt(&reference, l, 7))
+        .collect();
+    // FVD-proxy (relative L2): increasing.
+    let fvd: Vec<f32> = outputs
+        .iter()
+        .map(|o| metrics::relative_l2(&reference, o).unwrap())
+        .collect();
+    for w in fvd.windows(2) {
+        assert!(w[0] <= w[1] + 1e-6, "FVD-proxy not monotone: {fvd:?}");
+    }
+    // CLIPSIM-proxy (cosine): decreasing.
+    let cos: Vec<f32> = outputs
+        .iter()
+        .map(|o| metrics::cosine_similarity(&reference, o).unwrap())
+        .collect();
+    for w in cos.windows(2) {
+        assert!(w[0] >= w[1] - 1e-6, "CLIPSIM-proxy not monotone: {cos:?}");
+    }
+    // VQA-proxy (SNR dB): decreasing.
+    let snr: Vec<f32> = outputs
+        .iter()
+        .map(|o| metrics::snr_db(&reference, o).unwrap())
+        .collect();
+    for w in snr.windows(2) {
+        assert!(w[0] >= w[1] - 1e-4, "VQA-proxy not monotone: {snr:?}");
+    }
+}
+
+#[test]
+fn proxies_agree_on_method_ranking() {
+    // All proxies must produce the same ordering of the headline methods —
+    // if they disagreed, the substitution would be metric-shopping.
+    let grid = TokenGrid::new(4, 4, 4);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&grid, 32, &spec, 11);
+    let reference = reference_attention(&head.q, &head.k, &head.v).unwrap();
+    let inputs = AttentionInputs::new(head.q, head.k, head.v, grid).unwrap();
+    let methods = [
+        AttentionMethod::NaiveInt {
+            bits: Bitwidth::B4,
+        },
+        AttentionMethod::ParoInt {
+            bits: Bitwidth::B4,
+            block_edge: 4,
+        },
+        AttentionMethod::ParoInt {
+            bits: Bitwidth::B8,
+            block_edge: 4,
+        },
+    ];
+    let outputs: Vec<Tensor> = methods
+        .iter()
+        .map(|m| run_attention(&inputs, m).unwrap().output)
+        .collect();
+    // Expected order worst -> best: naive INT4, PARO INT4, PARO INT8.
+    let fvd: Vec<f32> = outputs
+        .iter()
+        .map(|o| metrics::relative_l2(&reference, o).unwrap())
+        .collect();
+    assert!(fvd[0] > fvd[1] && fvd[1] > fvd[2], "FVD ranking: {fvd:?}");
+    let cos: Vec<f32> = outputs
+        .iter()
+        .map(|o| metrics::cosine_similarity(&reference, o).unwrap())
+        .collect();
+    assert!(cos[0] < cos[1] && cos[1] < cos[2], "cosine ranking: {cos:?}");
+    let snr: Vec<f32> = outputs
+        .iter()
+        .map(|o| metrics::snr_db(&reference, o).unwrap())
+        .collect();
+    assert!(snr[0] < snr[1] && snr[1] < snr[2], "SNR ranking: {snr:?}");
+}
+
+#[test]
+fn temporal_proxies_distinguish_noise_structure() {
+    // CLIP-Temp / Flicker target *temporal* artifacts specifically: they
+    // must separate frame-coherent corruption from frame-incoherent
+    // corruption of the same total magnitude, which scalar error metrics
+    // cannot.
+    let frames = 8;
+    let feat = 64;
+    let reference = Tensor::from_fn(&[frames, feat], |i| (i[1] as f32 * 0.17).sin() + 2.0);
+    // Same per-element magnitude; one coherent across frames, one not.
+    let coherent = Tensor::from_fn(&[frames, feat], |i| {
+        reference.at(&[i[0], i[1]]) + 0.05 * ((i[1] * 13 % 7) as f32 - 3.0)
+    });
+    let incoherent = Tensor::from_fn(&[frames, feat], |i| {
+        reference.at(&[i[0], i[1]]) + 0.05 * (((i[0] * 31 + i[1] * 13) % 7) as f32 - 3.0)
+    });
+    let scalar_coherent = metrics::relative_l2(&reference, &coherent).unwrap();
+    let scalar_incoherent = metrics::relative_l2(&reference, &incoherent).unwrap();
+    // Scalar error barely distinguishes them...
+    assert!((scalar_coherent - scalar_incoherent).abs() < 0.35 * scalar_coherent);
+    // ...but temporal consistency penalizes the incoherent one more.
+    let t_coherent = metrics::temporal_consistency(&reference, &coherent).unwrap();
+    let t_incoherent = metrics::temporal_consistency(&reference, &incoherent).unwrap();
+    assert!(
+        t_incoherent < t_coherent,
+        "temporal proxy must prefer frame-coherent corruption: {t_coherent} vs {t_incoherent}"
+    );
+}
+
+#[test]
+fn proxies_are_deterministic() {
+    let reference = reference_output();
+    let a = corrupt(&reference, 0.1, 5);
+    let e1 = metrics::relative_l2(&reference, &a).unwrap();
+    let e2 = metrics::relative_l2(&reference, &a).unwrap();
+    assert_eq!(e1, e2);
+    let b = corrupt(&reference, 0.1, 5);
+    assert_eq!(a, b, "corruption itself must be seed-deterministic");
+}

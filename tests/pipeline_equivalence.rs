@@ -1,0 +1,122 @@
+//! Cross-crate integration: mathematical equivalence guarantees of the
+//! PARO pipeline (paper Fig. 3) on realistically diverse heads.
+
+use paro::core::pipeline::attention_map;
+use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
+use paro::prelude::*;
+use paro::tensor::rng::derive_seed;
+
+fn head_for(grid: &TokenGrid, block: usize, head: usize) -> paro::model::patterns::HeadSynthesis {
+    let spec = PatternSpec::for_head(grid, block, head);
+    synthesize_head(grid, 32, &spec, derive_seed(77, (block * 100 + head) as u64))
+}
+
+#[test]
+fn reorder_roundtrip_exact_for_every_order_and_pattern() {
+    let grid = TokenGrid::new(5, 4, 3);
+    for block in 0..2 {
+        for h in 0..6 {
+            let head = head_for(&grid, block, h);
+            for order in AxisOrder::ALL {
+                let plan = ReorderPlan::new(&grid, order);
+                let q = plan.apply(&head.q).unwrap();
+                assert_eq!(plan.invert(&q).unwrap(), head.q);
+            }
+        }
+    }
+}
+
+#[test]
+fn full_precision_attention_is_reorder_invariant() {
+    // softmax(PQ (PK)ᵀ)·PV then P⁻¹ equals softmax(QKᵀ)·V up to float
+    // associativity, for every order.
+    let grid = TokenGrid::new(4, 4, 4);
+    let head = head_for(&grid, 1, 2);
+    let reference = reference_attention(&head.q, &head.k, &head.v).unwrap();
+    for order in AxisOrder::ALL {
+        let plan = ReorderPlan::new(&grid, order);
+        let q = plan.apply(&head.q).unwrap();
+        let k = plan.apply(&head.k).unwrap();
+        let v = plan.apply(&head.v).unwrap();
+        let o = attention_map(&q, &k)
+            .unwrap()
+            .matmul(&v)
+            .unwrap();
+        let restored = plan.invert(&o).unwrap();
+        let err = metrics::relative_l2(&reference, &restored).unwrap();
+        assert!(err < 1e-4, "order {order}: {err}");
+    }
+}
+
+#[test]
+fn selected_plan_never_worse_than_identity() {
+    // The offline search includes the identity order, so the selected
+    // plan's block-quantization error can never exceed the unreordered one.
+    let grid = TokenGrid::new(4, 4, 4);
+    let block = BlockGrid::square(8).unwrap();
+    for h in 0..8 {
+        let head = head_for(&grid, 0, h);
+        let map = attention_map(&head.q, &head.k).unwrap();
+        let sel = select_plan(&map, &grid, block, Bitwidth::B4).unwrap();
+        let identity_err = sel
+            .candidate_errors
+            .iter()
+            .find(|(o, _)| *o == AxisOrder::Fhw)
+            .map(|&(_, e)| e)
+            .unwrap();
+        assert!(sel.error <= identity_err + 1e-7, "head {h}");
+    }
+}
+
+#[test]
+fn paro_output_stays_in_canonical_order() {
+    // The pipeline's output must be inverse-reordered: compare its
+    // token-0 row against the reference's token-0 row rather than any
+    // permuted row.
+    let grid = TokenGrid::new(4, 4, 4);
+    let head = head_for(&grid, 2, 1);
+    let reference = reference_attention(&head.q, &head.k, &head.v).unwrap();
+    let inputs = AttentionInputs::new(head.q, head.k, head.v, grid).unwrap();
+    let run = run_attention(
+        &inputs,
+        &AttentionMethod::ParoInt {
+            bits: Bitwidth::B8,
+            block_edge: 4,
+        },
+    )
+    .unwrap();
+    // Row-by-row cosine with the reference should be uniformly high; a
+    // forgotten inverse reorder would scramble rows and break this.
+    for t in 0..grid.len() {
+        let r = reference.block(t, 0, 1, reference.shape()[1]).unwrap();
+        let o = run.output.block(t, 0, 1, run.output.shape()[1]).unwrap();
+        let cos = metrics::cosine_similarity(&r, &o).unwrap();
+        assert!(cos > 0.95, "token {t}: cosine {cos}");
+    }
+}
+
+#[test]
+fn reorder_map_commutes_with_block_quantization_error() {
+    // Quantizing the reordered map block-wise must give a (weakly) lower
+    // error than quantizing the original map block-wise, for heads whose
+    // pattern the reorder unifies.
+    let grid = TokenGrid::new(4, 4, 4);
+    for kind in [PatternKind::Temporal, PatternKind::SpatialCol] {
+        let spec = PatternSpec::new(kind);
+        let head = synthesize_head(&grid, 32, &spec, 5);
+        let map = attention_map(&head.q, &head.k).unwrap();
+        let block = BlockGrid::square(4).unwrap();
+        let plan = ReorderPlan::new(&grid, kind.preferred_order());
+        let reordered = reorder_map(&map, &plan).unwrap();
+        let (q_plain, _) =
+            paro::quant::fake_quant_2d(&map, Grouping::Block(block), Bitwidth::B4).unwrap();
+        let (q_reord, _) =
+            paro::quant::fake_quant_2d(&reordered, Grouping::Block(block), Bitwidth::B4).unwrap();
+        let e_plain = metrics::relative_l2(&map, &q_plain).unwrap();
+        let e_reord = metrics::relative_l2(&reordered, &q_reord).unwrap();
+        assert!(
+            e_reord < e_plain,
+            "{kind}: reordered err {e_reord} vs plain {e_plain}"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration: the Table I quality ordering on a population
+//! of diverse synthetic heads (the statistical claim of the paper).
+
+use paro::prelude::*;
+use paro::tensor::rng::derive_seed;
+
+/// Mean relative-L2 error of a method over a population of heads covering
+/// every pattern kind.
+fn population_error(method: &AttentionMethod, seeds: u64) -> f32 {
+    let grid = TokenGrid::new(4, 4, 4);
+    let kinds = [
+        PatternKind::Temporal,
+        PatternKind::SpatialRow,
+        PatternKind::SpatialCol,
+        PatternKind::default_window(&grid),
+    ];
+    let mut total = 0.0f32;
+    let mut count = 0usize;
+    for (i, kind) in kinds.iter().enumerate() {
+        for s in 0..seeds {
+            let spec = PatternSpec::new(*kind);
+            let head = synthesize_head(&grid, 32, &spec, derive_seed(9000 + i as u64, s));
+            let reference = reference_attention(&head.q, &head.k, &head.v).unwrap();
+            let inputs = AttentionInputs::new(head.q, head.k, head.v, grid).unwrap();
+            let run = run_attention(&inputs, method).unwrap();
+            total += metrics::relative_l2(&reference, &run.output).unwrap();
+            count += 1;
+        }
+    }
+    total / count as f32
+}
+
+#[test]
+fn table1_int4_ordering() {
+    // Naive INT4 >> block-wise INT4 > PARO INT4 (lower is better).
+    let naive = population_error(
+        &AttentionMethod::NaiveInt {
+            bits: Bitwidth::B4,
+        },
+        3,
+    );
+    let blockwise = population_error(
+        &AttentionMethod::BlockwiseInt {
+            bits: Bitwidth::B4,
+            block_edge: 4,
+        },
+        3,
+    );
+    let paro = population_error(
+        &AttentionMethod::ParoInt {
+            bits: Bitwidth::B4,
+            block_edge: 4,
+        },
+        3,
+    );
+    assert!(
+        paro < blockwise && blockwise < naive,
+        "expected PARO {paro} < blockwise {blockwise} < naive {naive}"
+    );
+    // And the naive INT4 collapse is dramatic, as Table I shows
+    // (VQA 52.86 -> 16.79).
+    assert!(
+        naive > paro * 2.0,
+        "naive INT4 ({naive}) should be far worse than PARO INT4 ({paro})"
+    );
+}
+
+#[test]
+fn paro_mp_matches_int8_class_quality() {
+    let mp = population_error(
+        &AttentionMethod::ParoMixed {
+            budget: 4.8,
+            block_edge: 4,
+            alpha: 0.5,
+            output_aware: false,
+        },
+        3,
+    );
+    let int8 = population_error(
+        &AttentionMethod::ParoInt {
+            bits: Bitwidth::B8,
+            block_edge: 4,
+        },
+        3,
+    );
+    let int4 = population_error(
+        &AttentionMethod::ParoInt {
+            bits: Bitwidth::B4,
+            block_edge: 4,
+        },
+        3,
+    );
+    assert!(
+        mp < int4,
+        "PARO MP ({mp}) must beat PARO INT4 ({int4}) at similar average bits"
+    );
+    assert!(
+        mp < int8 * 4.0 + 0.02,
+        "PARO MP ({mp}) should be in the INT8 class ({int8})"
+    );
+}
+
+#[test]
+fn output_aware_qkt_is_perceptually_lossless() {
+    // The paper: LDZ-truncated QKᵀ "produced no perceptible differences".
+    let exact = population_error(
+        &AttentionMethod::ParoMixed {
+            budget: 4.8,
+            block_edge: 4,
+            alpha: 0.5,
+            output_aware: false,
+        },
+        2,
+    );
+    let aware = population_error(
+        &AttentionMethod::ParoMixed {
+            budget: 4.8,
+            block_edge: 4,
+            alpha: 0.5,
+            output_aware: true,
+        },
+        2,
+    );
+    assert!(
+        (aware - exact).abs() < 0.08,
+        "output-aware {aware} vs exact {exact}: difference should be small"
+    );
+}
+
+#[test]
+fn sage_attention_and_fp16_are_best() {
+    let fp16 = population_error(&AttentionMethod::Fp16, 2);
+    let sage = population_error(&AttentionMethod::SageAttention, 2);
+    let naive8 = population_error(
+        &AttentionMethod::NaiveInt {
+            bits: Bitwidth::B8,
+        },
+        2,
+    );
+    assert_eq!(fp16, 0.0);
+    assert!(sage < naive8, "sage {sage} should beat naive INT8 {naive8}");
+}
+
+#[test]
+fn mixed_precision_budget_monotonicity() {
+    // More budget, better quality.
+    let mut prev = f32::INFINITY;
+    for budget in [2.0f32, 4.0, 6.0, 8.0] {
+        let err = population_error(
+            &AttentionMethod::ParoMixed {
+                budget,
+                block_edge: 4,
+                alpha: 0.5,
+                output_aware: false,
+            },
+            2,
+        );
+        assert!(
+            err <= prev * 1.05 + 1e-4,
+            "budget {budget}: error {err} vs previous {prev}"
+        );
+        prev = err;
+    }
+}

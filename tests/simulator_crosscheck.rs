@@ -1,0 +1,146 @@
+//! Cross-crate integration: the cycle simulator against analytic bounds,
+//! and algorithm-produced allocations driving the performance model.
+
+use paro::model::workload;
+use paro::prelude::*;
+use paro::sim::cost::CostModel;
+
+#[test]
+fn paro_compute_cycles_bounded_by_peak() {
+    // End-to-end latency can never beat the compute roofline: nominal MACs
+    // at peak INT8 rate with the best possible (4x) mode speedup.
+    let cfg = ModelConfig::cogvideox_5b();
+    let hw = HardwareConfig::paro_asic();
+    let report = ParoMachine::new(hw.clone(), ParoOptimizations::all())
+        .run_model(&cfg, &AttentionProfile::paper_mp());
+    let min_cycles =
+        workload::model_macs(&cfg) as f64 / (hw.int8_macs_per_cycle as f64 * 4.0);
+    assert!(
+        report.cycles > min_cycles,
+        "simulated cycles {} below the physical floor {}",
+        report.cycles,
+        min_cycles
+    );
+}
+
+#[test]
+fn latency_scales_with_model_size() {
+    // 5B has ~2.1x the block count x MACs of 2B; latency must scale
+    // accordingly for every machine.
+    let p = AttentionProfile::paper_mp();
+    let machines: Vec<Box<dyn Machine>> = vec![
+        Box::new(ParoMachine::new(
+            HardwareConfig::paro_asic(),
+            ParoOptimizations::all(),
+        )),
+        Box::new(SangerMachine::default_budget()),
+        Box::new(VitcodMachine::default_budget()),
+        Box::new(GpuMachine::a100()),
+    ];
+    let macs_ratio = workload::model_macs(&ModelConfig::cogvideox_5b()) as f64
+        / workload::model_macs(&ModelConfig::cogvideox_2b()) as f64;
+    for m in &machines {
+        let s2 = m.run_model(&ModelConfig::cogvideox_2b(), &p).seconds;
+        let s5 = m.run_model(&ModelConfig::cogvideox_5b(), &p).seconds;
+        let ratio = s5 / s2;
+        assert!(
+            ratio > 1.0 && ratio < macs_ratio * 1.5,
+            "{}: 5B/2B latency ratio {ratio:.2} vs MAC ratio {macs_ratio:.2}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn real_allocation_feeds_the_simulator() {
+    // Produce a BitAllocation with the actual PARO algorithm on a synthetic
+    // head, convert it to an AttentionProfile, and simulate with it — the
+    // full co-design loop.
+    let grid = TokenGrid::new(4, 4, 4);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&grid, 32, &spec, 3);
+    let inputs = AttentionInputs::new(head.q, head.k, head.v, grid).unwrap();
+    let run = run_attention(
+        &inputs,
+        &AttentionMethod::ParoMixed {
+            budget: 4.8,
+            block_edge: 4,
+            alpha: 0.5,
+            output_aware: true,
+        },
+    )
+    .unwrap();
+    let alloc = run.allocation.expect("mixed precision allocates");
+    let profile = AttentionProfile::from_bits(&alloc.bits).unwrap();
+    assert!(profile.avg_bits() <= 4.8 + 1e-3);
+
+    let cfg = ModelConfig::cogvideox_2b();
+    let with_real = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())
+        .run_model(&cfg, &profile);
+    let with_int8 = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())
+        .run_model(&cfg, &AttentionProfile::uniform(Bitwidth::B8));
+    assert!(
+        with_real.seconds < with_int8.seconds,
+        "a real sub-8-bit allocation must beat uniform INT8: {} vs {}",
+        with_real.seconds,
+        with_int8.seconds
+    );
+}
+
+#[test]
+fn energy_efficiency_shape() {
+    // Paper Sec. V-B: PARO achieves 3.46/3.61 TOPS/W, 4.86/6.43x the A100.
+    let p = AttentionProfile::paper_mp();
+    for cfg in [ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()] {
+        let paro = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())
+            .run_model(&cfg, &p);
+        let a100 = GpuMachine::a100().run_model(&cfg, &p);
+        let ratio = paro.tops_per_watt() / a100.tops_per_watt();
+        assert!(
+            ratio > 2.0,
+            "{}: PARO should be several x more energy-efficient than A100, got {ratio:.2}",
+            cfg.name
+        );
+        assert!(
+            (1.0..20.0).contains(&paro.tops_per_watt()),
+            "{}: PARO TOPS/W {:.2} out of plausible band",
+            cfg.name,
+            paro.tops_per_watt()
+        );
+    }
+}
+
+#[test]
+fn table2_cost_model_consistency() {
+    let cm = CostModel::for_hardware(&HardwareConfig::paro_asic());
+    // Totals match the published Table II.
+    assert!((cm.total_area_mm2() - 8.17).abs() < 0.02);
+    assert!((cm.total_power_w() - 11.20).abs() < 0.02);
+    // The simulated average power cannot exceed the synthesized total by
+    // much (dynamic energy model consistency).
+    let report = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())
+        .run_model(&ModelConfig::cogvideox_5b(), &AttentionProfile::paper_mp());
+    let avg_power = report.energy_joules / report.seconds;
+    assert!(
+        avg_power < cm.total_power_w() * 3.0,
+        "simulated average power {avg_power:.1} W vs synthesized {:.1} W",
+        cm.total_power_w()
+    );
+}
+
+#[test]
+fn dram_traffic_accounted() {
+    // Weights alone set a floor on traffic: every machine must report
+    // memory cycles consistent with at least one weight pass per block.
+    let cfg = ModelConfig::cogvideox_2b();
+    let report = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())
+        .run_model(&cfg, &AttentionProfile::paper_mp());
+    let weight_bytes_per_block = 12.0 * (cfg.hidden as f64).powi(2);
+    let hw = HardwareConfig::paro_asic();
+    let min_mem_cycles = weight_bytes_per_block / hw.dram_bytes_per_cycle();
+    let block_mem: f64 = report.block_records.iter().map(|r| r.memory_cycles).sum();
+    assert!(
+        block_mem >= min_mem_cycles,
+        "block memory cycles {block_mem} below weight-pass floor {min_mem_cycles}"
+    );
+}
