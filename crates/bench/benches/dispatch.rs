@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paro::prelude::*;
-use paro::sim::dispatch::{block_costs, dispatch, DispatchPolicy};
 use paro::quant::Bitwidth;
+use paro::sim::dispatch::{block_costs, dispatch, DispatchPolicy};
 
 fn population(profile: &AttentionProfile, blocks: usize) -> Vec<f64> {
     let mut bits = Vec::with_capacity(blocks);

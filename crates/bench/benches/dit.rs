@@ -24,25 +24,25 @@ fn bench_dit(c: &mut Criterion) {
         (
             "naive_int4",
             ForwardOptions {
-                method: AttentionMethod::NaiveInt {
-                    bits: Bitwidth::B4,
-                },
+                method: AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
                 linear_w8a8: true,
                 linear_bits: Bitwidth::B8,
             },
         ),
         ("paro_mp", ForwardOptions::paro(4.8, 4)),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("forward", name),
-            &opts,
-            |b, opts| b.iter(|| forward(&dit, &content, opts).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("forward", name), &opts, |b, opts| {
+            b.iter(|| forward(&dit, &content, opts).unwrap())
+        });
     }
 
     let sampler = DdimSampler::new(2);
     group.bench_function("ddim_2steps_reference", |b| {
-        b.iter(|| sampler.sample(&dit, &ForwardOptions::reference(), 3).unwrap())
+        b.iter(|| {
+            sampler
+                .sample(&dit, &ForwardOptions::reference(), 3)
+                .unwrap()
+        })
     });
     group.finish();
 }

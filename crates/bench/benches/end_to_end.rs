@@ -21,11 +21,9 @@ fn bench_machines(c: &mut Criterion) {
             ("a100".into(), Box::new(GpuMachine::a100())),
         ];
         for (name, machine) in machines {
-            group.bench_with_input(
-                BenchmarkId::new(name, &cfg.name),
-                &cfg,
-                |b, cfg| b.iter(|| machine.run_model(cfg, &profile)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, &cfg.name), &cfg, |b, cfg| {
+                b.iter(|| machine.run_model(cfg, &profile))
+            });
         }
     }
     group.finish();

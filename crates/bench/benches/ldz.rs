@@ -23,7 +23,9 @@ fn bench_ldz(c: &mut Criterion) {
         }
     }
 
-    let data: Vec<i8> = (0..4096).map(|i| ((i * 37 + 11) % 255) as u8 as i8).collect();
+    let data: Vec<i8> = (0..4096)
+        .map(|i| ((i * 37 + 11) % 255) as u8 as i8)
+        .collect();
     let mut group = c.benchmark_group("ldz_truncate");
     for keep in [2u32, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(keep), &keep, |b, &k| {

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sampler = DdimSampler::new(steps);
     println!(
         "DDIM error dynamics: {} steps, {} blocks x {} heads, {} tokens\n",
-        steps, cfg.blocks, cfg.heads, cfg.grid.len()
+        steps,
+        cfg.blocks,
+        cfg.heads,
+        cfg.grid.len()
     );
 
     let reference = sampler.sample(&dit, &ForwardOptions::reference(), 1)?;
@@ -30,9 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "Naive INT4",
             ForwardOptions {
-                method: AttentionMethod::NaiveInt {
-                    bits: Bitwidth::B4,
-                },
+                method: AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
                 linear_w8a8: true,
                 linear_bits: Bitwidth::B8,
             },
@@ -80,7 +81,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         json.push((name.to_string(), div));
     }
     print_table(
-        &["method", "mid-trajectory div", "final divergence", "per-step divergence"],
+        &[
+            "method",
+            "mid-trajectory div",
+            "final divergence",
+            "per-step divergence",
+        ],
         &rows,
     );
     println!("\nPARO MP tracks the reference trajectory; naive INT4 drifts most.");

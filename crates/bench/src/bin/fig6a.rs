@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ParoOptimizations::all(),
             )),
         ];
-        let reports: Vec<Report> = machines.iter().map(|m| m.run_model(&cfg, &profile)).collect();
+        let reports: Vec<Report> = machines
+            .iter()
+            .map(|m| m.run_model(&cfg, &profile))
+            .collect();
         let sanger = reports[0].seconds;
         println!("== {} ==", cfg.name);
         let rows: Vec<Vec<String>> = reports
@@ -57,17 +60,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "\n  PARO vs Sanger  {:.2}x   (paper: {})",
             sanger / paro,
-            if cfg.name.contains("2B") { "10.61x" } else { "12.04x" }
+            if cfg.name.contains("2B") {
+                "10.61x"
+            } else {
+                "12.04x"
+            }
         );
         println!(
             "  PARO vs ViTCoD  {:.2}x   (paper: {})",
             vitcod / paro,
-            if cfg.name.contains("2B") { "6.38x" } else { "7.05x" }
+            if cfg.name.contains("2B") {
+                "6.38x"
+            } else {
+                "7.05x"
+            }
         );
         println!(
             "  PARO-align-A100 vs A100  {:.2}x   (paper: {})\n",
             a100 / align,
-            if cfg.name.contains("2B") { "1.68x" } else { "2.71x" }
+            if cfg.name.contains("2B") {
+                "1.68x"
+            } else {
+                "2.71x"
+            }
         );
         json.push((cfg.name.clone(), reports));
     }

@@ -14,12 +14,7 @@ use paro_bench::{print_table, save_json};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = AttentionProfile::paper_mp();
     println!("Fig. 6(b) reproduction: optimization ablation on PARO hardware\n");
-    let paper = [
-        [1.0, 1.0],
-        [1.07, 1.11],
-        [2.33, 2.38],
-        [3.06, 3.00],
-    ];
+    let paper = [[1.0, 1.0], [1.07, 1.11], [2.33, 2.38], [3.06, 3.00]];
     let mut json = Vec::new();
     for (ci, cfg) in [ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()]
         .iter()
@@ -43,7 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             json.push((cfg.name.clone(), name.to_string(), speedup));
         }
         print_table(
-            &["configuration", "e2e (s)", "speedup (ours)", "speedup (paper)"],
+            &[
+                "configuration",
+                "e2e (s)",
+                "speedup (ours)",
+                "speedup (paper)",
+            ],
             &rows,
         );
         println!();

@@ -27,9 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("fp16", AttentionMethod::Fp16),
         (
             "naive_int4",
-            AttentionMethod::NaiveInt {
-                bits: Bitwidth::B4,
-            },
+            AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
         ),
         (
             "paro_int4",
@@ -54,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let feat = reference.len() / frames;
     let mut rows = Vec::new();
     for (slug, method) in &methods {
-        let inputs =
-            AttentionInputs::new(head.q.clone(), head.k.clone(), head.v.clone(), grid)?;
+        let inputs = AttentionInputs::new(head.q.clone(), head.k.clone(), head.v.clone(), grid)?;
         let run = run_attention(&inputs, method)?;
         let ref_frames = reference.reshape(&[frames, feat])?;
         let out_frames = run.output.reshape(&[frames, feat])?;
@@ -84,7 +81,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
     print_table(
-        &["method", "mean frame err", "worst frame err", "per-frame errors"],
+        &[
+            "method",
+            "mean frame err",
+            "worst frame err",
+            "per-frame errors",
+        ],
         &rows,
     );
     println!(

@@ -125,7 +125,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .get(&OpCategory::Reorder)
             .copied()
             .unwrap_or(0.0);
-        writeln!(md, "\nReorder overhead: {:.2}% of end-to-end latency.", reorder * 100.0)?;
+        writeln!(
+            md,
+            "\nReorder overhead: {:.2}% of end-to-end latency.",
+            reorder * 100.0
+        )?;
     }
 
     let dir = std::path::Path::new("target/experiments");

@@ -37,7 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         json.push(("budget", budget, row));
     }
     print_table(
-        &["budget (bits)", "achieved bits", "FVD-proxy ↓", "VQA-proxy ↑"],
+        &[
+            "budget (bits)",
+            "achieved bits",
+            "FVD-proxy ↓",
+            "VQA-proxy ↑",
+        ],
         &rows,
     );
     println!(

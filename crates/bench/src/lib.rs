@@ -212,9 +212,7 @@ mod tests {
         let grid = TokenGrid::new(4, 4, 4);
         let pop = head_population(&grid, 16, 1);
         let naive4 = evaluate_method(
-            &AttentionMethod::NaiveInt {
-                bits: Bitwidth::B4,
-            },
+            &AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
             &grid,
             &pop,
         )

@@ -208,8 +208,7 @@ pub fn allocate_greedy(
         let cur_cost = table.score(block, Bitwidth::ALL[cur_level]);
         let mut best: Option<Upgrade> = None;
         for to in cur_level + 1..Bitwidth::ALL.len() {
-            let dbits =
-                (Bitwidth::ALL[to].bits() - Bitwidth::ALL[cur_level].bits()) as f32;
+            let dbits = (Bitwidth::ALL[to].bits() - Bitwidth::ALL[cur_level].bits()) as f32;
             let gain = cur_cost - table.score(block, Bitwidth::ALL[to]);
             if gain <= 0.0 {
                 continue;
@@ -313,9 +312,7 @@ pub fn allocate_lagrangian(
             })
             .collect()
     };
-    let total_bits = |bits: &[Bitwidth]| -> f32 {
-        bits.iter().map(|b| b.bits() as f32).sum()
-    };
+    let total_bits = |bits: &[Bitwidth]| -> f32 { bits.iter().map(|b| b.bits() as f32).sum() };
 
     // λ = 0: most bits anyone would ever take. If that already fits, done.
     let free = assign(0.0);
@@ -384,7 +381,10 @@ pub fn allocate_brute(
 ) -> Result<BitAllocation, CoreError> {
     check_inputs(table, budget_avg_bits)?;
     let n = table.len();
-    assert!(n <= 12, "brute-force allocation is a test oracle; n={n} too large");
+    assert!(
+        n <= 12,
+        "brute-force allocation is a test oracle; n={n} too large"
+    );
     let budget_bits = (budget_avg_bits * n as f32).floor() as u64;
     let mut best: Option<(f32, Vec<Bitwidth>)> = None;
     let mut assignment = vec![Bitwidth::B0; n];
@@ -421,15 +421,7 @@ pub fn allocate_brute(
             );
         }
     }
-    recurse(
-        0,
-        0,
-        0.0,
-        budget_bits,
-        table,
-        &mut assignment,
-        &mut best,
-    );
+    recurse(0, 0, 0.0, budget_bits, table, &mut assignment, &mut best);
     let (_, bits) = best.expect("B0 assignment always feasible");
     Ok(BitAllocation::from_bits(bits, table))
 }
@@ -604,10 +596,9 @@ mod tests {
     #[test]
     fn average_bits_helper() {
         assert_eq!(average_bits(&[]), 0.0);
-        assert_eq!(
-            average_bits(&[Bitwidth::B0, Bitwidth::B8]),
-            4.0
+        assert_eq!(average_bits(&[Bitwidth::B0, Bitwidth::B8]), 4.0);
+        assert!(
+            (average_bits(&[Bitwidth::B2, Bitwidth::B4, Bitwidth::B8]) - 14.0 / 3.0).abs() < 1e-6
         );
-        assert!((average_bits(&[Bitwidth::B2, Bitwidth::B4, Bitwidth::B8]) - 14.0 / 3.0).abs() < 1e-6);
     }
 }

@@ -353,10 +353,7 @@ mod tests {
         let (map_q, _) = fake_quant_blocks(&map, block, &alloc.bits).unwrap();
         let reference = map.matmul(&head.v).unwrap();
         let plain = map_q.matmul(&head.v).unwrap();
-        let renorm = renormalize_rows(&map_q)
-            .unwrap()
-            .matmul(&head.v)
-            .unwrap();
+        let renorm = renormalize_rows(&map_q).unwrap().matmul(&head.v).unwrap();
         let e_plain = paro_tensor::metrics::relative_l2(&reference, &plain).unwrap();
         let e_renorm = paro_tensor::metrics::relative_l2(&reference, &renorm).unwrap();
         // Both must be usable, and within 2x of each other: the correction

@@ -255,8 +255,7 @@ mod tests {
         for kind in [PatternKind::Temporal, PatternKind::SpatialCol] {
             let maps = maps_for(kind, &grid, 5);
             let report =
-                plan_stability(&maps, &grid, BlockGrid::square(4).unwrap(), Bitwidth::B4)
-                    .unwrap();
+                plan_stability(&maps, &grid, BlockGrid::square(4).unwrap(), Bitwidth::B4).unwrap();
             // Functional agreement is the consistency that matters: two
             // orders with the same innermost axis realize the same
             // block-diagonal unification.

@@ -50,7 +50,11 @@ impl DdimSampler {
         assert!(steps > 0, "sampler needs at least one step");
         // Cosine ᾱ schedule (Nichol & Dhariwal), evaluated at step edges
         // t/steps for t = steps..0.
-        let f = |t: f32| ((t + 0.008) / 1.008 * std::f32::consts::FRAC_PI_2).cos().powi(2);
+        let f = |t: f32| {
+            ((t + 0.008) / 1.008 * std::f32::consts::FRAC_PI_2)
+                .cos()
+                .powi(2)
+        };
         let alpha_bars = (0..=steps)
             .map(|i| (f(i as f32 / steps as f32) / f(0.0)).clamp(1e-4, 1.0))
             .collect();
@@ -207,16 +211,12 @@ mod tests {
         let dit = dit();
         let s = DdimSampler::new(6);
         let reference = s.sample(&dit, &ForwardOptions::reference(), 2).unwrap();
-        let paro = s
-            .sample(&dit, &ForwardOptions::paro(4.8, 4), 2)
-            .unwrap();
+        let paro = s.sample(&dit, &ForwardOptions::paro(4.8, 4), 2).unwrap();
         let naive = s
             .sample(
                 &dit,
                 &ForwardOptions {
-                    method: AttentionMethod::NaiveInt {
-                        bits: Bitwidth::B4,
-                    },
+                    method: AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
                     linear_w8a8: true,
                     linear_bits: Bitwidth::B8,
                 },

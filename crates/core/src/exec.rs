@@ -125,13 +125,8 @@ pub fn forward(
                             let qs = q.block(0, h * hd, n, hd)?;
                             let ks = k.block(0, h * hd, n, hd)?;
                             let vs = v.block(0, h * hd, n, hd)?;
-                            let inputs = AttentionInputs::with_text(
-                                qs,
-                                ks,
-                                vs,
-                                cfg.grid,
-                                cfg.text_tokens,
-                            )?;
+                            let inputs =
+                                AttentionInputs::with_text(qs, ks, vs, cfg.grid, cfg.text_tokens)?;
                             run_attention(&inputs, method)
                         })
                     })
@@ -195,9 +190,7 @@ pub fn forward_calibrated(
             grid_len: n,
         });
     }
-    if calibrations.len() != cfg.blocks
-        || calibrations.iter().any(|b| b.len() != cfg.heads)
-    {
+    if calibrations.len() != cfg.blocks || calibrations.iter().any(|b| b.len() != cfg.heads) {
         return Err(CoreError::EmptyAllocation);
     }
     let hd = cfg.head_dim();
@@ -217,10 +210,8 @@ pub fn forward_calibrated(
             let qs = q.block(0, h * hd, n, hd)?;
             let ks = k.block(0, h * hd, n, hd)?;
             let vs = v.block(0, h * hd, n, hd)?;
-            let inputs =
-                AttentionInputs::with_text(qs, ks, vs, cfg.grid, cfg.text_tokens)?;
-            let run =
-                crate::pipeline::run_attention_calibrated(&inputs, cal, output_aware)?;
+            let inputs = AttentionInputs::with_text(qs, ks, vs, cfg.grid, cfg.text_tokens)?;
+            let run = crate::pipeline::run_attention_calibrated(&inputs, cal, output_aware)?;
             attn_out.set_block(0, h * hd, &run.output)?;
         }
         let o = linear(&attn_out, &block.w_o, lb)?;
@@ -367,9 +358,7 @@ mod tests {
         let (dit, content) = setup();
         let (reference, _) = forward(&dit, &content, &ForwardOptions::reference()).unwrap();
         let naive = ForwardOptions {
-            method: AttentionMethod::NaiveInt {
-                bits: Bitwidth::B4,
-            },
+            method: AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
             linear_w8a8: true,
             linear_bits: Bitwidth::B8,
         };
@@ -458,22 +447,17 @@ mod tests {
                 )
                 .unwrap();
                 per_head.push(
-                    calibrate_head(&[map], &cfg.grid, block_grid, Bitwidth::B4, 4.8, 0.5)
-                        .unwrap(),
+                    calibrate_head(&[map], &cfg.grid, block_grid, Bitwidth::B4, 4.8, 0.5).unwrap(),
                 );
             }
             calibrations.push(per_head);
         }
         let (reference, _) = forward(&dit, &content, &ForwardOptions::reference()).unwrap();
-        let frozen =
-            forward_calibrated(&dit, &content, &calibrations, true, true).unwrap();
+        let frozen = forward_calibrated(&dit, &content, &calibrations, true, true).unwrap();
         let err = metrics::relative_l2(&reference, &frozen).unwrap();
         assert!(err < 0.2, "frozen model-scope inference err {err}");
         // Wrong-shaped calibration table rejected.
-        assert!(
-            forward_calibrated(&dit, &content, &calibrations[..1], true, true)
-                .is_err()
-        );
+        assert!(forward_calibrated(&dit, &content, &calibrations[..1], true, true).is_err());
     }
 
     #[test]

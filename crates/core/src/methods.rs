@@ -172,14 +172,10 @@ impl AttentionMethod {
             AttentionMethod::Fp16,
             AttentionMethod::SageAttention,
             AttentionMethod::SangerSparse { threshold: 1e-3 },
-            AttentionMethod::NaiveInt {
-                bits: Bitwidth::B8,
-            },
+            AttentionMethod::NaiveInt { bits: Bitwidth::B8 },
             AttentionMethod::blockwise_int(Bitwidth::B8),
             AttentionMethod::paro_int(Bitwidth::B8),
-            AttentionMethod::NaiveInt {
-                bits: Bitwidth::B4,
-            },
+            AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
             AttentionMethod::blockwise_int(Bitwidth::B4),
             AttentionMethod::paro_int(Bitwidth::B4),
             AttentionMethod::paro_mixed(4.8),
@@ -222,10 +218,7 @@ mod tests {
         );
         assert_eq!(AttentionMethod::paro_mixed(4.8).bitwidth_label(), "4.80");
         assert_eq!(
-            AttentionMethod::NaiveInt {
-                bits: Bitwidth::B4
-            }
-            .bitwidth_label(),
+            AttentionMethod::NaiveInt { bits: Bitwidth::B4 }.bitwidth_label(),
             "4"
         );
     }

@@ -580,12 +580,8 @@ mod tests {
         .enumerate()
         {
             let inputs = setup(*kind, 100 + i as u64);
-            naive_sum += error_vs_reference(
-                &inputs,
-                &AttentionMethod::NaiveInt {
-                    bits: Bitwidth::B4,
-                },
-            );
+            naive_sum +=
+                error_vs_reference(&inputs, &AttentionMethod::NaiveInt { bits: Bitwidth::B4 });
             block_sum += error_vs_reference(
                 &inputs,
                 &AttentionMethod::BlockwiseInt {
@@ -712,10 +708,7 @@ mod tests {
         let k4 = fake_quant_2d(inputs.k(), Grouping::PerRow, Bitwidth::B4)
             .unwrap()
             .0;
-        let plain4 = attention_map(&q4, &k4)
-            .unwrap()
-            .matmul(inputs.v())
-            .unwrap();
+        let plain4 = attention_map(&q4, &k4).unwrap().matmul(inputs.v()).unwrap();
         let plain4_err = metrics::relative_l2(&reference, &plain4).unwrap();
         assert!(
             sage4 <= plain4_err,
@@ -730,11 +723,8 @@ mod tests {
     #[test]
     fn sanger_prunes_but_stays_reasonable() {
         let inputs = setup(PatternKind::Temporal, 10);
-        let run = run_attention(
-            &inputs,
-            &AttentionMethod::SangerSparse { threshold: 1e-3 },
-        )
-        .unwrap();
+        let run =
+            run_attention(&inputs, &AttentionMethod::SangerSparse { threshold: 1e-3 }).unwrap();
         // Strongly-patterned heads are mostly prunable background.
         assert!(run.map_sparsity > 0.2, "sparsity {}", run.map_sparsity);
         let reference = reference_attention(inputs.q(), inputs.k(), inputs.v()).unwrap();
@@ -837,8 +827,7 @@ mod tests {
             17,
         );
         let reference = reference_attention(&head.q, &head.k, &head.v).unwrap();
-        let inputs =
-            AttentionInputs::with_text(head.q, head.k, head.v, cfg.grid, text).unwrap();
+        let inputs = AttentionInputs::with_text(head.q, head.k, head.v, cfg.grid, text).unwrap();
         assert_eq!(inputs.tokens(), 64 + text);
         assert_eq!(inputs.text_tokens(), text);
         for method in [
@@ -884,9 +873,7 @@ mod tests {
             Err(CoreError::GridMismatch { .. })
         ));
         let t11 = Tensor::zeros(&[11, 4]);
-        assert!(
-            AttentionInputs::with_text(t11.clone(), t11.clone(), t11, cfg.grid, 3).is_ok()
-        );
+        assert!(AttentionInputs::with_text(t11.clone(), t11.clone(), t11, cfg.grid, 3).is_ok());
     }
 
     #[test]

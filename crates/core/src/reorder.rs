@@ -295,11 +295,7 @@ mod tests {
     #[test]
     fn apply_invert_roundtrip_all_orders() {
         let g = grid();
-        let x = Tensor::random(
-            &[g.len(), 8],
-            &Uniform::new(-1.0f32, 1.0),
-            &mut seeded(3),
-        );
+        let x = Tensor::random(&[g.len(), 8], &Uniform::new(-1.0f32, 1.0), &mut seeded(3));
         for order in AxisOrder::ALL {
             let plan = ReorderPlan::new(&g, order);
             let y = plan.apply(&x).unwrap();
@@ -347,10 +343,7 @@ mod tests {
         let spec = PatternSpec::new(PatternKind::SpatialCol);
         let head = synthesize_head(&g, 16, &spec, 5);
         let plan = ReorderPlan::new(&g, AxisOrder::Whf);
-        let direct = attention_map(
-            &plan.apply(&head.q).unwrap(),
-            &plan.apply(&head.k).unwrap(),
-        );
+        let direct = attention_map(&plan.apply(&head.q).unwrap(), &plan.apply(&head.k).unwrap());
         let via_map = reorder_map(&attention_map(&head.q, &head.k), &plan).unwrap();
         let err = metrics::relative_l2(&direct, &via_map).unwrap();
         assert!(err < 1e-4, "err {err}");
@@ -463,7 +456,10 @@ mod tests {
                 weighted_contiguous += 1;
             }
         }
-        assert_eq!(plain_contiguous, 3, "plain objective must discover all patterns");
+        assert_eq!(
+            plain_contiguous, 3,
+            "plain objective must discover all patterns"
+        );
         assert!(
             weighted_contiguous <= plain_contiguous,
             "the weighted variant should not beat the plain objective"

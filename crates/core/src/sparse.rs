@@ -73,7 +73,11 @@ pub fn sparse_attn_v(
     if map.rank() != 2 || v.rank() != 2 {
         return Err(CoreError::Tensor(TensorError::RankMismatch {
             expected: 2,
-            actual: if map.rank() != 2 { map.rank() } else { v.rank() },
+            actual: if map.rank() != 2 {
+                map.rank()
+            } else {
+                v.rank()
+            },
         }));
     }
     let (m, n) = (map.shape()[0], map.shape()[1]);
@@ -86,10 +90,12 @@ pub fn sparse_attn_v(
     let d = v.shape()[1];
     let (gr, gc) = grid.grid_dims(m, n);
     if bits.len() != gr * gc {
-        return Err(CoreError::Quant(paro_quant::QuantError::BitwidthCountMismatch {
-            supplied: bits.len(),
-            blocks: gr * gc,
-        }));
+        return Err(CoreError::Quant(
+            paro_quant::QuantError::BitwidthCountMismatch {
+                supplied: bits.len(),
+                blocks: gr * gc,
+            },
+        ));
     }
     let a = map.as_slice();
     let b = v.as_slice();

@@ -78,12 +78,7 @@ impl ModelConfig {
 
     /// A scaled-down configuration with a prompt-token prefix, for
     /// text-aware tests (the CogVideoX sequence layout at toy scale).
-    pub fn tiny_with_text(
-        frames: usize,
-        height: usize,
-        width: usize,
-        text_tokens: usize,
-    ) -> Self {
+    pub fn tiny_with_text(frames: usize, height: usize, width: usize, text_tokens: usize) -> Self {
         let mut cfg = ModelConfig::tiny(frames, height, width);
         cfg.text_tokens = text_tokens;
         cfg.name = format!("Tiny-{frames}x{height}x{width}+{text_tokens}t");
@@ -133,7 +128,10 @@ mod tests {
     fn cogvideox_2b_shape() {
         let cfg = ModelConfig::cogvideox_2b();
         assert_eq!(cfg.head_dim(), 64);
-        assert_eq!(cfg.total_tokens(), ModelConfig::cogvideox_5b().total_tokens());
+        assert_eq!(
+            cfg.total_tokens(),
+            ModelConfig::cogvideox_5b().total_tokens()
+        );
         assert!(cfg.hidden < ModelConfig::cogvideox_5b().hidden);
     }
 

@@ -79,7 +79,10 @@ impl SyntheticDit {
     /// Panics if `hidden % 4 != 0`, `hidden % heads != 0`, or the grid is
     /// empty.
     pub fn build(cfg: &ModelConfig, seed: u64) -> Self {
-        assert!(cfg.hidden.is_multiple_of(SEGMENTS), "hidden must be divisible by 4");
+        assert!(
+            cfg.hidden.is_multiple_of(SEGMENTS),
+            "hidden must be divisible by 4"
+        );
         assert!(!cfg.grid.is_empty(), "token grid must be non-empty");
         let positional = build_positional(&cfg.grid, cfg.text_tokens, cfg.hidden, seed);
         let blocks = (0..cfg.blocks)
@@ -222,8 +225,7 @@ impl BlockWeights {
         let w_o = random_dense(d, d, scale_v * residual_gain, &mut rng);
         let ffn = cfg.ffn_mult * d;
         let w_ffn_up = random_dense(d, ffn, scale_v, &mut rng);
-        let w_ffn_down =
-            random_dense(ffn, d, residual_gain / (ffn as f32).sqrt(), &mut rng);
+        let w_ffn_down = random_dense(ffn, d, residual_gain / (ffn as f32).sqrt(), &mut rng);
         BlockWeights {
             w_q,
             w_k,

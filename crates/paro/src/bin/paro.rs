@@ -1,13 +1,18 @@
 //! The `paro` command-line tool: quantize synthetic heads, simulate
 //! machines, trace reorder-plan selection. Run `paro help` for usage.
 
-use paro::cli::{parse_args, CliCommand, USAGE};
+use paro::cli::{parse_args, CliCommand, ServeBenchOpts, USAGE};
 use paro::core::pipeline::attention_map;
 use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
 use paro::prelude::*;
+use paro::serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
+use paro::serve::{Engine, MetricsSnapshot, ServeConfig};
 use paro::sim::OpCategory;
 use paro::tensor::render;
+use serde::Serialize;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,6 +98,7 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
             let _ = OpCategory::Linear;
             Ok(())
         }
+        CliCommand::ServeBench(opts) => serve_bench(&opts),
         CliCommand::Plan {
             grid,
             pattern,
@@ -109,7 +115,11 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
                 grid.len()
             );
             for (order, err) in &sel.candidate_errors {
-                let marker = if *order == sel.order { "  <== selected" } else { "" };
+                let marker = if *order == sel.order {
+                    "  <== selected"
+                } else {
+                    ""
+                };
                 println!("  {order}: err {err:.5}{marker}");
             }
             let plan = ReorderPlan::new(&grid, sel.order);
@@ -121,4 +131,75 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
     }
+}
+
+/// Top-level JSON report `paro serve-bench` prints to stdout: the
+/// workload/engine configuration, the run's wall-clock throughput, and
+/// the engine's full metrics snapshot. Serves as a machine-readable
+/// baseline for serving-performance regressions.
+#[derive(Debug, Serialize)]
+struct ServeBenchReport {
+    model: String,
+    tokens: usize,
+    head_dim: usize,
+    threads: usize,
+    queue_capacity: usize,
+    requests: usize,
+    distinct_heads: usize,
+    completed: usize,
+    failed: usize,
+    wall_ms: f64,
+    requests_per_sec: f64,
+    metrics: MetricsSnapshot,
+}
+
+fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
+    let model = scaled_config(
+        &ModelConfig::cogvideox_2b(),
+        opts.grid.frames(),
+        opts.grid.height(),
+        opts.grid.width(),
+    );
+    let source = Arc::new(SyntheticSource::new(model.clone(), 2, opts.seed ^ 0xca11b));
+    let cfg = ServeConfig {
+        workers: opts.threads,
+        queue_capacity: opts.queue,
+        block_edge: opts.block_edge,
+        budget: opts.budget,
+        default_deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
+        ..ServeConfig::default()
+    };
+    let engine = Engine::new(cfg, model.clone(), source)?;
+    let spec = WorkloadSpec {
+        model: model.clone(),
+        requests: opts.requests,
+        blocks: opts.blocks,
+        heads: opts.heads,
+        seed: opts.seed,
+    };
+    let requests = synthetic_requests(&spec);
+    let t0 = Instant::now();
+    let outcome = engine.run_batch(requests);
+    let wall = t0.elapsed();
+    let completed = outcome.completed();
+    let report = ServeBenchReport {
+        model: model.name.clone(),
+        tokens: model.grid.len(),
+        head_dim: model.head_dim(),
+        threads: opts.threads,
+        queue_capacity: opts.queue,
+        requests: opts.requests,
+        distinct_heads: spec.distinct_heads(),
+        completed,
+        failed: outcome.failed(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        requests_per_sec: if wall.as_secs_f64() > 0.0 {
+            completed as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        metrics: engine.metrics_snapshot(),
+    };
+    println!("{}", serde_json::to_string_pretty(&report)?);
+    Ok(())
 }

@@ -42,8 +42,36 @@ pub enum CliCommand {
         /// RNG seed.
         seed: u64,
     },
+    /// `paro serve-bench`: drive the concurrent serving engine with a
+    /// synthetic CogVideoX-2B workload and print a JSON metrics snapshot.
+    ServeBench(ServeBenchOpts),
     /// `paro help`: print usage.
     Help,
+}
+
+/// Options for `paro serve-bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchOpts {
+    /// Scaled-down token grid the synthetic 2B workload runs on.
+    pub grid: TokenGrid,
+    /// Worker threads.
+    pub threads: usize,
+    /// Submission-queue capacity.
+    pub queue: usize,
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Transformer blocks the stream cycles through.
+    pub blocks: usize,
+    /// Heads per block the stream cycles through.
+    pub heads: usize,
+    /// Mixed-precision bit budget.
+    pub budget: f32,
+    /// Quantization block edge.
+    pub block_edge: usize,
+    /// Per-request deadline in milliseconds (0 disables deadlines).
+    pub deadline_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
 }
 
 /// Usage text.
@@ -54,7 +82,15 @@ USAGE:
   paro quantize [--grid FxHxW] [--pattern KIND] [--method NAME] [--budget B] [--bits N] [--seed S]
   paro simulate [--model 2b|5b] [--machine paro|sanger|vitcod|a100|align]
   paro plan     [--grid FxHxW] [--pattern KIND] [--block EDGE] [--seed S]
+  paro serve-bench [--threads N] [--queue N] [--requests N] [--deadline-ms MS]
+                   [--grid FxHxW] [--blocks N] [--heads N] [--budget B]
+                   [--block EDGE] [--seed S]
   paro help
+
+serve-bench drives the concurrent serving engine with a synthetic
+CogVideoX-2B workload (scaled to --grid) and prints a JSON metrics
+snapshot (requests/sec, latency percentiles, plan-cache hit rate) to
+stdout.
 
 PATTERNS: temporal, spatial-row, spatial-col, window, diffuse
 METHODS:  fp16, sage, sage2, sanger, naive-int8, naive-int4,
@@ -76,15 +112,16 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(CliCommand::Help),
         "quantize" => {
+            reject_unknown(
+                &opts,
+                &["grid", "pattern", "budget", "bits", "method", "seed"],
+            )?;
             let grid = parse_grid(opts_get(&opts, "grid").unwrap_or("6x6x6"))?;
             let pattern = parse_pattern(opts_get(&opts, "pattern").unwrap_or("temporal"), &grid)?;
             let budget: f32 = parse_num(opts_get(&opts, "budget").unwrap_or("4.8"))?;
             let bits = parse_bits(opts_get(&opts, "bits").unwrap_or("4"))?;
-            let method = parse_method(
-                opts_get(&opts, "method").unwrap_or("paro-mp"),
-                budget,
-                bits,
-            )?;
+            let method =
+                parse_method(opts_get(&opts, "method").unwrap_or("paro-mp"), budget, bits)?;
             let seed: u64 = parse_num(opts_get(&opts, "seed").unwrap_or("42"))?;
             Ok(CliCommand::Quantize {
                 grid,
@@ -94,6 +131,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             })
         }
         "simulate" => {
+            reject_unknown(&opts, &["model", "machine"])?;
             let model = match opts_get(&opts, "model").unwrap_or("5b") {
                 "2b" => ModelConfig::cogvideox_2b(),
                 "5b" => ModelConfig::cogvideox_5b(),
@@ -106,6 +144,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             Ok(CliCommand::Simulate { model, machine })
         }
         "plan" => {
+            reject_unknown(&opts, &["grid", "pattern", "block", "seed"])?;
             let grid = parse_grid(opts_get(&opts, "grid").unwrap_or("6x6x6"))?;
             let pattern = parse_pattern(opts_get(&opts, "pattern").unwrap_or("temporal"), &grid)?;
             let block_edge: usize = parse_num(opts_get(&opts, "block").unwrap_or("6"))?;
@@ -116,6 +155,57 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 block_edge,
                 seed,
             })
+        }
+        "serve-bench" => {
+            reject_unknown(
+                &opts,
+                &[
+                    "grid",
+                    "threads",
+                    "queue",
+                    "requests",
+                    "blocks",
+                    "heads",
+                    "budget",
+                    "block",
+                    "deadline-ms",
+                    "seed",
+                ],
+            )?;
+            let grid = parse_grid(opts_get(&opts, "grid").unwrap_or("4x6x6"))?;
+            let threads: usize = parse_num(opts_get(&opts, "threads").unwrap_or("4"))?;
+            let queue: usize = parse_num(opts_get(&opts, "queue").unwrap_or("64"))?;
+            let requests: usize = parse_num(opts_get(&opts, "requests").unwrap_or("150"))?;
+            let blocks: usize = parse_num(opts_get(&opts, "blocks").unwrap_or("3"))?;
+            let heads: usize = parse_num(opts_get(&opts, "heads").unwrap_or("4"))?;
+            let budget: f32 = parse_num(opts_get(&opts, "budget").unwrap_or("4.8"))?;
+            let block_edge: usize = parse_num(opts_get(&opts, "block").unwrap_or("6"))?;
+            let deadline_ms: u64 = parse_num(opts_get(&opts, "deadline-ms").unwrap_or("0"))?;
+            let seed: u64 = parse_num(opts_get(&opts, "seed").unwrap_or("42"))?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+            if queue == 0 {
+                return Err("--queue must be at least 1".to_string());
+            }
+            if requests == 0 {
+                return Err("--requests must be at least 1".to_string());
+            }
+            if blocks == 0 || heads == 0 {
+                return Err("--blocks and --heads must be at least 1".to_string());
+            }
+            Ok(CliCommand::ServeBench(ServeBenchOpts {
+                grid,
+                threads,
+                queue,
+                requests,
+                blocks,
+                heads,
+                budget,
+                block_edge,
+                deadline_ms,
+                seed,
+            }))
         }
         other => Err(format!("unknown command '{other}'; see `paro help`")),
     }
@@ -140,6 +230,15 @@ fn parse_flags<'a>(rest: &[&'a String]) -> Result<Vec<(&'a str, &'a str)>, Strin
 
 fn opts_get<'a>(opts: &[(&'a str, &'a str)], name: &str) -> Option<&'a str> {
     opts.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
+
+fn reject_unknown(opts: &[(&str, &str)], allowed: &[&str]) -> Result<(), String> {
+    for (name, _) in opts {
+        if !allowed.contains(name) {
+            return Err(format!("unknown flag --{name}"));
+        }
+    }
+    Ok(())
 }
 
 fn parse_grid(s: &str) -> Result<TokenGrid, String> {
@@ -177,12 +276,8 @@ fn parse_method(s: &str, budget: f32, bits: Bitwidth) -> Result<AttentionMethod,
         "sage" => AttentionMethod::SageAttention,
         "sage2" => AttentionMethod::SageAttentionV2,
         "sanger" => AttentionMethod::SangerSparse { threshold: 1e-3 },
-        "naive-int8" => AttentionMethod::NaiveInt {
-            bits: Bitwidth::B8,
-        },
-        "naive-int4" => AttentionMethod::NaiveInt {
-            bits: Bitwidth::B4,
-        },
+        "naive-int8" => AttentionMethod::NaiveInt { bits: Bitwidth::B8 },
+        "naive-int4" => AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
         "block-int8" => AttentionMethod::blockwise_int(Bitwidth::B8),
         "block-int4" => AttentionMethod::blockwise_int(Bitwidth::B4),
         "paro-int8" => AttentionMethod::paro_int(Bitwidth::B8),
@@ -194,8 +289,7 @@ fn parse_method(s: &str, budget: f32, bits: Bitwidth) -> Result<AttentionMethod,
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
-    s.parse::<T>()
-        .map_err(|_| format!("invalid number '{s}'"))
+    s.parse::<T>().map_err(|_| format!("invalid number '{s}'"))
 }
 
 #[cfg(test)]
@@ -255,12 +349,7 @@ mod tests {
             } => {
                 assert_eq!(grid, TokenGrid::new(4, 8, 8));
                 assert_eq!(pattern, PatternKind::SpatialCol);
-                assert_eq!(
-                    method,
-                    AttentionMethod::NaiveInt {
-                        bits: Bitwidth::B4
-                    }
-                );
+                assert_eq!(method, AttentionMethod::NaiveInt { bits: Bitwidth::B4 });
                 assert_eq!(seed, 7);
             }
             other => panic!("unexpected {other:?}"),
@@ -269,8 +358,7 @@ mod tests {
 
     #[test]
     fn simulate_parses_machine_and_model() {
-        let cmd = parse_args(&args(&["simulate", "--model", "2b", "--machine", "vitcod"]))
-            .unwrap();
+        let cmd = parse_args(&args(&["simulate", "--model", "2b", "--machine", "vitcod"])).unwrap();
         match cmd {
             CliCommand::Simulate { model, machine } => {
                 assert_eq!(model.name, "CogVideoX-2B");
@@ -282,8 +370,7 @@ mod tests {
 
     #[test]
     fn plan_parses() {
-        let cmd =
-            parse_args(&args(&["plan", "--pattern", "window", "--block", "3"])).unwrap();
+        let cmd = parse_args(&args(&["plan", "--pattern", "window", "--block", "3"])).unwrap();
         match cmd {
             CliCommand::Plan {
                 block_edge,
@@ -321,6 +408,95 @@ mod tests {
         assert!(parse_args(&args(&["quantize", "--bits", "3"]))
             .unwrap_err()
             .contains("0/2/4/8"));
+    }
+
+    #[test]
+    fn serve_bench_defaults() {
+        let cmd = parse_args(&args(&["serve-bench"])).unwrap();
+        match cmd {
+            CliCommand::ServeBench(opts) => {
+                assert_eq!(opts.grid, TokenGrid::new(4, 6, 6));
+                assert_eq!(opts.threads, 4);
+                assert_eq!(opts.queue, 64);
+                assert_eq!(opts.requests, 150);
+                assert_eq!(opts.blocks, 3);
+                assert_eq!(opts.heads, 4);
+                assert_eq!(opts.budget, 4.8);
+                assert_eq!(opts.block_edge, 6);
+                assert_eq!(opts.deadline_ms, 0);
+                assert_eq!(opts.seed, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_bench_with_flags() {
+        let cmd = parse_args(&args(&[
+            "serve-bench",
+            "--threads",
+            "8",
+            "--queue",
+            "16",
+            "--requests",
+            "32",
+            "--deadline-ms",
+            "250",
+            "--grid",
+            "3x4x4",
+            "--blocks",
+            "2",
+            "--heads",
+            "5",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::ServeBench(opts) => {
+                assert_eq!(opts.threads, 8);
+                assert_eq!(opts.queue, 16);
+                assert_eq!(opts.requests, 32);
+                assert_eq!(opts.deadline_ms, 250);
+                assert_eq!(opts.grid, TokenGrid::new(3, 4, 4));
+                assert_eq!(opts.blocks, 2);
+                assert_eq!(opts.heads, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_bench_rejects_degenerate_values() {
+        assert!(parse_args(&args(&["serve-bench", "--threads", "0"]))
+            .unwrap_err()
+            .contains("threads"));
+        assert!(parse_args(&args(&["serve-bench", "--queue", "0"]))
+            .unwrap_err()
+            .contains("queue"));
+        assert!(parse_args(&args(&["serve-bench", "--requests", "0"]))
+            .unwrap_err()
+            .contains("requests"));
+        assert!(parse_args(&args(&["serve-bench", "--heads", "0"]))
+            .unwrap_err()
+            .contains("heads"));
+        assert!(parse_args(&args(&["serve-bench", "--threads", "many"]))
+            .unwrap_err()
+            .contains("many"));
+    }
+
+    #[test]
+    fn usage_documents_serve_bench() {
+        assert!(USAGE.contains("serve-bench"));
+        assert!(USAGE.contains("--deadline-ms"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        for cmd in ["quantize", "simulate", "plan", "serve-bench"] {
+            let err = parse_args(&args(&[cmd, "--wat", "7"])).unwrap_err();
+            assert!(err.contains("unknown flag --wat"), "{cmd}: {err}");
+        }
+        // Known flags still parse after the check.
+        assert!(parse_args(&args(&["serve-bench", "--threads", "2"])).is_ok());
     }
 
     #[test]

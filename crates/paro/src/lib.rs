@@ -15,6 +15,9 @@
 //!   method zoo.
 //! - [`sim`] — the cycle-level accelerator simulator and baseline machines
 //!   (Sanger, ViTCoD, A100).
+//! - [`serve`] — the in-process concurrent attention-serving engine:
+//!   bounded admission, frozen-calibration plan cache, deterministic
+//!   multi-threaded execution, serving metrics.
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,7 @@
 pub use paro_core as core;
 pub use paro_model as model;
 pub use paro_quant as quant;
+pub use paro_serve as serve;
 pub use paro_sim as sim;
 pub use paro_tensor as tensor;
 

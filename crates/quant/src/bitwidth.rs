@@ -99,7 +99,11 @@ pub struct ParseBitwidthError {
 
 impl fmt::Display for ParseBitwidthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "'{}' is not a valid bitwidth (expected 0, 2, 4 or 8)", self.input)
+        write!(
+            f,
+            "'{}' is not a valid bitwidth (expected 0, 2, 4 or 8)",
+            self.input
+        )
     }
 }
 

@@ -50,10 +50,9 @@ impl fmt::Display for QuantError {
                 f,
                 "bitwidth count mismatch: {supplied} supplied for {blocks} blocks"
             ),
-            QuantError::PackedLengthMismatch { bytes, expected } => write!(
-                f,
-                "packed payload holds {bytes} bytes, expected {expected}"
-            ),
+            QuantError::PackedLengthMismatch { bytes, expected } => {
+                write!(f, "packed payload holds {bytes} bytes, expected {expected}")
+            }
             QuantError::CodeOutOfRange { code, max } => {
                 write!(f, "code {code} exceeds maximum {max}")
             }
@@ -96,7 +95,10 @@ mod tests {
                 bytes: 1,
                 expected: 2,
             },
-            QuantError::CodeOutOfRange { code: 300, max: 255 },
+            QuantError::CodeOutOfRange {
+                code: 300,
+                max: 255,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -175,8 +175,7 @@ mod tests {
         let exact = a.matmul(&b).unwrap();
         let qa = QuantizedGemmOperand::quantize(&a, Bitwidth::B8).unwrap();
         let qb = QuantizedGemmOperand::quantize(&b, Bitwidth::B8).unwrap();
-        let approx =
-            dequantize_gemm(&quantized_gemm_i32(&qa, &qb).unwrap(), &qa, &qb).unwrap();
+        let approx = dequantize_gemm(&quantized_gemm_i32(&qa, &qb).unwrap(), &qa, &qb).unwrap();
         assert!(metrics::relative_l2(&exact, &approx).unwrap() < 0.02);
     }
 
@@ -189,8 +188,7 @@ mod tests {
         for bits in [Bitwidth::B8, Bitwidth::B4, Bitwidth::B2] {
             let qa = QuantizedGemmOperand::quantize(&a, bits).unwrap();
             let qb = QuantizedGemmOperand::quantize(&b, bits).unwrap();
-            let approx =
-                dequantize_gemm(&quantized_gemm_i32(&qa, &qb).unwrap(), &qa, &qb).unwrap();
+            let approx = dequantize_gemm(&quantized_gemm_i32(&qa, &qb).unwrap(), &qa, &qb).unwrap();
             errs.push(metrics::relative_l2(&exact, &approx).unwrap());
         }
         assert!(errs[0] < errs[1] && errs[1] < errs[2], "{errs:?}");
@@ -220,8 +218,7 @@ mod tests {
     fn b0_operand_yields_zero_output() {
         let qa = QuantizedGemmOperand::quantize(&random_t(3, 3, 11), Bitwidth::B0).unwrap();
         let qb = QuantizedGemmOperand::quantize(&random_t(3, 3, 12), Bitwidth::B8).unwrap();
-        let out =
-            dequantize_gemm(&quantized_gemm_i32(&qa, &qb).unwrap(), &qa, &qb).unwrap();
+        let out = dequantize_gemm(&quantized_gemm_i32(&qa, &qb).unwrap(), &qa, &qb).unwrap();
         assert!(out.as_slice().iter().all(|&x| x == 0.0));
     }
 }

@@ -37,7 +37,9 @@ mod symmetric;
 pub use bitwidth::{Bitwidth, ParseBitwidthError};
 pub use error::QuantError;
 pub use gemm::{dequantize_gemm, quantized_gemm_i32, QuantizedGemmOperand};
-pub use grouping::{fake_quant_2d, fake_quant_blocks, group_stats, BlockGrid, GroupStats, Grouping};
+pub use grouping::{
+    fake_quant_2d, fake_quant_blocks, group_stats, BlockGrid, GroupStats, Grouping,
+};
 pub use mixed_map::MixedPrecisionMap;
 pub use packed::PackedCodes;
 pub use params::QuantParams;

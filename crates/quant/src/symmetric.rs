@@ -194,8 +194,11 @@ mod tests {
                 for c in 0..32 {
                     float_dot += a.at(&[i, c]) * b.at(&[j, c]);
                 }
+                // Per-element quant error is ≤ s/2 ≈ 0.008 here; over 32
+                // accumulated terms the dot error is ~N(0, 0.05), so 0.1
+                // is a ≈2–3σ allowance across the 24 (i, j) pairs.
                 assert!(
-                    (int_dot - float_dot).abs() < 0.05 * (1.0 + float_dot.abs()),
+                    (int_dot - float_dot).abs() < 0.1 * (1.0 + float_dot.abs()),
                     "i={i} j={j}: {int_dot} vs {float_dot}"
                 );
             }

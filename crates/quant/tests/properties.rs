@@ -1,6 +1,8 @@
 //! Property-based tests for the quantization substrate.
 
-use paro_quant::{fake_quant_2d, fake_quant_blocks, Bitwidth, BlockGrid, Grouping, PackedCodes, QuantParams};
+use paro_quant::{
+    fake_quant_2d, fake_quant_blocks, Bitwidth, BlockGrid, Grouping, PackedCodes, QuantParams,
+};
 use paro_tensor::Tensor;
 use proptest::prelude::*;
 

@@ -1,0 +1,349 @@
+//! Admission control: bounded queueing, deadlines and cost-aware
+//! scheduling.
+//!
+//! The engine never blocks a submitter: a full queue returns
+//! [`ServeError::QueueFull`] immediately (backpressure the caller can act
+//! on), and each request carries an optional deadline checked when a
+//! worker picks it up — a request that waited past its budget is failed
+//! with [`ServeError::DeadlineExceeded`] instead of burning compute on an
+//! answer nobody wants anymore.
+//!
+//! Batch scheduling reuses the simulator's dispatch cost model
+//! ([`paro_sim::dispatch`]): per-request cycle costs derive from the
+//! frozen bit allocation when one is cached (exactly the accelerator's
+//! per-block cost table) and from the method's bit budget otherwise, and
+//! longest-processing-time-first ordering keeps workers level-loaded the
+//! same way the PE-row dispatcher levels block work.
+
+use paro_core::calibration::HeadCalibration;
+use paro_quant::Bitwidth;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Structured serving errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The submission queue is at capacity; retry later or shed load.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request spent longer than its deadline budget in the queue.
+    DeadlineExceeded {
+        /// Time the request had waited when a worker reached it.
+        waited: Duration,
+        /// The request's deadline budget.
+        budget: Duration,
+    },
+    /// The engine is shutting down; no new work is accepted.
+    Closed,
+    /// Invalid engine configuration.
+    InvalidConfig(String),
+    /// The attention pipeline failed.
+    Core(paro_core::CoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::DeadlineExceeded { waited, budget } => write!(
+                f,
+                "deadline exceeded: waited {:.3} ms of a {:.3} ms budget",
+                waited.as_secs_f64() * 1e3,
+                budget.as_secs_f64() * 1e3
+            ),
+            ServeError::Closed => write!(f, "engine is closed"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ServeError::Core(e) => write!(f, "attention pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<paro_core::CoreError> for ServeError {
+    fn from(e: paro_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// A bounded MPMC queue: non-blocking producers, blocking consumers.
+///
+/// Producers use [`BoundedQueue::try_push`], which rejects instead of
+/// blocking when the queue is full. Consumers use [`BoundedQueue::pop`],
+/// which parks until an item arrives or the queue is closed.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Consumers hold off while paused (used to quiesce the engine).
+    paused: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                paused: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when at capacity, [`ServeError::Closed`]
+    /// after [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), ServeError> {
+        let mut state = self.inner.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(ServeError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is at capacity. Used by batch
+    /// drivers that own the pacing; external submitters use
+    /// [`BoundedQueue::try_push`] and get backpressure instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] after [`BoundedQueue::close`].
+    pub fn push_wait(&self, item: T) -> Result<(), ServeError> {
+        let mut state = self.inner.lock().expect("queue poisoned");
+        while !state.closed && state.items.len() >= self.capacity {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return Err(ServeError::Closed);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty or
+    /// paused. Returns `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !state.paused {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.not_full.notify_one();
+                    return Some(item);
+                }
+                if state.closed {
+                    return None;
+                }
+            } else if state.closed {
+                // Close overrides pause so shutdown always completes.
+                return state.items.pop_front();
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stops consumers from dequeuing (producers may still fill the
+    /// queue). Used to quiesce workers for draining and in overload
+    /// tests.
+    pub fn pause(&self) {
+        self.inner.lock().expect("queue poisoned").paused = true;
+    }
+
+    /// Resumes consumers.
+    pub fn resume(&self) {
+        self.inner.lock().expect("queue poisoned").paused = false;
+        self.not_empty.notify_all();
+    }
+
+    /// Closes the queue: producers fail with [`ServeError::Closed`];
+    /// consumers drain remaining items then receive `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Estimated execution cost (PE-array cycles) of one attention request.
+///
+/// With a frozen calibration the cost is the sum of the simulator's
+/// per-block cycle costs under the allocation's bitwidths — the same
+/// numbers the dispatcher in `paro-sim` schedules with. Without one
+/// (first request on a cold key), the INT8 map cost is scaled by the
+/// method's average-bit budget.
+pub fn request_cost(
+    tokens: usize,
+    head_dim: usize,
+    budget: f32,
+    cal: Option<&HeadCalibration>,
+) -> f64 {
+    let map_macs_int8 = (tokens * tokens) as f64 * head_dim as f64;
+    match cal {
+        Some(cal) => {
+            let blocks = cal.allocation.bits.len().max(1);
+            let macs_per_block = map_macs_int8 / blocks as f64;
+            paro_sim::dispatch::block_costs(macs_per_block, &cal.allocation.bits)
+                .iter()
+                .sum()
+        }
+        None => map_macs_int8 * (budget as f64 / Bitwidth::B8.bits() as f64).min(1.0),
+    }
+}
+
+/// Orders batch indices longest-processing-time first (ties broken by
+/// index, so the order is deterministic). Feeding a multi-worker pool in
+/// LPT order is the classic makespan heuristic the simulator's
+/// `GreedyLpt` dispatch policy uses for PE rows.
+pub fn lpt_order(costs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..costs.len()).collect();
+    idx.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let err = q.try_push(3).unwrap_err();
+        assert!(matches!(err, ServeError::QueueFull { capacity: 2 }));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(11), Err(ServeError::Closed)));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pause_holds_consumers_until_resume() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.pause();
+        q.try_push(7).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // The consumer must not take the item while paused.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 1);
+        q.resume();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_everything() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for v in 0..64 {
+            q.try_push(v).unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lpt_order_is_descending_and_deterministic() {
+        let costs = [3.0, 9.0, 1.0, 9.0, 5.0];
+        assert_eq!(lpt_order(&costs), vec![1, 3, 4, 0, 2]);
+    }
+
+    #[test]
+    fn cost_scales_with_bits() {
+        // Without a calibration, cost scales with the budget.
+        let c8 = request_cost(64, 16, 8.0, None);
+        let c4 = request_cost(64, 16, 4.0, None);
+        assert!((c8 / c4 - 2.0).abs() < 1e-9);
+        assert!((c8 - (64.0 * 64.0 * 16.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn errors_display_structured_context() {
+        let e = ServeError::QueueFull { capacity: 8 };
+        assert!(e.to_string().contains("capacity 8"));
+        let e = ServeError::DeadlineExceeded {
+            waited: Duration::from_millis(12),
+            budget: Duration::from_millis(10),
+        };
+        let s = e.to_string();
+        assert!(s.contains("12") && s.contains("10"), "{s}");
+    }
+}

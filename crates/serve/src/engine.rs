@@ -1,0 +1,543 @@
+//! The concurrent attention-serving engine.
+//!
+//! A bounded submission queue feeds a pool of worker threads; each
+//! request is one `(block, head)` attention unit. Workers resolve the
+//! head's frozen calibration through the [`PlanCache`] (calibrating on
+//! first touch via a [`CalibrationSource`]) and execute
+//! [`run_attention_calibrated`]. Results are reassembled in submission
+//! order, so the multi-threaded engine's output is **bit-identical** to a
+//! single-threaded run: every request's computation is a pure function of
+//! its inputs and its cache key, and scheduling only changes latency.
+
+use crate::admission::{lpt_order, request_cost, BoundedQueue, ServeError};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::plan_cache::{MethodKey, PlanCache, PlanKey};
+use paro_core::calibration::calibrate_head;
+use paro_core::pipeline::{run_attention_calibrated, AttentionInputs, AttentionRun};
+use paro_core::CoreError;
+use paro_model::ModelConfig;
+use paro_quant::{Bitwidth, BlockGrid};
+use paro_tensor::Tensor;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a batch is ordered before it enters the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Submission order.
+    Fifo,
+    /// Longest-processing-time first, costed with the simulator's
+    /// per-block cycle model (see [`crate::admission::request_cost`]).
+    CostLpt,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Submission queue capacity; a full queue rejects, never blocks.
+    pub queue_capacity: usize,
+    /// Plan-cache capacity (calibrations, i.e. heads).
+    pub cache_capacity: usize,
+    /// Quantization block edge.
+    pub block_edge: usize,
+    /// Bitwidth used to score reorder plans during calibration.
+    pub calib_bits: Bitwidth,
+    /// Mixed-precision average-bit budget.
+    pub budget: f32,
+    /// Sensitivity alpha.
+    pub alpha: f32,
+    /// Whether `QKᵀ` is output-bitwidth aware (LDZ truncation).
+    pub output_aware: bool,
+    /// Batch scheduling policy.
+    pub scheduling: Scheduling,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            block_edge: 6,
+            calib_bits: Bitwidth::B4,
+            budget: 4.8,
+            alpha: 0.5,
+            output_aware: false,
+            scheduling: Scheduling::CostLpt,
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue capacity must be >= 1".into(),
+            ));
+        }
+        if self.cache_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "cache capacity must be >= 1".into(),
+            ));
+        }
+        if self.block_edge == 0 {
+            return Err(ServeError::InvalidConfig("block edge must be >= 1".into()));
+        }
+        if !(self.budget > 0.0 && self.budget <= 8.0) {
+            return Err(ServeError::InvalidConfig("budget must be in (0, 8]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Where calibration samples come from when a head misses the cache.
+///
+/// Implementations **must** be deterministic in `(block, head)`: the maps
+/// returned for a key may not depend on request arrival order, or the
+/// engine's bit-identical-across-thread-counts guarantee breaks.
+pub trait CalibrationSource: Send + Sync {
+    /// Post-softmax attention maps (`[n, n]`, canonical order) of the
+    /// given head over the calibration set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis/pipeline errors.
+    fn calibration_maps(&self, block: usize, head: usize) -> Result<Vec<Tensor>, CoreError>;
+}
+
+/// One attention request: a `(block, head)` unit of work.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Transformer block index.
+    pub block: usize,
+    /// Head index.
+    pub head: usize,
+    /// The head's `Q/K/V`.
+    pub inputs: AttentionInputs,
+    /// Per-request deadline (falls back to the engine default).
+    pub deadline: Option<Duration>,
+}
+
+/// A completed request.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// Position in the submitted batch (submission order).
+    pub index: usize,
+    /// Transformer block index.
+    pub block: usize,
+    /// Head index.
+    pub head: usize,
+    /// The attention result.
+    pub run: AttentionRun,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Time spent queued.
+    pub queue_wait: Duration,
+    /// Worker service time.
+    pub service: Duration,
+}
+
+/// Outcome of [`Engine::run_batch`]: per-request results in submission
+/// order.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per submitted request, index-aligned with the input.
+    pub responses: Vec<Result<ServeResponse, ServeError>>,
+}
+
+impl BatchOutcome {
+    /// Number of successful responses.
+    pub fn completed(&self) -> usize {
+        self.responses.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Number of failed/rejected requests.
+    pub fn failed(&self) -> usize {
+        self.responses.len() - self.completed()
+    }
+}
+
+/// A handle to one in-flight request.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+    index: usize,
+}
+
+impl Ticket {
+    /// The request's submission index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    result: Mutex<Option<Result<ServeResponse, ServeError>>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<ServeResponse, ServeError>) {
+        *self.result.lock().expect("slot poisoned") = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<ServeResponse, ServeError> {
+        let mut guard = self.result.lock().expect("slot poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.done.wait(guard).expect("slot poisoned");
+        }
+    }
+}
+
+struct Job {
+    index: usize,
+    block: usize,
+    head: usize,
+    inputs: AttentionInputs,
+    deadline: Option<Duration>,
+    enqueued: Instant,
+    slot: Arc<Slot>,
+}
+
+/// The in-process attention-serving engine.
+pub struct Engine {
+    cfg: ServeConfig,
+    model: ModelConfig,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<PlanCache>,
+    metrics: Arc<Metrics>,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
+    submitted: std::sync::atomic::AtomicUsize,
+}
+
+impl Engine {
+    /// Builds the engine and spawns its worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero worker count,
+    /// queue/cache capacity, block edge, or an out-of-range budget.
+    pub fn new(
+        cfg: ServeConfig,
+        model: ModelConfig,
+        source: Arc<dyn CalibrationSource>,
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let cache = Arc::new(PlanCache::new(cfg.cache_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let ctx = WorkerCtx {
+                    cfg: cfg.clone(),
+                    model: model.clone(),
+                    queue: Arc::clone(&queue),
+                    cache: Arc::clone(&cache),
+                    metrics: Arc::clone(&metrics),
+                    source: Arc::clone(&source),
+                };
+                std::thread::Builder::new()
+                    .name(format!("paro-serve-{i}"))
+                    .spawn(move || worker_loop(&ctx))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Ok(Engine {
+            cfg,
+            model,
+            queue,
+            cache,
+            metrics,
+            workers,
+            started: Instant::now(),
+            submitted: std::sync::atomic::AtomicUsize::new(0),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The model this engine serves.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Submits one request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] under overload (the rejection is also
+    /// counted in the metrics), [`ServeError::Closed`] after shutdown.
+    pub fn try_submit(&self, request: ServeRequest) -> Result<Ticket, ServeError> {
+        self.submit_job(request, false)
+    }
+
+    /// Submits one request, waiting for queue space instead of rejecting.
+    /// Batch drivers use this to pace themselves; external callers should
+    /// prefer [`Engine::try_submit`] and honor the backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] after shutdown.
+    pub fn submit_blocking(&self, request: ServeRequest) -> Result<Ticket, ServeError> {
+        self.submit_job(request, true)
+    }
+
+    fn submit_job(&self, request: ServeRequest, blocking: bool) -> Result<Ticket, ServeError> {
+        let index = self
+            .submitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let slot = Slot::new();
+        let job = Job {
+            index,
+            block: request.block,
+            head: request.head,
+            inputs: request.inputs,
+            deadline: request.deadline.or(self.cfg.default_deadline),
+            enqueued: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        let pushed = if blocking {
+            self.queue.push_wait(job)
+        } else {
+            self.queue.try_push(job)
+        };
+        match pushed {
+            Ok(()) => {
+                self.metrics
+                    .submitted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(Ticket { slot, index })
+            }
+            Err(e) => {
+                if matches!(e, ServeError::QueueFull { .. }) {
+                    self.metrics
+                        .rejected
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks until the ticket's request completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's failure (deadline miss, pipeline error).
+    pub fn wait(&self, ticket: Ticket) -> Result<ServeResponse, ServeError> {
+        ticket.slot.wait()
+    }
+
+    /// Runs a whole batch: admits every request (in cost-LPT order when
+    /// configured), waits for completion, and returns results in
+    /// **submission order** — deterministic regardless of worker count.
+    /// Submission paces itself on queue space (a batch larger than the
+    /// queue is fed as workers drain it); per-request failures (deadline
+    /// miss, pipeline error, engine shutdown) appear as per-index errors.
+    pub fn run_batch(&self, requests: Vec<ServeRequest>) -> BatchOutcome {
+        let n = requests.len();
+        let order = match self.cfg.scheduling {
+            Scheduling::Fifo => (0..n).collect::<Vec<_>>(),
+            Scheduling::CostLpt => {
+                let head_dim = self.model.head_dim();
+                let costs: Vec<f64> = requests
+                    .iter()
+                    .map(|r| {
+                        let cal = self.cache.peek(&self.plan_key(r.block, r.head));
+                        request_cost(r.inputs.tokens(), head_dim, self.cfg.budget, cal.as_deref())
+                    })
+                    .collect();
+                lpt_order(&costs)
+            }
+        };
+        let mut slots: Vec<Option<Result<Ticket, ServeError>>> = (0..n).map(|_| None).collect();
+        let mut requests: Vec<Option<ServeRequest>> = requests.into_iter().map(Some).collect();
+        for &i in &order {
+            let req = requests[i].take().expect("each index admitted once");
+            slots[i] = Some(self.submit_blocking(req));
+        }
+        let responses = slots
+            .into_iter()
+            .map(|slot| match slot.expect("all indices filled") {
+                Ok(ticket) => self.wait(ticket),
+                Err(e) => Err(e),
+            })
+            .collect();
+        BatchOutcome { responses }
+    }
+
+    /// Quiesces the worker pool: queued work stays queued until
+    /// [`Engine::resume`]. Submissions are still accepted (and still
+    /// rejected once the queue fills) — the knob drains workers for
+    /// reconfiguration and makes overload deterministic to test.
+    pub fn pause(&self) {
+        self.queue.pause();
+    }
+
+    /// Resumes a paused worker pool.
+    pub fn resume(&self) {
+        self.queue.resume();
+    }
+
+    /// Current submission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Point-in-time metrics snapshot (JSON-serializable).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.queue.len(), self.started.elapsed(), self.cache.stats())
+    }
+
+    fn plan_key(&self, block: usize, head: usize) -> PlanKey {
+        PlanKey {
+            model: self.model.name.clone(),
+            grid: (
+                self.model.grid.frames(),
+                self.model.grid.height(),
+                self.model.grid.width(),
+            ),
+            block,
+            head,
+            method: MethodKey::new(
+                self.cfg.block_edge,
+                self.cfg.calib_bits,
+                self.cfg.budget,
+                self.cfg.alpha,
+            ),
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct WorkerCtx {
+    cfg: ServeConfig,
+    model: ModelConfig,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<PlanCache>,
+    metrics: Arc<Metrics>,
+    source: Arc<dyn CalibrationSource>,
+}
+
+fn worker_loop(ctx: &WorkerCtx) {
+    use std::sync::atomic::Ordering::Relaxed;
+    while let Some(job) = ctx.queue.pop() {
+        let picked_up = Instant::now();
+        let waited = picked_up.duration_since(job.enqueued);
+        ctx.metrics.queue_wait.record(waited);
+        if let Some(budget) = job.deadline {
+            if waited > budget {
+                ctx.metrics.deadline_missed.fetch_add(1, Relaxed);
+                job.slot
+                    .fill(Err(ServeError::DeadlineExceeded { waited, budget }));
+                continue;
+            }
+        }
+        let result = execute(ctx, &job);
+        let service = picked_up.elapsed();
+        ctx.metrics.service.record(service);
+        ctx.metrics.total.record(job.enqueued.elapsed());
+        match result {
+            Ok((run, cache_hit)) => {
+                ctx.metrics.completed.fetch_add(1, Relaxed);
+                job.slot.fill(Ok(ServeResponse {
+                    index: job.index,
+                    block: job.block,
+                    head: job.head,
+                    run,
+                    cache_hit,
+                    queue_wait: waited,
+                    service,
+                }));
+            }
+            Err(e) => {
+                ctx.metrics.failed.fetch_add(1, Relaxed);
+                job.slot.fill(Err(e));
+            }
+        }
+    }
+}
+
+fn execute(ctx: &WorkerCtx, job: &Job) -> Result<(AttentionRun, bool), ServeError> {
+    use std::sync::atomic::Ordering::Relaxed;
+    let key = PlanKey {
+        model: ctx.model.name.clone(),
+        grid: (
+            ctx.model.grid.frames(),
+            ctx.model.grid.height(),
+            ctx.model.grid.width(),
+        ),
+        block: job.block,
+        head: job.head,
+        method: MethodKey::new(
+            ctx.cfg.block_edge,
+            ctx.cfg.calib_bits,
+            ctx.cfg.budget,
+            ctx.cfg.alpha,
+        ),
+    };
+    let (cal, cache_hit) = ctx.cache.get_or_calibrate(&key, || {
+        let t0 = Instant::now();
+        let maps = ctx.source.calibration_maps(job.block, job.head)?;
+        let block = BlockGrid::square(ctx.cfg.block_edge).map_err(CoreError::from)?;
+        let cal = calibrate_head(
+            &maps,
+            job.inputs.grid(),
+            block,
+            ctx.cfg.calib_bits,
+            ctx.cfg.budget,
+            ctx.cfg.alpha,
+        )?;
+        ctx.metrics.calibration_ns.fetch_add(
+            t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            Relaxed,
+        );
+        Ok::<_, ServeError>(cal)
+    })?;
+    let t0 = Instant::now();
+    let run = run_attention_calibrated(&job.inputs, &cal, ctx.cfg.output_aware)?;
+    ctx.metrics.attention_ns.fetch_add(
+        t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        Relaxed,
+    );
+    Ok((run, cache_hit))
+}

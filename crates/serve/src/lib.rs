@@ -1,0 +1,76 @@
+//! `paro-serve`: an in-process concurrent attention-serving engine.
+//!
+//! PARO's co-design splits attention quantization into an expensive
+//! offline phase (reorder-plan selection + mixed-precision bit
+//! allocation, frozen as [`paro_core::calibration::HeadCalibration`]) and
+//! a cheap online phase
+//! ([`paro_core::pipeline::run_attention_calibrated`]). This crate builds
+//! the serving layer that exploits that split:
+//!
+//! - [`engine`] — a bounded submission queue feeding a pool of worker
+//!   threads, one `(block, head)` attention unit per request, with
+//!   results reassembled in submission order so multi-threaded output is
+//!   **bit-identical** to a single-threaded run.
+//! - [`plan_cache`] — a thread-safe LRU cache of frozen calibrations
+//!   keyed by `(model, block, head, method)`: calibration runs once per
+//!   head, every later request reuses the frozen plan.
+//! - [`admission`] — backpressure (a full queue rejects with a structured
+//!   [`ServeError`] instead of blocking), per-request deadlines, and
+//!   cost-aware LPT batch scheduling reusing the simulator's dispatch
+//!   cost model.
+//! - [`metrics`] — lock-cheap counters and latency histograms
+//!   (p50/p95/p99, queue depth, cache hit rate, per-stage timing),
+//!   exportable as a serde-JSON snapshot.
+//! - [`workload`] — deterministic synthetic workloads (scaled CogVideoX
+//!   configs) for benchmarks and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use paro_serve::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let model = workload::scaled_config(&paro_model::ModelConfig::cogvideox_2b(), 2, 4, 4);
+//! let source = Arc::new(workload::SyntheticSource::new(model.clone(), 1, 7));
+//! let cfg = ServeConfig {
+//!     workers: 2,
+//!     block_edge: 4,
+//!     ..ServeConfig::default()
+//! };
+//! let engine = Engine::new(cfg, model.clone(), source).unwrap();
+//! let requests = workload::synthetic_requests(&workload::WorkloadSpec {
+//!     model,
+//!     requests: 4,
+//!     blocks: 1,
+//!     heads: 2,
+//!     seed: 7,
+//! });
+//! let outcome = engine.run_batch(requests);
+//! assert_eq!(outcome.completed(), 4);
+//! let snap = engine.metrics_snapshot();
+//! assert_eq!(snap.completed, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod engine;
+pub mod metrics;
+pub mod plan_cache;
+pub mod workload;
+
+pub use admission::{BoundedQueue, ServeError};
+pub use engine::{
+    BatchOutcome, CalibrationSource, Engine, Scheduling, ServeConfig, ServeRequest, ServeResponse,
+    Ticket,
+};
+pub use metrics::{LatencyHistogram, LatencySummary, Metrics, MetricsSnapshot};
+pub use plan_cache::{CacheStats, MethodKey, PlanCache, PlanKey};
+
+/// Convenience re-exports for engine users.
+pub mod prelude {
+    pub use crate::engine::{Engine, Scheduling, ServeConfig, ServeRequest};
+    pub use crate::workload;
+    pub use crate::ServeError;
+}

@@ -1,0 +1,273 @@
+//! Lock-cheap serving metrics: counters, latency histograms and a
+//! serde-serializable snapshot.
+//!
+//! Workers record into atomics only (no mutex on the hot path); the
+//! snapshot is taken by the caller whenever it wants a consistent-enough
+//! view. Latencies go into a fixed log-scale histogram in microseconds,
+//! from which approximate p50/p95/p99 are read out as the upper bound of
+//! the containing bucket — the standard monitoring trade-off (bounded
+//! memory, bounded error).
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log-scale histogram buckets: bucket `i` covers latencies in
+/// `[2^i, 2^(i+1))` microseconds, with the last bucket open-ended. 30
+/// buckets reach ~18 minutes, far beyond any sane attention latency.
+const BUCKETS: usize = 30;
+
+/// A fixed-bucket, atomically-updated latency histogram (microseconds).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Approximate quantile in microseconds: the upper bound of the bucket
+    /// containing the `q`-th observation (`q` in `[0, 1]`). Returns 0 when
+    /// empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i, capped at the observed max.
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max_us.load(Ordering::Relaxed));
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Serializable summary of this histogram.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_us: self.mean_us(),
+            p50_us: self.quantile_us(0.50),
+            p95_us: self.quantile_us(0.95),
+            p99_us: self.quantile_us(0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of one latency histogram.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Observation count.
+    pub count: u64,
+    /// Mean in microseconds.
+    pub mean_us: f64,
+    /// Approximate median (µs).
+    pub p50_us: u64,
+    /// Approximate 95th percentile (µs).
+    pub p95_us: u64,
+    /// Approximate 99th percentile (µs).
+    pub p99_us: u64,
+    /// Maximum observed (µs).
+    pub max_us: u64,
+}
+
+/// All engine counters and histograms. Shared between workers via `Arc`;
+/// every update is a relaxed atomic.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: AtomicU64,
+    /// Requests that missed their deadline.
+    pub deadline_missed: AtomicU64,
+    /// Requests that failed inside the attention pipeline.
+    pub failed: AtomicU64,
+    /// Time from admission to a worker picking the request up.
+    pub queue_wait: LatencyHistogram,
+    /// Worker service time (calibration lookup + attention).
+    pub service: LatencyHistogram,
+    /// End-to-end time (admission to completion).
+    pub total: LatencyHistogram,
+    /// Cumulative nanoseconds spent computing calibrations (cache misses).
+    pub calibration_ns: AtomicU64,
+    /// Cumulative nanoseconds spent in the calibrated attention kernel.
+    pub attention_ns: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the serializable snapshot. `queue_depth` is sampled by the
+    /// caller (the engine owns the queue); `elapsed` scopes the
+    /// requests-per-second figure.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        elapsed: Duration,
+        cache: crate::plan_cache::CacheStats,
+    ) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth,
+            elapsed_s: secs,
+            requests_per_sec: if secs > 0.0 {
+                completed as f64 / secs
+            } else {
+                0.0
+            },
+            queue_wait: self.queue_wait.summary(),
+            service: self.service.summary(),
+            total: self.total.summary(),
+            calibration_ms: self.calibration_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            attention_ms: self.attention_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            cache,
+        }
+    }
+}
+
+/// A point-in-time, JSON-serializable view of the engine's metrics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Requests that missed their deadline.
+    pub deadline_missed: u64,
+    /// Requests that failed in the pipeline.
+    pub failed: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Wall-clock window the throughput figure covers (seconds).
+    pub elapsed_s: f64,
+    /// Completed requests per second over the window.
+    pub requests_per_sec: f64,
+    /// Admission-to-pickup latency.
+    pub queue_wait: LatencySummary,
+    /// Worker service latency.
+    pub service: LatencySummary,
+    /// End-to-end latency.
+    pub total: LatencySummary,
+    /// Total time spent calibrating (cache misses), milliseconds.
+    pub calibration_ms: f64,
+    /// Total time spent in calibrated attention, milliseconds.
+    pub attention_ms: f64,
+    /// Plan-cache statistics.
+    pub cache: crate::plan_cache::CacheStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120] {
+            h.record(Duration::from_micros(us));
+        }
+        let (p50, p95, p99) = (h.quantile_us(0.5), h.quantile_us(0.95), h.quantile_us(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // p99 never exceeds the observed max.
+        assert!(p99 <= 5120);
+        // p50 bucket upper bound for 160µs is 255.
+        assert!((160..=255).contains(&p50), "p50={p50}");
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn mean_matches_sum() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(300));
+        assert!((h.mean_us() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let m = Metrics::new();
+        m.submitted.store(5, Ordering::Relaxed);
+        m.completed.store(4, Ordering::Relaxed);
+        m.total.record(Duration::from_micros(900));
+        let snap = m.snapshot(
+            2,
+            Duration::from_secs(2),
+            crate::plan_cache::CacheStats {
+                entries: 1,
+                capacity: 8,
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+                hit_rate: 0.75,
+            },
+        );
+        assert_eq!(snap.submitted, 5);
+        assert!((snap.requests_per_sec - 2.0).abs() < 1e-9);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"requests_per_sec\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"hit_rate\""));
+    }
+}

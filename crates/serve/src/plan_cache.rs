@@ -1,0 +1,449 @@
+//! Thread-safe cache of frozen per-head calibrations.
+//!
+//! PARO's whole point is that reorder-plan selection and bit allocation
+//! run **offline, once** and the inference path only applies frozen
+//! tables ([`HeadCalibration`]). This cache makes that concrete for a
+//! serving engine: the first request for a `(model, block, head, method)`
+//! key pays for calibration, every later request reuses the frozen plan
+//! through [`paro_core::pipeline::run_attention_calibrated`].
+//!
+//! Lookups are **single-flight**: while one worker calibrates a key,
+//! other workers asking for the same key wait for the result instead of
+//! recomputing it. A miss is therefore counted exactly once per cold key,
+//! which also makes cache statistics deterministic under concurrency.
+//!
+//! Calibration for a given key must be a pure function of the key (the
+//! engine derives calibration samples deterministically from `(block,
+//! head)`), so an eviction/recompute cycle always reproduces the
+//! identical plan — cache state never influences results, only latency.
+
+use paro_core::calibration::HeadCalibration;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cache key: one attention head of one model under one quantization
+/// method configuration. Floats enter via `to_bits` so the key is `Eq` +
+/// `Hash`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Model name (e.g. `"CogVideoX-2B"`).
+    pub model: String,
+    /// Token grid dims `(frames, height, width)`.
+    pub grid: (usize, usize, usize),
+    /// Transformer block index.
+    pub block: usize,
+    /// Attention head index.
+    pub head: usize,
+    /// Quantization method configuration.
+    pub method: MethodKey,
+}
+
+/// The method half of a [`PlanKey`]: everything calibration depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MethodKey {
+    /// Quantization block edge.
+    pub block_edge: usize,
+    /// Bitwidth used for plan-selection error scoring.
+    pub calib_bits: paro_quant::Bitwidth,
+    /// Mixed-precision budget, as `f32::to_bits`.
+    pub budget_bits: u32,
+    /// Sensitivity `alpha`, as `f32::to_bits`.
+    pub alpha_bits: u32,
+}
+
+impl MethodKey {
+    /// Builds a key from the method's float parameters.
+    pub fn new(
+        block_edge: usize,
+        calib_bits: paro_quant::Bitwidth,
+        budget: f32,
+        alpha: f32,
+    ) -> Self {
+        MethodKey {
+            block_edge,
+            calib_bits,
+            budget_bits: budget.to_bits(),
+            alpha_bits: alpha.to_bits(),
+        }
+    }
+
+    /// The mixed-precision budget.
+    pub fn budget(&self) -> f32 {
+        f32::from_bits(self.budget_bits)
+    }
+
+    /// The sensitivity alpha.
+    pub fn alpha(&self) -> f32 {
+        f32::from_bits(self.alpha_bits)
+    }
+}
+
+enum Slot {
+    /// A frozen calibration plus its LRU stamp (global counter value at
+    /// last touch).
+    Ready(Arc<HeadCalibration>, u64),
+    /// Some worker is calibrating this key right now.
+    InFlight,
+}
+
+/// Thread-safe, capacity-bounded (LRU) calibration cache with
+/// single-flight misses and hit/miss/eviction counters.
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Slot>>,
+    /// Signaled when an in-flight calibration resolves (or fails).
+    resolved: Condvar,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` calibrations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+            resolved: Condvar::new(),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a calibration **without** touching hit/miss counters or
+    /// LRU stamps — for schedulers that want cost estimates without
+    /// distorting cache statistics. Does not wait on in-flight
+    /// calibrations.
+    pub fn peek(&self, key: &PlanKey) -> Option<Arc<HeadCalibration>> {
+        let map = self.map.lock().expect("plan cache poisoned");
+        match map.get(key) {
+            Some(Slot::Ready(cal, _)) => Some(Arc::clone(cal)),
+            _ => None,
+        }
+    }
+
+    /// Looks up a frozen calibration, counting a hit or miss. Does not
+    /// wait on in-flight calibrations (an in-flight key counts as a
+    /// miss).
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<HeadCalibration>> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        match map.get_mut(key) {
+            Some(Slot::Ready(cal, slot_stamp)) => {
+                *slot_stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(cal))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns the cached calibration for `key`, or computes it with
+    /// `calibrate` and inserts it. Returns `(calibration, was_hit)`.
+    ///
+    /// Single-flight: exactly one caller runs `calibrate` for a cold key
+    /// (outside the lock, so a slow calibration never blocks unrelated
+    /// lookups); concurrent callers for the same key wait for its result
+    /// and report a hit — they did not compute. If the computing call
+    /// fails, one waiter takes over the computation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's error; nothing is inserted on failure.
+    pub fn get_or_calibrate<E>(
+        &self,
+        key: &PlanKey,
+        calibrate: impl FnOnce() -> Result<HeadCalibration, E>,
+    ) -> Result<(Arc<HeadCalibration>, bool), E> {
+        {
+            let mut map = self.map.lock().expect("plan cache poisoned");
+            loop {
+                match map.get_mut(key) {
+                    Some(Slot::Ready(cal, slot_stamp)) => {
+                        *slot_stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((Arc::clone(cal), true));
+                    }
+                    Some(Slot::InFlight) => {
+                        map = self.resolved.wait(map).expect("plan cache poisoned");
+                    }
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        map.insert(key.clone(), Slot::InFlight);
+                        break;
+                    }
+                }
+            }
+        }
+        match calibrate() {
+            Ok(cal) => {
+                let cal = Arc::new(cal);
+                let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                let mut map = self.map.lock().expect("plan cache poisoned");
+                map.insert(key.clone(), Slot::Ready(Arc::clone(&cal), stamp));
+                self.evict_over_capacity(&mut map);
+                drop(map);
+                self.resolved.notify_all();
+                Ok((cal, false))
+            }
+            Err(e) => {
+                let mut map = self.map.lock().expect("plan cache poisoned");
+                map.remove(key);
+                drop(map);
+                self.resolved.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a calibration, evicting the least-recently
+    /// used entry if the cache is over capacity.
+    pub fn insert(&self, key: PlanKey, cal: Arc<HeadCalibration>) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        map.insert(key, Slot::Ready(cal, stamp));
+        self.evict_over_capacity(&mut map);
+        drop(map);
+        self.resolved.notify_all();
+    }
+
+    /// Evicts lowest-stamp `Ready` entries until within capacity.
+    /// In-flight markers are never evicted (their computation is about to
+    /// land), so the map may transiently exceed capacity while many cold
+    /// keys calibrate at once.
+    fn evict_over_capacity(&self, map: &mut HashMap<PlanKey, Slot>) {
+        while map.len() > self.capacity {
+            let victim = map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(_, stamp) => Some((k.clone(), *stamp)),
+                    Slot::InFlight => None,
+                })
+                .min_by_key(|&(_, stamp)| stamp)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Number of cached calibrations (including in-flight markers).
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> CacheStats {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        CacheStats {
+            entries: self.len(),
+            capacity: self.capacity,
+            hits,
+            misses,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            hit_rate: if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Serializable cache statistics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Calibrations currently cached.
+    pub entries: usize,
+    /// Maximum entries.
+    pub capacity: usize,
+    /// Lookup hits (including single-flight waiters).
+    pub hits: u64,
+    /// Lookup misses (exactly one per cold-key calibration).
+    pub misses: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// `hits / (hits + misses)`, 0 when no lookups yet.
+    pub hit_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paro_core::calibration::calibrate_head;
+    use paro_core::pipeline::attention_map;
+    use paro_model::patterns::{synthesize_head, PatternSpec};
+    use paro_model::TokenGrid;
+    use paro_quant::{Bitwidth, BlockGrid};
+    use std::sync::atomic::AtomicUsize;
+
+    fn key(block: usize, head: usize) -> PlanKey {
+        PlanKey {
+            model: "test".to_string(),
+            grid: (4, 4, 4),
+            block,
+            head,
+            method: MethodKey::new(4, Bitwidth::B4, 4.8, 0.5),
+        }
+    }
+
+    fn calibration(block: usize, head: usize) -> HeadCalibration {
+        let grid = TokenGrid::new(4, 4, 4);
+        let spec = PatternSpec::for_head(&grid, block, head);
+        let h = synthesize_head(&grid, 16, &spec, 77);
+        let map = attention_map(&h.q, &h.k).unwrap();
+        calibrate_head(
+            &[map],
+            &grid,
+            BlockGrid::square(4).unwrap(),
+            Bitwidth::B4,
+            4.8,
+            0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = PlanCache::new(4);
+        let k = key(0, 0);
+        assert!(cache.get(&k).is_none());
+        let (cal, hit) = cache
+            .get_or_calibrate::<paro_core::CoreError>(&k, || Ok(calibration(0, 0)))
+            .unwrap();
+        assert!(!hit);
+        let (cal2, hit2) = cache
+            .get_or_calibrate::<paro_core::CoreError>(&k, || panic!("must not recalibrate"))
+            .unwrap();
+        assert!(hit2);
+        assert_eq!(*cal, *cal2);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2); // the bare get() plus the first get_or_calibrate
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_eviction_counts_and_bounds() {
+        let cache = PlanCache::new(2);
+        for head in 0..3 {
+            cache.insert(key(0, head), Arc::new(calibration(0, head)));
+        }
+        assert_eq!(cache.len(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        // head 0 was least recently used, so it is the one evicted.
+        assert!(cache.get(&key(0, 0)).is_none());
+        assert!(cache.get(&key(0, 2)).is_some());
+    }
+
+    #[test]
+    fn recompute_after_eviction_is_identical() {
+        let cache = PlanCache::new(1);
+        let a = cache
+            .get_or_calibrate::<paro_core::CoreError>(&key(1, 2), || Ok(calibration(1, 2)))
+            .unwrap()
+            .0;
+        // Force eviction of (1,2) and then recalibrate it.
+        cache.insert(key(3, 4), Arc::new(calibration(3, 4)));
+        assert!(cache.get(&key(1, 2)).is_none());
+        let b = cache
+            .get_or_calibrate::<paro_core::CoreError>(&key(1, 2), || Ok(calibration(1, 2)))
+            .unwrap()
+            .0;
+        assert_eq!(*a, *b, "calibration must be a pure function of the key");
+    }
+
+    #[test]
+    fn error_inserts_nothing() {
+        let cache = PlanCache::new(4);
+        let r = cache.get_or_calibrate(&key(0, 0), || Err(paro_core::CoreError::EmptyAllocation));
+        assert!(r.is_err());
+        assert!(cache.is_empty());
+        // The key is calibratable again after the failure.
+        let (_, hit) = cache
+            .get_or_calibrate::<paro_core::CoreError>(&key(0, 0), || Ok(calibration(0, 0)))
+            .unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn single_flight_calibrates_once() {
+        let cache = Arc::new(PlanCache::new(8));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                std::thread::spawn(move || {
+                    cache
+                        .get_or_calibrate::<paro_core::CoreError>(&key(2, 2), || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window.
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            Ok(calibration(2, 2))
+                        })
+                        .unwrap()
+                        .0
+                })
+            })
+            .collect();
+        let results: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "exactly one calibration"
+        );
+        for r in &results[1..] {
+            assert_eq!(**r, *results[0]);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn float_params_distinguish_keys() {
+        let mut a = key(0, 0);
+        let mut b = key(0, 0);
+        a.method = MethodKey::new(4, Bitwidth::B4, 4.8, 0.5);
+        b.method = MethodKey::new(4, Bitwidth::B4, 2.4, 0.5);
+        assert_ne!(a, b);
+        assert!((a.method.budget() - 4.8).abs() < 1e-6);
+        assert!((a.method.alpha() - 0.5).abs() < 1e-6);
+    }
+}

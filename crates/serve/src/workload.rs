@@ -1,0 +1,200 @@
+//! Synthetic serving workloads: scaled-down CogVideoX configurations,
+//! deterministic per-head request streams, and the matching
+//! [`CalibrationSource`].
+//!
+//! Everything here is a pure function of `(model, block, head, seed)`, so
+//! a workload replayed against engines with different worker counts
+//! produces bit-identical outputs — the property the concurrency tests
+//! pin down.
+
+use crate::engine::{CalibrationSource, ServeRequest};
+use paro_core::pipeline::{attention_map, AttentionInputs};
+use paro_core::CoreError;
+use paro_model::patterns::{synthesize_head, PatternSpec};
+use paro_model::{ModelConfig, TokenGrid};
+use paro_tensor::rng::derive_seed;
+use paro_tensor::Tensor;
+
+/// A CogVideoX-style config with the token grid swapped for a smaller
+/// one, keeping the block/head/hidden structure. The full 17.8k-token
+/// grid is an accelerator-scale workload; serving benchmarks on a CPU
+/// functional model run the same per-head algorithm on a reduced grid.
+pub fn scaled_config(
+    base: &ModelConfig,
+    frames: usize,
+    height: usize,
+    width: usize,
+) -> ModelConfig {
+    let mut cfg = base.clone();
+    cfg.name = format!("{}@{}x{}x{}", base.name, frames, height, width);
+    cfg.grid = TokenGrid::new(frames, height, width);
+    // The serving path quantizes pure visual attention; text-prefix
+    // handling stays with the offline pipeline.
+    cfg.text_tokens = 0;
+    cfg
+}
+
+/// Specification of a synthetic request stream over a model's heads.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Model to serve (grid defines the token count).
+    pub model: ModelConfig,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Transformer blocks touched (cycled; capped at `model.blocks`).
+    pub blocks: usize,
+    /// Heads per block touched (cycled; capped at `model.heads`).
+    pub heads: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Distinct `(block, head)` pairs the stream cycles through.
+    pub fn distinct_heads(&self) -> usize {
+        self.blocks.min(self.model.blocks) * self.heads.min(self.model.heads)
+    }
+}
+
+/// Generates the request stream: request `r` targets pair
+/// `r % distinct_heads`, with fresh `Q/K/V` noise per diffusion "step"
+/// (`r / distinct_heads`). Deterministic in `(spec, r)`.
+///
+/// # Panics
+///
+/// Panics if the spec has zero blocks, heads or requests, or if the
+/// synthesized inputs are inconsistent (impossible by construction).
+pub fn synthetic_requests(spec: &WorkloadSpec) -> Vec<ServeRequest> {
+    let blocks = spec.blocks.min(spec.model.blocks);
+    let heads = spec.heads.min(spec.model.heads);
+    assert!(blocks > 0 && heads > 0, "workload needs blocks and heads");
+    assert!(spec.requests > 0, "workload needs at least one request");
+    let pairs = blocks * heads;
+    let head_dim = spec.model.head_dim();
+    (0..spec.requests)
+        .map(|r| {
+            let pair = r % pairs;
+            let (block, head) = (pair / heads, pair % heads);
+            let pattern = PatternSpec::for_head(&spec.model.grid, block, head);
+            let h = synthesize_head(
+                &spec.model.grid,
+                head_dim,
+                &pattern,
+                derive_seed(spec.seed, 0x5e71e + r as u64),
+            );
+            let inputs = AttentionInputs::new(h.q, h.k, h.v, spec.model.grid)
+                .expect("synthesized head shapes are consistent");
+            ServeRequest {
+                block,
+                head,
+                inputs,
+                deadline: None,
+            }
+        })
+        .collect()
+}
+
+/// Calibration-sample source backed by the same synthetic pattern
+/// generator: the maps for a head depend only on `(block, head)` and the
+/// source's own seed, never on serving traffic.
+#[derive(Debug, Clone)]
+pub struct SyntheticSource {
+    model: ModelConfig,
+    samples: usize,
+    seed: u64,
+}
+
+impl SyntheticSource {
+    /// A source producing `samples` calibration maps per head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn new(model: ModelConfig, samples: usize, seed: u64) -> Self {
+        assert!(samples > 0, "calibration needs at least one sample");
+        SyntheticSource {
+            model,
+            samples,
+            seed,
+        }
+    }
+}
+
+impl CalibrationSource for SyntheticSource {
+    fn calibration_maps(&self, block: usize, head: usize) -> Result<Vec<Tensor>, CoreError> {
+        let head_dim = self.model.head_dim();
+        let pattern = PatternSpec::for_head(&self.model.grid, block, head);
+        let pair = (block * self.model.heads.max(1) + head) as u64;
+        (0..self.samples)
+            .map(|s| {
+                let h = synthesize_head(
+                    &self.model.grid,
+                    head_dim,
+                    &pattern,
+                    derive_seed(self.seed, 0xca11b + pair * 97 + s as u64),
+                );
+                attention_map(&h.q, &h.k)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            model: scaled_config(&ModelConfig::cogvideox_2b(), 3, 4, 4),
+            requests: 10,
+            blocks: 2,
+            heads: 2,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn scaled_config_keeps_structure() {
+        let cfg = scaled_config(&ModelConfig::cogvideox_2b(), 4, 6, 6);
+        assert_eq!(cfg.blocks, 30);
+        assert_eq!(cfg.heads, 30);
+        assert_eq!(cfg.head_dim(), 64);
+        assert_eq!(cfg.grid.len(), 144);
+        assert_eq!(cfg.text_tokens, 0);
+        assert!(cfg.name.contains("CogVideoX-2B"));
+    }
+
+    #[test]
+    fn requests_cycle_pairs_and_vary_noise() {
+        let s = spec();
+        let reqs = synthetic_requests(&s);
+        assert_eq!(reqs.len(), 10);
+        assert_eq!(s.distinct_heads(), 4);
+        // Pair cycling: request 0 and 4 hit the same head...
+        assert_eq!((reqs[0].block, reqs[0].head), (reqs[4].block, reqs[4].head));
+        // ...with different noise.
+        assert_ne!(reqs[0].inputs.q(), reqs[4].inputs.q());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthetic_requests(&spec());
+        let b = synthetic_requests(&spec());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.inputs.q(), y.inputs.q());
+            assert_eq!(x.inputs.k(), y.inputs.k());
+            assert_eq!(x.inputs.v(), y.inputs.v());
+        }
+    }
+
+    #[test]
+    fn source_is_arrival_order_independent() {
+        let cfg = scaled_config(&ModelConfig::cogvideox_2b(), 3, 4, 4);
+        let src = SyntheticSource::new(cfg, 2, 5);
+        let a = src.calibration_maps(1, 3).unwrap();
+        let _ = src.calibration_maps(0, 0).unwrap();
+        let b = src.calibration_maps(1, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+}

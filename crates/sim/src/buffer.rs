@@ -183,11 +183,7 @@ mod tests {
         // FP16 (overflows): the QkT record becomes memory-bound.
         let fp16 = ParoMachine::new(hw.clone(), ParoOptimizations::none())
             .run_model(&cfg, &AttentionProfile::uniform(Bitwidth::B8));
-        let qkt = fp16
-            .block_records
-            .iter()
-            .find(|r| r.name == "QkT")
-            .unwrap();
+        let qkt = fp16.block_records.iter().find(|r| r.name == "QkT").unwrap();
         assert!(qkt.memory_cycles > qkt.compute_cycles);
         assert!(paro_attention_plan(&hw, &cfg, 16.0).is_err());
     }

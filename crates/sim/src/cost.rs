@@ -230,7 +230,11 @@ mod tests {
     #[test]
     fn energy_magnitudes_sane() {
         let e = EnergyModel::paro_asic();
-        assert!(e.int8_mac_pj > 0.05 && e.int8_mac_pj < 0.5, "{}", e.int8_mac_pj);
+        assert!(
+            e.int8_mac_pj > 0.05 && e.int8_mac_pj < 0.5,
+            "{}",
+            e.int8_mac_pj
+        );
         assert!(e.fp16_mac_pj > e.int8_mac_pj);
         assert!(e.dram_byte_pj > e.sram_byte_pj * 5.0);
         let gpu = EnergyModel::a100();

@@ -84,9 +84,8 @@ impl Machine for GpuMachine {
                             let compute = acc.pe.gemm_cycles(shape, PeMode::Fp16) * count_f
                                 / GEMM_UTILIZATION;
                             let weight_bytes = (shape.k * shape.n) as f64 * fp16 * count_f;
-                            let io_bytes = ((shape.m * shape.k) + (shape.m * shape.n)) as f64
-                                * fp16
-                                * count_f;
+                            let io_bytes =
+                                ((shape.m * shape.k) + (shape.m * shape.n)) as f64 * fp16 * count_f;
                             acc.push(
                                 format!("{kind:?}"),
                                 OpCategory::Linear,
@@ -144,9 +143,8 @@ impl Machine for GpuMachine {
                     } else {
                         2.0 * elems * fp16 / HBM_UTILIZATION
                     };
-                    let energy = elems
-                        * crate::vector::SOFTMAX_OPS_PER_ELEM
-                        * acc.energy.vector_op_pj;
+                    let energy =
+                        elems * crate::vector::SOFTMAX_OPS_PER_ELEM * acc.energy.vector_op_pj;
                     acc.push("Softmax", OpCategory::Softmax, cycles, bytes, energy);
                 }
                 LayerOp::Reorder { .. } => {
@@ -166,10 +164,8 @@ mod tests {
     fn attention_share_matches_paper() {
         // Paper Sec. I: attention computation is 67.93% of A100 latency on
         // CogVideoX. The roofline must land in that neighborhood.
-        let report = GpuMachine::a100().run_model(
-            &ModelConfig::cogvideox_5b(),
-            &AttentionProfile::paper_mp(),
-        );
+        let report = GpuMachine::a100()
+            .run_model(&ModelConfig::cogvideox_5b(), &AttentionProfile::paper_mp());
         let shares = report.category_shares();
         let attn = shares.get(&OpCategory::QkT).copied().unwrap_or(0.0)
             + shares.get(&OpCategory::AttnV).copied().unwrap_or(0.0)
@@ -185,10 +181,8 @@ mod tests {
         // Paper Sec. I: generating 49 frames takes ~1 minute on an A100
         // (FP16). Accept a generous band — the exact figure depends on
         // kernel details we do not model.
-        let report = GpuMachine::a100().run_model(
-            &ModelConfig::cogvideox_5b(),
-            &AttentionProfile::paper_mp(),
-        );
+        let report = GpuMachine::a100()
+            .run_model(&ModelConfig::cogvideox_5b(), &AttentionProfile::paper_mp());
         assert!(
             (20.0..300.0).contains(&report.seconds),
             "A100 e2e {:.1}s should be minutes-scale",

@@ -194,12 +194,12 @@ impl Machine for ParoMachine {
                             // Dequantization of integer accumulation results
                             // happens on the vector unit.
                             let dequant = if opts.linear_w8a8 {
-                                acc.vec.dequant_cycles(shape.output_elems() as f64 * count_f)
+                                acc.vec
+                                    .dequant_cycles(shape.output_elems() as f64 * count_f)
                             } else {
                                 0.0
                             };
-                            let weight_bytes =
-                                (shape.k * shape.n) as f64 * act_bytes * count_f;
+                            let weight_bytes = (shape.k * shape.n) as f64 * act_bytes * count_f;
                             let io_bytes = ((shape.m * shape.k) + (shape.m * shape.n)) as f64
                                 * act_bytes
                                 * count_f;
@@ -235,8 +235,7 @@ impl Machine for ParoMachine {
                             } else {
                                 (dense_int8, acc.energy.int8_mac_pj)
                             };
-                            let qk_bytes = 2.0 * n * cfg.head_dim() as f64 * heads
-                                * attn_act_bytes;
+                            let qk_bytes = 2.0 * n * cfg.head_dim() as f64 * heads * attn_act_bytes;
                             let mac_e = count_f * shape.macs() as f64 * mac_pj;
                             acc.push(
                                 "QkT",
@@ -409,7 +408,13 @@ mod tests {
         let profile = AttentionProfile::paper_mp();
         let heavy: Vec<Bitwidth> = vec![Bitwidth::B8; 256];
         let light: Vec<Bitwidth> = (0..256)
-            .map(|i| if i % 2 == 0 { Bitwidth::B2 } else { Bitwidth::B0 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Bitwidth::B2
+                } else {
+                    Bitwidth::B0
+                }
+            })
             .collect();
         let t_heavy = ParoMachine::new(HardwareConfig::paro_asic(), ParoOptimizations::all())
             .with_block_bits(heavy)

@@ -112,14 +112,11 @@ impl Machine for SangerMachine {
                         | GemmKind::FfnUp
                         | GemmKind::FfnDown => {
                             // FP16 linears (Sanger leaves them unquantized).
-                            let compute =
-                                acc.pe.gemm_cycles(shape, PeMode::Fp16) * count_f;
+                            let compute = acc.pe.gemm_cycles(shape, PeMode::Fp16) * count_f;
                             let weight_bytes = (shape.k * shape.n) as f64 * fp16 * count_f;
-                            let io_bytes = ((shape.m * shape.k) + (shape.m * shape.n)) as f64
-                                * fp16
-                                * count_f;
-                            let mac_e =
-                                count_f * shape.macs() as f64 * acc.energy.fp16_mac_pj;
+                            let io_bytes =
+                                ((shape.m * shape.k) + (shape.m * shape.n)) as f64 * fp16 * count_f;
+                            let mac_e = count_f * shape.macs() as f64 * acc.energy.fp16_mac_pj;
                             acc.push(
                                 format!("{kind:?}"),
                                 OpCategory::Linear,
@@ -132,13 +129,12 @@ impl Machine for SangerMachine {
                             // Prediction pass: full map at 4-bit x 4-bit
                             // (4x the INT8 rate on the same multiplier area).
                             let predict = acc.pe.gemm_cycles(shape, PeMode::Int2x8) * count_f;
-                            let predict_e = count_f * shape.macs() as f64
-                                * acc.energy.mac_pj_at_speedup(4.0);
+                            let predict_e =
+                                count_f * shape.macs() as f64 * acc.energy.mac_pj_at_speedup(4.0);
                             acc.push("Predict", OpCategory::Prediction, predict, 0.0, predict_e);
                             // Pack-and-split mask processing on the vector
                             // unit.
-                            let mask_cycles =
-                                acc.vec.elementwise_cycles(n * n * heads, 1.0);
+                            let mask_cycles = acc.vec.elementwise_cycles(n * n * heads, 1.0);
                             acc.push(
                                 "PackSplit",
                                 OpCategory::Prediction,
@@ -155,7 +151,9 @@ impl Machine for SangerMachine {
                                 PeMode::Fp16,
                             ) * count_f;
                             let qk_bytes = 2.0 * n * cfg.head_dim() as f64 * heads * fp16;
-                            let mac_e = count_f * shape.macs() as f64 * kept_fraction
+                            let mac_e = count_f
+                                * shape.macs() as f64
+                                * kept_fraction
                                 * acc.energy.fp16_mac_pj;
                             acc.push(
                                 "QkT(sparse)",
@@ -175,7 +173,9 @@ impl Machine for SangerMachine {
                             ) * count_f;
                             let v_bytes = n * cfg.head_dim() as f64 * heads * fp16;
                             let o_bytes = n * cfg.hidden as f64 * fp16;
-                            let mac_e = count_f * shape.macs() as f64 * kept_fraction
+                            let mac_e = count_f
+                                * shape.macs() as f64
+                                * kept_fraction
                                 * acc.energy.fp16_mac_pj;
                             acc.push(
                                 "AttnV(sparse)",
@@ -190,9 +190,8 @@ impl Machine for SangerMachine {
                 LayerOp::Softmax { rows, cols, count } => {
                     let elems = (rows * cols * count) as f64 * kept_fraction;
                     let cycles = acc.vec.softmax_cycles(elems, 0.0);
-                    let energy = elems
-                        * crate::vector::SOFTMAX_OPS_PER_ELEM
-                        * acc.energy.vector_op_pj;
+                    let energy =
+                        elems * crate::vector::SOFTMAX_OPS_PER_ELEM * acc.energy.vector_op_pj;
                     acc.push("Softmax", OpCategory::Softmax, cycles, 0.0, energy);
                 }
                 LayerOp::Reorder { .. } => {}
@@ -208,10 +207,8 @@ mod tests {
 
     #[test]
     fn map_staging_dominates_memory() {
-        let report = SangerMachine::default_budget().run_model(
-            &ModelConfig::cogvideox_5b(),
-            &AttentionProfile::paper_mp(),
-        );
+        let report = SangerMachine::default_budget()
+            .run_model(&ModelConfig::cogvideox_5b(), &AttentionProfile::paper_mp());
         // At 17.8k tokens the staged sparse map is tens of GB per block:
         // the attention ops must be memory-bound.
         let qkt = report
@@ -229,10 +226,8 @@ mod tests {
 
     #[test]
     fn sanger_slower_than_nothing_but_runs() {
-        let report = SangerMachine::default_budget().run_model(
-            &ModelConfig::cogvideox_2b(),
-            &AttentionProfile::paper_mp(),
-        );
+        let report = SangerMachine::default_budget()
+            .run_model(&ModelConfig::cogvideox_2b(), &AttentionProfile::paper_mp());
         assert!(report.seconds > 0.0);
         assert!(report.block_records.len() > 5);
     }

@@ -117,8 +117,7 @@ impl Machine for VitcodMachine {
         let heads = cfg.heads as f64;
         let fp16 = 2.0;
         let kept_fraction = self.cfg.kept_fraction;
-        let staged_map_bytes =
-            kept_fraction * n * n * heads * self.cfg.stage_bytes_per_entry;
+        let staged_map_bytes = kept_fraction * n * n * heads * self.cfg.stage_bytes_per_entry;
 
         for op in block_ops(cfg, false) {
             match op {
@@ -129,14 +128,11 @@ impl Machine for VitcodMachine {
                         | GemmKind::OutProjection
                         | GemmKind::FfnUp
                         | GemmKind::FfnDown => {
-                            let compute =
-                                acc.pe.gemm_cycles(shape, PeMode::Fp16) * count_f;
+                            let compute = acc.pe.gemm_cycles(shape, PeMode::Fp16) * count_f;
                             let weight_bytes = (shape.k * shape.n) as f64 * fp16 * count_f;
-                            let io_bytes = ((shape.m * shape.k) + (shape.m * shape.n)) as f64
-                                * fp16
-                                * count_f;
-                            let mac_e =
-                                count_f * shape.macs() as f64 * acc.energy.fp16_mac_pj;
+                            let io_bytes =
+                                ((shape.m * shape.k) + (shape.m * shape.n)) as f64 * fp16 * count_f;
+                            let mac_e = count_f * shape.macs() as f64 * acc.energy.fp16_mac_pj;
                             acc.push(
                                 format!("{kind:?}"),
                                 OpCategory::Linear,
@@ -159,7 +155,9 @@ impl Machine for VitcodMachine {
                             // Q/K streamed through the auto-encoder: INT8
                             // with ~50% compression.
                             let qk_bytes = 2.0 * n * cfg.head_dim() as f64 * heads * 0.5;
-                            let mac_e = count_f * shape.macs() as f64 * kept_fraction
+                            let mac_e = count_f
+                                * shape.macs() as f64
+                                * kept_fraction
                                 * acc.energy.int8_mac_pj;
                             acc.push(
                                 "QkT(polarized)",
@@ -173,7 +171,9 @@ impl Machine for VitcodMachine {
                             let compute = self.sparse_attention_cycles(&acc, shape, count_f);
                             let v_bytes = n * cfg.head_dim() as f64 * heads;
                             let o_bytes = n * cfg.hidden as f64;
-                            let mac_e = count_f * shape.macs() as f64 * kept_fraction
+                            let mac_e = count_f
+                                * shape.macs() as f64
+                                * kept_fraction
                                 * acc.energy.int8_mac_pj;
                             acc.push(
                                 "AttnV(polarized)",
@@ -188,9 +188,8 @@ impl Machine for VitcodMachine {
                 LayerOp::Softmax { rows, cols, count } => {
                     let elems = (rows * cols * count) as f64 * kept_fraction;
                     let cycles = acc.vec.softmax_cycles(elems, 0.0);
-                    let energy = elems
-                        * crate::vector::SOFTMAX_OPS_PER_ELEM
-                        * acc.energy.vector_op_pj;
+                    let energy =
+                        elems * crate::vector::SOFTMAX_OPS_PER_ELEM * acc.energy.vector_op_pj;
                     acc.push("Softmax", OpCategory::Softmax, cycles, 0.0, energy);
                 }
                 LayerOp::Reorder { .. } => {}
@@ -224,16 +223,12 @@ mod tests {
 
     #[test]
     fn staging_still_significant() {
-        let report = VitcodMachine::default_budget().run_model(
-            &ModelConfig::cogvideox_5b(),
-            &AttentionProfile::paper_mp(),
-        );
+        let report = VitcodMachine::default_budget()
+            .run_model(&ModelConfig::cogvideox_5b(), &AttentionProfile::paper_mp());
         let attn_mem: f64 = report
             .block_records
             .iter()
-            .filter(|r| {
-                matches!(r.category, OpCategory::QkT | OpCategory::AttnV)
-            })
+            .filter(|r| matches!(r.category, OpCategory::QkT | OpCategory::AttnV))
             .map(|r| r.memory_cycles)
             .sum();
         assert!(attn_mem > 0.0);

@@ -78,8 +78,7 @@ pub fn map_spill_fraction(hw: &HardwareConfig, cfg: &ModelConfig, map_bits: f64)
 pub fn op_bytes(op: &LayerOp, hw: &HardwareConfig, cfg: &ModelConfig, tc: &TrafficConfig) -> f64 {
     let n = cfg.total_tokens() as f64;
     let heads = cfg.heads as f64;
-    let spill_total =
-        map_spill_fraction(hw, cfg, tc.map_bits) * n * n * heads * tc.map_bits / 8.0;
+    let spill_total = map_spill_fraction(hw, cfg, tc.map_bits) * n * n * heads * tc.map_bits / 8.0;
     match op {
         LayerOp::Gemm { kind, shape, count } => {
             let count_f = *count as f64;
@@ -89,14 +88,12 @@ pub fn op_bytes(op: &LayerOp, hw: &HardwareConfig, cfg: &ModelConfig, tc: &Traff
                 | GemmKind::FfnUp
                 | GemmKind::FfnDown => {
                     let weight = (shape.k * shape.n) as f64 * tc.act_bytes * count_f;
-                    let io = ((shape.m * shape.k) + (shape.m * shape.n)) as f64
-                        * tc.act_bytes
-                        * count_f;
+                    let io =
+                        ((shape.m * shape.k) + (shape.m * shape.n)) as f64 * tc.act_bytes * count_f;
                     weight + io
                 }
                 GemmKind::QkT => {
-                    2.0 * n * cfg.head_dim() as f64 * heads * tc.attn_act_bytes
-                        + spill_total / 2.0
+                    2.0 * n * cfg.head_dim() as f64 * heads * tc.attn_act_bytes + spill_total / 2.0
                 }
                 GemmKind::AttnV => {
                     n * cfg.head_dim() as f64 * heads * tc.attn_act_bytes
@@ -150,7 +147,10 @@ mod tests {
             "FP16 spill fraction {fp16} should be a partial overflow"
         );
         // Tiny models never spill.
-        assert_eq!(map_spill_fraction(&hw, &ModelConfig::tiny(4, 4, 4), 16.0), 0.0);
+        assert_eq!(
+            map_spill_fraction(&hw, &ModelConfig::tiny(4, 4, 4), 16.0),
+            0.0
+        );
     }
 
     #[test]
@@ -174,8 +174,7 @@ mod tests {
             let machine_mem_cycles: f64 =
                 report.block_records.iter().map(|r| r.memory_cycles).sum();
             let tc = TrafficConfig::paro(&profile);
-            let expected_cycles =
-                block_bytes(&hw, &cfg, &tc, true) / hw.dram_bytes_per_cycle();
+            let expected_cycles = block_bytes(&hw, &cfg, &tc, true) / hw.dram_bytes_per_cycle();
             let rel = (machine_mem_cycles - expected_cycles).abs() / expected_cycles;
             assert!(
                 rel < 1e-6,
@@ -190,7 +189,12 @@ mod tests {
     fn fp16_traffic_exceeds_int8() {
         let hw = HardwareConfig::paro_asic();
         let cfg = ModelConfig::cogvideox_2b();
-        let int8 = block_bytes(&hw, &cfg, &TrafficConfig::paro(&AttentionProfile::paper_mp()), true);
+        let int8 = block_bytes(
+            &hw,
+            &cfg,
+            &TrafficConfig::paro(&AttentionProfile::paper_mp()),
+            true,
+        );
         let fp16 = block_bytes(&hw, &cfg, &TrafficConfig::fp16(), false);
         // FP16 doubles every activation AND spills the map.
         assert!(

@@ -51,7 +51,10 @@ fn fig6a_shape_holds() {
         // Shape assertions (who wins):
         assert!(n.paro < n.vitcod, "PARO must beat ViTCoD");
         assert!(n.vitcod < n.sanger, "ViTCoD must beat Sanger");
-        assert!(n.a100 < n.paro, "A100 beats the small PARO (more resources)");
+        assert!(
+            n.a100 < n.paro,
+            "A100 beats the small PARO (more resources)"
+        );
         assert!(n.align < n.a100, "PARO-align-A100 must beat the A100");
         // Factor bands (within ~2x of the paper's):
         let ps = n.sanger / n.paro;
@@ -80,9 +83,21 @@ fn fig6b_ablation_shape() {
         println!("{}: ablation {:?}", cfg.name, speedups);
         // Paper (2B/5B): +W8A8 1.07/1.11, +attention quant 2.33/2.38,
         // +output-aware 3.06/3.00.
-        assert!((1.02..1.6).contains(&speedups[1].1), "w8a8 {:?}", speedups[1]);
-        assert!((1.7..3.2).contains(&speedups[2].1), "attn {:?}", speedups[2]);
-        assert!((2.3..4.2).contains(&speedups[3].1), "aware {:?}", speedups[3]);
+        assert!(
+            (1.02..1.6).contains(&speedups[1].1),
+            "w8a8 {:?}",
+            speedups[1]
+        );
+        assert!(
+            (1.7..3.2).contains(&speedups[2].1),
+            "attn {:?}",
+            speedups[2]
+        );
+        assert!(
+            (2.3..4.2).contains(&speedups[3].1),
+            "aware {:?}",
+            speedups[3]
+        );
         assert!(speedups[3].1 > speedups[2].1 && speedups[2].1 > speedups[1].1);
     }
 }

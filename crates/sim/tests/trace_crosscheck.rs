@@ -53,8 +53,7 @@ fn attention_tiles(
             compute.push(0.0);
             loads.push(0.0);
         } else {
-            compute
-                .push(block_macs / (hw.int8_macs_per_cycle as f64 * mode.throughput_factor()));
+            compute.push(block_macs / (hw.int8_macs_per_cycle as f64 * mode.throughput_factor()));
             loads.push((PANEL * hd) as f64 / hw.dram_bytes_per_cycle());
         }
     }

@@ -156,7 +156,10 @@ mod tests {
             Err(TensorError::MatmulDimMismatch { .. })
         ));
         let v = Tensor::zeros(&[3]);
-        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&v),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
@@ -172,9 +175,7 @@ mod tests {
         // Shape errors.
         let bad = Tensor::zeros(&[6, 8]);
         assert!(a.matmul_transposed_b(&bad).is_err());
-        assert!(Tensor::zeros(&[3])
-            .matmul_transposed_b(&b)
-            .is_err());
+        assert!(Tensor::zeros(&[3]).matmul_transposed_b(&b).is_err());
     }
 
     #[test]

@@ -75,7 +75,11 @@ pub fn cosine_similarity(reference: &Tensor, approx: &Tensor) -> Result<f32, Ten
         .sum();
     let denom = reference.norm() * approx.norm();
     if denom == 0.0 {
-        return Ok(if reference.norm() == approx.norm() { 1.0 } else { 0.0 });
+        return Ok(if reference.norm() == approx.norm() {
+            1.0
+        } else {
+            0.0
+        });
     }
     Ok(dot / denom)
 }

@@ -278,7 +278,11 @@ impl Tensor {
             return 0.0;
         }
         let mean = self.mean();
-        self.data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / self.data.len() as f32
+        self.data
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / self.data.len() as f32
     }
 
     /// Euclidean (Frobenius) norm.

@@ -2,7 +2,6 @@
 
 use paro_tensor::{inverse_permutation, metrics, Tensor};
 use proptest::prelude::*;
-use proptest::strategy::ValueTree;
 
 /// Strategy: a rank-2 tensor with dims in 1..=12 and finite values.
 fn tensor2d() -> impl Strategy<Value = Tensor> {

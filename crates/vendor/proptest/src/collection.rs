@@ -1,0 +1,61 @@
+//! Collection strategies: [`vec`].
+
+use crate::strategy::{SampledTree, Strategy};
+use crate::test_runner::{Reason, TestRunner};
+use rand::Rng;
+
+/// Sizes accepted by [`vec`]: a fixed length or a range of lengths.
+pub trait IntoSizeRange {
+    /// The inclusive (low, high) length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<Self::Value>, Reason> {
+        let len = if self.min == self.max {
+            self.min
+        } else {
+            runner.rng().gen_range(self.min..=self.max)
+        };
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.new_tree(runner)?.0);
+        }
+        Ok(SampledTree(out))
+    }
+}

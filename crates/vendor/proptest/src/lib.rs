@@ -1,0 +1,141 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the strategy/combinator subset this workspace's property
+//! tests use — ranges, tuples, [`Just`](strategy::Just), `prop_map`,
+//! `prop_flat_map`, `prop_shuffle`, [`collection::vec`],
+//! [`sample::select`] — driven by the deterministic vendored `rand`
+//! generator. Failing cases are reported with the sampled inputs'
+//! `Debug` rendering; there is **no shrinking** (upstream proptest
+//! shrinks; this shim favors simplicity since tests here are expected to
+//! pass).
+
+#![forbid(unsafe_code)]
+// Vendored stand-in: keep the shim minimal, not lint-perfect.
+#![allow(clippy::all)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of upstream's `prop` re-export module (`prop::sample::select`,
+/// `prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the sampled
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case (it is re-sampled, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// is expanded to a test that samples the strategies repeatedly and runs
+/// the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = __config.cases;
+            let mut __runner = $crate::test_runner::TestRunner::new(__config);
+            let mut __done: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __done < __cases {
+                __attempts += 1;
+                if __attempts > __cases * 20 {
+                    panic!("proptest: too many rejected cases in {}", stringify!($name));
+                }
+                $(
+                    let $arg = $crate::strategy::Strategy::new_tree(&$strat, &mut __runner)
+                        .expect("strategy sampling failed")
+                        .current();
+                )+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __result {
+                    ::std::result::Result::Ok(()) => __done += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed: {}\n  case #{} of {}",
+                            msg, __done, stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}

@@ -1,0 +1,25 @@
+//! Sampling strategies: [`select`].
+
+use crate::strategy::{SampledTree, Strategy};
+use crate::test_runner::{Reason, TestRunner};
+use rand::Rng;
+
+/// Strategy choosing uniformly from a fixed list of values.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select(options)
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<T>, Reason> {
+        if self.0.is_empty() {
+            return Err("select: empty options".to_string());
+        }
+        let idx = runner.rng().gen_range(0..self.0.len());
+        Ok(SampledTree(self.0[idx].clone()))
+    }
+}

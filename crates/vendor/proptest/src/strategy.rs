@@ -1,0 +1,206 @@
+//! The [`Strategy`] trait and combinators.
+
+use crate::test_runner::{Reason, TestRunner};
+use rand::distributions::uniform::{SampleRange, UniformSample};
+use rand::Rng;
+
+/// A sampled value holder; upstream proptest's `ValueTree` also supports
+/// shrinking, which this shim omits.
+pub trait ValueTree {
+    /// The value type.
+    type Value;
+    /// The current (sampled) value.
+    fn current(&self) -> Self::Value;
+}
+
+/// The concrete tree every shim strategy produces.
+pub struct SampledTree<T>(pub(crate) T);
+
+impl<T: Clone> SampledTree<T> {
+    /// The sampled value (inherent mirror of [`ValueTree::current`], so
+    /// the `proptest!` macro works without the trait in scope).
+    pub fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: Clone> ValueTree for SampledTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value: Clone;
+
+    /// Samples one value tree using the runner's RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Reason`] when sampling cannot proceed (e.g. selecting
+    /// from an empty list).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<Self::Value>, Reason>;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O: Clone, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each sampled value and samples it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Randomly permutes sampled collections (Fisher–Yates).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_tree(&self, _runner: &mut TestRunner) -> Result<SampledTree<T>, Reason> {
+        Ok(SampledTree(self.0.clone()))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<O>, Reason> {
+        let v = self.inner.new_tree(runner)?.0;
+        Ok(SampledTree((self.f)(v)))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<S2::Value>, Reason> {
+        let v = self.inner.new_tree(runner)?.0;
+        (self.f)(v).new_tree(runner)
+    }
+}
+
+/// Collections that [`Strategy::prop_shuffle`] can permute.
+pub trait Shuffleable: Clone {
+    /// Shuffles in place with the given RNG.
+    fn shuffle(&mut self, rng: &mut rand::rngs::StdRng);
+}
+
+impl<T: Clone> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut rand::rngs::StdRng) {
+        // Fisher–Yates.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<S::Value>, Reason> {
+        let mut v = self.inner.new_tree(runner)?.0;
+        v.shuffle(runner.rng());
+        Ok(SampledTree(v))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T: Clone>(Box<dyn DynStrategy<Value = T>>);
+
+trait DynStrategy {
+    type Value: Clone;
+    fn dyn_new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<Self::Value>, Reason>;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<S::Value>, Reason> {
+        self.new_tree(runner)
+    }
+}
+
+impl<T: Clone> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<T>, Reason> {
+        self.0.dyn_new_tree(runner)
+    }
+}
+
+impl<T: UniformSample + Clone> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<T>, Reason> {
+        Ok(SampledTree(self.clone().sample_single(runner.rng())))
+    }
+}
+
+impl<T: UniformSample + Clone> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<T>, Reason> {
+        Ok(SampledTree(self.clone().sample_single(runner.rng())))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<Self::Value>, Reason> {
+                Ok(SampledTree(($(self.$idx.new_tree(runner)?.0,)+)))
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);

@@ -1,0 +1,76 @@
+//! Test-runner state: configuration, RNG, and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a strategy could not produce a value.
+pub type Reason = String;
+
+/// Outcome of one sampled case's body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; re-sample and retry.
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// RNG seed for sampling (fixed: runs are deterministic).
+    pub seed: u64,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite quick while still
+        // exercising a healthy spread of inputs.
+        ProptestConfig::with_cases(64)
+    }
+}
+
+/// Drives strategy sampling for one property.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Builds a runner from a config.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// A runner with a fixed seed (mirrors upstream's
+    /// `TestRunner::deterministic`).
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(0xD31E_57C0_DE00_0001),
+        }
+    }
+
+    /// The runner's RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::new(ProptestConfig::default())
+    }
+}

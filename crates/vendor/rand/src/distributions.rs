@@ -1,0 +1,220 @@
+//! Distributions: [`Standard`], [`Uniform`] and the [`Distribution`]
+//! trait, mirroring the subset of `rand::distributions` this workspace
+//! uses.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<'a, T, D: Distribution<T> + ?Sized> Distribution<T> for &'a D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution of a primitive type: uniform over all
+/// values for integers, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 high bits -> uniform in [0, 1) with full f32 precision.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits -> uniform in [0, 1) with full f64 precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform distribution over a `[low, high)` (or, via
+/// [`Uniform::new_inclusive`], `[low, high]`) range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: uniform::UniformSample> Uniform<T> {
+    /// Creates a uniform distribution over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(T::lt(&low, &high), "Uniform::new called with empty range");
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Creates a uniform distribution over `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(
+            T::le(&low, &high),
+            "Uniform::new_inclusive called with empty range"
+        );
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: uniform::UniformSample> Distribution<T> for Uniform<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        if self.inclusive {
+            T::sample_inclusive(&self.low, &self.high, rng)
+        } else {
+            T::sample_exclusive(&self.low, &self.high, rng)
+        }
+    }
+}
+
+/// Support machinery for uniform sampling over ranges.
+pub mod uniform {
+    use super::{Distribution, Standard};
+    use crate::Rng;
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait UniformSample: Sized + Copy {
+        /// Strict comparison used for range validation.
+        fn lt(a: &Self, b: &Self) -> bool;
+        /// Non-strict comparison used for inclusive-range validation.
+        fn le(a: &Self, b: &Self) -> bool;
+        /// Samples uniformly from `[low, high)`.
+        fn sample_exclusive<R: Rng + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self;
+        /// Samples uniformly from `[low, high]`.
+        fn sample_inclusive<R: Rng + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl UniformSample for $t {
+                #[inline]
+                fn lt(a: &Self, b: &Self) -> bool { a < b }
+                #[inline]
+                fn le(a: &Self, b: &Self) -> bool { a <= b }
+                #[inline]
+                fn sample_exclusive<R: Rng + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                    let u: $t = Standard.sample(rng);
+                    let v = low + (high - low) * u;
+                    // Guard against rounding up to `high` exactly.
+                    if v >= *high {
+                        // Largest value strictly below `high`.
+                        <$t>::from_bits(high.to_bits() - 1).max(*low)
+                    } else {
+                        v
+                    }
+                }
+                #[inline]
+                fn sample_inclusive<R: Rng + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                    let u: $t = Standard.sample(rng);
+                    low + (high - low) * u
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    // Integer sampling widens through u128, so full-domain inclusive
+    // ranges (e.g. `i8::MIN..=i8::MAX`, even `u64::MIN..=u64::MAX`) never
+    // overflow. The widening multiply maps 64 random bits onto the span
+    // with bias < 2^-64 per sample (Lemire's method without rejection).
+    macro_rules! uniform_int {
+        ($($t:ty as $wide:ty),*) => {$(
+            impl UniformSample for $t {
+                #[inline]
+                fn lt(a: &Self, b: &Self) -> bool { a < b }
+                #[inline]
+                fn le(a: &Self, b: &Self) -> bool { a <= b }
+                #[inline]
+                fn sample_exclusive<R: Rng + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                    let span = (*high as $wide).wrapping_sub(*low as $wide) as u64;
+                    debug_assert!(span > 0);
+                    let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    ((*low as $wide).wrapping_add(off as $wide)) as $t
+                }
+                #[inline]
+                fn sample_inclusive<R: Rng + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                    let span1 = ((*high as $wide).wrapping_sub(*low as $wide) as u64 as u128) + 1;
+                    let off = ((rng.next_u64() as u128 * span1) >> 64) as u64;
+                    ((*low as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(
+        u8 as u64,
+        u16 as u64,
+        u32 as u64,
+        u64 as u64,
+        usize as u64,
+        i8 as i64,
+        i16 as i64,
+        i32 as i64,
+        i64 as i64,
+        isize as i64
+    );
+
+    /// Range types accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Samples a single value from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: UniformSample> SampleRange<T> for core::ops::Range<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(T::lt(&self.start, &self.end), "gen_range: empty range");
+            T::sample_exclusive(&self.start, &self.end, rng)
+        }
+    }
+
+    impl<T: UniformSample> SampleRange<T> for core::ops::RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = (*self.start(), *self.end());
+            assert!(T::le(&low, &high), "gen_range: empty range");
+            T::sample_inclusive(&low, &high, rng)
+        }
+    }
+}

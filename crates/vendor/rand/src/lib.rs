@@ -1,0 +1,181 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements exactly the API subset the workspace uses: seedable
+//! deterministic generators ([`rngs::StdRng`], [`rngs::SmallRng`]), the
+//! [`Rng`] extension methods `gen`, `gen_range` and `sample`, and the
+//! [`distributions`] module with [`distributions::Uniform`] and
+//! [`distributions::Standard`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `rand`'s ChaCha12-based `StdRng`, but every
+//! consumer in this workspace only relies on determinism and statistical
+//! quality, not on a specific stream.
+//!
+//! ```
+//! use rand::{Rng, SeedableRng};
+//! let mut a = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut b = rand::rngs::StdRng::seed_from_u64(7);
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+//! ```
+
+#![forbid(unsafe_code)]
+// Vendored stand-in: keep the shim minimal, not lint-perfect.
+#![allow(clippy::all)]
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// Low-level generator interface: a source of uniformly random bits.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirrors upstream `rand`).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Returns a bool with probability `p` of being true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distributions::Uniform;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_change_stream() {
+        let mut a = rngs::StdRng::seed_from_u64(1);
+        let mut b = rngs::StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_f32_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        let dist = Uniform::new(-2.0f32, 3.0);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen_range(f32::EPSILON..1.0);
+            assert!(x >= f32::EPSILON && x < 1.0);
+            let n: usize = rng.gen_range(0..10usize);
+            assert!(n < 10);
+            let m: u64 = rng.gen_range(5..=6u64);
+            assert!((5..=6).contains(&m));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = rngs::StdRng::seed_from_u64(11);
+        let dist = Uniform::new(0.0f64, 1.0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}

@@ -98,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "  {:<20} {:<22} {:>6.2} mm2 (100%)  {:>5.2} W (100%)",
-        "Total", "TSMC 12nm", cm.total_area_mm2(), cm.total_power_w()
+        "Total",
+        "TSMC 12nm",
+        cm.total_area_mm2(),
+        cm.total_power_w()
     );
     Ok(())
 }

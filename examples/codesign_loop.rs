@@ -39,8 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, kind) in kinds.iter().enumerate() {
         let maps: Vec<_> = (0..3)
             .map(|s| {
-                let head =
-                    synthesize_head(&grid, 32, &PatternSpec::new(*kind), derive_seed(50 + i as u64, s));
+                let head = synthesize_head(
+                    &grid,
+                    32,
+                    &PatternSpec::new(*kind),
+                    derive_seed(50 + i as u64, s),
+                );
                 attention_map(&head.q, &head.k).unwrap()
             })
             .collect();

@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bar_len = (d * 200.0).round() as usize;
         println!("  step {i:>2}: {d:.4} {}", "#".repeat(bar_len.min(60)));
     }
-    let final_cos = metrics::cosine_similarity(
-        reference.final_latent(),
-        quantized.final_latent(),
-    )?;
+    let final_cos = metrics::cosine_similarity(reference.final_latent(), quantized.final_latent())?;
     println!("\nfinal-latent cosine similarity: {final_cos:.4}");
 
     // Render both final latents frame-by-frame as heatmap strips.

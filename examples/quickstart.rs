@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for method in [
         AttentionMethod::Fp16,
         AttentionMethod::SageAttention,
-        AttentionMethod::NaiveInt {
-            bits: Bitwidth::B4,
-        },
+        AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
         AttentionMethod::BlockwiseInt {
             bits: Bitwidth::B4,
             block_edge: 8,

@@ -35,12 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AttentionMethod::Fp16,
         AttentionMethod::SageAttention,
         AttentionMethod::SangerSparse { threshold: 1e-3 },
-        AttentionMethod::NaiveInt {
-            bits: Bitwidth::B8,
-        },
-        AttentionMethod::NaiveInt {
-            bits: Bitwidth::B4,
-        },
+        AttentionMethod::NaiveInt { bits: Bitwidth::B8 },
+        AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
         AttentionMethod::BlockwiseInt {
             bits: Bitwidth::B4,
             block_edge: 6,
@@ -120,7 +116,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     for (kind, (sum, count)) in &per_kind {
-        println!("  {:<13} rel-L2 {:.4}  ({count} heads)", kind, sum / *count as f64);
+        println!(
+            "  {:<13} rel-L2 {:.4}  ({count} heads)",
+            kind,
+            sum / *count as f64
+        );
     }
     println!("\nExpected ranking mirrors Table I: PARO MP ~ INT8-class quality,");
     println!("block-wise beats naive, naive INT4 collapses. Diffuse heads (no");

@@ -33,9 +33,7 @@ fn quantized_forward_quality_ordering() {
         (
             "naive-int4",
             ForwardOptions {
-                method: AttentionMethod::NaiveInt {
-                    bits: Bitwidth::B4,
-                },
+                method: AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
                 linear_w8a8: true,
                 linear_bits: Bitwidth::B8,
             },
@@ -129,15 +127,17 @@ fn calibrate_on_dit_then_run_frozen() {
 fn ddim_trajectories_rank_methods() {
     let dit = dit();
     let sampler = DdimSampler::new(5);
-    let reference = sampler.sample(&dit, &ForwardOptions::reference(), 8).unwrap();
-    let paro = sampler.sample(&dit, &ForwardOptions::paro(4.8, 4), 8).unwrap();
+    let reference = sampler
+        .sample(&dit, &ForwardOptions::reference(), 8)
+        .unwrap();
+    let paro = sampler
+        .sample(&dit, &ForwardOptions::paro(4.8, 4), 8)
+        .unwrap();
     let naive = sampler
         .sample(
             &dit,
             &ForwardOptions {
-                method: AttentionMethod::NaiveInt {
-                    bits: Bitwidth::B4,
-                },
+                method: AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
                 linear_w8a8: true,
                 linear_bits: Bitwidth::B8,
             },

@@ -16,9 +16,7 @@ fn method() -> impl Strategy<Value = AttentionMethod> {
         AttentionMethod::Fp16,
         AttentionMethod::SageAttention,
         AttentionMethod::SageAttentionV2,
-        AttentionMethod::NaiveInt {
-            bits: Bitwidth::B4,
-        },
+        AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
         AttentionMethod::BlockwiseInt {
             bits: Bitwidth::B4,
             block_edge: 4,

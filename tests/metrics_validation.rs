@@ -32,10 +32,7 @@ fn corrupt(reference: &Tensor, level: f32, seed: u64) -> Tensor {
 fn every_proxy_is_monotone_in_corruption() {
     let reference = reference_output();
     let levels = [0.0f32, 0.01, 0.05, 0.2, 0.8];
-    let outputs: Vec<Tensor> = levels
-        .iter()
-        .map(|&l| corrupt(&reference, l, 7))
-        .collect();
+    let outputs: Vec<Tensor> = levels.iter().map(|&l| corrupt(&reference, l, 7)).collect();
     // FVD-proxy (relative L2): increasing.
     let fvd: Vec<f32> = outputs
         .iter()
@@ -72,9 +69,7 @@ fn proxies_agree_on_method_ranking() {
     let reference = reference_attention(&head.q, &head.k, &head.v).unwrap();
     let inputs = AttentionInputs::new(head.q, head.k, head.v, grid).unwrap();
     let methods = [
-        AttentionMethod::NaiveInt {
-            bits: Bitwidth::B4,
-        },
+        AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
         AttentionMethod::ParoInt {
             bits: Bitwidth::B4,
             block_edge: 4,
@@ -98,7 +93,10 @@ fn proxies_agree_on_method_ranking() {
         .iter()
         .map(|o| metrics::cosine_similarity(&reference, o).unwrap())
         .collect();
-    assert!(cos[0] < cos[1] && cos[1] < cos[2], "cosine ranking: {cos:?}");
+    assert!(
+        cos[0] < cos[1] && cos[1] < cos[2],
+        "cosine ranking: {cos:?}"
+    );
     let snr: Vec<f32> = outputs
         .iter()
         .map(|o| metrics::snr_db(&reference, o).unwrap())

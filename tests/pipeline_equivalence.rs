@@ -8,7 +8,12 @@ use paro::tensor::rng::derive_seed;
 
 fn head_for(grid: &TokenGrid, block: usize, head: usize) -> paro::model::patterns::HeadSynthesis {
     let spec = PatternSpec::for_head(grid, block, head);
-    synthesize_head(grid, 32, &spec, derive_seed(77, (block * 100 + head) as u64))
+    synthesize_head(
+        grid,
+        32,
+        &spec,
+        derive_seed(77, (block * 100 + head) as u64),
+    )
 }
 
 #[test]
@@ -38,10 +43,7 @@ fn full_precision_attention_is_reorder_invariant() {
         let q = plan.apply(&head.q).unwrap();
         let k = plan.apply(&head.k).unwrap();
         let v = plan.apply(&head.v).unwrap();
-        let o = attention_map(&q, &k)
-            .unwrap()
-            .matmul(&v)
-            .unwrap();
+        let o = attention_map(&q, &k).unwrap().matmul(&v).unwrap();
         let restored = plan.invert(&o).unwrap();
         let err = metrics::relative_l2(&reference, &restored).unwrap();
         assert!(err < 1e-4, "order {order}: {err}");

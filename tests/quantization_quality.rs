@@ -33,12 +33,7 @@ fn population_error(method: &AttentionMethod, seeds: u64) -> f32 {
 #[test]
 fn table1_int4_ordering() {
     // Naive INT4 >> block-wise INT4 > PARO INT4 (lower is better).
-    let naive = population_error(
-        &AttentionMethod::NaiveInt {
-            bits: Bitwidth::B4,
-        },
-        3,
-    );
+    let naive = population_error(&AttentionMethod::NaiveInt { bits: Bitwidth::B4 }, 3);
     let blockwise = population_error(
         &AttentionMethod::BlockwiseInt {
             bits: Bitwidth::B4,
@@ -131,12 +126,7 @@ fn output_aware_qkt_is_perceptually_lossless() {
 fn sage_attention_and_fp16_are_best() {
     let fp16 = population_error(&AttentionMethod::Fp16, 2);
     let sage = population_error(&AttentionMethod::SageAttention, 2);
-    let naive8 = population_error(
-        &AttentionMethod::NaiveInt {
-            bits: Bitwidth::B8,
-        },
-        2,
-    );
+    let naive8 = population_error(&AttentionMethod::NaiveInt { bits: Bitwidth::B8 }, 2);
     assert_eq!(fp16, 0.0);
     assert!(sage < naive8, "sage {sage} should beat naive INT8 {naive8}");
 }

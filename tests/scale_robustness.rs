@@ -38,9 +38,7 @@ fn ordering_at(grid: &TokenGrid, head_dim: usize, block_edge: usize) -> (f32, f3
             let spec = PatternSpec::new(*kind);
             let seed = derive_seed(3000 + i as u64, s);
             naive += err_for(
-                &AttentionMethod::NaiveInt {
-                    bits: Bitwidth::B4,
-                },
+                &AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
                 grid,
                 head_dim,
                 &spec,
@@ -114,9 +112,7 @@ fn ordering_holds_across_sharpness() {
         let mut spec = PatternSpec::new(PatternKind::Temporal);
         spec.sharpness = sharpness;
         let naive = err_for(
-            &AttentionMethod::NaiveInt {
-                bits: Bitwidth::B4,
-            },
+            &AttentionMethod::NaiveInt { bits: Bitwidth::B4 },
             &grid,
             32,
             &spec,

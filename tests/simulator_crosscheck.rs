@@ -13,8 +13,7 @@ fn paro_compute_cycles_bounded_by_peak() {
     let hw = HardwareConfig::paro_asic();
     let report = ParoMachine::new(hw.clone(), ParoOptimizations::all())
         .run_model(&cfg, &AttentionProfile::paper_mp());
-    let min_cycles =
-        workload::model_macs(&cfg) as f64 / (hw.int8_macs_per_cycle as f64 * 4.0);
+    let min_cycles = workload::model_macs(&cfg) as f64 / (hw.int8_macs_per_cycle as f64 * 4.0);
     assert!(
         report.cycles > min_cycles,
         "simulated cycles {} below the physical floor {}",
