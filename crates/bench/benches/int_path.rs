@@ -1,0 +1,144 @@
+//! Criterion bench: packed-integer execution path vs the fake-quant f32
+//! reference.
+//!
+//! Two levels are measured. At the kernel level, `packed_attn_v` (tile-wise
+//! unpack of 2/4/8-bit codes into i32 micro-kernels, 0-bit blocks bypassed)
+//! is raced against the float path on the same codes (dequantize the map,
+//! then block-sparse `map x V`). At the pipeline level,
+//! `run_attention_calibrated_int` is raced against
+//! `run_attention_calibrated_reference` on a calibrated head, which is what
+//! frozen-calibration serving executes per request.
+//!
+//! The vendored criterion shim has no `Throughput` support, so packed-byte
+//! traffic per head and the MAC bypass fraction are printed as an ablation
+//! header before the timing groups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paro::core::calibration::{calibrate_head, HeadCalibration};
+use paro::core::int_pipeline::run_attention_calibrated_int;
+use paro::core::pipeline::{attention_map, run_attention_calibrated_reference, AttentionInputs};
+use paro::core::sparse::sparse_attn_v;
+use paro::prelude::*;
+use paro::quant::{packed_attn_v, MixedPrecisionMap, PerColCodes};
+use paro::tensor::rng::seeded;
+use rand::distributions::Uniform;
+
+/// Builds a calibrated head on a small-but-nontrivial token grid.
+fn calibrated_head(seed: u64) -> (AttentionInputs, HeadCalibration) {
+    let cfg = ModelConfig::tiny(4, 6, 6);
+    let spec = PatternSpec::new(PatternKind::Temporal);
+    let head = synthesize_head(&cfg.grid, cfg.head_dim(), &spec, seed);
+    let inputs = AttentionInputs::new(head.q, head.k, head.v, cfg.grid).unwrap();
+    let maps: Vec<_> = (0..2)
+        .map(|s| {
+            let other = synthesize_head(&cfg.grid, cfg.head_dim(), &spec, 700 + s);
+            attention_map(&other.q, &other.k).unwrap()
+        })
+        .collect();
+    let cal = calibrate_head(
+        &maps,
+        &cfg.grid,
+        BlockGrid::square(8).unwrap(),
+        Bitwidth::B4,
+        4.0,
+        0.5,
+    )
+    .unwrap();
+    (inputs, cal)
+}
+
+/// Uniform-bitwidth kernel inputs: an `n x n` map packed at `bits` and an
+/// `n x d` value matrix packed per-column at 8 bits.
+fn kernel_inputs(
+    n: usize,
+    d: usize,
+    edge: usize,
+    bits: Bitwidth,
+    b0_every: usize,
+) -> (
+    MixedPrecisionMap,
+    PerColCodes,
+    Tensor,
+    Vec<Bitwidth>,
+    BlockGrid,
+) {
+    let dist = Uniform::new(0.0f32, 1.0);
+    let map = Tensor::random(&[n, n], &dist, &mut seeded(11));
+    let v = Tensor::random(&[n, d], &Uniform::new(-1.0f32, 1.0), &mut seeded(12));
+    let grid = BlockGrid::square(edge).unwrap();
+    let alloc: Vec<Bitwidth> = (0..grid.block_count(n, n))
+        .map(|i| {
+            if b0_every > 0 && i % b0_every == 0 {
+                Bitwidth::B0
+            } else {
+                bits
+            }
+        })
+        .collect();
+    let packed = MixedPrecisionMap::quantize(&map, grid, &alloc).unwrap();
+    let vq = PerColCodes::quantize(&v, Bitwidth::B8).unwrap();
+    (packed, vq, map, alloc, grid)
+}
+
+fn bench_int_path(c: &mut Criterion) {
+    let (inputs, cal) = calibrated_head(42);
+
+    // Ablation header: packed-byte traffic and MAC bypass per head, the
+    // figures the serve-bench JSON baseline also carries.
+    let stats = run_attention_calibrated_int(&inputs, &cal, false)
+        .unwrap()
+        .stats;
+    println!(
+        "# int-path per-head traffic (n={} tokens)",
+        inputs.q().shape()[0]
+    );
+    println!("#   packed map bytes   : {}", stats.packed_map_bytes);
+    println!("#   packed V bytes     : {}", stats.v_payload_bytes);
+    println!("#   executed AttnV MACs: {}", stats.executed_macs);
+    println!("#   dense AttnV MACs   : {}", stats.dense_macs);
+    println!(
+        "#   MAC bypass         : {:.1}% ({} blocks skipped)",
+        100.0 * stats.skipped_fraction(),
+        stats.skipped_blocks
+    );
+
+    let mut group = c.benchmark_group("int_path/pipeline");
+    group.sample_size(10);
+    group.bench_function("packed_int", |b| {
+        b.iter(|| run_attention_calibrated_int(&inputs, &cal, false).unwrap())
+    });
+    group.bench_function("fake_quant_f32", |b| {
+        b.iter(|| run_attention_calibrated_reference(&inputs, &cal, false).unwrap())
+    });
+    group.finish();
+
+    // Kernel level: same codes, integer vs float execution, per bitwidth.
+    let (n, d, edge) = (192usize, 32usize, 16usize);
+    let mut group = c.benchmark_group("int_path/attn_v");
+    group.sample_size(10);
+    for bits in [Bitwidth::B2, Bitwidth::B4, Bitwidth::B8] {
+        let (packed, vq, _, alloc, grid) = kernel_inputs(n, d, edge, bits, 4);
+        let fq = packed.dequantize().unwrap();
+        let vfq = vq.dequantize();
+        let traffic = packed_attn_v(&packed, &vq).unwrap().packed_map_bytes;
+        println!("# attn_v n={n} d={d} {bits:?}: packed map traffic {traffic} bytes");
+        group.bench_with_input(
+            BenchmarkId::new("packed_int", format!("{bits:?}")),
+            &bits,
+            |b, _| b.iter(|| packed_attn_v(&packed, &vq).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fake_quant_f32", format!("{bits:?}")),
+            &bits,
+            |b, _| b.iter(|| sparse_attn_v(&fq, grid, &alloc, &vfq).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_int_path
+}
+criterion_main!(benches);

@@ -111,31 +111,26 @@ pub fn forward(
         let q = linear(&normed, &block.w_q, lb)?;
         let k = linear(&normed, &block.w_k, lb)?;
         let v = linear(&normed, &block.w_v, lb)?;
-        // Heads are independent: run them on scoped threads (run_attention
-        // is pure), then assemble the concatenated output.
-        let head_runs: Vec<Result<crate::pipeline::AttentionRun, CoreError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..cfg.heads)
-                    .map(|h| {
-                        let q = &q;
-                        let k = &k;
-                        let v = &v;
-                        let method = &opts.method;
-                        scope.spawn(move || {
-                            let qs = q.block(0, h * hd, n, hd)?;
-                            let ks = k.block(0, h * hd, n, hd)?;
-                            let vs = v.block(0, h * hd, n, hd)?;
-                            let inputs =
-                                AttentionInputs::with_text(qs, ks, vs, cfg.grid, cfg.text_tokens)?;
-                            run_attention(&inputs, method)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("head thread must not panic"))
-                    .collect()
-            });
+        // Heads are independent: fan them out on the shared compute pool
+        // (run_attention is pure), then assemble the concatenated output.
+        // The pool is sized by available_parallelism and reused across
+        // blocks and forward passes — no per-block thread spawning.
+        let mut jobs: Vec<
+            Box<dyn FnOnce() -> Result<crate::pipeline::AttentionRun, CoreError> + Send>,
+        > = Vec::with_capacity(cfg.heads);
+        for h in 0..cfg.heads {
+            let qs = q.block(0, h * hd, n, hd)?;
+            let ks = k.block(0, h * hd, n, hd)?;
+            let vs = v.block(0, h * hd, n, hd)?;
+            let grid = cfg.grid;
+            let text = cfg.text_tokens;
+            let method = opts.method;
+            jobs.push(Box::new(move || {
+                let inputs = AttentionInputs::with_text(qs, ks, vs, grid, text)?;
+                run_attention(&inputs, &method)
+            }));
+        }
+        let head_runs = crate::pool::ComputePool::global().run_many(jobs);
         let mut attn_out = Tensor::zeros(&[n, d]);
         let mut block_plans = Vec::with_capacity(cfg.heads);
         for (h, run) in head_runs.into_iter().enumerate() {
@@ -206,13 +201,29 @@ pub fn forward_calibrated(
         let k = linear(&normed, &block.w_k, lb)?;
         let v = linear(&normed, &block.w_v, lb)?;
         let mut attn_out = Tensor::zeros(&[n, d]);
+        // Same shared-pool fan-out as the online forward pass: each head
+        // runs the packed-integer calibrated pipeline independently.
+        let mut jobs: Vec<
+            Box<dyn FnOnce() -> Result<crate::pipeline::AttentionRun, CoreError> + Send>,
+        > = Vec::with_capacity(cfg.heads);
         for (h, cal) in calibrations[bi].iter().enumerate() {
             let qs = q.block(0, h * hd, n, hd)?;
             let ks = k.block(0, h * hd, n, hd)?;
             let vs = v.block(0, h * hd, n, hd)?;
-            let inputs = AttentionInputs::with_text(qs, ks, vs, cfg.grid, cfg.text_tokens)?;
-            let run = crate::pipeline::run_attention_calibrated(&inputs, cal, output_aware)?;
-            attn_out.set_block(0, h * hd, &run.output)?;
+            let grid = cfg.grid;
+            let text = cfg.text_tokens;
+            let cal = cal.clone();
+            jobs.push(Box::new(move || {
+                let inputs = AttentionInputs::with_text(qs, ks, vs, grid, text)?;
+                crate::pipeline::run_attention_calibrated(&inputs, &cal, output_aware)
+            }));
+        }
+        for (h, run) in crate::pool::ComputePool::global()
+            .run_many(jobs)
+            .into_iter()
+            .enumerate()
+        {
+            attn_out.set_block(0, h * hd, &run?.output)?;
         }
         let o = linear(&attn_out, &block.w_o, lb)?;
         x = x.add(&o)?;

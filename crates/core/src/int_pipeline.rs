@@ -1,0 +1,214 @@
+//! Frozen-calibration attention on packed integer codes — the deployment
+//! path.
+//!
+//! [`crate::pipeline::run_attention_calibrated_reference`] models the
+//! datapath with fake-quantized f32 tensors; this module executes it the
+//! way the accelerator does: the attention map lives as a
+//! [`MixedPrecisionMap`] (packed 2/4/8-bit codes, nothing for 0-bit
+//! blocks), `V` as per-column INT8 codes, and `AttnV` runs through the
+//! per-bitwidth i32 micro-kernels of [`paro_quant::packed_attn_v`]. The
+//! output-aware `QKᵀ` mode reuses the same LDZ-truncated integer scoring
+//! as the float-side model, so both paths quantize identical source maps
+//! to identical codes; only the `AttnV` arithmetic differs (i32
+//! accumulate + one scale product per block/column instead of rounded f32
+//! multiplies), which keeps the two outputs within float rounding of each
+//! other.
+
+use crate::calibration::HeadCalibration;
+use crate::pipeline::{
+    attention_map, int8_rowwise, output_aware_map, AttentionInputs, AttentionRun,
+};
+use crate::CoreError;
+use paro_quant::{packed_attn_v, Bitwidth, MixedPrecisionMap, PerColCodes};
+
+/// Execution statistics of one packed-integer attention run: the numbers
+/// the paper's traffic and speedup claims are about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntPathStats {
+    /// Packed attention-map bytes actually read (code payloads + per-block
+    /// parameters of every non-bypassed block).
+    pub packed_map_bytes: u64,
+    /// Packed `V` bytes (per-column INT8 codes + parameters).
+    pub v_payload_bytes: u64,
+    /// `AttnV` MACs executed (0-bit blocks bypassed).
+    pub executed_macs: u64,
+    /// MACs a dense `AttnV` would execute.
+    pub dense_macs: u64,
+    /// Number of 0-bit blocks bypassed by the dispatcher.
+    pub skipped_blocks: usize,
+}
+
+impl IntPathStats {
+    /// Fraction of dense `AttnV` MACs skipped.
+    pub fn skipped_fraction(&self) -> f64 {
+        if self.dense_macs == 0 {
+            return 0.0;
+        }
+        1.0 - self.executed_macs as f64 / self.dense_macs as f64
+    }
+}
+
+/// An [`AttentionRun`] plus the integer-path execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntAttentionRun {
+    /// The attention output and quantization statistics.
+    pub run: AttentionRun,
+    /// Packed-byte and MAC accounting of this run.
+    pub stats: IntPathStats,
+}
+
+/// Runs frozen-calibration PARO attention on packed integer codes.
+///
+/// The pipeline: INT8 per-token `Q`/`K`, calibrated reorder, `QKᵀ` (LDZ
+/// output-aware or exact) + softmax, block-wise quantization of the map
+/// into packed mixed-precision storage, per-column INT8 quantization of
+/// the reordered `V`, block-sparse integer `AttnV`, inverse reorder.
+///
+/// `V` is quantized *after* the reorder; per-column min-max calibration
+/// commutes bitwise with row permutation, so the codes equal those of the
+/// float path's quantize-then-reorder order.
+///
+/// # Errors
+///
+/// Returns shape errors if the calibration's block grid does not match
+/// the input size, and propagates quantization errors.
+pub fn run_attention_calibrated_int(
+    inputs: &AttentionInputs,
+    cal: &HeadCalibration,
+    output_aware: bool,
+) -> Result<IntAttentionRun, CoreError> {
+    let q8 = int8_rowwise(inputs.q())?;
+    let k8 = int8_rowwise(inputs.k())?;
+    let plan = cal.plan(inputs.grid());
+    let qr = plan.apply(&q8)?;
+    let kr = plan.apply(&k8)?;
+    let vr = plan.apply(inputs.v())?;
+    let vq = PerColCodes::quantize(&vr, Bitwidth::B8)?;
+    let source_map = if output_aware {
+        output_aware_map(&qr, &kr, cal.block, &cal.allocation.bits)?
+    } else {
+        attention_map(&qr, &kr)?
+    };
+    let packed = MixedPrecisionMap::quantize(&source_map, cal.block, &cal.allocation.bits)?;
+    let sparsity = packed.zero_fraction();
+    let attn = packed_attn_v(&packed, &vq)?;
+    let output = plan.invert(&attn.output)?;
+    Ok(IntAttentionRun {
+        run: AttentionRun {
+            output,
+            avg_bits: cal.allocation.avg_bits,
+            plan: Some(plan),
+            allocation: Some(cal.allocation.clone()),
+            map_sparsity: sparsity,
+        },
+        stats: IntPathStats {
+            packed_map_bytes: attn.packed_map_bytes,
+            v_payload_bytes: vq.payload_bytes() as u64,
+            executed_macs: attn.executed_macs,
+            dense_macs: attn.dense_macs,
+            skipped_blocks: attn.skipped_blocks,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::calibrate_head;
+    use crate::pipeline::run_attention_calibrated_reference;
+    use paro_model::patterns::{synthesize_head, PatternKind, PatternSpec};
+    use paro_model::ModelConfig;
+    use paro_quant::BlockGrid;
+    use paro_tensor::metrics;
+
+    fn setup(seed: u64) -> (AttentionInputs, HeadCalibration) {
+        let cfg = ModelConfig::tiny(4, 4, 4);
+        let spec = PatternSpec::new(PatternKind::Temporal);
+        let head = synthesize_head(&cfg.grid, cfg.head_dim(), &spec, seed);
+        let inputs = AttentionInputs::new(head.q, head.k, head.v, cfg.grid).unwrap();
+        let calib_maps: Vec<_> = (0..2)
+            .map(|s| {
+                let other = synthesize_head(&cfg.grid, cfg.head_dim(), &spec, 300 + s);
+                attention_map(&other.q, &other.k).unwrap()
+            })
+            .collect();
+        let cal = calibrate_head(
+            &calib_maps,
+            &cfg.grid,
+            BlockGrid::square(4).unwrap(),
+            Bitwidth::B4,
+            4.0,
+            0.5,
+        )
+        .unwrap();
+        (inputs, cal)
+    }
+
+    #[test]
+    fn int_path_matches_reference_path() {
+        for output_aware in [false, true] {
+            let (inputs, cal) = setup(21);
+            let int = run_attention_calibrated_int(&inputs, &cal, output_aware).unwrap();
+            let reference =
+                run_attention_calibrated_reference(&inputs, &cal, output_aware).unwrap();
+            let err = metrics::relative_l2(&reference.output, &int.run.output).unwrap();
+            assert!(
+                err < 1e-5,
+                "output_aware={output_aware}: int vs reference err {err}"
+            );
+            assert_eq!(int.run.avg_bits, reference.avg_bits);
+            assert_eq!(int.run.map_sparsity, reference.map_sparsity);
+            assert_eq!(int.run.plan, reference.plan);
+            assert_eq!(int.run.allocation, reference.allocation);
+        }
+    }
+
+    #[test]
+    fn stats_account_for_skipped_blocks_and_bytes() {
+        let (inputs, cal) = setup(22);
+        let int = run_attention_calibrated_int(&inputs, &cal, false).unwrap();
+        let n = inputs.tokens() as u64;
+        let d = inputs.head_dim() as u64;
+        assert_eq!(int.stats.dense_macs, n * n * d);
+        // The 4.0-bit budget forces 0-bit blocks on this pattern.
+        assert!(int.stats.skipped_blocks > 0, "expected bypassed blocks");
+        assert!(int.stats.executed_macs < int.stats.dense_macs);
+        assert!(int.stats.skipped_fraction() > 0.0);
+        assert!(int.stats.packed_map_bytes > 0);
+        // Packed map must be smaller than a uniform INT8 map.
+        assert!(int.stats.packed_map_bytes < n * n);
+        // V: d columns of n INT8 codes + 4 param bytes each.
+        assert_eq!(int.stats.v_payload_bytes, d * (n + 4));
+    }
+
+    #[test]
+    fn executed_macs_match_float_sparse_accounting() {
+        // The dispatcher bypass must skip exactly the blocks the float-side
+        // block-sparse reference skips.
+        let (inputs, cal) = setup(23);
+        let int = run_attention_calibrated_int(&inputs, &cal, false).unwrap();
+        let q8 = int8_rowwise(inputs.q()).unwrap();
+        let k8 = int8_rowwise(inputs.k()).unwrap();
+        let v8 = crate::pipeline::int8_colwise(inputs.v()).unwrap();
+        let plan = cal.plan(inputs.grid());
+        let qr = plan.apply(&q8).unwrap();
+        let kr = plan.apply(&k8).unwrap();
+        let vr = plan.apply(&v8).unwrap();
+        let map = attention_map(&qr, &kr).unwrap();
+        let (map_q, _) =
+            paro_quant::fake_quant_blocks(&map, cal.block, &cal.allocation.bits).unwrap();
+        let sparse =
+            crate::sparse::sparse_attn_v_with_allocation(&map_q, cal.block, &cal.allocation, &vr)
+                .unwrap();
+        assert_eq!(int.stats.executed_macs, sparse.executed_macs);
+        assert_eq!(int.stats.dense_macs, sparse.dense_macs);
+    }
+
+    #[test]
+    fn delegate_equals_int_path() {
+        let (inputs, cal) = setup(24);
+        let via_delegate = crate::pipeline::run_attention_calibrated(&inputs, &cal, true).unwrap();
+        let direct = run_attention_calibrated_int(&inputs, &cal, true).unwrap();
+        assert_eq!(via_delegate, direct.run);
+    }
+}

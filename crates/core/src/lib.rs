@@ -18,6 +18,11 @@
 //! - [`methods`] / [`pipeline`] — the quantized-attention method zoo
 //!   (FP16, SageAttention, Sanger-style sparse, naive/block-wise INT8/4,
 //!   PARO INT8/4, PARO mixed-precision) used to regenerate Table I.
+//! - [`int_pipeline`] — the deployment path executed on packed integer
+//!   codes: mixed-precision map storage driving per-bitwidth i32 `AttnV`
+//!   kernels, with packed-byte and MAC accounting.
+//! - [`pool`] — the process-wide compute pool (sized by
+//!   `available_parallelism`) that the forward passes and paro-serve share.
 //! - [`analysis`] — the data-distribution analysis behind Fig. 1.
 //!
 //! # Example
@@ -47,9 +52,11 @@ pub mod calibration;
 pub mod diffusion;
 mod error;
 pub mod exec;
+pub mod int_pipeline;
 pub mod ldz;
 pub mod methods;
 pub mod pipeline;
+pub mod pool;
 pub mod reorder;
 pub mod sensitivity;
 pub mod sparse;

@@ -272,11 +272,32 @@ pub fn run_attention(
 /// drive the reorder and the per-block bitwidths directly, exactly as the
 /// accelerator's configuration tables would.
 ///
+/// Since PR 2 this executes on packed integer codes (see
+/// [`crate::int_pipeline`]); use
+/// [`crate::int_pipeline::run_attention_calibrated_int`] directly when the
+/// packed-byte / MAC statistics are needed, or
+/// [`run_attention_calibrated_reference`] for the float-side model.
+///
 /// # Errors
 ///
 /// Returns shape errors if the calibration's block grid does not match the
 /// input size, and propagates quantization errors.
 pub fn run_attention_calibrated(
+    inputs: &AttentionInputs,
+    cal: &crate::calibration::HeadCalibration,
+    output_aware: bool,
+) -> Result<AttentionRun, CoreError> {
+    Ok(crate::int_pipeline::run_attention_calibrated_int(inputs, cal, output_aware)?.run)
+}
+
+/// The float-side model of [`run_attention_calibrated`]: fake-quantized
+/// f32 tensors end to end, kept as the reference the integer path is
+/// validated and benchmarked against.
+///
+/// # Errors
+///
+/// Same conditions as [`run_attention_calibrated`].
+pub fn run_attention_calibrated_reference(
     inputs: &AttentionInputs,
     cal: &crate::calibration::HeadCalibration,
     output_aware: bool,
@@ -443,7 +464,7 @@ fn run_sanger(inputs: &AttentionInputs, threshold: f32) -> Result<AttentionRun, 
 /// so the truncation is bit-exact with the hardware model; 0-bit blocks are
 /// skipped entirely (scores forced to −∞ contribute nothing post-softmax —
 /// the dispatcher bypass).
-fn output_aware_map(
+pub(crate) fn output_aware_map(
     q: &Tensor,
     k: &Tensor,
     grid: BlockGrid,
@@ -513,12 +534,12 @@ fn mean_center_channels(t: &Tensor) -> Result<Tensor, CoreError> {
 }
 
 /// Fake-quantizes a `[n, d]` embedding per row (per token) at INT8.
-fn int8_rowwise(t: &Tensor) -> Result<Tensor, CoreError> {
+pub(crate) fn int8_rowwise(t: &Tensor) -> Result<Tensor, CoreError> {
     Ok(fake_quant_2d(t, Grouping::PerRow, Bitwidth::B8)?.0)
 }
 
 /// Fake-quantizes a `[n, d]` embedding per column (per dimension) at INT8.
-fn int8_colwise(t: &Tensor) -> Result<Tensor, CoreError> {
+pub(crate) fn int8_colwise(t: &Tensor) -> Result<Tensor, CoreError> {
     Ok(fake_quant_2d(t, Grouping::PerCol, Bitwidth::B8)?.0)
 }
 

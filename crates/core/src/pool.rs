@@ -1,0 +1,267 @@
+//! A fixed, shared compute-thread pool.
+//!
+//! The original head fan-out spawned `cfg.heads` fresh OS threads per DiT
+//! block — multiplied by N serve workers, a 1-core container could see
+//! dozens of runnable threads. This pool is sized once from
+//! [`std::thread::available_parallelism`] and shared process-wide: the
+//! forward pass, the calibrated forward pass, and paro-serve all submit
+//! work here, so no code path spawns more compute threads than the
+//! machine has cores.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+std::thread_local! {
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+struct PoolState {
+    queue: Mutex<PoolQueue>,
+    available: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A fixed-size worker pool for CPU-bound jobs.
+///
+/// Jobs are closures run to completion on one of `threads()` worker
+/// threads; [`ComputePool::run`] and [`ComputePool::run_many`] block the
+/// caller until results are back, re-raising any worker panic on the
+/// calling thread. Calls made *from* a pool worker execute inline instead
+/// of being queued, so nested submission can never deadlock the fixed
+/// worker set.
+pub struct ComputePool {
+    state: Arc<PoolState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ComputePool {
+    /// Creates a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("paro-pool-{i}"))
+                    .spawn(move || {
+                        IS_POOL_WORKER.with(|f| f.set(true));
+                        worker_loop(&state);
+                    })
+                    .expect("spawning a pool worker must succeed")
+            })
+            .collect();
+        ComputePool { state, workers }
+    }
+
+    /// The process-wide shared pool, sized by
+    /// [`std::thread::available_parallelism`] on first use.
+    pub fn global() -> &'static ComputePool {
+        static GLOBAL: OnceLock<ComputePool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            ComputePool::new(threads)
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs one job on the pool and blocks until its result is back.
+    ///
+    /// If the job panics, the panic is re-raised on the calling thread.
+    pub fn run<T, F>(&self, job: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.run_many(vec![Box::new(job) as Box<dyn FnOnce() -> T + Send>])
+            .pop()
+            .expect("one job in, one result out")
+    }
+
+    /// Runs a batch of jobs on the pool, blocking until all complete, and
+    /// returns their results in submission order.
+    ///
+    /// If any job panics, one of the panics is re-raised on the calling
+    /// thread after all results are collected.
+    pub fn run_many<T>(&self, jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>) -> Vec<T>
+    where
+        T: Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // A worker calling back into the pool would wait on jobs that can
+        // only run on the (fully occupied) worker set: run inline instead.
+        if IS_POOL_WORKER.with(|f| f.get()) {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.state.queue.lock().expect("pool mutex never poisoned");
+            for (idx, job) in jobs.into_iter().enumerate() {
+                let tx = tx.clone();
+                q.jobs.push_back(Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(job));
+                    // The receiver only hangs up on panic; dropping the
+                    // result then is fine, the panic is re-raised below.
+                    let _ = tx.send((idx, outcome));
+                }));
+            }
+        }
+        drop(tx);
+        self.state.available.notify_all();
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..n {
+            let (idx, outcome) = rx.recv().expect("workers outlive pending jobs");
+            match outcome {
+                Ok(v) => results[idx] = Some(v),
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job sent exactly one result"))
+            .collect()
+    }
+}
+
+impl Drop for ComputePool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.state.queue.lock().expect("pool mutex never poisoned");
+            q.shutdown = true;
+        }
+        self.state.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut q = state.queue.lock().expect("pool mutex never poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = state.available.wait(q).expect("pool mutex never poisoned");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_and_preserves_order() {
+        let pool = ComputePool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let got = pool.run_many(jobs);
+        let want: Vec<usize> = (0..20).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_job_round_trip() {
+        let pool = ComputePool::new(1);
+        assert_eq!(pool.run(|| 41 + 1), 42);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ComputePool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(|| 7), 7);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = ComputePool::new(2);
+        let got: Vec<u8> = pool.run_many(Vec::new());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_reraised_on_caller() {
+        let pool = ComputePool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run::<(), _>(|| panic!("head thread must not panic"));
+        }));
+        assert!(result.is_err());
+        // Pool still usable after a panicked job.
+        assert_eq!(pool.run(|| 5), 5);
+    }
+
+    #[test]
+    fn nested_submission_runs_inline_without_deadlock() {
+        // A 1-thread pool where the job itself submits to the pool: must
+        // complete (inline execution), not deadlock.
+        let pool = Arc::new(ComputePool::new(1));
+        let p2 = Arc::clone(&pool);
+        // Submit from a plain thread so the outer call queues normally.
+        let outer = std::thread::spawn(move || p2.run(move || ComputePool::global().run(|| 9)));
+        assert_eq!(outer.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn global_pool_sized_by_available_parallelism() {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(ComputePool::global().threads(), n);
+    }
+
+    #[test]
+    fn all_jobs_execute_exactly_once() {
+        let pool = ComputePool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..100)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.run_many(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+}

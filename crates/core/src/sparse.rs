@@ -60,6 +60,13 @@ impl SparseAttnV {
 /// `map.matmul(v)` when the 0-bit blocks of `map` hold zeros (which the
 /// quantizer guarantees).
 ///
+/// **Finite-input precondition:** within executed blocks, zero map entries
+/// are skipped element-wise (`av == 0.0` never reads its `V` row). Under
+/// IEEE-754, `0.0 · NaN` and `0.0 · ∞` are `NaN`, so this fast path
+/// assumes `v` is finite — the same precondition [`Tensor::matmul`]
+/// documents for its zero-skip, and one every quantized `V` satisfies by
+/// construction (dequantized codes are always finite).
+///
 /// # Errors
 ///
 /// Returns shape errors for non-rank-2 inputs, mismatched inner

@@ -2,11 +2,13 @@
 //! machines, trace reorder-plan selection. Run `paro help` for usage.
 
 use paro::cli::{parse_args, CliCommand, ServeBenchOpts, USAGE};
-use paro::core::pipeline::attention_map;
+use paro::core::calibration::calibrate_head;
+use paro::core::int_pipeline::run_attention_calibrated_int;
+use paro::core::pipeline::{attention_map, run_attention_calibrated_reference};
 use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
 use paro::prelude::*;
 use paro::serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
-use paro::serve::{Engine, MetricsSnapshot, ServeConfig};
+use paro::serve::{CalibrationSource, Engine, MetricsSnapshot, ServeConfig};
 use paro::sim::OpCategory;
 use paro::tensor::render;
 use serde::Serialize;
@@ -150,7 +152,67 @@ struct ServeBenchReport {
     failed: usize,
     wall_ms: f64,
     requests_per_sec: f64,
+    int_path: IntPathComparison,
     metrics: MetricsSnapshot,
+}
+
+/// Single-head microbench comparing the packed-integer execution path
+/// (what the engine serves) against the fake-quant f32 reference on the
+/// same frozen calibration, plus the packed-byte traffic one request
+/// moves. Part of the serve-bench JSON baseline.
+#[derive(Debug, Serialize)]
+struct IntPathComparison {
+    iters: usize,
+    int_ms_per_head: f64,
+    f32_ms_per_head: f64,
+    int_over_f32_speedup: f64,
+    packed_map_bytes_per_head: u64,
+    packed_v_bytes_per_head: u64,
+    macs_skipped_fraction: f64,
+}
+
+fn int_path_comparison(
+    source: &SyntheticSource,
+    model: &ModelConfig,
+    opts: &ServeBenchOpts,
+) -> Result<IntPathComparison, Box<dyn std::error::Error>> {
+    let defaults = ServeConfig::default();
+    let spec = PatternSpec::for_head(&model.grid, 0, 0);
+    let head = synthesize_head(&model.grid, model.head_dim(), &spec, opts.seed);
+    let inputs = AttentionInputs::new(head.q, head.k, head.v, model.grid)?;
+    let maps = source.calibration_maps(0, 0)?;
+    let cal = calibrate_head(
+        &maps,
+        &model.grid,
+        BlockGrid::square(opts.block_edge)?,
+        defaults.calib_bits,
+        opts.budget,
+        defaults.alpha,
+    )?;
+    let output_aware = defaults.output_aware;
+    // Warm both paths once, keeping the int run's traffic accounting.
+    let stats = run_attention_calibrated_int(&inputs, &cal, output_aware)?.stats;
+    run_attention_calibrated_reference(&inputs, &cal, output_aware)?;
+    let iters = 3usize;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        run_attention_calibrated_int(&inputs, &cal, output_aware)?;
+    }
+    let int_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        run_attention_calibrated_reference(&inputs, &cal, output_aware)?;
+    }
+    let f32_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    Ok(IntPathComparison {
+        iters,
+        int_ms_per_head: int_ms,
+        f32_ms_per_head: f32_ms,
+        int_over_f32_speedup: if int_ms > 0.0 { f32_ms / int_ms } else { 0.0 },
+        packed_map_bytes_per_head: stats.packed_map_bytes,
+        packed_v_bytes_per_head: stats.v_payload_bytes,
+        macs_skipped_fraction: stats.skipped_fraction(),
+    })
 }
 
 fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
@@ -182,6 +244,11 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
     let outcome = engine.run_batch(requests);
     let wall = t0.elapsed();
     let completed = outcome.completed();
+    let int_path = int_path_comparison(
+        &SyntheticSource::new(model.clone(), 2, opts.seed ^ 0xca11b),
+        &model,
+        opts,
+    )?;
     let report = ServeBenchReport {
         model: model.name.clone(),
         tokens: model.grid.len(),
@@ -198,6 +265,7 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
         } else {
             0.0
         },
+        int_path,
         metrics: engine.metrics_snapshot(),
     };
     println!("{}", serde_json::to_string_pretty(&report)?);

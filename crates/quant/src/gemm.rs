@@ -47,6 +47,41 @@ impl QuantizedGemmOperand {
         })
     }
 
+    /// Builds an operand from pre-computed codes (e.g. unpacked from a
+    /// [`crate::MixedPrecisionMap`] block), for checking other integer
+    /// kernels against this reference path on identical codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::PackedLengthMismatch`] if `codes` does not
+    /// hold `rows * cols` values, or [`QuantError::CodeOutOfRange`] if a
+    /// code exceeds the bitwidth implied by `params`.
+    pub fn from_parts(
+        codes: Vec<u32>,
+        rows: usize,
+        cols: usize,
+        params: QuantParams,
+    ) -> Result<Self, QuantError> {
+        if codes.len() != rows * cols {
+            return Err(QuantError::PackedLengthMismatch {
+                bytes: codes.len(),
+                expected: rows * cols,
+            });
+        }
+        let max = params.bits().max_code();
+        for &c in &codes {
+            if c > max {
+                return Err(QuantError::CodeOutOfRange { code: c, max });
+            }
+        }
+        Ok(QuantizedGemmOperand {
+            codes,
+            rows,
+            cols,
+            params,
+        })
+    }
+
     /// Row count.
     pub fn rows(&self) -> usize {
         self.rows

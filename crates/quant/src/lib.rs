@@ -29,6 +29,7 @@ mod bitwidth;
 mod error;
 mod gemm;
 mod grouping;
+mod int_attn;
 mod mixed_map;
 mod packed;
 mod params;
@@ -40,7 +41,8 @@ pub use gemm::{dequantize_gemm, quantized_gemm_i32, QuantizedGemmOperand};
 pub use grouping::{
     fake_quant_2d, fake_quant_blocks, group_stats, BlockGrid, GroupStats, Grouping,
 };
-pub use mixed_map::MixedPrecisionMap;
+pub use int_attn::{packed_attn_v, packed_block_gemm_i32, PackedAttnV, PerColCodes};
+pub use mixed_map::{MixedPrecisionMap, PARAM_BYTES_PER_BLOCK};
 pub use packed::PackedCodes;
 pub use params::QuantParams;
 pub use symmetric::SymmetricInt8;

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 /// Bytes charged per stored block for quantization parameters (FP16 scale
 /// + INT8 zero point, padded).
-const PARAM_BYTES_PER_BLOCK: usize = 4;
+pub const PARAM_BYTES_PER_BLOCK: usize = 4;
 
 /// A block-quantized attention map in packed storage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,6 +106,53 @@ impl MixedPrecisionMap {
     /// The bitwidth of block `i` (row-major).
     pub fn block_bits(&self, i: usize) -> Bitwidth {
         self.blocks[i].bits
+    }
+
+    /// The quantization parameters of block `i` (row-major).
+    pub fn block_params(&self, i: usize) -> QuantParams {
+        self.blocks[i].params
+    }
+
+    /// The packed codes of block `i` (row-major), stored row-major within
+    /// the block.
+    pub fn block_codes(&self, i: usize) -> &PackedCodes {
+        &self.blocks[i].codes
+    }
+
+    /// The bytes the execution path actually reads for block `i`: packed
+    /// code payload plus parameter bytes, or 0 for a bypassed 0-bit block.
+    pub fn block_payload_bytes(&self, i: usize) -> usize {
+        let b = &self.blocks[i];
+        if b.bits == Bitwidth::B0 {
+            0
+        } else {
+            b.codes.byte_len() + PARAM_BYTES_PER_BLOCK
+        }
+    }
+
+    /// Fraction of map elements that dequantize to exactly zero: every
+    /// element of a 0-bit block, plus every code equal to its block's zero
+    /// point (`s·(z − z) = 0`; a nonzero `code − z` never underflows to
+    /// zero because scales are clamped to at least `f32::MIN_POSITIVE`).
+    /// Equals `fraction_zero(self.dequantize())` without materializing the
+    /// dense map.
+    pub fn zero_fraction(&self) -> f32 {
+        let mut zeros = 0u64;
+        let mut elems = 0u64;
+        for b in &self.blocks {
+            elems += b.codes.len() as u64;
+            if b.bits == Bitwidth::B0 {
+                zeros += b.codes.len() as u64;
+            } else if b.params.zero_point() >= 0 {
+                let z = b.params.zero_point() as u32;
+                zeros += b.codes.unpack().iter().filter(|&&c| c == z).count() as u64;
+            }
+        }
+        if elems == 0 {
+            0.0
+        } else {
+            zeros as f32 / elems as f32
+        }
     }
 
     /// Exact storage footprint in bytes: packed code payloads plus
@@ -309,6 +356,19 @@ mod tests {
         ));
         let v = Tensor::zeros(&[4]);
         assert!(MixedPrecisionMap::quantize(&v, grid, &[]).is_err());
+    }
+
+    #[test]
+    fn zero_fraction_matches_dense_count() {
+        let map = softmax_like(16);
+        let grid = BlockGrid::square(4).unwrap();
+        let bits = mixed_bits(grid.block_count(16, 16));
+        let packed = MixedPrecisionMap::quantize(&map, grid, &bits).unwrap();
+        let dense = packed.dequantize().unwrap();
+        let expected = dense.as_slice().iter().filter(|&&v| v == 0.0).count() as f32
+            / dense.as_slice().len() as f32;
+        assert_eq!(packed.zero_fraction(), expected);
+        assert!(packed.zero_fraction() > 0.0, "B0 blocks guarantee zeros");
     }
 
     #[test]

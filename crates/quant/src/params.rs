@@ -8,8 +8,11 @@ use serde::{Deserialize, Serialize};
 /// `x_int = clamp(round(x/s) + z, 0, 2^b − 1)`.
 ///
 /// Calibration is dynamic min-max, exactly as in the paper:
-/// `s = (max(x) − min(x)) / (2^b − 1)` and the zero point positions `min(x)`
-/// at code 0.
+/// `s = (max(x) − min(x)) / (2^b − 1)` with `z = round(−min(x)/s)`, so
+/// `min(x)` *quantizes to* code 0 but code 0 *dequantizes to* `−s·z`,
+/// which can differ from `min(x)` by up to `s/2` (the zero point is an
+/// integer, so it rounds). See [`QuantParams::calibrate_minmax`] for the
+/// precise round-trip contract.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QuantParams {
     scale: f32,
@@ -38,6 +41,16 @@ impl QuantParams {
 
     /// Dynamic min-max calibration over a group of values (the paper's
     /// activation-quantization rule).
+    ///
+    /// Round-trip contract (let `lo = min(x)`, `s` the scale):
+    ///
+    /// - `quantize(lo) == 0` exactly — `round` is symmetric about zero, so
+    ///   `round(lo/s) + round(−lo/s) = 0` always;
+    /// - `dequantize(quantize(lo))` may differ from `lo` by up to `s/2`,
+    ///   because the zero point `z = round(−lo/s)` is rounded to an
+    ///   integer. Code 0 dequantizes to `−s·z`, not to `lo`;
+    /// - an exact `0.0` in a group whose range straddles zero round-trips
+    ///   to exactly `0.0` (code `z` dequantizes to `s·(z−z) = 0`).
     ///
     /// Degenerate groups (empty, constant, or all-non-finite) yield a scale
     /// that reproduces the constant exactly via the zero point.
@@ -191,6 +204,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn min_quantizes_to_code_zero_but_roundtrip_rounds() {
+        // The documented contract: quantize(min) is exactly code 0, yet
+        // dequantize(0) = −s·z can miss min by up to s/2 because the zero
+        // point is rounded to an integer. Both halves are pinned here so a
+        // future "fix" to either side shows up as a test failure.
+        let groups: [&[f32]; 4] = [
+            &[0.1, 1.0],
+            &[-0.73, 0.4, 2.2],
+            &[3.0, 3.1, 9.7],
+            &[-5.0, -1.0, -0.2],
+        ];
+        for bits in [Bitwidth::B2, Bitwidth::B4, Bitwidth::B8] {
+            for values in groups {
+                let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+                let p = QuantParams::calibrate_minmax(values, bits);
+                assert_eq!(p.quantize(lo), 0, "bits={bits} lo={lo}");
+                let err = (p.dequantize(0) - lo).abs();
+                assert!(
+                    err <= p.scale() / 2.0 + 1e-6,
+                    "bits={bits} lo={lo} err={err} scale={}",
+                    p.scale()
+                );
+            }
+        }
+        // A concrete case where the round-trip is NOT exact: [0.1, 1.0] at
+        // B2 gives s = 0.3 and z = round(−1/3) = 0, so code 0 reads back
+        // as 0.0, not 0.1.
+        let p = QuantParams::calibrate_minmax(&[0.1, 1.0], Bitwidth::B2);
+        assert_eq!(p.zero_point(), 0);
+        assert_ne!(p.dequantize(p.quantize(0.1)), 0.1);
     }
 
     #[test]

@@ -3,17 +3,28 @@
 //! A bounded submission queue feeds a pool of worker threads; each
 //! request is one `(block, head)` attention unit. Workers resolve the
 //! head's frozen calibration through the [`PlanCache`] (calibrating on
-//! first touch via a [`CalibrationSource`]) and execute
-//! [`run_attention_calibrated`]. Results are reassembled in submission
-//! order, so the multi-threaded engine's output is **bit-identical** to a
-//! single-threaded run: every request's computation is a pure function of
-//! its inputs and its cache key, and scheduling only changes latency.
+//! first touch via a [`CalibrationSource`]) and execute the
+//! packed-integer calibrated pipeline
+//! ([`paro_core::int_pipeline::run_attention_calibrated_int`]), recording
+//! packed-byte traffic and MAC counts into the metrics. Results are
+//! reassembled in submission order, so the multi-threaded engine's output
+//! is **bit-identical** to a single-threaded run: every request's
+//! computation is a pure function of its inputs and its cache key, and
+//! scheduling only changes latency.
+//!
+//! Worker threads only orchestrate (queue pops, cache lookups, waiting);
+//! the CPU-heavy work — calibration and the attention kernels — runs on
+//! the process-wide [`paro_core::pool::ComputePool`], which is sized by
+//! `available_parallelism`. Raising `workers` therefore increases request
+//! concurrency without oversubscribing cores.
 
 use crate::admission::{lpt_order, request_cost, BoundedQueue, ServeError};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{MethodKey, PlanCache, PlanKey};
 use paro_core::calibration::calibrate_head;
-use paro_core::pipeline::{run_attention_calibrated, AttentionInputs, AttentionRun};
+use paro_core::int_pipeline::run_attention_calibrated_int;
+use paro_core::pipeline::{AttentionInputs, AttentionRun};
+use paro_core::pool::ComputePool;
 use paro_core::CoreError;
 use paro_model::ModelConfig;
 use paro_quant::{Bitwidth, BlockGrid};
@@ -35,7 +46,9 @@ pub enum Scheduling {
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads.
+    /// Worker (orchestration) threads. Compute runs on the shared
+    /// [`paro_core::pool::ComputePool`], so this bounds request
+    /// concurrency, not core usage.
     pub workers: usize,
     /// Submission queue capacity; a full queue rejects, never blocks.
     pub queue_capacity: usize,
@@ -517,16 +530,22 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<(AttentionRun, bool), ServeErro
     };
     let (cal, cache_hit) = ctx.cache.get_or_calibrate(&key, || {
         let t0 = Instant::now();
-        let maps = ctx.source.calibration_maps(job.block, job.head)?;
-        let block = BlockGrid::square(ctx.cfg.block_edge).map_err(CoreError::from)?;
-        let cal = calibrate_head(
-            &maps,
-            job.inputs.grid(),
-            block,
-            ctx.cfg.calib_bits,
-            ctx.cfg.budget,
-            ctx.cfg.alpha,
-        )?;
+        // Calibration is CPU-bound: run it on the shared compute pool so
+        // serve workers never oversubscribe cores.
+        let source = Arc::clone(&ctx.source);
+        let (block_idx, head) = (job.block, job.head);
+        let grid = *job.inputs.grid();
+        let edge = ctx.cfg.block_edge;
+        let calib_bits = ctx.cfg.calib_bits;
+        let budget = ctx.cfg.budget;
+        let alpha = ctx.cfg.alpha;
+        let cal = ComputePool::global().run(move || {
+            let maps = source.calibration_maps(block_idx, head)?;
+            let block = BlockGrid::square(edge).map_err(CoreError::from)?;
+            Ok::<_, ServeError>(calibrate_head(
+                &maps, &grid, block, calib_bits, budget, alpha,
+            )?)
+        })?;
         ctx.metrics.calibration_ns.fetch_add(
             t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             Relaxed,
@@ -534,10 +553,23 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<(AttentionRun, bool), ServeErro
         Ok::<_, ServeError>(cal)
     })?;
     let t0 = Instant::now();
-    let run = run_attention_calibrated(&job.inputs, &cal, ctx.cfg.output_aware)?;
+    let inputs = job.inputs.clone();
+    let cal_for_run = Arc::clone(&cal);
+    let output_aware = ctx.cfg.output_aware;
+    let int = ComputePool::global()
+        .run(move || run_attention_calibrated_int(&inputs, &cal_for_run, output_aware))?;
     ctx.metrics.attention_ns.fetch_add(
         t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         Relaxed,
     );
-    Ok((run, cache_hit))
+    ctx.metrics
+        .packed_map_bytes
+        .fetch_add(int.stats.packed_map_bytes, Relaxed);
+    ctx.metrics
+        .int_executed_macs
+        .fetch_add(int.stats.executed_macs, Relaxed);
+    ctx.metrics
+        .int_dense_macs
+        .fetch_add(int.stats.dense_macs, Relaxed);
+    Ok((int.run, cache_hit))
 }

@@ -135,6 +135,12 @@ pub struct Metrics {
     pub calibration_ns: AtomicU64,
     /// Cumulative nanoseconds spent in the calibrated attention kernel.
     pub attention_ns: AtomicU64,
+    /// Cumulative packed attention-map bytes read by the integer kernels.
+    pub packed_map_bytes: AtomicU64,
+    /// Cumulative `AttnV` MACs executed by the integer kernels.
+    pub int_executed_macs: AtomicU64,
+    /// Cumulative `AttnV` MACs a dense execution would have needed.
+    pub int_dense_macs: AtomicU64,
 }
 
 impl Metrics {
@@ -172,6 +178,18 @@ impl Metrics {
             total: self.total.summary(),
             calibration_ms: self.calibration_ns.load(Ordering::Relaxed) as f64 / 1e6,
             attention_ms: self.attention_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            packed_map_bytes: self.packed_map_bytes.load(Ordering::Relaxed),
+            int_executed_macs: self.int_executed_macs.load(Ordering::Relaxed),
+            int_dense_macs: self.int_dense_macs.load(Ordering::Relaxed),
+            int_macs_skipped_fraction: {
+                let dense = self.int_dense_macs.load(Ordering::Relaxed);
+                let exec = self.int_executed_macs.load(Ordering::Relaxed);
+                if dense == 0 {
+                    0.0
+                } else {
+                    1.0 - exec as f64 / dense as f64
+                }
+            },
             cache,
         }
     }
@@ -206,6 +224,14 @@ pub struct MetricsSnapshot {
     pub calibration_ms: f64,
     /// Total time spent in calibrated attention, milliseconds.
     pub attention_ms: f64,
+    /// Packed attention-map bytes read by the integer kernels.
+    pub packed_map_bytes: u64,
+    /// `AttnV` MACs executed on packed codes (0-bit blocks bypassed).
+    pub int_executed_macs: u64,
+    /// `AttnV` MACs a dense execution would have needed.
+    pub int_dense_macs: u64,
+    /// Fraction of dense `AttnV` MACs the dispatcher bypass skipped.
+    pub int_macs_skipped_fraction: f64,
     /// Plan-cache statistics.
     pub cache: crate::plan_cache::CacheStats,
 }
@@ -251,6 +277,9 @@ mod tests {
         m.submitted.store(5, Ordering::Relaxed);
         m.completed.store(4, Ordering::Relaxed);
         m.total.record(Duration::from_micros(900));
+        m.packed_map_bytes.store(1024, Ordering::Relaxed);
+        m.int_executed_macs.store(75, Ordering::Relaxed);
+        m.int_dense_macs.store(100, Ordering::Relaxed);
         let snap = m.snapshot(
             2,
             Duration::from_secs(2),
@@ -265,9 +294,13 @@ mod tests {
         );
         assert_eq!(snap.submitted, 5);
         assert!((snap.requests_per_sec - 2.0).abs() < 1e-9);
+        assert_eq!(snap.packed_map_bytes, 1024);
+        assert!((snap.int_macs_skipped_fraction - 0.25).abs() < 1e-9);
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"p99_us\""));
         assert!(json.contains("\"hit_rate\""));
+        assert!(json.contains("\"packed_map_bytes\""));
+        assert!(json.contains("\"int_macs_skipped_fraction\""));
     }
 }

@@ -7,6 +7,11 @@ impl Tensor {
     /// workloads the reproduction runs (token counts in the hundreds to low
     /// thousands).
     ///
+    /// Left-operand zeros skip their inner loop, which would drop `0·NaN`
+    /// and `0·∞` contributions; when `other` contains non-finite values the
+    /// skip is disabled so the result matches IEEE dense semantics
+    /// (`0·NaN = NaN`, propagated into the accumulator).
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] if either operand is not rank 2
@@ -34,12 +39,15 @@ impl Tensor {
         }
         let a = self.as_slice();
         let b = other.as_slice();
+        // The zero-skip fast path silently turns 0·NaN and 0·∞ into 0; only
+        // take it when the right operand is entirely finite.
+        let skip_zeros = b.iter().all(|v| v.is_finite());
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let arow = &a[i * k..(i + 1) * k];
             let orow = &mut out[i * n..(i + 1) * n];
             for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
+                if skip_zeros && av == 0.0 {
                     continue;
                 }
                 let brow = &b[p * n..(p + 1) * n];
@@ -160,6 +168,23 @@ mod tests {
             a.matmul(&v),
             Err(TensorError::RankMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn zero_times_nonfinite_propagates() {
+        // IEEE semantics: 0·NaN = NaN and 0·∞ = NaN must reach the output
+        // even though zero left operands normally skip the inner loop.
+        let a = Tensor::from_vec(&[1, 2], vec![0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(&[2, 2], vec![f32::NAN, f32::INFINITY, 2.0, 3.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.at(&[0, 0]).is_nan(), "0·NaN must propagate");
+        assert!(c.at(&[0, 1]).is_nan(), "0·∞ must propagate");
+        // A fully-zero row against a non-finite column too.
+        let z = Tensor::zeros(&[1, 2]);
+        assert!(z.matmul(&b).unwrap().at(&[0, 0]).is_nan());
+        // Finite inputs still take the skip path and stay exact.
+        let bf = Tensor::from_vec(&[2, 2], vec![4.0, 5.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.matmul(&bf).unwrap().as_slice(), &[2.0, 3.0]);
     }
 
     #[test]
