@@ -91,6 +91,7 @@ pub fn calibrate_head(
     if maps.is_empty() {
         return Err(CoreError::EmptyAllocation);
     }
+    let _t = paro_trace::span(paro_trace::stage::CALIBRATE_HEAD);
     // Accumulate per-order errors across samples.
     let mut sums: Vec<(AxisOrder, f32)> = AxisOrder::ALL.iter().map(|&o| (o, 0.0)).collect();
     for map in maps {

@@ -77,22 +77,40 @@ pub fn run_attention_calibrated_int(
     cal: &HeadCalibration,
     output_aware: bool,
 ) -> Result<IntAttentionRun, CoreError> {
-    let q8 = int8_rowwise(inputs.q())?;
-    let k8 = int8_rowwise(inputs.k())?;
-    let plan = cal.plan(inputs.grid());
-    let qr = plan.apply(&q8)?;
-    let kr = plan.apply(&k8)?;
-    let vr = plan.apply(inputs.v())?;
-    let vq = PerColCodes::quantize(&vr, Bitwidth::B8)?;
-    let source_map = if output_aware {
-        output_aware_map(&qr, &kr, cal.block, &cal.allocation.bits)?
-    } else {
-        attention_map(&qr, &kr)?
+    let (q8, k8) = {
+        let _t = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_QKV);
+        (int8_rowwise(inputs.q())?, int8_rowwise(inputs.k())?)
     };
-    let packed = MixedPrecisionMap::quantize(&source_map, cal.block, &cal.allocation.bits)?;
+    let plan = cal.plan(inputs.grid());
+    let (qr, kr, vr) = {
+        let _t = paro_trace::span(paro_trace::stage::PIPELINE_REORDER);
+        (plan.apply(&q8)?, plan.apply(&k8)?, plan.apply(inputs.v())?)
+    };
+    let vq = {
+        let _t = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_QKV);
+        PerColCodes::quantize(&vr, Bitwidth::B8)?
+    };
+    let source_map = {
+        let _t = paro_trace::span(paro_trace::stage::PIPELINE_QKT);
+        if output_aware {
+            output_aware_map(&qr, &kr, cal.block, &cal.allocation.bits)?
+        } else {
+            attention_map(&qr, &kr)?
+        }
+    };
+    let packed = {
+        let _t = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_MAP);
+        MixedPrecisionMap::quantize(&source_map, cal.block, &cal.allocation.bits)?
+    };
     let sparsity = packed.zero_fraction();
-    let attn = packed_attn_v(&packed, &vq)?;
-    let output = plan.invert(&attn.output)?;
+    let attn = {
+        let _t = paro_trace::span(paro_trace::stage::PIPELINE_ATTN_V);
+        packed_attn_v(&packed, &vq)?
+    };
+    let output = {
+        let _t = paro_trace::span(paro_trace::stage::PIPELINE_UNREORDER);
+        plan.invert(&attn.output)?
+    };
     Ok(IntAttentionRun {
         run: AttentionRun {
             output,

@@ -349,9 +349,11 @@ fn run_paro(
     let text = inputs.text_tokens;
     let n_vis = inputs.grid.len();
     let grid = block_grid_for(n, block_edge)?;
+    let quantize_qkv = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_QKV);
     let q8 = int8_rowwise(&inputs.q)?;
     let k8 = int8_rowwise(&inputs.k)?;
     let v8 = int8_colwise(&inputs.v)?;
+    drop(quantize_qkv);
 
     // Offline: select the reorder plan on the calibration map. The paper
     // calibrates once per head/block offline; here the calibration map is
@@ -359,6 +361,7 @@ fn run_paro(
     // stable across timesteps and prompts. With a text prefix, the plan is
     // selected on the visual-visual submap (the only region the reorder
     // can restructure) and applied with the text tokens pinned.
+    let select_span = paro_trace::span(paro_trace::stage::PIPELINE_SELECT_PLAN);
     let calib_map = attention_map(&q8, &k8)?;
     let calib_bits = match precision {
         ParoPrecision::Fixed(b) => b,
@@ -376,14 +379,20 @@ fn run_paro(
         calib_bits,
     )?;
     let plan = ReorderPlan::with_text_tokens(&inputs.grid, selection.order, text);
+    drop(select_span);
 
     // Online: reorder Q/K/V (quantized embeddings; per-token quantization
     // commutes with token permutation).
+    let reorder_span = paro_trace::span(paro_trace::stage::PIPELINE_REORDER);
     let qr = plan.apply(&q8)?;
     let kr = plan.apply(&k8)?;
     let vr = plan.apply(&v8)?;
+    drop(reorder_span);
 
+    let qkt_span = paro_trace::span(paro_trace::stage::PIPELINE_QKT);
     let map = attention_map(&qr, &kr)?;
+    drop(qkt_span);
+    let quantize_map_span = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_MAP);
     let (map_q, avg_bits, allocation) = match precision {
         ParoPrecision::Fixed(bits) => {
             let (m, _) = fake_quant_2d(&map, Grouping::Block(grid), bits)?;
@@ -408,15 +417,19 @@ fn run_paro(
             (m, avg, Some(alloc))
         }
     };
+    drop(quantize_map_span);
     let sparsity = fraction_zero(&map_q);
     // AttnV: block-sparse when an allocation exists (0-bit blocks skipped,
     // as the dispatcher does in hardware), dense otherwise.
+    let attn_v_span = paro_trace::span(paro_trace::stage::PIPELINE_ATTN_V);
     let out_reordered = match &allocation {
         Some(alloc) => {
             crate::sparse::sparse_attn_v_with_allocation(&map_q, grid, alloc, &vr)?.output
         }
         None => map_q.matmul(&vr)?,
     };
+    drop(attn_v_span);
+    let _unreorder_span = paro_trace::span(paro_trace::stage::PIPELINE_UNREORDER);
     let output = plan.invert(&out_reordered)?;
     Ok(AttentionRun {
         output,

@@ -117,13 +117,33 @@ impl ComputePool {
         if IS_POOL_WORKER.with(|f| f.get()) {
             return jobs.into_iter().map(|j| j()).collect();
         }
+        // Carry the submitter's correlation context (serve request id)
+        // onto the worker thread, and time queue wait vs. execution.
+        // `enqueued` is only captured while a trace session is recording.
+        let submit_ctx = paro_trace::current_ctx();
+        let enqueued = paro_trace::is_active().then(std::time::Instant::now);
         let (tx, rx) = mpsc::channel();
         {
             let mut q = self.state.queue.lock().expect("pool mutex never poisoned");
             for (idx, job) in jobs.into_iter().enumerate() {
                 let tx = tx.clone();
                 q.jobs.push_back(Box::new(move || {
-                    let outcome = catch_unwind(AssertUnwindSafe(job));
+                    let _ctx = paro_trace::ctx(submit_ctx);
+                    if let Some(at) = enqueued {
+                        paro_trace::record_range(
+                            paro_trace::stage::POOL_QUEUE_WAIT,
+                            at,
+                            std::time::Instant::now(),
+                            submit_ctx,
+                        );
+                    }
+                    // The span must close before the result is sent: the
+                    // submitter may finish the trace session as soon as
+                    // the last result arrives.
+                    let outcome = {
+                        let _execute = paro_trace::span(paro_trace::stage::POOL_EXECUTE);
+                        catch_unwind(AssertUnwindSafe(job))
+                    };
                     // The receiver only hangs up on panic; dropping the
                     // result then is fine, the panic is re-raised below.
                     let _ = tx.send((idx, outcome));

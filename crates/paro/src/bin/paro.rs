@@ -1,17 +1,18 @@
 //! The `paro` command-line tool: quantize synthetic heads, simulate
-//! machines, trace reorder-plan selection. Run `paro help` for usage.
+//! machines, trace reorder-plan selection, benchmark and profile the
+//! serving engine. Run `paro help` for usage.
 
-use paro::cli::{parse_args, CliCommand, ServeBenchOpts, USAGE};
+use paro::cli::{parse_args, CliCommand, ServeBenchOpts, TraceOpts, USAGE};
 use paro::core::calibration::calibrate_head;
 use paro::core::int_pipeline::run_attention_calibrated_int;
 use paro::core::pipeline::{attention_map, run_attention_calibrated_reference};
 use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
 use paro::prelude::*;
+use paro::report::{stage_rows, IntPathComparison, ServeBenchReport};
 use paro::serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
-use paro::serve::{CalibrationSource, Engine, MetricsSnapshot, ServeConfig};
+use paro::serve::{CalibrationSource, Engine, ServeConfig};
 use paro::sim::OpCategory;
 use paro::tensor::render;
-use serde::Serialize;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -101,6 +102,7 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         CliCommand::ServeBench(opts) => serve_bench(&opts),
+        CliCommand::Trace(opts) => trace_workload(&opts),
         CliCommand::Plan {
             grid,
             pattern,
@@ -135,40 +137,42 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
-/// Top-level JSON report `paro serve-bench` prints to stdout: the
-/// workload/engine configuration, the run's wall-clock throughput, and
-/// the engine's full metrics snapshot. Serves as a machine-readable
-/// baseline for serving-performance regressions.
-#[derive(Debug, Serialize)]
-struct ServeBenchReport {
-    model: String,
-    tokens: usize,
-    head_dim: usize,
-    threads: usize,
-    queue_capacity: usize,
-    requests: usize,
-    distinct_heads: usize,
-    completed: usize,
-    failed: usize,
-    wall_ms: f64,
-    requests_per_sec: f64,
-    int_path: IntPathComparison,
-    metrics: MetricsSnapshot,
+/// The engine + request stream both serving commands run.
+struct Workload {
+    model: ModelConfig,
+    engine: Engine,
+    spec: WorkloadSpec,
 }
 
-/// Single-head microbench comparing the packed-integer execution path
-/// (what the engine serves) against the fake-quant f32 reference on the
-/// same frozen calibration, plus the packed-byte traffic one request
-/// moves. Part of the serve-bench JSON baseline.
-#[derive(Debug, Serialize)]
-struct IntPathComparison {
-    iters: usize,
-    int_ms_per_head: f64,
-    f32_ms_per_head: f64,
-    int_over_f32_speedup: f64,
-    packed_map_bytes_per_head: u64,
-    packed_v_bytes_per_head: u64,
-    macs_skipped_fraction: f64,
+fn build_workload(opts: &ServeBenchOpts) -> Result<Workload, Box<dyn std::error::Error>> {
+    let model = scaled_config(
+        &ModelConfig::cogvideox_2b(),
+        opts.grid.frames(),
+        opts.grid.height(),
+        opts.grid.width(),
+    );
+    let source = Arc::new(SyntheticSource::new(model.clone(), 2, opts.seed ^ 0xca11b));
+    let cfg = ServeConfig {
+        workers: opts.threads,
+        queue_capacity: opts.queue,
+        block_edge: opts.block_edge,
+        budget: opts.budget,
+        default_deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
+        ..ServeConfig::default()
+    };
+    let engine = Engine::new(cfg, model.clone(), source)?;
+    let spec = WorkloadSpec {
+        model: model.clone(),
+        requests: opts.requests,
+        blocks: opts.blocks,
+        heads: opts.heads,
+        seed: opts.seed,
+    };
+    Ok(Workload {
+        model,
+        engine,
+        spec,
+    })
 }
 
 fn int_path_comparison(
@@ -216,47 +220,29 @@ fn int_path_comparison(
 }
 
 fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
-    let model = scaled_config(
-        &ModelConfig::cogvideox_2b(),
-        opts.grid.frames(),
-        opts.grid.height(),
-        opts.grid.width(),
-    );
-    let source = Arc::new(SyntheticSource::new(model.clone(), 2, opts.seed ^ 0xca11b));
-    let cfg = ServeConfig {
-        workers: opts.threads,
-        queue_capacity: opts.queue,
-        block_edge: opts.block_edge,
-        budget: opts.budget,
-        default_deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
-        ..ServeConfig::default()
-    };
-    let engine = Engine::new(cfg, model.clone(), source)?;
-    let spec = WorkloadSpec {
-        model: model.clone(),
-        requests: opts.requests,
-        blocks: opts.blocks,
-        heads: opts.heads,
-        seed: opts.seed,
-    };
-    let requests = synthetic_requests(&spec);
+    let wl = build_workload(opts)?;
+    let requests = synthetic_requests(&wl.spec);
+    // Record the batch; in a compiled-out build the session is inert and
+    // the stage table stays empty.
+    let session = paro::trace::TraceSession::start();
     let t0 = Instant::now();
-    let outcome = engine.run_batch(requests);
+    let outcome = wl.engine.run_batch(requests);
     let wall = t0.elapsed();
+    let trace = session.finish();
     let completed = outcome.completed();
     let int_path = int_path_comparison(
-        &SyntheticSource::new(model.clone(), 2, opts.seed ^ 0xca11b),
-        &model,
+        &SyntheticSource::new(wl.model.clone(), 2, opts.seed ^ 0xca11b),
+        &wl.model,
         opts,
     )?;
     let report = ServeBenchReport {
-        model: model.name.clone(),
-        tokens: model.grid.len(),
-        head_dim: model.head_dim(),
+        model: wl.model.name.clone(),
+        tokens: wl.model.grid.len(),
+        head_dim: wl.model.head_dim(),
         threads: opts.threads,
         queue_capacity: opts.queue,
         requests: opts.requests,
-        distinct_heads: spec.distinct_heads(),
+        distinct_heads: wl.spec.distinct_heads(),
         completed,
         failed: outcome.failed(),
         wall_ms: wall.as_secs_f64() * 1e3,
@@ -265,9 +251,69 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
         } else {
             0.0
         },
+        trace_compiled_in: paro::trace::COMPILED_IN,
+        trace_stages: stage_rows(&trace.summary()),
         int_path,
-        metrics: engine.metrics_snapshot(),
+        metrics: wl.engine.metrics_snapshot(),
     };
     println!("{}", serde_json::to_string_pretty(&report)?);
+    Ok(())
+}
+
+fn trace_workload(opts: &TraceOpts) -> Result<(), Box<dyn std::error::Error>> {
+    if !paro::trace::COMPILED_IN {
+        return Err("this binary was built without tracing (the paro crate's \
+                    `trace` feature); rebuild with default features to record"
+            .into());
+    }
+    let wl = build_workload(&opts.bench)?;
+    let requests = synthetic_requests(&wl.spec);
+    let session = paro::trace::TraceSession::start();
+    let t0 = Instant::now();
+    let outcome = wl.engine.run_batch(requests);
+    let wall = t0.elapsed();
+    let trace = session.finish();
+    std::fs::write(&opts.out, trace.chrome_json())?;
+    println!(
+        "{} requests ({} ok, {} failed) on {} threads in {:.1} ms — {} spans -> {}",
+        opts.bench.requests,
+        outcome.completed(),
+        outcome.failed(),
+        opts.bench.threads,
+        wall.as_secs_f64() * 1e3,
+        trace.records.len(),
+        opts.out,
+    );
+    if trace.dropped > 0 {
+        println!("warning: {} spans dropped (buffer cap)", trace.dropped);
+    }
+    println!("\nper-stage summary (all requests):");
+    print!("{}", paro::trace::format_table(&trace.summary()));
+
+    // Per-head breakdown: the workload maps request r to (block, head)
+    // pair r % distinct_heads, and every span carries the request index as
+    // its correlation context.
+    let pairs = wl.spec.distinct_heads();
+    let heads = opts.bench.heads.min(wl.model.heads);
+    for pair in 0..pairs {
+        let records: Vec<paro::trace::SpanRecord> = trace
+            .records
+            .iter()
+            .filter(|r| r.ctx != paro::trace::NO_CTX && (r.ctx as usize) % pairs == pair)
+            .copied()
+            .collect();
+        if records.is_empty() {
+            continue;
+        }
+        println!(
+            "\nper-stage summary (block {}, head {}):",
+            pair / heads,
+            pair % heads
+        );
+        print!(
+            "{}",
+            paro::trace::format_table(&paro::trace::summarize(&records))
+        );
+    }
     Ok(())
 }

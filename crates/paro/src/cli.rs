@@ -45,6 +45,9 @@ pub enum CliCommand {
     /// `paro serve-bench`: drive the concurrent serving engine with a
     /// synthetic CogVideoX-2B workload and print a JSON metrics snapshot.
     ServeBench(ServeBenchOpts),
+    /// `paro trace`: run a serving workload under a trace session, write
+    /// Chrome trace-event JSON, and print per-stage summaries.
+    Trace(TraceOpts),
     /// `paro help`: print usage.
     Help,
 }
@@ -74,6 +77,17 @@ pub struct ServeBenchOpts {
     pub seed: u64,
 }
 
+/// Options for `paro trace`: a serving workload plus the output path for
+/// the Chrome trace-event JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOpts {
+    /// The workload to run (same knobs as `paro serve-bench`, smaller
+    /// default request count).
+    pub bench: ServeBenchOpts,
+    /// Path the Chrome trace-event JSON is written to.
+    pub out: String,
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 paro — PARO attention-quantization toolkit
@@ -85,12 +99,21 @@ USAGE:
   paro serve-bench [--threads N] [--queue N] [--requests N] [--deadline-ms MS]
                    [--grid FxHxW] [--blocks N] [--heads N] [--budget B]
                    [--block EDGE] [--seed S]
+  paro trace    [--out FILE] [--threads N] [--queue N] [--requests N]
+                [--deadline-ms MS] [--grid FxHxW] [--blocks N] [--heads N]
+                [--budget B] [--block EDGE] [--seed S]
   paro help
 
 serve-bench drives the concurrent serving engine with a synthetic
 CogVideoX-2B workload (scaled to --grid) and prints a JSON metrics
 snapshot (requests/sec, latency percentiles, plan-cache hit rate) to
 stdout.
+
+trace runs the same workload under a span-recording session, writes
+Chrome trace-event JSON (loadable in Perfetto / about://tracing) to
+--out (default trace.json), and prints per-stage and per-head summary
+tables. Requires a binary built with tracing compiled in (the default
+build; see docs/TELEMETRY.md).
 
 PATTERNS: temporal, spatial-row, spatial-col, window, diffuse
 METHODS:  fp16, sage, sage2, sanger, naive-int8, naive-int4,
@@ -157,58 +180,75 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             })
         }
         "serve-bench" => {
-            reject_unknown(
-                &opts,
-                &[
-                    "grid",
-                    "threads",
-                    "queue",
-                    "requests",
-                    "blocks",
-                    "heads",
-                    "budget",
-                    "block",
-                    "deadline-ms",
-                    "seed",
-                ],
-            )?;
-            let grid = parse_grid(opts_get(&opts, "grid").unwrap_or("4x6x6"))?;
-            let threads: usize = parse_num(opts_get(&opts, "threads").unwrap_or("4"))?;
-            let queue: usize = parse_num(opts_get(&opts, "queue").unwrap_or("64"))?;
-            let requests: usize = parse_num(opts_get(&opts, "requests").unwrap_or("150"))?;
-            let blocks: usize = parse_num(opts_get(&opts, "blocks").unwrap_or("3"))?;
-            let heads: usize = parse_num(opts_get(&opts, "heads").unwrap_or("4"))?;
-            let budget: f32 = parse_num(opts_get(&opts, "budget").unwrap_or("4.8"))?;
-            let block_edge: usize = parse_num(opts_get(&opts, "block").unwrap_or("6"))?;
-            let deadline_ms: u64 = parse_num(opts_get(&opts, "deadline-ms").unwrap_or("0"))?;
-            let seed: u64 = parse_num(opts_get(&opts, "seed").unwrap_or("42"))?;
-            if threads == 0 {
-                return Err("--threads must be at least 1".to_string());
-            }
-            if queue == 0 {
-                return Err("--queue must be at least 1".to_string());
-            }
-            if requests == 0 {
-                return Err("--requests must be at least 1".to_string());
-            }
-            if blocks == 0 || heads == 0 {
-                return Err("--blocks and --heads must be at least 1".to_string());
-            }
-            Ok(CliCommand::ServeBench(ServeBenchOpts {
-                grid,
-                threads,
-                queue,
-                requests,
-                blocks,
-                heads,
-                budget,
-                block_edge,
-                deadline_ms,
-                seed,
-            }))
+            reject_unknown(&opts, BENCH_FLAGS)?;
+            Ok(CliCommand::ServeBench(parse_bench_opts(&opts, "150")?))
+        }
+        "trace" => {
+            let mut allowed = vec!["out"];
+            allowed.extend_from_slice(BENCH_FLAGS);
+            reject_unknown(&opts, &allowed)?;
+            // A trace of every request is the point here, not steady-state
+            // throughput: default to a short stream.
+            let bench = parse_bench_opts(&opts, "24")?;
+            let out = opts_get(&opts, "out").unwrap_or("trace.json").to_string();
+            Ok(CliCommand::Trace(TraceOpts { bench, out }))
         }
         other => Err(format!("unknown command '{other}'; see `paro help`")),
     }
+}
+
+/// Flags shared by `serve-bench` and `trace` (which adds `--out`).
+const BENCH_FLAGS: &[&str] = &[
+    "grid",
+    "threads",
+    "queue",
+    "requests",
+    "blocks",
+    "heads",
+    "budget",
+    "block",
+    "deadline-ms",
+    "seed",
+];
+
+fn parse_bench_opts(
+    opts: &[(&str, &str)],
+    default_requests: &str,
+) -> Result<ServeBenchOpts, String> {
+    let grid = parse_grid(opts_get(opts, "grid").unwrap_or("4x6x6"))?;
+    let threads: usize = parse_num(opts_get(opts, "threads").unwrap_or("4"))?;
+    let queue: usize = parse_num(opts_get(opts, "queue").unwrap_or("64"))?;
+    let requests: usize = parse_num(opts_get(opts, "requests").unwrap_or(default_requests))?;
+    let blocks: usize = parse_num(opts_get(opts, "blocks").unwrap_or("3"))?;
+    let heads: usize = parse_num(opts_get(opts, "heads").unwrap_or("4"))?;
+    let budget: f32 = parse_num(opts_get(opts, "budget").unwrap_or("4.8"))?;
+    let block_edge: usize = parse_num(opts_get(opts, "block").unwrap_or("6"))?;
+    let deadline_ms: u64 = parse_num(opts_get(opts, "deadline-ms").unwrap_or("0"))?;
+    let seed: u64 = parse_num(opts_get(opts, "seed").unwrap_or("42"))?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    if queue == 0 {
+        return Err("--queue must be at least 1".to_string());
+    }
+    if requests == 0 {
+        return Err("--requests must be at least 1".to_string());
+    }
+    if blocks == 0 || heads == 0 {
+        return Err("--blocks and --heads must be at least 1".to_string());
+    }
+    Ok(ServeBenchOpts {
+        grid,
+        threads,
+        queue,
+        requests,
+        blocks,
+        heads,
+        budget,
+        block_edge,
+        deadline_ms,
+        seed,
+    })
 }
 
 fn parse_flags<'a>(rest: &[&'a String]) -> Result<Vec<(&'a str, &'a str)>, String> {
@@ -490,8 +530,61 @@ mod tests {
     }
 
     #[test]
+    fn trace_defaults() {
+        let cmd = parse_args(&args(&["trace"])).unwrap();
+        match cmd {
+            CliCommand::Trace(opts) => {
+                assert_eq!(opts.out, "trace.json");
+                // Shares serve-bench knobs but defaults to a short stream.
+                assert_eq!(opts.bench.requests, 24);
+                assert_eq!(opts.bench.grid, TokenGrid::new(4, 6, 6));
+                assert_eq!(opts.bench.threads, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_with_flags() {
+        let cmd = parse_args(&args(&[
+            "trace",
+            "--out",
+            "/tmp/t.json",
+            "--requests",
+            "8",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::Trace(opts) => {
+                assert_eq!(opts.out, "/tmp/t.json");
+                assert_eq!(opts.bench.requests, 8);
+                assert_eq!(opts.bench.threads, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_rejects_degenerate_values() {
+        assert!(parse_args(&args(&["trace", "--requests", "0"]))
+            .unwrap_err()
+            .contains("requests"));
+        assert!(parse_args(&args(&["trace", "--threads", "0"]))
+            .unwrap_err()
+            .contains("threads"));
+    }
+
+    #[test]
+    fn usage_documents_trace() {
+        assert!(USAGE.contains("paro trace"));
+        assert!(USAGE.contains("--out"));
+    }
+
+    #[test]
     fn unknown_flags_are_rejected() {
-        for cmd in ["quantize", "simulate", "plan", "serve-bench"] {
+        for cmd in ["quantize", "simulate", "plan", "serve-bench", "trace"] {
             let err = parse_args(&args(&[cmd, "--wat", "7"])).unwrap_err();
             assert!(err.contains("unknown flag --wat"), "{cmd}: {err}");
         }

@@ -18,6 +18,9 @@
 //! - [`serve`] — the in-process concurrent attention-serving engine:
 //!   bounded admission, frozen-calibration plan cache, deterministic
 //!   multi-threaded execution, serving metrics.
+//! - [`trace`] — low-overhead span tracing across the pipeline, pool and
+//!   serving engine, with Chrome trace-event export and per-stage
+//!   summaries (`paro trace` drives it from the CLI).
 //!
 //! # Quickstart
 //!
@@ -54,8 +57,10 @@ pub use paro_quant as quant;
 pub use paro_serve as serve;
 pub use paro_sim as sim;
 pub use paro_tensor as tensor;
+pub use paro_trace as trace;
 
 pub mod cli;
+pub mod report;
 
 /// Convenient re-exports of the most common types.
 pub mod prelude {

@@ -1,0 +1,108 @@
+//! Machine-readable report types the `paro` binary prints as JSON.
+//!
+//! These structs define the telemetry contract documented in
+//! `docs/TELEMETRY.md`: every field serialized here must appear in that
+//! document (a unit test in `tests/telemetry_contract.rs` diffs the two),
+//! so renaming or adding a field is a documented, reviewable change.
+
+use paro_serve::MetricsSnapshot;
+use serde::Serialize;
+
+/// Top-level JSON report `paro serve-bench` prints to stdout: the
+/// workload/engine configuration, the run's wall-clock throughput, the
+/// per-stage trace summary, and the engine's full metrics snapshot.
+/// Serves as a machine-readable baseline for serving-performance
+/// regressions.
+#[derive(Debug, Serialize)]
+pub struct ServeBenchReport {
+    /// Scaled model name (e.g. `CogVideoX-2B@4x6x6`).
+    pub model: String,
+    /// Tokens per attention head (the scaled grid's volume).
+    pub tokens: usize,
+    /// Head dimension of the model.
+    pub head_dim: usize,
+    /// Serve worker threads.
+    pub threads: usize,
+    /// Submission-queue capacity.
+    pub queue_capacity: usize,
+    /// Requests submitted.
+    pub requests: usize,
+    /// Distinct `(block, head)` pairs the stream cycles through.
+    pub distinct_heads: usize,
+    /// Requests that completed successfully.
+    pub completed: usize,
+    /// Requests that failed (deadline miss, pipeline error).
+    pub failed: usize,
+    /// Wall-clock time of the batch, milliseconds.
+    pub wall_ms: f64,
+    /// Completed requests per wall-clock second.
+    pub requests_per_sec: f64,
+    /// Whether span recording is compiled into this binary
+    /// (`paro-trace/enabled`); when `false`, `trace_stages` is empty.
+    pub trace_compiled_in: bool,
+    /// Per-stage span aggregates recorded during the batch, largest total
+    /// first. Empty when tracing is compiled out.
+    pub trace_stages: Vec<StageSummaryRow>,
+    /// Single-head microbench of the packed-integer path.
+    pub int_path: IntPathComparison,
+    /// The engine's full metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Single-head microbench comparing the packed-integer execution path
+/// (what the engine serves) against the fake-quant f32 reference on the
+/// same frozen calibration, plus the packed-byte traffic one request
+/// moves. Part of the serve-bench JSON baseline.
+#[derive(Debug, Serialize)]
+pub struct IntPathComparison {
+    /// Timing iterations per path.
+    pub iters: usize,
+    /// Packed-integer path, milliseconds per head.
+    pub int_ms_per_head: f64,
+    /// Fake-quant f32 reference path, milliseconds per head.
+    pub f32_ms_per_head: f64,
+    /// `f32_ms_per_head / int_ms_per_head`.
+    pub int_over_f32_speedup: f64,
+    /// Packed attention-map bytes one request reads.
+    pub packed_map_bytes_per_head: u64,
+    /// Packed `V` bytes one request reads.
+    pub packed_v_bytes_per_head: u64,
+    /// Fraction of dense `AttnV` MACs skipped via 0-bit blocks.
+    pub macs_skipped_fraction: f64,
+}
+
+/// One row of a per-stage trace summary, in microseconds — the JSON form
+/// of [`paro_trace::StageSummary`].
+#[derive(Debug, Clone, Serialize)]
+pub struct StageSummaryRow {
+    /// Stage name (see `paro_trace::stage` for the canonical set).
+    pub stage: String,
+    /// Spans recorded for this stage.
+    pub count: u64,
+    /// Sum of span durations, microseconds.
+    pub total_us: f64,
+    /// Median span duration, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile span duration, microseconds.
+    pub p95_us: f64,
+    /// Longest span duration, microseconds.
+    pub max_us: f64,
+}
+
+impl From<&paro_trace::StageSummary> for StageSummaryRow {
+    fn from(s: &paro_trace::StageSummary) -> Self {
+        StageSummaryRow {
+            stage: s.stage.to_string(),
+            count: s.count,
+            total_us: s.total_ns as f64 / 1e3,
+            p50_us: s.p50_ns as f64 / 1e3,
+            p95_us: s.p95_ns as f64 / 1e3,
+            max_us: s.max_ns as f64 / 1e3,
+        }
+    }
+}
+
+/// Converts a trace's per-stage summaries into JSON rows.
+pub fn stage_rows(summaries: &[paro_trace::StageSummary]) -> Vec<StageSummaryRow> {
+    summaries.iter().map(StageSummaryRow::from).collect()
+}

@@ -1,0 +1,202 @@
+//! Pins the telemetry contract of `docs/TELEMETRY.md` against the code.
+//!
+//! The document's `<!-- contract:... -->` sections list every JSON field
+//! the `paro` binary emits, as backticked dotted paths in markdown table
+//! rows. These tests serialize real report/trace values, walk every key
+//! path in the resulting JSON, and assert set equality both ways: a field
+//! added to the code without documenting it fails, and so does a
+//! documented field the code no longer emits.
+
+use paro::report::{IntPathComparison, ServeBenchReport, StageSummaryRow};
+use paro::serve::{CacheStats, Metrics};
+use paro::trace::{stage, SpanRecord, Trace, NO_CTX};
+use serde_json::Value;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn telemetry_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/TELEMETRY.md");
+    std::fs::read_to_string(path).expect("docs/TELEMETRY.md must exist")
+}
+
+/// Extracts the backticked first-column entries of the markdown table
+/// rows between `<!-- contract:{section} -->` and its closing marker.
+fn documented(doc: &str, section: &str) -> BTreeSet<String> {
+    let begin = format!("<!-- contract:{section} -->");
+    let end = format!("<!-- /contract:{section} -->");
+    let body = doc
+        .split(&begin)
+        .nth(1)
+        .unwrap_or_else(|| panic!("marker {begin} missing from docs/TELEMETRY.md"))
+        .split(&end)
+        .next()
+        .unwrap_or_else(|| panic!("marker {end} missing from docs/TELEMETRY.md"));
+    let fields: BTreeSet<String> = body
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("| `")?;
+            let (path, _) = rest.split_once('`')?;
+            Some(path.to_string())
+        })
+        .collect();
+    assert!(
+        !fields.is_empty(),
+        "contract section {section} documents no fields"
+    );
+    fields
+}
+
+/// Collects every key path in a JSON value: map entries become dotted
+/// paths, array elements are walked under `name[]`.
+fn key_paths(value: &Value, prefix: &str, out: &mut BTreeSet<String>) {
+    match value {
+        Value::Map(entries) => {
+            for (key, child) in entries {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                out.insert(path.clone());
+                key_paths(child, &path, out);
+            }
+        }
+        Value::Seq(items) => {
+            let elem = format!("{prefix}[]");
+            for child in items {
+                key_paths(child, &elem, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn assert_contract(emitted: &BTreeSet<String>, documented: &BTreeSet<String>, what: &str) {
+    let undocumented: Vec<&String> = emitted.difference(documented).collect();
+    let stale: Vec<&String> = documented.difference(emitted).collect();
+    assert!(
+        undocumented.is_empty() && stale.is_empty(),
+        "{what} diverges from docs/TELEMETRY.md\n  emitted but undocumented: \
+         {undocumented:?}\n  documented but not emitted: {stale:?}"
+    );
+}
+
+/// A fully-populated report: one trace stage row so the array element
+/// fields serialize, and a snapshot off a live `Metrics` so every
+/// latency block is present.
+fn sample_report() -> ServeBenchReport {
+    let metrics = Metrics::new();
+    metrics.queue_wait.record(Duration::from_micros(40));
+    metrics.service.record(Duration::from_micros(900));
+    metrics.total.record(Duration::from_micros(950));
+    let snapshot = metrics.snapshot(
+        0,
+        Duration::from_secs(1),
+        CacheStats {
+            entries: 1,
+            capacity: 64,
+            hits: 1,
+            misses: 1,
+            evictions: 0,
+            hit_rate: 0.5,
+        },
+    );
+    ServeBenchReport {
+        model: "CogVideoX-2B@3x4x4".to_string(),
+        tokens: 48,
+        head_dim: 64,
+        threads: 2,
+        queue_capacity: 32,
+        requests: 2,
+        distinct_heads: 1,
+        completed: 2,
+        failed: 0,
+        wall_ms: 1.5,
+        requests_per_sec: 1333.3,
+        trace_compiled_in: paro::trace::COMPILED_IN,
+        trace_stages: vec![StageSummaryRow {
+            stage: stage::POOL_EXECUTE.to_string(),
+            count: 2,
+            total_us: 800.0,
+            p50_us: 400.0,
+            p95_us: 410.0,
+            max_us: 410.0,
+        }],
+        int_path: IntPathComparison {
+            iters: 3,
+            int_ms_per_head: 1.6,
+            f32_ms_per_head: 1.8,
+            int_over_f32_speedup: 1.125,
+            packed_map_bytes_per_head: 11_620,
+            packed_v_bytes_per_head: 4_736,
+            macs_skipped_fraction: 0.034,
+        },
+        metrics: snapshot,
+    }
+}
+
+#[test]
+fn serve_bench_report_fields_match_docs() {
+    let json = serde_json::to_string(&sample_report()).expect("report serializes");
+    let value = serde_json::parse_value(&json).expect("report JSON parses");
+    let mut emitted = BTreeSet::new();
+    key_paths(&value, "", &mut emitted);
+    assert_contract(
+        &emitted,
+        &documented(&telemetry_doc(), "serve-bench"),
+        "serve-bench report",
+    );
+}
+
+#[test]
+fn chrome_trace_event_fields_match_docs() {
+    // One span inside a request (carries `args.ctx`) and one outside
+    // (omits it): the union covers every documented key, including the
+    // optional one.
+    let trace = Trace {
+        records: vec![
+            SpanRecord {
+                id: 2,
+                parent: 0,
+                stage: stage::SERVE_SERVICE,
+                start_ns: 1_000,
+                end_ns: 9_000,
+                ctx: 4,
+                thread: 2,
+            },
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                stage: stage::SERVE_ADMIT,
+                start_ns: 500,
+                end_ns: 12_000,
+                ctx: NO_CTX,
+                thread: 1,
+            },
+        ],
+        dropped: 0,
+    };
+    let value = serde_json::parse_value(&trace.chrome_json()).expect("chrome JSON parses");
+    let mut emitted = BTreeSet::new();
+    key_paths(&value, "", &mut emitted);
+    assert_contract(
+        &emitted,
+        &documented(&telemetry_doc(), "chrome-event"),
+        "chrome trace-event file",
+    );
+}
+
+#[test]
+fn stage_catalogue_matches_docs() {
+    let listed: BTreeSet<String> = stage::ALL.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        listed.len(),
+        stage::ALL.len(),
+        "stage::ALL contains duplicates"
+    );
+    assert_contract(
+        &listed,
+        &documented(&telemetry_doc(), "stages"),
+        "stage catalogue",
+    );
+}

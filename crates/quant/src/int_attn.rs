@@ -182,7 +182,9 @@ pub fn packed_attn_v(map: &MixedPrecisionMap, v: &PerColCodes) -> Result<PackedA
     let d = v.cols();
     let grid = map.grid();
     let (gr, gc) = grid.grid_dims(m, n);
+    let unpack_span = paro_trace::span(paro_trace::stage::ATTNV_UNPACK);
     let v_centered = v.centered();
+    drop(unpack_span);
     // Per-(block, column) scale product, rebuilt per block row-major —
     // computed exactly as `dequantize_gemm`'s `a.scale() * b.scale()`.
     let mut scale_row = vec![0.0f32; d];
@@ -191,6 +193,7 @@ pub fn packed_attn_v(map: &MixedPrecisionMap, v: &PerColCodes) -> Result<PackedA
     let mut executed = 0u64;
     let mut packed_bytes = 0u64;
     let mut skipped = 0usize;
+    let mac_span = paro_trace::span(paro_trace::stage::ATTNV_MAC);
     for bi in 0..gr {
         for bj in 0..gc {
             let idx = bi * gc + bj;
@@ -227,6 +230,7 @@ pub fn packed_attn_v(map: &MixedPrecisionMap, v: &PerColCodes) -> Result<PackedA
             }
         }
     }
+    drop(mac_span);
     Ok(PackedAttnV {
         output: Tensor::from_vec(&[m, d], out)?,
         executed_macs: executed,

@@ -395,10 +395,13 @@ impl Engine {
         };
         let mut slots: Vec<Option<Result<Ticket, ServeError>>> = (0..n).map(|_| None).collect();
         let mut requests: Vec<Option<ServeRequest>> = requests.into_iter().map(Some).collect();
+        let admit_span = paro_trace::span(paro_trace::stage::SERVE_ADMIT);
         for &i in &order {
             let req = requests[i].take().expect("each index admitted once");
             slots[i] = Some(self.submit_blocking(req));
         }
+        drop(admit_span);
+        let _reassemble_span = paro_trace::span(paro_trace::stage::SERVE_REASSEMBLE);
         let responses = slots
             .into_iter()
             .map(|slot| match slot.expect("all indices filled") {
@@ -477,6 +480,15 @@ fn worker_loop(ctx: &WorkerCtx) {
         let picked_up = Instant::now();
         let waited = picked_up.duration_since(job.enqueued);
         ctx.metrics.queue_wait.record(waited);
+        // All spans this request produces — here and on the compute pool —
+        // carry its submission index as the correlation context.
+        let _request_ctx = paro_trace::ctx(job.index as u64);
+        paro_trace::record_range(
+            paro_trace::stage::SERVE_QUEUE_WAIT,
+            job.enqueued,
+            picked_up,
+            job.index as u64,
+        );
         if let Some(budget) = job.deadline {
             if waited > budget {
                 ctx.metrics.deadline_missed.fetch_add(1, Relaxed);
@@ -485,7 +497,9 @@ fn worker_loop(ctx: &WorkerCtx) {
                 continue;
             }
         }
+        let service_span = paro_trace::span(paro_trace::stage::SERVE_SERVICE);
         let result = execute(ctx, &job);
+        drop(service_span);
         let service = picked_up.elapsed();
         ctx.metrics.service.record(service);
         ctx.metrics.total.record(job.enqueued.elapsed());
@@ -529,6 +543,7 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<(AttentionRun, bool), ServeErro
         ),
     };
     let (cal, cache_hit) = ctx.cache.get_or_calibrate(&key, || {
+        let _calibrate_span = paro_trace::span(paro_trace::stage::SERVE_CALIBRATE);
         let t0 = Instant::now();
         // Calibration is CPU-bound: run it on the shared compute pool so
         // serve workers never oversubscribe cores.

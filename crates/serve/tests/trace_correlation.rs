@@ -1,0 +1,112 @@
+//! End-to-end tracing across the serving stack: one trace session around
+//! an engine batch must show each request's serve spans *and* the
+//! pipeline/pool spans it triggered on compute-pool threads, all carrying
+//! the request's submission index as the correlation context.
+//!
+//! Recording requires `paro-trace/enabled` in the build (on in workspace
+//! builds via the `paro` facade's default `trace` feature); when compiled
+//! out, the same session must stay empty.
+
+use paro_model::ModelConfig;
+use paro_serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
+use paro_serve::{Engine, ServeConfig};
+use std::sync::Arc;
+
+fn traced_batch(requests: usize) -> paro_trace::Trace {
+    let model = scaled_config(&ModelConfig::cogvideox_2b(), 3, 4, 4);
+    let source = Arc::new(SyntheticSource::new(model.clone(), 2, 99));
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        block_edge: 4,
+        ..ServeConfig::default()
+    };
+    let engine = Engine::new(cfg, model.clone(), source).unwrap();
+    let spec = WorkloadSpec {
+        model,
+        requests,
+        blocks: 2,
+        heads: 2,
+        seed: 77,
+    };
+    let session = paro_trace::TraceSession::start();
+    let outcome = engine.run_batch(synthetic_requests(&spec));
+    let trace = session.finish();
+    assert_eq!(outcome.completed(), requests, "all requests must complete");
+    trace
+}
+
+#[test]
+fn requests_correlate_across_queue_and_pool() {
+    let requests = 6;
+    let trace = traced_batch(requests);
+    if !paro_trace::COMPILED_IN {
+        assert!(
+            trace.records.is_empty(),
+            "compiled-out build must be silent"
+        );
+        return;
+    }
+    assert_eq!(trace.dropped, 0);
+    let stages_of = |ctx: u64| -> Vec<&'static str> {
+        trace
+            .records
+            .iter()
+            .filter(|r| r.ctx == ctx)
+            .map(|r| r.stage)
+            .collect()
+    };
+    for request in 0..requests as u64 {
+        let stages = stages_of(request);
+        // The serve side of the request...
+        assert!(
+            stages.contains(&paro_trace::stage::SERVE_QUEUE_WAIT),
+            "request {request}: missing queue wait in {stages:?}"
+        );
+        assert!(
+            stages.contains(&paro_trace::stage::SERVE_SERVICE),
+            "request {request}: missing service span"
+        );
+        // ...and the compute it triggered on pool threads, correlated by
+        // the same request index even though it ran on another thread.
+        assert!(
+            stages.contains(&paro_trace::stage::POOL_EXECUTE),
+            "request {request}: missing pool execution span"
+        );
+        assert!(
+            stages.contains(&paro_trace::stage::PIPELINE_ATTN_V),
+            "request {request}: missing packed AttnV span"
+        );
+        assert!(
+            stages.contains(&paro_trace::stage::ATTNV_MAC),
+            "request {request}: missing MAC kernel span"
+        );
+        // Pipeline spans must come from a different thread than the batch
+        // submitter (the pool boundary was actually crossed).
+        let serve_thread = trace
+            .records
+            .iter()
+            .find(|r| r.ctx == request && r.stage == paro_trace::stage::SERVE_SERVICE)
+            .map(|r| r.thread)
+            .unwrap();
+        let pipeline_thread = trace
+            .records
+            .iter()
+            .find(|r| r.ctx == request && r.stage == paro_trace::stage::PIPELINE_ATTN_V)
+            .map(|r| r.thread)
+            .unwrap();
+        assert_ne!(
+            serve_thread, pipeline_thread,
+            "request {request}: pipeline ran on the serve worker thread"
+        );
+    }
+    // Batch-level spans are uncorrelated (admission happens before any
+    // request context exists).
+    let batch_stages = stages_of(paro_trace::NO_CTX);
+    assert!(batch_stages.contains(&paro_trace::stage::SERVE_ADMIT));
+    assert!(batch_stages.contains(&paro_trace::stage::SERVE_REASSEMBLE));
+    // The exporters accept the full trace.
+    let json = trace.chrome_json();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(!trace.summary().is_empty());
+}

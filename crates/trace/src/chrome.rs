@@ -1,0 +1,132 @@
+//! Chrome trace-event JSON export (the `about://tracing` / Perfetto
+//! format), hand-written so the crate stays dependency-free.
+
+use crate::record::{SpanRecord, NO_CTX};
+
+/// Minimal JSON string escape for event names; stage names are static
+/// strings under our control, so this only guards future additions.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with nanosecond precision, as the trace-event format's
+/// `ts`/`dur` fields expect.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Serializes records as complete (`"ph":"X"`) trace events under one
+/// process (`pid` 1), one Chrome thread per recording thread.
+pub fn chrome_json(records: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"paro\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}",
+            escape(r.stage),
+            us(r.start_ns),
+            us(r.duration_ns()),
+            r.thread,
+            r.id,
+            r.parent,
+        ));
+        if r.ctx != NO_CTX {
+            out.push_str(&format!(",\"ctx\":{}", r.ctx));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    fn rec(id: u64, stage: &'static str, start: u64, end: u64, ctx: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: 0,
+            stage,
+            start_ns: start,
+            end_ns: end,
+            ctx,
+            thread: 3,
+        }
+    }
+
+    fn field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
+        v.as_map()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    #[test]
+    fn microsecond_formatting() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_500), "1.500");
+        assert_eq!(us(2_000_001), "2000.001");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn export_is_valid_trace_event_json() {
+        let json = chrome_json(&[
+            rec(1, "pipeline.qkt", 1_000, 4_500, 7),
+            rec(2, "pool.execute", 2_000, 3_000, NO_CTX),
+        ]);
+        let value = serde_json::parse_value(&json).expect("exporter must emit valid JSON");
+        let events = field(&value, "traceEvents")
+            .and_then(Value::as_seq)
+            .expect("traceEvents must be an array");
+        assert_eq!(events.len(), 2);
+        for event in events {
+            // The trace-event format requires ph/ts and pid/tid on every
+            // event; we emit complete events with a duration.
+            assert_eq!(field(event, "ph").and_then(Value::as_str), Some("X"));
+            assert!(field(event, "ts").and_then(Value::as_f64).is_some());
+            assert!(field(event, "dur").and_then(Value::as_f64).is_some());
+            assert!(field(event, "pid").and_then(Value::as_f64).is_some());
+            assert!(field(event, "tid").and_then(Value::as_f64).is_some());
+            assert!(field(event, "name").and_then(Value::as_str).is_some());
+        }
+        let first = &events[0];
+        assert_eq!(
+            field(first, "name").and_then(Value::as_str),
+            Some("pipeline.qkt")
+        );
+        assert_eq!(field(first, "ts").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(field(first, "dur").and_then(Value::as_f64), Some(3.5));
+        let args = field(first, "args").expect("args present");
+        assert_eq!(field(args, "ctx").and_then(Value::as_f64), Some(7.0));
+        // NO_CTX spans omit the ctx arg entirely.
+        let second_args = field(&events[1], "args").expect("args present");
+        assert!(field(second_args, "ctx").is_none());
+    }
+
+    #[test]
+    fn empty_trace_still_valid() {
+        let json = chrome_json(&[]);
+        let value = serde_json::parse_value(&json).expect("valid JSON");
+        let events = field(&value, "traceEvents")
+            .and_then(Value::as_seq)
+            .expect("traceEvents array");
+        assert!(events.is_empty());
+    }
+}

@@ -1,0 +1,419 @@
+//! The real recorder, compiled with the `enabled` feature: thread-local
+//! buffers registered in a process-wide collector, drained at session end.
+
+use crate::record::{SpanRecord, NO_CTX};
+use crate::Trace;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Per-thread record cap; spans past it are counted in `Trace::dropped`
+/// instead of growing the buffer without bound.
+const MAX_RECORDS_PER_THREAD: usize = 1 << 20;
+
+/// Recording is on between `TraceSession::start` and `finish`. Span sites
+/// check this with one relaxed load before doing any other work.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// One session at a time: `start` blocks on this gate until the previous
+/// session finishes, so two concurrent benchmarks can't interleave traces.
+static SESSION_GATE: Mutex<bool> = Mutex::new(false);
+static SESSION_FREED: Condvar = Condvar::new();
+
+/// Process-unique span ids; 0 is reserved for "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Dense per-thread ids for the Chrome `tid` field; 0 is never assigned.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Monotonic epoch all timestamps are relative to, fixed at the first
+/// trace use in the process so cross-thread records are comparable.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    Instant::now().saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+/// The per-thread sink. Shared with the global registry via `Arc` so a
+/// session can drain buffers of threads that have since exited.
+struct ThreadBuffer {
+    thread: u64,
+    records: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+impl ThreadBuffer {
+    fn push(&self, record: SpanRecord) {
+        let mut records = self.records.lock().unwrap();
+        if records.len() >= MAX_RECORDS_PER_THREAD {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            records.push(record);
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuffer>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuffer>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct Local {
+    buffer: Arc<ThreadBuffer>,
+    /// Open spans on this thread, innermost last; tops become parents.
+    stack: RefCell<Vec<u64>>,
+    /// Correlation context set by [`ctx`]; tracked even while no session
+    /// is active so a session started mid-request still sees it.
+    ctx: Cell<u64>,
+}
+
+thread_local! {
+    static LOCAL: Local = {
+        let buffer = Arc::new(ThreadBuffer {
+            thread: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+            records: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        });
+        registry().lock().unwrap().push(Arc::clone(&buffer));
+        Local {
+            buffer,
+            stack: RefCell::new(Vec::new()),
+            ctx: Cell::new(NO_CTX),
+        }
+    };
+}
+
+/// Returns `true` while a [`TraceSession`] is recording. Use this to skip
+/// side work that only exists to feed the trace (e.g. capturing enqueue
+/// timestamps for [`record_range`]).
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// The correlation context currently set on this thread via [`ctx`], or
+/// [`NO_CTX`]. Capture it before handing work to another thread and
+/// re-establish it there so spans stay attributed across the hop.
+#[inline]
+pub fn current_ctx() -> u64 {
+    LOCAL.with(|l| l.ctx.get())
+}
+
+/// Sets this thread's correlation context for the guard's lifetime
+/// (restoring the previous value on drop). The serving engine sets it to
+/// the request index before any compute runs.
+#[inline]
+pub fn ctx(value: u64) -> CtxGuard {
+    let prev = LOCAL.with(|l| l.ctx.replace(value));
+    CtxGuard { prev }
+}
+
+/// RAII guard restoring the previous correlation context; see [`ctx`].
+#[must_use = "the context is reset when the guard drops"]
+pub struct CtxGuard {
+    prev: u64,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        LOCAL.with(|l| l.ctx.set(self.prev));
+    }
+}
+
+/// Opens a span for `stage`, closed (and recorded) when the returned
+/// guard drops. Nested spans on the same thread link to their parent.
+/// Costs one relaxed atomic load when no session is active.
+#[inline]
+pub fn span(stage: &'static str) -> SpanGuard {
+    if !is_active() {
+        return SpanGuard {
+            id: 0,
+            parent: 0,
+            stage,
+            start_ns: 0,
+            ctx: NO_CTX,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let (parent, ctx) = LOCAL.with(|l| {
+        let mut stack = l.stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        (parent, l.ctx.get())
+    });
+    SpanGuard {
+        id,
+        parent,
+        stage,
+        start_ns: now_ns(),
+        ctx,
+    }
+}
+
+/// RAII span guard returned by [`span`]; records a [`SpanRecord`] on drop.
+#[must_use = "the span closes when the guard drops"]
+pub struct SpanGuard {
+    id: u64,
+    parent: u64,
+    stage: &'static str,
+    start_ns: u64,
+    ctx: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return; // opened while no session was active
+        }
+        let end_ns = now_ns();
+        LOCAL.with(|l| {
+            let mut stack = l.stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+            drop(stack);
+            l.buffer.push(SpanRecord {
+                id: self.id,
+                parent: self.parent,
+                stage: self.stage,
+                start_ns: self.start_ns,
+                end_ns,
+                ctx: self.ctx,
+                thread: l.buffer.thread,
+            });
+        });
+    }
+}
+
+/// Records an externally-timed interval (e.g. a queue wait measured from
+/// an enqueue timestamp) as a root span on the calling thread, attributed
+/// to `ctx`. No-op when no session is active; instants predating the
+/// trace epoch clamp to it.
+pub fn record_range(stage: &'static str, start: Instant, end: Instant, ctx: u64) {
+    if !is_active() {
+        return;
+    }
+    let e = epoch();
+    let start_ns = start.saturating_duration_since(e).as_nanos() as u64;
+    let end_ns = end.saturating_duration_since(e).as_nanos() as u64;
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    LOCAL.with(|l| {
+        l.buffer.push(SpanRecord {
+            id,
+            parent: 0,
+            stage,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            ctx,
+            thread: l.buffer.thread,
+        });
+    });
+}
+
+/// An exclusive recording window. `start` blocks until any other session
+/// finishes, clears residual records, and turns span sites on; `finish`
+/// turns them off and drains every thread's buffer into a [`Trace`].
+#[must_use = "finish() returns the recorded trace"]
+pub struct TraceSession {
+    finished: bool,
+}
+
+impl TraceSession {
+    /// Begins recording, waiting for any concurrent session to finish
+    /// first (sessions are process-exclusive).
+    pub fn start() -> Self {
+        let mut in_session = SESSION_GATE.lock().unwrap();
+        while *in_session {
+            in_session = SESSION_FREED.wait(in_session).unwrap();
+        }
+        *in_session = true;
+        drop(in_session);
+        epoch();
+        // Clear records left by spans that closed after the previous
+        // session's drain.
+        for buffer in registry().lock().unwrap().iter() {
+            buffer.records.lock().unwrap().clear();
+            buffer.dropped.store(0, Ordering::Relaxed);
+        }
+        ACTIVE.store(true, Ordering::SeqCst);
+        TraceSession { finished: false }
+    }
+
+    /// Stops recording and returns everything captured, sorted by start
+    /// time. Spans still open on other threads are not included (they
+    /// record on close and are cleared by the next session).
+    pub fn finish(mut self) -> Trace {
+        self.finished = true;
+        ACTIVE.store(false, Ordering::SeqCst);
+        let mut records = Vec::new();
+        let mut dropped = 0u64;
+        for buffer in registry().lock().unwrap().iter() {
+            records.append(&mut buffer.records.lock().unwrap());
+            dropped += buffer.dropped.swap(0, Ordering::Relaxed);
+        }
+        records.sort_by_key(|r| (r.start_ns, r.id));
+        self.release();
+        Trace { records, dropped }
+    }
+
+    fn release(&self) {
+        *SESSION_GATE.lock().unwrap() = false;
+        SESSION_FREED.notify_one();
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            ACTIVE.store(false, Ordering::SeqCst);
+            self.release();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// The collector is process-global, so concurrently-running tests
+    /// would see each other's spans; serialize them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn records_nested_spans_with_parent_links() {
+        let _x = exclusive();
+        let session = TraceSession::start();
+        {
+            let _outer = span("pipeline.qkt");
+            let _inner = span("pipeline.quantize_map");
+        }
+        let trace = session.finish();
+        assert_eq!(trace.records.len(), 2);
+        assert_eq!(trace.dropped, 0);
+        let outer = trace
+            .records
+            .iter()
+            .find(|r| r.stage == "pipeline.qkt")
+            .unwrap();
+        let inner = trace
+            .records
+            .iter()
+            .find(|r| r.stage == "pipeline.quantize_map")
+            .unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+        assert_eq!(outer.ctx, NO_CTX);
+    }
+
+    #[test]
+    fn ctx_scopes_nest_and_restore() {
+        let _x = exclusive();
+        let session = TraceSession::start();
+        {
+            let _a = ctx(3);
+            assert_eq!(current_ctx(), 3);
+            {
+                let _b = ctx(4);
+                assert_eq!(current_ctx(), 4);
+                let _s = span("serve.service");
+            }
+            assert_eq!(current_ctx(), 3);
+        }
+        assert_eq!(current_ctx(), NO_CTX);
+        let trace = session.finish();
+        assert_eq!(trace.records.len(), 1);
+        assert_eq!(trace.records[0].ctx, 4);
+    }
+
+    #[test]
+    fn spans_outside_sessions_record_nothing() {
+        let _x = exclusive();
+        {
+            let _orphan = span("pool.execute");
+            assert!(!is_active());
+        }
+        let session = TraceSession::start();
+        let trace = session.finish();
+        assert!(trace.records.is_empty());
+    }
+
+    #[test]
+    fn record_range_is_a_root_span_with_ctx() {
+        let _x = exclusive();
+        let session = TraceSession::start();
+        let start = Instant::now();
+        std::thread::sleep(Duration::from_micros(200));
+        record_range("serve.queue_wait", start, Instant::now(), 9);
+        let trace = session.finish();
+        assert_eq!(trace.records.len(), 1);
+        let r = &trace.records[0];
+        assert_eq!(r.stage, "serve.queue_wait");
+        assert_eq!(r.parent, 0);
+        assert_eq!(r.ctx, 9);
+        assert!(r.duration_ns() >= 200_000, "got {}", r.duration_ns());
+    }
+
+    #[test]
+    fn collects_across_threads_and_sorts_by_start() {
+        let _x = exclusive();
+        let session = TraceSession::start();
+        let here = span("serve.admit");
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let _c = ctx(i);
+                    let _s = span("pool.execute");
+                    std::thread::sleep(Duration::from_micros(50));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(here);
+        let trace = session.finish();
+        assert_eq!(trace.records.len(), 5);
+        let threads: std::collections::HashSet<u64> =
+            trace.records.iter().map(|r| r.thread).collect();
+        assert!(threads.len() >= 2, "expected multiple recording threads");
+        assert!(trace
+            .records
+            .windows(2)
+            .all(|w| w[0].start_ns <= w[1].start_ns));
+        let mut ctxs: Vec<u64> = trace
+            .records
+            .iter()
+            .filter(|r| r.stage == "pool.execute")
+            .map(|r| r.ctx)
+            .collect();
+        ctxs.sort_unstable();
+        assert_eq!(ctxs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sessions_are_serialized_and_cleared() {
+        let _x = exclusive();
+        let first = TraceSession::start();
+        {
+            let _s = span("serve.service");
+        }
+        let trace = first.finish();
+        assert_eq!(trace.records.len(), 1);
+        // A new session must not see the previous session's records.
+        let second = TraceSession::start();
+        let trace = second.finish();
+        assert!(trace.records.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! `paro-trace`: low-overhead span tracing for the PARO runtime.
+//!
+//! The serving engine, the compute pool and the attention pipeline all
+//! report *aggregate* counters (see `paro-serve::metrics`); what they
+//! cannot show is **where one request spends its time** — reorder vs.
+//! calibration vs. `QKᵀ` vs. packed `AttnV` vs. queue wait. This crate is
+//! the measurement substrate for that question, built to be embeddable in
+//! every runtime crate:
+//!
+//! - **Zero dependencies.** Records are plain structs; both exporters
+//!   (Chrome trace-event JSON and per-stage summaries) are hand-rolled.
+//! - **Low overhead.** Recording goes through a thread-local buffer whose
+//!   mutex is only ever contended at session drain; an inactive session
+//!   costs one relaxed atomic load per span site.
+//! - **Compile-out.** Without the `enabled` cargo feature every API call
+//!   is an inlined no-op, so instrumented hot loops carry no cost at all.
+//!
+//! # Model
+//!
+//! A [`TraceSession`] brackets a recording window; finishing it yields a
+//! [`Trace`] of [`SpanRecord`]s. Spans are RAII guards ([`span`]) named by
+//! a `&'static str` stage (the canonical stage names live in [`stage`]),
+//! nest per thread (`parent` links), and carry a **correlation context**
+//! ([`ctx`]) — the serving engine sets it to the request index before any
+//! compute runs, and [`paro-core`'s compute
+//! pool](../paro_core/pool/index.html) forwards it across thread hops, so
+//! one trace shows a request crossing the admission queue into pool
+//! workers. Externally-timed intervals (queue waits) are recorded with
+//! [`record_range`].
+//!
+//! # Example
+//!
+//! ```
+//! let session = paro_trace::TraceSession::start();
+//! {
+//!     let _request = paro_trace::ctx(7);
+//!     let _outer = paro_trace::span("pipeline.qkt");
+//!     let _inner = paro_trace::span("pipeline.quantize_map");
+//! }
+//! let trace = session.finish();
+//! # #[cfg(feature = "enabled")]
+//! # {
+//! assert_eq!(trace.records.len(), 2);
+//! // Records sort by start time: outer span first, inner linked to it.
+//! assert_eq!(trace.records[0].stage, "pipeline.qkt");
+//! assert_eq!(trace.records[1].parent, trace.records[0].id);
+//! assert!(trace.records.iter().all(|r| r.ctx == 7));
+//! // Exporters: Chrome trace-event JSON + per-stage summary.
+//! let json = trace.chrome_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! let summary = trace.summary();
+//! assert_eq!(summary.len(), 2);
+//! # }
+//! ```
+//!
+//! The emitted JSON loads in Perfetto / `about://tracing`; the field
+//! contract is documented in `docs/TELEMETRY.md` at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod record;
+mod summary;
+
+#[cfg(feature = "enabled")]
+mod collector;
+#[cfg(not(feature = "enabled"))]
+mod noop;
+
+pub use record::{SpanRecord, NO_CTX};
+pub use summary::{format_table, summarize, summarize_by_ctx, CtxSummary, StageSummary};
+
+#[cfg(feature = "enabled")]
+pub use collector::{
+    ctx, current_ctx, is_active, record_range, span, CtxGuard, SpanGuard, TraceSession,
+};
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    ctx, current_ctx, is_active, record_range, span, CtxGuard, SpanGuard, TraceSession,
+};
+
+/// Whether recording support is compiled into this build (the `enabled`
+/// cargo feature). When `false`, every span/event call is a no-op and
+/// sessions always return empty traces.
+pub const COMPILED_IN: bool = cfg!(feature = "enabled");
+
+/// Canonical stage names emitted by the instrumented PARO crates.
+///
+/// Instrumentation sites reference these constants so the telemetry
+/// contract (`docs/TELEMETRY.md`) has a single source of truth; exporters
+/// accept any `&'static str`, so downstream users may add their own.
+pub mod stage {
+    /// Admission-to-pickup wait of one serve request in the engine queue.
+    pub const SERVE_QUEUE_WAIT: &str = "serve.queue_wait";
+    /// One serve request's worker service time (calibration resolution +
+    /// attention execution).
+    pub const SERVE_SERVICE: &str = "serve.service";
+    /// Plan-cache miss: offline calibration of one head.
+    pub const SERVE_CALIBRATE: &str = "serve.calibrate";
+    /// Batch submission loop of `Engine::run_batch`.
+    pub const SERVE_ADMIT: &str = "serve.admit";
+    /// Submission-order reassembly wait of `Engine::run_batch`.
+    pub const SERVE_REASSEMBLE: &str = "serve.reassemble";
+    /// Wait of one job in the shared compute-pool queue.
+    pub const POOL_QUEUE_WAIT: &str = "pool.queue_wait";
+    /// Execution of one job on a compute-pool worker.
+    pub const POOL_EXECUTE: &str = "pool.execute";
+    /// INT8 quantization of `Q`/`K` (and packed quantization of `V`).
+    pub const PIPELINE_QUANTIZE_QKV: &str = "pipeline.quantize_qkv";
+    /// Online reorder-plan selection (the non-calibrated pipeline).
+    pub const PIPELINE_SELECT_PLAN: &str = "pipeline.select_plan";
+    /// Token reorder of `Q`/`K`/`V` under the selected plan.
+    pub const PIPELINE_REORDER: &str = "pipeline.reorder";
+    /// `QKᵀ` score computation + softmax (LDZ-truncated when
+    /// output-aware).
+    pub const PIPELINE_QKT: &str = "pipeline.qkt";
+    /// Block-wise (mixed-precision) quantization of the softmaxed map.
+    pub const PIPELINE_QUANTIZE_MAP: &str = "pipeline.quantize_map";
+    /// `AttnV` — block-sparse, packed-integer in the deployment path.
+    pub const PIPELINE_ATTN_V: &str = "pipeline.attn_v";
+    /// Inverse reorder of the attention output.
+    pub const PIPELINE_UNREORDER: &str = "pipeline.unreorder";
+    /// Zero-point centering ("unpack") of the per-column `V` codes.
+    pub const ATTNV_UNPACK: &str = "attnv.unpack";
+    /// The per-bitwidth i32 MAC micro-kernels over packed map blocks.
+    pub const ATTNV_MAC: &str = "attnv.mac";
+    /// Multi-sample offline head calibration (`calibrate_head`).
+    pub const CALIBRATE_HEAD: &str = "calibrate.head";
+
+    /// Every canonical stage name, for exporter tests and documentation
+    /// checks.
+    pub const ALL: &[&str] = &[
+        SERVE_QUEUE_WAIT,
+        SERVE_SERVICE,
+        SERVE_CALIBRATE,
+        SERVE_ADMIT,
+        SERVE_REASSEMBLE,
+        POOL_QUEUE_WAIT,
+        POOL_EXECUTE,
+        PIPELINE_QUANTIZE_QKV,
+        PIPELINE_SELECT_PLAN,
+        PIPELINE_REORDER,
+        PIPELINE_QKT,
+        PIPELINE_QUANTIZE_MAP,
+        PIPELINE_ATTN_V,
+        PIPELINE_UNREORDER,
+        ATTNV_UNPACK,
+        ATTNV_MAC,
+        CALIBRATE_HEAD,
+    ];
+}
+
+/// A finished recording: every span captured between
+/// [`TraceSession::start`] and [`TraceSession::finish`], sorted by start
+/// time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The recorded spans, sorted by `start_ns` (ties by `id`).
+    pub records: Vec<SpanRecord>,
+    /// Spans dropped because a thread hit its buffer cap during the
+    /// session. Non-zero means the summaries undercount.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Exports the trace in Chrome trace-event JSON (the format Perfetto
+    /// and `about://tracing` load). See `docs/TELEMETRY.md` for the field
+    /// contract.
+    pub fn chrome_json(&self) -> String {
+        chrome::chrome_json(&self.records)
+    }
+
+    /// Per-stage aggregate durations (count/total/p50/p95/max), sorted by
+    /// total time descending.
+    pub fn summary(&self) -> Vec<StageSummary> {
+        summarize(&self.records)
+    }
+
+    /// Per-context per-stage aggregates: one [`CtxSummary`] per distinct
+    /// correlation context (spans without a context are grouped under
+    /// [`NO_CTX`]).
+    pub fn summary_by_ctx(&self) -> Vec<CtxSummary> {
+        summarize_by_ctx(&self.records)
+    }
+}

@@ -1,0 +1,69 @@
+//! The compiled-out recorder, used when the `enabled` feature is off:
+//! the same API surface as the real collector with every call an inlined
+//! no-op, so instrumentation sites cost nothing.
+
+use crate::record::NO_CTX;
+use crate::Trace;
+use std::time::Instant;
+
+/// Always `false` in a compiled-out build; lets callers skip side work
+/// (like capturing enqueue timestamps) at zero cost.
+#[inline(always)]
+pub fn is_active() -> bool {
+    false
+}
+
+/// Always [`NO_CTX`] in a compiled-out build.
+#[inline(always)]
+pub fn current_ctx() -> u64 {
+    NO_CTX
+}
+
+/// No-op context scope; see the `enabled`-feature docs for semantics.
+#[inline(always)]
+pub fn ctx(_value: u64) -> CtxGuard {
+    CtxGuard { _priv: () }
+}
+
+/// Inert stand-in for the real context guard.
+#[must_use = "the context is reset when the guard drops"]
+pub struct CtxGuard {
+    _priv: (),
+}
+
+/// No-op span; see the `enabled`-feature docs for semantics.
+#[inline(always)]
+pub fn span(_stage: &'static str) -> SpanGuard {
+    SpanGuard { _priv: () }
+}
+
+/// Inert stand-in for the real span guard.
+#[must_use = "the span closes when the guard drops"]
+pub struct SpanGuard {
+    _priv: (),
+}
+
+/// No-op externally-timed interval; see the `enabled`-feature docs.
+#[inline(always)]
+pub fn record_range(_stage: &'static str, _start: Instant, _end: Instant, _ctx: u64) {}
+
+/// Inert session: `start` records nothing and `finish` returns an empty
+/// [`Trace`].
+#[must_use = "finish() returns the recorded trace"]
+pub struct TraceSession {
+    _priv: (),
+}
+
+impl TraceSession {
+    /// Returns an inert session (recording is compiled out).
+    #[inline(always)]
+    pub fn start() -> Self {
+        TraceSession { _priv: () }
+    }
+
+    /// Returns an empty [`Trace`].
+    #[inline(always)]
+    pub fn finish(self) -> Trace {
+        Trace::default()
+    }
+}

@@ -1,0 +1,57 @@
+//! The wire-level record every exporter consumes.
+
+/// Context value for spans recorded outside any [`crate::ctx`] scope.
+pub const NO_CTX: u64 = u64::MAX;
+
+/// One closed span: a named stage with start/end timestamps, its parent
+/// on the recording thread, and the correlation context active when it
+/// opened.
+///
+/// Timestamps are nanoseconds since the session's process-wide monotonic
+/// epoch (the first trace use in the process), so records from different
+/// threads are directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id (monotonic, never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for a root span.
+    pub parent: u64,
+    /// Stage name; canonical values live in [`crate::stage`].
+    pub stage: &'static str,
+    /// Span open time, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Span close time, nanoseconds since the trace epoch.
+    pub end_ns: u64,
+    /// Correlation context (serve request index in the serving engine),
+    /// or [`NO_CTX`].
+    pub ctx: u64,
+    /// Recording thread, as a small dense index assigned per thread.
+    pub thread: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds (saturating; clocks are monotonic so
+    /// this only guards manual construction).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_saturates() {
+        let r = SpanRecord {
+            id: 1,
+            parent: 0,
+            stage: "x",
+            start_ns: 10,
+            end_ns: 4,
+            ctx: NO_CTX,
+            thread: 0,
+        };
+        assert_eq!(r.duration_ns(), 0);
+    }
+}

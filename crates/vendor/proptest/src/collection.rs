@@ -1,10 +1,10 @@
-//! Collection strategies: [`vec`].
+//! Collection strategies: [`vec()`].
 
 use crate::strategy::{SampledTree, Strategy};
 use crate::test_runner::{Reason, TestRunner};
 use rand::Rng;
 
-/// Sizes accepted by [`vec`]: a fixed length or a range of lengths.
+/// Sizes accepted by [`vec()`]: a fixed length or a range of lengths.
 pub trait IntoSizeRange {
     /// The inclusive (low, high) length bounds.
     fn bounds(&self) -> (usize, usize);
@@ -37,7 +37,7 @@ pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> 
     VecStrategy { element, min, max }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     min: usize,

@@ -195,7 +195,7 @@ pub mod uniform {
         isize as i64
     );
 
-    /// Range types accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+    /// Range types accepted by [`Rng::gen_range`].
     pub trait SampleRange<T> {
         /// Samples a single value from the range.
         fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
