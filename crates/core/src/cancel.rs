@@ -1,0 +1,70 @@
+//! Cooperative cancellation: per-request deadlines checked between
+//! pipeline stages.
+//!
+//! The attention pipeline is CPU-bound with no blocking waits, so
+//! cancellation is cooperative: long-running code holds a [`Deadline`]
+//! and calls [`Deadline::check`] at stage boundaries. An expired deadline
+//! surfaces as [`CoreError::Cancelled`], which the serving engine maps
+//! back to its own timeout error. A `Deadline` is `Copy` and free to pass
+//! around; [`Deadline::NONE`] never expires and its checks compile down
+//! to a branch on a `None`.
+
+use crate::CoreError;
+use std::time::{Duration, Instant};
+
+/// A point in time after which cooperative work should stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub const NONE: Deadline = Deadline { at: None };
+
+    /// A deadline expiring at `instant`.
+    pub fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// A deadline expiring `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline::at(Instant::now() + budget)
+    }
+
+    /// Whether the deadline has passed. [`Deadline::NONE`] never expires.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Returns [`CoreError::Cancelled`] when expired; the pipeline calls
+    /// this between stages.
+    pub fn check(&self) -> Result<(), CoreError> {
+        if self.expired() {
+            Err(CoreError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        assert!(!Deadline::NONE.expired());
+        assert!(Deadline::NONE.check().is_ok());
+    }
+
+    #[test]
+    fn future_deadline_passes_then_expires() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.check().is_ok());
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.check(), Err(CoreError::Cancelled));
+    }
+}

@@ -33,6 +33,27 @@ pub enum CoreError {
     },
     /// The sensitivity table is empty (no blocks to allocate).
     EmptyAllocation,
+    /// The operation was cancelled cooperatively (its deadline expired
+    /// between pipeline stages). Not retryable: the time budget is gone.
+    Cancelled,
+    /// A transient fault (injected by a `paro-failpoint` site in chaos
+    /// builds). Retrying the operation is expected to succeed.
+    Transient {
+        /// The failpoint site that raised the fault.
+        site: &'static str,
+    },
+}
+
+impl CoreError {
+    /// Whether retrying the failed operation can plausibly succeed —
+    /// `true` only for [`CoreError::Transient`] faults (directly or
+    /// wrapped in [`CoreError::Quant`]).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Transient { .. } | CoreError::Quant(QuantError::Transient { .. })
+        )
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -51,6 +72,10 @@ impl fmt::Display for CoreError {
                 write!(f, "average bitwidth budget {budget} outside [0, 8]")
             }
             CoreError::EmptyAllocation => write!(f, "no blocks to allocate bits for"),
+            CoreError::Cancelled => write!(f, "cancelled: request deadline expired"),
+            CoreError::Transient { site } => {
+                write!(f, "transient fault injected at '{site}'")
+            }
         }
     }
 }
@@ -100,10 +125,22 @@ mod tests {
             },
             CoreError::BadBudget { budget: 9.0 },
             CoreError::EmptyAllocation,
+            CoreError::Cancelled,
+            CoreError::Transient {
+                site: "pipeline.int_attn",
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(CoreError::Transient { site: "s" }.is_transient());
+        assert!(CoreError::Quant(QuantError::Transient { site: "s" }).is_transient());
+        assert!(!CoreError::Cancelled.is_transient());
+        assert!(!CoreError::EmptyAllocation.is_transient());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! other.
 
 use crate::calibration::HeadCalibration;
+use crate::cancel::Deadline;
 use crate::pipeline::{
     attention_map, int8_rowwise, output_aware_map, AttentionInputs, AttentionRun,
 };
@@ -77,19 +78,50 @@ pub fn run_attention_calibrated_int(
     cal: &HeadCalibration,
     output_aware: bool,
 ) -> Result<IntAttentionRun, CoreError> {
+    run_attention_calibrated_int_with(inputs, cal, output_aware, Deadline::NONE)
+}
+
+/// [`run_attention_calibrated_int`] with a cooperative [`Deadline`]
+/// checked between stages: an expired deadline stops the pipeline at the
+/// next stage boundary with [`CoreError::Cancelled`] instead of finishing
+/// work whose result nobody will wait for.
+///
+/// # Errors
+///
+/// Everything [`run_attention_calibrated_int`] returns, plus
+/// [`CoreError::Cancelled`] on deadline expiry and
+/// [`CoreError::Transient`] when the `pipeline.int_attn` failpoint is
+/// armed (chaos builds only).
+pub fn run_attention_calibrated_int_with(
+    inputs: &AttentionInputs,
+    cal: &HeadCalibration,
+    output_aware: bool,
+    deadline: Deadline,
+) -> Result<IntAttentionRun, CoreError> {
+    // A Delay fault here holds the request mid-service so chaos tests can
+    // expire `deadline` deterministically at the next check.
+    if paro_failpoint::fire(paro_failpoint::site::PIPELINE_INT_ATTN) {
+        return Err(CoreError::Transient {
+            site: paro_failpoint::site::PIPELINE_INT_ATTN,
+        });
+    }
+    deadline.check()?;
     let (q8, k8) = {
         let _t = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_QKV);
         (int8_rowwise(inputs.q())?, int8_rowwise(inputs.k())?)
     };
+    deadline.check()?;
     let plan = cal.plan(inputs.grid());
     let (qr, kr, vr) = {
         let _t = paro_trace::span(paro_trace::stage::PIPELINE_REORDER);
         (plan.apply(&q8)?, plan.apply(&k8)?, plan.apply(inputs.v())?)
     };
+    deadline.check()?;
     let vq = {
         let _t = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_QKV);
         PerColCodes::quantize(&vr, Bitwidth::B8)?
     };
+    deadline.check()?;
     let source_map = {
         let _t = paro_trace::span(paro_trace::stage::PIPELINE_QKT);
         if output_aware {
@@ -98,15 +130,18 @@ pub fn run_attention_calibrated_int(
             attention_map(&qr, &kr)?
         }
     };
+    deadline.check()?;
     let packed = {
         let _t = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_MAP);
         MixedPrecisionMap::quantize(&source_map, cal.block, &cal.allocation.bits)?
     };
     let sparsity = packed.zero_fraction();
+    deadline.check()?;
     let attn = {
         let _t = paro_trace::span(paro_trace::stage::PIPELINE_ATTN_V);
         packed_attn_v(&packed, &vq)?
     };
+    deadline.check()?;
     let output = {
         let _t = paro_trace::span(paro_trace::stage::PIPELINE_UNREORDER);
         plan.invert(&attn.output)?
@@ -220,6 +255,20 @@ mod tests {
                 .unwrap();
         assert_eq!(int.stats.executed_macs, sparse.executed_macs);
         assert_eq!(int.stats.dense_macs, sparse.dense_macs);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_between_stages() {
+        let (inputs, cal) = setup(25);
+        let expired = Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let err = run_attention_calibrated_int_with(&inputs, &cal, false, expired)
+            .expect_err("expired deadline must cancel");
+        assert_eq!(err, CoreError::Cancelled);
+        // A generous deadline changes nothing.
+        let relaxed = Deadline::after(std::time::Duration::from_secs(3600));
+        let with = run_attention_calibrated_int_with(&inputs, &cal, false, relaxed).unwrap();
+        let without = run_attention_calibrated_int(&inputs, &cal, false).unwrap();
+        assert_eq!(with, without);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   kernels, with packed-byte and MAC accounting.
 //! - [`pool`] — the process-wide compute pool (sized by
 //!   `available_parallelism`) that the forward passes and paro-serve share.
+//! - [`cancel`] — cooperative per-request deadlines, checked between
+//!   pipeline stages so an expired request stops mid-service.
 //! - [`analysis`] — the data-distribution analysis behind Fig. 1.
 //!
 //! # Example
@@ -49,6 +51,7 @@
 pub mod allocate;
 pub mod analysis;
 pub mod calibration;
+pub mod cancel;
 pub mod diffusion;
 mod error;
 pub mod exec;

@@ -8,13 +8,71 @@
 //! work here, so no code path spawns more compute threads than the
 //! machine has cores.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The panic payload a worker job unwound with — a panic carried as a
+/// value, so callers of [`ComputePool::try_run`] get a typed error
+/// instead of a re-raised unwind.
+///
+/// `message` is extracted with [`panic_message`]; two faults with the
+/// same message compare equal, which chaos tests use to assert on
+/// injected panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolFault {
+    /// Human-readable panic payload (or a placeholder for non-string
+    /// payloads).
+    pub message: String,
+}
+
+impl fmt::Display for PoolFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool job panicked: {}", self.message)
+    }
+}
+
+impl Error for PoolFault {}
+
+/// Best-effort extraction of a panic payload's message: the `&str` and
+/// `String` payloads `panic!` produces are returned verbatim, anything
+/// else becomes a placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job body behind the `pool.job` failpoint; `Error` faults are
+/// escalated to panics because pool jobs return bare values (the caller
+/// decides between re-raising and [`PoolFault`]).
+fn guarded<T>(job: impl FnOnce() -> T) -> T {
+    if paro_failpoint::fire(paro_failpoint::site::POOL_JOB) {
+        panic!(
+            "injected fault at failpoint '{}'",
+            paro_failpoint::site::POOL_JOB
+        );
+    }
+    job()
+}
+
+/// Locks a pool mutex, recovering from poison: the queue holds plain
+/// data (jobs + a shutdown flag) that stays consistent even if a holder
+/// panicked, and a poisoned compute pool must never take serving down.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 std::thread_local! {
     static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
@@ -99,12 +157,77 @@ impl ComputePool {
             .expect("one job in, one result out")
     }
 
+    /// Runs one job on the pool, converting a panic into a typed
+    /// [`PoolFault`] instead of re-raising it — the request-isolation
+    /// entry point used by the serving engine.
+    pub fn try_run<T, F>(&self, job: F) -> Result<T, PoolFault>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.try_run_many(vec![Box::new(job) as Box<dyn FnOnce() -> T + Send>])
+            .pop()
+            .expect("one job in, one result out")
+    }
+
     /// Runs a batch of jobs on the pool, blocking until all complete, and
     /// returns their results in submission order.
     ///
     /// If any job panics, one of the panics is re-raised on the calling
     /// thread after all results are collected.
     pub fn run_many<T>(&self, jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>) -> Vec<T>
+    where
+        T: Send + 'static,
+    {
+        let mut panic: Option<Box<dyn Any + Send>> = None;
+        let results: Vec<Option<T>> = self
+            .exec_many(jobs)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => Some(v),
+                Err(p) => {
+                    panic = Some(p);
+                    None
+                }
+            })
+            .collect();
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("non-panicked jobs all have results"))
+            .collect()
+    }
+
+    /// Runs a batch of jobs, mapping each panic to a [`PoolFault`] in
+    /// that job's result slot; the other jobs' results are unaffected.
+    pub fn try_run_many<T>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<Result<T, PoolFault>>
+    where
+        T: Send + 'static,
+    {
+        self.exec_many(jobs)
+            .into_iter()
+            .map(|r| {
+                r.map_err(|p| PoolFault {
+                    message: panic_message(p.as_ref()),
+                })
+            })
+            .collect()
+    }
+
+    /// Shared executor: every job runs under `catch_unwind` (and the
+    /// `pool.job` failpoint), so one result slot per job comes back even
+    /// when jobs panic. Callers choose between re-raising
+    /// ([`ComputePool::run_many`]) and typed faults
+    /// ([`ComputePool::try_run_many`]).
+    fn exec_many<T>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<Result<T, Box<dyn Any + Send>>>
     where
         T: Send + 'static,
     {
@@ -115,7 +238,10 @@ impl ComputePool {
         // A worker calling back into the pool would wait on jobs that can
         // only run on the (fully occupied) worker set: run inline instead.
         if IS_POOL_WORKER.with(|f| f.get()) {
-            return jobs.into_iter().map(|j| j()).collect();
+            return jobs
+                .into_iter()
+                .map(|j| catch_unwind(AssertUnwindSafe(|| guarded(j))))
+                .collect();
         }
         // Carry the submitter's correlation context (serve request id)
         // onto the worker thread, and time queue wait vs. execution.
@@ -124,7 +250,7 @@ impl ComputePool {
         let enqueued = paro_trace::is_active().then(std::time::Instant::now);
         let (tx, rx) = mpsc::channel();
         {
-            let mut q = self.state.queue.lock().expect("pool mutex never poisoned");
+            let mut q = relock(&self.state.queue);
             for (idx, job) in jobs.into_iter().enumerate() {
                 let tx = tx.clone();
                 q.jobs.push_back(Box::new(move || {
@@ -142,31 +268,36 @@ impl ComputePool {
                     // the last result arrives.
                     let outcome = {
                         let _execute = paro_trace::span(paro_trace::stage::POOL_EXECUTE);
-                        catch_unwind(AssertUnwindSafe(job))
+                        catch_unwind(AssertUnwindSafe(|| guarded(job)))
                     };
                     // The receiver only hangs up on panic; dropping the
-                    // result then is fine, the panic is re-raised below.
+                    // result then is fine, the job's slot already holds
+                    // the outcome the caller will act on.
                     let _ = tx.send((idx, outcome));
                 }));
             }
         }
         drop(tx);
         self.state.available.notify_all();
-        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut results: Vec<Option<Result<T, Box<dyn Any + Send>>>> =
+            (0..n).map(|_| None).collect();
         for _ in 0..n {
-            let (idx, outcome) = rx.recv().expect("workers outlive pending jobs");
-            match outcome {
-                Ok(v) => results[idx] = Some(v),
-                Err(p) => panic = Some(p),
-            }
-        }
-        if let Some(p) = panic {
-            resume_unwind(p);
+            // A closed channel here means a worker died without sending —
+            // impossible under `catch_unwind`, but fail soft regardless:
+            // the missing slots become faults below.
+            let Ok((idx, outcome)) = rx.recv() else {
+                break;
+            };
+            results[idx] = Some(outcome);
         }
         results
             .into_iter()
-            .map(|r| r.expect("every job sent exactly one result"))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(Box::new("pool worker result channel closed".to_string())
+                        as Box<dyn Any + Send>)
+                })
+            })
             .collect()
     }
 }
@@ -174,7 +305,7 @@ impl ComputePool {
 impl Drop for ComputePool {
     fn drop(&mut self) {
         {
-            let mut q = self.state.queue.lock().expect("pool mutex never poisoned");
+            let mut q = relock(&self.state.queue);
             q.shutdown = true;
         }
         self.state.available.notify_all();
@@ -187,7 +318,7 @@ impl Drop for ComputePool {
 fn worker_loop(state: &PoolState) {
     loop {
         let job = {
-            let mut q = state.queue.lock().expect("pool mutex never poisoned");
+            let mut q = relock(&state.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
@@ -195,7 +326,10 @@ fn worker_loop(state: &PoolState) {
                 if q.shutdown {
                     return;
                 }
-                q = state.available.wait(q).expect("pool mutex never poisoned");
+                q = state
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         job();
@@ -267,6 +401,63 @@ mod tests {
             .map(|n| n.get())
             .unwrap_or(1);
         assert_eq!(ComputePool::global().threads(), n);
+    }
+
+    #[test]
+    fn try_run_converts_panic_to_typed_fault() {
+        let pool = ComputePool::new(2);
+        let fault = pool
+            .try_run::<(), _>(|| panic!("boom: request 7"))
+            .expect_err("panicking job must fault");
+        assert!(fault.message.contains("boom: request 7"), "{fault}");
+        // Pool still usable, and a clean job succeeds.
+        assert_eq!(pool.try_run(|| 5), Ok(5));
+    }
+
+    #[test]
+    fn try_run_many_isolates_the_panicking_slot() {
+        let pool = ComputePool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("slot three");
+                    }
+                    i * 10
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let got = pool.try_run_many(jobs);
+        for (i, r) in got.iter().enumerate() {
+            if i == 3 {
+                assert!(r.as_ref().is_err_and(|f| f.message.contains("slot three")));
+            } else {
+                assert_eq!(r.as_ref().ok(), Some(&(i * 10)));
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_is_fault_typed_even_inline_from_a_worker() {
+        // Nested submission runs inline; a panic there must still come
+        // back as a PoolFault, not unwind through the outer pool job.
+        let pool = ComputePool::new(1);
+        let fault = pool.run(|| {
+            ComputePool::global()
+                .try_run::<(), _>(|| panic!("inner"))
+                .expect_err("inline nested job must fault")
+        });
+        assert!(fault.message.contains("inner"));
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(s.as_ref()), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //! machines, trace reorder-plan selection, benchmark and profile the
 //! serving engine. Run `paro help` for usage.
 
-use paro::cli::{parse_args, CliCommand, ServeBenchOpts, TraceOpts, USAGE};
+use paro::cli::{parse_args, ChaosBenchOpts, CliCommand, ServeBenchOpts, TraceOpts, USAGE};
 use paro::core::calibration::calibrate_head;
 use paro::core::int_pipeline::run_attention_calibrated_int;
 use paro::core::pipeline::{attention_map, run_attention_calibrated_reference};
 use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
 use paro::prelude::*;
-use paro::report::{stage_rows, IntPathComparison, ServeBenchReport};
+use paro::report::{
+    stage_rows, ChaosBenchReport, InjectedFaultRow, IntPathComparison, ServeBenchReport,
+};
 use paro::serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
 use paro::serve::{CalibrationSource, Engine, ServeConfig};
 use paro::sim::OpCategory;
@@ -103,6 +105,7 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
         }
         CliCommand::ServeBench(opts) => serve_bench(&opts),
         CliCommand::Trace(opts) => trace_workload(&opts),
+        CliCommand::ChaosBench(opts) => chaos_bench(&opts),
         CliCommand::Plan {
             grid,
             pattern,
@@ -257,6 +260,116 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
         metrics: wl.engine.metrics_snapshot(),
     };
     println!("{}", serde_json::to_string_pretty(&report)?);
+    Ok(())
+}
+
+/// Output bits of a batch whose requests all completed, or `None` if any
+/// failed.
+fn batch_output_bits(outcome: &paro::serve::BatchOutcome) -> Option<Vec<Vec<u32>>> {
+    outcome
+        .responses
+        .iter()
+        .map(|r| {
+            r.as_ref().ok().map(|resp| {
+                resp.run
+                    .output
+                    .as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect()
+            })
+        })
+        .collect()
+}
+
+/// SplitMix64: derives per-site skip offsets from `--fault-seed` so the
+/// injected schedule is deterministic and varied without a RNG dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Arms one fault of every flavor — a pool-job panic, a calibration
+/// panic, a transient int-pipeline error and a transient quant error —
+/// with skip offsets derived from the fault seed. Returns the armed
+/// specs for the report (`fired` is filled in after the chaos batch).
+fn arm_faults(opts: &ChaosBenchOpts) -> Vec<(&'static str, paro::failpoint::FaultSpec)> {
+    use paro::failpoint::{site, FaultKind, FaultSpec};
+    let sites = [
+        (site::POOL_JOB, FaultKind::Panic),
+        (site::PLAN_CACHE_CALIBRATE, FaultKind::Panic),
+        (site::PIPELINE_INT_ATTN, FaultKind::Error),
+        (site::QUANT_PACK_ATTN_V, FaultKind::Error),
+    ];
+    let span = (opts.bench.requests as u64).max(1);
+    sites
+        .iter()
+        .enumerate()
+        .map(|(i, &(site, kind))| {
+            let skip = splitmix64(opts.fault_seed ^ (i as u64)) % span;
+            let spec = FaultSpec::new(kind, skip, opts.faults);
+            paro::failpoint::arm(site, spec);
+            (site, spec)
+        })
+        .collect()
+}
+
+fn chaos_bench(opts: &ChaosBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
+    let t0 = Instant::now();
+    // Baseline: a never-faulted engine over the same workload.
+    let baseline_bits = {
+        let wl = build_workload(&opts.bench)?;
+        let outcome = wl.engine.run_batch(synthetic_requests(&wl.spec));
+        batch_output_bits(&outcome)
+            .ok_or("baseline batch failed; chaos-bench needs a clean baseline")?
+    };
+    // Chaos: arm the fault schedule, run the same workload on a fresh
+    // engine, and let the fault-tolerance machinery absorb it. Injected
+    // panics are expected and contained — keep stderr readable.
+    let wl = build_workload(&opts.bench)?;
+    let armed = arm_faults(opts);
+    std::panic::set_hook(Box::new(|_| {}));
+    let chaos = wl.engine.run_batch(synthetic_requests(&wl.spec));
+    let _ = std::panic::take_hook();
+    let injected: Vec<InjectedFaultRow> = armed
+        .into_iter()
+        .map(|(site, spec)| InjectedFaultRow {
+            site: site.to_string(),
+            kind: spec.kind.as_str().to_string(),
+            skip: spec.skip,
+            times: spec.times,
+            fired: paro::failpoint::fired(site),
+        })
+        .collect();
+    // Disarm everything and re-run on the *same* engine: the clean batch
+    // must reproduce the baseline bit for bit.
+    paro::failpoint::reset();
+    let clean = wl.engine.run_batch(synthetic_requests(&wl.spec));
+    let clean_bits = batch_output_bits(&clean);
+    let snap = wl.engine.metrics_snapshot();
+    let report = ChaosBenchReport {
+        model: wl.model.name.clone(),
+        requests: opts.bench.requests,
+        threads: opts.bench.threads,
+        failpoints_compiled_in: paro::failpoint::COMPILED_IN,
+        injected,
+        chaos_completed: chaos.completed(),
+        chaos_failed: chaos.failed(),
+        clean_completed: clean.completed(),
+        clean_bit_identical: clean_bits.as_ref() == Some(&baseline_bits),
+        faulted: snap.faulted,
+        retried: snap.retried,
+        degraded: snap.degraded,
+        timed_out: snap.timed_out,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    };
+    println!("{}", serde_json::to_string_pretty(&report)?);
+    if !report.clean_bit_identical {
+        return Err("clean batch after injected faults diverged from the baseline".into());
+    }
     Ok(())
 }
 

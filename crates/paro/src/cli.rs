@@ -48,6 +48,9 @@ pub enum CliCommand {
     /// `paro trace`: run a serving workload under a trace session, write
     /// Chrome trace-event JSON, and print per-stage summaries.
     Trace(TraceOpts),
+    /// `paro chaos-bench`: run a serving workload with deterministic
+    /// fault injection and verify the engine's fault-tolerance contract.
+    ChaosBench(ChaosBenchOpts),
     /// `paro help`: print usage.
     Help,
 }
@@ -88,6 +91,19 @@ pub struct TraceOpts {
     pub out: String,
 }
 
+/// Options for `paro chaos-bench`: a serving workload plus fault
+/// arming parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosBenchOpts {
+    /// The workload to run (same knobs as `paro serve-bench`, smaller
+    /// default request count).
+    pub bench: ServeBenchOpts,
+    /// Seed deriving each armed site's skip offset.
+    pub fault_seed: u64,
+    /// Faults injected per armed site.
+    pub faults: u64,
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 paro — PARO attention-quantization toolkit
@@ -102,12 +118,24 @@ USAGE:
   paro trace    [--out FILE] [--threads N] [--queue N] [--requests N]
                 [--deadline-ms MS] [--grid FxHxW] [--blocks N] [--heads N]
                 [--budget B] [--block EDGE] [--seed S]
+  paro chaos-bench [--fault-seed S] [--faults N] [--threads N] [--queue N]
+                   [--requests N] [--deadline-ms MS] [--grid FxHxW]
+                   [--blocks N] [--heads N] [--budget B] [--block EDGE]
+                   [--seed S]
   paro help
 
 serve-bench drives the concurrent serving engine with a synthetic
 CogVideoX-2B workload (scaled to --grid) and prints a JSON metrics
 snapshot (requests/sec, latency percentiles, plan-cache hit rate) to
 stdout.
+
+chaos-bench runs a baseline batch, injects deterministic faults
+(worker/pool panics, transient quant/pipeline errors) into a second
+engine via paro-failpoint sites, then verifies every request resolves,
+the engine survives, and a clean batch afterwards is bit-identical to
+the baseline. Requires a binary built with --features failpoints to
+actually fire faults; compiled out, it degenerates to a clean-vs-clean
+determinism check and says so in the report.
 
 trace runs the same workload under a span-recording session, writes
 Chrome trace-event JSON (loadable in Perfetto / about://tracing) to
@@ -182,6 +210,23 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
         "serve-bench" => {
             reject_unknown(&opts, BENCH_FLAGS)?;
             Ok(CliCommand::ServeBench(parse_bench_opts(&opts, "150")?))
+        }
+        "chaos-bench" => {
+            let mut allowed = vec!["fault-seed", "faults"];
+            allowed.extend_from_slice(BENCH_FLAGS);
+            reject_unknown(&opts, &allowed)?;
+            // Chaos runs verify behavior, not throughput: short stream.
+            let bench = parse_bench_opts(&opts, "24")?;
+            let fault_seed: u64 = parse_num(opts_get(&opts, "fault-seed").unwrap_or("1"))?;
+            let faults: u64 = parse_num(opts_get(&opts, "faults").unwrap_or("1"))?;
+            if faults == 0 {
+                return Err("--faults must be at least 1".to_string());
+            }
+            Ok(CliCommand::ChaosBench(ChaosBenchOpts {
+                bench,
+                fault_seed,
+                faults,
+            }))
         }
         "trace" => {
             let mut allowed = vec!["out"];
@@ -583,8 +628,62 @@ mod tests {
     }
 
     #[test]
+    fn chaos_bench_defaults_and_flags() {
+        let cmd = parse_args(&args(&["chaos-bench"])).unwrap();
+        match cmd {
+            CliCommand::ChaosBench(opts) => {
+                assert_eq!(opts.bench.requests, 24);
+                assert_eq!(opts.fault_seed, 1);
+                assert_eq!(opts.faults, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "chaos-bench",
+            "--fault-seed",
+            "9",
+            "--faults",
+            "3",
+            "--requests",
+            "12",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::ChaosBench(opts) => {
+                assert_eq!(opts.fault_seed, 9);
+                assert_eq!(opts.faults, 3);
+                assert_eq!(opts.bench.requests, 12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_bench_rejects_degenerate_values() {
+        assert!(parse_args(&args(&["chaos-bench", "--faults", "0"]))
+            .unwrap_err()
+            .contains("faults"));
+        assert!(parse_args(&args(&["chaos-bench", "--requests", "0"]))
+            .unwrap_err()
+            .contains("requests"));
+    }
+
+    #[test]
+    fn usage_documents_chaos_bench() {
+        assert!(USAGE.contains("chaos-bench"));
+        assert!(USAGE.contains("--fault-seed"));
+    }
+
+    #[test]
     fn unknown_flags_are_rejected() {
-        for cmd in ["quantize", "simulate", "plan", "serve-bench", "trace"] {
+        for cmd in [
+            "quantize",
+            "simulate",
+            "plan",
+            "serve-bench",
+            "trace",
+            "chaos-bench",
+        ] {
             let err = parse_args(&args(&[cmd, "--wat", "7"])).unwrap_err();
             assert!(err.contains("unknown flag --wat"), "{cmd}: {err}");
         }

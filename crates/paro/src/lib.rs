@@ -21,6 +21,9 @@
 //! - [`trace`] — low-overhead span tracing across the pipeline, pool and
 //!   serving engine, with Chrome trace-event export and per-stage
 //!   summaries (`paro trace` drives it from the CLI).
+//! - [`failpoint`] — deterministic fault injection (named sites armed by
+//!   kind/skip/count, compiled out by default) driving the chaos suite
+//!   and `paro chaos-bench`.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use paro_core as core;
+pub use paro_failpoint as failpoint;
 pub use paro_model as model;
 pub use paro_quant as quant;
 pub use paro_serve as serve;

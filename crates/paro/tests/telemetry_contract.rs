@@ -7,9 +7,11 @@
 //! added to the code without documenting it fails, and so does a
 //! documented field the code no longer emits.
 
-use paro::report::{IntPathComparison, ServeBenchReport, StageSummaryRow};
+use paro::report::{
+    ChaosBenchReport, InjectedFaultRow, IntPathComparison, ServeBenchReport, StageSummaryRow,
+};
 use paro::serve::{CacheStats, Metrics};
-use paro::trace::{stage, SpanRecord, Trace, NO_CTX};
+use paro::trace::{stage, SpanOutcome, SpanRecord, Trace, NO_CTX};
 use serde_json::Value;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -151,8 +153,8 @@ fn serve_bench_report_fields_match_docs() {
 #[test]
 fn chrome_trace_event_fields_match_docs() {
     // One span inside a request (carries `args.ctx`) and one outside
-    // (omits it): the union covers every documented key, including the
-    // optional one.
+    // (omits it); the first ended non-ok so it carries `args.outcome`.
+    // The union covers every documented key, including the optional ones.
     let trace = Trace {
         records: vec![
             SpanRecord {
@@ -163,6 +165,7 @@ fn chrome_trace_event_fields_match_docs() {
                 end_ns: 9_000,
                 ctx: 4,
                 thread: 2,
+                outcome: SpanOutcome::Failed,
             },
             SpanRecord {
                 id: 1,
@@ -172,6 +175,7 @@ fn chrome_trace_event_fields_match_docs() {
                 end_ns: 12_000,
                 ctx: NO_CTX,
                 thread: 1,
+                outcome: SpanOutcome::Ok,
             },
         ],
         dropped: 0,
@@ -183,6 +187,46 @@ fn chrome_trace_event_fields_match_docs() {
         &emitted,
         &documented(&telemetry_doc(), "chrome-event"),
         "chrome trace-event file",
+    );
+}
+
+/// A fully-populated chaos report: one injected-fault row so the array
+/// element fields serialize.
+fn sample_chaos_report() -> ChaosBenchReport {
+    ChaosBenchReport {
+        model: "CogVideoX-2B@3x4x4".to_string(),
+        requests: 24,
+        threads: 4,
+        failpoints_compiled_in: true,
+        injected: vec![InjectedFaultRow {
+            site: "pool.job".to_string(),
+            kind: "panic".to_string(),
+            skip: 3,
+            times: 1,
+            fired: 1,
+        }],
+        chaos_completed: 23,
+        chaos_failed: 1,
+        clean_completed: 24,
+        clean_bit_identical: true,
+        faulted: 1,
+        retried: 2,
+        degraded: 0,
+        timed_out: 0,
+        wall_ms: 41.7,
+    }
+}
+
+#[test]
+fn chaos_bench_report_fields_match_docs() {
+    let json = serde_json::to_string(&sample_chaos_report()).expect("report serializes");
+    let value = serde_json::parse_value(&json).expect("report JSON parses");
+    let mut emitted = BTreeSet::new();
+    key_paths(&value, "", &mut emitted);
+    assert_contract(
+        &emitted,
+        &documented(&telemetry_doc(), "chaos-bench"),
+        "chaos-bench report",
     );
 }
 

@@ -36,6 +36,12 @@ pub enum QuantError {
         /// The maximum representable code.
         max: u32,
     },
+    /// A transient fault (injected by a `paro-failpoint` site in chaos
+    /// builds). Retrying the operation is expected to succeed.
+    Transient {
+        /// The failpoint site that raised the fault.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for QuantError {
@@ -55,6 +61,9 @@ impl fmt::Display for QuantError {
             }
             QuantError::CodeOutOfRange { code, max } => {
                 write!(f, "code {code} exceeds maximum {max}")
+            }
+            QuantError::Transient { site } => {
+                write!(f, "transient fault injected at '{site}'")
             }
         }
     }
@@ -98,6 +107,9 @@ mod tests {
             QuantError::CodeOutOfRange {
                 code: 300,
                 max: 255,
+            },
+            QuantError::Transient {
+                site: "quant.pack_attn_v",
             },
         ];
         for e in errs {

@@ -170,8 +170,14 @@ impl PackedAttnV {
 /// # Errors
 ///
 /// Returns a matmul dimension mismatch if `v.rows()` differs from the
-/// map's column count.
+/// map's column count, or [`QuantError::Transient`] when the
+/// `quant.pack_attn_v` failpoint is armed (chaos builds only).
 pub fn packed_attn_v(map: &MixedPrecisionMap, v: &PerColCodes) -> Result<PackedAttnV, QuantError> {
+    if paro_failpoint::fire(paro_failpoint::site::QUANT_PACK_ATTN_V) {
+        return Err(QuantError::Transient {
+            site: paro_failpoint::site::QUANT_PACK_ATTN_V,
+        });
+    }
     let (m, n) = map.shape();
     if v.rows() != n {
         return Err(QuantError::Tensor(TensorError::MatmulDimMismatch {

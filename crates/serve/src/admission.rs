@@ -18,8 +18,22 @@
 use paro_core::calibration::HeadCalibration;
 use paro_quant::Bitwidth;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks a serve-side mutex, recovering from poison. Every structure the
+/// engine guards this way (queue state, result slots, the plan cache map)
+/// stays consistent across a holder's panic — state transitions happen
+/// before panicking code can run — so propagating the poison would only
+/// convert one failed request into a dead engine.
+pub(crate) fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`relock`].
+pub(crate) fn rewait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Structured serving errors.
 #[derive(Debug)]
@@ -40,8 +54,33 @@ pub enum ServeError {
     Closed,
     /// Invalid engine configuration.
     InvalidConfig(String),
+    /// A request's Q/K/V contained NaN/Inf values, rejected at admission
+    /// (non-finite inputs violate the zero-skip precondition of the
+    /// sparse kernels downstream).
+    InvalidInput(String),
     /// The attention pipeline failed.
     Core(paro_core::CoreError),
+    /// The request's worker or compute-pool job panicked. The panic was
+    /// contained to this request — the engine keeps serving.
+    Faulted {
+        /// Where the panic was caught (e.g. `serve.worker`).
+        site: String,
+        /// The panic payload's message.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// Whether retrying the request can plausibly succeed: `true` for
+    /// contained panics ([`ServeError::Faulted`]) and transient pipeline
+    /// faults, `false` for rejections, timeouts and deterministic errors.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServeError::Faulted { .. } => true,
+            ServeError::Core(e) => e.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -58,7 +97,11 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::Closed => write!(f, "engine is closed"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ServeError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             ServeError::Core(e) => write!(f, "attention pipeline error: {e}"),
+            ServeError::Faulted { site, message } => {
+                write!(f, "request faulted at {site}: {message}")
+            }
         }
     }
 }
@@ -126,7 +169,7 @@ impl<T> BoundedQueue<T> {
     /// [`ServeError::QueueFull`] when at capacity, [`ServeError::Closed`]
     /// after [`BoundedQueue::close`].
     pub fn try_push(&self, item: T) -> Result<(), ServeError> {
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = relock(&self.inner);
         if state.closed {
             return Err(ServeError::Closed);
         }
@@ -149,9 +192,9 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`ServeError::Closed`] after [`BoundedQueue::close`].
     pub fn push_wait(&self, item: T) -> Result<(), ServeError> {
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = relock(&self.inner);
         while !state.closed && state.items.len() >= self.capacity {
-            state = self.not_full.wait(state).expect("queue poisoned");
+            state = rewait(&self.not_full, state);
         }
         if state.closed {
             return Err(ServeError::Closed);
@@ -165,7 +208,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeues the next item, blocking while the queue is empty or
     /// paused. Returns `None` once the queue is closed and drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = relock(&self.inner);
         loop {
             if !state.paused {
                 if let Some(item) = state.items.pop_front() {
@@ -180,13 +223,13 @@ impl<T> BoundedQueue<T> {
                 // Close overrides pause so shutdown always completes.
                 return state.items.pop_front();
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = rewait(&self.not_empty, state);
         }
     }
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        relock(&self.inner).items.len()
     }
 
     /// Whether the queue is empty.
@@ -198,19 +241,19 @@ impl<T> BoundedQueue<T> {
     /// queue). Used to quiesce workers for draining and in overload
     /// tests.
     pub fn pause(&self) {
-        self.inner.lock().expect("queue poisoned").paused = true;
+        relock(&self.inner).paused = true;
     }
 
     /// Resumes consumers.
     pub fn resume(&self) {
-        self.inner.lock().expect("queue poisoned").paused = false;
+        relock(&self.inner).paused = false;
         self.not_empty.notify_all();
     }
 
     /// Closes the queue: producers fail with [`ServeError::Closed`];
     /// consumers drain remaining items then receive `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        relock(&self.inner).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -345,5 +388,53 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("12") && s.contains("10"), "{s}");
+        let e = ServeError::Faulted {
+            site: "serve.worker".to_string(),
+            message: "index out of bounds".to_string(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("serve.worker") && s.contains("index out of bounds"),
+            "{s}"
+        );
+        let e = ServeError::InvalidInput("q contains NaN".to_string());
+        assert!(e.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(ServeError::Faulted {
+            site: "s".into(),
+            message: "m".into()
+        }
+        .is_transient());
+        assert!(ServeError::Core(paro_core::CoreError::Transient { site: "s" }).is_transient());
+        assert!(!ServeError::Core(paro_core::CoreError::Cancelled).is_transient());
+        assert!(!ServeError::QueueFull { capacity: 1 }.is_transient());
+        assert!(!ServeError::Closed.is_transient());
+        assert!(!ServeError::InvalidInput("nan".into()).is_transient());
+        assert!(!ServeError::DeadlineExceeded {
+            waited: Duration::from_millis(2),
+            budget: Duration::from_millis(1),
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn queue_survives_a_poisoning_panic() {
+        // A thread that panics while holding the queue lock must not take
+        // the queue down with it: later operations recover from poison.
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = relock(&q2.inner);
+            panic!("poison the queue lock");
+        })
+        .join();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
     }
 }

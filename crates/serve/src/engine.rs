@@ -18,17 +18,21 @@
 //! `available_parallelism`. Raising `workers` therefore increases request
 //! concurrency without oversubscribing cores.
 
-use crate::admission::{lpt_order, request_cost, BoundedQueue, ServeError};
+use crate::admission::{lpt_order, relock, request_cost, rewait, BoundedQueue, ServeError};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{MethodKey, PlanCache, PlanKey};
-use paro_core::calibration::calibrate_head;
-use paro_core::int_pipeline::run_attention_calibrated_int;
-use paro_core::pipeline::{AttentionInputs, AttentionRun};
-use paro_core::pool::ComputePool;
+use paro_core::calibration::{calibrate_head, HeadCalibration};
+use paro_core::cancel::Deadline;
+use paro_core::int_pipeline::{run_attention_calibrated_int_with, IntAttentionRun};
+use paro_core::pipeline::{run_attention_calibrated_reference, AttentionInputs, AttentionRun};
+use paro_core::pool::{panic_message, ComputePool};
 use paro_core::CoreError;
 use paro_model::ModelConfig;
 use paro_quant::{Bitwidth, BlockGrid};
 use paro_tensor::Tensor;
+use paro_trace::SpanOutcome;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -68,6 +72,16 @@ pub struct ServeConfig {
     pub scheduling: Scheduling,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Maximum retries after a transient fault (contained panic or
+    /// injected transient error) before the request degrades or fails.
+    pub retry_limit: u32,
+    /// Base backoff slept before retry `k` (the sleep is `k *
+    /// retry_backoff`, linearly increasing).
+    pub retry_backoff: Duration,
+    /// Whether a request whose packed-int path keeps faulting falls back
+    /// to the f32 reference pipeline (marked `degraded` in the response,
+    /// metrics and trace) instead of failing.
+    pub degraded_fallback: bool,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +97,9 @@ impl Default for ServeConfig {
             output_aware: false,
             scheduling: Scheduling::CostLpt,
             default_deadline: None,
+            retry_limit: 2,
+            retry_backoff: Duration::from_micros(250),
+            degraded_fallback: true,
         }
     }
 }
@@ -157,6 +174,11 @@ pub struct ServeResponse {
     pub queue_wait: Duration,
     /// Worker service time.
     pub service: Duration,
+    /// Whether the result came from the f32 reference fallback after the
+    /// packed-int path faulted (graceful degradation).
+    pub degraded: bool,
+    /// Pipeline attempts this response took (1 = no retries).
+    pub attempts: u32,
 }
 
 /// Outcome of [`Engine::run_batch`]: per-request results in submission
@@ -197,6 +219,7 @@ impl Ticket {
 struct Slot {
     result: Mutex<Option<Result<ServeResponse, ServeError>>>,
     done: Condvar,
+    filled: AtomicBool,
 }
 
 impl Slot {
@@ -204,21 +227,29 @@ impl Slot {
         Arc::new(Slot {
             result: Mutex::new(None),
             done: Condvar::new(),
+            filled: AtomicBool::new(false),
         })
     }
 
-    fn fill(&self, result: Result<ServeResponse, ServeError>) {
-        *self.result.lock().expect("slot poisoned") = Some(result);
+    /// Delivers the request's result exactly once. The normal service
+    /// path and the worker's panic recovery can both reach a slot; the
+    /// first delivery wins so a contained panic never overwrites a result
+    /// already handed to the waiter.
+    fn fill_once(&self, result: Result<ServeResponse, ServeError>) {
+        if self.filled.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        *relock(&self.result) = Some(result);
         self.done.notify_all();
     }
 
     fn wait(&self) -> Result<ServeResponse, ServeError> {
-        let mut guard = self.result.lock().expect("slot poisoned");
+        let mut guard = relock(&self.result);
         loop {
             if let Some(result) = guard.take() {
                 return result;
             }
-            guard = self.done.wait(guard).expect("slot poisoned");
+            guard = rewait(&self.done, guard);
         }
     }
 }
@@ -240,7 +271,7 @@ pub struct Engine {
     queue: Arc<BoundedQueue<Job>>,
     cache: Arc<PlanCache>,
     metrics: Arc<Metrics>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     started: Instant,
     submitted: std::sync::atomic::AtomicUsize,
 }
@@ -261,29 +292,33 @@ impl Engine {
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let cache = Arc::new(PlanCache::new(cfg.cache_capacity));
         let metrics = Arc::new(Metrics::new());
-        let workers = (0..cfg.workers)
-            .map(|i| {
-                let ctx = WorkerCtx {
-                    cfg: cfg.clone(),
-                    model: model.clone(),
-                    queue: Arc::clone(&queue),
-                    cache: Arc::clone(&cache),
-                    metrics: Arc::clone(&metrics),
-                    source: Arc::clone(&source),
-                };
-                std::thread::Builder::new()
-                    .name(format!("paro-serve-{i}"))
-                    .spawn(move || worker_loop(&ctx))
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let ctx = WorkerCtx {
+                cfg: cfg.clone(),
+                model: model.clone(),
+                queue: Arc::clone(&queue),
+                cache: Arc::clone(&cache),
+                metrics: Arc::clone(&metrics),
+                source: Arc::clone(&source),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("paro-serve-{i}"))
+                .spawn(move || worker_loop(&ctx))
+                .map_err(|e| {
+                    // Release any workers already spawned before failing.
+                    queue.close();
+                    ServeError::InvalidConfig(format!("failed to spawn worker thread: {e}"))
+                })?;
+            workers.push(handle);
+        }
         Ok(Engine {
             cfg,
             model,
             queue,
             cache,
             metrics,
-            workers,
+            workers: Mutex::new(workers),
             started: Instant::now(),
             submitted: std::sync::atomic::AtomicUsize::new(0),
         })
@@ -326,6 +361,25 @@ impl Engine {
     }
 
     fn submit_job(&self, request: ServeRequest, blocking: bool) -> Result<Ticket, ServeError> {
+        // Reject non-finite inputs here, where the failure is attributable
+        // to the caller: NaN/Inf propagates through softmax into the
+        // sparse kernels' zero-skip precondition and would otherwise
+        // surface as an unrelated pipeline error (or garbage) much later.
+        for (name, tensor) in [
+            ("q", request.inputs.q()),
+            ("k", request.inputs.k()),
+            ("v", request.inputs.v()),
+        ] {
+            if tensor.as_slice().iter().any(|v| !v.is_finite()) {
+                self.metrics
+                    .invalid_input
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Err(ServeError::InvalidInput(format!(
+                    "request (block {}, head {}): {name} contains NaN/Inf",
+                    request.block, request.head
+                )));
+            }
+        }
         let index = self
             .submitted
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -456,12 +510,25 @@ impl Engine {
     }
 }
 
-impl Drop for Engine {
-    fn drop(&mut self) {
+impl Engine {
+    /// Shuts the engine down: closes the submission queue (subsequent
+    /// submissions fail with [`ServeError::Closed`]), lets workers drain
+    /// every already-queued request, and joins them. Every outstanding
+    /// [`Ticket`] resolves — queued requests are still served, so no
+    /// waiter is ever leaked. Idempotent: a second call (or the implicit
+    /// one in `Drop`) is a no-op.
+    pub fn shutdown(&self) {
         self.queue.close();
-        for handle in self.workers.drain(..) {
+        let handles = std::mem::take(&mut *relock(&self.workers));
+        for handle in handles {
             let _ = handle.join();
         }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -477,55 +544,115 @@ struct WorkerCtx {
 fn worker_loop(ctx: &WorkerCtx) {
     use std::sync::atomic::Ordering::Relaxed;
     while let Some(job) = ctx.queue.pop() {
-        let picked_up = Instant::now();
-        let waited = picked_up.duration_since(job.enqueued);
-        ctx.metrics.queue_wait.record(waited);
-        // All spans this request produces — here and on the compute pool —
-        // carry its submission index as the correlation context.
-        let _request_ctx = paro_trace::ctx(job.index as u64);
-        paro_trace::record_range(
-            paro_trace::stage::SERVE_QUEUE_WAIT,
-            job.enqueued,
-            picked_up,
-            job.index as u64,
-        );
-        if let Some(budget) = job.deadline {
-            if waited > budget {
-                ctx.metrics.deadline_missed.fetch_add(1, Relaxed);
-                job.slot
-                    .fill(Err(ServeError::DeadlineExceeded { waited, budget }));
-                continue;
-            }
-        }
-        let service_span = paro_trace::span(paro_trace::stage::SERVE_SERVICE);
-        let result = execute(ctx, &job);
-        drop(service_span);
-        let service = picked_up.elapsed();
-        ctx.metrics.service.record(service);
-        ctx.metrics.total.record(job.enqueued.elapsed());
-        match result {
-            Ok((run, cache_hit)) => {
-                ctx.metrics.completed.fetch_add(1, Relaxed);
-                job.slot.fill(Ok(ServeResponse {
-                    index: job.index,
-                    block: job.block,
-                    head: job.head,
-                    run,
-                    cache_hit,
-                    queue_wait: waited,
-                    service,
-                }));
-            }
-            Err(e) => {
-                ctx.metrics.failed.fetch_add(1, Relaxed);
-                job.slot.fill(Err(e));
-            }
+        // The per-request failure domain: a panic anywhere in service —
+        // worker orchestration, cache calibration, a pool job — is caught
+        // here, converted to a typed fault and delivered to this request's
+        // waiter. The loop (and therefore the engine) keeps serving.
+        let slot = Arc::clone(&job.slot);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| serve_one(ctx, &job))) {
+            ctx.metrics.faulted.fetch_add(1, Relaxed);
+            ctx.metrics.failed.fetch_add(1, Relaxed);
+            slot.fill_once(Err(ServeError::Faulted {
+                site: "serve.worker".into(),
+                message: panic_message(payload.as_ref()),
+            }));
         }
     }
 }
 
-fn execute(ctx: &WorkerCtx, job: &Job) -> Result<(AttentionRun, bool), ServeError> {
+/// Services one popped job end-to-end and fills its slot. Runs inside the
+/// worker's `catch_unwind` failure domain.
+fn serve_one(ctx: &WorkerCtx, job: &Job) {
     use std::sync::atomic::Ordering::Relaxed;
+    let picked_up = Instant::now();
+    let waited = picked_up.duration_since(job.enqueued);
+    ctx.metrics.queue_wait.record(waited);
+    // All spans this request produces — here and on the compute pool —
+    // carry its submission index as the correlation context.
+    let _request_ctx = paro_trace::ctx(job.index as u64);
+    paro_trace::record_range(
+        paro_trace::stage::SERVE_QUEUE_WAIT,
+        job.enqueued,
+        picked_up,
+        job.index as u64,
+    );
+    if let Some(budget) = job.deadline {
+        if waited > budget {
+            ctx.metrics.deadline_missed.fetch_add(1, Relaxed);
+            job.slot
+                .fill_once(Err(ServeError::DeadlineExceeded { waited, budget }));
+            return;
+        }
+    }
+    let service_span = paro_trace::span(paro_trace::stage::SERVE_SERVICE);
+    let result = execute(ctx, job);
+    match &result {
+        Ok(exec) if exec.degraded => service_span.set_outcome(SpanOutcome::Degraded),
+        Ok(_) => {}
+        Err(ServeError::DeadlineExceeded { .. }) => {
+            service_span.set_outcome(SpanOutcome::Cancelled)
+        }
+        Err(_) => service_span.set_outcome(SpanOutcome::Failed),
+    }
+    drop(service_span);
+    let service = picked_up.elapsed();
+    ctx.metrics.service.record(service);
+    ctx.metrics.total.record(job.enqueued.elapsed());
+    match result {
+        Ok(exec) => {
+            ctx.metrics.completed.fetch_add(1, Relaxed);
+            if exec.degraded {
+                ctx.metrics.degraded.fetch_add(1, Relaxed);
+            }
+            job.slot.fill_once(Ok(ServeResponse {
+                index: job.index,
+                block: job.block,
+                head: job.head,
+                run: exec.run,
+                cache_hit: exec.cache_hit,
+                queue_wait: waited,
+                service,
+                degraded: exec.degraded,
+                attempts: exec.attempts,
+            }));
+        }
+        Err(e) => {
+            match &e {
+                ServeError::DeadlineExceeded { .. } => {
+                    ctx.metrics.timed_out.fetch_add(1, Relaxed);
+                }
+                ServeError::Faulted { .. } => {
+                    ctx.metrics.faulted.fetch_add(1, Relaxed);
+                }
+                _ => {}
+            }
+            ctx.metrics.failed.fetch_add(1, Relaxed);
+            job.slot.fill_once(Err(e));
+        }
+    }
+}
+
+/// A successful execution: the attention result plus how it was obtained.
+struct Executed {
+    run: AttentionRun,
+    cache_hit: bool,
+    degraded: bool,
+    attempts: u32,
+}
+
+fn execute(ctx: &WorkerCtx, job: &Job) -> Result<Executed, ServeError> {
+    use std::sync::atomic::Ordering::Relaxed;
+    if paro_failpoint::fire(paro_failpoint::site::SERVE_EXECUTE) {
+        return Err(ServeError::Faulted {
+            site: paro_failpoint::site::SERVE_EXECUTE.into(),
+            message: "fault injected".into(),
+        });
+    }
+    // Absolute deadline for cooperative cancellation inside the pipeline
+    // stages, anchored at admission so queue time counts against it.
+    let deadline = job
+        .deadline
+        .map_or(Deadline::NONE, |budget| Deadline::at(job.enqueued + budget));
     let key = PlanKey {
         model: ctx.model.name.clone(),
         grid: (
@@ -542,7 +669,89 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<(AttentionRun, bool), ServeErro
             ctx.cfg.alpha,
         ),
     };
-    let (cal, cache_hit) = ctx.cache.get_or_calibrate(&key, || {
+    // Bounded retry with linear backoff for transient faults (contained
+    // panics, injected transient errors). The whole attempt — calibration
+    // resolution *and* the packed-int run — is retried, so a pool fault
+    // during a cache miss recovers too. Deterministic failures and
+    // deadline cancellations are never retried.
+    let mut attempts = 1u32;
+    let mut result = attempt_int(ctx, job, &key, deadline);
+    while let Err(e) = &result {
+        if !(e.is_transient() && attempts <= ctx.cfg.retry_limit && !deadline.expired()) {
+            break;
+        }
+        ctx.metrics.retried.fetch_add(1, Relaxed);
+        {
+            let _backoff_span = paro_trace::span(paro_trace::stage::SERVE_RETRY_BACKOFF);
+            std::thread::sleep(ctx.cfg.retry_backoff * attempts);
+        }
+        attempts += 1;
+        result = attempt_int(ctx, job, &key, deadline);
+    }
+    match result {
+        Ok((int, cache_hit)) => Ok(Executed {
+            run: int.run,
+            cache_hit,
+            degraded: false,
+            attempts,
+        }),
+        Err(e) if e.is_transient() && ctx.cfg.degraded_fallback => {
+            // Graceful degradation: retries are exhausted but the fault is
+            // transient to the *packed-int* path; serve the request on the
+            // f32 reference pipeline rather than failing it. The downgrade
+            // is visible in the response, the metrics and the trace.
+            let (cal, cache_hit) = resolve_calibration(ctx, job, &key)?;
+            let fallback_span = paro_trace::span(paro_trace::stage::SERVE_FALLBACK);
+            fallback_span.set_outcome(SpanOutcome::Degraded);
+            let inputs = job.inputs.clone();
+            let cal_for_run = Arc::clone(&cal);
+            let output_aware = ctx.cfg.output_aware;
+            let run = ComputePool::global()
+                .try_run(move || {
+                    run_attention_calibrated_reference(&inputs, &cal_for_run, output_aware)
+                })
+                .map_err(|fault| ServeError::Faulted {
+                    site: paro_failpoint::site::POOL_JOB.into(),
+                    message: fault.message,
+                })??;
+            drop(fallback_span);
+            Ok(Executed {
+                run,
+                cache_hit,
+                degraded: true,
+                attempts,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// One full attempt at serving the request on the packed-int path:
+/// calibration resolution through the single-flight cache, then the int
+/// pipeline. Returns the run and whether the plan came from the cache.
+fn attempt_int(
+    ctx: &WorkerCtx,
+    job: &Job,
+    key: &PlanKey,
+    deadline: Deadline,
+) -> Result<(IntAttentionRun, bool), ServeError> {
+    let (cal, cache_hit) = resolve_calibration(ctx, job, key)?;
+    let int = int_attention(ctx, job, &cal, deadline)?;
+    Ok((int, cache_hit))
+}
+
+/// Resolves the head's frozen calibration through the plan cache,
+/// calibrating on the shared compute pool on a miss. `try_run` contains a
+/// panicking calibrator to a typed fault instead of killing the pool (the
+/// plan cache then wakes all single-flight waiters with the error, so the
+/// fault is retryable).
+fn resolve_calibration(
+    ctx: &WorkerCtx,
+    job: &Job,
+    key: &PlanKey,
+) -> Result<(Arc<HeadCalibration>, bool), ServeError> {
+    use std::sync::atomic::Ordering::Relaxed;
+    ctx.cache.get_or_calibrate(key, || {
         let _calibrate_span = paro_trace::span(paro_trace::stage::SERVE_CALIBRATE);
         let t0 = Instant::now();
         // Calibration is CPU-bound: run it on the shared compute pool so
@@ -554,25 +763,55 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<(AttentionRun, bool), ServeErro
         let calib_bits = ctx.cfg.calib_bits;
         let budget = ctx.cfg.budget;
         let alpha = ctx.cfg.alpha;
-        let cal = ComputePool::global().run(move || {
-            let maps = source.calibration_maps(block_idx, head)?;
-            let block = BlockGrid::square(edge).map_err(CoreError::from)?;
-            Ok::<_, ServeError>(calibrate_head(
-                &maps, &grid, block, calib_bits, budget, alpha,
-            )?)
-        })?;
+        let cal = ComputePool::global()
+            .try_run(move || {
+                let maps = source.calibration_maps(block_idx, head)?;
+                let block = BlockGrid::square(edge).map_err(CoreError::from)?;
+                Ok::<_, ServeError>(calibrate_head(
+                    &maps, &grid, block, calib_bits, budget, alpha,
+                )?)
+            })
+            .map_err(|fault| ServeError::Faulted {
+                site: paro_failpoint::site::POOL_JOB.into(),
+                message: fault.message,
+            })??;
         ctx.metrics.calibration_ns.fetch_add(
             t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             Relaxed,
         );
         Ok::<_, ServeError>(cal)
-    })?;
+    })
+}
+
+/// One attempt at the packed-int attention path on the compute pool, with
+/// pool panics mapped to [`ServeError::Faulted`] and mid-pipeline deadline
+/// cancellation mapped to [`ServeError::DeadlineExceeded`].
+fn int_attention(
+    ctx: &WorkerCtx,
+    job: &Job,
+    cal: &Arc<HeadCalibration>,
+    deadline: Deadline,
+) -> Result<IntAttentionRun, ServeError> {
+    use std::sync::atomic::Ordering::Relaxed;
     let t0 = Instant::now();
     let inputs = job.inputs.clone();
-    let cal_for_run = Arc::clone(&cal);
+    let cal_for_run = Arc::clone(cal);
     let output_aware = ctx.cfg.output_aware;
     let int = ComputePool::global()
-        .run(move || run_attention_calibrated_int(&inputs, &cal_for_run, output_aware))?;
+        .try_run(move || {
+            run_attention_calibrated_int_with(&inputs, &cal_for_run, output_aware, deadline)
+        })
+        .map_err(|fault| ServeError::Faulted {
+            site: paro_failpoint::site::POOL_JOB.into(),
+            message: fault.message,
+        })?
+        .map_err(|e| match e {
+            CoreError::Cancelled => ServeError::DeadlineExceeded {
+                waited: job.enqueued.elapsed(),
+                budget: job.deadline.unwrap_or(Duration::ZERO),
+            },
+            other => ServeError::from(other),
+        })?;
     ctx.metrics.attention_ns.fetch_add(
         t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         Relaxed,
@@ -586,5 +825,5 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<(AttentionRun, bool), ServeErro
     ctx.metrics
         .int_dense_macs
         .fetch_add(int.stats.dense_macs, Relaxed);
-    Ok((int.run, cache_hit))
+    Ok(int)
 }

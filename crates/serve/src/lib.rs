@@ -10,14 +10,19 @@
 //! - [`engine`] — a bounded submission queue feeding a pool of worker
 //!   threads, one `(block, head)` attention unit per request, with
 //!   results reassembled in submission order so multi-threaded output is
-//!   **bit-identical** to a single-threaded run.
+//!   **bit-identical** to a single-threaded run. Each request is its own
+//!   failure domain: panics are contained to a typed
+//!   [`ServeError::Faulted`], transient faults retry with backoff, and a
+//!   persistently-faulting packed-int path degrades to the f32 reference
+//!   pipeline rather than failing the request.
 //! - [`plan_cache`] — a thread-safe LRU cache of frozen calibrations
 //!   keyed by `(model, block, head, method)`: calibration runs once per
 //!   head, every later request reuses the frozen plan.
 //! - [`admission`] — backpressure (a full queue rejects with a structured
-//!   [`ServeError`] instead of blocking), per-request deadlines, and
-//!   cost-aware LPT batch scheduling reusing the simulator's dispatch
-//!   cost model.
+//!   [`ServeError`] instead of blocking), NaN/Inf input rejection at the
+//!   door, per-request deadlines with cooperative mid-pipeline
+//!   cancellation, and cost-aware LPT batch scheduling reusing the
+//!   simulator's dispatch cost model.
 //! - [`metrics`] — lock-cheap counters and latency histograms
 //!   (p50/p95/p99, queue depth, cache hit rate, per-stage timing),
 //!   exportable as a serde-JSON snapshot.

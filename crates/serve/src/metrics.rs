@@ -125,6 +125,21 @@ pub struct Metrics {
     pub deadline_missed: AtomicU64,
     /// Requests that failed inside the attention pipeline.
     pub failed: AtomicU64,
+    /// Requests cancelled mid-pipeline by their deadline (a subset of
+    /// deadline accounting distinct from `deadline_missed`, which counts
+    /// requests already expired at queue pickup).
+    pub timed_out: AtomicU64,
+    /// Retry attempts made after transient faults (counts retries, not
+    /// requests: one request retried twice adds 2).
+    pub retried: AtomicU64,
+    /// Requests completed on the degraded f32 reference fallback after
+    /// the packed-int path faulted.
+    pub degraded: AtomicU64,
+    /// Requests that faulted (worker/pool panic or injected fault)
+    /// without recovering. Every faulted request is also counted failed.
+    pub faulted: AtomicU64,
+    /// Requests rejected at admission for non-finite (NaN/Inf) inputs.
+    pub invalid_input: AtomicU64,
     /// Time from admission to a worker picking the request up.
     pub queue_wait: LatencyHistogram,
     /// Worker service time (calibration lookup + attention).
@@ -166,6 +181,11 @@ impl Metrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            faulted: self.faulted.load(Ordering::Relaxed),
+            invalid_input: self.invalid_input.load(Ordering::Relaxed),
             queue_depth,
             elapsed_s: secs,
             requests_per_sec: if secs > 0.0 {
@@ -208,6 +228,16 @@ pub struct MetricsSnapshot {
     pub deadline_missed: u64,
     /// Requests that failed in the pipeline.
     pub failed: u64,
+    /// Requests cancelled mid-pipeline by their deadline.
+    pub timed_out: u64,
+    /// Retry attempts made after transient faults.
+    pub retried: u64,
+    /// Requests completed on the degraded f32 reference fallback.
+    pub degraded: u64,
+    /// Requests that faulted (panic or injected fault) unrecovered.
+    pub faulted: u64,
+    /// Requests rejected at admission for non-finite inputs.
+    pub invalid_input: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Wall-clock window the throughput figure covers (seconds).
@@ -302,5 +332,14 @@ mod tests {
         assert!(json.contains("\"hit_rate\""));
         assert!(json.contains("\"packed_map_bytes\""));
         assert!(json.contains("\"int_macs_skipped_fraction\""));
+        for key in [
+            "timed_out",
+            "retried",
+            "degraded",
+            "faulted",
+            "invalid_input",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
     }
 }

@@ -17,6 +17,7 @@
 //! head)`), so an eviction/recompute cycle always reproduces the
 //! identical plan — cache state never influences results, only latency.
 
+use crate::admission::{relock, rewait};
 use paro_core::calibration::HeadCalibration;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -135,7 +136,7 @@ impl PlanCache {
     /// distorting cache statistics. Does not wait on in-flight
     /// calibrations.
     pub fn peek(&self, key: &PlanKey) -> Option<Arc<HeadCalibration>> {
-        let map = self.map.lock().expect("plan cache poisoned");
+        let map = relock(&self.map);
         match map.get(key) {
             Some(Slot::Ready(cal, _)) => Some(Arc::clone(cal)),
             _ => None,
@@ -147,7 +148,7 @@ impl PlanCache {
     /// miss).
     pub fn get(&self, key: &PlanKey) -> Option<Arc<HeadCalibration>> {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("plan cache poisoned");
+        let mut map = relock(&self.map);
         match map.get_mut(key) {
             Some(Slot::Ready(cal, slot_stamp)) => {
                 *slot_stamp = stamp;
@@ -168,7 +169,9 @@ impl PlanCache {
     /// (outside the lock, so a slow calibration never blocks unrelated
     /// lookups); concurrent callers for the same key wait for its result
     /// and report a hit — they did not compute. If the computing call
-    /// fails, one waiter takes over the computation.
+    /// fails **or panics**, the in-flight marker is removed and every
+    /// waiter is woken; one of them takes over the computation, so a
+    /// crashing calibrator can never strand waiters on a dead marker.
     ///
     /// # Errors
     ///
@@ -179,7 +182,7 @@ impl PlanCache {
         calibrate: impl FnOnce() -> Result<HeadCalibration, E>,
     ) -> Result<(Arc<HeadCalibration>, bool), E> {
         {
-            let mut map = self.map.lock().expect("plan cache poisoned");
+            let mut map = relock(&self.map);
             loop {
                 match map.get_mut(key) {
                     Some(Slot::Ready(cal, slot_stamp)) => {
@@ -188,7 +191,7 @@ impl PlanCache {
                         return Ok((Arc::clone(cal), true));
                     }
                     Some(Slot::InFlight) => {
-                        map = self.resolved.wait(map).expect("plan cache poisoned");
+                        map = rewait(&self.resolved, map);
                     }
                     None => {
                         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -198,24 +201,36 @@ impl PlanCache {
                 }
             }
         }
+        // From here until the Ready insert, this caller owns the InFlight
+        // marker. The guard clears it on *any* exit — error return or
+        // unwind — and wakes all waiters so they can retry.
+        let mut in_flight = InFlightGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        if paro_failpoint::fire(paro_failpoint::site::PLAN_CACHE_CALIBRATE) {
+            // `calibrate`'s error type is the caller's; the only fault
+            // expressible here is the one we care about — a panic.
+            panic!(
+                "injected fault at failpoint '{}'",
+                paro_failpoint::site::PLAN_CACHE_CALIBRATE
+            );
+        }
         match calibrate() {
             Ok(cal) => {
+                in_flight.armed = false;
                 let cal = Arc::new(cal);
                 let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-                let mut map = self.map.lock().expect("plan cache poisoned");
+                let mut map = relock(&self.map);
                 map.insert(key.clone(), Slot::Ready(Arc::clone(&cal), stamp));
                 self.evict_over_capacity(&mut map);
                 drop(map);
                 self.resolved.notify_all();
                 Ok((cal, false))
             }
-            Err(e) => {
-                let mut map = self.map.lock().expect("plan cache poisoned");
-                map.remove(key);
-                drop(map);
-                self.resolved.notify_all();
-                Err(e)
-            }
+            // The guard's drop removes the marker and notifies waiters.
+            Err(e) => Err(e),
         }
     }
 
@@ -223,7 +238,7 @@ impl PlanCache {
     /// used entry if the cache is over capacity.
     pub fn insert(&self, key: PlanKey, cal: Arc<HeadCalibration>) {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("plan cache poisoned");
+        let mut map = relock(&self.map);
         map.insert(key, Slot::Ready(cal, stamp));
         self.evict_over_capacity(&mut map);
         drop(map);
@@ -256,7 +271,7 @@ impl PlanCache {
 
     /// Number of cached calibrations (including in-flight markers).
     pub fn len(&self) -> usize {
-        self.map.lock().expect("plan cache poisoned").len()
+        relock(&self.map).len()
     }
 
     /// Whether the cache is empty.
@@ -280,6 +295,28 @@ impl PlanCache {
             } else {
                 0.0
             },
+        }
+    }
+}
+
+/// Clears a key's `InFlight` marker and wakes all waiters unless
+/// disarmed. Held by the one caller computing a cold key in
+/// [`PlanCache::get_or_calibrate`]: a calibrator that returns an error
+/// *or unwinds* drops the guard armed, so waiters parked on the marker
+/// always wake up and one retries — never a hang.
+struct InFlightGuard<'a> {
+    cache: &'a PlanCache,
+    key: &'a PlanKey,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut map = relock(&self.cache.map);
+            map.remove(self.key);
+            drop(map);
+            self.cache.resolved.notify_all();
         }
     }
 }
@@ -434,6 +471,52 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn panicking_calibrator_wakes_waiters_and_allows_retry() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // One thread panics mid-calibration while others wait on the same
+        // key: every waiter must resolve (no stranded InFlight marker),
+        // and one of them recalibrates successfully.
+        let cache = Arc::new(PlanCache::new(8));
+        let barrier = Arc::new(std::sync::Barrier::new(5));
+        let panicker = {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    cache.get_or_calibrate::<paro_core::CoreError>(&key(2, 2), || {
+                        barrier.wait(); // waiters pile up behind the marker
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("calibrator crashed");
+                    })
+                }));
+                assert!(result.is_err(), "the panic must propagate to its caller");
+            })
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait(); // calibration is in flight now
+                    cache
+                        .get_or_calibrate::<paro_core::CoreError>(&key(2, 2), || {
+                            Ok(calibration(2, 2))
+                        })
+                        .unwrap()
+                        .0
+                })
+            })
+            .collect();
+        panicker.join().unwrap();
+        let results: Vec<_> = waiters.into_iter().map(|t| t.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(**r, *results[0]);
+        }
+        // The key resolved and stayed cached despite the initial panic.
+        assert!(cache.peek(&key(2, 2)).is_some());
     }
 
     #[test]

@@ -94,6 +94,34 @@ pub fn synthetic_requests(spec: &WorkloadSpec) -> Vec<ServeRequest> {
         .collect()
 }
 
+/// Corrupts one request's `Q` tensor with a NaN at a fixed position —
+/// the canonical "bad client" for admission-validation and chaos tests.
+/// Returns the corrupted request; the original is consumed.
+///
+/// # Panics
+///
+/// Panics if the request's `Q` tensor is empty.
+pub fn corrupt_with_nan(request: ServeRequest) -> ServeRequest {
+    let ServeRequest {
+        block,
+        head,
+        inputs,
+        deadline,
+    } = request;
+    let grid = *inputs.grid();
+    let (mut q, k, v) = (inputs.q().clone(), inputs.k().clone(), inputs.v().clone());
+    assert!(!q.is_empty(), "cannot corrupt an empty tensor");
+    q.as_mut_slice()[0] = f32::NAN;
+    let inputs =
+        AttentionInputs::new(q, k, v, grid).expect("corruption changes values, not shapes");
+    ServeRequest {
+        block,
+        head,
+        inputs,
+        deadline,
+    }
+}
+
 /// Calibration-sample source backed by the same synthetic pattern
 /// generator: the maps for a head depend only on `(block, head)` and the
 /// source's own seed, never on serving traffic.
@@ -185,6 +213,16 @@ mod tests {
             assert_eq!(x.inputs.k(), y.inputs.k());
             assert_eq!(x.inputs.v(), y.inputs.v());
         }
+    }
+
+    #[test]
+    fn corruption_injects_nan_without_changing_shape() {
+        let reqs = synthetic_requests(&spec());
+        let clean_shape = reqs[0].inputs.q().shape().to_vec();
+        let bad = corrupt_with_nan(reqs.into_iter().next().unwrap());
+        assert_eq!(bad.inputs.q().shape(), &clean_shape[..]);
+        assert!(bad.inputs.q().as_slice()[0].is_nan());
+        assert!(bad.inputs.k().as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

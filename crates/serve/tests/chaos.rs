@@ -1,0 +1,335 @@
+//! Chaos suite: deterministic fault injection against the serving engine.
+//!
+//! Every test arms `paro-failpoint` sites and asserts the engine's
+//! fault-tolerance contract: every submitted request resolves to `Ok` or
+//! a typed `Err` (a watchdog turns a deadlock into a test failure, not a
+//! hang), the engine keeps serving after faults, and a clean batch run
+//! after injected faults is bit-identical to a never-faulted baseline.
+//!
+//! The whole file compiles out without the `failpoints` feature.
+
+#![cfg(feature = "failpoints")]
+
+use paro_core::pipeline::run_attention_calibrated_reference;
+use paro_failpoint::{self as fp, FaultKind, FaultSpec};
+use paro_model::ModelConfig;
+use paro_serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
+use paro_serve::{BatchOutcome, Engine, MethodKey, PlanKey, ServeConfig, ServeError, ServeRequest};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// The failpoint registry is process-global; chaos tests must not
+/// interleave. Lock first, then clear any armed leftovers.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_guard() -> MutexGuard<'static, ()> {
+    let guard = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    fp::reset();
+    guard
+}
+
+fn test_model() -> ModelConfig {
+    scaled_config(&ModelConfig::cogvideox_2b(), 3, 4, 4)
+}
+
+fn test_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_capacity: 64,
+        block_edge: 4,
+        ..ServeConfig::default()
+    }
+}
+
+fn test_requests(model: &ModelConfig, requests: usize) -> Vec<ServeRequest> {
+    synthetic_requests(&WorkloadSpec {
+        model: model.clone(),
+        requests,
+        blocks: 2,
+        heads: 1,
+        seed: 4242,
+    })
+}
+
+fn test_engine(workers: usize) -> Engine {
+    let model = test_model();
+    let source = Arc::new(SyntheticSource::new(model.clone(), 1, 7));
+    Engine::new(test_config(workers), model, source).expect("valid config")
+}
+
+/// Runs `f` on a helper thread and fails the test if it does not finish
+/// within the watchdog budget — a deadlocked engine must become a test
+/// failure, never a hung suite.
+fn with_watchdog<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(value) => {
+            let _ = handle.join();
+            value
+        }
+        Err(_) => panic!("{label}: engine deadlocked (watchdog expired)"),
+    }
+}
+
+fn outputs_bits(outcome: &BatchOutcome) -> Vec<Vec<u32>> {
+    outcome
+        .responses
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .expect("clean request must complete")
+                .run
+                .output
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn pool_panic_is_contained_and_retried_to_success() {
+    let _chaos = chaos_guard();
+    fp::arm(
+        fp::site::POOL_JOB,
+        FaultSpec::immediate(FaultKind::Panic, 1),
+    );
+    let outcome = with_watchdog("pool panic", || {
+        let engine = test_engine(1);
+        let model = engine.model().clone();
+        engine.run_batch(test_requests(&model, 2))
+    });
+    assert_eq!(fp::fired(fp::site::POOL_JOB), 1);
+    assert_eq!(outcome.completed(), 2, "{:?}", outcome.responses);
+    let first = outcome.responses[0].as_ref().unwrap();
+    assert!(first.attempts >= 2, "pool panic must cost a retry");
+    fp::reset();
+}
+
+#[test]
+fn calibration_panic_wakes_waiters_and_engine_survives() {
+    let _chaos = chaos_guard();
+    fp::arm(
+        fp::site::PLAN_CACHE_CALIBRATE,
+        FaultSpec::immediate(FaultKind::Panic, 1),
+    );
+    let engine = Arc::new(test_engine(4));
+    let model = engine.model().clone();
+    // Everything targets one head, so all requests funnel through the
+    // same single-flight calibration; the panicking computer must wake
+    // the waiters, not strand them.
+    let requests: Vec<ServeRequest> = test_requests(&model, 8)
+        .into_iter()
+        .map(|mut r| {
+            r.block = 0;
+            r
+        })
+        .collect();
+    let run_engine = Arc::clone(&engine);
+    let outcome = with_watchdog("calibration panic", move || run_engine.run_batch(requests));
+    assert_eq!(fp::fired(fp::site::PLAN_CACHE_CALIBRATE), 1);
+    assert_eq!(outcome.responses.len(), 8);
+    // The panic unwinds through the worker's failure domain: exactly the
+    // panicking request fails, typed; every waiter resolves Ok.
+    let faulted: Vec<&ServeError> = outcome
+        .responses
+        .iter()
+        .filter_map(|r| r.as_ref().err())
+        .collect();
+    assert_eq!(faulted.len(), 1, "{faulted:?}");
+    assert!(
+        matches!(faulted[0], ServeError::Faulted { .. }),
+        "{:?}",
+        faulted[0]
+    );
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.faulted, 1);
+    // The engine keeps serving afterwards, on the now-cached plan.
+    let requests: Vec<ServeRequest> = test_requests(&model, 4)
+        .into_iter()
+        .map(|mut r| {
+            r.block = 0;
+            r
+        })
+        .collect();
+    let run_engine = Arc::clone(&engine);
+    let after = with_watchdog("post-panic batch", move || run_engine.run_batch(requests));
+    assert_eq!(after.completed(), 4);
+    fp::reset();
+}
+
+#[test]
+fn transient_int_fault_retries_to_success() {
+    let _chaos = chaos_guard();
+    fp::arm(
+        fp::site::PIPELINE_INT_ATTN,
+        FaultSpec::immediate(FaultKind::Error, 1),
+    );
+    let engine = test_engine(1);
+    let model = engine.model().clone();
+    let outcome = engine.run_batch(test_requests(&model, 1));
+    assert_eq!(outcome.completed(), 1, "{:?}", outcome.responses);
+    let resp = outcome.responses[0].as_ref().unwrap();
+    assert_eq!(resp.attempts, 2);
+    assert!(!resp.degraded);
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.retried, 1);
+    assert_eq!(snap.failed, 0);
+    fp::reset();
+}
+
+#[test]
+fn transient_quant_fault_recovers_too() {
+    let _chaos = chaos_guard();
+    fp::arm(
+        fp::site::QUANT_PACK_ATTN_V,
+        FaultSpec::immediate(FaultKind::Error, 1),
+    );
+    let engine = test_engine(1);
+    let model = engine.model().clone();
+    let outcome = engine.run_batch(test_requests(&model, 1));
+    assert_eq!(outcome.completed(), 1, "{:?}", outcome.responses);
+    assert_eq!(engine.metrics_snapshot().retried, 1);
+    fp::reset();
+}
+
+#[test]
+fn exhausted_retries_degrade_to_bit_exact_reference_fallback() {
+    let _chaos = chaos_guard();
+    // Every packed-int attempt faults; the request must degrade, not fail.
+    fp::arm(
+        fp::site::PIPELINE_INT_ATTN,
+        FaultSpec::immediate(FaultKind::Error, u64::MAX),
+    );
+    let engine = test_engine(1);
+    let model = engine.model().clone();
+    let cfg = engine.config().clone();
+    let request = test_requests(&model, 1).remove(0);
+    let inputs = request.inputs.clone();
+    let (block, head) = (request.block, request.head);
+    let outcome = engine.run_batch(vec![request]);
+    assert_eq!(outcome.completed(), 1, "{:?}", outcome.responses);
+    let resp = outcome.responses[0].as_ref().unwrap();
+    assert!(resp.degraded, "response must be marked degraded");
+    assert_eq!(resp.attempts, 1 + cfg.retry_limit);
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.degraded, 1);
+    assert_eq!(snap.retried, cfg.retry_limit as u64);
+    assert_eq!(snap.completed, 1);
+    // The degraded output is exactly the f32 reference pipeline's.
+    let key = PlanKey {
+        model: model.name.clone(),
+        grid: (model.grid.frames(), model.grid.height(), model.grid.width()),
+        block,
+        head,
+        method: MethodKey::new(cfg.block_edge, cfg.calib_bits, cfg.budget, cfg.alpha),
+    };
+    let cal = engine.cache().peek(&key).expect("plan cached");
+    let reference =
+        run_attention_calibrated_reference(&inputs, &cal, cfg.output_aware).expect("reference ok");
+    assert_eq!(
+        resp.run.output.as_slice(),
+        reference.output.as_slice(),
+        "degraded output must be the reference path's, bit for bit"
+    );
+    fp::reset();
+}
+
+#[test]
+fn delay_fault_expires_deadline_with_typed_timeout() {
+    let _chaos = chaos_guard();
+    // Hold the int pipeline long past the request's deadline; the next
+    // cooperative cancellation check must cancel it, typed, un-retried.
+    fp::arm(
+        fp::site::PIPELINE_INT_ATTN,
+        FaultSpec::immediate(FaultKind::Delay(1500), 1),
+    );
+    let engine = test_engine(1);
+    let model = engine.model().clone();
+    let mut request = test_requests(&model, 1).remove(0);
+    request.deadline = Some(Duration::from_millis(300));
+    let outcome = with_watchdog("deadline expiry", move || {
+        let out = engine.run_batch(vec![request]);
+        (out, engine.metrics_snapshot())
+    });
+    let (outcome, snap) = outcome;
+    let err = outcome.responses[0].as_ref().expect_err("must time out");
+    assert!(
+        matches!(err, ServeError::DeadlineExceeded { .. }),
+        "{err:?}"
+    );
+    assert_eq!(snap.timed_out, 1);
+    assert_eq!(snap.retried, 0, "cancellation must not be retried");
+    fp::reset();
+}
+
+#[test]
+fn clean_batch_after_chaos_is_bit_identical_to_baseline() {
+    let _chaos = chaos_guard();
+    const N: usize = 10;
+    // Baseline: a never-faulted engine.
+    let baseline = with_watchdog("baseline batch", || {
+        let engine = test_engine(3);
+        let model = engine.model().clone();
+        outputs_bits(&engine.run_batch(test_requests(&model, N)))
+    });
+    // Chaos: one fault of every flavor, spread across the batch.
+    fp::arm(
+        fp::site::POOL_JOB,
+        FaultSpec::immediate(FaultKind::Panic, 1),
+    );
+    fp::arm(
+        fp::site::PIPELINE_INT_ATTN,
+        FaultSpec::new(FaultKind::Error, 1, 1),
+    );
+    fp::arm(
+        fp::site::QUANT_PACK_ATTN_V,
+        FaultSpec::new(FaultKind::Error, 2, 1),
+    );
+    fp::arm(
+        fp::site::SERVE_EXECUTE,
+        FaultSpec::new(FaultKind::Error, 3, 1),
+    );
+    let engine = Arc::new(test_engine(3));
+    let model = engine.model().clone();
+    let chaos_engine = Arc::clone(&engine);
+    let chaos = with_watchdog("chaos batch", move || {
+        chaos_engine.run_batch(test_requests(&model, N))
+    });
+    // Contract: every request resolved — Ok or typed Err — and at least
+    // one injected fault actually fired.
+    assert_eq!(chaos.responses.len(), N);
+    let fired: u64 = fp::site::ALL.iter().map(|s| fp::fired(s)).sum();
+    assert!(fired >= 1, "no injected fault fired");
+    for r in &chaos.responses {
+        if let Err(e) = r {
+            assert!(
+                matches!(
+                    e,
+                    ServeError::Faulted { .. }
+                        | ServeError::Core(_)
+                        | ServeError::DeadlineExceeded { .. }
+                ),
+                "untyped/unexpected error: {e:?}"
+            );
+        }
+    }
+    // Disarm and re-run on the *same* engine: output must be bit-identical
+    // to the never-faulted baseline.
+    fp::reset();
+    let model = engine.model().clone();
+    let clean_engine = Arc::clone(&engine);
+    let clean = with_watchdog("clean batch", move || {
+        clean_engine.run_batch(test_requests(&model, N))
+    });
+    assert_eq!(clean.completed(), N, "{:?}", clean.responses);
+    assert_eq!(
+        outputs_bits(&clean),
+        baseline,
+        "post-chaos clean batch must match the baseline bit for bit"
+    );
+}

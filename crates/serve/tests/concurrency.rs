@@ -198,3 +198,52 @@ fn invalid_configs_are_rejected() {
         assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
     }
 }
+
+#[test]
+fn invalid_inputs_are_rejected_at_admission() {
+    let model = test_model();
+    let source = Arc::new(SyntheticSource::new(model.clone(), 1, 7));
+    let engine = Engine::new(test_config(2), model.clone(), source).unwrap();
+    let mut requests = test_requests(&model, 3);
+    let bad = paro_serve::workload::corrupt_with_nan(requests.remove(1));
+    let err = engine
+        .try_submit(bad)
+        .expect_err("NaN input must be rejected at admission");
+    assert!(matches!(err, ServeError::InvalidInput(_)), "{err:?}");
+    // Clean requests still serve fine afterwards.
+    let outcome = engine.run_batch(requests);
+    assert_eq!(outcome.completed(), 2);
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.invalid_input, 1);
+    assert_eq!(snap.failed, 0);
+}
+
+#[test]
+fn shutdown_resolves_every_ticket_and_is_idempotent() {
+    let model = test_model();
+    let source = Arc::new(SyntheticSource::new(model.clone(), 1, 7));
+    let engine = Engine::new(test_config(2), model.clone(), source).unwrap();
+    // Pause workers so submissions stay queued, guaranteeing queued (and,
+    // once resumed, in-flight) work exists when shutdown starts.
+    engine.pause();
+    let tickets: Vec<_> = test_requests(&model, 6)
+        .into_iter()
+        .map(|r| engine.try_submit(r).expect("queue has room"))
+        .collect();
+    engine.resume();
+    engine.shutdown();
+    // Close drains queued work before workers exit, so no waiter leaks.
+    for ticket in tickets {
+        engine
+            .wait(ticket)
+            .expect("queued request must still be served through shutdown");
+    }
+    // Second shutdown is a no-op; submissions now fail Closed.
+    engine.shutdown();
+    let err = engine
+        .try_submit(test_requests(&model, 1).remove(0))
+        .expect_err("closed engine must reject");
+    assert!(matches!(err, ServeError::Closed), "{err:?}");
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.completed, 6);
+}

@@ -1,7 +1,7 @@
 //! Chrome trace-event JSON export (the `about://tracing` / Perfetto
 //! format), hand-written so the crate stays dependency-free.
 
-use crate::record::{SpanRecord, NO_CTX};
+use crate::record::{SpanOutcome, SpanRecord, NO_CTX};
 
 /// Minimal JSON string escape for event names; stage names are static
 /// strings under our control, so this only guards future additions.
@@ -45,6 +45,12 @@ pub fn chrome_json(records: &[SpanRecord]) -> String {
         if r.ctx != NO_CTX {
             out.push_str(&format!(",\"ctx\":{}", r.ctx));
         }
+        // `ok` is the default and carries no information; only mark the
+        // exceptional outcomes so clean traces stay byte-identical to
+        // pre-outcome exports.
+        if r.outcome != SpanOutcome::Ok {
+            out.push_str(&format!(",\"outcome\":\"{}\"", r.outcome.as_str()));
+        }
         out.push_str("}}");
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");
@@ -65,6 +71,7 @@ mod tests {
             end_ns: end,
             ctx,
             thread: 3,
+            outcome: SpanOutcome::Ok,
         }
     }
 
@@ -115,9 +122,31 @@ mod tests {
         assert_eq!(field(first, "dur").and_then(Value::as_f64), Some(3.5));
         let args = field(first, "args").expect("args present");
         assert_eq!(field(args, "ctx").and_then(Value::as_f64), Some(7.0));
-        // NO_CTX spans omit the ctx arg entirely.
+        // NO_CTX spans omit the ctx arg entirely; so do ok outcomes.
         let second_args = field(&events[1], "args").expect("args present");
         assert!(field(second_args, "ctx").is_none());
+        assert!(field(second_args, "outcome").is_none());
+    }
+
+    #[test]
+    fn non_ok_outcomes_are_exported() {
+        let mut failed = rec(1, "serve.service", 0, 10, 4);
+        failed.outcome = SpanOutcome::Failed;
+        let mut degraded = rec(2, "serve.fallback", 10, 20, 4);
+        degraded.outcome = SpanOutcome::Degraded;
+        let json = chrome_json(&[failed, degraded, rec(3, "serve.service", 20, 30, 5)]);
+        let value = serde_json::parse_value(&json).expect("valid JSON");
+        let events = field(&value, "traceEvents")
+            .and_then(Value::as_seq)
+            .expect("traceEvents array");
+        let outcome = |i: usize| {
+            field(&events[i], "args")
+                .and_then(|a| field(a, "outcome"))
+                .and_then(Value::as_str)
+        };
+        assert_eq!(outcome(0), Some("failed"));
+        assert_eq!(outcome(1), Some("degraded"));
+        assert_eq!(outcome(2), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The real recorder, compiled with the `enabled` feature: thread-local
 //! buffers registered in a process-wide collector, drained at session end.
 
-use crate::record::{SpanRecord, NO_CTX};
+use crate::record::{SpanOutcome, SpanRecord, NO_CTX};
 use crate::Trace;
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -137,6 +137,7 @@ pub fn span(stage: &'static str) -> SpanGuard {
             stage,
             start_ns: 0,
             ctx: NO_CTX,
+            outcome: Cell::new(SpanOutcome::Ok),
         };
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
@@ -152,6 +153,7 @@ pub fn span(stage: &'static str) -> SpanGuard {
         stage,
         start_ns: now_ns(),
         ctx,
+        outcome: Cell::new(SpanOutcome::Ok),
     }
 }
 
@@ -163,6 +165,17 @@ pub struct SpanGuard {
     stage: &'static str,
     start_ns: u64,
     ctx: u64,
+    outcome: Cell<SpanOutcome>,
+}
+
+impl SpanGuard {
+    /// Marks how the spanned work ended; recorded when the guard drops.
+    /// Instrumentation calls this on failure/cancel/degrade paths only —
+    /// the default is [`SpanOutcome::Ok`].
+    #[inline]
+    pub fn set_outcome(&self, outcome: SpanOutcome) {
+        self.outcome.set(outcome);
+    }
 }
 
 impl Drop for SpanGuard {
@@ -185,6 +198,7 @@ impl Drop for SpanGuard {
                 end_ns,
                 ctx: self.ctx,
                 thread: l.buffer.thread,
+                outcome: self.outcome.get(),
             });
         });
     }
@@ -211,6 +225,7 @@ pub fn record_range(stage: &'static str, start: Instant, end: Instant, ctx: u64)
             end_ns: end_ns.max(start_ns),
             ctx,
             thread: l.buffer.thread,
+            outcome: SpanOutcome::Ok,
         });
     });
 }
@@ -400,6 +415,27 @@ mod tests {
             .collect();
         ctxs.sort_unstable();
         assert_eq!(ctxs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn outcome_marking_is_recorded() {
+        let _x = exclusive();
+        let session = TraceSession::start();
+        {
+            let ok = span("serve.service");
+            drop(ok);
+            let failed = span("serve.service");
+            failed.set_outcome(SpanOutcome::Failed);
+            drop(failed);
+            let degraded = span("serve.fallback");
+            degraded.set_outcome(SpanOutcome::Degraded);
+        }
+        let trace = session.finish();
+        let outcomes: Vec<SpanOutcome> = trace.records.iter().map(|r| r.outcome).collect();
+        assert_eq!(
+            outcomes,
+            vec![SpanOutcome::Ok, SpanOutcome::Failed, SpanOutcome::Degraded]
+        );
     }
 
     #[test]

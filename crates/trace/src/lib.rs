@@ -68,7 +68,7 @@ mod collector;
 #[cfg(not(feature = "enabled"))]
 mod noop;
 
-pub use record::{SpanRecord, NO_CTX};
+pub use record::{SpanOutcome, SpanRecord, NO_CTX};
 pub use summary::{format_table, summarize, summarize_by_ctx, CtxSummary, StageSummary};
 
 #[cfg(feature = "enabled")]
@@ -127,6 +127,11 @@ pub mod stage {
     pub const ATTNV_MAC: &str = "attnv.mac";
     /// Multi-sample offline head calibration (`calibrate_head`).
     pub const CALIBRATE_HEAD: &str = "calibrate.head";
+    /// Backoff sleep before one retry of a transiently-faulted request.
+    pub const SERVE_RETRY_BACKOFF: &str = "serve.retry_backoff";
+    /// Degraded fallback: the reference f32 attention path run after the
+    /// packed-int path faulted (marked with the `degraded` outcome).
+    pub const SERVE_FALLBACK: &str = "serve.fallback";
 
     /// Every canonical stage name, for exporter tests and documentation
     /// checks.
@@ -148,6 +153,8 @@ pub mod stage {
         ATTNV_UNPACK,
         ATTNV_MAC,
         CALIBRATE_HEAD,
+        SERVE_RETRY_BACKOFF,
+        SERVE_FALLBACK,
     ];
 }
 

@@ -2,7 +2,7 @@
 //! the same API surface as the real collector with every call an inlined
 //! no-op, so instrumentation sites cost nothing.
 
-use crate::record::NO_CTX;
+use crate::record::{SpanOutcome, NO_CTX};
 use crate::Trace;
 use std::time::Instant;
 
@@ -41,6 +41,12 @@ pub fn span(_stage: &'static str) -> SpanGuard {
 #[must_use = "the span closes when the guard drops"]
 pub struct SpanGuard {
     _priv: (),
+}
+
+impl SpanGuard {
+    /// No-op outcome marking; see the `enabled`-feature docs.
+    #[inline(always)]
+    pub fn set_outcome(&self, _outcome: SpanOutcome) {}
 }
 
 /// No-op externally-timed interval; see the `enabled`-feature docs.

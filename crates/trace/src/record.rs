@@ -3,6 +3,37 @@
 /// Context value for spans recorded outside any [`crate::ctx`] scope.
 pub const NO_CTX: u64 = u64::MAX;
 
+/// How the work inside a span ended. Defaults to [`SpanOutcome::Ok`];
+/// instrumentation marks anything else explicitly (via
+/// `SpanGuard::set_outcome`) on its failure/cancellation paths, so traces
+/// show *where* requests fail, time out, or degrade — not just where
+/// time goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpanOutcome {
+    /// The spanned work completed normally.
+    #[default]
+    Ok,
+    /// The spanned work returned an error or panicked.
+    Failed,
+    /// The spanned work was cancelled by a deadline.
+    Cancelled,
+    /// The spanned work fell back to a degraded (reference f32) path.
+    Degraded,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase name, as emitted in the Chrome export's
+    /// `args.outcome`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanOutcome::Ok => "ok",
+            SpanOutcome::Failed => "failed",
+            SpanOutcome::Cancelled => "cancelled",
+            SpanOutcome::Degraded => "degraded",
+        }
+    }
+}
+
 /// One closed span: a named stage with start/end timestamps, its parent
 /// on the recording thread, and the correlation context active when it
 /// opened.
@@ -27,6 +58,8 @@ pub struct SpanRecord {
     pub ctx: u64,
     /// Recording thread, as a small dense index assigned per thread.
     pub thread: u64,
+    /// How the spanned work ended (failure/cancel/degrade marking).
+    pub outcome: SpanOutcome,
 }
 
 impl SpanRecord {
@@ -51,7 +84,17 @@ mod tests {
             end_ns: 4,
             ctx: NO_CTX,
             thread: 0,
+            outcome: SpanOutcome::default(),
         };
         assert_eq!(r.duration_ns(), 0);
+    }
+
+    #[test]
+    fn outcome_names_are_stable() {
+        assert_eq!(SpanOutcome::default(), SpanOutcome::Ok);
+        assert_eq!(SpanOutcome::Ok.as_str(), "ok");
+        assert_eq!(SpanOutcome::Failed.as_str(), "failed");
+        assert_eq!(SpanOutcome::Cancelled.as_str(), "cancelled");
+        assert_eq!(SpanOutcome::Degraded.as_str(), "degraded");
     }
 }

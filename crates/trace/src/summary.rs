@@ -127,6 +127,7 @@ mod tests {
             end_ns: end,
             ctx,
             thread: 1,
+            outcome: crate::record::SpanOutcome::Ok,
         }
     }
 
