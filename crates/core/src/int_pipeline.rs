@@ -37,6 +37,9 @@ pub struct IntPathStats {
     pub dense_macs: u64,
     /// Number of 0-bit blocks bypassed by the dispatcher.
     pub skipped_blocks: usize,
+    /// Stable name of the micro-kernel that executed the `AttnV` MACs
+    /// (`scalar`, `sse4.1` or `avx2`; see `paro_tensor::kernel`).
+    pub kernel: &'static str,
 }
 
 impl IntPathStats {
@@ -160,6 +163,7 @@ pub fn run_attention_calibrated_int_with(
             executed_macs: attn.executed_macs,
             dense_macs: attn.dense_macs,
             skipped_blocks: attn.skipped_blocks,
+            kernel: attn.kernel,
         },
     })
 }

@@ -2,18 +2,22 @@
 //! machines, trace reorder-plan selection, benchmark and profile the
 //! serving engine. Run `paro help` for usage.
 
-use paro::cli::{parse_args, ChaosBenchOpts, CliCommand, ServeBenchOpts, TraceOpts, USAGE};
-use paro::core::calibration::calibrate_head;
+use paro::cli::{
+    parse_args, ChaosBenchOpts, CliCommand, PerfBenchOpts, ServeBenchOpts, TraceOpts, USAGE,
+};
+use paro::core::calibration::{calibrate_head, HeadCalibration};
 use paro::core::int_pipeline::run_attention_calibrated_int;
 use paro::core::pipeline::{attention_map, run_attention_calibrated_reference};
 use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
 use paro::prelude::*;
 use paro::report::{
-    stage_rows, ChaosBenchReport, InjectedFaultRow, IntPathComparison, ServeBenchReport,
+    diff_stage_medians, format_diff_table, stage_rows, AttnVThroughput, ChaosBenchReport,
+    InjectedFaultRow, IntPathComparison, PerfBenchReport, PerfStageRow, ServeBenchReport,
 };
 use paro::serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
 use paro::serve::{CalibrationSource, Engine, ServeConfig};
 use paro::sim::OpCategory;
+use paro::tensor::kernel;
 use paro::tensor::render;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -106,6 +110,7 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
         CliCommand::ServeBench(opts) => serve_bench(&opts),
         CliCommand::Trace(opts) => trace_workload(&opts),
         CliCommand::ChaosBench(opts) => chaos_bench(&opts),
+        CliCommand::PerfBench(opts) => perf_bench(&opts),
         CliCommand::Plan {
             grid,
             pattern,
@@ -219,7 +224,18 @@ fn int_path_comparison(
         packed_map_bytes_per_head: stats.packed_map_bytes,
         packed_v_bytes_per_head: stats.v_payload_bytes,
         macs_skipped_fraction: stats.skipped_fraction(),
+        kernel: stats.kernel.to_string(),
     })
+}
+
+/// Records the one-shot `kernel.dispatch` span: a zero-length marker at
+/// the head of the session whose `detail` names the micro-kernel every
+/// dispatched hot loop runs, so traces and summaries are self-describing.
+fn record_kernel_dispatch() {
+    let _d = paro::trace::span_detailed(
+        paro::trace::stage::KERNEL_DISPATCH,
+        kernel::active_kernel().as_str(),
+    );
 }
 
 fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
@@ -228,6 +244,7 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
     // Record the batch; in a compiled-out build the session is inert and
     // the stage table stays empty.
     let session = paro::trace::TraceSession::start();
+    record_kernel_dispatch();
     let t0 = Instant::now();
     let outcome = wl.engine.run_batch(requests);
     let wall = t0.elapsed();
@@ -373,6 +390,182 @@ fn chaos_bench(opts: &ChaosBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
     Ok(())
 }
 
+/// Per-stage medians and `AttnV` throughput of one timed perf-bench pass.
+#[derive(Clone)]
+struct PerfPass {
+    stages: Vec<PerfStageRow>,
+    attn_v: AttnVThroughput,
+}
+
+/// Runs the single-head packed-integer pipeline `iters` times under a
+/// trace session, optionally with the kernel dispatch forced, and derives
+/// per-stage medians plus `attnv.mac` throughput. The forced dispatch is
+/// always restored before returning.
+fn perf_pass(
+    inputs: &AttentionInputs,
+    cal: &HeadCalibration,
+    output_aware: bool,
+    iters: usize,
+    force: Option<kernel::Kernel>,
+) -> Result<PerfPass, Box<dyn std::error::Error>> {
+    kernel::force(force);
+    let timed = (|| {
+        // Warm once so one-time costs (page faults, lazy init) stay out
+        // of the medians, and keep the run's MAC/byte accounting.
+        let stats = run_attention_calibrated_int(inputs, cal, output_aware)?.stats;
+        let session = paro::trace::TraceSession::start();
+        record_kernel_dispatch();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            run_attention_calibrated_int(inputs, cal, output_aware)?;
+        }
+        let wall = t0.elapsed();
+        Ok::<_, Box<dyn std::error::Error>>((stats, session.finish(), wall))
+    })();
+    kernel::force(None);
+    let (stats, trace, wall) = timed?;
+    let summary = trace.summary();
+    let stages: Vec<PerfStageRow> = summary
+        .iter()
+        .map(|s| PerfStageRow {
+            stage: s.stage.to_string(),
+            count: s.count,
+            p50_us: s.p50_ns as f64 / 1e3,
+        })
+        .collect();
+    // `attnv.mac` records one span per non-zero block, so throughput
+    // comes from the stage's total kernel time per pipeline pass; the
+    // median is the per-block duration.
+    let mac = summary
+        .iter()
+        .find(|s| s.stage == paro::trace::stage::ATTNV_MAC)
+        .ok_or("no attnv.mac spans recorded; perf-bench needs tracing compiled in")?;
+    let mac_p50_us = mac.p50_ns as f64 / 1e3;
+    let mac_secs = mac.total_ns as f64 * 1e-9 / iters as f64;
+    Ok(PerfPass {
+        stages,
+        attn_v: AttnVThroughput {
+            kernel: stats.kernel.to_string(),
+            ms_per_head: wall.as_secs_f64() * 1e3 / iters as f64,
+            mac_p50_us,
+            macs_per_sec: if mac_secs > 0.0 {
+                stats.executed_macs as f64 / mac_secs
+            } else {
+                0.0
+            },
+            packed_map_gb_per_sec: if mac_secs > 0.0 {
+                stats.packed_map_bytes as f64 / mac_secs / 1e9
+            } else {
+                0.0
+            },
+        },
+    })
+}
+
+fn perf_bench(opts: &PerfBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
+    if !paro::trace::COMPILED_IN {
+        return Err("this binary was built without tracing (the paro crate's \
+                    `trace` feature); perf-bench needs span medians — rebuild \
+                    with default features"
+            .into());
+    }
+    let model = scaled_config(
+        &ModelConfig::cogvideox_2b(),
+        opts.grid.frames(),
+        opts.grid.height(),
+        opts.grid.width(),
+    );
+    let defaults = paro::serve::ServeConfig::default();
+    let source = SyntheticSource::new(model.clone(), 2, opts.seed ^ 0xca11b);
+    let spec = PatternSpec::for_head(&model.grid, 0, 0);
+    let head = synthesize_head(&model.grid, model.head_dim(), &spec, opts.seed);
+    let inputs = AttentionInputs::new(head.q, head.k, head.v, model.grid)?;
+    let maps = source.calibration_maps(0, 0)?;
+    let cal = calibrate_head(
+        &maps,
+        &model.grid,
+        BlockGrid::square(opts.block_edge)?,
+        defaults.calib_bits,
+        opts.budget,
+        defaults.alpha,
+    )?;
+    let dispatch = kernel::active();
+    let dispatched = perf_pass(&inputs, &cal, defaults.output_aware, opts.iters, None)?;
+    // The scalar reference runs in the same process and binary; when the
+    // dispatch already resolved to scalar it IS the reference.
+    let scalar = if dispatch.kernel == kernel::Kernel::Scalar {
+        dispatched.clone()
+    } else {
+        perf_pass(
+            &inputs,
+            &cal,
+            defaults.output_aware,
+            opts.iters,
+            Some(kernel::Kernel::Scalar),
+        )?
+    };
+    let speedup = if scalar.attn_v.macs_per_sec > 0.0 {
+        dispatched.attn_v.macs_per_sec / scalar.attn_v.macs_per_sec
+    } else {
+        0.0
+    };
+    let report = PerfBenchReport {
+        label: opts.label.clone(),
+        model: model.name.clone(),
+        tokens: model.grid.len(),
+        head_dim: model.head_dim(),
+        iters: opts.iters,
+        kernel: dispatch.kernel.as_str().to_string(),
+        kernel_forced: dispatch.forced,
+        trace_compiled_in: paro::trace::COMPILED_IN,
+        stages: dispatched.stages,
+        attn_v: dispatched.attn_v,
+        scalar_attn_v: scalar.attn_v,
+        attn_v_speedup_vs_scalar: speedup,
+    };
+    let json = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&opts.out, &json)?;
+    println!("{json}");
+    eprintln!(
+        "packed AttnV: {} {:.3e} MACs/s ({:.2} GB/s packed map) vs scalar \
+         {:.3e} MACs/s — {:.2}x; report -> {}",
+        report.kernel,
+        report.attn_v.macs_per_sec,
+        report.attn_v.packed_map_gb_per_sec,
+        report.scalar_attn_v.macs_per_sec,
+        report.attn_v_speedup_vs_scalar,
+        opts.out,
+    );
+    if let Some(path) = &opts.compare {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let baseline: PerfBenchReport =
+            serde_json::from_str(&text).map_err(|e| format!("baseline {path} malformed: {e}"))?;
+        let rows = diff_stage_medians(&baseline.stages, &report.stages, opts.tolerance);
+        eprintln!(
+            "\nper-stage medians vs {} (baseline kernel {}, current {}, \
+             tolerance {}%):",
+            path, baseline.kernel, report.kernel, opts.tolerance
+        );
+        eprint!("{}", format_diff_table(&rows));
+        let regressed: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.stage.as_str())
+            .collect();
+        if !regressed.is_empty() {
+            return Err(format!(
+                "per-stage median regression above {}%: {}",
+                opts.tolerance,
+                regressed.join(", ")
+            )
+            .into());
+        }
+        eprintln!("no gated stage regressed");
+    }
+    Ok(())
+}
+
 fn trace_workload(opts: &TraceOpts) -> Result<(), Box<dyn std::error::Error>> {
     if !paro::trace::COMPILED_IN {
         return Err("this binary was built without tracing (the paro crate's \
@@ -382,6 +575,7 @@ fn trace_workload(opts: &TraceOpts) -> Result<(), Box<dyn std::error::Error>> {
     let wl = build_workload(&opts.bench)?;
     let requests = synthetic_requests(&wl.spec);
     let session = paro::trace::TraceSession::start();
+    record_kernel_dispatch();
     let t0 = Instant::now();
     let outcome = wl.engine.run_batch(requests);
     let wall = t0.elapsed();

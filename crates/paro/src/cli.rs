@@ -51,6 +51,11 @@ pub enum CliCommand {
     /// `paro chaos-bench`: run a serving workload with deterministic
     /// fault injection and verify the engine's fault-tolerance contract.
     ChaosBench(ChaosBenchOpts),
+    /// `paro perf-bench`: time the single-head packed-integer pipeline
+    /// under the dispatched micro-kernel (plus a forced-scalar reference
+    /// pass), write a `BENCH_<label>.json` baseline, and optionally gate
+    /// against a committed baseline.
+    PerfBench(PerfBenchOpts),
     /// `paro help`: print usage.
     Help,
 }
@@ -104,6 +109,30 @@ pub struct ChaosBenchOpts {
     pub faults: u64,
 }
 
+/// Options for `paro perf-bench`: the single-head workload, the run
+/// label/output path, and the optional baseline gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBenchOpts {
+    /// Token grid of the single benchmarked head.
+    pub grid: TokenGrid,
+    /// Mixed-precision bit budget.
+    pub budget: f32,
+    /// Quantization block edge.
+    pub block_edge: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Run label, embedded in the report and the default output name.
+    pub label: String,
+    /// Path the report JSON is written to (default `BENCH_<label>.json`).
+    pub out: String,
+    /// Timed pipeline iterations per pass (medians are taken over these).
+    pub iters: usize,
+    /// Baseline report to diff against; a regression fails the command.
+    pub compare: Option<String>,
+    /// Regression tolerance in percent for the baseline gate.
+    pub tolerance: f64,
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 paro — PARO attention-quantization toolkit
@@ -122,6 +151,9 @@ USAGE:
                    [--requests N] [--deadline-ms MS] [--grid FxHxW]
                    [--blocks N] [--heads N] [--budget B] [--block EDGE]
                    [--seed S]
+  paro perf-bench [--label NAME] [--out FILE] [--iters N] [--grid FxHxW]
+                  [--budget B] [--block EDGE] [--seed S]
+                  [--compare FILE] [--tolerance PCT]
   paro help
 
 serve-bench drives the concurrent serving engine with a synthetic
@@ -142,6 +174,15 @@ Chrome trace-event JSON (loadable in Perfetto / about://tracing) to
 --out (default trace.json), and prints per-stage and per-head summary
 tables. Requires a binary built with tracing compiled in (the default
 build; see docs/TELEMETRY.md).
+
+perf-bench times the single-head packed-integer pipeline for --iters
+iterations under the runtime-dispatched SIMD micro-kernel, repeats the
+pass with the kernel forced to scalar in the same process, and writes
+per-stage span medians plus packed-AttnV MACs/s and packed-map GB/s to
+--out (default BENCH_<label>.json). With --compare BASELINE.json it
+prints a diff table and fails on any per-stage median regression above
+--tolerance percent (stages under the noise floor are reported but
+never gated); see docs/EXPERIMENTS.md \"Perf baselines\".
 
 PATTERNS: temporal, spatial-row, spatial-col, window, diffuse
 METHODS:  fp16, sage, sage2, sanger, naive-int8, naive-int4,
@@ -226,6 +267,55 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 bench,
                 fault_seed,
                 faults,
+            }))
+        }
+        "perf-bench" => {
+            reject_unknown(
+                &opts,
+                &[
+                    "label",
+                    "out",
+                    "iters",
+                    "grid",
+                    "budget",
+                    "block",
+                    "seed",
+                    "compare",
+                    "tolerance",
+                ],
+            )?;
+            // A bigger head than serve-bench's default: medians over a
+            // sub-millisecond AttnV would be timer noise.
+            let grid = parse_grid(opts_get(&opts, "grid").unwrap_or("6x8x8"))?;
+            let budget: f32 = parse_num(opts_get(&opts, "budget").unwrap_or("4.8"))?;
+            let block_edge: usize = parse_num(opts_get(&opts, "block").unwrap_or("6"))?;
+            let seed: u64 = parse_num(opts_get(&opts, "seed").unwrap_or("42"))?;
+            let label = opts_get(&opts, "label").unwrap_or("local").to_string();
+            if label.is_empty() || label.contains(['/', '\\']) {
+                return Err(format!("--label must be a bare name, got '{label}'"));
+            }
+            let iters: usize = parse_num(opts_get(&opts, "iters").unwrap_or("5"))?;
+            if iters == 0 {
+                return Err("--iters must be at least 1".to_string());
+            }
+            let tolerance: f64 = parse_num(opts_get(&opts, "tolerance").unwrap_or("30"))?;
+            if !tolerance.is_finite() || tolerance <= 0.0 {
+                return Err(format!("--tolerance must be positive, got {tolerance}"));
+            }
+            let out = opts_get(&opts, "out")
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("BENCH_{label}.json"));
+            let compare = opts_get(&opts, "compare").map(str::to_string);
+            Ok(CliCommand::PerfBench(PerfBenchOpts {
+                grid,
+                budget,
+                block_edge,
+                seed,
+                label,
+                out,
+                iters,
+                compare,
+                tolerance,
             }))
         }
         "trace" => {
@@ -675,6 +765,84 @@ mod tests {
     }
 
     #[test]
+    fn perf_bench_defaults() {
+        let cmd = parse_args(&args(&["perf-bench"])).unwrap();
+        match cmd {
+            CliCommand::PerfBench(opts) => {
+                assert_eq!(opts.grid, TokenGrid::new(6, 8, 8));
+                assert_eq!(opts.budget, 4.8);
+                assert_eq!(opts.block_edge, 6);
+                assert_eq!(opts.seed, 42);
+                assert_eq!(opts.label, "local");
+                assert_eq!(opts.out, "BENCH_local.json");
+                assert_eq!(opts.iters, 5);
+                assert_eq!(opts.compare, None);
+                assert_eq!(opts.tolerance, 30.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perf_bench_with_flags() {
+        let cmd = parse_args(&args(&[
+            "perf-bench",
+            "--label",
+            "ci_baseline",
+            "--iters",
+            "9",
+            "--grid",
+            "4x6x6",
+            "--compare",
+            "BENCH_ci_baseline.json",
+            "--tolerance",
+            "25",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::PerfBench(opts) => {
+                assert_eq!(opts.label, "ci_baseline");
+                // --out defaults from the label.
+                assert_eq!(opts.out, "BENCH_ci_baseline.json");
+                assert_eq!(opts.iters, 9);
+                assert_eq!(opts.grid, TokenGrid::new(4, 6, 6));
+                assert_eq!(opts.compare.as_deref(), Some("BENCH_ci_baseline.json"));
+                assert_eq!(opts.tolerance, 25.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An explicit --out wins over the label-derived default.
+        let cmd = parse_args(&args(&["perf-bench", "--out", "/tmp/b.json"])).unwrap();
+        match cmd {
+            CliCommand::PerfBench(opts) => assert_eq!(opts.out, "/tmp/b.json"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perf_bench_rejects_degenerate_values() {
+        assert!(parse_args(&args(&["perf-bench", "--iters", "0"]))
+            .unwrap_err()
+            .contains("iters"));
+        assert!(parse_args(&args(&["perf-bench", "--tolerance", "0"]))
+            .unwrap_err()
+            .contains("tolerance"));
+        assert!(parse_args(&args(&["perf-bench", "--tolerance", "-5"]))
+            .unwrap_err()
+            .contains("tolerance"));
+        assert!(parse_args(&args(&["perf-bench", "--label", "a/b"]))
+            .unwrap_err()
+            .contains("label"));
+    }
+
+    #[test]
+    fn usage_documents_perf_bench() {
+        assert!(USAGE.contains("perf-bench"));
+        assert!(USAGE.contains("--tolerance"));
+        assert!(USAGE.contains("BENCH_<label>.json"));
+    }
+
+    #[test]
     fn unknown_flags_are_rejected() {
         for cmd in [
             "quantize",
@@ -683,6 +851,7 @@ mod tests {
             "serve-bench",
             "trace",
             "chaos-bench",
+            "perf-bench",
         ] {
             let err = parse_args(&args(&[cmd, "--wat", "7"])).unwrap_err();
             assert!(err.contains("unknown flag --wat"), "{cmd}: {err}");

@@ -6,7 +6,7 @@
 //! so renaming or adding a field is a documented, reviewable change.
 
 use paro_serve::MetricsSnapshot;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Top-level JSON report `paro serve-bench` prints to stdout: the
 /// workload/engine configuration, the run's wall-clock throughput, the
@@ -69,6 +69,9 @@ pub struct IntPathComparison {
     pub packed_v_bytes_per_head: u64,
     /// Fraction of dense `AttnV` MACs skipped via 0-bit blocks.
     pub macs_skipped_fraction: f64,
+    /// Stable name of the micro-kernel that executed the `AttnV` MACs
+    /// (`scalar`, `sse4.1` or `avx2`; see `paro_tensor::kernel`).
+    pub kernel: String,
 }
 
 /// Top-level JSON report `paro chaos-bench` prints to stdout: which
@@ -161,4 +164,263 @@ impl From<&paro_trace::StageSummary> for StageSummaryRow {
 /// Converts a trace's per-stage summaries into JSON rows.
 pub fn stage_rows(summaries: &[paro_trace::StageSummary]) -> Vec<StageSummaryRow> {
     summaries.iter().map(StageSummaryRow::from).collect()
+}
+
+/// Top-level JSON report `paro perf-bench` writes (as `BENCH_<label>.json`)
+/// and prints: per-stage span medians of the single-head packed-integer
+/// pipeline, plus packed-`AttnV` throughput under both the dispatched
+/// micro-kernel and a forced-scalar reference pass of the same binary.
+/// This file is the repository's performance trajectory — the CI
+/// `perf-smoke` job diffs a fresh run against the committed
+/// `BENCH_ci_baseline.json` with [`diff_stage_medians`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PerfBenchReport {
+    /// Free-form run label (`--label`), embedded so a directory of bench
+    /// files stays self-describing.
+    pub label: String,
+    /// Scaled model name (e.g. `CogVideoX-2B@6x8x8`).
+    pub model: String,
+    /// Tokens per attention head (the scaled grid's volume).
+    pub tokens: usize,
+    /// Head dimension of the model.
+    pub head_dim: usize,
+    /// Timed pipeline iterations per pass (medians are taken over these).
+    pub iters: usize,
+    /// The micro-kernel runtime dispatch selected (`scalar`, `sse4.1` or
+    /// `avx2`).
+    pub kernel: String,
+    /// `true` when `PARO_KERNEL` overrode detection for this run —
+    /// a forced run is not comparable to a detected baseline.
+    pub kernel_forced: bool,
+    /// Whether span recording is compiled into this binary; medians
+    /// require it, so `perf-bench` refuses to run when `false`.
+    pub trace_compiled_in: bool,
+    /// Median span duration per pipeline stage over the dispatched pass.
+    pub stages: Vec<PerfStageRow>,
+    /// Packed-`AttnV` throughput under the dispatched kernel.
+    pub attn_v: AttnVThroughput,
+    /// The same measurement with the kernel forced to `scalar` in-process.
+    pub scalar_attn_v: AttnVThroughput,
+    /// `attn_v.macs_per_sec / scalar_attn_v.macs_per_sec` — how much
+    /// faster the dispatched MAC kernel is than scalar on this host.
+    pub attn_v_speedup_vs_scalar: f64,
+}
+
+/// One per-stage median row of a perf-bench pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfStageRow {
+    /// Stage name (see `paro_trace::stage` for the canonical set).
+    pub stage: String,
+    /// Spans recorded for this stage across all iterations.
+    pub count: u64,
+    /// Median span duration, microseconds.
+    pub p50_us: f64,
+}
+
+/// Throughput of the packed-`AttnV` MAC micro-kernel in one perf-bench
+/// pass, derived from the total `attnv.mac` kernel time (one span per
+/// non-zero block) and the run's MAC/byte accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttnVThroughput {
+    /// The micro-kernel that executed this pass.
+    pub kernel: String,
+    /// Whole-pipeline wall time per head, milliseconds.
+    pub ms_per_head: f64,
+    /// Median per-block `attnv.mac` span duration, microseconds.
+    pub mac_p50_us: f64,
+    /// Executed (non-bypassed) MACs per second through the kernel,
+    /// from the stage's total time per pipeline pass.
+    pub macs_per_sec: f64,
+    /// Packed attention-map bytes streamed through the kernel per
+    /// second, GB/s.
+    pub packed_map_gb_per_sec: f64,
+}
+
+/// Stages whose baseline median sits under this floor are reported but
+/// never gated: a span this short is dominated by timer and scheduler
+/// noise, and a percentage threshold on it would flap.
+pub const PERF_GATE_FLOOR_US: f64 = 50.0;
+
+/// One row of a baseline-vs-current perf diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDiffRow {
+    /// Stage name.
+    pub stage: String,
+    /// Baseline median, microseconds (`None` when the stage is new).
+    pub baseline_p50_us: Option<f64>,
+    /// Current median, microseconds (`None` when the stage disappeared).
+    pub current_p50_us: Option<f64>,
+    /// Relative change in percent (`None` unless both sides are present
+    /// and the baseline is positive).
+    pub delta_pct: Option<f64>,
+    /// Whether this row trips the regression gate.
+    pub regressed: bool,
+}
+
+/// Diffs current per-stage medians against a baseline.
+///
+/// A stage regresses when both sides measured it, its baseline median is
+/// at least [`PERF_GATE_FLOOR_US`], and the current median exceeds the
+/// baseline by more than `tolerance_pct` percent. Stages present on only
+/// one side are reported (so renames are visible in the table) but do not
+/// gate. Rows follow the baseline's order, with new stages appended.
+pub fn diff_stage_medians(
+    baseline: &[PerfStageRow],
+    current: &[PerfStageRow],
+    tolerance_pct: f64,
+) -> Vec<PerfDiffRow> {
+    let cur = |name: &str| current.iter().find(|r| r.stage == name);
+    let mut rows: Vec<PerfDiffRow> = baseline
+        .iter()
+        .map(|b| {
+            let c = cur(&b.stage);
+            let delta_pct = c
+                .filter(|_| b.p50_us > 0.0)
+                .map(|c| (c.p50_us - b.p50_us) / b.p50_us * 100.0);
+            let regressed =
+                b.p50_us >= PERF_GATE_FLOOR_US && delta_pct.is_some_and(|d| d > tolerance_pct);
+            PerfDiffRow {
+                stage: b.stage.clone(),
+                baseline_p50_us: Some(b.p50_us),
+                current_p50_us: c.map(|c| c.p50_us),
+                delta_pct,
+                regressed,
+            }
+        })
+        .collect();
+    for c in current {
+        if !baseline.iter().any(|b| b.stage == c.stage) {
+            rows.push(PerfDiffRow {
+                stage: c.stage.clone(),
+                baseline_p50_us: None,
+                current_p50_us: Some(c.p50_us),
+                delta_pct: None,
+                regressed: false,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders a perf diff as an aligned text table; regressed rows are
+/// marked `REGRESSED`, ungated rows under the noise floor ` (ungated)`.
+pub fn format_diff_table(rows: &[PerfDiffRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>9}\n",
+        "stage", "baseline_us", "current_us", "delta"
+    ));
+    let num = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
+    for r in rows {
+        let delta = r.delta_pct.map_or("-".to_string(), |d| format!("{d:+.1}%"));
+        let mark = if r.regressed {
+            "  REGRESSED"
+        } else if r.baseline_p50_us.is_some_and(|b| b < PERF_GATE_FLOOR_US) {
+            "  (ungated)"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>9}{}\n",
+            r.stage,
+            num(r.baseline_p50_us),
+            num(r.current_p50_us),
+            delta,
+            mark
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(stage: &str, p50_us: f64) -> PerfStageRow {
+        PerfStageRow {
+            stage: stage.to_string(),
+            count: 5,
+            p50_us,
+        }
+    }
+
+    #[test]
+    fn diff_flags_only_gated_regressions() {
+        let baseline = [row("attnv.mac", 400.0), row("pipeline.qkt", 1000.0)];
+        let current = [row("attnv.mac", 560.0), row("pipeline.qkt", 1200.0)];
+        let rows = diff_stage_medians(&baseline, &current, 30.0);
+        // +40% on attnv.mac trips the gate, +20% on qkt stays inside it.
+        assert!(rows[0].regressed, "{rows:?}");
+        assert!(!rows[1].regressed, "{rows:?}");
+        assert!((rows[0].delta_pct.unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_never_gates_below_noise_floor() {
+        let baseline = [row("pipeline.reorder", PERF_GATE_FLOOR_US / 2.0)];
+        let current = [row("pipeline.reorder", PERF_GATE_FLOOR_US * 10.0)];
+        let rows = diff_stage_medians(&baseline, &current, 30.0);
+        assert!(!rows[0].regressed, "{rows:?}");
+        assert!(rows[0].delta_pct.unwrap() > 30.0);
+    }
+
+    #[test]
+    fn diff_reports_added_and_removed_stages_without_gating() {
+        let baseline = [row("attnv.mac", 400.0)];
+        let current = [row("kernel.dispatch", 0.1)];
+        let rows = diff_stage_medians(&baseline, &current, 30.0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].current_p50_us, None);
+        assert_eq!(rows[1].baseline_p50_us, None);
+        assert!(rows.iter().all(|r| !r.regressed), "{rows:?}");
+        let table = format_diff_table(&rows);
+        assert!(table.contains("attnv.mac"));
+        assert!(table.contains("kernel.dispatch"));
+    }
+
+    #[test]
+    fn improvement_never_regresses() {
+        let baseline = [row("attnv.mac", 1000.0)];
+        let current = [row("attnv.mac", 100.0)];
+        let rows = diff_stage_medians(&baseline, &current, 30.0);
+        assert!(!rows[0].regressed);
+        assert!(rows[0].delta_pct.unwrap() < 0.0);
+    }
+
+    #[test]
+    fn perf_report_round_trips_through_json() {
+        let report = PerfBenchReport {
+            label: "ci_baseline".to_string(),
+            model: "CogVideoX-2B@6x8x8".to_string(),
+            tokens: 384,
+            head_dim: 64,
+            iters: 5,
+            kernel: "avx2".to_string(),
+            kernel_forced: false,
+            trace_compiled_in: true,
+            stages: vec![row("attnv.mac", 412.5)],
+            attn_v: AttnVThroughput {
+                kernel: "avx2".to_string(),
+                ms_per_head: 3.1,
+                mac_p50_us: 412.5,
+                macs_per_sec: 1.9e9,
+                packed_map_gb_per_sec: 0.4,
+            },
+            scalar_attn_v: AttnVThroughput {
+                kernel: "scalar".to_string(),
+                ms_per_head: 6.0,
+                mac_p50_us: 1400.0,
+                macs_per_sec: 0.6e9,
+                packed_map_gb_per_sec: 0.12,
+            },
+            attn_v_speedup_vs_scalar: 3.39,
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: PerfBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.label, report.label);
+        assert_eq!(back.stages.len(), 1);
+        assert_eq!(back.stages[0].stage, "attnv.mac");
+        assert_eq!(back.attn_v.kernel, "avx2");
+        assert_eq!(back.scalar_attn_v.mac_p50_us, 1400.0);
+    }
 }

@@ -8,10 +8,11 @@
 //! documented field the code no longer emits.
 
 use paro::report::{
-    ChaosBenchReport, InjectedFaultRow, IntPathComparison, ServeBenchReport, StageSummaryRow,
+    AttnVThroughput, ChaosBenchReport, InjectedFaultRow, IntPathComparison, PerfBenchReport,
+    PerfStageRow, ServeBenchReport, StageSummaryRow,
 };
 use paro::serve::{CacheStats, Metrics};
-use paro::trace::{stage, SpanOutcome, SpanRecord, Trace, NO_CTX};
+use paro::trace::{stage, SpanOutcome, SpanRecord, Trace, NO_CTX, NO_DETAIL};
 use serde_json::Value;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -132,6 +133,7 @@ fn sample_report() -> ServeBenchReport {
             packed_map_bytes_per_head: 11_620,
             packed_v_bytes_per_head: 4_736,
             macs_skipped_fraction: 0.034,
+            kernel: "avx2".to_string(),
         },
         metrics: snapshot,
     }
@@ -166,6 +168,7 @@ fn chrome_trace_event_fields_match_docs() {
                 ctx: 4,
                 thread: 2,
                 outcome: SpanOutcome::Failed,
+                detail: "avx2",
             },
             SpanRecord {
                 id: 1,
@@ -176,6 +179,7 @@ fn chrome_trace_event_fields_match_docs() {
                 ctx: NO_CTX,
                 thread: 1,
                 outcome: SpanOutcome::Ok,
+                detail: NO_DETAIL,
             },
         ],
         dropped: 0,
@@ -227,6 +231,49 @@ fn chaos_bench_report_fields_match_docs() {
         &emitted,
         &documented(&telemetry_doc(), "chaos-bench"),
         "chaos-bench report",
+    );
+}
+
+/// A fully-populated perf-bench report: one stage row so the array
+/// element fields serialize.
+fn sample_perf_report() -> PerfBenchReport {
+    let pass = |kernel: &str| AttnVThroughput {
+        kernel: kernel.to_string(),
+        ms_per_head: 3.2,
+        mac_p50_us: 410.0,
+        macs_per_sec: 1.8e9,
+        packed_map_gb_per_sec: 0.35,
+    };
+    PerfBenchReport {
+        label: "ci_baseline".to_string(),
+        model: "CogVideoX-2B@6x8x8".to_string(),
+        tokens: 384,
+        head_dim: 64,
+        iters: 5,
+        kernel: "avx2".to_string(),
+        kernel_forced: false,
+        trace_compiled_in: true,
+        stages: vec![PerfStageRow {
+            stage: stage::ATTNV_MAC.to_string(),
+            count: 5,
+            p50_us: 410.0,
+        }],
+        attn_v: pass("avx2"),
+        scalar_attn_v: pass("scalar"),
+        attn_v_speedup_vs_scalar: 2.4,
+    }
+}
+
+#[test]
+fn perf_bench_report_fields_match_docs() {
+    let json = serde_json::to_string(&sample_perf_report()).expect("report serializes");
+    let value = serde_json::parse_value(&json).expect("report JSON parses");
+    let mut emitted = BTreeSet::new();
+    key_paths(&value, "", &mut emitted);
+    assert_contract(
+        &emitted,
+        &documented(&telemetry_doc(), "perf-bench"),
+        "perf-bench report",
     );
 }
 

@@ -13,13 +13,10 @@
 //! (the dispatcher bypass), with MAC accounting matching the float-side
 //! block-sparse reference.
 
+use crate::kernels::{self, Kernel};
 use crate::mixed_map::PARAM_BYTES_PER_BLOCK;
 use crate::{Bitwidth, MixedPrecisionMap, PackedCodes, QuantError, QuantParams};
 use paro_tensor::{Tensor, TensorError};
-
-/// Elements unpacked per tile: one stack buffer refill of the inner MAC
-/// loop. 64 codes = 16 packed bytes at 2 bits — a cache-line-ish chunk.
-const TILE: usize = 64;
 
 /// A rank-2 tensor quantized per column ("per-dimension", the granularity
 /// the paper uses for `V`), with the integer codes kept for compute.
@@ -145,6 +142,9 @@ pub struct PackedAttnV {
     pub packed_map_bytes: u64,
     /// Number of 0-bit blocks bypassed without touching their bytes.
     pub skipped_blocks: usize,
+    /// Stable name of the micro-kernel that executed the MACs (see
+    /// [`paro_tensor::kernel::Kernel::as_str`]).
+    pub kernel: &'static str,
 }
 
 impl PackedAttnV {
@@ -173,6 +173,22 @@ impl PackedAttnV {
 /// map's column count, or [`QuantError::Transient`] when the
 /// `quant.pack_attn_v` failpoint is armed (chaos builds only).
 pub fn packed_attn_v(map: &MixedPrecisionMap, v: &PerColCodes) -> Result<PackedAttnV, QuantError> {
+    packed_attn_v_with(map, v, kernels::active_kernel())
+}
+
+/// [`packed_attn_v`] on an explicit [`Kernel`] instead of the dispatched
+/// one. Accumulators are bit-identical across kernels; the equivalence
+/// tests and in-process benchmark comparisons use this to pin SIMD paths
+/// against the scalar reference.
+///
+/// # Errors
+///
+/// Same as [`packed_attn_v`].
+pub fn packed_attn_v_with(
+    map: &MixedPrecisionMap,
+    v: &PerColCodes,
+    kernel: Kernel,
+) -> Result<PackedAttnV, QuantError> {
     if paro_failpoint::fire(paro_failpoint::site::QUANT_PACK_ATTN_V) {
         return Err(QuantError::Transient {
             site: paro_failpoint::site::QUANT_PACK_ATTN_V,
@@ -199,7 +215,6 @@ pub fn packed_attn_v(map: &MixedPrecisionMap, v: &PerColCodes) -> Result<PackedA
     let mut executed = 0u64;
     let mut packed_bytes = 0u64;
     let mut skipped = 0usize;
-    let mac_span = paro_trace::span(paro_trace::stage::ATTNV_MAC);
     for bi in 0..gr {
         for bj in 0..gc {
             let idx = bi * gc + bj;
@@ -214,7 +229,11 @@ pub fn packed_attn_v(map: &MixedPrecisionMap, v: &PerColCodes) -> Result<PackedA
             packed_bytes += map.block_payload_bytes(idx) as u64;
             let block_acc = &mut acc[..h * d];
             block_acc.fill(0);
-            packed_block_gemm_i32(
+            // The `attnv.mac` span covers only the micro-kernel call, so
+            // its summary measures kernel throughput undiluted by the
+            // (kernel-independent) accumulator fill and f32 scatter.
+            let mac_span = paro_trace::span_detailed(paro_trace::stage::ATTNV_MAC, kernel.as_str());
+            packed_block_gemm_i32_with(
                 codes,
                 params.zero_point(),
                 h,
@@ -222,7 +241,10 @@ pub fn packed_attn_v(map: &MixedPrecisionMap, v: &PerColCodes) -> Result<PackedA
                 &v_centered[c0 * d..(c0 + w) * d],
                 d,
                 block_acc,
+                kernel,
             )?;
+            drop(mac_span);
+            let dequant_span = paro_trace::span(paro_trace::stage::ATTNV_DEQUANT);
             let s_b = params.scale();
             for (sr, p) in scale_row.iter_mut().zip(v.params()) {
                 *sr = s_b * p.scale();
@@ -234,20 +256,21 @@ pub fn packed_attn_v(map: &MixedPrecisionMap, v: &PerColCodes) -> Result<PackedA
                     *o += a as f32 * s;
                 }
             }
+            drop(dequant_span);
         }
     }
-    drop(mac_span);
     Ok(PackedAttnV {
         output: Tensor::from_vec(&[m, d], out)?,
         executed_macs: executed,
         dense_macs: (m * n * d) as u64,
         packed_map_bytes: packed_bytes,
         skipped_blocks: skipped,
+        kernel: kernel.as_str(),
     })
 }
 
 /// One block's integer GEMM against pre-centered `V` codes: dispatches to
-/// the per-bitwidth micro-kernel.
+/// the per-bitwidth micro-kernel of the active [`Kernel`].
 ///
 /// `codes` holds the block's `h*w` packed map codes (row-major within the
 /// block), `v_centered` the `w*d` zero-point-subtracted V codes of the
@@ -267,6 +290,36 @@ pub fn packed_block_gemm_i32(
     d: usize,
     acc: &mut [i32],
 ) -> Result<(), QuantError> {
+    packed_block_gemm_i32_with(
+        codes,
+        zero_point,
+        h,
+        w,
+        v_centered,
+        d,
+        acc,
+        kernels::active_kernel(),
+    )
+}
+
+/// [`packed_block_gemm_i32`] on an explicit [`Kernel`]. Accumulators are
+/// bit-identical across kernels (exact i32 arithmetic, identical
+/// accumulation order).
+///
+/// # Errors
+///
+/// Same as [`packed_block_gemm_i32`].
+#[allow(clippy::too_many_arguments)]
+pub fn packed_block_gemm_i32_with(
+    codes: &PackedCodes,
+    zero_point: i32,
+    h: usize,
+    w: usize,
+    v_centered: &[i32],
+    d: usize,
+    acc: &mut [i32],
+    kernel: Kernel,
+) -> Result<(), QuantError> {
     if codes.len() != h * w {
         return Err(QuantError::PackedLengthMismatch {
             bytes: codes.len(),
@@ -285,66 +338,24 @@ pub fn packed_block_gemm_i32(
             expected: h * d,
         });
     }
-    let bytes = codes.as_bytes();
-    match codes.bits() {
-        Bitwidth::B0 => {} // nothing stored, nothing accumulated
-        Bitwidth::B2 => block_gemm_b2(bytes, zero_point, h, w, v_centered, d, acc),
-        Bitwidth::B4 => block_gemm_b4(bytes, zero_point, h, w, v_centered, d, acc),
-        Bitwidth::B8 => block_gemm_b8(bytes, zero_point, h, w, v_centered, d, acc),
-    }
+    kernels::block_gemm(
+        kernel,
+        codes.bits(),
+        codes.as_bytes(),
+        zero_point,
+        h,
+        w,
+        v_centered,
+        d,
+        acc,
+    );
     Ok(())
 }
-
-/// Generates one per-bitwidth micro-kernel: rows of the block are
-/// unpacked tile-wise from the packed bytes into a stack buffer (already
-/// zero-point-centered), then MAC'd against the V rows in i32. The
-/// unpack expression is inlined per bitwidth so the shift/mask constants
-/// fold.
-macro_rules! block_gemm_kernel {
-    ($name:ident, $bits:literal, $mask:literal) => {
-        fn $name(
-            bytes: &[u8],
-            zero_point: i32,
-            h: usize,
-            w: usize,
-            v_centered: &[i32],
-            d: usize,
-            acc: &mut [i32],
-        ) {
-            let mut tile = [0i32; TILE];
-            for lr in 0..h {
-                let row_base = lr * w;
-                let arow = &mut acc[lr * d..(lr + 1) * d];
-                let mut k0 = 0usize;
-                while k0 < w {
-                    let t = TILE.min(w - k0);
-                    for (ti, slot) in tile[..t].iter_mut().enumerate() {
-                        let bit0 = (row_base + k0 + ti) * $bits;
-                        *slot = ((bytes[bit0 / 8] >> (bit0 % 8)) & $mask) as i32 - zero_point;
-                    }
-                    for (ti, &mv) in tile[..t].iter().enumerate() {
-                        if mv == 0 {
-                            continue; // zero operand: no contribution in exact i32
-                        }
-                        let vrow = &v_centered[(k0 + ti) * d..(k0 + ti + 1) * d];
-                        for (o, &vv) in arow.iter_mut().zip(vrow) {
-                            *o += mv * vv;
-                        }
-                    }
-                    k0 += t;
-                }
-            }
-        }
-    };
-}
-
-block_gemm_kernel!(block_gemm_b2, 2, 0x3);
-block_gemm_kernel!(block_gemm_b4, 4, 0xF);
-block_gemm_kernel!(block_gemm_b8, 8, 0xFF);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::TILE;
     use crate::{dequantize_gemm, quantized_gemm_i32, BlockGrid, Grouping, QuantizedGemmOperand};
     use paro_tensor::rng::seeded;
     use paro_tensor::{metrics, Tensor};

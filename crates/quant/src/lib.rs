@@ -22,7 +22,10 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD micro-kernels in `kernels` opt
+// back in with a module-level `allow` — every other module stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitwidth;
@@ -30,6 +33,7 @@ mod error;
 mod gemm;
 mod grouping;
 mod int_attn;
+mod kernels;
 mod mixed_map;
 mod packed;
 mod params;
@@ -37,11 +41,16 @@ mod symmetric;
 
 pub use bitwidth::{Bitwidth, ParseBitwidthError};
 pub use error::QuantError;
-pub use gemm::{dequantize_gemm, quantized_gemm_i32, QuantizedGemmOperand};
+pub use gemm::{
+    dequantize_gemm, quantized_gemm_i32, quantized_gemm_i32_with, QuantizedGemmOperand,
+};
 pub use grouping::{
     fake_quant_2d, fake_quant_blocks, group_stats, BlockGrid, GroupStats, Grouping,
 };
-pub use int_attn::{packed_attn_v, packed_block_gemm_i32, PackedAttnV, PerColCodes};
+pub use int_attn::{
+    packed_attn_v, packed_attn_v_with, packed_block_gemm_i32, packed_block_gemm_i32_with,
+    PackedAttnV, PerColCodes,
+};
 pub use mixed_map::{MixedPrecisionMap, PARAM_BYTES_PER_BLOCK};
 pub use packed::PackedCodes;
 pub use params::QuantParams;

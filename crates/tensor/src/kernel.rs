@@ -1,0 +1,444 @@
+//! Runtime-dispatched CPU micro-kernels for the f32 hot loops.
+//!
+//! The PARO accelerator maps mixed-bitwidth blocks onto reconfigurable
+//! multipliers; the software analogue on a CPU is per-ISA micro-kernels
+//! picked once at startup. This module is the dispatch substrate shared
+//! by every hot loop in the workspace: it detects the widest available
+//! x86 vector extension (AVX2 > SSE4.1 > scalar), honors the
+//! `PARO_KERNEL` environment variable as a downgrade override, and hosts
+//! the f32 matmul drivers. The integer kernels in `paro-quant` dispatch
+//! on the same [`Kernel`] value so one process always runs one
+//! consistent kernel set.
+//!
+//! # Bit-identity contract
+//!
+//! Every SIMD driver produces **bit-identical** results to the scalar
+//! reference:
+//!
+//! - integer kernels are exact by construction (i32 adds commute);
+//! - the f32 matmul vectorizes the *output-column* axis only, so each
+//!   output element accumulates its `k` products in exactly the scalar
+//!   order, and the drivers use separate multiply and add intrinsics
+//!   (never FMA, which rounds once instead of twice).
+//!
+//! The equivalence suites (`tensor/tests/matmul_kernels.rs`,
+//! `quant/tests/kernel_equivalence.rs`) pin this contract on every
+//! kernel the host can run.
+
+// SIMD intrinsics are the one place the workspace needs `unsafe`; every
+// block is bounded by explicit slice lengths checked in the safe callers.
+#![allow(unsafe_code)]
+
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// A dispatchable micro-kernel implementation, ordered by preference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kernel {
+    /// Portable scalar reference — always available, the semantic ground
+    /// truth every SIMD path must match bit for bit.
+    Scalar,
+    /// x86-64 SSE4.1: 4×f32 / 4×i32 lanes (`_mm_mullo_epi32` needs 4.1).
+    Sse41,
+    /// x86-64 AVX2: 8×f32 / 8×i32 lanes plus variable shifts for the
+    /// packed-code unpack.
+    Avx2,
+}
+
+impl Kernel {
+    /// Every kernel this build knows about, in preference order
+    /// (scalar first).
+    pub const ALL: &'static [Kernel] = &[Kernel::Scalar, Kernel::Sse41, Kernel::Avx2];
+
+    /// Stable lowercase name, as printed in reports and accepted by
+    /// `PARO_KERNEL`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Sse41 => "sse4.1",
+            Kernel::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether the running CPU can execute this kernel.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Kernel::Scalar => true,
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            Kernel::Sse41 => is_x86_feature_detected!("sse4.1"),
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            Kernel::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+            _ => false,
+        }
+    }
+
+    /// The kernels the running CPU supports, in preference order.
+    pub fn supported() -> Vec<Kernel> {
+        Kernel::ALL
+            .iter()
+            .copied()
+            .filter(|k| k.is_supported())
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown kernel name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKernelError(pub String);
+
+impl std::fmt::Display for ParseKernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown kernel '{}' (use scalar, sse4.1 or avx2)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseKernelError {}
+
+impl FromStr for Kernel {
+    type Err = ParseKernelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Kernel::Scalar),
+            "sse4.1" | "sse41" | "sse" => Ok(Kernel::Sse41),
+            "avx2" => Ok(Kernel::Avx2),
+            other => Err(ParseKernelError(other.to_string())),
+        }
+    }
+}
+
+/// The widest kernel the running CPU supports, ignoring any override.
+pub fn detected() -> Kernel {
+    *Kernel::ALL
+        .iter()
+        .rev()
+        .find(|k| k.is_supported())
+        .expect("scalar is always supported")
+}
+
+/// What [`active`] resolved and why — for reports that must show whether
+/// the run was forced off the detected path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// The kernel every dispatched hot loop runs.
+    pub kernel: Kernel,
+    /// `true` when `PARO_KERNEL` (or [`force`]) overrode detection.
+    pub forced: bool,
+}
+
+fn env_dispatch() -> Dispatch {
+    let best = detected();
+    match std::env::var("PARO_KERNEL") {
+        // The override can only *downgrade*: forcing a kernel the CPU
+        // lacks would fault on the first intrinsic, so unknown names and
+        // unsupported kernels clamp to the detected best.
+        Ok(name) => match name.parse::<Kernel>() {
+            Ok(k) if k.is_supported() => Dispatch {
+                kernel: k.min(best),
+                forced: k.min(best) != best,
+            },
+            Ok(_) | Err(_) => Dispatch {
+                kernel: best,
+                forced: false,
+            },
+        },
+        Err(_) => Dispatch {
+            kernel: best,
+            forced: false,
+        },
+    }
+}
+
+/// Process-wide dispatch override installed by [`force`]; 0 = none,
+/// otherwise `1 + kernel index`.
+static FORCED: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Forces every subsequent [`active`] resolution to `kernel` (pass
+/// `None` to restore `PARO_KERNEL`/detection). Benchmarks use this to
+/// measure the scalar reference in the same process as the dispatched
+/// path; the override is ignored if the CPU cannot run `kernel`.
+pub fn force(kernel: Option<Kernel>) {
+    let v = match kernel {
+        Some(k) if k.is_supported() => 1 + k as u8,
+        _ => 0,
+    };
+    FORCED.store(v, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// The dispatch decision for this process: the forced kernel if [`force`]
+/// is in effect, else the `PARO_KERNEL`-aware detection result (computed
+/// once and cached).
+pub fn active() -> Dispatch {
+    match FORCED.load(std::sync::atomic::Ordering::SeqCst) {
+        0 => {
+            static ENV: OnceLock<Dispatch> = OnceLock::new();
+            *ENV.get_or_init(env_dispatch)
+        }
+        v => Dispatch {
+            kernel: match v - 1 {
+                0 => Kernel::Scalar,
+                1 => Kernel::Sse41,
+                _ => Kernel::Avx2,
+            },
+            forced: true,
+        },
+    }
+}
+
+/// The kernel every dispatched hot loop currently runs.
+pub fn active_kernel() -> Kernel {
+    active().kernel
+}
+
+/// k-dimension tile edge of the f32/i32 GEMM drivers. 256 f32 values =
+/// 1 KiB per operand row segment: one `A`-row segment plus the streamed
+/// `B` panel rows stay L1-resident, and a packed/sparse operand is
+/// swept exactly once per tile.
+pub const TILE_K: usize = 256;
+
+/// Shared tiled-matmul body: rows of `a` are walked in `TILE_K`
+/// segments, a segment that is entirely zero is bypassed (the
+/// block-sparse fast path — B0 blocks of a quantized map are stored as
+/// zeros), and each surviving `a` element streams one row of `b`
+/// through the kernel's axpy. One body, three instantiations — so the
+/// scalar reference and the SIMD drivers cannot drift structurally.
+macro_rules! matmul_body {
+    ($axpy:ident, $a:ident, $b:ident, $out:ident, $m:ident, $k:ident, $n:ident, $skip:ident) => {{
+        for i in 0..$m {
+            let arow = &$a[i * $k..(i + 1) * $k];
+            let orow = &mut $out[i * $n..(i + 1) * $n];
+            let mut k0 = 0usize;
+            while k0 < $k {
+                let kt = TILE_K.min($k - k0);
+                let aseg = &arow[k0..k0 + kt];
+                // Zero-block bypass: a fully-zero segment contributes
+                // exactly zero (b is finite when skip_zeros holds), so
+                // its b panel is never touched.
+                if $skip && aseg.iter().all(|&v| v == 0.0) {
+                    k0 += kt;
+                    continue;
+                }
+                for (p, &av) in aseg.iter().enumerate() {
+                    let brow = &$b[(k0 + p) * $n..(k0 + p + 1) * $n];
+                    $axpy(orow, brow, av);
+                }
+                k0 += kt;
+            }
+        }
+    }};
+}
+
+#[inline(always)]
+fn axpy_scalar(orow: &mut [f32], brow: &[f32], av: f32) {
+    for (o, &bv) in orow.iter_mut().zip(brow) {
+        *o += av * bv;
+    }
+}
+
+fn matmul_driver_scalar(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    skip_zeros: bool,
+) {
+    matmul_body!(axpy_scalar, a, b, out, m, k, n, skip_zeros)
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod x86 {
+    use super::{axpy_scalar, TILE_K};
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// `orow[j] += av · brow[j]`, 4 f32 lanes; separate mul/add so the
+    /// rounding matches scalar exactly.
+    #[inline]
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn axpy_sse41(orow: &mut [f32], brow: &[f32], av: f32) {
+        let n = orow.len().min(brow.len());
+        let va = _mm_set1_ps(av);
+        let mut j = 0usize;
+        while j + 4 <= n {
+            let o = _mm_loadu_ps(orow.as_ptr().add(j));
+            let b = _mm_loadu_ps(brow.as_ptr().add(j));
+            _mm_storeu_ps(orow.as_mut_ptr().add(j), _mm_add_ps(o, _mm_mul_ps(va, b)));
+            j += 4;
+        }
+        axpy_scalar(&mut orow[j..n], &brow[j..n], av);
+    }
+
+    /// `orow[j] += av · brow[j]`, 8 f32 lanes; separate mul/add, no FMA.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_avx2(orow: &mut [f32], brow: &[f32], av: f32) {
+        let n = orow.len().min(brow.len());
+        let va = _mm256_set1_ps(av);
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let o = _mm256_loadu_ps(orow.as_ptr().add(j));
+            let b = _mm256_loadu_ps(brow.as_ptr().add(j));
+            _mm256_storeu_ps(
+                orow.as_mut_ptr().add(j),
+                _mm256_add_ps(o, _mm256_mul_ps(va, b)),
+            );
+            j += 8;
+        }
+        axpy_scalar(&mut orow[j..n], &brow[j..n], av);
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports SSE4.1.
+    #[target_feature(enable = "sse4.1")]
+    pub(super) unsafe fn matmul_driver_sse41(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        skip_zeros: bool,
+    ) {
+        matmul_body!(axpy_sse41, a, b, out, m, k, n, skip_zeros)
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matmul_driver_avx2(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        skip_zeros: bool,
+    ) {
+        matmul_body!(axpy_avx2, a, b, out, m, k, n, skip_zeros)
+    }
+}
+
+/// Tiled `out[m,n] += a[m,k] · b[k,n]` dispatched to `kernel`.
+///
+/// `skip_zeros` must be `false` when `b` contains non-finite values so
+/// IEEE `0·NaN = NaN` propagation survives; the caller checks this once.
+///
+/// Accumulation order per output element is identical for every kernel
+/// (the SIMD paths vectorize only the `n` axis, multiply and add
+/// separately), so outputs are bit-identical across kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_f32(
+    kernel: Kernel,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    skip_zeros: bool,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    match kernel {
+        Kernel::Scalar => matmul_driver_scalar(a, b, out, m, k, n, skip_zeros),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Kernel::Sse41 => {
+            debug_assert!(Kernel::Sse41.is_supported());
+            // SAFETY: callers only pass kernels `is_supported` admits.
+            unsafe { x86::matmul_driver_sse41(a, b, out, m, k, n, skip_zeros) }
+        }
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Kernel::Avx2 => {
+            debug_assert!(Kernel::Avx2.is_supported());
+            // SAFETY: callers only pass kernels `is_supported` admits.
+            unsafe { x86::matmul_driver_avx2(a, b, out, m, k, n, skip_zeros) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        _ => matmul_driver_scalar(a, b, out, m, k, n, skip_zeros),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_roundtrip() {
+        for &k in Kernel::ALL {
+            assert_eq!(k.as_str().parse::<Kernel>().unwrap(), k);
+        }
+        assert_eq!("SSE41".parse::<Kernel>().unwrap(), Kernel::Sse41);
+        assert!("neon".parse::<Kernel>().is_err());
+        let err = "neon".parse::<Kernel>().unwrap_err();
+        assert!(err.to_string().contains("neon"));
+    }
+
+    #[test]
+    fn scalar_is_always_supported_and_detected_is_best() {
+        assert!(Kernel::Scalar.is_supported());
+        let best = detected();
+        assert!(best.is_supported());
+        for &k in Kernel::ALL {
+            if k > best {
+                assert!(!k.is_supported(), "{k} wider than detected best {best}");
+            }
+        }
+        assert_eq!(Kernel::supported()[0], Kernel::Scalar);
+    }
+
+    #[test]
+    fn force_overrides_and_restores() {
+        force(Some(Kernel::Scalar));
+        assert_eq!(active().kernel, Kernel::Scalar);
+        assert!(active().forced);
+        force(None);
+        let d = active();
+        assert!(d.kernel.is_supported());
+        // Without PARO_KERNEL set, the cached resolution is the detected
+        // best (the test environment does not set the variable).
+        if std::env::var("PARO_KERNEL").is_err() {
+            assert_eq!(d.kernel, detected());
+            assert!(!d.forced);
+        }
+    }
+
+    #[test]
+    fn drivers_match_scalar_bit_for_bit() {
+        let (m, k, n) = (5, TILE_K + 13, 11);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| {
+                if i % 7 == 0 {
+                    0.0
+                } else {
+                    (i as f32 * 0.37).sin()
+                }
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut want = vec![0.0f32; m * n];
+        matmul_f32(Kernel::Scalar, &a, &b, &mut want, m, k, n, true);
+        for kernel in Kernel::supported() {
+            let mut got = vec![0.0f32; m * n];
+            matmul_f32(kernel, &a, &b, &mut got, m, k, n, true);
+            for (x, y) in got.iter().zip(&want) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{kernel}");
+            }
+        }
+    }
+}

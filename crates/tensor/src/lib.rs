@@ -32,10 +32,14 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD micro-kernels in `kernel` opt
+// back in with a module-level `allow` — every other module stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
+pub mod kernel;
 mod matmul;
 pub mod metrics;
 mod ops;
@@ -45,6 +49,7 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use kernel::Kernel;
 pub use ops::inverse_permutation;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,22 +1,36 @@
+use crate::kernel::{self, Kernel};
 use crate::{Tensor, TensorError};
 
 impl Tensor {
     /// Dense matrix multiplication of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Uses a cache-friendly i-k-j loop order; adequate for the reduced-scale
-    /// workloads the reproduction runs (token counts in the hundreds to low
-    /// thousands).
+    /// Dispatches to the widest micro-kernel the CPU supports (see
+    /// [`crate::kernel`]); all kernels tile the `k` dimension, stream each
+    /// left-operand row segment once, and produce bit-identical results.
     ///
-    /// Left-operand zeros skip their inner loop, which would drop `0·NaN`
-    /// and `0·∞` contributions; when `other` contains non-finite values the
-    /// skip is disabled so the result matches IEEE dense semantics
-    /// (`0·NaN = NaN`, propagated into the accumulator).
+    /// Fully-zero left-operand `k`-segments bypass their `b` panel (the
+    /// block-sparse fast path), which would drop `0·NaN` and `0·∞`
+    /// contributions; when `other` contains non-finite values the bypass is
+    /// disabled so the result matches IEEE dense semantics (`0·NaN = NaN`,
+    /// propagated into the accumulator).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] if either operand is not rank 2
     /// and [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.matmul_with(other, kernel::active_kernel())
+    }
+
+    /// [`Tensor::matmul`] on an explicit [`Kernel`] instead of the
+    /// dispatched one. Outputs are bit-identical across kernels; the
+    /// equivalence tests and in-process benchmark comparisons use this to
+    /// pin SIMD paths against the scalar reference.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tensor::matmul`].
+    pub fn matmul_with(&self, other: &Tensor, kern: Kernel) -> Result<Tensor, TensorError> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
@@ -39,23 +53,11 @@ impl Tensor {
         }
         let a = self.as_slice();
         let b = other.as_slice();
-        // The zero-skip fast path silently turns 0·NaN and 0·∞ into 0; only
+        // The zero-segment bypass silently turns 0·NaN and 0·∞ into 0; only
         // take it when the right operand is entirely finite.
         let skip_zeros = b.iter().all(|v| v.is_finite());
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if skip_zeros && av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        kernel::matmul_f32(kern, a, b, &mut out, m, k, n, skip_zeros);
         Tensor::from_vec(&[m, n], out)
     }
 

@@ -1,7 +1,7 @@
 //! Chrome trace-event JSON export (the `about://tracing` / Perfetto
 //! format), hand-written so the crate stays dependency-free.
 
-use crate::record::{SpanOutcome, SpanRecord, NO_CTX};
+use crate::record::{SpanOutcome, SpanRecord, NO_CTX, NO_DETAIL};
 
 /// Minimal JSON string escape for event names; stage names are static
 /// strings under our control, so this only guards future additions.
@@ -51,6 +51,11 @@ pub fn chrome_json(records: &[SpanRecord]) -> String {
         if r.outcome != SpanOutcome::Ok {
             out.push_str(&format!(",\"outcome\":\"{}\"", r.outcome.as_str()));
         }
+        // Same for the detail annotation: unannotated spans stay
+        // byte-identical to pre-detail exports.
+        if r.detail != NO_DETAIL {
+            out.push_str(&format!(",\"detail\":\"{}\"", escape(r.detail)));
+        }
         out.push_str("}}");
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");
@@ -72,6 +77,7 @@ mod tests {
             ctx,
             thread: 3,
             outcome: SpanOutcome::Ok,
+            detail: NO_DETAIL,
         }
     }
 
@@ -122,10 +128,30 @@ mod tests {
         assert_eq!(field(first, "dur").and_then(Value::as_f64), Some(3.5));
         let args = field(first, "args").expect("args present");
         assert_eq!(field(args, "ctx").and_then(Value::as_f64), Some(7.0));
-        // NO_CTX spans omit the ctx arg entirely; so do ok outcomes.
+        // NO_CTX spans omit the ctx arg entirely; so do ok outcomes and
+        // empty details.
         let second_args = field(&events[1], "args").expect("args present");
         assert!(field(second_args, "ctx").is_none());
         assert!(field(second_args, "outcome").is_none());
+        assert!(field(second_args, "detail").is_none());
+    }
+
+    #[test]
+    fn detail_annotations_are_exported() {
+        let mut annotated = rec(1, "attnv.mac", 0, 10, 4);
+        annotated.detail = "avx2";
+        let json = chrome_json(&[annotated, rec(2, "attnv.mac", 10, 20, 4)]);
+        let value = serde_json::parse_value(&json).expect("valid JSON");
+        let events = field(&value, "traceEvents")
+            .and_then(Value::as_seq)
+            .expect("traceEvents array");
+        let detail = |i: usize| {
+            field(&events[i], "args")
+                .and_then(|a| field(a, "detail"))
+                .and_then(Value::as_str)
+        };
+        assert_eq!(detail(0), Some("avx2"));
+        assert_eq!(detail(1), None);
     }
 
     #[test]

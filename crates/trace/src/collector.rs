@@ -1,7 +1,7 @@
 //! The real recorder, compiled with the `enabled` feature: thread-local
 //! buffers registered in a process-wide collector, drained at session end.
 
-use crate::record::{SpanOutcome, SpanRecord, NO_CTX};
+use crate::record::{SpanOutcome, SpanRecord, NO_CTX, NO_DETAIL};
 use crate::Trace;
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -130,6 +130,14 @@ impl Drop for CtxGuard {
 /// Costs one relaxed atomic load when no session is active.
 #[inline]
 pub fn span(stage: &'static str) -> SpanGuard {
+    span_detailed(stage, NO_DETAIL)
+}
+
+/// [`span`] with a static annotation recorded alongside the stage name
+/// (exported as `args.detail`) — e.g. the dispatched kernel name on
+/// `attnv.mac` spans.
+#[inline]
+pub fn span_detailed(stage: &'static str, detail: &'static str) -> SpanGuard {
     if !is_active() {
         return SpanGuard {
             id: 0,
@@ -138,6 +146,7 @@ pub fn span(stage: &'static str) -> SpanGuard {
             start_ns: 0,
             ctx: NO_CTX,
             outcome: Cell::new(SpanOutcome::Ok),
+            detail,
         };
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
@@ -154,6 +163,7 @@ pub fn span(stage: &'static str) -> SpanGuard {
         start_ns: now_ns(),
         ctx,
         outcome: Cell::new(SpanOutcome::Ok),
+        detail,
     }
 }
 
@@ -166,6 +176,7 @@ pub struct SpanGuard {
     start_ns: u64,
     ctx: u64,
     outcome: Cell<SpanOutcome>,
+    detail: &'static str,
 }
 
 impl SpanGuard {
@@ -199,6 +210,7 @@ impl Drop for SpanGuard {
                 ctx: self.ctx,
                 thread: l.buffer.thread,
                 outcome: self.outcome.get(),
+                detail: self.detail,
             });
         });
     }
@@ -226,6 +238,7 @@ pub fn record_range(stage: &'static str, start: Instant, end: Instant, ctx: u64)
             ctx,
             thread: l.buffer.thread,
             outcome: SpanOutcome::Ok,
+            detail: NO_DETAIL,
         });
     });
 }
@@ -415,6 +428,20 @@ mod tests {
             .collect();
         ctxs.sort_unstable();
         assert_eq!(ctxs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn span_detailed_records_annotation() {
+        let _x = exclusive();
+        let session = TraceSession::start();
+        {
+            let _annotated = span_detailed("attnv.mac", "avx2");
+            let _plain = span("attnv.mac");
+        }
+        let trace = session.finish();
+        let mut details: Vec<&str> = trace.records.iter().map(|r| r.detail).collect();
+        details.sort_unstable();
+        assert_eq!(details, vec![NO_DETAIL, "avx2"]);
     }
 
     #[test]

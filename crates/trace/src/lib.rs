@@ -68,16 +68,18 @@ mod collector;
 #[cfg(not(feature = "enabled"))]
 mod noop;
 
-pub use record::{SpanOutcome, SpanRecord, NO_CTX};
+pub use record::{SpanOutcome, SpanRecord, NO_CTX, NO_DETAIL};
 pub use summary::{format_table, summarize, summarize_by_ctx, CtxSummary, StageSummary};
 
 #[cfg(feature = "enabled")]
 pub use collector::{
-    ctx, current_ctx, is_active, record_range, span, CtxGuard, SpanGuard, TraceSession,
+    ctx, current_ctx, is_active, record_range, span, span_detailed, CtxGuard, SpanGuard,
+    TraceSession,
 };
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    ctx, current_ctx, is_active, record_range, span, CtxGuard, SpanGuard, TraceSession,
+    ctx, current_ctx, is_active, record_range, span, span_detailed, CtxGuard, SpanGuard,
+    TraceSession,
 };
 
 /// Whether recording support is compiled into this build (the `enabled`
@@ -123,8 +125,13 @@ pub mod stage {
     pub const PIPELINE_UNREORDER: &str = "pipeline.unreorder";
     /// Zero-point centering ("unpack") of the per-column `V` codes.
     pub const ATTNV_UNPACK: &str = "attnv.unpack";
-    /// The per-bitwidth i32 MAC micro-kernels over packed map blocks.
+    /// The per-bitwidth i32 MAC micro-kernel over one packed map block
+    /// (one span per non-zero block, so the summary isolates kernel time
+    /// from the surrounding dequantization).
     pub const ATTNV_MAC: &str = "attnv.mac";
+    /// Per-block dequantization of the i32 accumulators: scale-product
+    /// rebuild plus the f32 scatter into the output rows.
+    pub const ATTNV_DEQUANT: &str = "attnv.dequant";
     /// Multi-sample offline head calibration (`calibrate_head`).
     pub const CALIBRATE_HEAD: &str = "calibrate.head";
     /// Backoff sleep before one retry of a transiently-faulted request.
@@ -132,6 +139,10 @@ pub mod stage {
     /// Degraded fallback: the reference f32 attention path run after the
     /// packed-int path faulted (marked with the `degraded` outcome).
     pub const SERVE_FALLBACK: &str = "serve.fallback";
+    /// One-shot kernel-dispatch resolution: a zero-length span emitted at
+    /// session start whose `detail` names the micro-kernel every hot loop
+    /// runs (`scalar` / `sse4.1` / `avx2`).
+    pub const KERNEL_DISPATCH: &str = "kernel.dispatch";
 
     /// Every canonical stage name, for exporter tests and documentation
     /// checks.
@@ -152,9 +163,11 @@ pub mod stage {
         PIPELINE_UNREORDER,
         ATTNV_UNPACK,
         ATTNV_MAC,
+        ATTNV_DEQUANT,
         CALIBRATE_HEAD,
         SERVE_RETRY_BACKOFF,
         SERVE_FALLBACK,
+        KERNEL_DISPATCH,
     ];
 }
 

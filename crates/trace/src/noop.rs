@@ -37,6 +37,12 @@ pub fn span(_stage: &'static str) -> SpanGuard {
     SpanGuard { _priv: () }
 }
 
+/// No-op annotated span; see the `enabled`-feature docs for semantics.
+#[inline(always)]
+pub fn span_detailed(_stage: &'static str, _detail: &'static str) -> SpanGuard {
+    SpanGuard { _priv: () }
+}
+
 /// Inert stand-in for the real span guard.
 #[must_use = "the span closes when the guard drops"]
 pub struct SpanGuard {

@@ -3,6 +3,10 @@
 /// Context value for spans recorded outside any [`crate::ctx`] scope.
 pub const NO_CTX: u64 = u64::MAX;
 
+/// Detail value for spans recorded without an annotation (the default);
+/// exporters omit the field entirely for it.
+pub const NO_DETAIL: &str = "";
+
 /// How the work inside a span ended. Defaults to [`SpanOutcome::Ok`];
 /// instrumentation marks anything else explicitly (via
 /// `SpanGuard::set_outcome`) on its failure/cancellation paths, so traces
@@ -60,6 +64,9 @@ pub struct SpanRecord {
     pub thread: u64,
     /// How the spanned work ended (failure/cancel/degrade marking).
     pub outcome: SpanOutcome,
+    /// Free-form static annotation (e.g. the dispatched kernel name on
+    /// `attnv.mac` / `kernel.dispatch` spans), or [`NO_DETAIL`].
+    pub detail: &'static str,
 }
 
 impl SpanRecord {
@@ -85,6 +92,7 @@ mod tests {
             ctx: NO_CTX,
             thread: 0,
             outcome: SpanOutcome::default(),
+            detail: NO_DETAIL,
         };
         assert_eq!(r.duration_ns(), 0);
     }

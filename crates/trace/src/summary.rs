@@ -128,6 +128,7 @@ mod tests {
             ctx,
             thread: 1,
             outcome: crate::record::SpanOutcome::Ok,
+            detail: crate::record::NO_DETAIL,
         }
     }
 
