@@ -1,0 +1,275 @@
+//! The artifact writer.
+
+use crate::crc::{crc32_finish, crc32_update, CRC32_INIT};
+use crate::error::ArtifactError;
+use crate::format::{
+    section, HeadRecord, PlanMeta, BIT_CODES, HEADER_LEN, HEAD_RECORD_LEN, INDEX_ENTRY_LEN, MAGIC,
+    ORDER_CODES, VERSION,
+};
+
+/// Builds a plan artifact from owned metadata and head records.
+///
+/// The output of [`ArtifactBuilder::build`] is deterministic: the same
+/// metadata and the same records in the same order produce byte-identical
+/// artifacts (the basis of the committed golden-fixture gate).
+#[derive(Debug, Clone)]
+pub struct ArtifactBuilder {
+    meta: PlanMeta,
+    heads: Vec<HeadRecord>,
+}
+
+impl ArtifactBuilder {
+    /// Starts an artifact for one plan configuration.
+    pub fn new(meta: PlanMeta) -> Self {
+        ArtifactBuilder {
+            meta,
+            heads: Vec::new(),
+        }
+    }
+
+    /// Appends one frozen head calibration.
+    pub fn push_head(&mut self, record: HeadRecord) {
+        self.heads.push(record);
+    }
+
+    /// Number of head records queued so far.
+    pub fn head_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Serializes the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::BadValue`] when a field is outside its
+    /// documented domain (order code, bit codes, calibration bits,
+    /// non-finite floats) — the builder refuses to produce an artifact
+    /// the reader would reject.
+    pub fn build(&self) -> Result<Vec<u8>, ArtifactError> {
+        self.validate()?;
+
+        // Payload sections.
+        let meta_bytes = encode_meta(&self.meta);
+        let mut heads_bytes = Vec::with_capacity(self.heads.len() * HEAD_RECORD_LEN);
+        let mut bits_bytes = Vec::new();
+        for rec in &self.heads {
+            let bits_offset = bits_bytes.len() as u32;
+            bits_bytes.extend_from_slice(&rec.bit_codes);
+            push_u32(&mut heads_bytes, rec.block);
+            push_u32(&mut heads_bytes, rec.head);
+            push_u32(&mut heads_bytes, rec.order_code);
+            push_u32(&mut heads_bytes, rec.mean_error.to_bits());
+            push_u32(&mut heads_bytes, rec.avg_bits.to_bits());
+            push_u32(&mut heads_bytes, rec.total_cost.to_bits());
+            push_u32(&mut heads_bytes, bits_offset);
+            push_u32(&mut heads_bytes, rec.bit_codes.len() as u32);
+        }
+
+        // Index table: offsets are relative to the payload start.
+        let sections: [(u32, &[u8]); 3] = [
+            (section::META, &meta_bytes),
+            (section::HEADS, &heads_bytes),
+            (section::BITS, &bits_bytes),
+        ];
+        let mut table = Vec::with_capacity(sections.len() * INDEX_ENTRY_LEN);
+        let mut offset = 0u64;
+        for (id, bytes) in &sections {
+            push_u32(&mut table, *id);
+            push_u64(&mut table, offset);
+            push_u64(&mut table, bytes.len() as u64);
+            offset += bytes.len() as u64;
+        }
+
+        let body_len =
+            (table.len() + meta_bytes.len() + heads_bytes.len() + bits_bytes.len()) as u64;
+        let mut out = Vec::with_capacity(HEADER_LEN + body_len as usize);
+        out.extend_from_slice(&MAGIC);
+        push_u32(&mut out, VERSION);
+        push_u32(&mut out, sections.len() as u32);
+        push_u64(&mut out, body_len);
+        // CRC covers the header prefix (everything before the CRC field)
+        // plus the whole body, so any single flipped byte outside the CRC
+        // field itself is caught by the checksum.
+        let mut crc = crc32_update(CRC32_INIT, &out);
+        for part in [&table, &meta_bytes, &heads_bytes, &bits_bytes] {
+            crc = crc32_update(crc, part);
+        }
+        push_u32(&mut out, crc32_finish(crc));
+        out.extend_from_slice(&table);
+        out.extend_from_slice(&meta_bytes);
+        out.extend_from_slice(&heads_bytes);
+        out.extend_from_slice(&bits_bytes);
+        Ok(out)
+    }
+
+    fn validate(&self) -> Result<(), ArtifactError> {
+        if !BIT_CODES.contains(&(self.meta.calib_bits.min(255) as u8))
+            || self.meta.calib_bits > u8::MAX as u32
+        {
+            return Err(ArtifactError::BadValue {
+                what: "meta.calib_bits",
+                value: self.meta.calib_bits as u64,
+            });
+        }
+        for (what, v) in [
+            ("meta.budget", self.meta.budget),
+            ("meta.alpha", self.meta.alpha),
+        ] {
+            if !v.is_finite() {
+                return Err(ArtifactError::BadValue {
+                    what,
+                    value: v.to_bits() as u64,
+                });
+            }
+        }
+        if self.meta.model.len() > u32::MAX as usize {
+            return Err(ArtifactError::BadValue {
+                what: "meta.model length",
+                value: self.meta.model.len() as u64,
+            });
+        }
+        let mut total_bits = 0usize;
+        for rec in &self.heads {
+            if rec.order_code >= ORDER_CODES {
+                return Err(ArtifactError::BadValue {
+                    what: "head.order_code",
+                    value: rec.order_code as u64,
+                });
+            }
+            if let Some(&bad) = rec.bit_codes.iter().find(|c| !BIT_CODES.contains(c)) {
+                return Err(ArtifactError::BadValue {
+                    what: "head.bit_codes",
+                    value: bad as u64,
+                });
+            }
+            if rec.bit_codes.len() > u32::MAX as usize {
+                return Err(ArtifactError::BadValue {
+                    what: "head.bit_codes length",
+                    value: rec.bit_codes.len() as u64,
+                });
+            }
+            total_bits += rec.bit_codes.len();
+        }
+        if total_bits > u32::MAX as usize {
+            return Err(ArtifactError::BadValue {
+                what: "bits section length",
+                value: total_bits as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn encode_meta(meta: &PlanMeta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(36 + meta.model.len());
+    push_u32(&mut out, meta.model.len() as u32);
+    out.extend_from_slice(meta.model.as_bytes());
+    for v in [
+        meta.frames,
+        meta.height,
+        meta.width,
+        meta.block_rows,
+        meta.block_cols,
+        meta.calib_bits,
+        meta.budget.to_bits(),
+        meta.alpha.to_bits(),
+    ] {
+        push_u32(&mut out, v);
+    }
+    out
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> PlanMeta {
+        PlanMeta {
+            model: "Tiny-2x2x2".to_string(),
+            frames: 2,
+            height: 2,
+            width: 2,
+            block_rows: 4,
+            block_cols: 4,
+            calib_bits: 4,
+            budget: 4.8,
+            alpha: 0.5,
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let mut b = ArtifactBuilder::new(meta());
+        b.push_head(HeadRecord {
+            block: 0,
+            head: 1,
+            order_code: 2,
+            mean_error: 0.1,
+            avg_bits: 4.5,
+            total_cost: 2.0,
+            bit_codes: vec![8, 4, 0, 2],
+        });
+        assert_eq!(b.head_count(), 1);
+        assert_eq!(b.build().unwrap(), b.build().unwrap());
+    }
+
+    #[test]
+    fn rejects_out_of_domain_fields() {
+        let mut m = meta();
+        m.calib_bits = 3;
+        assert!(matches!(
+            ArtifactBuilder::new(m).build(),
+            Err(ArtifactError::BadValue {
+                what: "meta.calib_bits",
+                ..
+            })
+        ));
+        let mut m = meta();
+        m.budget = f32::NAN;
+        assert!(ArtifactBuilder::new(m).build().is_err());
+
+        let mut b = ArtifactBuilder::new(meta());
+        b.push_head(HeadRecord {
+            block: 0,
+            head: 0,
+            order_code: ORDER_CODES,
+            mean_error: 0.0,
+            avg_bits: 8.0,
+            total_cost: 0.0,
+            bit_codes: vec![8],
+        });
+        assert!(matches!(
+            b.build(),
+            Err(ArtifactError::BadValue {
+                what: "head.order_code",
+                ..
+            })
+        ));
+
+        let mut b = ArtifactBuilder::new(meta());
+        b.push_head(HeadRecord {
+            block: 0,
+            head: 0,
+            order_code: 0,
+            mean_error: 0.0,
+            avg_bits: 8.0,
+            total_cost: 0.0,
+            bit_codes: vec![8, 3],
+        });
+        assert!(matches!(
+            b.build(),
+            Err(ArtifactError::BadValue {
+                what: "head.bit_codes",
+                value: 3,
+            })
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! Table-driven CRC-32/IEEE (the zlib/PNG polynomial, reflected).
+//!
+//! Hand-rolled because this crate is zero-dependency. The streaming API
+//! (`crc32_update` / `crc32_finish`) lets the artifact checksum cover
+//! discontiguous ranges (the header prefix plus the body) without
+//! concatenating them.
+
+/// Initial state for a streaming CRC-32 computation.
+pub const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                POLY ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Feeds `bytes` into a streaming CRC-32 state.
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    bytes.iter().fold(state, |crc, &b| {
+        (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize]
+    })
+}
+
+/// Finalizes a streaming CRC-32 state into the checksum value.
+pub fn crc32_finish(state: u32) -> u32 {
+    state ^ 0xFFFF_FFFF
+}
+
+/// CRC-32/IEEE of one contiguous byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC32_INIT, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The CRC-32/IEEE check value over the standard test string.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"\0\0\0\0"), 0x2144_DF1C);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..=data.len() {
+            let state = crc32_update(CRC32_INIT, &data[..split]);
+            let state = crc32_update(state, &data[split..]);
+            assert_eq!(crc32_finish(state), crc32(data));
+        }
+    }
+
+    #[test]
+    fn detects_single_byte_flips() {
+        let data = b"paro plan artifact";
+        let base = crc32(data);
+        for i in 0..data.len() {
+            let mut copy = *data;
+            copy[i] ^= 0x40;
+            assert_ne!(crc32(&copy), base, "flip at byte {i} went undetected");
+        }
+    }
+}

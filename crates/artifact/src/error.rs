@@ -1,0 +1,172 @@
+//! Typed artifact errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong opening or decoding a plan artifact.
+///
+/// Every variant is a *rejection*: a malformed artifact fails loudly with
+/// one of these and can never cause undefined behavior (the crate forbids
+/// `unsafe`, so all decoding is bounds-checked slicing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The buffer is shorter than a structure the format requires.
+    Truncated {
+        /// Bytes the structure needs.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first eight bytes are not the `PAROPLAN` magic.
+    BadMagic {
+        /// The bytes found where the magic should be.
+        found: [u8; 8],
+    },
+    /// The header's format version is not one this reader supports.
+    UnsupportedVersion {
+        /// The version stored in the artifact.
+        found: u32,
+        /// The newest version this reader understands.
+        supported: u32,
+    },
+    /// The header's declared body length disagrees with the buffer.
+    LengthMismatch {
+        /// Body length declared in the header.
+        declared: u64,
+        /// Bytes actually following the header.
+        actual: u64,
+    },
+    /// The stored CRC-32 does not match the recomputed one.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum recomputed over the artifact bytes.
+        computed: u32,
+    },
+    /// A section index entry or section content is malformed.
+    BadSection {
+        /// The section id (see [`crate::section`]).
+        id: u32,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A required section is absent from the index table.
+    MissingSection {
+        /// The absent section's id.
+        id: u32,
+    },
+    /// A section id appears more than once in the index table.
+    DuplicateSection {
+        /// The repeated section's id.
+        id: u32,
+    },
+    /// A field holds a value outside its documented domain (e.g. an
+    /// order code ≥ 6 or a bit code outside `{0, 2, 4, 8}`).
+    BadValue {
+        /// Which field was out of domain.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// Reading the artifact file from disk failed.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying io error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Truncated { needed, have } => {
+                write!(f, "artifact truncated: need {needed} bytes, have {have}")
+            }
+            ArtifactError::BadMagic { found } => {
+                write!(f, "not a plan artifact: magic bytes {found:?}")
+            }
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported artifact version {found} (this reader supports up to {supported})"
+            ),
+            ArtifactError::LengthMismatch { declared, actual } => write!(
+                f,
+                "artifact body length mismatch: header declares {declared} bytes, buffer has {actual}"
+            ),
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ArtifactError::BadSection { id, reason } => {
+                write!(f, "artifact section {id} malformed: {reason}")
+            }
+            ArtifactError::MissingSection { id } => {
+                write!(f, "artifact is missing required section {id}")
+            }
+            ArtifactError::DuplicateSection { id } => {
+                write!(f, "artifact section {id} appears more than once")
+            }
+            ArtifactError::BadValue { what, value } => {
+                write!(f, "artifact field {what} holds out-of-domain value {value}")
+            }
+            ArtifactError::Io { path, message } => {
+                write!(f, "cannot read artifact '{path}': {message}")
+            }
+        }
+    }
+}
+
+impl Error for ArtifactError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_structured() {
+        let errs = [
+            ArtifactError::Truncated {
+                needed: 28,
+                have: 3,
+            },
+            ArtifactError::BadMagic {
+                found: *b"NOTAPLAN",
+            },
+            ArtifactError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            ArtifactError::LengthMismatch {
+                declared: 100,
+                actual: 90,
+            },
+            ArtifactError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            },
+            ArtifactError::BadSection {
+                id: 2,
+                reason: "odd length".to_string(),
+            },
+            ArtifactError::MissingSection { id: 3 },
+            ArtifactError::DuplicateSection { id: 1 },
+            ArtifactError::BadValue {
+                what: "order_code",
+                value: 7,
+            },
+            ArtifactError::Io {
+                path: "/tmp/x.paro".to_string(),
+                message: "no such file".to_string(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+        let e = ArtifactError::Io {
+            path: "/tmp/x.paro".to_string(),
+            message: "gone".to_string(),
+        };
+        assert!(e.to_string().contains("/tmp/x.paro"));
+    }
+}

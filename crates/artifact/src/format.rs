@@ -1,0 +1,91 @@
+//! Byte-level layout constants and the owned record types.
+//!
+//! The authoritative prose contract — with stability promises — is
+//! `docs/ARTIFACT.md`; these constants are its single source of truth in
+//! code. Everything is little-endian.
+
+/// The eight magic bytes opening every plan artifact.
+pub const MAGIC: [u8; 8] = *b"PAROPLAN";
+
+/// Current format version. Readers reject anything newer; older versions
+/// (once they exist) stay readable — see the stability promises in
+/// `docs/ARTIFACT.md`.
+pub const VERSION: u32 = 1;
+
+/// Header length in bytes: magic (8) + version (4) + section count (4) +
+/// body length (8) + CRC-32 (4).
+pub const HEADER_LEN: usize = 28;
+
+/// Length of one section index entry: id (4) + offset (8) + length (8).
+pub const INDEX_ENTRY_LEN: usize = 20;
+
+/// Length of one fixed head record in the heads section.
+pub const HEAD_RECORD_LEN: usize = 32;
+
+/// Number of valid axis-order codes. Codes `0..6` index the six
+/// flattening orders of the 3-D token grid, in the canonical order
+/// `fhw, fwh, hfw, hwf, wfh, whf` (matching `paro_model::AxisOrder::ALL`).
+pub const ORDER_CODES: u32 = 6;
+
+/// The valid per-block bit codes, stored one byte per quantization block:
+/// the literal bit count of the paper's palette `{0, 2, 4, 8}`.
+pub const BIT_CODES: [u8; 4] = [0, 2, 4, 8];
+
+/// Section ids of the index table.
+pub mod section {
+    /// Plan metadata: model name, token grid, quantization method.
+    pub const META: u32 = 1;
+    /// Fixed-size per-head records.
+    pub const HEADS: u32 = 2;
+    /// Concatenated per-block bit codes, referenced by head records.
+    pub const BITS: u32 = 3;
+}
+
+/// Decoded plan metadata: everything the frozen calibrations depend on.
+///
+/// A serving process must refuse an artifact whose metadata disagrees
+/// with its own model/method configuration — the calibrations inside are
+/// frozen *for* this exact configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanMeta {
+    /// Model name, e.g. `"CogVideoX-2B@4x6x6"`.
+    pub model: String,
+    /// Token-grid frames.
+    pub frames: u32,
+    /// Token-grid height.
+    pub height: u32,
+    /// Token-grid width.
+    pub width: u32,
+    /// Quantization block rows.
+    pub block_rows: u32,
+    /// Quantization block columns.
+    pub block_cols: u32,
+    /// Bitwidth used to score reorder plans during calibration (one of
+    /// `{0, 2, 4, 8}`).
+    pub calib_bits: u32,
+    /// Mixed-precision average-bit budget.
+    pub budget: f32,
+    /// Sensitivity alpha.
+    pub alpha: f32,
+}
+
+/// One frozen head calibration, in owned form (the builder's input; the
+/// zero-copy reader returns [`crate::HeadView`] instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadRecord {
+    /// Transformer block index.
+    pub block: u32,
+    /// Attention head index.
+    pub head: u32,
+    /// Axis-order code (`0..ORDER_CODES`, see [`ORDER_CODES`]).
+    pub order_code: u32,
+    /// Mean per-sample plan-selection error of the chosen order.
+    pub mean_error: f32,
+    /// Average bits of the frozen allocation.
+    pub avg_bits: f32,
+    /// Total weighted quantization cost of the frozen allocation.
+    pub total_cost: f32,
+    /// Per-block bit codes (one byte per quantization block, each one of
+    /// [`BIT_CODES`]).
+    pub bit_codes: Vec<u8>,
+}

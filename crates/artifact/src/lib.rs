@@ -1,0 +1,86 @@
+//! `paro-artifact`: versioned, checksummed, zero-copy plan artifacts.
+//!
+//! PARO freezes per-head reorder plans and mixed-precision bit
+//! allocations **offline** and serves from them forever after — yet until
+//! this crate, every serving process recomputed calibration and kept the
+//! frozen plans only in an in-memory cache. A *plan artifact* is the
+//! missing durable form: a single binary file holding every frozen head
+//! calibration of one `(model, grid, method)` configuration, designed so
+//! a fleet of serving processes can share one precomputed file.
+//!
+//! # Design
+//!
+//! - **Fixed-layout little-endian sections behind an index table.** The
+//!   28-byte header (magic, version, body length, CRC-32) is followed by
+//!   a section index and the section payloads. Opening an artifact
+//!   validates the header, checksum and section bounds **once**; after
+//!   that, readers borrow sub-slices of the original buffer — the bulk
+//!   per-block bit codes are returned as `&[u8]` directly into the file
+//!   image, with no per-field deserialization pass (see
+//!   [`HeadView::bit_codes`]). The layout is mmap-friendly: nothing in it
+//!   requires ownership, alignment above 1, or a rewrite on load.
+//! - **Safe.** The crate is `#![forbid(unsafe_code)]`: "zero-copy" means
+//!   borrowed slices and on-demand fixed-width integer decoding, never
+//!   transmutes. A corrupted, truncated or version-bumped artifact is
+//!   rejected with a typed [`ArtifactError`]; it can never cause
+//!   undefined behavior.
+//! - **Zero dependencies**, like `paro-trace` and `paro-failpoint`, so it
+//!   sits below `paro-core` in the crate graph.
+//!
+//! The byte-level format contract — stability promises included — lives
+//! in `docs/ARTIFACT.md` at the repository root.
+//!
+//! # Example
+//!
+//! ```
+//! use paro_artifact::{ArtifactBuilder, ArtifactView, HeadRecord, PlanMeta};
+//!
+//! let meta = PlanMeta {
+//!     model: "Tiny-2x2x2".to_string(),
+//!     frames: 2,
+//!     height: 2,
+//!     width: 2,
+//!     block_rows: 4,
+//!     block_cols: 4,
+//!     calib_bits: 4,
+//!     budget: 4.8,
+//!     alpha: 0.5,
+//! };
+//! let mut builder = ArtifactBuilder::new(meta);
+//! builder.push_head(HeadRecord {
+//!     block: 0,
+//!     head: 0,
+//!     order_code: 0,
+//!     mean_error: 0.01,
+//!     avg_bits: 4.0,
+//!     total_cost: 1.5,
+//!     bit_codes: vec![8, 4, 2, 0],
+//! });
+//! let bytes = builder.build().unwrap();
+//!
+//! let view = ArtifactView::parse(&bytes).unwrap();
+//! assert_eq!(view.meta().model, "Tiny-2x2x2");
+//! let head = view.head(0).unwrap();
+//! // The bit codes are borrowed straight out of `bytes` — zero-copy.
+//! assert_eq!(head.bit_codes, &[8, 4, 2, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod crc;
+mod error;
+mod format;
+mod owned;
+mod view;
+
+pub use build::ArtifactBuilder;
+pub use crc::{crc32, crc32_finish, crc32_update, CRC32_INIT};
+pub use error::ArtifactError;
+pub use format::{
+    section, HeadRecord, PlanMeta, BIT_CODES, HEADER_LEN, HEAD_RECORD_LEN, INDEX_ENTRY_LEN, MAGIC,
+    ORDER_CODES, VERSION,
+};
+pub use owned::OwnedArtifact;
+pub use view::{ArtifactView, HeadView};

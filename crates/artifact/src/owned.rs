@@ -1,0 +1,54 @@
+//! Owned artifact buffers: the safe fallback when nothing longer-lived
+//! owns the bytes.
+
+use std::path::Path;
+
+use crate::error::ArtifactError;
+use crate::view::ArtifactView;
+
+/// An artifact that owns its byte buffer.
+///
+/// [`ArtifactView`] borrows; this type is for the common serving case
+/// where the artifact is read from disk once and must outlive any one
+/// stack frame. Construction validates the buffer, so holding an
+/// `OwnedArtifact` is proof the bytes parse.
+#[derive(Debug, Clone)]
+pub struct OwnedArtifact {
+    data: Vec<u8>,
+}
+
+impl OwnedArtifact {
+    /// Validates and takes ownership of an artifact buffer.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactView::parse`] rejection.
+    pub fn from_bytes(data: Vec<u8>) -> Result<Self, ArtifactError> {
+        ArtifactView::parse(&data)?;
+        Ok(OwnedArtifact { data })
+    }
+
+    /// Reads and validates an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] (carrying the path) when the file cannot be
+    /// read, plus any [`ArtifactView::parse`] rejection.
+    pub fn read_from_file(path: &Path) -> Result<Self, ArtifactError> {
+        let data = std::fs::read(path).map_err(|e| ArtifactError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::from_bytes(data)
+    }
+
+    /// Borrows a validated view over the owned buffer.
+    pub fn view(&self) -> ArtifactView<'_> {
+        ArtifactView::parse(&self.data).expect("buffer was validated at construction")
+    }
+
+    /// The raw artifact bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+}

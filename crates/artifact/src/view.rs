@@ -1,0 +1,320 @@
+//! The zero-copy artifact reader.
+
+use crate::crc::{crc32_finish, crc32_update, CRC32_INIT};
+use crate::error::ArtifactError;
+use crate::format::{
+    section, PlanMeta, BIT_CODES, HEADER_LEN, HEAD_RECORD_LEN, INDEX_ENTRY_LEN, MAGIC, ORDER_CODES,
+    VERSION,
+};
+
+/// A parsed, validated, borrowed view over an artifact byte buffer.
+///
+/// [`ArtifactView::parse`] validates the header, checksum and section
+/// bounds once; every accessor afterwards is bounds-checked slicing plus
+/// fixed-width little-endian decoding. The bulk per-block bit codes are
+/// returned as sub-slices of the original buffer ([`HeadView::bit_codes`])
+/// — no allocation per head, which is what makes an mmap'd or otherwise
+/// borrowed buffer cheap to serve from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactView<'a> {
+    meta: PlanMeta,
+    heads: &'a [u8],
+    bits: &'a [u8],
+}
+
+/// One head record, decoded on demand from the heads section.
+///
+/// All fields are public: a head view is plain data. `bit_codes` borrows
+/// straight out of the artifact buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadView<'a> {
+    /// Transformer block index.
+    pub block: u32,
+    /// Attention head index.
+    pub head: u32,
+    /// Axis-order code (`0..ORDER_CODES`).
+    pub order_code: u32,
+    /// Mean per-sample plan-selection error of the chosen order.
+    pub mean_error: f32,
+    /// Average bits of the frozen allocation.
+    pub avg_bits: f32,
+    /// Total weighted quantization cost of the frozen allocation.
+    pub total_cost: f32,
+    /// Per-block bit codes, borrowed from the artifact buffer.
+    pub bit_codes: &'a [u8],
+}
+
+impl<'a> ArtifactView<'a> {
+    /// Parses and validates an artifact buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ArtifactError`] describing the first defect
+    /// found: truncation, bad magic, unsupported version, length or
+    /// checksum mismatch, or a malformed/missing/duplicated section.
+    pub fn parse(data: &'a [u8]) -> Result<Self, ArtifactError> {
+        if data.len() < HEADER_LEN {
+            return Err(ArtifactError::Truncated {
+                needed: HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        if data[..8] != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&data[..8]);
+            return Err(ArtifactError::BadMagic { found });
+        }
+        let version = read_u32(data, 8);
+        if version != VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let section_count = read_u32(data, 12) as usize;
+        let body_len = read_u64(data, 16);
+        let actual_body = (data.len() - HEADER_LEN) as u64;
+        if body_len != actual_body {
+            return Err(ArtifactError::LengthMismatch {
+                declared: body_len,
+                actual: actual_body,
+            });
+        }
+        let stored_crc = read_u32(data, 24);
+        let computed = crc32_finish(crc32_update(
+            crc32_update(CRC32_INIT, &data[..24]),
+            &data[HEADER_LEN..],
+        ));
+        if stored_crc != computed {
+            return Err(ArtifactError::ChecksumMismatch {
+                stored: stored_crc,
+                computed,
+            });
+        }
+
+        let table_len =
+            section_count
+                .checked_mul(INDEX_ENTRY_LEN)
+                .ok_or(ArtifactError::BadValue {
+                    what: "header.section_count",
+                    value: section_count as u64,
+                })?;
+        let body = &data[HEADER_LEN..];
+        if body.len() < table_len {
+            return Err(ArtifactError::Truncated {
+                needed: HEADER_LEN + table_len,
+                have: data.len(),
+            });
+        }
+        let payload = &body[table_len..];
+
+        let mut meta_bytes: Option<&[u8]> = None;
+        let mut heads: Option<&[u8]> = None;
+        let mut bits: Option<&[u8]> = None;
+        for i in 0..section_count {
+            let entry = &body[i * INDEX_ENTRY_LEN..(i + 1) * INDEX_ENTRY_LEN];
+            let id = read_u32(entry, 0);
+            let offset = read_u64(entry, 4);
+            let len = read_u64(entry, 12);
+            let end = offset
+                .checked_add(len)
+                .ok_or_else(|| ArtifactError::BadSection {
+                    id,
+                    reason: "offset + length overflows".to_string(),
+                })?;
+            if end > payload.len() as u64 {
+                return Err(ArtifactError::BadSection {
+                    id,
+                    reason: format!("extends to byte {end} of a {}-byte payload", payload.len()),
+                });
+            }
+            let slice = &payload[offset as usize..end as usize];
+            let slot = match id {
+                section::META => &mut meta_bytes,
+                section::HEADS => &mut heads,
+                section::BITS => &mut bits,
+                // Unknown section ids are skipped: a newer writer may add
+                // sections this reader does not know about.
+                _ => continue,
+            };
+            if slot.is_some() {
+                return Err(ArtifactError::DuplicateSection { id });
+            }
+            *slot = Some(slice);
+        }
+        let meta_bytes = meta_bytes.ok_or(ArtifactError::MissingSection { id: section::META })?;
+        let heads = heads.ok_or(ArtifactError::MissingSection { id: section::HEADS })?;
+        let bits = bits.ok_or(ArtifactError::MissingSection { id: section::BITS })?;
+
+        let meta = decode_meta(meta_bytes)?;
+        if heads.len() % HEAD_RECORD_LEN != 0 {
+            return Err(ArtifactError::BadSection {
+                id: section::HEADS,
+                reason: format!(
+                    "length {} is not a multiple of the {HEAD_RECORD_LEN}-byte record size",
+                    heads.len()
+                ),
+            });
+        }
+        Ok(ArtifactView { meta, heads, bits })
+    }
+
+    /// The decoded plan metadata.
+    pub fn meta(&self) -> &PlanMeta {
+        &self.meta
+    }
+
+    /// Number of head records in the artifact.
+    pub fn head_count(&self) -> usize {
+        self.heads.len() / HEAD_RECORD_LEN
+    }
+
+    /// Decodes the `i`-th head record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::BadValue`] for an out-of-range index and
+    /// [`ArtifactError::BadSection`] when the record's bit-code range
+    /// falls outside the bits section.
+    pub fn head(&self, i: usize) -> Result<HeadView<'a>, ArtifactError> {
+        if i >= self.head_count() {
+            return Err(ArtifactError::BadValue {
+                what: "head index",
+                value: i as u64,
+            });
+        }
+        let rec = &self.heads[i * HEAD_RECORD_LEN..(i + 1) * HEAD_RECORD_LEN];
+        let bits_offset = read_u32(rec, 24) as usize;
+        let bits_len = read_u32(rec, 28) as usize;
+        let end = bits_offset
+            .checked_add(bits_len)
+            .filter(|&end| end <= self.bits.len())
+            .ok_or_else(|| ArtifactError::BadSection {
+                id: section::HEADS,
+                reason: format!(
+                    "record {i} bit codes [{bits_offset}, {bits_offset}+{bits_len}) exceed the \
+                     {}-byte bits section",
+                    self.bits.len()
+                ),
+            })?;
+        Ok(HeadView {
+            block: read_u32(rec, 0),
+            head: read_u32(rec, 4),
+            order_code: read_u32(rec, 8),
+            mean_error: f32::from_bits(read_u32(rec, 12)),
+            avg_bits: f32::from_bits(read_u32(rec, 16)),
+            total_cost: f32::from_bits(read_u32(rec, 20)),
+            bit_codes: &self.bits[bits_offset..end],
+        })
+    }
+
+    /// Finds the record for `(block, head)` by linear scan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors from [`ArtifactView::head`].
+    pub fn find(&self, block: u32, head: u32) -> Result<Option<HeadView<'a>>, ArtifactError> {
+        for i in 0..self.head_count() {
+            let view = self.head(i)?;
+            if view.block == block && view.head == head {
+                return Ok(Some(view));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Decodes every record and checks all values against their domains:
+    /// order codes in `0..ORDER_CODES`, bit codes in `{0, 2, 4, 8}`,
+    /// floats finite.
+    ///
+    /// [`ArtifactView::parse`] already guarantees structural soundness;
+    /// this adds the semantic pass a serving process wants before trusting
+    /// a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first domain violation found.
+    pub fn verify_deep(&self) -> Result<(), ArtifactError> {
+        for i in 0..self.head_count() {
+            let head = self.head(i)?;
+            if head.order_code >= ORDER_CODES {
+                return Err(ArtifactError::BadValue {
+                    what: "head.order_code",
+                    value: head.order_code as u64,
+                });
+            }
+            if let Some(&bad) = head.bit_codes.iter().find(|c| !BIT_CODES.contains(c)) {
+                return Err(ArtifactError::BadValue {
+                    what: "head.bit_codes",
+                    value: bad as u64,
+                });
+            }
+            for (what, v) in [
+                ("head.mean_error", head.mean_error),
+                ("head.avg_bits", head.avg_bits),
+                ("head.total_cost", head.total_cost),
+            ] {
+                if !v.is_finite() {
+                    return Err(ArtifactError::BadValue {
+                        what,
+                        value: v.to_bits() as u64,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<PlanMeta, ArtifactError> {
+    let need = |n: usize| -> Result<(), ArtifactError> {
+        if bytes.len() < n {
+            Err(ArtifactError::BadSection {
+                id: section::META,
+                reason: format!("needs {n} bytes, section holds {}", bytes.len()),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    need(4)?;
+    let name_len = read_u32(bytes, 0) as usize;
+    let fixed = 4usize.checked_add(name_len).and_then(|n| n.checked_add(32));
+    let total = fixed.ok_or(ArtifactError::BadSection {
+        id: section::META,
+        reason: "model name length overflows".to_string(),
+    })?;
+    need(total)?;
+    if bytes.len() != total {
+        return Err(ArtifactError::BadSection {
+            id: section::META,
+            reason: format!("holds {} bytes, layout needs exactly {total}", bytes.len()),
+        });
+    }
+    let model = std::str::from_utf8(&bytes[4..4 + name_len])
+        .map_err(|_| ArtifactError::BadSection {
+            id: section::META,
+            reason: "model name is not UTF-8".to_string(),
+        })?
+        .to_string();
+    let base = 4 + name_len;
+    Ok(PlanMeta {
+        model,
+        frames: read_u32(bytes, base),
+        height: read_u32(bytes, base + 4),
+        width: read_u32(bytes, base + 8),
+        block_rows: read_u32(bytes, base + 12),
+        block_cols: read_u32(bytes, base + 16),
+        calib_bits: read_u32(bytes, base + 20),
+        budget: f32::from_bits(read_u32(bytes, base + 24)),
+        alpha: f32::from_bits(read_u32(bytes, base + 28)),
+    })
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("caller checked bounds"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("caller checked bounds"))
+}

@@ -1,0 +1,98 @@
+//! Forward-compatibility gate: a version-1 artifact committed to the
+//! repository must stay readable, byte for byte, forever.
+//!
+//! If this test fails after an intentional, version-bumped format change,
+//! regenerate the fixture with:
+//!
+//! ```sh
+//! PARO_UPDATE_GOLDEN=1 cargo test -p paro-artifact --test golden
+//! ```
+//!
+//! and commit the new file alongside a `VERSION` bump and a
+//! `docs/ARTIFACT.md` update. Never regenerate it to paper over an
+//! accidental layout change — the whole point is to catch those.
+
+use std::path::PathBuf;
+
+use paro_artifact::{ArtifactBuilder, ArtifactView, HeadRecord, OwnedArtifact, PlanMeta, VERSION};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_v1.paro")
+}
+
+/// The canonical fixture content: stable values chosen by hand, never
+/// derived from anything that could drift.
+fn golden_builder() -> ArtifactBuilder {
+    let mut builder = ArtifactBuilder::new(PlanMeta {
+        model: "GoldenNet-2x2x2".to_string(),
+        frames: 2,
+        height: 2,
+        width: 2,
+        block_rows: 4,
+        block_cols: 4,
+        calib_bits: 4,
+        budget: 4.5,
+        alpha: 0.5,
+    });
+    builder.push_head(HeadRecord {
+        block: 0,
+        head: 0,
+        order_code: 0,
+        mean_error: 0.125,
+        avg_bits: 4.0,
+        total_cost: 1.5,
+        bit_codes: vec![8, 4, 2, 2],
+    });
+    builder.push_head(HeadRecord {
+        block: 0,
+        head: 1,
+        order_code: 3,
+        mean_error: 0.25,
+        avg_bits: 3.5,
+        total_cost: 2.75,
+        bit_codes: vec![4, 4, 4, 0],
+    });
+    builder.push_head(HeadRecord {
+        block: 1,
+        head: 0,
+        order_code: 5,
+        mean_error: 0.0625,
+        avg_bits: 6.0,
+        total_cost: 0.5,
+        bit_codes: vec![8, 8, 4, 4],
+    });
+    builder
+}
+
+#[test]
+fn golden_artifact_is_stable_and_readable() {
+    let built = golden_builder().build().unwrap();
+    let path = golden_path();
+
+    if std::env::var_os("PARO_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &built).unwrap();
+    }
+
+    let committed = OwnedArtifact::read_from_file(&path)
+        .expect("the committed golden fixture must always parse");
+    assert_eq!(
+        committed.as_bytes(),
+        &built[..],
+        "rebuilding the golden artifact changed its bytes: the format drifted \
+         without a version bump (see the module docs for how to proceed)"
+    );
+
+    let view = ArtifactView::parse(committed.as_bytes()).unwrap();
+    assert_eq!(view.meta().model, "GoldenNet-2x2x2");
+    assert_eq!(view.head_count(), 3);
+    view.verify_deep().unwrap();
+    let head = view.head(2).unwrap();
+    assert_eq!((head.block, head.head, head.order_code), (1, 0, 5));
+    assert_eq!(head.bit_codes, &[8, 8, 4, 4]);
+    assert_eq!(head.avg_bits, 6.0);
+    assert_eq!(VERSION, 1, "bump the fixture name with the format version");
+}

@@ -1,0 +1,186 @@
+//! Round-trip and corruption-rejection coverage for the artifact format.
+//!
+//! The corruption tests are exhaustive rather than sampled: every single
+//! byte of a real artifact is flipped, and every truncation length is
+//! tried. A validated reader must reject all of them with a typed error —
+//! never panic, never silently accept.
+
+use paro_artifact::{
+    crc32, crc32_finish, crc32_update, ArtifactBuilder, ArtifactError, ArtifactView, HeadRecord,
+    OwnedArtifact, PlanMeta, CRC32_INIT, HEADER_LEN, MAGIC, VERSION,
+};
+
+fn sample_meta() -> PlanMeta {
+    PlanMeta {
+        model: "Tiny-2x4x4".to_string(),
+        frames: 2,
+        height: 4,
+        width: 4,
+        block_rows: 8,
+        block_cols: 8,
+        calib_bits: 4,
+        budget: 4.8,
+        alpha: 0.5,
+    }
+}
+
+fn sample_bytes() -> Vec<u8> {
+    let mut builder = ArtifactBuilder::new(sample_meta());
+    for block in 0..2u32 {
+        for head in 0..4u32 {
+            // Deterministic but varied values; a tiny LCG keeps the crate
+            // zero-dependency even for dev-dependencies.
+            let mut state = ((block * 4 + head) as u64).wrapping_mul(6_364_136_223_846_793_005) + 1;
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                (state >> 33) as u32
+            };
+            let codes: Vec<u8> = (0..16)
+                .map(|_| [0u8, 2, 4, 8][(next() % 4) as usize])
+                .collect();
+            let avg = codes.iter().map(|&c| c as f32).sum::<f32>() / codes.len() as f32;
+            builder.push_head(HeadRecord {
+                block,
+                head,
+                order_code: next() % 6,
+                mean_error: (next() % 1000) as f32 / 1000.0,
+                avg_bits: avg,
+                total_cost: (next() % 5000) as f32 / 100.0,
+                bit_codes: codes,
+            });
+        }
+    }
+    builder.build().unwrap()
+}
+
+#[test]
+fn round_trip_preserves_every_field() {
+    let bytes = sample_bytes();
+    let view = ArtifactView::parse(&bytes).unwrap();
+    assert_eq!(view.meta(), &sample_meta());
+    assert_eq!(view.head_count(), 8);
+    view.verify_deep().unwrap();
+    for i in 0..view.head_count() {
+        let head = view.head(i).unwrap();
+        assert_eq!(head.block, (i / 4) as u32);
+        assert_eq!(head.head, (i % 4) as u32);
+        assert_eq!(head.bit_codes.len(), 16);
+    }
+    assert_eq!(
+        view.find(1, 3).unwrap().unwrap(),
+        view.head(7).unwrap(),
+        "find must locate the same record as positional access"
+    );
+    assert_eq!(view.find(9, 0).unwrap(), None);
+}
+
+#[test]
+fn bit_codes_borrow_from_the_input_buffer() {
+    let bytes = sample_bytes();
+    let view = ArtifactView::parse(&bytes).unwrap();
+    let head = view.head(0).unwrap();
+    let range = bytes.as_ptr_range();
+    let codes_start = head.bit_codes.as_ptr();
+    assert!(
+        range.contains(&codes_start),
+        "bit codes must be a sub-slice of the artifact buffer (zero-copy), not a copy"
+    );
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let bytes = sample_bytes();
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x5A;
+        let result = ArtifactView::parse(&corrupt);
+        assert!(
+            result.is_err(),
+            "flipping byte {i} of {} was silently accepted",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let bytes = sample_bytes();
+    for len in 0..bytes.len() {
+        let result = ArtifactView::parse(&bytes[..len]);
+        assert!(result.is_err(), "truncation to {len} bytes was accepted");
+    }
+}
+
+#[test]
+fn version_bump_is_rejected_with_typed_error() {
+    let mut bytes = sample_bytes();
+    // Patch the version field, then recompute the checksum so the version
+    // check — not the CRC — is what rejects the artifact.
+    bytes[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    let crc = crc32_finish(crc32_update(
+        crc32_update(CRC32_INIT, &bytes[..24]),
+        &bytes[HEADER_LEN..],
+    ));
+    bytes[24..28].copy_from_slice(&crc.to_le_bytes());
+    assert_eq!(
+        ArtifactView::parse(&bytes),
+        Err(ArtifactError::UnsupportedVersion {
+            found: VERSION + 1,
+            supported: VERSION,
+        })
+    );
+}
+
+#[test]
+fn bad_magic_and_short_buffers_are_typed() {
+    assert_eq!(
+        ArtifactView::parse(&[]),
+        Err(ArtifactError::Truncated {
+            needed: HEADER_LEN,
+            have: 0,
+        })
+    );
+    let mut bytes = sample_bytes();
+    bytes[..8].copy_from_slice(b"NOTAPLAN");
+    assert_eq!(
+        ArtifactView::parse(&bytes),
+        Err(ArtifactError::BadMagic {
+            found: *b"NOTAPLAN",
+        })
+    );
+    assert_ne!(MAGIC, *b"NOTAPLAN");
+}
+
+#[test]
+fn owned_artifact_round_trips_through_a_file() {
+    let bytes = sample_bytes();
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("roundtrip.paro");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let owned = OwnedArtifact::read_from_file(&path).unwrap();
+    assert_eq!(owned.as_bytes(), &bytes[..]);
+    assert_eq!(owned.view().head_count(), 8);
+    assert_eq!(crc32(owned.as_bytes()), crc32(&bytes));
+
+    let missing = dir.join("does_not_exist.paro");
+    match OwnedArtifact::read_from_file(&missing) {
+        Err(ArtifactError::Io { path, .. }) => {
+            assert!(path.contains("does_not_exist.paro"));
+        }
+        other => panic!("expected Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn stray_bytes_after_declared_body_are_rejected() {
+    let mut bytes = sample_bytes();
+    bytes.push(0);
+    assert!(matches!(
+        ArtifactView::parse(&bytes),
+        Err(ArtifactError::LengthMismatch { .. })
+    ));
+}

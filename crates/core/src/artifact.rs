@@ -1,0 +1,156 @@
+//! Bridge between in-memory [`HeadCalibration`]s and the `paro-artifact`
+//! binary plan format.
+//!
+//! The artifact crate is deliberately ignorant of PARO's domain types (it
+//! sits below `paro-core` in the crate graph and stores plain codes);
+//! this module owns the two-way translation and guarantees it is
+//! lossless: a calibration frozen here and thawed back is `==` the
+//! original, field for field, because the artifact stores the exact `f32`
+//! bit patterns and the full per-block bitwidth vector.
+
+use paro_artifact::{ArtifactError, HeadRecord, HeadView, PlanMeta};
+use paro_model::{AxisOrder, ModelConfig};
+use paro_quant::{Bitwidth, BlockGrid};
+
+use crate::allocate::BitAllocation;
+use crate::calibration::HeadCalibration;
+
+/// The artifact order code of an axis order: its index in
+/// [`AxisOrder::ALL`].
+pub fn order_code(order: AxisOrder) -> u32 {
+    AxisOrder::ALL
+        .iter()
+        .position(|o| *o == order)
+        .expect("AxisOrder::ALL contains every variant") as u32
+}
+
+/// Decodes an artifact order code back into an axis order.
+///
+/// # Errors
+///
+/// [`ArtifactError::BadValue`] when the code is outside `0..6`.
+pub fn order_from_code(code: u32) -> Result<AxisOrder, ArtifactError> {
+    AxisOrder::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or(ArtifactError::BadValue {
+            what: "head.order_code",
+            value: code as u64,
+        })
+}
+
+/// Freezes one head calibration into an artifact record.
+pub fn head_record(block: u32, head: u32, cal: &HeadCalibration) -> HeadRecord {
+    HeadRecord {
+        block,
+        head,
+        order_code: order_code(cal.order),
+        mean_error: cal.mean_error,
+        avg_bits: cal.allocation.avg_bits,
+        total_cost: cal.allocation.total_cost,
+        bit_codes: cal.allocation.bits.iter().map(|b| b.bits() as u8).collect(),
+    }
+}
+
+/// Thaws an artifact record back into a head calibration.
+///
+/// The block grid comes from the artifact metadata (it is a plan-wide
+/// property), the rest from the record. Every stored value round-trips
+/// exactly, so the result is `==` the calibration that was frozen.
+///
+/// # Errors
+///
+/// [`ArtifactError::BadValue`] for out-of-domain order or bit codes, and
+/// for a metadata block grid with a zero dimension.
+pub fn head_calibration(
+    meta: &PlanMeta,
+    head: &HeadView<'_>,
+) -> Result<HeadCalibration, ArtifactError> {
+    let order = order_from_code(head.order_code)?;
+    let block =
+        BlockGrid::new(meta.block_rows as usize, meta.block_cols as usize).map_err(|_| {
+            ArtifactError::BadValue {
+                what: "meta.block_rows/block_cols",
+                value: meta.block_rows.min(meta.block_cols) as u64,
+            }
+        })?;
+    let bits = head
+        .bit_codes
+        .iter()
+        .map(|&c| {
+            Bitwidth::from_bits(c as u32).ok_or(ArtifactError::BadValue {
+                what: "head.bit_codes",
+                value: c as u64,
+            })
+        })
+        .collect::<Result<Vec<Bitwidth>, ArtifactError>>()?;
+    Ok(HeadCalibration {
+        order,
+        block,
+        allocation: BitAllocation {
+            bits,
+            avg_bits: head.avg_bits,
+            total_cost: head.total_cost,
+        },
+        mean_error: head.mean_error,
+    })
+}
+
+/// Builds artifact metadata for one model + calibration configuration.
+pub fn plan_meta(
+    model: &ModelConfig,
+    block: BlockGrid,
+    calib_bits: Bitwidth,
+    budget: f32,
+    alpha: f32,
+) -> PlanMeta {
+    PlanMeta {
+        model: model.name.clone(),
+        frames: model.grid.frames() as u32,
+        height: model.grid.height() as u32,
+        width: model.grid.width() as u32,
+        block_rows: block.block_rows as u32,
+        block_cols: block.block_cols as u32,
+        calib_bits: calib_bits.bits(),
+        budget,
+        alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paro_artifact::{ArtifactBuilder, ArtifactView};
+    use paro_model::patterns;
+
+    #[test]
+    fn order_codes_round_trip() {
+        for (i, order) in AxisOrder::ALL.iter().enumerate() {
+            assert_eq!(order_code(*order), i as u32);
+            assert_eq!(order_from_code(i as u32).unwrap(), *order);
+        }
+        assert!(order_from_code(6).is_err());
+    }
+
+    #[test]
+    fn calibration_round_trips_exactly_through_an_artifact() {
+        let cfg = ModelConfig::tiny(2, 4, 4);
+        let block = BlockGrid::square(8).unwrap();
+        let spec = patterns::PatternSpec::for_head(&cfg.grid, 0, 1);
+        let head = patterns::synthesize_head(&cfg.grid, cfg.head_dim(), &spec, 7);
+        let maps = vec![crate::pipeline::attention_map(&head.q, &head.k).unwrap()];
+        let cal =
+            crate::calibration::calibrate_head(&maps, &cfg.grid, block, Bitwidth::B4, 4.8, 0.5)
+                .unwrap();
+
+        let meta = plan_meta(&cfg, block, Bitwidth::B4, 4.8, 0.5);
+        let mut builder = ArtifactBuilder::new(meta);
+        builder.push_head(head_record(0, 1, &cal));
+        let bytes = builder.build().unwrap();
+
+        let view = ArtifactView::parse(&bytes).unwrap();
+        let head = view.find(0, 1).unwrap().unwrap();
+        let thawed = head_calibration(view.meta(), &head).unwrap();
+        assert_eq!(thawed, cal, "freeze → thaw must be lossless");
+    }
+}

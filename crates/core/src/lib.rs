@@ -50,6 +50,7 @@
 
 pub mod allocate;
 pub mod analysis;
+pub mod artifact;
 pub mod calibration;
 pub mod cancel;
 pub mod diffusion;

@@ -9,6 +9,7 @@ use paro::core::calibration::{calibrate_head, HeadCalibration};
 use paro::core::int_pipeline::run_attention_calibrated_int;
 use paro::core::pipeline::{attention_map, run_attention_calibrated_reference};
 use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
+use paro::plans::{build_plan_bytes, inspect_text, run_tune, verify_text, write_output};
 use paro::prelude::*;
 use paro::report::{
     diff_stage_medians, format_diff_table, stage_rows, AttnVThroughput, ChaosBenchReport,
@@ -19,6 +20,7 @@ use paro::serve::{CalibrationSource, Engine, ServeConfig};
 use paro::sim::OpCategory;
 use paro::tensor::kernel;
 use paro::tensor::render;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -142,6 +144,62 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", render::ascii_heatmap(&reordered, 32)?);
             Ok(())
         }
+        CliCommand::PlanBuild(opts) => {
+            let bytes = build_plan_bytes(&opts)?;
+            write_output(&opts.out, &bytes)?;
+            let view = paro::artifact::ArtifactView::parse(&bytes)?;
+            println!(
+                "wrote {} heads ({} bytes) for {} -> {}",
+                view.head_count(),
+                bytes.len(),
+                view.meta().model,
+                opts.out,
+            );
+            Ok(())
+        }
+        CliCommand::PlanInspect { file } => {
+            let bytes = std::fs::read(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            print!("{}", inspect_text(&bytes)?);
+            Ok(())
+        }
+        CliCommand::PlanVerify { file } => {
+            let bytes = std::fs::read(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            println!("{}", verify_text(&bytes)?);
+            Ok(())
+        }
+        CliCommand::Tune(opts) => {
+            let (report, bytes) = run_tune(&opts)?;
+            write_output(&opts.out, &bytes)?;
+            let json = serde_json::to_string_pretty(&report)?;
+            write_output(&opts.report, json.as_bytes())?;
+            println!("{json}");
+            eprintln!(
+                "tuned {} heads: predicted mean {:.1} us vs SLO {:.1} us \
+                 ({}; {} downgrade moves, mean budget {:.2} bits); \
+                 artifact -> {}, report -> {}",
+                report.heads.len(),
+                report.predicted_mean_us,
+                report.slo_us,
+                if report.meets_slo {
+                    "meets SLO"
+                } else {
+                    "SLO infeasible at the fastest budgets"
+                },
+                report.moves,
+                report.mean_budget_bits,
+                opts.out,
+                opts.report,
+            );
+            if !report.meets_slo {
+                return Err(format!(
+                    "SLO of {} us is infeasible: predicted mean is {:.1} us \
+                     with every head at its fastest trial budget",
+                    report.slo_us, report.predicted_mean_us
+                )
+                .into());
+            }
+            Ok(())
+        }
     }
 }
 
@@ -166,6 +224,7 @@ fn build_workload(opts: &ServeBenchOpts) -> Result<Workload, Box<dyn std::error:
         block_edge: opts.block_edge,
         budget: opts.budget,
         default_deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
+        plan_artifact: opts.plan.as_ref().map(PathBuf::from),
         ..ServeConfig::default()
     };
     let engine = Engine::new(cfg, model.clone(), source)?;
@@ -276,7 +335,11 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
         int_path,
         metrics: wl.engine.metrics_snapshot(),
     };
-    println!("{}", serde_json::to_string_pretty(&report)?);
+    let json = serde_json::to_string_pretty(&report)?;
+    if let Some(path) = &opts.out {
+        write_output(path, json.as_bytes())?;
+    }
+    println!("{json}");
     Ok(())
 }
 
@@ -383,7 +446,11 @@ fn chaos_bench(opts: &ChaosBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
         timed_out: snap.timed_out,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
     };
-    println!("{}", serde_json::to_string_pretty(&report)?);
+    let json = serde_json::to_string_pretty(&report)?;
+    if let Some(path) = &opts.bench.out {
+        write_output(path, json.as_bytes())?;
+    }
+    println!("{json}");
     if !report.clean_bit_identical {
         return Err("clean batch after injected faults diverged from the baseline".into());
     }
@@ -524,7 +591,7 @@ fn perf_bench(opts: &PerfBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
         attn_v_speedup_vs_scalar: speedup,
     };
     let json = serde_json::to_string_pretty(&report)?;
-    std::fs::write(&opts.out, &json)?;
+    write_output(&opts.out, json.as_bytes())?;
     println!("{json}");
     eprintln!(
         "packed AttnV: {} {:.3e} MACs/s ({:.2} GB/s packed map) vs scalar \
@@ -580,7 +647,7 @@ fn trace_workload(opts: &TraceOpts) -> Result<(), Box<dyn std::error::Error>> {
     let outcome = wl.engine.run_batch(requests);
     let wall = t0.elapsed();
     let trace = session.finish();
-    std::fs::write(&opts.out, trace.chrome_json())?;
+    write_output(&opts.out, trace.chrome_json().as_bytes())?;
     println!(
         "{} requests ({} ok, {} failed) on {} threads in {:.1} ms — {} spans -> {}",
         opts.bench.requests,

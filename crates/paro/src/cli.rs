@@ -56,8 +56,70 @@ pub enum CliCommand {
     /// pass), write a `BENCH_<label>.json` baseline, and optionally gate
     /// against a committed baseline.
     PerfBench(PerfBenchOpts),
+    /// `paro plan build`: calibrate every head of a synthetic workload
+    /// and freeze the plans into a `.paro` artifact.
+    PlanBuild(PlanBuildOpts),
+    /// `paro plan inspect`: print an artifact's metadata and per-head
+    /// plan table.
+    PlanInspect {
+        /// Artifact path.
+        file: String,
+    },
+    /// `paro plan verify`: structurally verify an artifact — header,
+    /// checksum, section bounds and per-head value domains.
+    PlanVerify {
+        /// Artifact path.
+        file: String,
+    },
+    /// `paro tune`: search per-head bit budgets under a latency SLO with
+    /// a roofline model seeded from a measured `BENCH_*.json`, freezing
+    /// the tuned plans into an artifact plus a JSON report.
+    Tune(TuneOpts),
     /// `paro help`: print usage.
     Help,
+}
+
+/// Options for `paro plan build`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanBuildOpts {
+    /// Scaled-down token grid of the synthetic workload.
+    pub grid: TokenGrid,
+    /// Transformer blocks to freeze.
+    pub blocks: usize,
+    /// Heads per block to freeze.
+    pub heads: usize,
+    /// Quantization block edge.
+    pub block_edge: usize,
+    /// Mixed-precision bit budget.
+    pub budget: f32,
+    /// RNG seed — must match the serving workload's seed for the frozen
+    /// plans to be the ones serving would have calibrated.
+    pub seed: u64,
+    /// Artifact output path.
+    pub out: String,
+}
+
+/// Options for `paro tune`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneOpts {
+    /// Scaled-down token grid of the synthetic workload.
+    pub grid: TokenGrid,
+    /// Transformer blocks to tune.
+    pub blocks: usize,
+    /// Heads per block to tune.
+    pub heads: usize,
+    /// Quantization block edge.
+    pub block_edge: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Measured `BENCH_*.json` perf baseline seeding the roofline model.
+    pub bench: String,
+    /// Mean per-head latency SLO, microseconds.
+    pub slo_us: f64,
+    /// Tuned-artifact output path.
+    pub out: String,
+    /// Tune-report JSON output path.
+    pub report: String,
 }
 
 /// Options for `paro serve-bench`.
@@ -83,6 +145,11 @@ pub struct ServeBenchOpts {
     pub deadline_ms: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Plan artifact to serve frozen calibrations from (`--plan`).
+    pub plan: Option<String>,
+    /// Optional path the JSON report is also written to (`--out`);
+    /// parent directories are created as needed.
+    pub out: Option<String>,
 }
 
 /// Options for `paro trace`: a serving workload plus the output path for
@@ -141,16 +208,23 @@ USAGE:
   paro quantize [--grid FxHxW] [--pattern KIND] [--method NAME] [--budget B] [--bits N] [--seed S]
   paro simulate [--model 2b|5b] [--machine paro|sanger|vitcod|a100|align]
   paro plan     [--grid FxHxW] [--pattern KIND] [--block EDGE] [--seed S]
+  paro plan build   [--grid FxHxW] [--blocks N] [--heads N] [--block EDGE]
+                    [--budget B] [--seed S] [--out FILE]
+  paro plan inspect --file FILE
+  paro plan verify  --file FILE
+  paro tune     [--grid FxHxW] [--blocks N] [--heads N] [--block EDGE]
+                [--seed S] [--bench FILE] [--slo-us US] [--out FILE]
+                [--report FILE]
   paro serve-bench [--threads N] [--queue N] [--requests N] [--deadline-ms MS]
                    [--grid FxHxW] [--blocks N] [--heads N] [--budget B]
-                   [--block EDGE] [--seed S]
+                   [--block EDGE] [--seed S] [--plan FILE] [--out FILE]
   paro trace    [--out FILE] [--threads N] [--queue N] [--requests N]
                 [--deadline-ms MS] [--grid FxHxW] [--blocks N] [--heads N]
                 [--budget B] [--block EDGE] [--seed S]
   paro chaos-bench [--fault-seed S] [--faults N] [--threads N] [--queue N]
                    [--requests N] [--deadline-ms MS] [--grid FxHxW]
                    [--blocks N] [--heads N] [--budget B] [--block EDGE]
-                   [--seed S]
+                   [--seed S] [--out FILE]
   paro perf-bench [--label NAME] [--out FILE] [--iters N] [--grid FxHxW]
                   [--budget B] [--block EDGE] [--seed S]
                   [--compare FILE] [--tolerance PCT]
@@ -158,8 +232,25 @@ USAGE:
 
 serve-bench drives the concurrent serving engine with a synthetic
 CogVideoX-2B workload (scaled to --grid) and prints a JSON metrics
-snapshot (requests/sec, latency percentiles, plan-cache hit rate) to
-stdout.
+snapshot (requests/sec, latency percentiles, plan-cache hit/miss/
+in-flight-wait counters) to stdout; --out also writes it to a file and
+--plan serves frozen calibrations from a plan artifact instead of
+recalibrating (the artifact must match the workload configuration).
+
+plan build freezes every (block, head) calibration of the synthetic
+workload into a versioned, checksummed .paro plan artifact that
+serve-bench --plan (or ServeConfig::plan_artifact) loads zero-copy;
+plan inspect prints an artifact's metadata and per-head table, and
+plan verify checks its header, checksum and value domains
+(see docs/ARTIFACT.md for the byte-level format contract).
+
+tune searches per-head bit budgets ({2,4,8}-bit trial calibrations per
+head) under a mean per-head latency SLO (--slo-us), scoring candidates
+with a roofline model seeded from a measured perf-bench baseline
+(--bench, default BENCH_ci_baseline.json). It writes the tuned plans as
+an artifact (--out) plus a JSON report (--report) with the predicted
+latency of every head and a predicted-vs-measured validation pass, and
+exits non-zero when the SLO is infeasible.
 
 chaos-bench runs a baseline batch, injects deterministic faults
 (worker/pool panics, transient quant/pipeline errors) into a second
@@ -200,6 +291,17 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
         return Ok(CliCommand::Help);
     };
     let rest: Vec<&String> = it.collect();
+    // `plan` grew subcommands; the bare-token peek must happen before
+    // flag parsing, which rejects non-`--` tokens. Bare `paro plan`
+    // (the legacy single-head selection trace) is untouched.
+    if cmd == "plan" {
+        match rest.first().map(|s| s.as_str()) {
+            Some("build") => return parse_plan_build(&parse_flags(&rest[1..])?),
+            Some("inspect") => return parse_plan_file(&parse_flags(&rest[1..])?, "inspect"),
+            Some("verify") => return parse_plan_file(&parse_flags(&rest[1..])?, "verify"),
+            _ => {}
+        }
+    }
     let opts = parse_flags(&rest)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(CliCommand::Help),
@@ -249,15 +351,20 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             })
         }
         "serve-bench" => {
-            reject_unknown(&opts, BENCH_FLAGS)?;
-            Ok(CliCommand::ServeBench(parse_bench_opts(&opts, "150")?))
+            let mut allowed = vec!["out"];
+            allowed.extend_from_slice(BENCH_FLAGS);
+            reject_unknown(&opts, &allowed)?;
+            let mut bench = parse_bench_opts(&opts, "150")?;
+            bench.out = opts_get(&opts, "out").map(str::to_string);
+            Ok(CliCommand::ServeBench(bench))
         }
         "chaos-bench" => {
-            let mut allowed = vec!["fault-seed", "faults"];
+            let mut allowed = vec!["fault-seed", "faults", "out"];
             allowed.extend_from_slice(BENCH_FLAGS);
             reject_unknown(&opts, &allowed)?;
             // Chaos runs verify behavior, not throughput: short stream.
-            let bench = parse_bench_opts(&opts, "24")?;
+            let mut bench = parse_bench_opts(&opts, "24")?;
+            bench.out = opts_get(&opts, "out").map(str::to_string);
             let fault_seed: u64 = parse_num(opts_get(&opts, "fault-seed").unwrap_or("1"))?;
             let faults: u64 = parse_num(opts_get(&opts, "faults").unwrap_or("1"))?;
             if faults == 0 {
@@ -328,8 +435,91 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             let out = opts_get(&opts, "out").unwrap_or("trace.json").to_string();
             Ok(CliCommand::Trace(TraceOpts { bench, out }))
         }
+        "tune" => {
+            reject_unknown(
+                &opts,
+                &[
+                    "grid", "blocks", "heads", "block", "seed", "bench", "slo-us", "out", "report",
+                ],
+            )?;
+            // Defaults mirror perf-bench's head so the default --bench
+            // baseline (measured on the same 6x8x8 grid) seeds a
+            // roofline for the very workload being tuned.
+            let grid = parse_grid(opts_get(&opts, "grid").unwrap_or("6x8x8"))?;
+            let blocks: usize = parse_num(opts_get(&opts, "blocks").unwrap_or("2"))?;
+            let heads: usize = parse_num(opts_get(&opts, "heads").unwrap_or("2"))?;
+            let block_edge: usize = parse_num(opts_get(&opts, "block").unwrap_or("6"))?;
+            let seed: u64 = parse_num(opts_get(&opts, "seed").unwrap_or("42"))?;
+            if blocks == 0 || heads == 0 {
+                return Err("--blocks and --heads must be at least 1".to_string());
+            }
+            let bench = opts_get(&opts, "bench")
+                .unwrap_or("BENCH_ci_baseline.json")
+                .to_string();
+            let slo_us: f64 = parse_num(opts_get(&opts, "slo-us").unwrap_or("1500"))?;
+            if !slo_us.is_finite() || slo_us <= 0.0 {
+                return Err(format!("--slo-us must be positive, got {slo_us}"));
+            }
+            let out = opts_get(&opts, "out")
+                .unwrap_or("PLAN_tuned.paro")
+                .to_string();
+            let report = opts_get(&opts, "report")
+                .unwrap_or("TUNE_report.json")
+                .to_string();
+            Ok(CliCommand::Tune(TuneOpts {
+                grid,
+                blocks,
+                heads,
+                block_edge,
+                seed,
+                bench,
+                slo_us,
+                out,
+                report,
+            }))
+        }
         other => Err(format!("unknown command '{other}'; see `paro help`")),
     }
+}
+
+fn parse_plan_build(opts: &[(&str, &str)]) -> Result<CliCommand, String> {
+    reject_unknown(
+        opts,
+        &["grid", "blocks", "heads", "block", "budget", "seed", "out"],
+    )?;
+    // Defaults mirror serve-bench so `plan build` freezes exactly the
+    // plans a default serve-bench run would calibrate.
+    let grid = parse_grid(opts_get(opts, "grid").unwrap_or("4x6x6"))?;
+    let blocks: usize = parse_num(opts_get(opts, "blocks").unwrap_or("3"))?;
+    let heads: usize = parse_num(opts_get(opts, "heads").unwrap_or("4"))?;
+    let block_edge: usize = parse_num(opts_get(opts, "block").unwrap_or("6"))?;
+    let budget: f32 = parse_num(opts_get(opts, "budget").unwrap_or("4.8"))?;
+    let seed: u64 = parse_num(opts_get(opts, "seed").unwrap_or("42"))?;
+    if blocks == 0 || heads == 0 {
+        return Err("--blocks and --heads must be at least 1".to_string());
+    }
+    let out = opts_get(opts, "out").unwrap_or("plans.paro").to_string();
+    Ok(CliCommand::PlanBuild(PlanBuildOpts {
+        grid,
+        blocks,
+        heads,
+        block_edge,
+        budget,
+        seed,
+        out,
+    }))
+}
+
+fn parse_plan_file(opts: &[(&str, &str)], sub: &str) -> Result<CliCommand, String> {
+    reject_unknown(opts, &["file"])?;
+    let file = opts_get(opts, "file")
+        .ok_or_else(|| format!("plan {sub} needs --file ARTIFACT"))?
+        .to_string();
+    Ok(if sub == "inspect" {
+        CliCommand::PlanInspect { file }
+    } else {
+        CliCommand::PlanVerify { file }
+    })
 }
 
 /// Flags shared by `serve-bench` and `trace` (which adds `--out`).
@@ -344,6 +534,7 @@ const BENCH_FLAGS: &[&str] = &[
     "block",
     "deadline-ms",
     "seed",
+    "plan",
 ];
 
 fn parse_bench_opts(
@@ -383,6 +574,10 @@ fn parse_bench_opts(
         block_edge,
         deadline_ms,
         seed,
+        plan: opts_get(opts, "plan").map(str::to_string),
+        // `--out` means different things per command (trace owns it for
+        // the Chrome JSON), so each arm fills it in itself.
+        out: None,
     })
 }
 
@@ -852,12 +1047,186 @@ mod tests {
             "trace",
             "chaos-bench",
             "perf-bench",
+            "tune",
         ] {
             let err = parse_args(&args(&[cmd, "--wat", "7"])).unwrap_err();
             assert!(err.contains("unknown flag --wat"), "{cmd}: {err}");
         }
+        for sub in ["build", "inspect", "verify"] {
+            let err = parse_args(&args(&["plan", sub, "--wat", "7"])).unwrap_err();
+            assert!(err.contains("unknown flag --wat"), "plan {sub}: {err}");
+        }
         // Known flags still parse after the check.
         assert!(parse_args(&args(&["serve-bench", "--threads", "2"])).is_ok());
+    }
+
+    #[test]
+    fn plan_build_defaults_mirror_serve_bench() {
+        let cmd = parse_args(&args(&["plan", "build"])).unwrap();
+        match cmd {
+            CliCommand::PlanBuild(opts) => {
+                assert_eq!(opts.grid, TokenGrid::new(4, 6, 6));
+                assert_eq!(opts.blocks, 3);
+                assert_eq!(opts.heads, 4);
+                assert_eq!(opts.block_edge, 6);
+                assert_eq!(opts.budget, 4.8);
+                assert_eq!(opts.seed, 42);
+                assert_eq!(opts.out, "plans.paro");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "plan",
+            "build",
+            "--grid",
+            "2x4x4",
+            "--blocks",
+            "2",
+            "--heads",
+            "3",
+            "--out",
+            "out/p.paro",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::PlanBuild(opts) => {
+                assert_eq!(opts.grid, TokenGrid::new(2, 4, 4));
+                assert_eq!(opts.blocks, 2);
+                assert_eq!(opts.heads, 3);
+                assert_eq!(opts.out, "out/p.paro");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&args(&["plan", "build", "--blocks", "0"]))
+            .unwrap_err()
+            .contains("blocks"));
+    }
+
+    #[test]
+    fn plan_inspect_and_verify_require_a_file() {
+        let cmd = parse_args(&args(&["plan", "inspect", "--file", "p.paro"])).unwrap();
+        assert_eq!(
+            cmd,
+            CliCommand::PlanInspect {
+                file: "p.paro".to_string()
+            }
+        );
+        let cmd = parse_args(&args(&["plan", "verify", "--file", "p.paro"])).unwrap();
+        assert_eq!(
+            cmd,
+            CliCommand::PlanVerify {
+                file: "p.paro".to_string()
+            }
+        );
+        assert!(parse_args(&args(&["plan", "inspect"]))
+            .unwrap_err()
+            .contains("--file"));
+        assert!(parse_args(&args(&["plan", "verify"]))
+            .unwrap_err()
+            .contains("--file"));
+    }
+
+    #[test]
+    fn legacy_plan_still_parses_with_subcommands_present() {
+        // The original flag-only `plan` must be untouched by the
+        // subcommand peek.
+        let cmd = parse_args(&args(&["plan", "--block", "3"])).unwrap();
+        assert!(matches!(cmd, CliCommand::Plan { block_edge: 3, .. }));
+        // And a bare unknown token still errors like before.
+        assert!(parse_args(&args(&["plan", "bogus", "--x", "1"]))
+            .unwrap_err()
+            .contains("--flag"));
+    }
+
+    #[test]
+    fn tune_defaults_and_flags() {
+        let cmd = parse_args(&args(&["tune"])).unwrap();
+        match cmd {
+            CliCommand::Tune(opts) => {
+                assert_eq!(opts.grid, TokenGrid::new(6, 8, 8));
+                assert_eq!(opts.blocks, 2);
+                assert_eq!(opts.heads, 2);
+                assert_eq!(opts.block_edge, 6);
+                assert_eq!(opts.seed, 42);
+                assert_eq!(opts.bench, "BENCH_ci_baseline.json");
+                assert_eq!(opts.slo_us, 1500.0);
+                assert_eq!(opts.out, "PLAN_tuned.paro");
+                assert_eq!(opts.report, "TUNE_report.json");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "tune", "--slo-us", "900", "--bench", "b.json", "--out", "t.paro", "--report",
+            "r.json", "--heads", "3",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::Tune(opts) => {
+                assert_eq!(opts.slo_us, 900.0);
+                assert_eq!(opts.bench, "b.json");
+                assert_eq!(opts.out, "t.paro");
+                assert_eq!(opts.report, "r.json");
+                assert_eq!(opts.heads, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tune_rejects_degenerate_values() {
+        assert!(parse_args(&args(&["tune", "--slo-us", "0"]))
+            .unwrap_err()
+            .contains("slo-us"));
+        assert!(parse_args(&args(&["tune", "--slo-us", "-5"]))
+            .unwrap_err()
+            .contains("slo-us"));
+        assert!(parse_args(&args(&["tune", "--heads", "0"]))
+            .unwrap_err()
+            .contains("heads"));
+    }
+
+    #[test]
+    fn serve_bench_plan_and_out_flags() {
+        let cmd = parse_args(&args(&[
+            "serve-bench",
+            "--plan",
+            "plans.paro",
+            "--out",
+            "reports/sb.json",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::ServeBench(opts) => {
+                assert_eq!(opts.plan.as_deref(), Some("plans.paro"));
+                assert_eq!(opts.out.as_deref(), Some("reports/sb.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // trace keeps --out for the Chrome JSON; its bench.out stays None.
+        let cmd = parse_args(&args(&["trace", "--out", "t.json"])).unwrap();
+        match cmd {
+            CliCommand::Trace(opts) => {
+                assert_eq!(opts.out, "t.json");
+                assert_eq!(opts.bench.out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&["chaos-bench", "--out", "c.json"])).unwrap();
+        match cmd {
+            CliCommand::ChaosBench(opts) => assert_eq!(opts.bench.out.as_deref(), Some("c.json")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_documents_plan_artifacts_and_tune() {
+        assert!(USAGE.contains("plan build"));
+        assert!(USAGE.contains("plan inspect"));
+        assert!(USAGE.contains("plan verify"));
+        assert!(USAGE.contains("paro tune"));
+        assert!(USAGE.contains("--slo-us"));
+        assert!(USAGE.contains("--plan"));
+        assert!(USAGE.contains("docs/ARTIFACT.md"));
     }
 
     #[test]

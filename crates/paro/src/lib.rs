@@ -24,6 +24,9 @@
 //! - [`failpoint`] — deterministic fault injection (named sites armed by
 //!   kind/skip/count, compiled out by default) driving the chaos suite
 //!   and `paro chaos-bench`.
+//! - [`artifact`] — the zero-copy frozen-plan artifact format
+//!   (`paro plan build/inspect/verify` on the CLI; see
+//!   `docs/ARTIFACT.md` for the byte-level contract).
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use paro_artifact as artifact;
 pub use paro_core as core;
 pub use paro_failpoint as failpoint;
 pub use paro_model as model;
@@ -64,6 +68,7 @@ pub use paro_tensor as tensor;
 pub use paro_trace as trace;
 
 pub mod cli;
+pub mod plans;
 pub mod report;
 
 /// Convenient re-exports of the most common types.

@@ -6,6 +6,7 @@
 //! so renaming or adding a field is a documented, reviewable change.
 
 use paro_serve::MetricsSnapshot;
+use paro_sim::tune::RooflineModel;
 use serde::{Deserialize, Serialize};
 
 /// Top-level JSON report `paro serve-bench` prints to stdout: the
@@ -234,6 +235,89 @@ pub struct AttnVThroughput {
     /// Packed attention-map bytes streamed through the kernel per
     /// second, GB/s.
     pub packed_map_gb_per_sec: f64,
+}
+
+/// Top-level JSON report `paro tune` writes (`--report`): the bit-budget
+/// search outcome under the latency SLO, the roofline model seeded from
+/// the measured perf-bench baseline, the per-head chosen budgets, and a
+/// predicted-vs-measured validation of the first tuned head on this host.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TuneReport {
+    /// Scaled model name the tune targeted (e.g. `CogVideoX-2B@6x8x8`).
+    pub model: String,
+    /// Tokens per attention head (the scaled grid's volume).
+    pub tokens: usize,
+    /// Head dimension of the model.
+    pub head_dim: usize,
+    /// Path of the perf-bench baseline (`--bench`) that seeded the
+    /// roofline model.
+    pub bench: String,
+    /// The per-head latency SLO, microseconds (`--slo-us`).
+    pub slo_us: f64,
+    /// Whether the tuned allocation's predicted mean latency meets the
+    /// SLO. When `false` every head already sits at its fastest budget.
+    pub meets_slo: bool,
+    /// Roofline-predicted mean per-head latency of the tuned allocation,
+    /// microseconds.
+    pub predicted_mean_us: f64,
+    /// Total fidelity-proxy cost added by downgrades relative to the
+    /// best-fidelity assignment.
+    pub fidelity_sacrificed: f64,
+    /// Greedy downgrade moves the search took.
+    pub moves: usize,
+    /// Mean chosen trial budget across heads — serving the tuned
+    /// artifact requires `ServeConfig::budget` set to this value.
+    pub mean_budget_bits: f32,
+    /// The roofline model the search predicted latencies with.
+    pub roofline: RooflineModel,
+    /// The chosen operating point per head.
+    pub heads: Vec<TuneHeadRow>,
+    /// End-to-end timing of the first tuned head on this host, compared
+    /// against the roofline prediction.
+    pub validation: TuneValidation,
+    /// Path the tuned artifact was written to (`--out`).
+    pub artifact: String,
+    /// Size of the tuned artifact, bytes.
+    pub artifact_bytes: usize,
+}
+
+/// One head's chosen operating point in a tune report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneHeadRow {
+    /// Transformer block index.
+    pub block: u32,
+    /// Attention head index within the block.
+    pub head: u32,
+    /// The chosen trial average-bit budget.
+    pub budget_bits: f32,
+    /// Roofline-predicted per-head latency at this budget, microseconds.
+    pub predicted_us: f64,
+    /// Fidelity-proxy cost (weighted quantization cost) at this budget.
+    pub fidelity_cost: f64,
+    /// Achieved average bits of the frozen allocation.
+    pub avg_bits: f32,
+    /// Mean per-sample selection error of the calibrated order.
+    pub mean_error: f32,
+}
+
+/// Predicted-vs-measured check of one tuned head: the packed-integer
+/// pipeline is run on this host with the chosen frozen calibration and
+/// timed against the roofline prediction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneValidation {
+    /// Transformer block index of the validated head.
+    pub block: u32,
+    /// Attention head index of the validated head.
+    pub head: u32,
+    /// Timed pipeline iterations (after one warm-up pass).
+    pub iters: usize,
+    /// Roofline-predicted latency, microseconds.
+    pub predicted_us: f64,
+    /// Measured mean latency on this host, microseconds.
+    pub measured_us: f64,
+    /// `predicted_us / measured_us` — how well the roofline transfers
+    /// to this host (1.0 is perfect).
+    pub predicted_over_measured: f64,
 }
 
 /// Stages whose baseline median sits under this floor are reported but

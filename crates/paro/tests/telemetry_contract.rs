@@ -9,9 +9,10 @@
 
 use paro::report::{
     AttnVThroughput, ChaosBenchReport, InjectedFaultRow, IntPathComparison, PerfBenchReport,
-    PerfStageRow, ServeBenchReport, StageSummaryRow,
+    PerfStageRow, ServeBenchReport, StageSummaryRow, TuneHeadRow, TuneReport, TuneValidation,
 };
 use paro::serve::{CacheStats, Metrics};
+use paro::sim::tune::RooflineModel;
 use paro::trace::{stage, SpanOutcome, SpanRecord, Trace, NO_CTX, NO_DETAIL};
 use serde_json::Value;
 use std::collections::BTreeSet;
@@ -101,6 +102,7 @@ fn sample_report() -> ServeBenchReport {
             hits: 1,
             misses: 1,
             evictions: 0,
+            inflight_waits: 1,
             hit_rate: 0.5,
         },
     );
@@ -274,6 +276,62 @@ fn perf_bench_report_fields_match_docs() {
         &emitted,
         &documented(&telemetry_doc(), "perf-bench"),
         "perf-bench report",
+    );
+}
+
+/// A fully-populated tune report: one head row so the array element
+/// fields serialize.
+fn sample_tune_report() -> TuneReport {
+    TuneReport {
+        model: "CogVideoX-2B@4x6x6".to_string(),
+        tokens: 144,
+        head_dim: 64,
+        bench: "BENCH_ci_baseline.json".to_string(),
+        slo_us: 1500.0,
+        meets_slo: true,
+        predicted_mean_us: 1120.4,
+        fidelity_sacrificed: 0.0,
+        moves: 0,
+        mean_budget_bits: 8.0,
+        roofline: RooflineModel {
+            macs_per_sec: 7.1e9,
+            packed_map_bytes_per_sec: 7.9e7,
+            fixed_us: 63.4,
+            tokens: 144,
+            head_dim: 64,
+        },
+        heads: vec![TuneHeadRow {
+            block: 0,
+            head: 0,
+            budget_bits: 8.0,
+            predicted_us: 1120.4,
+            fidelity_cost: 0.8,
+            avg_bits: 7.9,
+            mean_error: 0.012,
+        }],
+        validation: TuneValidation {
+            block: 0,
+            head: 0,
+            iters: 5,
+            predicted_us: 1120.4,
+            measured_us: 980.2,
+            predicted_over_measured: 1.14,
+        },
+        artifact: "PLAN_tuned.paro".to_string(),
+        artifact_bytes: 1024,
+    }
+}
+
+#[test]
+fn tune_report_fields_match_docs() {
+    let json = serde_json::to_string(&sample_tune_report()).expect("report serializes");
+    let value = serde_json::parse_value(&json).expect("report JSON parses");
+    let mut emitted = BTreeSet::new();
+    key_paths(&value, "", &mut emitted);
+    assert_contract(
+        &emitted,
+        &documented(&telemetry_doc(), "tune"),
+        "tune report",
     );
 }
 

@@ -68,6 +68,16 @@ pub enum ServeError {
         /// The panic payload's message.
         message: String,
     },
+    /// A configured plan artifact could not be loaded, or disagrees with
+    /// the serving configuration. Deterministic: retrying the same file
+    /// against the same configuration fails the same way.
+    Artifact {
+        /// The artifact file path.
+        path: String,
+        /// Why it was rejected (typed `paro_artifact::ArtifactError` or a
+        /// configuration mismatch, rendered).
+        reason: String,
+    },
 }
 
 impl ServeError {
@@ -101,6 +111,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Core(e) => write!(f, "attention pipeline error: {e}"),
             ServeError::Faulted { site, message } => {
                 write!(f, "request faulted at {site}: {message}")
+            }
+            ServeError::Artifact { path, reason } => {
+                write!(f, "plan artifact '{path}' rejected: {reason}")
             }
         }
     }
@@ -399,6 +412,15 @@ mod tests {
         );
         let e = ServeError::InvalidInput("q contains NaN".to_string());
         assert!(e.to_string().contains("NaN"));
+        let e = ServeError::Artifact {
+            path: "plans/tiny.paro".to_string(),
+            reason: "checksum mismatch".to_string(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("plans/tiny.paro") && s.contains("checksum mismatch"),
+            "{s}"
+        );
     }
 
     #[test]
@@ -413,6 +435,11 @@ mod tests {
         assert!(!ServeError::QueueFull { capacity: 1 }.is_transient());
         assert!(!ServeError::Closed.is_transient());
         assert!(!ServeError::InvalidInput("nan".into()).is_transient());
+        assert!(!ServeError::Artifact {
+            path: "p.paro".into(),
+            reason: "bad magic".into()
+        }
+        .is_transient());
         assert!(!ServeError::DeadlineExceeded {
             waited: Duration::from_millis(2),
             budget: Duration::from_millis(1),

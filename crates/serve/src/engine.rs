@@ -21,6 +21,7 @@
 use crate::admission::{lpt_order, relock, request_cost, rewait, BoundedQueue, ServeError};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{MethodKey, PlanCache, PlanKey};
+use crate::plan_store::PlanStore;
 use paro_core::calibration::{calibrate_head, HeadCalibration};
 use paro_core::cancel::Deadline;
 use paro_core::int_pipeline::{run_attention_calibrated_int_with, IntAttentionRun};
@@ -82,6 +83,12 @@ pub struct ServeConfig {
     /// to the f32 reference pipeline (marked `degraded` in the response,
     /// metrics and trace) instead of failing.
     pub degraded_fallback: bool,
+    /// Path to a frozen plan artifact (see `paro-artifact` and
+    /// `docs/ARTIFACT.md`). When set, the engine loads and verifies the
+    /// artifact at construction and plan-cache misses fill from its
+    /// frozen calibrations instead of recalibrating; heads absent from
+    /// the artifact still calibrate through the [`CalibrationSource`].
+    pub plan_artifact: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +107,7 @@ impl Default for ServeConfig {
             retry_limit: 2,
             retry_backoff: Duration::from_micros(250),
             degraded_fallback: true,
+            plan_artifact: None,
         }
     }
 }
@@ -289,6 +297,18 @@ impl Engine {
         source: Arc<dyn CalibrationSource>,
     ) -> Result<Self, ServeError> {
         cfg.validate()?;
+        // A configured plan artifact is loaded and verified once, up
+        // front: a corrupt or mismatched artifact fails engine
+        // construction with a typed error instead of surfacing (or worse,
+        // silently serving a wrong plan) on the first cold request.
+        let plans = match &cfg.plan_artifact {
+            Some(path) => {
+                let store = PlanStore::load(path)?;
+                store.verify(&model, &cfg)?;
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let cache = Arc::new(PlanCache::new(cfg.cache_capacity));
         let metrics = Arc::new(Metrics::new());
@@ -301,6 +321,7 @@ impl Engine {
                 cache: Arc::clone(&cache),
                 metrics: Arc::clone(&metrics),
                 source: Arc::clone(&source),
+                plans: plans.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("paro-serve-{i}"))
@@ -539,6 +560,7 @@ struct WorkerCtx {
     cache: Arc<PlanCache>,
     metrics: Arc<Metrics>,
     source: Arc<dyn CalibrationSource>,
+    plans: Option<Arc<PlanStore>>,
 }
 
 fn worker_loop(ctx: &WorkerCtx) {
@@ -752,6 +774,15 @@ fn resolve_calibration(
 ) -> Result<(Arc<HeadCalibration>, bool), ServeError> {
     use std::sync::atomic::Ordering::Relaxed;
     ctx.cache.get_or_calibrate(key, || {
+        // A frozen artifact satisfies the miss without any computation:
+        // thawing a record is pure decoding, so it runs on the worker
+        // thread, not the compute pool.
+        if let Some(store) = &ctx.plans {
+            let _load_span = paro_trace::span(paro_trace::stage::PLAN_LOAD);
+            if let Some(cal) = store.lookup(job.block, job.head)? {
+                return Ok(cal);
+            }
+        }
         let _calibrate_span = paro_trace::span(paro_trace::stage::SERVE_CALIBRATE);
         let t0 = Instant::now();
         // Calibration is CPU-bound: run it on the shared compute pool so

@@ -18,6 +18,10 @@
 //! - [`plan_cache`] — a thread-safe LRU cache of frozen calibrations
 //!   keyed by `(model, block, head, method)`: calibration runs once per
 //!   head, every later request reuses the frozen plan.
+//! - [`plan_store`] — frozen plans from disk: with
+//!   [`ServeConfig::plan_artifact`] set, cache misses fill from a
+//!   validated `paro-artifact` file instead of recalibrating, so a cold
+//!   start costs one file read instead of one calibration per head.
 //! - [`admission`] — backpressure (a full queue rejects with a structured
 //!   [`ServeError`] instead of blocking), NaN/Inf input rejection at the
 //!   door, per-request deadlines with cooperative mid-pipeline
@@ -63,6 +67,7 @@ pub mod admission;
 pub mod engine;
 pub mod metrics;
 pub mod plan_cache;
+pub mod plan_store;
 pub mod workload;
 
 pub use admission::{BoundedQueue, ServeError};
@@ -72,6 +77,7 @@ pub use engine::{
 };
 pub use metrics::{LatencyHistogram, LatencySummary, Metrics, MetricsSnapshot};
 pub use plan_cache::{CacheStats, MethodKey, PlanCache, PlanKey};
+pub use plan_store::PlanStore;
 
 /// Convenience re-exports for engine users.
 pub mod prelude {

@@ -319,6 +319,7 @@ mod tests {
                 hits: 3,
                 misses: 1,
                 evictions: 0,
+                inflight_waits: 2,
                 hit_rate: 0.75,
             },
         );

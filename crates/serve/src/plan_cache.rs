@@ -100,6 +100,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    inflight_waits: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -128,6 +129,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            inflight_waits: AtomicU64::new(0),
         }
     }
 
@@ -183,6 +185,7 @@ impl PlanCache {
     ) -> Result<(Arc<HeadCalibration>, bool), E> {
         {
             let mut map = relock(&self.map);
+            let mut waited = false;
             loop {
                 match map.get_mut(key) {
                     Some(Slot::Ready(cal, slot_stamp)) => {
@@ -191,6 +194,13 @@ impl PlanCache {
                         return Ok((Arc::clone(cal), true));
                     }
                     Some(Slot::InFlight) => {
+                        // Counted once per lookup, not per wakeup, so the
+                        // statistic reads as "lookups that parked behind a
+                        // single-flight calibration".
+                        if !waited {
+                            waited = true;
+                            self.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                        }
                         map = rewait(&self.resolved, map);
                     }
                     None => {
@@ -290,6 +300,7 @@ impl PlanCache {
             hits,
             misses,
             evictions: self.evictions.load(Ordering::Relaxed),
+            inflight_waits: self.inflight_waits.load(Ordering::Relaxed),
             hit_rate: if lookups > 0 {
                 hits as f64 / lookups as f64
             } else {
@@ -334,6 +345,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// LRU evictions.
     pub evictions: u64,
+    /// Lookups that parked waiting for another worker's in-flight
+    /// calibration of the same key (each such lookup still counts as a
+    /// hit once the calibration lands). High values under load mean many
+    /// workers contend for the same cold keys — a warmed cache or a plan
+    /// artifact removes the wait entirely.
+    pub inflight_waits: u64,
     /// `hits / (hits + misses)`, 0 when no lookups yet.
     pub hit_rate: f64,
 }
@@ -471,6 +488,41 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+        // Every waiter that parked is counted at most once; nobody waits
+        // more often than there are hitting lookups.
+        assert!(stats.inflight_waits <= stats.hits);
+    }
+
+    #[test]
+    fn inflight_waits_are_counted_once_per_parked_lookup() {
+        let cache = Arc::new(PlanCache::new(8));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let calibrator = {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                cache
+                    .get_or_calibrate::<paro_core::CoreError>(&key(2, 2), || {
+                        barrier.wait(); // the marker is in place now
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(calibration(2, 2))
+                    })
+                    .unwrap()
+            })
+        };
+        barrier.wait();
+        // The calibration is in flight: this lookup must park behind it.
+        let (_, hit) = cache
+            .get_or_calibrate::<paro_core::CoreError>(&key(2, 2), || {
+                panic!("single-flight waiter must not recalibrate")
+            })
+            .unwrap();
+        calibrator.join().unwrap();
+        assert!(hit, "the waiter resolves as a hit");
+        let stats = cache.stats();
+        assert_eq!(stats.inflight_waits, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Frozen plans from disk: the serving side of `paro-artifact`.
+//!
+//! A [`PlanStore`] wraps one validated plan artifact and answers
+//! per-head lookups with thawed [`HeadCalibration`]s. With a store
+//! configured ([`crate::ServeConfig::plan_artifact`]), the engine's plan
+//! cache fills from the artifact instead of recalibrating — a cold start
+//! costs one file read instead of one calibration per head.
+//!
+//! Loading is strict in two passes, each with its own trace stage:
+//! structural validation (`plan.load` — header, checksum, section
+//! bounds) happens in [`PlanStore::load`], and semantic verification
+//! (`plan.verify` — does this artifact describe *this* model and method
+//! configuration, are all codes in domain) in [`PlanStore::verify`]. A
+//! mismatched artifact is a deterministic [`ServeError::Artifact`]
+//! rejection at engine construction, never a silently wrong plan.
+
+use std::path::Path;
+
+use paro_artifact::{OwnedArtifact, PlanMeta};
+use paro_core::artifact::head_calibration;
+use paro_core::calibration::HeadCalibration;
+use paro_model::ModelConfig;
+
+use crate::admission::ServeError;
+use crate::engine::ServeConfig;
+
+/// A loaded, validated plan artifact ready to serve lookups.
+#[derive(Debug)]
+pub struct PlanStore {
+    artifact: OwnedArtifact,
+    path: String,
+}
+
+impl PlanStore {
+    /// Reads and structurally validates an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Artifact`] carrying the path and the typed artifact
+    /// rejection (io failure, truncation, checksum mismatch, unsupported
+    /// version, ...).
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let span = paro_trace::span(paro_trace::stage::PLAN_LOAD);
+        let artifact = OwnedArtifact::read_from_file(path).map_err(|e| {
+            span.set_outcome(paro_trace::SpanOutcome::Failed);
+            ServeError::Artifact {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            }
+        })?;
+        Ok(PlanStore {
+            artifact,
+            path: path.display().to_string(),
+        })
+    }
+
+    /// Verifies the artifact against the configuration it is about to
+    /// serve: model name and token grid, quantization block edge,
+    /// calibration bits, budget and alpha must all match exactly, and
+    /// every stored record must decode with in-domain values.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Artifact`] naming the first disagreement.
+    pub fn verify(&self, model: &ModelConfig, cfg: &ServeConfig) -> Result<(), ServeError> {
+        let span = paro_trace::span(paro_trace::stage::PLAN_VERIFY);
+        let reject = |reason: String| ServeError::Artifact {
+            path: self.path.clone(),
+            reason,
+        };
+        let view = self.artifact.view();
+        let meta = view.meta();
+        if meta.model != model.name {
+            span.set_outcome(paro_trace::SpanOutcome::Failed);
+            return Err(reject(format!(
+                "artifact is for model '{}', engine serves '{}'",
+                meta.model, model.name
+            )));
+        }
+        let grid = (
+            model.grid.frames() as u32,
+            model.grid.height() as u32,
+            model.grid.width() as u32,
+        );
+        if (meta.frames, meta.height, meta.width) != grid {
+            span.set_outcome(paro_trace::SpanOutcome::Failed);
+            return Err(reject(format!(
+                "artifact grid {}x{}x{} does not match model grid {}x{}x{}",
+                meta.frames, meta.height, meta.width, grid.0, grid.1, grid.2
+            )));
+        }
+        let edge = cfg.block_edge as u32;
+        if meta.block_rows != edge || meta.block_cols != edge {
+            span.set_outcome(paro_trace::SpanOutcome::Failed);
+            return Err(reject(format!(
+                "artifact block grid {}x{} does not match configured edge {edge}",
+                meta.block_rows, meta.block_cols
+            )));
+        }
+        for (what, stored, configured) in [
+            ("calib_bits", meta.calib_bits, cfg.calib_bits.bits()),
+            ("budget", meta.budget.to_bits(), cfg.budget.to_bits()),
+            ("alpha", meta.alpha.to_bits(), cfg.alpha.to_bits()),
+        ] {
+            if stored != configured {
+                span.set_outcome(paro_trace::SpanOutcome::Failed);
+                return Err(reject(format!(
+                    "artifact {what} disagrees with the serving configuration"
+                )));
+            }
+        }
+        view.verify_deep().map_err(|e| {
+            span.set_outcome(paro_trace::SpanOutcome::Failed);
+            reject(e.to_string())
+        })
+    }
+
+    /// Thaws the frozen calibration for `(block, head)`, or `None` when
+    /// the artifact holds no record for that head (the engine then falls
+    /// back to calibrating it).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Artifact`] when a stored record fails to decode
+    /// (unreachable after a successful [`PlanStore::verify`]).
+    pub fn lookup(&self, block: usize, head: usize) -> Result<Option<HeadCalibration>, ServeError> {
+        let view = self.artifact.view();
+        let found = view
+            .find(block as u32, head as u32)
+            .map_err(|e| ServeError::Artifact {
+                path: self.path.clone(),
+                reason: e.to_string(),
+            })?;
+        match found {
+            Some(record) => {
+                let cal =
+                    head_calibration(view.meta(), &record).map_err(|e| ServeError::Artifact {
+                        path: self.path.clone(),
+                        reason: e.to_string(),
+                    })?;
+                Ok(Some(cal))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Number of frozen head calibrations in the artifact.
+    pub fn head_count(&self) -> usize {
+        self.artifact.view().head_count()
+    }
+
+    /// The artifact's plan metadata.
+    pub fn meta(&self) -> PlanMeta {
+        self.artifact.view().meta().clone()
+    }
+
+    /// The artifact file path this store was loaded from.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}

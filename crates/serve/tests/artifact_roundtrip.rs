@@ -1,0 +1,314 @@
+//! End-to-end plan-artifact acceptance: freeze a served engine's
+//! calibrations into an artifact, serve a second engine **from the
+//! artifact alone** (its calibration source errors on every call), and
+//! require bit-identical outputs. Plus the rejection paths: corrupted
+//! files and configuration mismatches must fail engine construction with
+//! [`ServeError::Artifact`].
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use paro_artifact::ArtifactBuilder;
+use paro_core::artifact::{head_record, plan_meta};
+use paro_core::CoreError;
+use paro_quant::BlockGrid;
+use paro_serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
+use paro_serve::{
+    CalibrationSource, Engine, MethodKey, PlanKey, PlanStore, ServeConfig, ServeError,
+};
+use paro_tensor::Tensor;
+
+const BLOCKS: usize = 2;
+const HEADS: usize = 2;
+
+/// A calibration source that must never be called: serving from an
+/// artifact means zero recalibration.
+struct PoisonedSource;
+
+impl CalibrationSource for PoisonedSource {
+    fn calibration_maps(&self, _block: usize, _head: usize) -> Result<Vec<Tensor>, CoreError> {
+        Err(CoreError::Transient {
+            site: "poisoned calibration source: the artifact should have served this head",
+        })
+    }
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        block_edge: 4,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Freezes every `(block, head)` calibration of a freshly-served engine
+/// into artifact bytes.
+fn freeze(engine: &Engine, cfg: &ServeConfig) -> Vec<u8> {
+    let model = engine.model().clone();
+    let block_grid = BlockGrid::square(cfg.block_edge).unwrap();
+    let meta = plan_meta(&model, block_grid, cfg.calib_bits, cfg.budget, cfg.alpha);
+    let mut builder = ArtifactBuilder::new(meta);
+    for block in 0..BLOCKS {
+        for head in 0..HEADS {
+            let key = PlanKey {
+                model: model.name.clone(),
+                grid: (model.grid.frames(), model.grid.height(), model.grid.width()),
+                block,
+                head,
+                method: MethodKey::new(cfg.block_edge, cfg.calib_bits, cfg.budget, cfg.alpha),
+            };
+            let cal = engine
+                .cache()
+                .peek(&key)
+                .expect("every served head has a cached calibration");
+            builder.push_head(head_record(block as u32, head as u32, &cal));
+        }
+    }
+    builder.build().unwrap()
+}
+
+#[test]
+fn artifact_served_engine_is_bit_identical_and_never_recalibrates() {
+    let model = scaled_config(&paro_model::ModelConfig::cogvideox_2b(), 2, 4, 4);
+    let spec = WorkloadSpec {
+        model: model.clone(),
+        requests: BLOCKS * HEADS * 2,
+        blocks: BLOCKS,
+        heads: HEADS,
+        seed: 11,
+    };
+    let cfg = config();
+
+    // Engine A calibrates in-process, as every engine did before
+    // artifacts existed.
+    let engine_a = Engine::new(
+        cfg.clone(),
+        model.clone(),
+        Arc::new(SyntheticSource::new(model.clone(), 1, 7)),
+    )
+    .unwrap();
+    let outcome_a = engine_a.run_batch(synthetic_requests(&spec));
+    assert_eq!(outcome_a.completed(), spec.requests);
+
+    // Freeze its plans and write the artifact.
+    let bytes = freeze(&engine_a, &cfg);
+    let path = tmp("roundtrip_plans.paro");
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Engine B serves from the artifact alone: its calibration source is
+    // poisoned, so any cache miss that fell through to calibration would
+    // fail the batch.
+    let cfg_b = ServeConfig {
+        plan_artifact: Some(path),
+        ..cfg.clone()
+    };
+    let engine_b = Engine::new(cfg_b, model.clone(), Arc::new(PoisonedSource)).unwrap();
+    let outcome_b = engine_b.run_batch(synthetic_requests(&spec));
+    assert_eq!(outcome_b.completed(), spec.requests);
+
+    for (a, b) in outcome_a.responses.iter().zip(&outcome_b.responses) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!((a.block, a.head), (b.block, b.head));
+        assert_eq!(
+            a.run.output.as_slice(),
+            b.run.output.as_slice(),
+            "artifact-served output must be bit-identical to in-process calibration \
+             (block {}, head {})",
+            a.block,
+            a.head
+        );
+        assert_eq!(a.run.avg_bits, b.run.avg_bits);
+        assert_eq!(a.run.plan, b.run.plan);
+        assert_eq!(a.run.allocation, b.run.allocation);
+        assert!(!b.degraded);
+    }
+
+    // The artifact-backed engine recorded zero calibration time: every
+    // cold key was satisfied by the store.
+    assert_eq!(
+        engine_b.metrics_snapshot().cache.misses,
+        (BLOCKS * HEADS) as u64
+    );
+}
+
+#[test]
+fn mismatched_configuration_is_rejected_at_construction() {
+    let model = scaled_config(&paro_model::ModelConfig::cogvideox_2b(), 2, 4, 4);
+    let cfg = config();
+    let engine = Engine::new(
+        cfg.clone(),
+        model.clone(),
+        Arc::new(SyntheticSource::new(model.clone(), 1, 7)),
+    )
+    .unwrap();
+    // Serve one request per head so every calibration exists.
+    let spec = WorkloadSpec {
+        model: model.clone(),
+        requests: BLOCKS * HEADS,
+        blocks: BLOCKS,
+        heads: HEADS,
+        seed: 11,
+    };
+    assert_eq!(
+        engine.run_batch(synthetic_requests(&spec)).completed(),
+        spec.requests
+    );
+    let path = tmp("mismatch_plans.paro");
+    std::fs::write(&path, freeze(&engine, &cfg)).unwrap();
+
+    // A different budget means the frozen plans answer a different
+    // question; the engine must refuse them.
+    let bad_cfg = ServeConfig {
+        plan_artifact: Some(path.clone()),
+        budget: cfg.budget + 1.0,
+        ..cfg.clone()
+    };
+    let err = Engine::new(bad_cfg, model.clone(), Arc::new(PoisonedSource))
+        .err()
+        .expect("a budget mismatch must fail construction");
+    match err {
+        ServeError::Artifact { path: p, reason } => {
+            assert!(p.contains("mismatch_plans.paro"));
+            assert!(reason.contains("budget"), "{reason}");
+        }
+        other => panic!("expected an artifact rejection, got {other}"),
+    }
+
+    // A different model grid likewise.
+    let other_model = scaled_config(&paro_model::ModelConfig::cogvideox_2b(), 2, 4, 6);
+    let bad_cfg = ServeConfig {
+        plan_artifact: Some(path),
+        ..cfg
+    };
+    let err = Engine::new(bad_cfg, other_model, Arc::new(PoisonedSource))
+        .err()
+        .expect("a model mismatch must fail construction");
+    match err {
+        ServeError::Artifact { reason, .. } => {
+            assert!(reason.contains("model"), "{reason}");
+        }
+        other => panic!("expected an artifact rejection, got {other}"),
+    }
+}
+
+#[test]
+fn corrupted_and_missing_artifacts_are_rejected_at_construction() {
+    let model = scaled_config(&paro_model::ModelConfig::cogvideox_2b(), 2, 4, 4);
+    let cfg = config();
+    let engine = Engine::new(
+        cfg.clone(),
+        model.clone(),
+        Arc::new(SyntheticSource::new(model.clone(), 1, 7)),
+    )
+    .unwrap();
+    let spec = WorkloadSpec {
+        model: model.clone(),
+        requests: BLOCKS * HEADS,
+        blocks: BLOCKS,
+        heads: HEADS,
+        seed: 11,
+    };
+    assert_eq!(
+        engine.run_batch(synthetic_requests(&spec)).completed(),
+        spec.requests
+    );
+    let mut bytes = freeze(&engine, &cfg);
+
+    // Flip one payload byte: the checksum catches it.
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    let path = tmp("corrupt_plans.paro");
+    std::fs::write(&path, &bytes).unwrap();
+    let bad_cfg = ServeConfig {
+        plan_artifact: Some(path),
+        ..cfg.clone()
+    };
+    let err = Engine::new(bad_cfg, model.clone(), Arc::new(PoisonedSource))
+        .err()
+        .expect("a corrupted artifact must fail construction");
+    match err {
+        ServeError::Artifact { reason, .. } => {
+            assert!(reason.contains("checksum"), "{reason}");
+        }
+        other => panic!("expected an artifact rejection, got {other}"),
+    }
+
+    // A missing file is an Io rejection carrying the path.
+    let missing_cfg = ServeConfig {
+        plan_artifact: Some(tmp("no_such_plans.paro")),
+        ..cfg
+    };
+    let err = Engine::new(missing_cfg, model, Arc::new(PoisonedSource))
+        .err()
+        .expect("a missing artifact must fail construction");
+    match err {
+        ServeError::Artifact { path, reason } => {
+            assert!(path.contains("no_such_plans.paro"));
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected an artifact rejection, got {other}"),
+    }
+}
+
+#[test]
+fn plan_store_reports_contents_and_partial_coverage_falls_back() {
+    let model = scaled_config(&paro_model::ModelConfig::cogvideox_2b(), 2, 4, 4);
+    let cfg = config();
+    let engine = Engine::new(
+        cfg.clone(),
+        model.clone(),
+        Arc::new(SyntheticSource::new(model.clone(), 1, 7)),
+    )
+    .unwrap();
+    let spec = WorkloadSpec {
+        model: model.clone(),
+        requests: BLOCKS * HEADS,
+        blocks: BLOCKS,
+        heads: HEADS,
+        seed: 11,
+    };
+    assert_eq!(
+        engine.run_batch(synthetic_requests(&spec)).completed(),
+        spec.requests
+    );
+    let path = tmp("partial_plans.paro");
+    std::fs::write(&path, freeze(&engine, &cfg)).unwrap();
+
+    let store = PlanStore::load(&path).unwrap();
+    store.verify(&model, &cfg).unwrap();
+    assert_eq!(store.head_count(), BLOCKS * HEADS);
+    assert_eq!(store.meta().model, model.name);
+    assert!(store.lookup(0, 0).unwrap().is_some());
+    // A head the artifact does not cover: `None`, so the engine falls
+    // back to its calibration source for it.
+    assert!(store.lookup(7, 7).unwrap().is_none());
+
+    // An engine with a *working* source and the partial artifact serves
+    // heads beyond the artifact by calibrating them.
+    let wide_spec = WorkloadSpec {
+        model: model.clone(),
+        requests: (BLOCKS + 1) * HEADS,
+        blocks: BLOCKS + 1,
+        heads: HEADS,
+        seed: 11,
+    };
+    let cfg_partial = ServeConfig {
+        plan_artifact: Some(path),
+        ..cfg
+    };
+    let engine = Engine::new(
+        cfg_partial,
+        model.clone(),
+        Arc::new(SyntheticSource::new(model, 1, 7)),
+    )
+    .unwrap();
+    let outcome = engine.run_batch(synthetic_requests(&wide_spec));
+    assert_eq!(outcome.completed(), wide_spec.requests);
+}

@@ -1,0 +1,82 @@
+//! Calibration determinism across compute-pool widths.
+//!
+//! Frozen plans are only shareable (and artifacts only trustworthy) if
+//! calibrating the same workload on one pool thread and on many yields
+//! **byte-identical** `HeadCalibration`s. This pins that property: the
+//! serialized form of every head's calibration must hash identically
+//! regardless of pool parallelism and of the order heads are calibrated
+//! in.
+
+use std::sync::Arc;
+
+use paro_core::calibration::{calibrate_head, HeadCalibration};
+use paro_core::pool::ComputePool;
+use paro_model::ModelConfig;
+use paro_quant::{Bitwidth, BlockGrid};
+use paro_serve::workload::{scaled_config, SyntheticSource};
+use paro_serve::CalibrationSource;
+
+const BLOCKS: usize = 2;
+const HEADS: usize = 3;
+
+/// FNV-1a over the serde-JSON form: a cheap, dependency-free stand-in
+/// for a cryptographic digest — any byte difference changes it.
+fn fingerprint(cal: &HeadCalibration) -> u64 {
+    let json = serde_json::to_string(cal).unwrap();
+    json.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}
+
+/// Calibrates every `(block, head)` of the workload on the given pool and
+/// returns the per-head fingerprints in `(block, head)` order.
+fn calibrate_all(pool: &ComputePool, model: &ModelConfig, reverse: bool) -> Vec<u64> {
+    let source = Arc::new(SyntheticSource::new(model.clone(), 2, 7));
+    let mut pairs: Vec<(usize, usize)> = (0..BLOCKS)
+        .flat_map(|b| (0..HEADS).map(move |h| (b, h)))
+        .collect();
+    if reverse {
+        // Calibration order must not matter either: artifacts are built
+        // in whatever order heads were first served.
+        pairs.reverse();
+    }
+    let mut results: Vec<((usize, usize), u64)> = pairs
+        .into_iter()
+        .map(|(block, head)| {
+            let source = Arc::clone(&source);
+            let grid = model.grid;
+            let cal = pool
+                .try_run(move || {
+                    let maps = source.calibration_maps(block, head)?;
+                    calibrate_head(&maps, &grid, BlockGrid::square(4)?, Bitwidth::B4, 4.8, 0.5)
+                })
+                .expect("calibration job must not panic")
+                .expect("calibration must succeed");
+            ((block, head), fingerprint(&cal))
+        })
+        .collect();
+    results.sort_by_key(|&(pair, _)| pair);
+    results.into_iter().map(|(_, fp)| fp).collect()
+}
+
+#[test]
+fn one_thread_and_many_threads_freeze_byte_identical_plans() {
+    let model = scaled_config(&paro_model::ModelConfig::cogvideox_2b(), 2, 4, 4);
+    let single = ComputePool::new(1);
+    let wide = ComputePool::new(4);
+
+    let baseline = calibrate_all(&single, &model, false);
+    assert_eq!(
+        baseline,
+        calibrate_all(&wide, &model, false),
+        "pool width changed a frozen calibration"
+    );
+    assert_eq!(
+        baseline,
+        calibrate_all(&wide, &model, true),
+        "calibration order changed a frozen calibration"
+    );
+    // And rerunning on the same pool is stable too (no hidden state).
+    assert_eq!(baseline, calibrate_all(&single, &model, false));
+    assert_eq!(baseline.len(), BLOCKS * HEADS);
+}

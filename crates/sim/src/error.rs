@@ -17,6 +17,12 @@ pub enum SimError {
         /// Description of the inconsistency.
         reason: String,
     },
+    /// A bit-budget tuning problem is malformed (no heads, a head with no
+    /// candidate budgets, or a non-finite/non-positive latency target).
+    BadTuneInput {
+        /// Description of the inconsistency.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -26,6 +32,9 @@ impl fmt::Display for SimError {
                 write!(f, "invalid hardware configuration: {field} = {value}")
             }
             SimError::BadProfile { reason } => write!(f, "invalid attention profile: {reason}"),
+            SimError::BadTuneInput { reason } => {
+                write!(f, "invalid bit-budget tuning input: {reason}")
+            }
         }
     }
 }

@@ -43,6 +43,7 @@ mod report;
 pub mod sweeps;
 pub mod trace;
 pub mod traffic;
+pub mod tune;
 mod vector;
 
 pub use error::SimError;

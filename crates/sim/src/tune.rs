@@ -1,0 +1,381 @@
+//! Sim-driven per-head bit-budget autotuning.
+//!
+//! Calibration freezes the best allocation *for a given budget*; this
+//! module searches over the budget itself. Given, per head, a set of
+//! candidate operating points (one frozen allocation per trial budget,
+//! each with a measured fidelity cost), it picks a per-head assignment
+//! whose predicted latency meets a service-level objective while giving
+//! up as little fidelity as possible.
+//!
+//! Latency is predicted with a roofline model seeded from **measured**
+//! stage costs (the `BENCH_*.json` artifacts produced by `paro
+//! perf-bench`): an achieved MAC rate, an achieved packed-map streaming
+//! bandwidth and a fixed per-head overhead. The search is greedy over
+//! downgrade moves — start every head at its highest-fidelity candidate
+//! and repeatedly apply the downgrade with the best time-saved per
+//! fidelity-lost ratio until the SLO holds. Budgets come from a small
+//! discrete palette (the paper's `{2, 4, 8}`-bit averages), so greedy is
+//! within a hair of exhaustive while staying O(moves · heads · options).
+
+use crate::profile::AttentionProfile;
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// A roofline latency model seeded with measured per-stage throughputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflineModel {
+    /// Achieved `AttnV` MAC rate at 8 bits, MACs/second (from a measured
+    /// `attn_v.macs_per_sec`).
+    pub macs_per_sec: f64,
+    /// Achieved packed attention-map streaming bandwidth, bytes/second.
+    pub packed_map_bytes_per_sec: f64,
+    /// Fixed per-head overhead in microseconds (reorder, unreorder,
+    /// unpack — the stages precision does not change).
+    pub fixed_us: f64,
+    /// Tokens per head (`n`; the map is `n × n`).
+    pub tokens: usize,
+    /// Head dimension (`d`; `AttnV` is `n × n × d` MACs dense).
+    pub head_dim: usize,
+}
+
+impl RooflineModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadTuneInput`] for non-positive or non-finite rates,
+    /// a negative overhead, or zero dimensions.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |reason: String| Err(SimError::BadTuneInput { reason });
+        if !(self.macs_per_sec.is_finite() && self.macs_per_sec > 0.0) {
+            return bad(format!("macs_per_sec = {}", self.macs_per_sec));
+        }
+        if !(self.packed_map_bytes_per_sec.is_finite() && self.packed_map_bytes_per_sec > 0.0) {
+            return bad(format!(
+                "packed_map_bytes_per_sec = {}",
+                self.packed_map_bytes_per_sec
+            ));
+        }
+        if !(self.fixed_us.is_finite() && self.fixed_us >= 0.0) {
+            return bad(format!("fixed_us = {}", self.fixed_us));
+        }
+        if self.tokens == 0 || self.head_dim == 0 {
+            return bad(format!(
+                "tokens = {}, head_dim = {}",
+                self.tokens, self.head_dim
+            ));
+        }
+        Ok(())
+    }
+
+    /// Predicted service time of one head under a precision profile, in
+    /// microseconds: fixed overhead plus the compute/memory roofline
+    /// (whichever bound is tighter dominates; compute scales with the
+    /// profile's PE-array inverse throughput, memory with its stored
+    /// bits).
+    pub fn predict_head_us(&self, profile: &AttentionProfile) -> f64 {
+        let n = self.tokens as f64;
+        let dense_macs = n * n * self.head_dim as f64;
+        let compute_us = dense_macs * profile.inverse_throughput() / self.macs_per_sec * 1e6;
+        let map_bytes = n * n * profile.storage_bits() / 8.0;
+        let memory_us = map_bytes / self.packed_map_bytes_per_sec * 1e6;
+        self.fixed_us + compute_us.max(memory_us)
+    }
+}
+
+/// One candidate operating point for a head: the frozen allocation a
+/// trial budget produced, summarized as a precision profile plus its
+/// fidelity cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetOption {
+    /// The trial average-bit budget that produced this allocation.
+    pub budget_bits: f32,
+    /// The allocation's precision mix.
+    pub profile: AttentionProfile,
+    /// Fidelity proxy: the allocation's total weighted quantization cost
+    /// (lower is better) — the same objective calibration minimizes.
+    pub fidelity_cost: f64,
+}
+
+/// A head with its candidate budgets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadCandidate {
+    /// Transformer block index.
+    pub block: u32,
+    /// Attention head index.
+    pub head: u32,
+    /// Candidate operating points (at least one).
+    pub options: Vec<BudgetOption>,
+}
+
+/// One head's tuned assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChosenBudget {
+    /// Transformer block index.
+    pub block: u32,
+    /// Attention head index.
+    pub head: u32,
+    /// Index into the head's `options`.
+    pub option: usize,
+    /// The chosen trial budget.
+    pub budget_bits: f32,
+    /// Predicted per-head service time, microseconds.
+    pub predicted_us: f64,
+    /// The chosen option's fidelity cost.
+    pub fidelity_cost: f64,
+}
+
+/// The result of a tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    /// Per-head assignments, in input order.
+    pub chosen: Vec<ChosenBudget>,
+    /// Mean predicted per-head service time, microseconds.
+    pub predicted_mean_us: f64,
+    /// Whether the mean meets the SLO (the search reports its best
+    /// effort either way — an infeasible SLO yields the fastest
+    /// assignment with `meets_slo = false`).
+    pub meets_slo: bool,
+    /// Total fidelity cost given up relative to the best-fidelity
+    /// assignment (0 when no downgrades were needed).
+    pub fidelity_sacrificed: f64,
+    /// Downgrade moves the greedy search applied.
+    pub moves: usize,
+}
+
+/// Searches per-head budget assignments until the mean predicted head
+/// latency meets `slo_us`.
+///
+/// # Errors
+///
+/// [`SimError::BadTuneInput`] for an empty head list, a head without
+/// options, or a non-positive/non-finite SLO; model validation errors
+/// propagate.
+pub fn tune_budgets(
+    model: &RooflineModel,
+    heads: &[HeadCandidate],
+    slo_us: f64,
+) -> Result<TuneOutcome, SimError> {
+    model.validate()?;
+    if heads.is_empty() {
+        return Err(SimError::BadTuneInput {
+            reason: "no head candidates".to_string(),
+        });
+    }
+    if !(slo_us.is_finite() && slo_us > 0.0) {
+        return Err(SimError::BadTuneInput {
+            reason: format!("slo_us = {slo_us}"),
+        });
+    }
+    for h in heads {
+        if h.options.is_empty() {
+            return Err(SimError::BadTuneInput {
+                reason: format!("head ({}, {}) has no budget options", h.block, h.head),
+            });
+        }
+    }
+
+    // Precompute every option's predicted time once.
+    let predicted: Vec<Vec<f64>> = heads
+        .iter()
+        .map(|h| {
+            h.options
+                .iter()
+                .map(|o| model.predict_head_us(&o.profile))
+                .collect()
+        })
+        .collect();
+
+    // Start at the best-fidelity option per head (ties to the faster one).
+    let mut current: Vec<usize> = heads
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            (0..h.options.len())
+                .min_by(|&a, &b| {
+                    let fa = (h.options[a].fidelity_cost, predicted[i][a]);
+                    let fb = (h.options[b].fidelity_cost, predicted[i][b]);
+                    fa.partial_cmp(&fb).expect("finite costs")
+                })
+                .expect("options is non-empty")
+        })
+        .collect();
+    let baseline_fidelity: f64 = heads
+        .iter()
+        .zip(&current)
+        .map(|(h, &j)| h.options[j].fidelity_cost)
+        .sum();
+
+    let n = heads.len() as f64;
+    let mut total_us: f64 = current
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| predicted[i][j])
+        .sum();
+    let mut moves = 0usize;
+    while total_us / n > slo_us {
+        // The downgrade with the most time saved per fidelity given up.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (i, h) in heads.iter().enumerate() {
+            let j = current[i];
+            for k in 0..h.options.len() {
+                let saved = predicted[i][j] - predicted[i][k];
+                if saved <= 0.0 {
+                    continue;
+                }
+                let lost = (h.options[k].fidelity_cost - h.options[j].fidelity_cost).max(0.0);
+                // Free moves (faster at no fidelity loss) rank above
+                // everything; otherwise maximize saved/lost.
+                let score = if lost == 0.0 {
+                    f64::INFINITY
+                } else {
+                    saved / lost
+                };
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((i, k, score));
+                }
+            }
+        }
+        let Some((i, k, _)) = best else {
+            break; // Fully downgraded; the SLO is infeasible.
+        };
+        total_us -= predicted[i][current[i]] - predicted[i][k];
+        current[i] = k;
+        moves += 1;
+    }
+
+    let chosen: Vec<ChosenBudget> = heads
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            let j = current[i];
+            ChosenBudget {
+                block: h.block,
+                head: h.head,
+                option: j,
+                budget_bits: h.options[j].budget_bits,
+                predicted_us: predicted[i][j],
+                fidelity_cost: h.options[j].fidelity_cost,
+            }
+        })
+        .collect();
+    let predicted_mean_us = chosen.iter().map(|c| c.predicted_us).sum::<f64>() / n;
+    let fidelity_sacrificed =
+        (chosen.iter().map(|c| c.fidelity_cost).sum::<f64>() - baseline_fidelity).max(0.0);
+    Ok(TuneOutcome {
+        meets_slo: predicted_mean_us <= slo_us,
+        chosen,
+        predicted_mean_us,
+        fidelity_sacrificed,
+        moves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paro_quant::Bitwidth;
+
+    fn model() -> RooflineModel {
+        RooflineModel {
+            macs_per_sec: 7.0e9,
+            packed_map_bytes_per_sec: 80.0e6,
+            fixed_us: 60.0,
+            tokens: 384,
+            head_dim: 64,
+        }
+    }
+
+    fn head(block: u32, head_idx: u32, cost_scale: f64) -> HeadCandidate {
+        // Higher budgets -> better fidelity (lower cost), more time.
+        let options = [2.0f32, 4.0, 8.0]
+            .iter()
+            .map(|&b| BudgetOption {
+                budget_bits: b,
+                profile: AttentionProfile::uniform(match b as u32 {
+                    2 => Bitwidth::B2,
+                    4 => Bitwidth::B4,
+                    _ => Bitwidth::B8,
+                }),
+                fidelity_cost: cost_scale * (10.0 - b as f64),
+            })
+            .collect();
+        HeadCandidate {
+            block,
+            head: head_idx,
+            options,
+        }
+    }
+
+    #[test]
+    fn prediction_is_monotone_in_bits() {
+        let m = model();
+        let t2 = m.predict_head_us(&AttentionProfile::uniform(Bitwidth::B2));
+        let t4 = m.predict_head_us(&AttentionProfile::uniform(Bitwidth::B4));
+        let t8 = m.predict_head_us(&AttentionProfile::uniform(Bitwidth::B8));
+        assert!(t2 < t4 && t4 < t8, "{t2} {t4} {t8}");
+        assert!(t2 >= m.fixed_us);
+    }
+
+    #[test]
+    fn loose_slo_keeps_best_fidelity() {
+        let m = model();
+        let heads: Vec<_> = (0..4).map(|h| head(0, h, 1.0)).collect();
+        let out = tune_budgets(&m, &heads, 1e9).unwrap();
+        assert!(out.meets_slo);
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.fidelity_sacrificed, 0.0);
+        // Best fidelity = the 8-bit option everywhere.
+        assert!(out.chosen.iter().all(|c| c.budget_bits == 8.0));
+    }
+
+    #[test]
+    fn tight_slo_downgrades_cheapest_fidelity_first() {
+        let m = model();
+        // Head 0's fidelity is 100x more valuable than head 1's: the
+        // search must downgrade head 1 first.
+        let heads = vec![head(0, 0, 100.0), head(0, 1, 1.0)];
+        let t8 = m.predict_head_us(&AttentionProfile::uniform(Bitwidth::B8));
+        let t4 = m.predict_head_us(&AttentionProfile::uniform(Bitwidth::B4));
+        // An SLO between "both at 8" and "one at 8, one at 4".
+        let slo = (2.0 * t8 + (t8 + t4)) / 4.0;
+        let out = tune_budgets(&m, &heads, slo).unwrap();
+        assert!(out.meets_slo, "mean {} vs slo {slo}", out.predicted_mean_us);
+        assert_eq!(out.chosen[0].budget_bits, 8.0, "precious head untouched");
+        assert!(out.chosen[1].budget_bits < 8.0, "cheap head downgraded");
+        assert!(out.moves >= 1);
+        assert!(out.fidelity_sacrificed > 0.0);
+    }
+
+    #[test]
+    fn infeasible_slo_reports_best_effort() {
+        let m = model();
+        let heads: Vec<_> = (0..2).map(|h| head(0, h, 1.0)).collect();
+        let out = tune_budgets(&m, &heads, 1e-6).unwrap();
+        assert!(!out.meets_slo);
+        // Everything was driven to the fastest option.
+        assert!(out.chosen.iter().all(|c| c.budget_bits == 2.0));
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        let m = model();
+        assert!(matches!(
+            tune_budgets(&m, &[], 100.0),
+            Err(SimError::BadTuneInput { .. })
+        ));
+        let empty = HeadCandidate {
+            block: 0,
+            head: 0,
+            options: vec![],
+        };
+        assert!(tune_budgets(&m, &[empty], 100.0).is_err());
+        let heads = vec![head(0, 0, 1.0)];
+        assert!(tune_budgets(&m, &heads, f64::NAN).is_err());
+        assert!(tune_budgets(&m, &heads, 0.0).is_err());
+        let mut bad = model();
+        bad.macs_per_sec = 0.0;
+        assert!(bad.validate().is_err());
+        assert!(model().validate().is_ok());
+    }
+}

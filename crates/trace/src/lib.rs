@@ -143,6 +143,13 @@ pub mod stage {
     /// session start whose `detail` names the micro-kernel every hot loop
     /// runs (`scalar` / `sse4.1` / `avx2`).
     pub const KERNEL_DISPATCH: &str = "kernel.dispatch";
+    /// Reading + structural validation of a plan artifact at engine
+    /// startup (and the per-request artifact lookup on a plan-cache
+    /// miss).
+    pub const PLAN_LOAD: &str = "plan.load";
+    /// Deep semantic verification of a loaded plan artifact against the
+    /// serving configuration.
+    pub const PLAN_VERIFY: &str = "plan.verify";
 
     /// Every canonical stage name, for exporter tests and documentation
     /// checks.
@@ -168,6 +175,8 @@ pub mod stage {
         SERVE_RETRY_BACKOFF,
         SERVE_FALLBACK,
         KERNEL_DISPATCH,
+        PLAN_LOAD,
+        PLAN_VERIFY,
     ];
 }
 
