@@ -6,10 +6,10 @@
 //! way the accelerator does: the attention map lives as a
 //! [`MixedPrecisionMap`] (packed 2/4/8-bit codes, nothing for 0-bit
 //! blocks), `V` as per-column INT8 codes, and `AttnV` runs through the
-//! per-bitwidth i32 micro-kernels of [`paro_quant::packed_attn_v`]. The
-//! output-aware `QKᵀ` mode reuses the same LDZ-truncated integer scoring
-//! as the float-side model, so both paths quantize identical source maps
-//! to identical codes; only the `AttnV` arithmetic differs (i32
+//! per-bitwidth i32 micro-kernels of [`paro_quant::packed_attn_v`]. Both
+//! `QKᵀ` modes (LDZ output-aware and exact) reuse the same integer
+//! scoring as the float-side model, so both paths quantize identical
+//! source maps to identical codes; only the `AttnV` arithmetic differs (i32
 //! accumulate + one scale product per block/column instead of rounded f32
 //! multiplies), which keeps the two outputs within float rounding of each
 //! other.
@@ -17,7 +17,7 @@
 use crate::calibration::HeadCalibration;
 use crate::cancel::Deadline;
 use crate::pipeline::{
-    attention_map, int8_rowwise, output_aware_map, AttentionInputs, AttentionRun,
+    exact_int_map, int8_rowwise, output_aware_map, AttentionInputs, AttentionRun,
 };
 use crate::CoreError;
 use paro_quant::{packed_attn_v, Bitwidth, MixedPrecisionMap, PerColCodes};
@@ -121,7 +121,10 @@ pub fn run_attention_calibrated_int_with(
     };
     deadline.check()?;
     let vq = {
-        let _t = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_QKV);
+        // Own stage: V's packed quantization is a different workload from
+        // the Q/K fake-quant above, and sharing `pipeline.quantize_qkv`
+        // doubled that stage's count and mixed its median.
+        let _t = paro_trace::span(paro_trace::stage::PIPELINE_QUANTIZE_V);
         PerColCodes::quantize(&vr, Bitwidth::B8)?
     };
     deadline.check()?;
@@ -130,7 +133,7 @@ pub fn run_attention_calibrated_int_with(
         if output_aware {
             output_aware_map(&qr, &kr, cal.block, &cal.allocation.bits)?
         } else {
-            attention_map(&qr, &kr)?
+            exact_int_map(&qr, &kr)?
         }
     };
     deadline.check()?;
@@ -172,7 +175,7 @@ pub fn run_attention_calibrated_int_with(
 mod tests {
     use super::*;
     use crate::calibration::calibrate_head;
-    use crate::pipeline::run_attention_calibrated_reference;
+    use crate::pipeline::{attention_map, run_attention_calibrated_reference};
     use paro_model::patterns::{synthesize_head, PatternKind, PatternSpec};
     use paro_model::ModelConfig;
     use paro_quant::BlockGrid;

@@ -15,6 +15,7 @@ use crate::sensitivity::SensitivityTable;
 use crate::CoreError;
 use paro_model::TokenGrid;
 use paro_quant::{fake_quant_2d, fake_quant_blocks, Bitwidth, BlockGrid, Grouping};
+use paro_tensor::kernel::{active_kernel, Kernel};
 use paro_tensor::{Tensor, TensorError};
 
 /// Validated inputs of one attention head in canonical token order,
@@ -312,7 +313,9 @@ pub fn run_attention_calibrated_reference(
     let source_map = if output_aware {
         output_aware_map(&qr, &kr, cal.block, &cal.allocation.bits)?
     } else {
-        attention_map(&qr, &kr)?
+        // Integer scores here too, so the reference stays bit-comparable
+        // with the int path's exact mode (same map, same sparsity).
+        exact_int_map(&qr, &kr)?
     };
     let (map_q, _) = fake_quant_blocks(&source_map, cal.block, &cal.allocation.bits)?;
     let sparsity = fraction_zero(&map_q);
@@ -474,52 +477,186 @@ fn run_sanger(inputs: &AttentionInputs, threshold: f32) -> Result<AttentionRun, 
 /// output block's allocated bitwidth (paper Fig. 5(b)).
 ///
 /// Works on the integer codes of a symmetric INT8 quantization of `Q`/`K`
-/// so the truncation is bit-exact with the hardware model; 0-bit blocks are
-/// skipped entirely (scores forced to −∞ contribute nothing post-softmax —
-/// the dispatcher bypass).
+/// so the truncation is bit-exact with the hardware model. The cost
+/// scales with the quantization plan:
+///
+/// - **LDZ panel hoist** — a truncated `K` operand depends only on the
+///   key column and the kept bitwidth, never on the query row, so one
+///   truncated copy of each block-column's `K` panel is built per
+///   distinct bitwidth (under `qkt.ldz`) and shared by every block row
+///   at that width; 8-bit blocks reuse the raw codes (truncation at full
+///   width is the identity).
+/// - **True B0 bypass** — 0-bit blocks are never computed *or written*:
+///   the score buffer initializes to −∞ (what a bypassed score reads as
+///   post-softmax) and only live blocks are filled in.
+/// - The per-block i8×i8→i32 inner products run on the dispatched SIMD
+///   kernel, bit-identical to scalar; one `qkt.mac` span covers each
+///   panel group's blocks (a single block's MAC is shorter than a span
+///   record).
+///
+/// A block row that is *entirely* B0 has no finite score, and softmax of
+/// an all-−∞ row is 0/0 = NaN; those rows come back uniformly zero
+/// instead — the same contribution a fully-skipped row has in the sparse
+/// AttnV bypass.
 pub(crate) fn output_aware_map(
     q: &Tensor,
     k: &Tensor,
     grid: BlockGrid,
     bits: &[Bitwidth],
 ) -> Result<Tensor, CoreError> {
+    output_aware_map_with(q, k, grid, bits, active_kernel())
+}
+
+/// [`output_aware_map`] on an explicit [`Kernel`] (forced-kernel
+/// testing); the map is bit-identical across kernels.
+pub(crate) fn output_aware_map_with(
+    q: &Tensor,
+    k: &Tensor,
+    grid: BlockGrid,
+    bits: &[Bitwidth],
+    kernel: Kernel,
+) -> Result<Tensor, CoreError> {
     let n = q.shape()[0];
     let d = q.shape()[1];
-    let sq = paro_quant::SymmetricInt8::quantize_rowwise(q)?;
-    let sk = paro_quant::SymmetricInt8::quantize_rowwise(k)?;
+    let sq = paro_quant::SymmetricInt8::quantize_rowwise_with(q, kernel)?;
+    let sk = paro_quant::SymmetricInt8::quantize_rowwise_with(k, kernel)?;
     let (q_codes, q_scales) = (sq.codes(), sq.scales());
     let (k_codes, k_scales) = (sk.codes(), sk.scales());
     let (gr, gc) = grid.grid_dims(n, n);
-    let mut scores = Tensor::zeros(&[n, n]);
     let scale = 1.0 / (d as f32).sqrt();
-    for bi in 0..gr {
-        for bj in 0..gc {
-            let (r0, c0, h, w) = grid.block_bounds(bi, bj, n, n);
-            let b = bits[bi * gc + bj];
-            if b == Bitwidth::B0 {
-                // Dispatcher bypass: block contributes nothing.
-                for r in r0..r0 + h {
-                    for c in c0..c0 + w {
-                        scores.set(&[r, c], f32::NEG_INFINITY);
-                    }
-                }
+    // Bypassed (never-written) scores read as −∞.
+    let mut scores = vec![f32::NEG_INFINITY; n * n];
+    let mut acc: Vec<i32> = Vec::new();
+    let mut panel_buf: Vec<i8> = Vec::new();
+    // Block rows of the current block-column, grouped by live bitwidth.
+    let mut rows_at: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    const KEEP_AT: [u32; 3] = [2, 4, 8];
+    for bj in 0..gc {
+        let (_, c0, _, w) = grid.block_bounds(0, bj, n, n);
+        let raw_panel = &k_codes[c0 * d..(c0 + w) * d];
+        for rows in rows_at.iter_mut() {
+            rows.clear();
+        }
+        for bi in 0..gr {
+            match bits[bi * gc + bj] {
+                // Dispatcher bypass: nothing computed, nothing written.
+                Bitwidth::B0 => {}
+                Bitwidth::B2 => rows_at[0].push(bi),
+                Bitwidth::B4 => rows_at[1].push(bi),
+                Bitwidth::B8 => rows_at[2].push(bi),
+            }
+        }
+        for (gi, rows) in rows_at.iter().enumerate() {
+            if rows.is_empty() {
                 continue;
             }
-            let keep = b.bits();
-            for r in r0..r0 + h {
-                for c in c0..c0 + w {
-                    let mut acc: i32 = 0;
-                    for j in 0..d {
-                        let kq = ldz::truncate(k_codes[c * d + j], keep);
-                        acc += q_codes[r * d + j] as i32 * kq as i32;
+            let keep = KEEP_AT[gi];
+            // One truncated K panel per kept bitwidth, shared by every
+            // block row of the column at that width; B8 keeps every bit,
+            // so truncation is the identity and the raw codes serve.
+            let panel: &[i8] = if keep >= 8 {
+                raw_panel
+            } else {
+                let _ldz_span = paro_trace::span(paro_trace::stage::QKT_LDZ);
+                panel_buf.clear();
+                panel_buf.extend(raw_panel.iter().map(|&v| ldz::truncate(v, keep)));
+                &panel_buf
+            };
+            // One span per panel group, not per block: a 4×4 block's MAC
+            // is far shorter than a span record, so per-block spans would
+            // dominate the stage they are meant to measure.
+            let _mac_span = paro_trace::span_detailed(paro_trace::stage::QKT_MAC, kernel.as_str());
+            for &bi in rows {
+                let (r0, _, h, _) = grid.block_bounds(bi, bj, n, n);
+                acc.resize(h * w, 0);
+                paro_quant::qkt_block_i32_with(
+                    &q_codes[r0 * d..(r0 + h) * d],
+                    h,
+                    panel,
+                    w,
+                    d,
+                    &mut acc[..h * w],
+                    kernel,
+                )?;
+                for r in 0..h {
+                    let qs = q_scales[r0 + r];
+                    let srow = &mut scores[(r0 + r) * n + c0..(r0 + r) * n + c0 + w];
+                    for (c, slot) in srow.iter_mut().enumerate() {
+                        *slot = acc[r * w + c] as f32 * qs * k_scales[c0 + c] * scale;
                     }
-                    let s = acc as f32 * q_scales[r] * k_scales[c] * scale;
-                    scores.set(&[r, c], s);
                 }
             }
         }
     }
-    Ok(scores.softmax_rows()?)
+    // Masked in-place softmax. `exp(−∞ − max)` is exactly `0.0`, so a
+    // bypassed lane contributes nothing to the row sum and skipping its
+    // exp is bit-identical to [`Tensor::softmax_rows`] over the same
+    // scores — the bypass majority never reaches the exp unit.
+    for r in 0..n {
+        let row = &mut scores[r * n..(r + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if max == f32::NEG_INFINITY {
+            // All-B0 block row: a dense softmax of an all-−∞ row is
+            // 0/0 = NaN. The row contributes nothing in the sparse AttnV
+            // bypass; make it read as exactly that — uniformly zero.
+            row.fill(0.0);
+            continue;
+        }
+        // At least one live lane sits at `max`, so the sum is ≥ 1.
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            if *v == f32::NEG_INFINITY {
+                *v = 0.0;
+            } else {
+                let e = (*v - max).exp();
+                *v = e;
+                sum += e;
+            }
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(Tensor::from_vec(&[n, n], scores)?)
+}
+
+/// The exact (non-output-aware) integer `QKᵀ` of the deployment path:
+/// symmetric INT8 scores on the dispatched i8×i8→i32 kernel — exactly
+/// the fixed-point multiply the PEs run, with no LDZ truncation and no
+/// block bypass. Every key column participates in every softmax row, so
+/// the semantics match the f32 [`attention_map`] up to the INT8 operand
+/// precision.
+pub(crate) fn exact_int_map(q: &Tensor, k: &Tensor) -> Result<Tensor, CoreError> {
+    exact_int_map_with(q, k, active_kernel())
+}
+
+/// [`exact_int_map`] on an explicit [`Kernel`] (forced-kernel testing);
+/// the map is bit-identical across kernels.
+pub(crate) fn exact_int_map_with(
+    q: &Tensor,
+    k: &Tensor,
+    kernel: Kernel,
+) -> Result<Tensor, CoreError> {
+    let m = q.shape()[0];
+    let n = k.shape()[0];
+    let d = q.shape()[1];
+    let sq = paro_quant::SymmetricInt8::quantize_rowwise_with(q, kernel)?;
+    let sk = paro_quant::SymmetricInt8::quantize_rowwise_with(k, kernel)?;
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut acc = vec![0i32; m * n];
+    {
+        let _mac_span = paro_trace::span_detailed(paro_trace::stage::QKT_MAC, kernel.as_str());
+        paro_quant::qkt_block_i32_with(sq.codes(), m, sk.codes(), n, d, &mut acc, kernel)?;
+    }
+    let mut scores = vec![0.0f32; m * n];
+    for r in 0..m {
+        let qs = sq.scales()[r];
+        let srow = &mut scores[r * n..(r + 1) * n];
+        for (c, slot) in srow.iter_mut().enumerate() {
+            *slot = acc[r * n + c] as f32 * qs * sk.scales()[c] * scale;
+        }
+    }
+    Ok(Tensor::from_vec(&[m, n], scores)?.softmax_rows()?)
 }
 
 /// Subtracts the per-channel (column) mean: SageAttention2's "outlier
@@ -782,6 +919,65 @@ mod tests {
         let hist = run.allocation.as_ref().unwrap().histogram();
         assert!(hist[0] > 0, "tight budget should produce 0-bit blocks");
         assert!(run.map_sparsity > 0.1);
+    }
+
+    /// Regression: an allocation that zeroes an entire block-row used to
+    /// leave that row of the output-aware map all −∞ going into softmax,
+    /// so the whole row came back 0/0 = NaN and flowed into AttnV.
+    #[test]
+    fn all_b0_block_row_yields_uniform_zero_row() {
+        let q = Tensor::from_fn(&[8, 4], |i| ((i[0] * 7 + i[1] * 3) % 11) as f32 * 0.1 - 0.5);
+        let k = Tensor::from_fn(&[8, 4], |i| ((i[0] * 5 + i[1]) % 13) as f32 * 0.1 - 0.6);
+        let grid = BlockGrid::square(4).unwrap();
+        // First block-row entirely bypassed.
+        let bits = [Bitwidth::B0, Bitwidth::B0, Bitwidth::B4, Bitwidth::B8];
+        let map = output_aware_map(&q, &k, grid, &bits).unwrap();
+        assert!(
+            map.as_slice().iter().all(|v| v.is_finite()),
+            "map must contain no NaN/∞"
+        );
+        // Bypassed rows read as uniform zero — the contribution a
+        // fully-skipped row has in the sparse AttnV bypass.
+        for r in 0..4 {
+            for c in 0..8 {
+                assert_eq!(map.at(&[r, c]), 0.0, "r={r} c={c}");
+            }
+        }
+        // Live rows stay proper softmax rows.
+        for r in 4..8 {
+            let sum: f32 = (0..8).map(|c| map.at(&[r, c])).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+    }
+
+    /// Every supported kernel must reproduce the scalar QKᵀ maps bit for
+    /// bit — including the B0 bypass, an all-B0 block-row, and ragged
+    /// block tails (n = 10 on a 4-edge grid).
+    #[test]
+    fn qkt_maps_bit_identical_across_kernels() {
+        let q = Tensor::from_fn(&[10, 6], |i| {
+            (((i[0] * 31 + i[1] * 17) % 23) as f32 - 11.0) * 0.09
+        });
+        let k = Tensor::from_fn(&[10, 6], |i| {
+            (((i[0] * 13 + i[1] * 29) % 19) as f32 - 9.0) * 0.07
+        });
+        let grid = BlockGrid::square(4).unwrap();
+        let (gr, gc) = grid.grid_dims(10, 10);
+        let mut bits = vec![Bitwidth::B8; gr * gc];
+        bits[1] = Bitwidth::B2;
+        bits[3] = Bitwidth::B4;
+        bits[4] = Bitwidth::B0;
+        for bj in 0..gc {
+            bits[(gr - 1) * gc + bj] = Bitwidth::B0; // all-B0 last block-row
+        }
+        let want_aware = output_aware_map_with(&q, &k, grid, &bits, Kernel::Scalar).unwrap();
+        let want_exact = exact_int_map_with(&q, &k, Kernel::Scalar).unwrap();
+        for kernel in Kernel::supported() {
+            let aware = output_aware_map_with(&q, &k, grid, &bits, kernel).unwrap();
+            assert_eq!(aware, want_aware, "output-aware kernel={kernel:?}");
+            let exact = exact_int_map_with(&q, &k, kernel).unwrap();
+            assert_eq!(exact, want_exact, "exact kernel={kernel:?}");
+        }
     }
 
     #[test]

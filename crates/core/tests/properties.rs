@@ -52,6 +52,43 @@ proptest! {
     }
 
     #[test]
+    fn ldz_keep_reaching_lsb_is_identity(x in i8::MIN..=i8::MAX, extra in 0u32..=4) {
+        // A window that covers the MSVB down to the LSB drops nothing, so
+        // the restored value is exactly `x` — including widths past 8.
+        let keep = match ldz::msvb(x) {
+            None => 1, // 0 and -1 are exact at any nonzero width
+            Some(m) => m + 1 + extra,
+        };
+        prop_assert_eq!(ldz::truncate(x, keep), x);
+    }
+
+    #[test]
+    fn ldz_zero_keep_bits_is_zero(x in i8::MIN..=i8::MAX) {
+        // keep_bits = 0 models a skipped (B0) output block.
+        prop_assert_eq!(ldz::truncate(x, 0), 0);
+    }
+
+    #[test]
+    fn ldz_negatives_round_toward_neg_infinity(x in i8::MIN..=-1i8, keep in 1u32..=8) {
+        // Zeroing low-order two's-complement bits never rounds a negative
+        // value up — hardware truncate goes toward −∞.
+        let t = ldz::truncate(x, keep);
+        prop_assert!(t <= x, "truncate({}, {}) = {} rounded up", x, keep, t);
+        prop_assert!(t < 0, "sign flipped: truncate({}, {}) = {}", x, keep, t);
+    }
+
+    #[test]
+    fn ldz_truncate_slice_matches_elementwise(
+        xs in prop::collection::vec(i8::MIN..=i8::MAX, 0..64), keep in 0u32..=8
+    ) {
+        let out = ldz::truncate_slice(&xs, keep);
+        prop_assert_eq!(out.len(), xs.len());
+        for (o, &x) in out.iter().zip(&xs) {
+            prop_assert_eq!(*o, ldz::truncate(x, keep));
+        }
+    }
+
+    #[test]
     fn allocation_budget_and_feasibility(
         n in 2usize..=10, budget in 0.0f32..=8.0, seed in 0u64..300
     ) {
@@ -114,4 +151,12 @@ proptest! {
             }
         }
     }
+}
+
+/// The paper's Sec. IV-B worked example: `8'b00011010` (26) at a 2-bit
+/// configuration keeps `2'b11` at the MSVB and restores to 24.
+#[test]
+fn ldz_paper_worked_example() {
+    assert_eq!(ldz::msvb(0b0001_1010), Some(4));
+    assert_eq!(ldz::truncate(0b0001_1010, 2), 24);
 }

@@ -12,8 +12,9 @@ use paro::core::reorder::{reorder_map, select_plan, ReorderPlan};
 use paro::plans::{build_plan_bytes, inspect_text, run_tune, verify_text, write_output};
 use paro::prelude::*;
 use paro::report::{
-    diff_stage_medians, format_diff_table, stage_rows, AttnVThroughput, ChaosBenchReport,
-    InjectedFaultRow, IntPathComparison, PerfBenchReport, PerfStageRow, ServeBenchReport,
+    diff_stage_medians, format_diff_table, missing_baseline_stages, stage_rows, AttnVThroughput,
+    ChaosBenchReport, InjectedFaultRow, IntPathComparison, PerfBenchReport, PerfStageRow,
+    ServeBenchReport,
 };
 use paro::serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
 use paro::serve::{CalibrationSource, Engine, ServeConfig};
@@ -557,7 +558,12 @@ fn perf_bench(opts: &PerfBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
         defaults.alpha,
     )?;
     let dispatch = kernel::active();
-    let dispatched = perf_pass(&inputs, &cal, defaults.output_aware, opts.iters, None)?;
+    // Bench the output-aware (LDZ) `QKᵀ` regardless of the serving
+    // default: it is the paper's headline datapath and the stage set the
+    // committed baseline gates on (`qkt.ldz`, `qkt.mac`,
+    // `pipeline.quantize_v` only exist on this path).
+    let output_aware = true;
+    let dispatched = perf_pass(&inputs, &cal, output_aware, opts.iters, None)?;
     // The scalar reference runs in the same process and binary; when the
     // dispatch already resolved to scalar it IS the reference.
     let scalar = if dispatch.kernel == kernel::Kernel::Scalar {
@@ -566,7 +572,7 @@ fn perf_bench(opts: &PerfBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
         perf_pass(
             &inputs,
             &cal,
-            defaults.output_aware,
+            output_aware,
             opts.iters,
             Some(kernel::Kernel::Scalar),
         )?
@@ -609,6 +615,28 @@ fn perf_bench(opts: &PerfBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
         let baseline: PerfBenchReport =
             serde_json::from_str(&text).map_err(|e| format!("baseline {path} malformed: {e}"))?;
         let rows = diff_stage_medians(&baseline.stages, &report.stages, opts.tolerance);
+        // A baseline stage the candidate no longer measures means the
+        // gate would silently stop watching it (renamed stage, dead code
+        // path, tracing regression) — fail loudly with the name diff
+        // instead of passing on the stages that remain.
+        let missing = missing_baseline_stages(&baseline.stages, &report.stages);
+        if !missing.is_empty() {
+            eprint!("{}", format_diff_table(&rows));
+            return Err(format!(
+                "baseline stage(s) missing from candidate report: {}; \
+                 candidate measured: {}. Refresh {} if the stage set \
+                 changed intentionally.",
+                missing.join(", "),
+                report
+                    .stages
+                    .iter()
+                    .map(|r| r.stage.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                path,
+            )
+            .into());
+        }
         eprintln!(
             "\nper-stage medians vs {} (baseline kernel {}, current {}, \
              tolerance {}%):",

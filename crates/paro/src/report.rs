@@ -386,6 +386,22 @@ pub fn diff_stage_medians(
     rows
 }
 
+/// Names of baseline stages the candidate report no longer measures.
+///
+/// [`diff_stage_medians`] deliberately reports disappeared stages without
+/// gating on them (so renames stay visible in the table) — but a CI
+/// comparison must not pass silently when a stage it used to watch has
+/// vanished: that usually means a stage was renamed or a code path stopped
+/// running, and the gate would be comparing against nothing. The
+/// `perf-bench --compare` gate fails when this is non-empty.
+pub fn missing_baseline_stages(baseline: &[PerfStageRow], current: &[PerfStageRow]) -> Vec<String> {
+    baseline
+        .iter()
+        .filter(|b| !current.iter().any(|c| c.stage == b.stage))
+        .map(|b| b.stage.clone())
+        .collect()
+}
+
 /// Renders a perf diff as an aligned text table; regressed rows are
 /// marked `REGRESSED`, ungated rows under the noise floor ` (ungated)`.
 pub fn format_diff_table(rows: &[PerfDiffRow]) -> String {
@@ -460,6 +476,19 @@ mod tests {
         let table = format_diff_table(&rows);
         assert!(table.contains("attnv.mac"));
         assert!(table.contains("kernel.dispatch"));
+    }
+
+    #[test]
+    fn missing_stages_lists_disappeared_baseline_rows_only() {
+        let baseline = [row("attnv.mac", 400.0), row("pipeline.qkt", 1000.0)];
+        let current = [row("attnv.mac", 410.0), row("qkt.mac", 90.0)];
+        assert_eq!(
+            missing_baseline_stages(&baseline, &current),
+            vec!["pipeline.qkt".to_string()]
+        );
+        assert!(missing_baseline_stages(&baseline, &baseline).is_empty());
+        // New candidate-only stages never count as missing.
+        assert!(missing_baseline_stages(&[], &current).is_empty());
     }
 
     #[test]

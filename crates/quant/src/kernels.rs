@@ -151,10 +151,39 @@ fn gemm_i32_scalar(a: &[u32], za: i32, b: &[i32], m: usize, k: usize, n: usize, 
     gemm_body!(axpy_i32_scalar, a, za, b, m, k, n, out)
 }
 
+/// Scalar reference of the affine quantize map — element for element
+/// exactly [`crate::QuantParams::quantize`]:
+/// `clamp(round(x/s) + z, 0, max_code)` with `round` half-away-from-zero
+/// and the sum taken in i64.
+fn quantize_codes_scalar(values: &[f32], scale: f32, zp: i32, max_code: u32, out: &mut [u32]) {
+    for (o, &x) in out.iter_mut().zip(values) {
+        let q = ((x / scale).round() as i64).saturating_add(zp as i64);
+        *o = q.clamp(0, max_code as i64) as u32;
+    }
+}
+
+/// Scalar reference of the symmetric INT8 map — element for element
+/// exactly [`crate::SymmetricInt8::quantize_rowwise`]'s inner loop:
+/// non-finite values quantize to 0, everything else to
+/// `clamp(round(x/s), −127, 127)`.
+fn quantize_symmetric_scalar(values: &[f32], scale: f32, out: &mut [i8]) {
+    for (o, &x) in out.iter_mut().zip(values) {
+        let v = if x.is_finite() { x } else { 0.0 };
+        *o = (v / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+}
+
+/// Rounded magnitudes below this bound (2³⁰) convert to i32 exactly and
+/// cannot overflow the i32 zero-point add (itself bounded by it); any
+/// other lane — including NaN/∞ — falls back to the scalar map.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+const QUANTIZE_SAFE_BOUND: f32 = 1_073_741_824.0;
+
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 mod x86 {
     use super::{
-        axpy_i32_scalar, unpack_b2_scalar, unpack_b4_scalar, unpack_b8_scalar, TILE, TILE_K,
+        axpy_i32_scalar, quantize_codes_scalar, quantize_symmetric_scalar, unpack_b2_scalar,
+        unpack_b4_scalar, unpack_b8_scalar, QUANTIZE_SAFE_BOUND, TILE, TILE_K,
     };
     #[cfg(target_arch = "x86")]
     use std::arch::x86::*;
@@ -481,6 +510,184 @@ mod x86 {
     ) {
         gemm_body!(axpy_i32_avx2, a, za, b, m, k, n, out)
     }
+
+    // Bit-identical SIMD replication of the scalar quantize map. IEEE
+    // division is correctly rounded, so `divps` matches scalar `/` lane
+    // for lane; `f32::round` (half away from zero) is *not* a hardware
+    // rounding mode, so it is rebuilt as truncate + bump: a lane whose
+    // dropped fraction is ≥ 0.5 adds ±1 with the operand's sign. The
+    // bump is only ever nonzero below 2²⁴ (larger floats are already
+    // integers), so the add is exact; any lane whose rounded magnitude
+    // reaches [`QUANTIZE_SAFE_BOUND`] — including NaN/∞, which fail the
+    // ordered compare — is redone through the scalar map instead of
+    // trusting `cvtps` out-of-range behavior.
+
+    /// # Safety
+    /// Caller must ensure SSE4.1 and `|zp| ≤ 2³⁰`.
+    #[target_feature(enable = "sse4.1")]
+    pub(super) unsafe fn quantize_codes_sse41(
+        values: &[f32],
+        scale: f32,
+        zp: i32,
+        max_code: u32,
+        out: &mut [u32],
+    ) {
+        let sv = _mm_set1_ps(scale);
+        let half = _mm_set1_ps(0.5);
+        let one = _mm_set1_ps(1.0);
+        let signmask = _mm_set1_ps(-0.0);
+        let bound = _mm_set1_ps(QUANTIZE_SAFE_BOUND);
+        let zpv = _mm_set1_epi32(zp);
+        let zero = _mm_setzero_si128();
+        let maxv = _mm_set1_epi32(max_code as i32);
+        let n = values.len().min(out.len());
+        let mut j = 0usize;
+        while j + 4 <= n {
+            let x = _mm_loadu_ps(values.as_ptr().add(j));
+            let r = _mm_div_ps(x, sv);
+            let t = _mm_round_ps(r, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+            let frac = _mm_andnot_ps(signmask, _mm_sub_ps(r, t));
+            let bump = _mm_and_ps(
+                _mm_cmpge_ps(frac, half),
+                _mm_or_ps(_mm_and_ps(signmask, r), one),
+            );
+            let rounded = _mm_add_ps(t, bump);
+            let safe = _mm_cmplt_ps(_mm_andnot_ps(signmask, rounded), bound);
+            if _mm_movemask_ps(safe) != 0xF {
+                quantize_codes_scalar(&values[j..j + 4], scale, zp, max_code, &mut out[j..j + 4]);
+                j += 4;
+                continue;
+            }
+            let code = _mm_add_epi32(_mm_cvtps_epi32(rounded), zpv);
+            let clamped = _mm_min_epi32(_mm_max_epi32(code, zero), maxv);
+            _mm_storeu_si128(out.as_mut_ptr().add(j) as *mut __m128i, clamped);
+            j += 4;
+        }
+        quantize_codes_scalar(&values[j..n], scale, zp, max_code, &mut out[j..n]);
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 and `|zp| ≤ 2³⁰`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quantize_codes_avx2(
+        values: &[f32],
+        scale: f32,
+        zp: i32,
+        max_code: u32,
+        out: &mut [u32],
+    ) {
+        let sv = _mm256_set1_ps(scale);
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+        let signmask = _mm256_set1_ps(-0.0);
+        let bound = _mm256_set1_ps(QUANTIZE_SAFE_BOUND);
+        let zpv = _mm256_set1_epi32(zp);
+        let zero = _mm256_setzero_si256();
+        let maxv = _mm256_set1_epi32(max_code as i32);
+        let n = values.len().min(out.len());
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let x = _mm256_loadu_ps(values.as_ptr().add(j));
+            let r = _mm256_div_ps(x, sv);
+            let t = _mm256_round_ps(r, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+            let frac = _mm256_andnot_ps(signmask, _mm256_sub_ps(r, t));
+            let bump = _mm256_and_ps(
+                _mm256_cmp_ps(frac, half, _CMP_GE_OQ),
+                _mm256_or_ps(_mm256_and_ps(signmask, r), one),
+            );
+            let rounded = _mm256_add_ps(t, bump);
+            let safe = _mm256_cmp_ps(_mm256_andnot_ps(signmask, rounded), bound, _CMP_LT_OQ);
+            if _mm256_movemask_ps(safe) != 0xFF {
+                quantize_codes_scalar(&values[j..j + 8], scale, zp, max_code, &mut out[j..j + 8]);
+                j += 8;
+                continue;
+            }
+            let code = _mm256_add_epi32(_mm256_cvtps_epi32(rounded), zpv);
+            let clamped = _mm256_min_epi32(_mm256_max_epi32(code, zero), maxv);
+            _mm256_storeu_si256(out.as_mut_ptr().add(j) as *mut __m256i, clamped);
+            j += 8;
+        }
+        quantize_codes_scalar(&values[j..n], scale, zp, max_code, &mut out[j..n]);
+    }
+
+    // The symmetric map needs no safe-lane fallback: the dispatcher
+    // guarantees a positive finite scale, so `x/s` is NaN-free for any
+    // finite `x`, non-finite inputs are masked to 0 (an ordered `|x| < ∞`
+    // compare rejects NaN too), and the ±127 clamp happens in f32 *before*
+    // the i32 convert — even an ∞ quotient (subnormal scale) clamps to
+    // exactly what the scalar map produces.
+
+    /// # Safety
+    /// Caller must ensure SSE4.1 and a positive finite `scale`.
+    #[target_feature(enable = "sse4.1")]
+    pub(super) unsafe fn quantize_symmetric_sse41(values: &[f32], scale: f32, out: &mut [i8]) {
+        let sv = _mm_set1_ps(scale);
+        let half = _mm_set1_ps(0.5);
+        let one = _mm_set1_ps(1.0);
+        let signmask = _mm_set1_ps(-0.0);
+        let inf = _mm_set1_ps(f32::INFINITY);
+        let lim = _mm_set1_ps(127.0);
+        let nlim = _mm_set1_ps(-127.0);
+        let n = values.len().min(out.len());
+        let mut tmp = [0i32; 4];
+        let mut j = 0usize;
+        while j + 4 <= n {
+            let x = _mm_loadu_ps(values.as_ptr().add(j));
+            let finite = _mm_cmplt_ps(_mm_andnot_ps(signmask, x), inf);
+            let r = _mm_div_ps(x, sv);
+            let t = _mm_round_ps(r, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+            let frac = _mm_andnot_ps(signmask, _mm_sub_ps(r, t));
+            let bump = _mm_and_ps(
+                _mm_cmpge_ps(frac, half),
+                _mm_or_ps(_mm_and_ps(signmask, r), one),
+            );
+            let rounded = _mm_add_ps(t, bump);
+            let clamped = _mm_min_ps(_mm_max_ps(rounded, nlim), lim);
+            let q = _mm_cvtps_epi32(_mm_and_ps(clamped, finite));
+            _mm_storeu_si128(tmp.as_mut_ptr() as *mut __m128i, q);
+            for (o, &c) in out[j..j + 4].iter_mut().zip(&tmp) {
+                *o = c as i8;
+            }
+            j += 4;
+        }
+        quantize_symmetric_scalar(&values[j..n], scale, &mut out[j..n]);
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 and a positive finite `scale`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quantize_symmetric_avx2(values: &[f32], scale: f32, out: &mut [i8]) {
+        let sv = _mm256_set1_ps(scale);
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+        let signmask = _mm256_set1_ps(-0.0);
+        let inf = _mm256_set1_ps(f32::INFINITY);
+        let lim = _mm256_set1_ps(127.0);
+        let nlim = _mm256_set1_ps(-127.0);
+        let n = values.len().min(out.len());
+        let mut tmp = [0i32; 8];
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let x = _mm256_loadu_ps(values.as_ptr().add(j));
+            let finite = _mm256_cmp_ps(_mm256_andnot_ps(signmask, x), inf, _CMP_LT_OQ);
+            let r = _mm256_div_ps(x, sv);
+            let t = _mm256_round_ps(r, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+            let frac = _mm256_andnot_ps(signmask, _mm256_sub_ps(r, t));
+            let bump = _mm256_and_ps(
+                _mm256_cmp_ps(frac, half, _CMP_GE_OQ),
+                _mm256_or_ps(_mm256_and_ps(signmask, r), one),
+            );
+            let rounded = _mm256_add_ps(t, bump);
+            let clamped = _mm256_min_ps(_mm256_max_ps(rounded, nlim), lim);
+            let q = _mm256_cvtps_epi32(_mm256_and_ps(clamped, finite));
+            _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, q);
+            for (o, &c) in out[j..j + 8].iter_mut().zip(&tmp) {
+                *o = c as i8;
+            }
+            j += 8;
+        }
+        quantize_symmetric_scalar(&values[j..n], scale, &mut out[j..n]);
+    }
 }
 
 /// One packed block's `acc[r][c] += Σ_k (code[r][k] − zp) · v[k][c]` on
@@ -570,6 +777,94 @@ pub(crate) fn gemm_i32(
     }
 }
 
+/// `out[i] = clamp(round(values[i]/scale) + zp, 0, max_code)` on the
+/// chosen kernel — the per-block inner loop of
+/// [`crate::MixedPrecisionMap::quantize`]. Bit-identical to
+/// [`crate::QuantParams::quantize`] per element on every kernel: unsafe
+/// lanes (rounded magnitude ≥ 2³⁰, NaN, ∞) and out-of-bound zero points
+/// are redone through the scalar map.
+pub(crate) fn quantize_codes(
+    kernel: Kernel,
+    values: &[f32],
+    scale: f32,
+    zp: i32,
+    max_code: u32,
+    out: &mut [u32],
+) {
+    debug_assert!(kernel.is_supported());
+    debug_assert_eq!(values.len(), out.len());
+    // The SIMD paths add `zp` in i32; a zero point past the safe bound
+    // could overflow the add, so such a block runs scalar end to end.
+    // (Min-max calibration never produces one — correctness just must
+    // not depend on that.)
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    let zp_safe = zp.unsigned_abs() <= 1 << 30;
+    match kernel {
+        Kernel::Scalar => quantize_codes_scalar(values, scale, zp, max_code, out),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Kernel::Sse41 => {
+            if zp_safe {
+                // SAFETY: `kernel` comes from `active_kernel`/
+                // `is_supported` checks, so the required CPU feature is
+                // present; `zp` was just bounds-checked.
+                unsafe { x86::quantize_codes_sse41(values, scale, zp, max_code, out) }
+            } else {
+                quantize_codes_scalar(values, scale, zp, max_code, out)
+            }
+        }
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Kernel::Avx2 => {
+            if zp_safe {
+                // SAFETY: as above.
+                unsafe { x86::quantize_codes_avx2(values, scale, zp, max_code, out) }
+            } else {
+                quantize_codes_scalar(values, scale, zp, max_code, out)
+            }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        _ => quantize_codes_scalar(values, scale, zp, max_code, out),
+    }
+}
+
+/// `out[i] = clamp(round(values[i]/scale), −127, 127)` as signed INT8
+/// (non-finite values → 0) on the chosen kernel — the per-row inner loop
+/// of [`crate::SymmetricInt8::quantize_rowwise`]. Bit-identical to the
+/// scalar map on every kernel.
+pub(crate) fn quantize_symmetric_i8(kernel: Kernel, values: &[f32], scale: f32, out: &mut [i8]) {
+    debug_assert!(kernel.is_supported());
+    debug_assert_eq!(values.len(), out.len());
+    // A non-positive or non-finite scale routes NaN quotients through the
+    // scalar map's NaN semantics; rowwise calibration never produces one
+    // — correctness just must not depend on that.
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    let scale_safe = scale.is_finite() && scale > 0.0;
+    match kernel {
+        Kernel::Scalar => quantize_symmetric_scalar(values, scale, out),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Kernel::Sse41 => {
+            if scale_safe {
+                // SAFETY: `kernel` comes from `active_kernel`/
+                // `is_supported` checks, so the required CPU feature is
+                // present; `scale` was just bounds-checked.
+                unsafe { x86::quantize_symmetric_sse41(values, scale, out) }
+            } else {
+                quantize_symmetric_scalar(values, scale, out)
+            }
+        }
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Kernel::Avx2 => {
+            if scale_safe {
+                // SAFETY: as above.
+                unsafe { x86::quantize_symmetric_avx2(values, scale, out) }
+            } else {
+                quantize_symmetric_scalar(values, scale, out)
+            }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        _ => quantize_symmetric_scalar(values, scale, out),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +898,63 @@ mod tests {
                 let mut got = vec![0i32; h * d];
                 block_gemm(kernel, bits, packed.as_bytes(), zp, h, w, &v, d, &mut got);
                 assert_eq!(got, want, "kernel={kernel} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_kernels_agree_including_unsafe_lanes() {
+        // Mixed ordinary / half-way / huge / non-finite values with an odd
+        // length (lane tail), plus a zero point past the SIMD-safe bound
+        // (whole-call scalar fallback). Half-way values pin the
+        // round-half-away-from-zero rebuild against nearest-even `cvtps`.
+        let mut values: Vec<f32> = (0..37).map(|i| (i as f32 - 18.0) * 0.173).collect();
+        values.extend([
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            3.0e12,
+            -3.0e12,
+            0.5,
+            -0.5,
+            1.5,
+            2.5,
+        ]);
+        for (scale, zp) in [(0.01f32, 7), (1.0e-30, 0), (1.0, -3), (0.37, i32::MAX)] {
+            let mut want = vec![0u32; values.len()];
+            quantize_codes(Kernel::Scalar, &values, scale, zp, 255, &mut want);
+            for kernel in Kernel::supported() {
+                let mut got = vec![0u32; values.len()];
+                quantize_codes(kernel, &values, scale, zp, 255, &mut got);
+                assert_eq!(got, want, "kernel={kernel} scale={scale} zp={zp}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_quantize_kernels_agree_including_nonfinite_lanes() {
+        // Ordinary values (odd length → lane tail), exact halves pinning
+        // the round-half-away rebuild, non-finite inputs (→ 0), and an
+        // ∞ quotient from a subnormal scale (→ ±127 via the f32 clamp).
+        let mut values: Vec<f32> = (0..41).map(|i| (i as f32 - 20.0) * 6.3).collect();
+        values.extend([
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.5,
+            -0.5,
+            1.5,
+            -2.5,
+            -0.0,
+            1.0e30,
+        ]);
+        for scale in [1.0f32, 0.173, 1.0e-39, 1.0e30, f32::NAN, -1.0, 0.0] {
+            let mut want = vec![0i8; values.len()];
+            quantize_symmetric_scalar(&values, scale, &mut want);
+            for kernel in Kernel::supported() {
+                let mut got = vec![0i8; values.len()];
+                quantize_symmetric_i8(kernel, &values, scale, &mut got);
+                assert_eq!(got, want, "kernel={kernel} scale={scale}");
             }
         }
     }

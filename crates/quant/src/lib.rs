@@ -22,9 +22,9 @@
 //! }
 //! ```
 
-// `deny` rather than `forbid`: the SIMD micro-kernels in `kernels` opt
-// back in with a module-level `allow` — every other module stays
-// unsafe-free.
+// `deny` rather than `forbid`: the SIMD micro-kernels in `kernels` and
+// `qkt` opt back in with a module-level `allow` — every other module
+// stays unsafe-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -37,6 +37,7 @@ mod kernels;
 mod mixed_map;
 mod packed;
 mod params;
+mod qkt;
 mod symmetric;
 
 pub use bitwidth::{Bitwidth, ParseBitwidthError};
@@ -54,4 +55,5 @@ pub use int_attn::{
 pub use mixed_map::{MixedPrecisionMap, PARAM_BYTES_PER_BLOCK};
 pub use packed::PackedCodes;
 pub use params::QuantParams;
+pub use qkt::{qkt_block_i32, qkt_block_i32_with};
 pub use symmetric::SymmetricInt8;

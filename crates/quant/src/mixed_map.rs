@@ -9,6 +9,7 @@
 //! for computation.
 
 use crate::{Bitwidth, BlockGrid, PackedCodes, QuantError, QuantParams};
+use paro_tensor::kernel::{active_kernel, Kernel};
 use paro_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +47,22 @@ impl MixedPrecisionMap {
         grid: BlockGrid,
         bits_per_block: &[Bitwidth],
     ) -> Result<Self, QuantError> {
+        Self::quantize_with(map, grid, bits_per_block, active_kernel())
+    }
+
+    /// [`MixedPrecisionMap::quantize`] on an explicit [`Kernel`]
+    /// (forced-kernel testing). The stored blocks are bit-identical
+    /// across kernels.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MixedPrecisionMap::quantize`].
+    pub fn quantize_with(
+        map: &Tensor,
+        grid: BlockGrid,
+        bits_per_block: &[Bitwidth],
+        kernel: Kernel,
+    ) -> Result<Self, QuantError> {
         if map.rank() != 2 {
             return Err(QuantError::Tensor(paro_tensor::TensorError::RankMismatch {
                 expected: 2,
@@ -60,18 +77,34 @@ impl MixedPrecisionMap {
                 blocks: gr * gc,
             });
         }
+        let data = map.as_slice();
         let mut blocks = Vec::with_capacity(gr * gc);
+        // One scratch gather buffer reused across blocks — the per-block
+        // `Tensor` allocations were a measurable share of quantize_map.
+        let mut scratch: Vec<f32> = Vec::new();
+        let mut zeros: Vec<u32> = Vec::new();
         for bi in 0..gr {
             for bj in 0..gc {
                 let (r0, c0, h, w) = grid.block_bounds(bi, bj, rows, cols);
                 let bits = bits_per_block[bi * gc + bj];
-                let block = map.block(r0, c0, h, w)?;
-                let params = QuantParams::calibrate_minmax(block.as_slice(), bits);
-                let code_list: Vec<u32> = block
-                    .as_slice()
-                    .iter()
-                    .map(|&v| params.quantize(v))
-                    .collect();
+                if bits == Bitwidth::B0 {
+                    // Bypassed block: calibration ignores the values and
+                    // every code is 0, so skip the gather and arithmetic
+                    // entirely (bit-identical to the general path).
+                    zeros.resize(h * w, 0);
+                    blocks.push(StoredBlock {
+                        bits,
+                        params: QuantParams::calibrate_minmax(&[], bits),
+                        codes: PackedCodes::pack(&zeros[..h * w], bits)?,
+                    });
+                    continue;
+                }
+                scratch.clear();
+                for r in r0..r0 + h {
+                    scratch.extend_from_slice(&data[r * cols + c0..r * cols + c0 + w]);
+                }
+                let params = QuantParams::calibrate_minmax(&scratch, bits);
+                let code_list = params.quantize_slice_with(&scratch, kernel);
                 let codes = PackedCodes::pack(&code_list, bits)?;
                 blocks.push(StoredBlock {
                     bits,

@@ -1,4 +1,5 @@
 use crate::Bitwidth;
+use paro_tensor::kernel::Kernel;
 use serde::{Deserialize, Serialize};
 
 /// Uniform affine quantization parameters for one group.
@@ -149,8 +150,35 @@ impl QuantParams {
         if self.bits == Bitwidth::B0 {
             return 0;
         }
-        let q = (x / self.scale).round() as i64 + self.zero_point as i64;
+        // Saturating: `±∞ as i64` saturates to the i64 extremes, and the
+        // zero-point add must not wrap past them (it clamps next anyway).
+        let q = ((x / self.scale).round() as i64).saturating_add(self.zero_point as i64);
         q.clamp(0, self.bits.max_code() as i64) as u32
+    }
+
+    /// Quantizes a slice of values in one pass on the dispatched SIMD
+    /// kernel. Element for element bit-identical to
+    /// [`QuantParams::quantize`].
+    pub fn quantize_slice(&self, values: &[f32]) -> Vec<u32> {
+        self.quantize_slice_with(values, crate::kernels::active_kernel())
+    }
+
+    /// [`QuantParams::quantize_slice`] on an explicit kernel (forced-kernel
+    /// testing); results are bit-identical across kernels.
+    pub fn quantize_slice_with(&self, values: &[f32], kernel: Kernel) -> Vec<u32> {
+        let mut out = vec![0u32; values.len()];
+        if self.bits == Bitwidth::B0 {
+            return out; // B0 always codes to 0, no arithmetic at all
+        }
+        crate::kernels::quantize_codes(
+            kernel,
+            values,
+            self.scale,
+            self.zero_point,
+            self.bits.max_code(),
+            &mut out,
+        );
+        out
     }
 
     /// Dequantizes an integer code back to a float `s·(code − z)`.
@@ -366,6 +394,16 @@ mod tests {
         assert_eq!(p.fake_quant(5.0), 5.0);
         let p = QuantParams::calibrate_percentile(&[1.0, 2.0], Bitwidth::B0, 0.9);
         assert_eq!(p.fake_quant(2.0), 0.0);
+    }
+
+    #[test]
+    fn quantize_slice_matches_elementwise() {
+        let values: Vec<f32> = (0..41).map(|i| (i as f32 * 0.37).sin() * 4.0).collect();
+        for bits in [Bitwidth::B0, Bitwidth::B2, Bitwidth::B4, Bitwidth::B8] {
+            let p = QuantParams::calibrate_minmax(&values, bits);
+            let want: Vec<u32> = values.iter().map(|&v| p.quantize(v)).collect();
+            assert_eq!(p.quantize_slice(&values), want, "bits={bits}");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! integer-datapath tests share.
 
 use crate::QuantError;
+use paro_tensor::kernel::Kernel;
 use paro_tensor::{Tensor, TensorError};
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +46,16 @@ impl SymmetricInt8 {
     ///
     /// Returns a rank error for non-rank-2 input.
     pub fn quantize_rowwise(t: &Tensor) -> Result<Self, QuantError> {
+        Self::quantize_rowwise_with(t, crate::kernels::active_kernel())
+    }
+
+    /// [`Self::quantize_rowwise`] on an explicit [`Kernel`] (forced-kernel
+    /// testing); the codes are bit-identical across kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for non-rank-2 input.
+    pub fn quantize_rowwise_with(t: &Tensor, kernel: Kernel) -> Result<Self, QuantError> {
         if t.rank() != 2 {
             return Err(QuantError::Tensor(TensorError::RankMismatch {
                 expected: 2,
@@ -63,10 +74,12 @@ impl SymmetricInt8 {
                 .fold(0.0f32, |acc, &x| acc.max(x.abs()));
             let s = if amax > 0.0 { amax / 127.0 } else { 1.0 };
             scales[r] = s;
-            for (c, &x) in row.iter().enumerate() {
-                let v = if x.is_finite() { x } else { 0.0 };
-                codes[r * cols + c] = (v / s).round().clamp(-127.0, 127.0) as i8;
-            }
+            crate::kernels::quantize_symmetric_i8(
+                kernel,
+                row,
+                s,
+                &mut codes[r * cols..(r + 1) * cols],
+            );
         }
         Ok(SymmetricInt8 {
             codes,
@@ -217,6 +230,19 @@ mod tests {
         assert_eq!(q.codes()[0], 0);
         assert_eq!(q.codes()[1], 127);
         assert_eq!(q.codes()[2], 0);
+    }
+
+    #[test]
+    fn quantize_rowwise_identical_across_kernels() {
+        let t = random(6, 37, 9); // 37 cols → SIMD lane tail per row
+        let want = SymmetricInt8::quantize_rowwise_with(&t, Kernel::Scalar).unwrap();
+        for kernel in Kernel::supported() {
+            assert_eq!(
+                SymmetricInt8::quantize_rowwise_with(&t, kernel).unwrap(),
+                want,
+                "kernel={kernel}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Bit-exactness of the `QKᵀ` i8×i8→i32 micro-kernels against scalar.
+//!
+//! The SIMD paths widen i8 pairs to i16 and use `pmaddwd`, which is exact
+//! for any i8 inputs, and i32 addition is associative — so every kernel
+//! must produce **bit-identical accumulators** regardless of summation
+//! order. Any divergence is a bug, not rounding. Test names are prefixed
+//! `kernel_` so the CI sanitizer job can select exactly this suite.
+
+use paro_quant::qkt_block_i32_with;
+use paro_tensor::kernel::Kernel;
+use proptest::prelude::*;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn codes_i8(n: usize, state: &mut u64) -> Vec<i8> {
+    (0..n)
+        .map(|_| (lcg(state) as i32 % 255 - 127) as i8)
+        .collect()
+}
+
+/// Runs one `QKᵀ` block on every supported kernel and asserts the i32
+/// accumulators are bit-equal to the scalar reference.
+fn assert_qkt_agrees(h: usize, w: usize, d: usize, seed: u64) -> Result<(), TestCaseError> {
+    let mut s = seed.wrapping_add(0x9127_0000);
+    let q = codes_i8(h * d, &mut s);
+    let k = codes_i8(w * d, &mut s);
+    let mut want = vec![0i32; h * w];
+    qkt_block_i32_with(&q, h, &k, w, d, &mut want, Kernel::Scalar).unwrap();
+    for kernel in Kernel::supported() {
+        // Poisoned accumulators: the kernel must overwrite, not add.
+        let mut got = vec![i32::MIN; h * w];
+        qkt_block_i32_with(&q, h, &k, w, d, &mut got, kernel).unwrap();
+        prop_assert!(
+            got == want,
+            "{} disagrees with scalar at h={} w={} d={}",
+            kernel,
+            h,
+            w,
+            d
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random shapes: `d` spans the 32-lane AVX2 step, the 16-lane SSE
+    /// step, and scalar tails; extreme codes (±127) exercise the widest
+    /// `pmaddwd` pair sums.
+    #[test]
+    fn kernel_qkt_bit_identical_across_kernels(
+        h in 1usize..12,
+        w in 1usize..12,
+        d in 1usize..140,
+        seed in 0u64..1000,
+    ) {
+        assert_qkt_agrees(h, w, d, seed)?;
+    }
+}
+
+/// Exact SIMD boundary depths, pinned deterministically: each vector
+/// width, one-over/one-under, and the empty-tail cases.
+#[test]
+fn kernel_qkt_agrees_on_simd_boundaries() {
+    for &(h, w) in &[(1, 1), (1, 5), (3, 1), (4, 4)] {
+        for &d in &[1usize, 15, 16, 17, 31, 32, 33, 47, 48, 64, 65, 96, 100] {
+            assert_qkt_agrees(h, w, d, (h * w * d) as u64).unwrap();
+        }
+    }
+}
+
+/// Saturated operands at the largest bench depth stay exact: |acc| ≤
+/// d·127² is far inside i32 and inside the i16-pair bound of `pmaddwd`.
+#[test]
+fn kernel_qkt_extreme_codes_do_not_overflow() {
+    let d = 4096;
+    for pattern in [[127i8, 127], [-128, 127], [-128, -128]] {
+        let q: Vec<i8> = (0..d).map(|j| pattern[j % 2]).collect();
+        let k = q.clone();
+        let mut want = vec![0i32; 1];
+        qkt_block_i32_with(&q, 1, &k, 1, d, &mut want, Kernel::Scalar).unwrap();
+        for kernel in Kernel::supported() {
+            let mut got = vec![0i32; 1];
+            qkt_block_i32_with(&q, 1, &k, 1, d, &mut got, kernel).unwrap();
+            assert_eq!(got, want, "{kernel} pattern {pattern:?}");
+        }
+    }
+}

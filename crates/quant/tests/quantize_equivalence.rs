@@ -1,0 +1,133 @@
+//! Bit-exactness of the SIMD quantize/pack kernels against scalar.
+//!
+//! The SIMD paths replicate the scalar `(x / s).round() + zp` pipeline with
+//! correctly-rounded IEEE division and an exact half-away-from-zero rebuild,
+//! falling back to scalar for lanes outside the safe conversion range — so
+//! every kernel must produce **identical codes** on any input, including
+//! NaN/∞ and overflowing magnitudes. Test names are prefixed `kernel_` so
+//! the CI sanitizer job can select exactly this suite.
+
+use paro_quant::{Bitwidth, BlockGrid, MixedPrecisionMap, QuantParams};
+use paro_tensor::kernel::Kernel;
+use paro_tensor::Tensor;
+use proptest::prelude::*;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn unit_f32(state: &mut u64) -> f32 {
+    (lcg(state) % 10_000) as f32 / 10_000.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random calibrated slices across every bitwidth and SIMD-ragged
+    /// lengths: each kernel's codes must equal the scalar element-wise
+    /// `QuantParams::quantize` exactly.
+    #[test]
+    fn kernel_quantize_slice_bit_identical_across_kernels(
+        len in 1usize..70,
+        bi in 0usize..4,
+        span in 0.01f32..100.0,
+        seed in 0u64..1000,
+    ) {
+        let bits = Bitwidth::ALL[bi];
+        let mut s = seed.wrapping_add(0x9a3e);
+        let values: Vec<f32> = (0..len).map(|_| (unit_f32(&mut s) - 0.5) * span).collect();
+        let params = QuantParams::calibrate_minmax(&values, bits);
+        let want: Vec<u32> = values.iter().map(|&v| params.quantize(v)).collect();
+        for kernel in Kernel::supported() {
+            let got = params.quantize_slice_with(&values, kernel);
+            prop_assert!(got == want, "{} disagrees with scalar at {:?}", kernel, bits);
+        }
+    }
+
+    /// Full mixed-precision map quantization — random grids with ragged
+    /// block tails and B0 blocks — compared struct-for-struct (params,
+    /// packed codes, bitwidths) across kernels.
+    #[test]
+    fn kernel_mixed_map_quantize_bit_identical_across_kernels(
+        n in 2usize..24,
+        edge in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let mut s = seed.wrapping_add(0x517e);
+        let map = Tensor::from_fn(&[n, n], |_| unit_f32(&mut s));
+        let grid = BlockGrid::square(edge).unwrap();
+        let (gr, gc) = grid.grid_dims(n, n);
+        let bits: Vec<Bitwidth> = (0..gr * gc)
+            .map(|_| match lcg(&mut s) % 4 {
+                0 => Bitwidth::B0,
+                1 => Bitwidth::B2,
+                2 => Bitwidth::B4,
+                _ => Bitwidth::B8,
+            })
+            .collect();
+        let want = MixedPrecisionMap::quantize_with(&map, grid, &bits, Kernel::Scalar).unwrap();
+        for kernel in Kernel::supported() {
+            let got = MixedPrecisionMap::quantize_with(&map, grid, &bits, kernel).unwrap();
+            prop_assert!(got == want, "{} map disagrees with scalar", kernel);
+        }
+    }
+}
+
+/// Adversarial parameters and inputs, pinned deterministically: NaN, ±∞,
+/// exact halves (round-half-away ties), magnitudes past the i32-safe
+/// conversion bound, a subnormal-producing scale, and zero-points at the
+/// i32 extremes that force the whole-call scalar fallback.
+#[test]
+fn kernel_quantize_slice_agrees_on_adversarial_inputs() {
+    let mut values: Vec<f32> = (0..37).map(|i| (i as f32 * 0.73 - 13.0) * 1.7).collect();
+    values.extend([
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        3.0e12,
+        -3.0e12,
+        0.5,
+        -0.5,
+        1.5,
+        2.5,
+        -2.5,
+        16_777_216.0,
+        1_073_741_824.0,
+    ]);
+    for (scale, zp) in [
+        (0.01, 7),
+        (1.0e-30, 0),
+        (1.0, -3),
+        (0.37, i32::MAX),
+        (2.5, i32::MIN),
+    ] {
+        let params = QuantParams::new(scale, zp, Bitwidth::B8);
+        let want: Vec<u32> = values.iter().map(|&v| params.quantize(v)).collect();
+        for kernel in Kernel::supported() {
+            let got = params.quantize_slice_with(&values, kernel);
+            assert_eq!(got, want, "{kernel} scale={scale} zp={zp}");
+        }
+    }
+}
+
+/// All-B0 maps quantize to the same empty payload on every kernel, and
+/// B0 slices always return zero codes.
+#[test]
+fn kernel_quantize_b0_is_zero_on_every_kernel() {
+    let params = QuantParams::new(1.0, 0, Bitwidth::B0);
+    let values = [1.0f32, -2.0, f32::NAN, 1.0e30];
+    for kernel in Kernel::supported() {
+        assert_eq!(params.quantize_slice_with(&values, kernel), vec![0; 4]);
+    }
+    let map = Tensor::from_fn(&[6, 6], |i| (i[0] * 6 + i[1]) as f32 * 0.1);
+    let grid = BlockGrid::square(4).unwrap();
+    let bits = [Bitwidth::B0; 4];
+    let want = MixedPrecisionMap::quantize_with(&map, grid, &bits, Kernel::Scalar).unwrap();
+    for kernel in Kernel::supported() {
+        let got = MixedPrecisionMap::quantize_with(&map, grid, &bits, kernel).unwrap();
+        assert_eq!(got, want, "{kernel}");
+    }
+}

@@ -108,8 +108,14 @@ pub mod stage {
     pub const POOL_QUEUE_WAIT: &str = "pool.queue_wait";
     /// Execution of one job on a compute-pool worker.
     pub const POOL_EXECUTE: &str = "pool.execute";
-    /// INT8 quantization of `Q`/`K` (and packed quantization of `V`).
+    /// INT8 quantization of `Q`/`K` (the online pipeline also folds `V`
+    /// fake-quant into this span; the calibrated int path reports `V`
+    /// separately under [`PIPELINE_QUANTIZE_V`]).
     pub const PIPELINE_QUANTIZE_QKV: &str = "pipeline.quantize_qkv";
+    /// Packed per-column integer quantization of `V` (calibrated int
+    /// path only — kept distinct from [`PIPELINE_QUANTIZE_QKV`] so the
+    /// two workloads don't share one median).
+    pub const PIPELINE_QUANTIZE_V: &str = "pipeline.quantize_v";
     /// Online reorder-plan selection (the non-calibrated pipeline).
     pub const PIPELINE_SELECT_PLAN: &str = "pipeline.select_plan";
     /// Token reorder of `Q`/`K`/`V` under the selected plan.
@@ -123,6 +129,15 @@ pub mod stage {
     pub const PIPELINE_ATTN_V: &str = "pipeline.attn_v";
     /// Inverse reorder of the attention output.
     pub const PIPELINE_UNREORDER: &str = "pipeline.unreorder";
+    /// LDZ panel precompute inside the output-aware `QKᵀ`: one truncated
+    /// copy of a block-column's `K` codes per distinct kept bitwidth.
+    pub const QKT_LDZ: &str = "qkt.ldz";
+    /// The i8×i8→i32 score micro-kernel over one panel group — a
+    /// block-column's non-B0 blocks at one bitwidth (one block's MAC is
+    /// shorter than a span record, so per-block spans would dominate the
+    /// stage) — or the whole map on the exact path; `detail` names the
+    /// dispatched kernel.
+    pub const QKT_MAC: &str = "qkt.mac";
     /// Zero-point centering ("unpack") of the per-column `V` codes.
     pub const ATTNV_UNPACK: &str = "attnv.unpack";
     /// The per-bitwidth i32 MAC micro-kernel over one packed map block
@@ -162,12 +177,15 @@ pub mod stage {
         POOL_QUEUE_WAIT,
         POOL_EXECUTE,
         PIPELINE_QUANTIZE_QKV,
+        PIPELINE_QUANTIZE_V,
         PIPELINE_SELECT_PLAN,
         PIPELINE_REORDER,
         PIPELINE_QKT,
         PIPELINE_QUANTIZE_MAP,
         PIPELINE_ATTN_V,
         PIPELINE_UNREORDER,
+        QKT_LDZ,
+        QKT_MAC,
         ATTNV_UNPACK,
         ATTNV_MAC,
         ATTNV_DEQUANT,
