@@ -81,6 +81,42 @@ std::thread_local! {
 struct PoolState {
     queue: Mutex<PoolQueue>,
     available: Condvar,
+    /// Cumulative wall-nanoseconds pool workers spent executing job
+    /// bodies (queue wait excluded; inline nested execution excluded).
+    busy_ns: std::sync::atomic::AtomicU64,
+    /// Jobs executed on pool workers (inline nested execution excluded).
+    executed_jobs: std::sync::atomic::AtomicU64,
+}
+
+/// A point-in-time view of the pool's cumulative execution accounting.
+///
+/// `busy_ns` only counts time spent inside job bodies on pool worker
+/// threads; queue wait and inline (nested) execution are excluded. Two
+/// snapshots bracket a measurement window: the busy fraction over the
+/// window is `Δbusy_ns / (wall_ns × threads)` — the occupancy figure the
+/// serving scheduler's continuous-batching claim is judged by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Jobs executed on pool workers since pool creation.
+    pub executed_jobs: u64,
+    /// Cumulative nanoseconds spent executing job bodies.
+    pub busy_ns: u64,
+}
+
+impl PoolStats {
+    /// Busy fraction of the pool over a window that saw `self` grow from
+    /// `earlier`: executed nanoseconds divided by available
+    /// thread-nanoseconds. Clamped to `[0, 1]`; 0 for an empty window.
+    pub fn busy_fraction_since(&self, earlier: &PoolStats, wall: std::time::Duration) -> f64 {
+        let wall_ns = wall.as_nanos() as f64 * self.threads.max(1) as f64;
+        if wall_ns <= 0.0 {
+            return 0.0;
+        }
+        let delta = self.busy_ns.saturating_sub(earlier.busy_ns) as f64;
+        (delta / wall_ns).clamp(0.0, 1.0)
+    }
 }
 
 struct PoolQueue {
@@ -111,6 +147,8 @@ impl ComputePool {
                 shutdown: false,
             }),
             available: Condvar::new(),
+            busy_ns: std::sync::atomic::AtomicU64::new(0),
+            executed_jobs: std::sync::atomic::AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -127,14 +165,22 @@ impl ComputePool {
         ComputePool { state, workers }
     }
 
-    /// The process-wide shared pool, sized by
-    /// [`std::thread::available_parallelism`] on first use.
+    /// The process-wide shared pool, sized on first use by the
+    /// `PARO_POOL_THREADS` environment variable when it holds a positive
+    /// integer, else [`std::thread::available_parallelism`]. The override
+    /// lets benchmarks study pool occupancy at a fixed width regardless
+    /// of the host's core count (soak runs on one-core CI boxes
+    /// oversubscribe on purpose: idle-vs-busy pool threads are what the
+    /// scheduler comparison measures, not raw CPU throughput).
     pub fn global() -> &'static ComputePool {
         static GLOBAL: OnceLock<ComputePool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
+            let threads = parse_pool_threads(std::env::var("PARO_POOL_THREADS").ok().as_deref())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
             ComputePool::new(threads)
         })
     }
@@ -142,6 +188,18 @@ impl ComputePool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Cumulative execution accounting since pool creation. Snapshot
+    /// before and after a measurement window and use
+    /// [`PoolStats::busy_fraction_since`] for the window's occupancy.
+    pub fn stats(&self) -> PoolStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        PoolStats {
+            threads: self.workers.len(),
+            executed_jobs: self.state.executed_jobs.load(Relaxed),
+            busy_ns: self.state.busy_ns.load(Relaxed),
+        }
     }
 
     /// Runs one job on the pool and blocks until its result is back.
@@ -253,6 +311,7 @@ impl ComputePool {
             let mut q = relock(&self.state.queue);
             for (idx, job) in jobs.into_iter().enumerate() {
                 let tx = tx.clone();
+                let state = Arc::clone(&self.state);
                 q.jobs.push_back(Box::new(move || {
                     let _ctx = paro_trace::ctx(submit_ctx);
                     if let Some(at) = enqueued {
@@ -266,10 +325,17 @@ impl ComputePool {
                     // The span must close before the result is sent: the
                     // submitter may finish the trace session as soon as
                     // the last result arrives.
+                    let started = std::time::Instant::now();
                     let outcome = {
                         let _execute = paro_trace::span(paro_trace::stage::POOL_EXECUTE);
                         catch_unwind(AssertUnwindSafe(|| guarded(job)))
                     };
+                    use std::sync::atomic::Ordering::Relaxed;
+                    state.busy_ns.fetch_add(
+                        started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                        Relaxed,
+                    );
+                    state.executed_jobs.fetch_add(1, Relaxed);
                     // The receiver only hangs up on panic; dropping the
                     // result then is fine, the job's slot already holds
                     // the outcome the caller will act on.
@@ -300,6 +366,14 @@ impl ComputePool {
             })
             .collect()
     }
+}
+
+/// Parses a `PARO_POOL_THREADS` value: a positive integer (surrounding
+/// whitespace tolerated) sizes the global pool; anything else falls back
+/// to the host's parallelism.
+fn parse_pool_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 impl Drop for ComputePool {
@@ -397,10 +471,24 @@ mod tests {
 
     #[test]
     fn global_pool_sized_by_available_parallelism() {
-        let n = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let n = parse_pool_threads(std::env::var("PARO_POOL_THREADS").ok().as_deref())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
         assert_eq!(ComputePool::global().threads(), n);
+    }
+
+    #[test]
+    fn pool_threads_override_parses_positive_integers_only() {
+        assert_eq!(parse_pool_threads(Some("4")), Some(4));
+        assert_eq!(parse_pool_threads(Some(" 12 ")), Some(12));
+        assert_eq!(parse_pool_threads(Some("0")), None);
+        assert_eq!(parse_pool_threads(Some("-2")), None);
+        assert_eq!(parse_pool_threads(Some("eight")), None);
+        assert_eq!(parse_pool_threads(Some("")), None);
+        assert_eq!(parse_pool_threads(None), None);
     }
 
     #[test]
@@ -458,6 +546,48 @@ mod tests {
         assert_eq!(panic_message(s.as_ref()), "owned");
         let s: Box<dyn std::any::Any + Send> = Box::new(42u8);
         assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn stats_count_executed_jobs_and_busy_time() {
+        let pool = ComputePool::new(2);
+        let before = pool.stats();
+        assert_eq!(before.threads, 2);
+        let t0 = std::time::Instant::now();
+        pool.run_many(
+            (0..8)
+                .map(|_| {
+                    Box::new(|| std::thread::sleep(std::time::Duration::from_millis(2)))
+                        as Box<dyn FnOnce() + Send>
+                })
+                .collect(),
+        );
+        let after = pool.stats();
+        assert_eq!(after.executed_jobs - before.executed_jobs, 8);
+        // 8 × 2 ms of sleeping must register as busy time.
+        assert!(after.busy_ns > before.busy_ns + 8_000_000);
+        let frac = after.busy_fraction_since(&before, t0.elapsed());
+        assert!(frac > 0.0 && frac <= 1.0, "{frac}");
+    }
+
+    #[test]
+    fn busy_fraction_handles_degenerate_windows() {
+        let s = PoolStats {
+            threads: 4,
+            executed_jobs: 0,
+            busy_ns: 0,
+        };
+        assert_eq!(s.busy_fraction_since(&s, std::time::Duration::ZERO), 0.0);
+        let later = PoolStats {
+            threads: 4,
+            executed_jobs: 1,
+            busy_ns: u64::MAX,
+        };
+        // Clamped even when accounting exceeds the window.
+        assert_eq!(
+            later.busy_fraction_since(&s, std::time::Duration::from_nanos(1)),
+            1.0
+        );
     }
 
     #[test]

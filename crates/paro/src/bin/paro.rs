@@ -3,7 +3,8 @@
 //! serving engine. Run `paro help` for usage.
 
 use paro::cli::{
-    parse_args, ChaosBenchOpts, CliCommand, PerfBenchOpts, ServeBenchOpts, TraceOpts, USAGE,
+    parse_args, ChaosBenchOpts, CliCommand, PerfBenchOpts, ServeBenchOpts, SoakBenchOpts,
+    TraceOpts, USAGE,
 };
 use paro::core::calibration::{calibrate_head, HeadCalibration};
 use paro::core::int_pipeline::run_attention_calibrated_int;
@@ -14,10 +15,12 @@ use paro::prelude::*;
 use paro::report::{
     diff_stage_medians, format_diff_table, missing_baseline_stages, stage_rows, AttnVThroughput,
     ChaosBenchReport, InjectedFaultRow, IntPathComparison, PerfBenchReport, PerfStageRow,
-    ServeBenchReport,
+    ServeBenchReport, SoakBenchReport, SoakRunReport, SoakTenantRow,
 };
-use paro::serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
-use paro::serve::{CalibrationSource, Engine, ServeConfig};
+use paro::serve::workload::{
+    open_loop_arrivals, scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec,
+};
+use paro::serve::{CalibrationSource, Engine, ServeConfig, TenantClass, WavePolicy};
 use paro::sim::OpCategory;
 use paro::tensor::kernel;
 use paro::tensor::render;
@@ -113,6 +116,7 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
         CliCommand::ServeBench(opts) => serve_bench(&opts),
         CliCommand::Trace(opts) => trace_workload(&opts),
         CliCommand::ChaosBench(opts) => chaos_bench(&opts),
+        CliCommand::SoakBench(opts) => soak_bench(&opts),
         CliCommand::PerfBench(opts) => perf_bench(&opts),
         CliCommand::Plan {
             grid,
@@ -308,6 +312,9 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
     let t0 = Instant::now();
     let outcome = wl.engine.run_batch(requests);
     let wall = t0.elapsed();
+    // Joining the workers orders the final wave-close span (recorded
+    // after the last response is delivered) before the session snapshot.
+    wl.engine.shutdown();
     let trace = session.finish();
     let completed = outcome.completed();
     let int_path = int_path_comparison(
@@ -454,6 +461,273 @@ fn chaos_bench(opts: &ChaosBenchOpts) -> Result<(), Box<dyn std::error::Error>> 
     println!("{json}");
     if !report.clean_bit_identical {
         return Err("clean batch after injected faults diverged from the baseline".into());
+    }
+    Ok(())
+}
+
+/// Per-request output bits of one soak run (`None` for rejected or
+/// failed requests), in submission order.
+type SoakOutputs = Vec<Option<Vec<u32>>>;
+
+/// One policy run of a soak: submit the two-tenant stream on the
+/// open-loop arrival clock, wait for every admitted request, and collect
+/// engine metrics, scheduler accounting, shared-pool occupancy and
+/// per-index output bits (`None` for rejected or failed requests).
+fn soak_run(
+    opts: &SoakBenchOpts,
+    policy: WavePolicy,
+) -> Result<(SoakRunReport, SoakOutputs), Box<dyn std::error::Error>> {
+    let b = &opts.bench;
+    let model = scaled_config(
+        &ModelConfig::cogvideox_2b(),
+        b.grid.frames(),
+        b.grid.height(),
+        b.grid.width(),
+    );
+    let source = Arc::new(SyntheticSource::new(model.clone(), 2, b.seed ^ 0xca11b));
+    let (w0, w1) = opts.weights;
+    let cfg = ServeConfig {
+        workers: b.threads,
+        queue_capacity: b.queue,
+        block_edge: b.block_edge,
+        budget: b.budget,
+        default_deadline: (b.deadline_ms > 0).then(|| Duration::from_millis(b.deadline_ms)),
+        plan_artifact: b.plan.as_ref().map(PathBuf::from),
+        tenants: vec![
+            TenantClass::new("interactive", w0),
+            TenantClass::new("batch", w1),
+        ],
+        wave_policy: policy,
+        ..ServeConfig::default()
+    };
+    let engine = Engine::new(cfg, model.clone(), source)?;
+    let spec = WorkloadSpec {
+        model: model.clone(),
+        requests: b.requests,
+        blocks: b.blocks,
+        heads: b.heads,
+        seed: b.seed,
+    };
+    let requests: Vec<paro::serve::ServeRequest> = synthetic_requests(&spec)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut r)| {
+            r.tenant = i % 2;
+            r
+        })
+        .collect();
+    let arrivals = open_loop_arrivals(opts.rate, b.requests, b.seed);
+    let pool = paro::core::pool::ComputePool::global();
+    let before = pool.stats();
+    let t0 = Instant::now();
+    let mut tickets = Vec::with_capacity(b.requests);
+    for (req, at) in requests.into_iter().zip(&arrivals) {
+        // Open loop: hold to the arrival clock even when the engine lags;
+        // a full queue becomes a rejection, not backpressure on arrivals.
+        if let Some(wait) = at.checked_sub(t0.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        tickets.push(engine.try_submit(req));
+    }
+    let outputs: SoakOutputs = tickets
+        .into_iter()
+        .map(|ticket| {
+            ticket.ok().and_then(|t| {
+                engine.wait(t).ok().map(|resp| {
+                    resp.run
+                        .output
+                        .as_slice()
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect()
+                })
+            })
+        })
+        .collect();
+    let wall = t0.elapsed();
+    let busy = pool.stats().busy_fraction_since(&before, wall);
+    let snap = engine.metrics_snapshot();
+    let stats = engine.graph_stats();
+    let tenants: Vec<SoakTenantRow> = snap
+        .tenants
+        .iter()
+        .zip([w0, w1])
+        .map(|(t, weight)| SoakTenantRow {
+            name: t.name.clone(),
+            weight,
+            submitted: t.submitted,
+            completed: t.completed,
+            shed_degraded: t.shed_degraded,
+            shed_rejected: t.shed_rejected,
+            failed: t.failed,
+            mean_ms: t.total.mean_us / 1e3,
+            p50_ms: t.total.p50_us as f64 / 1e3,
+            p95_ms: t.total.p95_us as f64 / 1e3,
+            p99_ms: t.total.p99_us as f64 / 1e3,
+        })
+        .collect();
+    let run = SoakRunReport {
+        wave_policy: match policy {
+            WavePolicy::Drain => "drain",
+            WavePolicy::Continuous => "continuous",
+        }
+        .to_string(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        completed: snap.completed,
+        failed: snap.failed,
+        rejected: snap.rejected,
+        timed_out: snap.timed_out,
+        faulted: snap.faulted,
+        shed_degraded: tenants.iter().map(|t| t.shed_degraded).sum(),
+        shed_rejected: tenants.iter().map(|t| t.shed_rejected).sum(),
+        waves: stats.waves,
+        dispatched: stats.dispatched,
+        pool_busy_fraction: busy,
+        total_p50_ms: snap.total.p50_us as f64 / 1e3,
+        total_p95_ms: snap.total.p95_us as f64 / 1e3,
+        total_p99_ms: snap.total.p99_us as f64 / 1e3,
+        tenants,
+    };
+    engine.shutdown();
+    Ok((run, outputs))
+}
+
+/// Folds repeated runs of one wave policy into a single report: event
+/// counters are summed across repeats, while wall time, busy fractions
+/// and latency quantiles are averaged (quantiles of same-shape runs, so
+/// the mean is a fair summary rather than a re-estimate).
+fn aggregate_runs(runs: Vec<SoakRunReport>) -> SoakRunReport {
+    let n = runs.len() as f64;
+    let mut iter = runs.into_iter();
+    let mut acc = iter.next().expect("at least one run per policy");
+    for run in iter {
+        acc.wall_ms += run.wall_ms;
+        acc.completed += run.completed;
+        acc.failed += run.failed;
+        acc.rejected += run.rejected;
+        acc.timed_out += run.timed_out;
+        acc.faulted += run.faulted;
+        acc.shed_degraded += run.shed_degraded;
+        acc.shed_rejected += run.shed_rejected;
+        acc.waves += run.waves;
+        acc.dispatched += run.dispatched;
+        acc.pool_busy_fraction += run.pool_busy_fraction;
+        acc.total_p50_ms += run.total_p50_ms;
+        acc.total_p95_ms += run.total_p95_ms;
+        acc.total_p99_ms += run.total_p99_ms;
+        for (t, other) in acc.tenants.iter_mut().zip(run.tenants) {
+            t.submitted += other.submitted;
+            t.completed += other.completed;
+            t.shed_degraded += other.shed_degraded;
+            t.shed_rejected += other.shed_rejected;
+            t.failed += other.failed;
+            t.mean_ms += other.mean_ms;
+            t.p50_ms += other.p50_ms;
+            t.p95_ms += other.p95_ms;
+            t.p99_ms += other.p99_ms;
+        }
+    }
+    acc.wall_ms /= n;
+    acc.pool_busy_fraction /= n;
+    acc.total_p50_ms /= n;
+    acc.total_p95_ms /= n;
+    acc.total_p99_ms /= n;
+    for t in &mut acc.tenants {
+        t.mean_ms /= n;
+        t.p50_ms /= n;
+        t.p95_ms /= n;
+        t.p99_ms /= n;
+    }
+    acc
+}
+
+fn soak_bench(opts: &SoakBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
+    let b = &opts.bench;
+    let model = scaled_config(
+        &ModelConfig::cogvideox_2b(),
+        b.grid.frames(),
+        b.grid.height(),
+        b.grid.width(),
+    );
+    // What the dispatch simulator expects one full wave of this workload
+    // to keep busy under LPT — the yardstick the measured pool busy
+    // fractions are read against.
+    let cost =
+        paro::serve::admission::request_cost(model.grid.len(), model.head_dim(), b.budget, None);
+    let predicted =
+        paro::sim::dispatch::predicted_wave_occupancy(&vec![cost; b.requests], b.threads);
+    // Alternate drain (the old per-request barrier engine) and continuous
+    // batching at the same offered rate on the same arrival schedule,
+    // `--repeat` times; alternating keeps slow drift (CPU frequency, page
+    // cache) from biasing one policy. Every run must produce the same
+    // bits for every request index it completed — this pins determinism
+    // both across policies and across repeats of the same policy.
+    let mut drain_runs = Vec::with_capacity(opts.repeat);
+    let mut cont_runs = Vec::with_capacity(opts.repeat);
+    let mut reference: SoakOutputs = vec![None; b.requests];
+    let mut outputs_bit_identical = true;
+    for _ in 0..opts.repeat {
+        for policy in [WavePolicy::Drain, WavePolicy::Continuous] {
+            let (run, bits) = soak_run(opts, policy)?;
+            for (slot, got) in reference.iter_mut().zip(bits) {
+                if let Some(got) = got {
+                    match slot {
+                        Some(want) => outputs_bit_identical &= *want == got,
+                        None => *slot = Some(got),
+                    }
+                }
+            }
+            match policy {
+                WavePolicy::Drain => drain_runs.push(run),
+                WavePolicy::Continuous => cont_runs.push(run),
+            }
+        }
+    }
+    let drain = aggregate_runs(drain_runs);
+    let continuous = aggregate_runs(cont_runs);
+    let occupancy_gain = continuous.pool_busy_fraction - drain.pool_busy_fraction;
+    let p99_speedup = if continuous.total_p99_ms > 0.0 && drain.total_p99_ms > 0.0 {
+        drain.total_p99_ms / continuous.total_p99_ms
+    } else {
+        0.0
+    };
+    let report = SoakBenchReport {
+        model: model.name.clone(),
+        tokens: model.grid.len(),
+        head_dim: model.head_dim(),
+        threads: b.threads,
+        queue_capacity: b.queue,
+        requests: b.requests,
+        rate_per_sec: opts.rate,
+        seed: b.seed,
+        repeat: opts.repeat,
+        predicted_wave_occupancy: predicted,
+        drain,
+        continuous,
+        occupancy_gain,
+        p99_speedup,
+        outputs_bit_identical,
+    };
+    let json = serde_json::to_string_pretty(&report)?;
+    if let Some(path) = &b.out {
+        write_output(path, json.as_bytes())?;
+    }
+    println!("{json}");
+    eprintln!(
+        "soak @ {:.0} req/s x{}: occupancy {:.2} -> {:.2} ({:+.2}), \
+         aggregate p99 {:.1} ms -> {:.1} ms ({:.2}x), outputs bit-identical: {}",
+        report.rate_per_sec,
+        report.requests,
+        report.drain.pool_busy_fraction,
+        report.continuous.pool_busy_fraction,
+        report.occupancy_gain,
+        report.drain.total_p99_ms,
+        report.continuous.total_p99_ms,
+        report.p99_speedup,
+        report.outputs_bit_identical,
+    );
+    if !report.outputs_bit_identical {
+        return Err("soak runs diverged: the wave policy changed request outputs".into());
     }
     Ok(())
 }
@@ -674,6 +948,9 @@ fn trace_workload(opts: &TraceOpts) -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let outcome = wl.engine.run_batch(requests);
     let wall = t0.elapsed();
+    // Joining the workers orders the final wave-close span (recorded
+    // after the last response is delivered) before the session snapshot.
+    wl.engine.shutdown();
     let trace = session.finish();
     write_output(&opts.out, trace.chrome_json().as_bytes())?;
     println!(

@@ -51,6 +51,10 @@ pub enum CliCommand {
     /// `paro chaos-bench`: run a serving workload with deterministic
     /// fault injection and verify the engine's fault-tolerance contract.
     ChaosBench(ChaosBenchOpts),
+    /// `paro soak-bench`: drive a two-tenant open-loop arrival stream
+    /// against the engine under both wave policies and print per-tenant
+    /// latency histograms plus the drain-vs-continuous comparison.
+    SoakBench(SoakBenchOpts),
     /// `paro perf-bench`: time the single-head packed-integer pipeline
     /// under the dispatched micro-kernel (plus a forced-scalar reference
     /// pass), write a `BENCH_<label>.json` baseline, and optionally gate
@@ -176,6 +180,21 @@ pub struct ChaosBenchOpts {
     pub faults: u64,
 }
 
+/// Options for `paro soak-bench`: a serving workload plus the open-loop
+/// arrival rate and two-tenant weight split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakBenchOpts {
+    /// The workload to run (same knobs as `paro serve-bench`; the request
+    /// stream is split across two tenants, even indices to the first).
+    pub bench: ServeBenchOpts,
+    /// Offered open-loop arrival rate, requests per second.
+    pub rate: f64,
+    /// WFQ weights of the two tenant classes (`--weights A,B`).
+    pub weights: (f64, f64),
+    /// Alternating drain/continuous run pairs to aggregate (`--repeat N`).
+    pub repeat: usize,
+}
+
 /// Options for `paro perf-bench`: the single-head workload, the run
 /// label/output path, and the optional baseline gate.
 #[derive(Debug, Clone, PartialEq)]
@@ -225,6 +244,10 @@ USAGE:
                    [--requests N] [--deadline-ms MS] [--grid FxHxW]
                    [--blocks N] [--heads N] [--budget B] [--block EDGE]
                    [--seed S] [--out FILE]
+  paro soak-bench [--rate R] [--weights A,B] [--repeat N] [--threads N]
+                  [--queue N] [--requests N] [--deadline-ms MS]
+                  [--grid FxHxW] [--blocks N] [--heads N] [--budget B]
+                  [--block EDGE] [--seed S] [--plan FILE] [--out FILE]
   paro perf-bench [--label NAME] [--out FILE] [--iters N] [--grid FxHxW]
                   [--budget B] [--block EDGE] [--seed S]
                   [--compare FILE] [--tolerance PCT]
@@ -251,6 +274,16 @@ with a roofline model seeded from a measured perf-bench baseline
 an artifact (--out) plus a JSON report (--report) with the predicted
 latency of every head and a predicted-vs-measured validation pass, and
 exits non-zero when the SLO is infeasible.
+
+soak-bench submits the workload on a deterministic open-loop (Poisson)
+arrival clock at --rate requests/sec, split across two weighted-fair
+tenant classes (--weights, default 4,1), and runs it at the same
+offered rate under both wave policies: the drain barrier (emulating the
+old per-request engine) and continuous batching, alternating --repeat
+times to average out scheduler noise. The JSON report carries per-tenant
+latency histograms, pool busy fractions, wave/dispatch counts and the
+occupancy/p99 comparison pinned by docs/SCHEDULING.md; outputs must stay
+bit-identical across every policy and repeat or the command fails.
 
 chaos-bench runs a baseline batch, injects deterministic faults
 (worker/pool panics, transient quant/pipeline errors) into a second
@@ -374,6 +407,30 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 bench,
                 fault_seed,
                 faults,
+            }))
+        }
+        "soak-bench" => {
+            let mut allowed = vec!["rate", "weights", "repeat", "out"];
+            allowed.extend_from_slice(BENCH_FLAGS);
+            reject_unknown(&opts, &allowed)?;
+            // A soak is open-loop and time-bounded by requests/rate; the
+            // default stays well under the CI smoke budget.
+            let mut bench = parse_bench_opts(&opts, "48")?;
+            bench.out = opts_get(&opts, "out").map(str::to_string);
+            let rate: f64 = parse_num(opts_get(&opts, "rate").unwrap_or("40"))?;
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(format!("--rate must be positive, got {rate}"));
+            }
+            let weights = parse_weights(opts_get(&opts, "weights").unwrap_or("4,1"))?;
+            let repeat: usize = parse_num(opts_get(&opts, "repeat").unwrap_or("1"))?;
+            if repeat == 0 {
+                return Err("--repeat must be at least 1".to_string());
+            }
+            Ok(CliCommand::SoakBench(SoakBenchOpts {
+                bench,
+                rate,
+                weights,
+                repeat,
             }))
         }
         "perf-bench" => {
@@ -579,6 +636,19 @@ fn parse_bench_opts(
         // the Chrome JSON), so each arm fills it in itself.
         out: None,
     })
+}
+
+fn parse_weights(s: &str) -> Result<(f64, f64), String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 2 {
+        return Err(format!("--weights must be A,B (two numbers), got '{s}'"));
+    }
+    let a: f64 = parse_num(parts[0])?;
+    let b: f64 = parse_num(parts[1])?;
+    if !(a.is_finite() && a > 0.0 && b.is_finite() && b > 0.0) {
+        return Err(format!("--weights must both be positive, got '{s}'"));
+    }
+    Ok((a, b))
 }
 
 fn parse_flags<'a>(rest: &[&'a String]) -> Result<Vec<(&'a str, &'a str)>, String> {
@@ -960,6 +1030,77 @@ mod tests {
     }
 
     #[test]
+    fn soak_bench_defaults_and_flags() {
+        let cmd = parse_args(&args(&["soak-bench"])).unwrap();
+        match cmd {
+            CliCommand::SoakBench(opts) => {
+                assert_eq!(opts.bench.requests, 48);
+                assert_eq!(opts.rate, 40.0);
+                assert_eq!(opts.weights, (4.0, 1.0));
+                assert_eq!(opts.repeat, 1);
+                assert_eq!(opts.bench.out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "soak-bench",
+            "--rate",
+            "25",
+            "--weights",
+            "8,0.5",
+            "--repeat",
+            "3",
+            "--requests",
+            "16",
+            "--out",
+            "soak.json",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::SoakBench(opts) => {
+                assert_eq!(opts.rate, 25.0);
+                assert_eq!(opts.weights, (8.0, 0.5));
+                assert_eq!(opts.repeat, 3);
+                assert_eq!(opts.bench.requests, 16);
+                assert_eq!(opts.bench.out.as_deref(), Some("soak.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn soak_bench_rejects_degenerate_values() {
+        assert!(parse_args(&args(&["soak-bench", "--rate", "0"]))
+            .unwrap_err()
+            .contains("rate"));
+        assert!(parse_args(&args(&["soak-bench", "--rate", "-3"]))
+            .unwrap_err()
+            .contains("rate"));
+        assert!(parse_args(&args(&["soak-bench", "--weights", "4"]))
+            .unwrap_err()
+            .contains("weights"));
+        assert!(parse_args(&args(&["soak-bench", "--weights", "4,0"]))
+            .unwrap_err()
+            .contains("weights"));
+        assert!(parse_args(&args(&["soak-bench", "--weights", "a,b"]))
+            .unwrap_err()
+            .contains("invalid number"));
+        assert!(parse_args(&args(&["soak-bench", "--repeat", "0"]))
+            .unwrap_err()
+            .contains("repeat"));
+        assert!(parse_args(&args(&["soak-bench", "--requests", "0"]))
+            .unwrap_err()
+            .contains("requests"));
+    }
+
+    #[test]
+    fn usage_documents_soak_bench() {
+        assert!(USAGE.contains("soak-bench"));
+        assert!(USAGE.contains("--weights"));
+        assert!(USAGE.contains("docs/SCHEDULING.md"));
+    }
+
+    #[test]
     fn perf_bench_defaults() {
         let cmd = parse_args(&args(&["perf-bench"])).unwrap();
         match cmd {
@@ -1046,6 +1187,7 @@ mod tests {
             "serve-bench",
             "trace",
             "chaos-bench",
+            "soak-bench",
             "perf-bench",
             "tune",
         ] {

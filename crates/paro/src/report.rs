@@ -75,6 +75,123 @@ pub struct IntPathComparison {
     pub kernel: String,
 }
 
+/// Top-level JSON report `paro soak-bench` prints to stdout: a
+/// two-tenant open-loop (Poisson-arrival) soak driven against the same
+/// synthetic workload under both wave policies at the same offered rate —
+/// `drain` emulating the old per-request barrier engine, `continuous` the
+/// work graph's continuous batching — plus the headline comparisons the
+/// scheduling contract (docs/SCHEDULING.md) promises: higher pool
+/// occupancy and lower aggregate p99 under continuous batching, with
+/// outputs bit-identical across policies.
+#[derive(Debug, Serialize)]
+pub struct SoakBenchReport {
+    /// Scaled model name (e.g. `CogVideoX-2B@4x6x6`).
+    pub model: String,
+    /// Tokens per attention head (the scaled grid's volume).
+    pub tokens: usize,
+    /// Head dimension of the model.
+    pub head_dim: usize,
+    /// Serve worker threads.
+    pub threads: usize,
+    /// Submission-queue capacity.
+    pub queue_capacity: usize,
+    /// Requests in the open-loop arrival schedule (per policy run).
+    pub requests: usize,
+    /// Offered arrival rate, requests per second (`--rate`).
+    pub rate_per_sec: f64,
+    /// RNG seed for both the workload and the arrival schedule.
+    pub seed: u64,
+    /// Alternating drain/continuous run pairs aggregated into this report
+    /// (`--repeat`): counters are summed, fractions and quantiles averaged.
+    pub repeat: usize,
+    /// Simulator-predicted worker occupancy of one wave of this workload
+    /// under LPT dispatch (`paro_sim::dispatch::predicted_wave_occupancy`).
+    pub predicted_wave_occupancy: f64,
+    /// The run under `WavePolicy::Drain` (per-request barrier emulation).
+    pub drain: SoakRunReport,
+    /// The run under `WavePolicy::Continuous` (head-granular backfill).
+    pub continuous: SoakRunReport,
+    /// `continuous.pool_busy_fraction - drain.pool_busy_fraction`: how
+    /// much idle worker time continuous batching reclaimed.
+    pub occupancy_gain: f64,
+    /// `drain.total_p99_ms / continuous.total_p99_ms` (0 when either side
+    /// recorded no completions) — above 1.0 means continuous batching cut
+    /// tail latency at the same offered rate.
+    pub p99_speedup: f64,
+    /// Whether every request index completed by both policy runs produced
+    /// bit-identical output tensors.
+    pub outputs_bit_identical: bool,
+}
+
+/// One policy run of a soak-bench: counters from the engine's metrics,
+/// scheduler accounting from the work graph, measured compute-pool
+/// occupancy, and flattened aggregate latency quantiles.
+#[derive(Debug, Serialize)]
+pub struct SoakRunReport {
+    /// Wave policy of this run: `continuous` or `drain`.
+    pub wave_policy: String,
+    /// Wall-clock time from first submission to last completion, ms.
+    pub wall_ms: f64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed (fault, deadline, pipeline error).
+    pub failed: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// Requests cancelled mid-pipeline by their deadline.
+    pub timed_out: u64,
+    /// Requests that faulted without recovering.
+    pub faulted: u64,
+    /// Requests admitted degraded to a coarse shed budget.
+    pub shed_degraded: u64,
+    /// Requests rejected by the shedding ladder.
+    pub shed_rejected: u64,
+    /// Scheduler waves the run closed (busy periods under `continuous`,
+    /// barriers under `drain`).
+    pub waves: u64,
+    /// Head tasks the work graph dispatched to workers.
+    pub dispatched: u64,
+    /// Fraction of worker-thread time the shared compute pool spent
+    /// executing jobs over the run's wall clock (`pool.execute` busy
+    /// fraction, 0..=1).
+    pub pool_busy_fraction: f64,
+    /// Aggregate end-to-end p50 latency across tenants, ms.
+    pub total_p50_ms: f64,
+    /// Aggregate end-to-end p95 latency across tenants, ms.
+    pub total_p95_ms: f64,
+    /// Aggregate end-to-end p99 latency across tenants, ms.
+    pub total_p99_ms: f64,
+    /// Per-tenant outcome rows, one per configured tenant class.
+    pub tenants: Vec<SoakTenantRow>,
+}
+
+/// One tenant's outcome in a soak-bench policy run.
+#[derive(Debug, Serialize)]
+pub struct SoakTenantRow {
+    /// The tenant class name.
+    pub name: String,
+    /// The tenant's weighted-fair-queuing weight.
+    pub weight: f64,
+    /// Requests accepted into the work graph.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests admitted degraded to the tenant's shed budget.
+    pub shed_degraded: u64,
+    /// Requests rejected by the shedding ladder.
+    pub shed_rejected: u64,
+    /// Requests that failed for any non-shed reason.
+    pub failed: u64,
+    /// This tenant's mean end-to-end latency, ms.
+    pub mean_ms: f64,
+    /// This tenant's end-to-end p50 latency, ms.
+    pub p50_ms: f64,
+    /// This tenant's end-to-end p95 latency, ms.
+    pub p95_ms: f64,
+    /// This tenant's end-to-end p99 latency, ms.
+    pub p99_ms: f64,
+}
+
 /// Top-level JSON report `paro chaos-bench` prints to stdout: which
 /// faults were armed and fired, what the chaos batch resolved to, and
 /// whether a clean batch run on the same engine afterwards reproduced the

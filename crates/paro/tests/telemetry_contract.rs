@@ -9,7 +9,8 @@
 
 use paro::report::{
     AttnVThroughput, ChaosBenchReport, InjectedFaultRow, IntPathComparison, PerfBenchReport,
-    PerfStageRow, ServeBenchReport, StageSummaryRow, TuneHeadRow, TuneReport, TuneValidation,
+    PerfStageRow, ServeBenchReport, SoakBenchReport, SoakRunReport, SoakTenantRow, StageSummaryRow,
+    TuneHeadRow, TuneReport, TuneValidation,
 };
 use paro::serve::{CacheStats, Metrics};
 use paro::sim::tune::RooflineModel;
@@ -86,13 +87,18 @@ fn assert_contract(emitted: &BTreeSet<String>, documented: &BTreeSet<String>, wh
 }
 
 /// A fully-populated report: one trace stage row so the array element
-/// fields serialize, and a snapshot off a live `Metrics` so every
-/// latency block is present.
+/// fields serialize, and a snapshot off a live two-tenant `Metrics` so
+/// every latency block and the per-tenant rows are present.
 fn sample_report() -> ServeBenchReport {
-    let metrics = Metrics::new();
+    let metrics = Metrics::with_tenants(&["interactive", "batch"]);
     metrics.queue_wait.record(Duration::from_micros(40));
     metrics.service.record(Duration::from_micros(900));
     metrics.total.record(Duration::from_micros(950));
+    let tenant = metrics.tenant(0).expect("tenant 0 configured");
+    tenant
+        .submitted
+        .store(1, std::sync::atomic::Ordering::Relaxed);
+    tenant.total.record(Duration::from_micros(950));
     let snapshot = metrics.snapshot(
         0,
         Duration::from_secs(1),
@@ -332,6 +338,74 @@ fn tune_report_fields_match_docs() {
         &emitted,
         &documented(&telemetry_doc(), "tune"),
         "tune report",
+    );
+}
+
+/// A fully-populated soak report: both policy runs carry both tenant
+/// rows so every array element field serializes.
+fn sample_soak_report() -> SoakBenchReport {
+    let run = |policy: &str, busy: f64| SoakRunReport {
+        wave_policy: policy.to_string(),
+        wall_ms: 158.0,
+        completed: 192,
+        failed: 0,
+        rejected: 0,
+        timed_out: 0,
+        faulted: 0,
+        shed_degraded: 0,
+        shed_rejected: 0,
+        waves: 19,
+        dispatched: 192,
+        pool_busy_fraction: busy,
+        total_p50_ms: 65.5,
+        total_p95_ms: 83.5,
+        total_p99_ms: 83.5,
+        tenants: ["interactive", "batch"]
+            .iter()
+            .map(|name| SoakTenantRow {
+                name: name.to_string(),
+                weight: 1.0,
+                submitted: 96,
+                completed: 96,
+                shed_degraded: 0,
+                shed_rejected: 0,
+                failed: 0,
+                mean_ms: 44.4,
+                p50_ms: 65.5,
+                p95_ms: 79.2,
+                p99_ms: 79.2,
+            })
+            .collect(),
+    };
+    SoakBenchReport {
+        model: "CogVideoX-2B@4x6x6".to_string(),
+        tokens: 144,
+        head_dim: 64,
+        threads: 4,
+        queue_capacity: 64,
+        requests: 64,
+        rate_per_sec: 400.0,
+        seed: 42,
+        repeat: 3,
+        predicted_wave_occupancy: 1.0,
+        drain: run("drain", 0.57),
+        continuous: run("continuous", 0.65),
+        occupancy_gain: 0.08,
+        p99_speedup: 1.05,
+        outputs_bit_identical: true,
+    }
+}
+
+#[test]
+fn soak_bench_report_fields_match_docs() {
+    let json = serde_json::to_string(&sample_soak_report()).expect("report serializes");
+    let value = serde_json::parse_value(&json).expect("report JSON parses");
+    let mut emitted = BTreeSet::new();
+    key_paths(&value, "", &mut emitted);
+    assert_contract(
+        &emitted,
+        &documented(&telemetry_doc(), "soak-bench"),
+        "soak-bench report",
     );
 }
 

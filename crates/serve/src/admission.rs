@@ -68,6 +68,18 @@ pub enum ServeError {
         /// The panic payload's message.
         message: String,
     },
+    /// The request was rejected by tier 2 of the load-shedding ladder:
+    /// its tenant's queue depth exhausted both the quota and (when
+    /// configured) the degraded grace band. Per-tenant backpressure —
+    /// other tenants are unaffected. See `docs/SCHEDULING.md`.
+    Shed {
+        /// The tenant class that was shed.
+        tenant: String,
+        /// The tenant's queue depth at rejection.
+        depth: usize,
+        /// The tenant's configured quota.
+        quota: usize,
+    },
     /// A configured plan artifact could not be loaded, or disagrees with
     /// the serving configuration. Deterministic: retrying the same file
     /// against the same configuration fails the same way.
@@ -112,6 +124,14 @@ impl std::fmt::Display for ServeError {
             ServeError::Faulted { site, message } => {
                 write!(f, "request faulted at {site}: {message}")
             }
+            ServeError::Shed {
+                tenant,
+                depth,
+                quota,
+            } => write!(
+                f,
+                "request shed: tenant '{tenant}' at depth {depth} exceeds quota {quota}"
+            ),
             ServeError::Artifact { path, reason } => {
                 write!(f, "plan artifact '{path}' rejected: {reason}")
             }
@@ -445,6 +465,26 @@ mod tests {
             budget: Duration::from_millis(1),
         }
         .is_transient());
+        assert!(!ServeError::Shed {
+            tenant: "batch".into(),
+            depth: 9,
+            quota: 4,
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn shed_error_displays_tenant_and_quota() {
+        let e = ServeError::Shed {
+            tenant: "batch".into(),
+            depth: 9,
+            quota: 4,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("batch") && s.contains('9') && s.contains('4'),
+            "{s}"
+        );
     }
 
     #[test]

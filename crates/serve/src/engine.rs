@@ -1,27 +1,35 @@
 //! The concurrent attention-serving engine.
 //!
-//! A bounded submission queue feeds a pool of worker threads; each
-//! request is one `(block, head)` attention unit. Workers resolve the
-//! head's frozen calibration through the [`PlanCache`] (calibrating on
-//! first touch via a [`CalibrationSource`]) and execute the
-//! packed-integer calibrated pipeline
+//! A multi-tenant **work graph** ([`crate::scheduler::WorkGraph`]) feeds
+//! a pool of worker threads; each request is one cost-annotated
+//! `(block, head)` head task. Admission walks the per-tenant shedding
+//! ladder, dispatch is start-time weighted-fair across tenant classes,
+//! and under the default [`WavePolicy::Continuous`] a new request's head
+//! tasks backfill idle workers while earlier requests are still in
+//! flight — the compute pool never drains between requests. Workers
+//! resolve the head's frozen calibration through the [`PlanCache`]
+//! (calibrating on first touch via a [`CalibrationSource`]) and execute
+//! the packed-integer calibrated pipeline
 //! ([`paro_core::int_pipeline::run_attention_calibrated_int`]), recording
 //! packed-byte traffic and MAC counts into the metrics. Results are
 //! reassembled in submission order, so the multi-threaded engine's output
 //! is **bit-identical** to a single-threaded run: every request's
 //! computation is a pure function of its inputs and its cache key, and
-//! scheduling only changes latency.
+//! scheduling only changes latency. (A tier-1 shed serves the request at
+//! its tenant's coarse bit budget — flagged `shed` in the response, never
+//! silent.) The full contract lives in `docs/SCHEDULING.md`.
 //!
-//! Worker threads only orchestrate (queue pops, cache lookups, waiting);
-//! the CPU-heavy work — calibration and the attention kernels — runs on
-//! the process-wide [`paro_core::pool::ComputePool`], which is sized by
-//! `available_parallelism`. Raising `workers` therefore increases request
-//! concurrency without oversubscribing cores.
+//! Worker threads only orchestrate (graph dispatch, cache lookups,
+//! waiting); the CPU-heavy work — calibration and the attention kernels —
+//! runs on the process-wide [`paro_core::pool::ComputePool`], which is
+//! sized by `available_parallelism`. Raising `workers` therefore
+//! increases request concurrency without oversubscribing cores.
 
-use crate::admission::{lpt_order, relock, request_cost, rewait, BoundedQueue, ServeError};
+use crate::admission::{lpt_order, relock, request_cost, rewait, ServeError};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{MethodKey, PlanCache, PlanKey};
 use crate::plan_store::PlanStore;
+use crate::scheduler::{Admission, GraphStats, TenantClass, WavePolicy, WorkGraph};
 use paro_core::calibration::{calibrate_head, HeadCalibration};
 use paro_core::cancel::Deadline;
 use paro_core::int_pipeline::{run_attention_calibrated_int_with, IntAttentionRun};
@@ -89,6 +97,23 @@ pub struct ServeConfig {
     /// frozen calibrations instead of recalibrating; heads absent from
     /// the artifact still calibrate through the [`CalibrationSource`].
     pub plan_artifact: Option<std::path::PathBuf>,
+    /// Tenant classes (scheduling weight, quota, shed budget). The
+    /// default is a single unbounded class, which reproduces the
+    /// single-tenant engine exactly. [`ServeRequest::tenant`] indexes
+    /// into this list.
+    pub tenants: Vec<TenantClass>,
+    /// Wave policy of the work graph: [`WavePolicy::Continuous`]
+    /// (default) backfills idle workers across requests;
+    /// [`WavePolicy::Drain`] emulates the old per-request batch barrier
+    /// for A/B comparison (`paro soak-bench` runs both).
+    pub wave_policy: WavePolicy,
+    /// Plan artifact pre-staged at the **coarse shed budget**: tier-1
+    /// shed requests fill their plan-cache misses from this artifact
+    /// instead of recalibrating, so degrading a tenant under overload
+    /// never pays a calibration. Requires every configured
+    /// `shed_budget` to be the same value, and the artifact to have
+    /// been tuned at it.
+    pub shed_plan_artifact: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +133,9 @@ impl Default for ServeConfig {
             retry_backoff: Duration::from_micros(250),
             degraded_fallback: true,
             plan_artifact: None,
+            tenants: vec![TenantClass::default()],
+            wave_policy: WavePolicy::Continuous,
+            shed_plan_artifact: None,
         }
     }
 }
@@ -133,7 +161,59 @@ impl ServeConfig {
         if !(self.budget > 0.0 && self.budget <= 8.0) {
             return Err(ServeError::InvalidConfig("budget must be in (0, 8]".into()));
         }
+        if self.tenants.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "at least one tenant class is required".into(),
+            ));
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if !(t.weight.is_finite() && t.weight > 0.0) {
+                return Err(ServeError::InvalidConfig(format!(
+                    "tenant '{}' weight must be finite and positive",
+                    t.name
+                )));
+            }
+            if t.quota == 0 {
+                return Err(ServeError::InvalidConfig(format!(
+                    "tenant '{}' quota must be >= 1",
+                    t.name
+                )));
+            }
+            if let Some(b) = t.shed_budget {
+                if !(b > 0.0 && b <= 8.0) {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "tenant '{}' shed budget must be in (0, 8]",
+                        t.name
+                    )));
+                }
+            }
+            if self.tenants[..i].iter().any(|o| o.name == t.name) {
+                return Err(ServeError::InvalidConfig(format!(
+                    "duplicate tenant name '{}'",
+                    t.name
+                )));
+            }
+        }
+        if self.shed_plan_artifact.is_some() {
+            let budgets: Vec<f32> = self.tenants.iter().filter_map(|t| t.shed_budget).collect();
+            if budgets.is_empty() {
+                return Err(ServeError::InvalidConfig(
+                    "shed plan artifact set but no tenant has a shed budget".into(),
+                ));
+            }
+            if budgets.iter().any(|b| b.to_bits() != budgets[0].to_bits()) {
+                return Err(ServeError::InvalidConfig(
+                    "shed plan artifact requires one common shed budget across tenants".into(),
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The single shed budget shared by every shedding tenant, when a
+    /// shed plan artifact is configured (validated above).
+    fn common_shed_budget(&self) -> Option<f32> {
+        self.tenants.iter().find_map(|t| t.shed_budget)
     }
 }
 
@@ -163,6 +243,9 @@ pub struct ServeRequest {
     pub inputs: AttentionInputs,
     /// Per-request deadline (falls back to the engine default).
     pub deadline: Option<Duration>,
+    /// Tenant class index into [`ServeConfig::tenants`] (0 = the default
+    /// class on a single-tenant engine).
+    pub tenant: usize,
 }
 
 /// A completed request.
@@ -187,6 +270,11 @@ pub struct ServeResponse {
     pub degraded: bool,
     /// Pipeline attempts this response took (1 = no retries).
     pub attempts: u32,
+    /// Tenant class index the request was admitted under.
+    pub tenant: usize,
+    /// Whether tier 1 of the shedding ladder served this request at its
+    /// tenant's coarse `shed_budget` instead of the configured budget.
+    pub shed: bool,
 }
 
 /// Outcome of [`Engine::run_batch`]: per-request results in submission
@@ -270,13 +358,17 @@ struct Job {
     deadline: Option<Duration>,
     enqueued: Instant,
     slot: Arc<Slot>,
+    tenant: usize,
+    /// Coarse bit budget a tier-1 shed degraded this task to; `None`
+    /// serves at the configured budget.
+    budget_override: Option<f32>,
 }
 
 /// The in-process attention-serving engine.
 pub struct Engine {
     cfg: ServeConfig,
     model: ModelConfig,
-    queue: Arc<BoundedQueue<Job>>,
+    graph: Arc<WorkGraph<Job>>,
     cache: Arc<PlanCache>,
     metrics: Arc<Metrics>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -309,26 +401,48 @@ impl Engine {
             }
             None => None,
         };
-        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        // The shed artifact is verified against the *shed* budget — it
+        // pre-stages the coarse plans tier-1 degradation serves from, so
+        // a mismatched file must fail construction just like the primary
+        // artifact.
+        let shed_plans = match &cfg.shed_plan_artifact {
+            Some(path) => {
+                let store = PlanStore::load(path)?;
+                let mut shed_cfg = cfg.clone();
+                shed_cfg.budget = cfg
+                    .common_shed_budget()
+                    .expect("validated: shed artifact implies a shed budget");
+                store.verify(&model, &shed_cfg)?;
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
+        let graph = Arc::new(WorkGraph::new(
+            &cfg.tenants,
+            cfg.queue_capacity,
+            cfg.wave_policy,
+        ));
         let cache = Arc::new(PlanCache::new(cfg.cache_capacity));
-        let metrics = Arc::new(Metrics::new());
+        let names: Vec<&str> = cfg.tenants.iter().map(|t| t.name.as_str()).collect();
+        let metrics = Arc::new(Metrics::with_tenants(&names));
         let mut workers = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
             let ctx = WorkerCtx {
                 cfg: cfg.clone(),
                 model: model.clone(),
-                queue: Arc::clone(&queue),
+                graph: Arc::clone(&graph),
                 cache: Arc::clone(&cache),
                 metrics: Arc::clone(&metrics),
                 source: Arc::clone(&source),
                 plans: plans.clone(),
+                shed_plans: shed_plans.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("paro-serve-{i}"))
                 .spawn(move || worker_loop(&ctx))
                 .map_err(|e| {
                     // Release any workers already spawned before failing.
-                    queue.close();
+                    graph.close();
                     ServeError::InvalidConfig(format!("failed to spawn worker thread: {e}"))
                 })?;
             workers.push(handle);
@@ -336,7 +450,7 @@ impl Engine {
         Ok(Engine {
             cfg,
             model,
-            queue,
+            graph,
             cache,
             metrics,
             workers: Mutex::new(workers),
@@ -382,6 +496,17 @@ impl Engine {
     }
 
     fn submit_job(&self, request: ServeRequest, blocking: bool) -> Result<Ticket, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if request.tenant >= self.cfg.tenants.len() {
+            self.metrics.invalid_input.fetch_add(1, Relaxed);
+            return Err(ServeError::InvalidInput(format!(
+                "request (block {}, head {}): tenant index {} out of range ({} classes)",
+                request.block,
+                request.head,
+                request.tenant,
+                self.cfg.tenants.len()
+            )));
+        }
         // Reject non-finite inputs here, where the failure is attributable
         // to the caller: NaN/Inf propagates through softmax into the
         // sparse kernels' zero-skip precondition and would otherwise
@@ -392,45 +517,67 @@ impl Engine {
             ("v", request.inputs.v()),
         ] {
             if tensor.as_slice().iter().any(|v| !v.is_finite()) {
-                self.metrics
-                    .invalid_input
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.metrics.invalid_input.fetch_add(1, Relaxed);
                 return Err(ServeError::InvalidInput(format!(
                     "request (block {}, head {}): {name} contains NaN/Inf",
                     request.block, request.head
                 )));
             }
         }
-        let index = self
-            .submitted
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // SFQ cost annotation: the frozen per-block cycle model when the
+        // head's calibration is cached, the budget-scaled estimate
+        // otherwise (same numbers CostLpt batch ordering uses).
+        let cal = self.cache.peek(&self.plan_key(request.block, request.head));
+        let cost = request_cost(
+            request.inputs.tokens(),
+            self.model.head_dim(),
+            self.cfg.budget,
+            cal.as_deref(),
+        );
+        let index = self.submitted.fetch_add(1, Relaxed);
         let slot = Slot::new();
-        let job = Job {
-            index,
-            block: request.block,
-            head: request.head,
-            inputs: request.inputs,
-            deadline: request.deadline.or(self.cfg.default_deadline),
-            enqueued: Instant::now(),
-            slot: Arc::clone(&slot),
-        };
-        let pushed = if blocking {
-            self.queue.push_wait(job)
-        } else {
-            self.queue.try_push(job)
-        };
-        match pushed {
-            Ok(()) => {
-                self.metrics
-                    .submitted
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tenant = request.tenant;
+        let deadline = request.deadline.or(self.cfg.default_deadline);
+        let shed_budget = self.cfg.tenants[tenant].shed_budget;
+        let admitted = self
+            .graph
+            .submit(tenant, cost, index as u64, blocking, |admission| Job {
+                index,
+                block: request.block,
+                head: request.head,
+                inputs: request.inputs,
+                deadline,
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+                tenant,
+                budget_override: match admission {
+                    Admission::Full => None,
+                    Admission::Shed => shed_budget,
+                },
+            });
+        match admitted {
+            Ok(admission) => {
+                self.metrics.submitted.fetch_add(1, Relaxed);
+                if let Some(row) = self.metrics.tenant(tenant) {
+                    row.submitted.fetch_add(1, Relaxed);
+                    if admission == Admission::Shed {
+                        row.shed_degraded.fetch_add(1, Relaxed);
+                    }
+                }
                 Ok(Ticket { slot, index })
             }
             Err(e) => {
-                if matches!(e, ServeError::QueueFull { .. }) {
-                    self.metrics
-                        .rejected
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                match &e {
+                    ServeError::QueueFull { .. } => {
+                        self.metrics.rejected.fetch_add(1, Relaxed);
+                    }
+                    ServeError::Shed { .. } => {
+                        self.metrics.rejected.fetch_add(1, Relaxed);
+                        if let Some(row) = self.metrics.tenant(tenant) {
+                            row.shed_rejected.fetch_add(1, Relaxed);
+                        }
+                    }
+                    _ => {}
                 }
                 Err(e)
             }
@@ -492,23 +639,29 @@ impl Engine {
     /// rejected once the queue fills) — the knob drains workers for
     /// reconfiguration and makes overload deterministic to test.
     pub fn pause(&self) {
-        self.queue.pause();
+        self.graph.pause();
     }
 
     /// Resumes a paused worker pool.
     pub fn resume(&self) {
-        self.queue.resume();
+        self.graph.resume();
     }
 
-    /// Current submission-queue depth.
+    /// Current work-graph depth (tasks admitted, not yet dispatched).
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.graph.len()
+    }
+
+    /// Point-in-time scheduler counters: queued/in-flight tasks, waves,
+    /// and shedding-ladder decisions.
+    pub fn graph_stats(&self) -> GraphStats {
+        self.graph.stats()
     }
 
     /// Point-in-time metrics snapshot (JSON-serializable).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics
-            .snapshot(self.queue.len(), self.started.elapsed(), self.cache.stats())
+            .snapshot(self.graph.len(), self.started.elapsed(), self.cache.stats())
     }
 
     fn plan_key(&self, block: usize, head: usize) -> PlanKey {
@@ -532,14 +685,14 @@ impl Engine {
 }
 
 impl Engine {
-    /// Shuts the engine down: closes the submission queue (subsequent
+    /// Shuts the engine down: closes the work graph (subsequent
     /// submissions fail with [`ServeError::Closed`]), lets workers drain
     /// every already-queued request, and joins them. Every outstanding
     /// [`Ticket`] resolves — queued requests are still served, so no
     /// waiter is ever leaked. Idempotent: a second call (or the implicit
     /// one in `Drop`) is a no-op.
     pub fn shutdown(&self) {
-        self.queue.close();
+        self.graph.close();
         let handles = std::mem::take(&mut *relock(&self.workers));
         for handle in handles {
             let _ = handle.join();
@@ -556,24 +709,34 @@ impl Drop for Engine {
 struct WorkerCtx {
     cfg: ServeConfig,
     model: ModelConfig,
-    queue: Arc<BoundedQueue<Job>>,
+    graph: Arc<WorkGraph<Job>>,
     cache: Arc<PlanCache>,
     metrics: Arc<Metrics>,
     source: Arc<dyn CalibrationSource>,
     plans: Option<Arc<PlanStore>>,
+    shed_plans: Option<Arc<PlanStore>>,
 }
 
 fn worker_loop(ctx: &WorkerCtx) {
     use std::sync::atomic::Ordering::Relaxed;
-    while let Some(job) = ctx.queue.pop() {
+    while let Some(job) = ctx.graph.next() {
         // The per-request failure domain: a panic anywhere in service —
         // worker orchestration, cache calibration, a pool job — is caught
         // here, converted to a typed fault and delivered to this request's
-        // waiter. The loop (and therefore the engine) keeps serving.
+        // waiter. The loop (and therefore the engine) keeps serving, and
+        // the fault stays confined to the panicking tenant's request.
         let slot = Arc::clone(&job.slot);
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| serve_one(ctx, &job))) {
+        let tenant = job.tenant;
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_one(ctx, &job)));
+        // The wave accounting must see the task retire even when it
+        // panicked, or a contained fault would wedge the drain barrier.
+        ctx.graph.task_done();
+        if let Err(payload) = outcome {
             ctx.metrics.faulted.fetch_add(1, Relaxed);
             ctx.metrics.failed.fetch_add(1, Relaxed);
+            if let Some(row) = ctx.metrics.tenant(tenant) {
+                row.failed.fetch_add(1, Relaxed);
+            }
             slot.fill_once(Err(ServeError::Faulted {
                 site: "serve.worker".into(),
                 message: panic_message(payload.as_ref()),
@@ -601,6 +764,9 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) {
     if let Some(budget) = job.deadline {
         if waited > budget {
             ctx.metrics.deadline_missed.fetch_add(1, Relaxed);
+            if let Some(row) = ctx.metrics.tenant(job.tenant) {
+                row.failed.fetch_add(1, Relaxed);
+            }
             job.slot
                 .fill_once(Err(ServeError::DeadlineExceeded { waited, budget }));
             return;
@@ -626,6 +792,10 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) {
             if exec.degraded {
                 ctx.metrics.degraded.fetch_add(1, Relaxed);
             }
+            if let Some(row) = ctx.metrics.tenant(job.tenant) {
+                row.completed.fetch_add(1, Relaxed);
+                row.total.record(job.enqueued.elapsed());
+            }
             job.slot.fill_once(Ok(ServeResponse {
                 index: job.index,
                 block: job.block,
@@ -636,6 +806,8 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) {
                 service,
                 degraded: exec.degraded,
                 attempts: exec.attempts,
+                tenant: job.tenant,
+                shed: job.budget_override.is_some(),
             }));
         }
         Err(e) => {
@@ -649,6 +821,9 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) {
                 _ => {}
             }
             ctx.metrics.failed.fetch_add(1, Relaxed);
+            if let Some(row) = ctx.metrics.tenant(job.tenant) {
+                row.failed.fetch_add(1, Relaxed);
+            }
             job.slot.fill_once(Err(e));
         }
     }
@@ -675,6 +850,10 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<Executed, ServeError> {
     let deadline = job
         .deadline
         .map_or(Deadline::NONE, |budget| Deadline::at(job.enqueued + budget));
+    // A tier-1 shed serves at the tenant's coarse budget: the method key
+    // carries the *effective* budget, so coarse and full-fidelity plans
+    // occupy distinct cache entries and never cross-contaminate.
+    let budget = job.budget_override.unwrap_or(ctx.cfg.budget);
     let key = PlanKey {
         model: ctx.model.name.clone(),
         grid: (
@@ -687,7 +866,7 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<Executed, ServeError> {
         method: MethodKey::new(
             ctx.cfg.block_edge,
             ctx.cfg.calib_bits,
-            ctx.cfg.budget,
+            budget,
             ctx.cfg.alpha,
         ),
     };
@@ -776,8 +955,14 @@ fn resolve_calibration(
     ctx.cache.get_or_calibrate(key, || {
         // A frozen artifact satisfies the miss without any computation:
         // thawing a record is pure decoding, so it runs on the worker
-        // thread, not the compute pool.
-        if let Some(store) = &ctx.plans {
+        // thread, not the compute pool. Shed tasks consult the coarse
+        // pre-staged artifact; full-fidelity tasks the primary one.
+        let store = if job.budget_override.is_some() {
+            &ctx.shed_plans
+        } else {
+            &ctx.plans
+        };
+        if let Some(store) = store {
             let _load_span = paro_trace::span(paro_trace::stage::PLAN_LOAD);
             if let Some(cal) = store.lookup(job.block, job.head)? {
                 return Ok(cal);
@@ -792,7 +977,7 @@ fn resolve_calibration(
         let grid = *job.inputs.grid();
         let edge = ctx.cfg.block_edge;
         let calib_bits = ctx.cfg.calib_bits;
-        let budget = ctx.cfg.budget;
+        let budget = job.budget_override.unwrap_or(ctx.cfg.budget);
         let alpha = ctx.cfg.alpha;
         let cal = ComputePool::global()
             .try_run(move || {

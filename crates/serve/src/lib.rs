@@ -7,14 +7,19 @@
 //! ([`paro_core::pipeline::run_attention_calibrated`]). This crate builds
 //! the serving layer that exploits that split:
 //!
-//! - [`engine`] — a bounded submission queue feeding a pool of worker
-//!   threads, one `(block, head)` attention unit per request, with
-//!   results reassembled in submission order so multi-threaded output is
-//!   **bit-identical** to a single-threaded run. Each request is its own
-//!   failure domain: panics are contained to a typed
+//! - [`engine`] — a multi-tenant work graph feeding a pool of worker
+//!   threads, one cost-annotated `(block, head)` head task per request,
+//!   with results reassembled in submission order so multi-threaded
+//!   output is **bit-identical** to a single-threaded run. Each request
+//!   is its own failure domain: panics are contained to a typed
 //!   [`ServeError::Faulted`], transient faults retry with backoff, and a
 //!   persistently-faulting packed-int path degrades to the f32 reference
 //!   pipeline rather than failing the request.
+//! - [`scheduler`] — the work graph itself: start-time weighted-fair
+//!   queuing across tenant classes, continuous-batching waves that
+//!   backfill idle workers between requests, and a quota-driven
+//!   load-shedding ladder (degrade to a coarse bit budget, then reject).
+//!   The contract is documented in `docs/SCHEDULING.md`.
 //! - [`plan_cache`] — a thread-safe LRU cache of frozen calibrations
 //!   keyed by `(model, block, head, method)`: calibration runs once per
 //!   head, every later request reuses the frozen plan.
@@ -68,6 +73,7 @@ pub mod engine;
 pub mod metrics;
 pub mod plan_cache;
 pub mod plan_store;
+pub mod scheduler;
 pub mod workload;
 
 pub use admission::{BoundedQueue, ServeError};
@@ -75,13 +81,17 @@ pub use engine::{
     BatchOutcome, CalibrationSource, Engine, Scheduling, ServeConfig, ServeRequest, ServeResponse,
     Ticket,
 };
-pub use metrics::{LatencyHistogram, LatencySummary, Metrics, MetricsSnapshot};
+pub use metrics::{
+    LatencyHistogram, LatencySummary, Metrics, MetricsSnapshot, TenantMetrics, TenantSnapshot,
+};
 pub use plan_cache::{CacheStats, MethodKey, PlanCache, PlanKey};
 pub use plan_store::PlanStore;
+pub use scheduler::{GraphStats, TenantClass, WavePolicy, WorkGraph};
 
 /// Convenience re-exports for engine users.
 pub mod prelude {
     pub use crate::engine::{Engine, Scheduling, ServeConfig, ServeRequest};
+    pub use crate::scheduler::{TenantClass, WavePolicy};
     pub use crate::workload;
     pub use crate::ServeError;
 }

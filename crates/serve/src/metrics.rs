@@ -111,6 +111,76 @@ pub struct LatencySummary {
     pub max_us: u64,
 }
 
+/// Per-tenant counters and latency, one row per configured tenant class.
+/// Updated with relaxed atomics exactly like [`Metrics`].
+#[derive(Debug)]
+pub struct TenantMetrics {
+    /// The tenant class name (fixed at engine construction).
+    pub name: String,
+    /// Requests this tenant had accepted into the work graph.
+    pub submitted: AtomicU64,
+    /// Requests this tenant completed successfully (including degraded).
+    pub completed: AtomicU64,
+    /// Requests admitted degraded to the tenant's coarse shed budget
+    /// (tier 1 of the shedding ladder).
+    pub shed_degraded: AtomicU64,
+    /// Requests rejected by tier 2 of the shedding ladder.
+    pub shed_rejected: AtomicU64,
+    /// Requests that failed for any non-shed reason (fault, deadline,
+    /// pipeline error).
+    pub failed: AtomicU64,
+    /// End-to-end latency (admission to completion) of this tenant's
+    /// completed requests.
+    pub total: LatencyHistogram,
+}
+
+impl TenantMetrics {
+    /// Zeroed metrics for the named tenant.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantMetrics {
+            name: name.into(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed_degraded: AtomicU64::new(0),
+            shed_rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            total: LatencyHistogram::new(),
+        }
+    }
+
+    /// Serializable snapshot of this tenant's row.
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            name: self.name.clone(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_degraded: self.shed_degraded.load(Ordering::Relaxed),
+            shed_rejected: self.shed_rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            total: self.total.summary(),
+        }
+    }
+}
+
+/// A point-in-time view of one tenant's metrics row.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantSnapshot {
+    /// The tenant class name.
+    pub name: String,
+    /// Requests accepted into the work graph.
+    pub submitted: u64,
+    /// Requests completed successfully (including degraded).
+    pub completed: u64,
+    /// Requests admitted degraded to the coarse shed budget.
+    pub shed_degraded: u64,
+    /// Requests rejected by the shedding ladder.
+    pub shed_rejected: u64,
+    /// Requests that failed for any non-shed reason.
+    pub failed: u64,
+    /// End-to-end latency of completed requests.
+    pub total: LatencySummary,
+}
+
 /// All engine counters and histograms. Shared between workers via `Arc`;
 /// every update is a relaxed atomic.
 #[derive(Debug, Default)]
@@ -156,12 +226,31 @@ pub struct Metrics {
     pub int_executed_macs: AtomicU64,
     /// Cumulative `AttnV` MACs a dense execution would have needed.
     pub int_dense_macs: AtomicU64,
+    /// Per-tenant rows, indexed by tenant class (empty for the implicit
+    /// single-tenant engine constructed with [`Metrics::new`]).
+    pub tenants: Vec<TenantMetrics>,
 }
 
 impl Metrics {
-    /// Creates zeroed metrics.
+    /// Creates zeroed metrics with no tenant rows.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates zeroed metrics with one row per named tenant class.
+    pub fn with_tenants<S: AsRef<str>>(names: &[S]) -> Self {
+        Metrics {
+            tenants: names
+                .iter()
+                .map(|n| TenantMetrics::new(n.as_ref()))
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// The metrics row for a tenant index, when one exists.
+    pub fn tenant(&self, index: usize) -> Option<&TenantMetrics> {
+        self.tenants.get(index)
     }
 
     /// Builds the serializable snapshot. `queue_depth` is sampled by the
@@ -211,6 +300,7 @@ impl Metrics {
                 }
             },
             cache,
+            tenants: self.tenants.iter().map(TenantMetrics::snapshot).collect(),
         }
     }
 }
@@ -264,6 +354,8 @@ pub struct MetricsSnapshot {
     pub int_macs_skipped_fraction: f64,
     /// Plan-cache statistics.
     pub cache: crate::plan_cache::CacheStats,
+    /// Per-tenant rows (empty for a single-tenant engine).
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 #[cfg(test)]
@@ -342,5 +434,47 @@ mod tests {
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn tenant_rows_snapshot_per_class() {
+        let m = Metrics::with_tenants(&["interactive", "batch"]);
+        assert_eq!(m.tenants.len(), 2);
+        m.tenant(1)
+            .unwrap()
+            .submitted
+            .fetch_add(3, Ordering::Relaxed);
+        m.tenant(1)
+            .unwrap()
+            .shed_degraded
+            .fetch_add(1, Ordering::Relaxed);
+        m.tenant(1)
+            .unwrap()
+            .total
+            .record(Duration::from_micros(500));
+        let snap = m.snapshot(
+            0,
+            Duration::from_secs(1),
+            crate::plan_cache::CacheStats {
+                entries: 0,
+                capacity: 8,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                inflight_waits: 0,
+                hit_rate: 0.0,
+            },
+        );
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.tenants[0].name, "interactive");
+        assert_eq!(snap.tenants[1].submitted, 3);
+        assert_eq!(snap.tenants[1].shed_degraded, 1);
+        assert_eq!(snap.tenants[1].total.count, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"tenants\""));
+        assert!(json.contains("\"batch\""));
+        assert!(json.contains("\"shed_rejected\""));
+        // The implicit single-tenant engine serializes an empty list.
+        assert!(Metrics::new().tenants.is_empty());
     }
 }

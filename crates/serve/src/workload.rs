@@ -89,7 +89,54 @@ pub fn synthetic_requests(spec: &WorkloadSpec) -> Vec<ServeRequest> {
                 head,
                 inputs,
                 deadline: None,
+                tenant: 0,
             }
+        })
+        .collect()
+}
+
+/// Tags every request in a stream with the given tenant class index
+/// (streams generate under the default tenant 0; multi-tenant soak
+/// workloads retag per stream).
+pub fn with_tenant(mut requests: Vec<ServeRequest>, tenant: usize) -> Vec<ServeRequest> {
+    for r in &mut requests {
+        r.tenant = tenant;
+    }
+    requests
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic open-loop (Poisson) arrival schedule: `count` absolute
+/// arrival offsets from the stream start, with exponential inter-arrival
+/// times at `rate_per_sec`. Open-loop means arrivals do not slow down
+/// when the server lags — the soak harness submits on this clock and
+/// measures the resulting queueing, exactly how production overload
+/// behaves (a closed loop would hide it).
+///
+/// # Panics
+///
+/// Panics if `rate_per_sec` is not finite and positive.
+pub fn open_loop_arrivals(rate_per_sec: f64, count: usize, seed: u64) -> Vec<std::time::Duration> {
+    assert!(
+        rate_per_sec.is_finite() && rate_per_sec > 0.0,
+        "arrival rate must be finite and positive"
+    );
+    let mut state = seed ^ 0xa41a_11a5_0f75_ed15;
+    let mut at = 0.0f64;
+    (0..count)
+        .map(|_| {
+            // Uniform in (0, 1]: the +1 offset keeps ln() finite.
+            let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            let u = (u + 1.0 / (1u64 << 53) as f64).min(1.0);
+            at += -u.ln() / rate_per_sec;
+            std::time::Duration::from_secs_f64(at)
         })
         .collect()
 }
@@ -107,6 +154,7 @@ pub fn corrupt_with_nan(request: ServeRequest) -> ServeRequest {
         head,
         inputs,
         deadline,
+        tenant,
     } = request;
     let grid = *inputs.grid();
     let (mut q, k, v) = (inputs.q().clone(), inputs.k().clone(), inputs.v().clone());
@@ -119,6 +167,7 @@ pub fn corrupt_with_nan(request: ServeRequest) -> ServeRequest {
         head,
         inputs,
         deadline,
+        tenant,
     }
 }
 
@@ -223,6 +272,25 @@ mod tests {
         assert_eq!(bad.inputs.q().shape(), &clean_shape[..]);
         assert!(bad.inputs.q().as_slice()[0].is_nan());
         assert!(bad.inputs.k().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn tenant_tagging_relabels_every_request() {
+        let reqs = with_tenant(synthetic_requests(&spec()), 3);
+        assert!(reqs.iter().all(|r| r.tenant == 3));
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_deterministic_and_increasing() {
+        let a = open_loop_arrivals(100.0, 50, 42);
+        let b = open_loop_arrivals(100.0, 50, 42);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        // Mean inter-arrival tracks 1/rate to within a loose factor.
+        let mean = a.last().unwrap().as_secs_f64() / 50.0;
+        assert!((0.002..0.05).contains(&mean), "mean inter-arrival {mean}");
+        // A different seed gives a different schedule.
+        assert_ne!(a, open_loop_arrivals(100.0, 50, 43));
     }
 
     #[test]

@@ -13,8 +13,12 @@
 use paro_core::pipeline::run_attention_calibrated_reference;
 use paro_failpoint::{self as fp, FaultKind, FaultSpec};
 use paro_model::ModelConfig;
-use paro_serve::workload::{scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec};
-use paro_serve::{BatchOutcome, Engine, MethodKey, PlanKey, ServeConfig, ServeError, ServeRequest};
+use paro_serve::workload::{
+    scaled_config, synthetic_requests, with_tenant, SyntheticSource, WorkloadSpec,
+};
+use paro_serve::{
+    BatchOutcome, Engine, MethodKey, PlanKey, ServeConfig, ServeError, ServeRequest, TenantClass,
+};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -271,7 +275,10 @@ fn delay_fault_expires_deadline_with_typed_timeout() {
 fn clean_batch_after_chaos_is_bit_identical_to_baseline() {
     let _chaos = chaos_guard();
     const N: usize = 10;
-    // Baseline: a never-faulted engine.
+    // Baseline: a never-faulted single-tenant engine. The chaos engine
+    // below runs the same batch split across two weighted tenant classes
+    // on the work graph — the head tasks interleave completely
+    // differently, and the outputs must not care.
     let baseline = with_watchdog("baseline batch", || {
         let engine = test_engine(3);
         let model = engine.model().clone();
@@ -294,11 +301,30 @@ fn clean_batch_after_chaos_is_bit_identical_to_baseline() {
         fp::site::SERVE_EXECUTE,
         FaultSpec::new(FaultKind::Error, 3, 1),
     );
-    let engine = Arc::new(test_engine(3));
-    let model = engine.model().clone();
+    let model = test_model();
+    let source = Arc::new(SyntheticSource::new(model.clone(), 1, 7));
+    let cfg = ServeConfig {
+        tenants: vec![
+            TenantClass::new("interactive", 4.0),
+            TenantClass::new("batch", 1.0),
+        ],
+        ..test_config(3)
+    };
+    let engine = Arc::new(Engine::new(cfg, model.clone(), source).expect("valid config"));
+    fn two_tenant_batch(model: &ModelConfig) -> Vec<ServeRequest> {
+        test_requests(model, N)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.tenant = i % 2;
+                r
+            })
+            .collect()
+    }
     let chaos_engine = Arc::clone(&engine);
+    let chaos_model = model.clone();
     let chaos = with_watchdog("chaos batch", move || {
-        chaos_engine.run_batch(test_requests(&model, N))
+        chaos_engine.run_batch(two_tenant_batch(&chaos_model))
     });
     // Contract: every request resolved — Ok or typed Err — and at least
     // one injected fault actually fired.
@@ -319,12 +345,13 @@ fn clean_batch_after_chaos_is_bit_identical_to_baseline() {
         }
     }
     // Disarm and re-run on the *same* engine: output must be bit-identical
-    // to the never-faulted baseline.
+    // to the never-faulted single-tenant baseline even though the work
+    // graph schedules this batch across two weighted tenants.
     fp::reset();
     let model = engine.model().clone();
     let clean_engine = Arc::clone(&engine);
     let clean = with_watchdog("clean batch", move || {
-        clean_engine.run_batch(test_requests(&model, N))
+        clean_engine.run_batch(two_tenant_batch(&model))
     });
     assert_eq!(clean.completed(), N, "{:?}", clean.responses);
     assert_eq!(
@@ -332,4 +359,93 @@ fn clean_batch_after_chaos_is_bit_identical_to_baseline() {
         baseline,
         "post-chaos clean batch must match the baseline bit for bit"
     );
+    // The graph's scheduler accounting survived the chaos: every
+    // dispatched task retires (tickets resolve just before the worker
+    // reports task completion, so poll briefly), no wave wedged, and
+    // dispatch covered both batches.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = engine.graph_stats();
+        if stats.in_flight == 0 && stats.queued == 0 {
+            assert_eq!(stats.dispatched, 2 * N as u64);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "graph never quiesced: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn mid_wave_tenant_panic_faults_only_that_tenant() {
+    let _chaos = chaos_guard();
+    let model = test_model();
+    let source = Arc::new(SyntheticSource::new(model.clone(), 1, 7));
+    // No retries, no fallback: a contained fault must surface as the
+    // request's typed error rather than being healed, so blast-radius
+    // attribution is exact.
+    let cfg = ServeConfig {
+        retry_limit: 0,
+        degraded_fallback: false,
+        tenants: vec![
+            TenantClass::new("victim", 1.0),
+            TenantClass::new("bystander", 1.0),
+        ],
+        ..test_config(3)
+    };
+    let engine = Arc::new(Engine::new(cfg, model.clone(), source).expect("valid config"));
+    // Requests for one tenant, all pinned to a single block so cache
+    // warmth is controlled per tenant.
+    fn pinned(model: &ModelConfig, n: usize, block: usize, tenant: usize) -> Vec<ServeRequest> {
+        let reqs = test_requests(model, n)
+            .into_iter()
+            .map(|mut r| {
+                r.block = block;
+                r
+            })
+            .collect();
+        with_tenant(reqs, tenant)
+    }
+    // Warm the bystander's head (block 1) so its requests never touch
+    // calibration again; the victim's head (block 0) stays cold.
+    let warm_engine = Arc::clone(&engine);
+    let warm_model = model.clone();
+    let warmed = with_watchdog("warm bystander", move || {
+        warm_engine.run_batch(pinned(&warm_model, 4, 1, 1))
+    });
+    assert_eq!(warmed.completed(), 4);
+    // Every calibration from here on panics — which only the victim's
+    // cold head will trigger, mid-wave, while bystander tasks are in
+    // flight on the same graph.
+    fp::arm(
+        fp::site::PLAN_CACHE_CALIBRATE,
+        FaultSpec::immediate(FaultKind::Panic, u64::MAX),
+    );
+    let mixed: Vec<ServeRequest> = pinned(&model, 6, 0, 0)
+        .into_iter()
+        .chain(pinned(&model, 6, 1, 1))
+        .collect();
+    let run_engine = Arc::clone(&engine);
+    let outcome = with_watchdog("mixed chaos batch", move || run_engine.run_batch(mixed));
+    assert!(fp::fired(fp::site::PLAN_CACHE_CALIBRATE) >= 1);
+    for (i, r) in outcome.responses.iter().enumerate() {
+        if i < 6 {
+            let err = r.as_ref().expect_err("victim requests must fault");
+            assert!(
+                matches!(err, ServeError::Faulted { .. } | ServeError::Core(_)),
+                "victim {i}: {err:?}"
+            );
+        } else {
+            let resp = r.as_ref().expect("bystander requests must complete");
+            assert_eq!(resp.tenant, 1);
+        }
+    }
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.tenants[0].failed, 6, "all victim requests failed");
+    assert_eq!(snap.tenants[0].completed, 0);
+    assert_eq!(snap.tenants[1].failed, 0, "fault leaked across tenants");
+    assert_eq!(snap.tenants[1].completed, 10);
+    fp::reset();
 }

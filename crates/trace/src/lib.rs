@@ -165,6 +165,20 @@ pub mod stage {
     /// Deep semantic verification of a loaded plan artifact against the
     /// serving configuration.
     pub const PLAN_VERIFY: &str = "plan.verify";
+    /// Admission-to-dispatch wait of one head task in the serving work
+    /// graph: the interval between entering a tenant queue and the
+    /// weighted-fair scheduler granting the task to a worker.
+    pub const SCHED_QUEUE_WAIT: &str = "sched.queue_wait";
+    /// One scheduler wave: the busy period between the work graph's
+    /// in-flight count leaving zero and returning to zero (continuous
+    /// batching), or one admit-drain barrier cycle (drain policy). The
+    /// range's context is the wave id.
+    pub const SCHED_WAVE: &str = "sched.wave";
+    /// Load-shedding decision marker: a zero-length span emitted at
+    /// admission when a tenant over quota is degraded to its coarse shed
+    /// budget (`detail` = `degrade`) or rejected outright (`detail` =
+    /// `reject`).
+    pub const SCHED_SHED: &str = "sched.shed";
 
     /// Every canonical stage name, for exporter tests and documentation
     /// checks.
@@ -195,6 +209,9 @@ pub mod stage {
         KERNEL_DISPATCH,
         PLAN_LOAD,
         PLAN_VERIFY,
+        SCHED_QUEUE_WAIT,
+        SCHED_WAVE,
+        SCHED_SHED,
     ];
 }
 
