@@ -161,7 +161,7 @@ impl ArtifactBuilder {
 }
 
 fn encode_meta(meta: &PlanMeta) -> Vec<u8> {
-    let mut out = Vec::with_capacity(36 + meta.model.len());
+    let mut out = Vec::with_capacity(52 + meta.model.len());
     push_u32(&mut out, meta.model.len() as u32);
     out.extend_from_slice(meta.model.as_bytes());
     for v in [
@@ -176,6 +176,9 @@ fn encode_meta(meta: &PlanMeta) -> Vec<u8> {
     ] {
         push_u32(&mut out, v);
     }
+    // Version-2 tail: plan epoch and calibration timestamp.
+    push_u64(&mut out, meta.epoch);
+    push_u64(&mut out, meta.created_at);
     out
 }
 
@@ -202,6 +205,8 @@ mod tests {
             calib_bits: 4,
             budget: 4.8,
             alpha: 0.5,
+            epoch: 3,
+            created_at: 1_700_000_000,
         }
     }
 

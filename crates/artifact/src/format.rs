@@ -8,9 +8,19 @@
 pub const MAGIC: [u8; 8] = *b"PAROPLAN";
 
 /// Current format version. Readers reject anything newer; older versions
-/// (once they exist) stay readable — see the stability promises in
-/// `docs/ARTIFACT.md`.
-pub const VERSION: u32 = 1;
+/// stay readable — see the stability promises in `docs/ARTIFACT.md`.
+///
+/// Version history:
+/// - **1** — initial layout (meta tail of eight `u32` fields).
+/// - **2** — appends `epoch` and `created_at` (`u64` each) to the meta
+///   section for the calibration-drift lifecycle. Version-1 artifacts
+///   decode with both fields defaulting to 0 (see [`ArtifactView::is_legacy`]).
+///
+/// [`ArtifactView::is_legacy`]: crate::ArtifactView::is_legacy
+pub const VERSION: u32 = 2;
+
+/// Oldest format version this reader still accepts.
+pub const MIN_VERSION: u32 = 1;
 
 /// Header length in bytes: magic (8) + version (4) + section count (4) +
 /// body length (8) + CRC-32 (4).
@@ -67,6 +77,13 @@ pub struct PlanMeta {
     pub budget: f32,
     /// Sensitivity alpha.
     pub alpha: f32,
+    /// Plan epoch (generation counter): 0 for an initial offline
+    /// calibration, incremented by each online recalibration that
+    /// re-freezes the plans. Version-1 artifacts decode as epoch 0.
+    pub epoch: u64,
+    /// Calibration timestamp, seconds since the Unix epoch (0 when
+    /// unknown — e.g. a version-1 artifact or a test fixture).
+    pub created_at: u64,
 }
 
 /// One frozen head calibration, in owned form (the builder's input; the

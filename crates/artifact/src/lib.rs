@@ -45,6 +45,8 @@
 //!     calib_bits: 4,
 //!     budget: 4.8,
 //!     alpha: 0.5,
+//!     epoch: 0,
+//!     created_at: 0,
 //! };
 //! let mut builder = ArtifactBuilder::new(meta);
 //! builder.push_head(HeadRecord {
@@ -80,7 +82,7 @@ pub use crc::{crc32, crc32_finish, crc32_update, CRC32_INIT};
 pub use error::ArtifactError;
 pub use format::{
     section, HeadRecord, PlanMeta, BIT_CODES, HEADER_LEN, HEAD_RECORD_LEN, INDEX_ENTRY_LEN, MAGIC,
-    ORDER_CODES, VERSION,
+    MIN_VERSION, ORDER_CODES, VERSION,
 };
 pub use owned::OwnedArtifact;
 pub use view::{ArtifactView, HeadView};

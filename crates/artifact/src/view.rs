@@ -3,8 +3,8 @@
 use crate::crc::{crc32_finish, crc32_update, CRC32_INIT};
 use crate::error::ArtifactError;
 use crate::format::{
-    section, PlanMeta, BIT_CODES, HEADER_LEN, HEAD_RECORD_LEN, INDEX_ENTRY_LEN, MAGIC, ORDER_CODES,
-    VERSION,
+    section, PlanMeta, BIT_CODES, HEADER_LEN, HEAD_RECORD_LEN, INDEX_ENTRY_LEN, MAGIC, MIN_VERSION,
+    ORDER_CODES, VERSION,
 };
 
 /// A parsed, validated, borrowed view over an artifact byte buffer.
@@ -17,6 +17,7 @@ use crate::format::{
 /// borrowed buffer cheap to serve from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArtifactView<'a> {
+    version: u32,
     meta: PlanMeta,
     heads: &'a [u8],
     bits: &'a [u8],
@@ -65,7 +66,7 @@ impl<'a> ArtifactView<'a> {
             return Err(ArtifactError::BadMagic { found });
         }
         let version = read_u32(data, 8);
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(ArtifactError::UnsupportedVersion {
                 found: version,
                 supported: VERSION,
@@ -146,7 +147,7 @@ impl<'a> ArtifactView<'a> {
         let heads = heads.ok_or(ArtifactError::MissingSection { id: section::HEADS })?;
         let bits = bits.ok_or(ArtifactError::MissingSection { id: section::BITS })?;
 
-        let meta = decode_meta(meta_bytes)?;
+        let meta = decode_meta(meta_bytes, version)?;
         if heads.len() % HEAD_RECORD_LEN != 0 {
             return Err(ArtifactError::BadSection {
                 id: section::HEADS,
@@ -156,12 +157,30 @@ impl<'a> ArtifactView<'a> {
                 ),
             });
         }
-        Ok(ArtifactView { meta, heads, bits })
+        Ok(ArtifactView {
+            version,
+            meta,
+            heads,
+            bits,
+        })
     }
 
     /// The decoded plan metadata.
     pub fn meta(&self) -> &PlanMeta {
         &self.meta
+    }
+
+    /// The format version the artifact was written with (between
+    /// [`MIN_VERSION`] and [`VERSION`]).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Whether the artifact predates the current format version. Legacy
+    /// artifacts stay fully readable; fields added since their version
+    /// decode to documented defaults (epoch 0, created_at 0).
+    pub fn is_legacy(&self) -> bool {
+        self.version < VERSION
     }
 
     /// Number of head records in the artifact.
@@ -266,7 +285,7 @@ impl<'a> ArtifactView<'a> {
     }
 }
 
-fn decode_meta(bytes: &[u8]) -> Result<PlanMeta, ArtifactError> {
+fn decode_meta(bytes: &[u8], version: u32) -> Result<PlanMeta, ArtifactError> {
     let need = |n: usize| -> Result<(), ArtifactError> {
         if bytes.len() < n {
             Err(ArtifactError::BadSection {
@@ -277,9 +296,14 @@ fn decode_meta(bytes: &[u8]) -> Result<PlanMeta, ArtifactError> {
             Ok(())
         }
     };
+    // Fixed meta tail after the model name: eight u32 fields in every
+    // version, plus the version-2 epoch/created_at u64 pair.
+    let tail = if version >= 2 { 48 } else { 32 };
     need(4)?;
     let name_len = read_u32(bytes, 0) as usize;
-    let fixed = 4usize.checked_add(name_len).and_then(|n| n.checked_add(32));
+    let fixed = 4usize
+        .checked_add(name_len)
+        .and_then(|n| n.checked_add(tail));
     let total = fixed.ok_or(ArtifactError::BadSection {
         id: section::META,
         reason: "model name length overflows".to_string(),
@@ -298,6 +322,13 @@ fn decode_meta(bytes: &[u8]) -> Result<PlanMeta, ArtifactError> {
         })?
         .to_string();
     let base = 4 + name_len;
+    let (epoch, created_at) = if version >= 2 {
+        (read_u64(bytes, base + 32), read_u64(bytes, base + 40))
+    } else {
+        // Version-1 artifacts predate the lifecycle fields: they are the
+        // original offline calibration, by definition epoch 0, undated.
+        (0, 0)
+    };
     Ok(PlanMeta {
         model,
         frames: read_u32(bytes, base),
@@ -308,6 +339,8 @@ fn decode_meta(bytes: &[u8]) -> Result<PlanMeta, ArtifactError> {
         calib_bits: read_u32(bytes, base + 20),
         budget: f32::from_bits(read_u32(bytes, base + 24)),
         alpha: f32::from_bits(read_u32(bytes, base + 28)),
+        epoch,
+        created_at,
     })
 }
 

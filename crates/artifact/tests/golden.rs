@@ -1,26 +1,34 @@
-//! Forward-compatibility gate: a version-1 artifact committed to the
-//! repository must stay readable, byte for byte, forever.
+//! Forward-compatibility gates.
 //!
-//! If this test fails after an intentional, version-bumped format change,
-//! regenerate the fixture with:
+//! Two committed fixtures, two promises:
 //!
-//! ```sh
-//! PARO_UPDATE_GOLDEN=1 cargo test -p paro-artifact --test golden
-//! ```
+//! - `golden_v2.paro` — the **current** format. Rebuilding it from the
+//!   canonical values must reproduce the committed bytes exactly; any
+//!   silent layout drift fails here. Regenerate only for an intentional,
+//!   version-bumped change:
 //!
-//! and commit the new file alongside a `VERSION` bump and a
-//! `docs/ARTIFACT.md` update. Never regenerate it to paper over an
-//! accidental layout change — the whole point is to catch those.
+//!   ```sh
+//!   PARO_UPDATE_GOLDEN=1 cargo test -p paro-artifact --test golden
+//!   ```
+//!
+//!   and commit the new file alongside a `VERSION` bump and a
+//!   `docs/ARTIFACT.md` update.
+//!
+//! - `golden_v1.paro` — a **legacy** artifact written before the
+//!   lifecycle fields existed. The builder can no longer produce it, but
+//!   the reader must parse it forever, reporting it as legacy with the
+//!   documented field defaults (epoch 0, created_at 0). This fixture is
+//!   never regenerated.
 
 use std::path::PathBuf;
 
 use paro_artifact::{ArtifactBuilder, ArtifactView, HeadRecord, OwnedArtifact, PlanMeta, VERSION};
 
-fn golden_path() -> PathBuf {
+fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("fixtures")
-        .join("golden_v1.paro")
+        .join(name)
 }
 
 /// The canonical fixture content: stable values chosen by hand, never
@@ -36,6 +44,8 @@ fn golden_builder() -> ArtifactBuilder {
         calib_bits: 4,
         budget: 4.5,
         alpha: 0.5,
+        epoch: 2,
+        created_at: 1_750_000_000,
     });
     builder.push_head(HeadRecord {
         block: 0,
@@ -70,7 +80,7 @@ fn golden_builder() -> ArtifactBuilder {
 #[test]
 fn golden_artifact_is_stable_and_readable() {
     let built = golden_builder().build().unwrap();
-    let path = golden_path();
+    let path = fixture_path("golden_v2.paro");
 
     if std::env::var_os("PARO_UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -87,12 +97,49 @@ fn golden_artifact_is_stable_and_readable() {
     );
 
     let view = ArtifactView::parse(committed.as_bytes()).unwrap();
+    assert_eq!(view.version(), VERSION);
+    assert!(!view.is_legacy());
     assert_eq!(view.meta().model, "GoldenNet-2x2x2");
+    assert_eq!(view.meta().epoch, 2);
+    assert_eq!(view.meta().created_at, 1_750_000_000);
     assert_eq!(view.head_count(), 3);
     view.verify_deep().unwrap();
     let head = view.head(2).unwrap();
     assert_eq!((head.block, head.head, head.order_code), (1, 0, 5));
     assert_eq!(head.bit_codes, &[8, 8, 4, 4]);
     assert_eq!(head.avg_bits, 6.0);
-    assert_eq!(VERSION, 1, "bump the fixture name with the format version");
+    assert_eq!(VERSION, 2, "bump the fixture name with the format version");
+}
+
+#[test]
+fn legacy_v1_artifact_stays_readable_with_defaulted_lifecycle_fields() {
+    let committed = OwnedArtifact::read_from_file(&fixture_path("golden_v1.paro"))
+        .expect("the committed v1 fixture must stay readable forever");
+    let view = ArtifactView::parse(committed.as_bytes()).unwrap();
+
+    assert_eq!(view.version(), 1);
+    assert!(
+        view.is_legacy(),
+        "a version-1 artifact must report as legacy under the current reader"
+    );
+    // Pre-lifecycle fields decode exactly as written…
+    assert_eq!(view.meta().model, "GoldenNet-2x2x2");
+    assert_eq!(
+        (view.meta().frames, view.meta().height, view.meta().width),
+        (2, 2, 2)
+    );
+    assert_eq!(view.meta().block_rows, 4);
+    assert_eq!(view.meta().block_cols, 4);
+    assert_eq!(view.meta().calib_bits, 4);
+    assert_eq!(view.meta().budget, 4.5);
+    assert_eq!(view.meta().alpha, 0.5);
+    // …and the lifecycle fields default per the documented contract.
+    assert_eq!(view.meta().epoch, 0);
+    assert_eq!(view.meta().created_at, 0);
+
+    assert_eq!(view.head_count(), 3);
+    view.verify_deep().unwrap();
+    let head = view.head(2).unwrap();
+    assert_eq!((head.block, head.head, head.order_code), (1, 0, 5));
+    assert_eq!(head.bit_codes, &[8, 8, 4, 4]);
 }

@@ -21,6 +21,8 @@ fn sample_meta() -> PlanMeta {
         calib_bits: 4,
         budget: 4.8,
         alpha: 0.5,
+        epoch: 7,
+        created_at: 1_717_171_717,
     }
 }
 

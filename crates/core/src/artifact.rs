@@ -96,13 +96,30 @@ pub fn head_calibration(
     })
 }
 
-/// Builds artifact metadata for one model + calibration configuration.
+/// Builds artifact metadata for one model + calibration configuration,
+/// at epoch 0 with no timestamp (an initial offline calibration). Use
+/// [`plan_meta_at`] when freezing a recalibrated generation.
 pub fn plan_meta(
     model: &ModelConfig,
     block: BlockGrid,
     calib_bits: Bitwidth,
     budget: f32,
     alpha: f32,
+) -> PlanMeta {
+    plan_meta_at(model, block, calib_bits, budget, alpha, 0, 0)
+}
+
+/// Builds artifact metadata carrying an explicit plan epoch and
+/// calibration timestamp (seconds since the Unix epoch, 0 when unknown).
+#[allow(clippy::too_many_arguments)]
+pub fn plan_meta_at(
+    model: &ModelConfig,
+    block: BlockGrid,
+    calib_bits: Bitwidth,
+    budget: f32,
+    alpha: f32,
+    epoch: u64,
+    created_at: u64,
 ) -> PlanMeta {
     PlanMeta {
         model: model.name.clone(),
@@ -114,6 +131,8 @@ pub fn plan_meta(
         calib_bits: calib_bits.bits(),
         budget,
         alpha,
+        epoch,
+        created_at,
     }
 }
 

@@ -77,6 +77,12 @@ pub mod site {
     /// Top of the serve worker's per-request execution
     /// (`paro-serve::engine`), before calibration resolution.
     pub const SERVE_EXECUTE: &str = "serve.execute";
+    /// Inside the online recalibrator (`paro-serve::engine`), before the
+    /// per-head re-freeze loop runs. `Panic` exercises the recalibrator's
+    /// failure domain (the engine must keep serving on the stale epoch);
+    /// `Error` yields a transient recalibration failure that consumes one
+    /// bounded retry.
+    pub const SERVE_RECALIBRATE: &str = "serve.recalibrate";
 
     /// Every canonical site, for harness iteration and documentation
     /// checks.
@@ -86,6 +92,7 @@ pub mod site {
         PIPELINE_INT_ATTN,
         QUANT_PACK_ATTN_V,
         SERVE_EXECUTE,
+        SERVE_RECALIBRATE,
     ];
 }
 

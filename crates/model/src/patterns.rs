@@ -166,6 +166,16 @@ impl PatternSpec {
     /// through the pattern kinds the paper observes so a synthetic model
     /// exhibits the full diversity of Fig. 1.
     pub fn for_head(grid: &TokenGrid, block: usize, head: usize) -> Self {
+        Self::for_head_phase(grid, block, head, 0)
+    }
+
+    /// Like [`PatternSpec::for_head`], but rotated by a drift `phase`:
+    /// advancing the phase shifts every head one step through the pattern
+    /// cycle, modeling the timestep/workload pattern drift RainFusion-
+    /// style analyses observe. Phase 0 is exactly [`PatternSpec::for_head`];
+    /// the sharpness assignment is phase-independent, so drift changes the
+    /// *shape* of a head's attention, not its overall concentration.
+    pub fn for_head_phase(grid: &TokenGrid, block: usize, head: usize, phase: usize) -> Self {
         let kinds = [
             PatternKind::Temporal,
             PatternKind::SpatialRow,
@@ -174,7 +184,7 @@ impl PatternSpec {
             PatternKind::Temporal,
             PatternKind::Diffuse,
         ];
-        let kind = kinds[(block * 31 + head * 7) % kinds.len()];
+        let kind = kinds[(block * 31 + head * 7 + phase) % kinds.len()];
         // Mild deterministic variation in sharpness across heads.
         let sharpness = 4.5 + ((block * 13 + head * 5) % 5) as f32 * 0.5;
         PatternSpec {
@@ -495,6 +505,26 @@ mod tests {
             names.len() >= 4,
             "head assignment should span several pattern kinds, got {names:?}"
         );
+    }
+
+    #[test]
+    fn phase_rotation_changes_patterns_but_phase_zero_is_identity() {
+        let grid = small_grid();
+        let mut changed = 0;
+        for block in 0..3 {
+            for head in 0..6 {
+                let base = PatternSpec::for_head(&grid, block, head);
+                assert_eq!(base, PatternSpec::for_head_phase(&grid, block, head, 0));
+                let drifted = PatternSpec::for_head_phase(&grid, block, head, 1);
+                assert_eq!(base.sharpness, drifted.sharpness);
+                if base.kind != drifted.kind {
+                    changed += 1;
+                }
+                // A full cycle returns to the original pattern.
+                assert_eq!(base, PatternSpec::for_head_phase(&grid, block, head, 6));
+            }
+        }
+        assert!(changed >= 12, "phase 1 should rotate most heads: {changed}");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! serving engine. Run `paro help` for usage.
 
 use paro::cli::{
-    parse_args, ChaosBenchOpts, CliCommand, PerfBenchOpts, ServeBenchOpts, SoakBenchOpts,
-    TraceOpts, USAGE,
+    parse_args, ChaosBenchOpts, CliCommand, DriftBenchOpts, PerfBenchOpts, ServeBenchOpts,
+    SoakBenchOpts, TraceOpts, USAGE,
 };
 use paro::core::calibration::{calibrate_head, HeadCalibration};
 use paro::core::int_pipeline::run_attention_calibrated_int;
@@ -14,13 +14,17 @@ use paro::plans::{build_plan_bytes, inspect_text, run_tune, verify_text, write_o
 use paro::prelude::*;
 use paro::report::{
     diff_stage_medians, format_diff_table, missing_baseline_stages, stage_rows, AttnVThroughput,
-    ChaosBenchReport, InjectedFaultRow, IntPathComparison, PerfBenchReport, PerfStageRow,
-    ServeBenchReport, SoakBenchReport, SoakRunReport, SoakTenantRow,
+    ChaosBenchReport, DriftBenchReport, InjectedFaultRow, IntPathComparison, PerfBenchReport,
+    PerfStageRow, ServeBenchReport, SoakBenchReport, SoakRunReport, SoakTenantRow,
 };
 use paro::serve::workload::{
-    open_loop_arrivals, scaled_config, synthetic_requests, SyntheticSource, WorkloadSpec,
+    open_loop_arrivals, scaled_config, synthetic_requests, synthetic_requests_at_phase,
+    DriftSource, SyntheticSource, WorkloadSpec,
 };
-use paro::serve::{CalibrationSource, Engine, ServeConfig, TenantClass, WavePolicy};
+use paro::serve::{
+    CalibrationSource, Engine, PlanHealth, RecalibrationPolicy, ServeConfig, TenantClass, Watchdog,
+    WatchdogConfig, WavePolicy,
+};
 use paro::sim::OpCategory;
 use paro::tensor::kernel;
 use paro::tensor::render;
@@ -117,6 +121,7 @@ fn run(cmd: CliCommand) -> Result<(), Box<dyn std::error::Error>> {
         CliCommand::Trace(opts) => trace_workload(&opts),
         CliCommand::ChaosBench(opts) => chaos_bench(&opts),
         CliCommand::SoakBench(opts) => soak_bench(&opts),
+        CliCommand::DriftBench(opts) => drift_bench(&opts),
         CliCommand::PerfBench(opts) => perf_bench(&opts),
         CliCommand::Plan {
             grid,
@@ -728,6 +733,266 @@ fn soak_bench(opts: &SoakBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
     );
     if !report.outputs_bit_identical {
         return Err("soak runs diverged: the wave policy changed request outputs".into());
+    }
+    Ok(())
+}
+
+/// Fast-reacting watchdog for the drift bench: sample every request,
+/// per-head baselines over three samples, and thresholds sitting between
+/// the measured in-phase deviation (~0.01) and the cross-phase shift
+/// (~0.08) of the synthetic pattern families (docs/LIFECYCLE.md).
+fn drift_watchdog() -> WatchdogConfig {
+    WatchdogConfig {
+        sample_every: 1,
+        baseline_samples: 3,
+        ewma_alpha: 0.5,
+        suspect_threshold: 0.04,
+        stale_threshold: 0.08,
+        hysteresis: 2,
+    }
+}
+
+/// Builds a watchdog-armed engine over a rotating-phase calibration
+/// source. Recalibration stays manual (`Off`) so the bench controls the
+/// swap point deterministically.
+fn drift_engine(
+    b: &ServeBenchOpts,
+    model: &ModelConfig,
+    watchdog: Option<WatchdogConfig>,
+) -> Result<(Engine, Arc<DriftSource>), Box<dyn std::error::Error>> {
+    let source = Arc::new(DriftSource::new(model.clone(), 1, b.seed ^ 0xd21f7));
+    let cfg = ServeConfig {
+        workers: b.threads,
+        queue_capacity: b.queue,
+        block_edge: b.block_edge,
+        budget: b.budget,
+        watchdog,
+        recalibration: RecalibrationPolicy::Off,
+        ..ServeConfig::default()
+    };
+    let engine = Engine::new(
+        cfg,
+        model.clone(),
+        Arc::clone(&source) as Arc<dyn CalibrationSource>,
+    )?;
+    Ok((engine, source))
+}
+
+/// One batch of the drift workload at the given pattern-rotation phase.
+fn drift_requests(
+    b: &ServeBenchOpts,
+    model: &ModelConfig,
+    requests: usize,
+    phase: usize,
+) -> Vec<paro::serve::ServeRequest> {
+    synthetic_requests_at_phase(
+        &WorkloadSpec {
+            model: model.clone(),
+            requests,
+            blocks: b.blocks,
+            heads: b.heads,
+            seed: b.seed,
+        },
+        phase,
+    )
+}
+
+/// Proves hot-swap atomicity on a dedicated engine pair: requests parked
+/// in the queue across a recalibration swap must produce outputs
+/// bit-identical to a never-swapped engine, and admissions after the
+/// swap must pin the new epoch.
+fn swap_identity_check(
+    b: &ServeBenchOpts,
+    model: &ModelConfig,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let n = b.requests.clamp(2, 8);
+    // The warm batch must cover every (block, head) pair the parked
+    // batch will hit: a pair missing from the epoch-0 cache would be
+    // recalibrated from the live — already rotated — source, which is a
+    // legitimate output difference, not a swap-atomicity violation.
+    let warm = b.blocks * b.heads;
+    // Baseline: same warmup + batch on an engine that never swaps.
+    let (baseline, _) = drift_engine(b, model, None)?;
+    baseline.run_batch(drift_requests(b, model, warm, 0));
+    let expected = batch_output_bits(&baseline.run_batch(drift_requests(b, model, n, 0)))
+        .ok_or("swap-identity baseline batch failed")?;
+    baseline.shutdown();
+    let (engine, source) = drift_engine(b, model, None)?;
+    // Warm the epoch-0 cache so the swap has a full generation to
+    // replace.
+    engine.run_batch(drift_requests(b, model, warm, 0));
+    // Park the batch in the queue, then swap underneath it.
+    engine.pause();
+    let tickets = drift_requests(b, model, n, 0)
+        .into_iter()
+        .map(|r| engine.try_submit(r))
+        .collect::<Result<Vec<_>, _>>()?;
+    source.set_phase(1);
+    let new_epoch = engine.recalibrate()?;
+    engine.resume();
+    let mut identical = true;
+    for (ticket, want) in tickets.into_iter().zip(&expected) {
+        let resp = engine.wait(ticket)?;
+        let got: Vec<u32> = resp
+            .run
+            .output
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        identical &= resp.epoch + 1 == new_epoch && &got == want;
+    }
+    let post = engine.run_batch(drift_requests(b, model, 2, 0));
+    for r in &post.responses {
+        identical &= r.as_ref().map(|r| r.epoch == new_epoch).unwrap_or(false);
+    }
+    engine.shutdown();
+    Ok(identical)
+}
+
+/// Times steady-state `Watchdog::observe` calls on an established
+/// baseline: the per-request cost of arming the watchdog.
+fn measure_watchdog_overhead_ns() -> f64 {
+    let cfg = drift_watchdog();
+    let baseline_samples = cfg.baseline_samples;
+    let wd = Watchdog::new(cfg);
+    for _ in 0..=baseline_samples {
+        for key in 0..4usize {
+            wd.observe((key, 0), 0.2);
+        }
+    }
+    let iters = 100_000u32;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(wd.observe(((i % 4) as usize, 0), 0.2));
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn drift_bench(opts: &DriftBenchOpts) -> Result<(), Box<dyn std::error::Error>> {
+    let b = &opts.bench;
+    let model = scaled_config(
+        &ModelConfig::cogvideox_2b(),
+        b.grid.frames(),
+        b.grid.height(),
+        b.grid.width(),
+    );
+    let swap_bit_identical = swap_identity_check(b, &model)?;
+    // The lifecycle loop: warm at phase 0, rotate the request stream's
+    // pattern families (drift), detect, recalibrate, recover.
+    let (engine, source) = drift_engine(b, &model, Some(drift_watchdog()))?;
+    let t0 = Instant::now();
+    for _ in 0..opts.warmup {
+        let out = engine.run_batch(drift_requests(b, &model, b.requests, 0));
+        if out.completed() != b.requests {
+            return Err("drift-bench warmup batch failed".into());
+        }
+    }
+    let fresh_ewma = engine.watchdog_stats().map_or(0.0, |s| s.ewma_deviation);
+    let mut detected_after_batches = None;
+    for batch in 0..opts.detect_within {
+        engine.run_batch(drift_requests(b, &model, b.requests, 1));
+        if engine.plan_health() == Some(PlanHealth::Stale) {
+            detected_after_batches = Some(batch + 1);
+            break;
+        }
+    }
+    let detected_within_bound = detected_after_batches.is_some();
+    let drift_ewma = engine.watchdog_stats().map_or(0.0, |s| s.ewma_deviation);
+    let epoch_before = engine.current_epoch();
+    let mut recalibrated = false;
+    let mut epoch_after = epoch_before;
+    let mut recovered = false;
+    let mut recovered_ewma = drift_ewma;
+    if detected_within_bound {
+        // Recalibrate against the now-drifted source and verify recovery
+        // at the new epoch.
+        source.set_phase(1);
+        match engine.recalibrate() {
+            Ok(epoch) => {
+                recalibrated = true;
+                epoch_after = epoch;
+                recovered = true;
+                for _ in 0..opts.post {
+                    let out = engine.run_batch(drift_requests(b, &model, b.requests, 1));
+                    recovered &= out.completed() == b.requests
+                        && out.responses.iter().all(|r| {
+                            r.as_ref()
+                                .map(|r| !r.stale_plan && r.epoch == epoch)
+                                .unwrap_or(false)
+                        });
+                }
+                recovered &= engine.plan_health() == Some(PlanHealth::Fresh);
+                recovered_ewma = engine
+                    .watchdog_stats()
+                    .map_or(f64::INFINITY, |s| s.ewma_deviation);
+                // The fresh band uses the same margin the lifecycle
+                // contract test pins.
+                recovered &= recovered_ewma < fresh_ewma + 0.04;
+            }
+            Err(e) => eprintln!("drift-bench recalibration failed: {e}"),
+        }
+    }
+    let wall = t0.elapsed();
+    let snap = engine.metrics_snapshot();
+    engine.shutdown();
+    let passed = detected_within_bound && recalibrated && recovered && swap_bit_identical;
+    let report = DriftBenchReport {
+        model: model.name.clone(),
+        tokens: model.grid.len(),
+        threads: b.threads,
+        requests_per_batch: b.requests,
+        blocks: b.blocks,
+        heads: b.heads,
+        seed: b.seed,
+        warmup_batches: opts.warmup,
+        detect_bound_batches: opts.detect_within,
+        post_batches: opts.post,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        detected_after_batches,
+        detected_within_bound,
+        recalibrated,
+        recovered,
+        swap_bit_identical,
+        passed,
+        epoch_before,
+        epoch_after,
+        fresh_ewma,
+        drift_ewma,
+        recovered_ewma,
+        stale_detected: snap.stale_detected,
+        recalibrations: snap.recalibrations,
+        recalib_failed: snap.recalib_failed,
+        stale_served: snap.stale_served,
+        watchdog_observe_ns: measure_watchdog_overhead_ns(),
+    };
+    let json = serde_json::to_string_pretty(&report)?;
+    if let Some(path) = &b.out {
+        write_output(path, json.as_bytes())?;
+    }
+    println!("{json}");
+    eprintln!(
+        "drift: detected in {} batch(es) (bound {}), epoch {} -> {}, \
+         ewma {:.4} -> {:.4} -> {:.4}, stale_served {}, \
+         swap bit-identical: {}, watchdog observe {:.0} ns",
+        detected_after_batches.map_or_else(|| "∞".to_string(), |n| n.to_string()),
+        opts.detect_within,
+        epoch_before,
+        epoch_after,
+        fresh_ewma,
+        drift_ewma,
+        recovered_ewma,
+        snap.stale_served,
+        swap_bit_identical,
+        report.watchdog_observe_ns,
+    );
+    if !passed {
+        return Err(format!(
+            "drift lifecycle gate failed: detected_within_bound={detected_within_bound} \
+             recalibrated={recalibrated} recovered={recovered} \
+             swap_bit_identical={swap_bit_identical}"
+        )
+        .into());
     }
     Ok(())
 }

@@ -55,6 +55,10 @@ pub enum CliCommand {
     /// against the engine under both wave policies and print per-tenant
     /// latency histograms plus the drain-vs-continuous comparison.
     SoakBench(SoakBenchOpts),
+    /// `paro drift-bench`: inject calibration drift into a watchdog-armed
+    /// engine and verify the detect → recalibrate → recover loop plus
+    /// mid-batch hot-swap bit-identity, printing a JSON report.
+    DriftBench(DriftBenchOpts),
     /// `paro perf-bench`: time the single-head packed-integer pipeline
     /// under the dispatched micro-kernel (plus a forced-scalar reference
     /// pass), write a `BENCH_<label>.json` baseline, and optionally gate
@@ -195,6 +199,26 @@ pub struct SoakBenchOpts {
     pub repeat: usize,
 }
 
+/// Options for `paro drift-bench`: a serving workload driven in batches
+/// through the calibration-drift lifecycle (warm → drift → detect →
+/// recalibrate → recover).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftBenchOpts {
+    /// The per-batch workload (same knobs as `paro serve-bench`;
+    /// `--requests` is the batch size).
+    pub bench: ServeBenchOpts,
+    /// Fresh-traffic batches served before drift is injected
+    /// (`--warmup N`).
+    pub warmup: usize,
+    /// Drifted-traffic batches the watchdog gets to flag the plan
+    /// `Stale` (`--detect-within N`); detection past the bound fails
+    /// the command.
+    pub detect_within: usize,
+    /// Post-recalibration batches that must serve un-flagged
+    /// (`--post N`).
+    pub post: usize,
+}
+
 /// Options for `paro perf-bench`: the single-head workload, the run
 /// label/output path, and the optional baseline gate.
 #[derive(Debug, Clone, PartialEq)]
@@ -248,6 +272,10 @@ USAGE:
                   [--queue N] [--requests N] [--deadline-ms MS]
                   [--grid FxHxW] [--blocks N] [--heads N] [--budget B]
                   [--block EDGE] [--seed S] [--plan FILE] [--out FILE]
+  paro drift-bench [--warmup N] [--detect-within N] [--post N] [--threads N]
+                   [--queue N] [--requests N] [--deadline-ms MS]
+                   [--grid FxHxW] [--blocks N] [--heads N] [--budget B]
+                   [--block EDGE] [--seed S] [--out FILE]
   paro perf-bench [--label NAME] [--out FILE] [--iters N] [--grid FxHxW]
                   [--budget B] [--block EDGE] [--seed S]
                   [--compare FILE] [--tolerance PCT]
@@ -284,6 +312,19 @@ times to average out scheduler noise. The JSON report carries per-tenant
 latency histograms, pool busy fractions, wave/dispatch counts and the
 occupancy/p99 comparison pinned by docs/SCHEDULING.md; outputs must stay
 bit-identical across every policy and repeat or the command fails.
+
+drift-bench drives the calibration-drift lifecycle end to end
+(docs/LIFECYCLE.md): a watchdog-armed engine serves --warmup fresh
+batches, the traffic's pattern families then rotate (calibration
+drift), and the watchdog must flag the plan Stale within
+--detect-within batches, counting every request served meanwhile as
+stale_served. The bench then recalibrates against the drifted source —
+an atomic epoch hot-swap whose mid-batch bit-identity it also proves —
+and --post recovery batches must serve un-flagged with the fidelity
+proxy back in its fresh band. The JSON report (stdout, --out) carries
+the detection/recovery verdicts, the lifecycle counters and the
+measured per-observation watchdog overhead; any failed verdict exits
+non-zero.
 
 chaos-bench runs a baseline batch, injects deterministic faults
 (worker/pool panics, transient quant/pipeline errors) into a second
@@ -431,6 +472,40 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 rate,
                 weights,
                 repeat,
+            }))
+        }
+        "drift-bench" => {
+            let mut allowed = vec!["warmup", "detect-within", "post", "out"];
+            allowed.extend_from_slice(BENCH_FLAGS);
+            reject_unknown(&opts, &allowed)?;
+            // Batches are small and the bench's watchdog knobs are
+            // fast-reacting, so the whole loop stays inside the CI
+            // smoke budget.
+            let mut bench = parse_bench_opts(&opts, "24")?;
+            bench.out = opts_get(&opts, "out").map(str::to_string);
+            if bench.plan.is_some() {
+                return Err(
+                    "drift-bench recalibrates live and cannot serve a frozen --plan artifact"
+                        .to_string(),
+                );
+            }
+            let warmup: usize = parse_num(opts_get(&opts, "warmup").unwrap_or("3"))?;
+            if warmup == 0 {
+                return Err("--warmup must be at least 1".to_string());
+            }
+            let detect_within: usize = parse_num(opts_get(&opts, "detect-within").unwrap_or("2"))?;
+            if detect_within == 0 {
+                return Err("--detect-within must be at least 1".to_string());
+            }
+            let post: usize = parse_num(opts_get(&opts, "post").unwrap_or("3"))?;
+            if post == 0 {
+                return Err("--post must be at least 1".to_string());
+            }
+            Ok(CliCommand::DriftBench(DriftBenchOpts {
+                bench,
+                warmup,
+                detect_within,
+                post,
             }))
         }
         "perf-bench" => {
@@ -1101,6 +1176,71 @@ mod tests {
     }
 
     #[test]
+    fn drift_bench_defaults_and_flags() {
+        let cmd = parse_args(&args(&["drift-bench"])).unwrap();
+        match cmd {
+            CliCommand::DriftBench(opts) => {
+                assert_eq!(opts.bench.requests, 24);
+                assert_eq!(opts.warmup, 3);
+                assert_eq!(opts.detect_within, 2);
+                assert_eq!(opts.post, 3);
+                assert_eq!(opts.bench.out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "drift-bench",
+            "--warmup",
+            "5",
+            "--detect-within",
+            "4",
+            "--post",
+            "2",
+            "--requests",
+            "12",
+            "--out",
+            "drift.json",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::DriftBench(opts) => {
+                assert_eq!(opts.warmup, 5);
+                assert_eq!(opts.detect_within, 4);
+                assert_eq!(opts.post, 2);
+                assert_eq!(opts.bench.requests, 12);
+                assert_eq!(opts.bench.out.as_deref(), Some("drift.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drift_bench_rejects_degenerate_values() {
+        assert!(parse_args(&args(&["drift-bench", "--warmup", "0"]))
+            .unwrap_err()
+            .contains("warmup"));
+        assert!(parse_args(&args(&["drift-bench", "--detect-within", "0"]))
+            .unwrap_err()
+            .contains("detect-within"));
+        assert!(parse_args(&args(&["drift-bench", "--post", "0"]))
+            .unwrap_err()
+            .contains("post"));
+        assert!(parse_args(&args(&["drift-bench", "--requests", "0"]))
+            .unwrap_err()
+            .contains("requests"));
+        assert!(parse_args(&args(&["drift-bench", "--plan", "x.paro"]))
+            .unwrap_err()
+            .contains("--plan"));
+    }
+
+    #[test]
+    fn usage_documents_drift_bench() {
+        assert!(USAGE.contains("drift-bench"));
+        assert!(USAGE.contains("--detect-within"));
+        assert!(USAGE.contains("docs/LIFECYCLE.md"));
+    }
+
+    #[test]
     fn perf_bench_defaults() {
         let cmd = parse_args(&args(&["perf-bench"])).unwrap();
         match cmd {
@@ -1188,6 +1328,7 @@ mod tests {
             "trace",
             "chaos-bench",
             "soak-bench",
+            "drift-bench",
             "perf-bench",
             "tune",
         ] {

@@ -110,15 +110,30 @@ pub fn inspect_text(bytes: &[u8]) -> Result<String, ArtifactError> {
     let view = ArtifactView::parse(bytes)?;
     let meta = view.meta();
     let mut out = String::new();
+    let legacy = if view.is_legacy() {
+        format!(" (legacy — current writer is v{})", paro_artifact::VERSION)
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "plan artifact v{} — model {} ({}x{}x{} grid, {}x{} blocks)\n",
-        paro_artifact::VERSION,
+        "plan artifact v{}{} — model {} ({}x{}x{} grid, {}x{} blocks)\n",
+        view.version(),
+        legacy,
         meta.model,
         meta.frames,
         meta.height,
         meta.width,
         meta.block_rows,
         meta.block_cols,
+    ));
+    out.push_str(&format!(
+        "epoch {}  calibrated {}\n",
+        meta.epoch,
+        if meta.created_at == 0 {
+            "undated".to_string()
+        } else {
+            format_utc(meta.created_at)
+        },
     ));
     out.push_str(&format!(
         "calib_bits {}  budget {:.2}  alpha {:.2}  heads {}  ({} bytes)\n",
@@ -159,12 +174,42 @@ pub fn inspect_text(bytes: &[u8]) -> Result<String, ArtifactError> {
 pub fn verify_text(bytes: &[u8]) -> Result<String, ArtifactError> {
     let view = ArtifactView::parse(bytes)?;
     view.verify_deep()?;
+    // A legacy (older-format) artifact is readable forever — flag it
+    // rather than failing, so operators know its lifecycle fields
+    // (epoch, timestamp) are defaulted, not recorded.
+    let legacy = if view.is_legacy() {
+        format!(
+            " — legacy v{} format (readable; re-freeze to v{} to record epoch and timestamp)",
+            view.version(),
+            paro_artifact::VERSION,
+        )
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "artifact OK: model {}, {} heads, {} bytes — header, checksum and per-head domains verified",
+        "artifact OK: model {}, {} heads, {} bytes — header, checksum and per-head domains verified{legacy}",
         view.meta().model,
         view.head_count(),
         bytes.len(),
     ))
+}
+
+/// Formats a Unix timestamp as `YYYY-MM-DD HH:MM:SS UTC` without a
+/// calendar dependency (civil-from-days, Gregorian).
+fn format_utc(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(month <= 2);
+    format!("{y:04}-{month:02}-{d:02} {h:02}:{m:02}:{s:02} UTC")
 }
 
 /// Seeds the roofline model from a measured perf-bench baseline: the
@@ -427,13 +472,42 @@ mod tests {
         let text = inspect_text(&bytes).unwrap();
         assert!(text.contains("CogVideoX-2B@2x4x4"), "{text}");
         assert!(text.contains("avg_bits"), "{text}");
+        // A freshly built artifact is current-format: epoch 0, no
+        // legacy marker, and a real calibration timestamp when the
+        // builder stamped one.
+        assert!(text.contains("epoch 0"), "{text}");
+        assert!(!text.contains("legacy"), "{text}");
         let ok = verify_text(&bytes).unwrap();
         assert!(ok.contains("artifact OK"), "{ok}");
+        assert!(!ok.contains("legacy"), "{ok}");
         // Corruption is reported, not swallowed.
         let mut bad = bytes.clone();
         let mid = bad.len() / 2;
         bad[mid] ^= 0x40;
         assert!(verify_text(&bad).is_err());
+    }
+
+    #[test]
+    fn legacy_artifacts_inspect_and_verify_as_readable_but_legacy() {
+        let bytes = std::fs::read(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../artifact/tests/fixtures/golden_v1.paro"
+        ))
+        .expect("committed v1 fixture");
+        let text = inspect_text(&bytes).unwrap();
+        assert!(text.contains("plan artifact v1 (legacy"), "{text}");
+        assert!(text.contains("epoch 0"), "{text}");
+        assert!(text.contains("calibrated undated"), "{text}");
+        let ok = verify_text(&bytes).unwrap();
+        assert!(ok.contains("artifact OK"), "{ok}");
+        assert!(ok.contains("legacy v1 format (readable"), "{ok}");
+    }
+
+    #[test]
+    fn utc_formatting_is_gregorian() {
+        assert_eq!(format_utc(0), "1970-01-01 00:00:00 UTC");
+        assert_eq!(format_utc(1_750_000_000), "2025-06-15 15:06:40 UTC");
+        assert_eq!(format_utc(951_782_400), "2000-02-29 00:00:00 UTC");
     }
 
     #[test]

@@ -192,6 +192,74 @@ pub struct SoakTenantRow {
     pub p99_ms: f64,
 }
 
+/// Top-level JSON report `paro drift-bench` prints to stdout: the
+/// drift-injection schedule, the watchdog's detection/recovery verdicts,
+/// the hot-swap bit-identity check, the engine's lifecycle counters and
+/// the measured per-observation watchdog overhead. The CI drift-smoke
+/// job gates on the verdict booleans (see docs/LIFECYCLE.md).
+#[derive(Debug, Serialize)]
+pub struct DriftBenchReport {
+    /// Scaled model name (e.g. `CogVideoX-2B@4x6x6`).
+    pub model: String,
+    /// Tokens per attention head (the scaled grid's volume).
+    pub tokens: usize,
+    /// Serve worker threads.
+    pub threads: usize,
+    /// Requests per batch (`--requests`).
+    pub requests_per_batch: usize,
+    /// Transformer blocks in the workload.
+    pub blocks: usize,
+    /// Heads per block in the workload.
+    pub heads: usize,
+    /// RNG seed of the workload and calibration source.
+    pub seed: u64,
+    /// Fresh batches served before drift injection (`--warmup`).
+    pub warmup_batches: usize,
+    /// Detection bound in drifted batches (`--detect-within`).
+    pub detect_bound_batches: usize,
+    /// Post-recalibration recovery batches (`--post`).
+    pub post_batches: usize,
+    /// Wall-clock time of the whole lifecycle run, ms.
+    pub wall_ms: f64,
+    /// Drifted batches served before the watchdog flagged `Stale`
+    /// (absent when the bound elapsed without detection).
+    pub detected_after_batches: Option<usize>,
+    /// Whether `Stale` was flagged within `detect_bound_batches`.
+    pub detected_within_bound: bool,
+    /// Whether recalibration succeeded and published a new epoch.
+    pub recalibrated: bool,
+    /// Whether every post-recalibration batch served un-flagged with
+    /// health back to `fresh` and the proxy inside the fresh band.
+    pub recovered: bool,
+    /// Whether requests in flight across the mid-batch hot-swap stayed
+    /// bit-identical to a never-swapped engine.
+    pub swap_bit_identical: bool,
+    /// Conjunction of the four verdicts above; `false` exits non-zero.
+    pub passed: bool,
+    /// Plan epoch before recalibration.
+    pub epoch_before: u64,
+    /// Plan epoch after recalibration (equals `epoch_before` when
+    /// recalibration never ran or failed).
+    pub epoch_after: u64,
+    /// Watchdog EWMA deviation at the end of warmup (the fresh band).
+    pub fresh_ewma: f64,
+    /// Watchdog EWMA deviation at detection time.
+    pub drift_ewma: f64,
+    /// Watchdog EWMA deviation after the recovery batches.
+    pub recovered_ewma: f64,
+    /// `stale_detected` counter from the engine's metrics.
+    pub stale_detected: u64,
+    /// `recalibrations` counter from the engine's metrics.
+    pub recalibrations: u64,
+    /// `recalib_failed` counter from the engine's metrics.
+    pub recalib_failed: u64,
+    /// `stale_served` counter from the engine's metrics.
+    pub stale_served: u64,
+    /// Measured cost of one `Watchdog::observe` call, nanoseconds —
+    /// the per-request overhead of arming the watchdog.
+    pub watchdog_observe_ns: f64,
+}
+
 /// Top-level JSON report `paro chaos-bench` prints to stdout: which
 /// faults were armed and fired, what the chaos batch resolved to, and
 /// whether a clean batch run on the same engine afterwards reproduced the

@@ -40,8 +40,9 @@ fn plan_build_writes_into_missing_directories_and_verifies() {
     assert!(ok.contains("artifact OK"), "{ok}");
     let text = inspect_text(&back).unwrap();
     assert!(text.contains("CogVideoX-2B@2x4x4"), "{text}");
-    // One table row per (block, head) pair.
-    assert_eq!(text.lines().count(), 3 + opts.blocks * opts.heads, "{text}");
+    // One table row per (block, head) pair after the three metadata
+    // lines (format/model, epoch/timestamp, knobs) and the table header.
+    assert_eq!(text.lines().count(), 4 + opts.blocks * opts.heads, "{text}");
 }
 
 #[test]

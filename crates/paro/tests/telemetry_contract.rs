@@ -8,9 +8,9 @@
 //! documented field the code no longer emits.
 
 use paro::report::{
-    AttnVThroughput, ChaosBenchReport, InjectedFaultRow, IntPathComparison, PerfBenchReport,
-    PerfStageRow, ServeBenchReport, SoakBenchReport, SoakRunReport, SoakTenantRow, StageSummaryRow,
-    TuneHeadRow, TuneReport, TuneValidation,
+    AttnVThroughput, ChaosBenchReport, DriftBenchReport, InjectedFaultRow, IntPathComparison,
+    PerfBenchReport, PerfStageRow, ServeBenchReport, SoakBenchReport, SoakRunReport, SoakTenantRow,
+    StageSummaryRow, TuneHeadRow, TuneReport, TuneValidation,
 };
 use paro::serve::{CacheStats, Metrics};
 use paro::sim::tune::RooflineModel;
@@ -406,6 +406,53 @@ fn soak_bench_report_fields_match_docs() {
         &emitted,
         &documented(&telemetry_doc(), "soak-bench"),
         "soak-bench report",
+    );
+}
+
+/// A fully-populated drift report: `detected_after_batches` is `Some`
+/// so the optional field serializes and its path is walked.
+fn sample_drift_report() -> DriftBenchReport {
+    DriftBenchReport {
+        model: "CogVideoX-2B@4x6x6".to_string(),
+        tokens: 144,
+        threads: 4,
+        requests_per_batch: 24,
+        blocks: 3,
+        heads: 4,
+        seed: 42,
+        warmup_batches: 3,
+        detect_bound_batches: 2,
+        post_batches: 3,
+        wall_ms: 410.0,
+        detected_after_batches: Some(1),
+        detected_within_bound: true,
+        recalibrated: true,
+        recovered: true,
+        swap_bit_identical: true,
+        passed: true,
+        epoch_before: 0,
+        epoch_after: 1,
+        fresh_ewma: 0.012,
+        drift_ewma: 0.16,
+        recovered_ewma: 0.016,
+        stale_detected: 2,
+        recalibrations: 1,
+        recalib_failed: 0,
+        stale_served: 19,
+        watchdog_observe_ns: 31.0,
+    }
+}
+
+#[test]
+fn drift_bench_report_fields_match_docs() {
+    let json = serde_json::to_string(&sample_drift_report()).expect("report serializes");
+    let value = serde_json::parse_value(&json).expect("report JSON parses");
+    let mut emitted = BTreeSet::new();
+    key_paths(&value, "", &mut emitted);
+    assert_contract(
+        &emitted,
+        &documented(&telemetry_doc(), "drift-bench"),
+        "drift-bench report",
     );
 }
 

@@ -26,6 +26,7 @@
 //! increases request concurrency without oversubscribing cores.
 
 use crate::admission::{lpt_order, relock, request_cost, rewait, ServeError};
+use crate::lifecycle::{PlanHealth, RecalibrationPolicy, Watchdog, WatchdogConfig, WatchdogStats};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{MethodKey, PlanCache, PlanKey};
 use crate::plan_store::PlanStore;
@@ -41,7 +42,7 @@ use paro_quant::{Bitwidth, BlockGrid};
 use paro_tensor::Tensor;
 use paro_trace::SpanOutcome;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -114,6 +115,13 @@ pub struct ServeConfig {
     /// `shed_budget` to be the same value, and the artifact to have
     /// been tuned at it.
     pub shed_plan_artifact: Option<std::path::PathBuf>,
+    /// Staleness watchdog configuration. `None` disables the fidelity
+    /// proxy entirely (no per-request sampling, responses never flag
+    /// `stale_plan`). See `docs/LIFECYCLE.md`.
+    pub watchdog: Option<WatchdogConfig>,
+    /// When (if ever) the engine recalibrates online and hot-swaps a new
+    /// plan epoch. [`RecalibrationPolicy::OnStale`] requires a watchdog.
+    pub recalibration: RecalibrationPolicy,
 }
 
 impl Default for ServeConfig {
@@ -136,6 +144,8 @@ impl Default for ServeConfig {
             tenants: vec![TenantClass::default()],
             wave_policy: WavePolicy::Continuous,
             shed_plan_artifact: None,
+            watchdog: None,
+            recalibration: RecalibrationPolicy::Off,
         }
     }
 }
@@ -207,6 +217,22 @@ impl ServeConfig {
                 ));
             }
         }
+        if let Some(wd) = &self.watchdog {
+            wd.validate()?;
+        }
+        match self.recalibration {
+            RecalibrationPolicy::OnStale if self.watchdog.is_none() => {
+                return Err(ServeError::InvalidConfig(
+                    "recalibration policy OnStale requires a watchdog".into(),
+                ));
+            }
+            RecalibrationPolicy::Periodic { every_requests: 0 } => {
+                return Err(ServeError::InvalidConfig(
+                    "periodic recalibration interval must be >= 1 request".into(),
+                ));
+            }
+            _ => {}
+        }
         Ok(())
     }
 
@@ -275,6 +301,15 @@ pub struct ServeResponse {
     /// Whether tier 1 of the shedding ladder served this request at its
     /// tenant's coarse `shed_budget` instead of the configured budget.
     pub shed: bool,
+    /// Plan epoch the request was pinned to at admission. A request
+    /// admitted before a hot-swap finishes on its pinned epoch even if
+    /// the engine publishes a newer one mid-flight.
+    pub epoch: u64,
+    /// Whether the watchdog considered the serving plan stale at the
+    /// time this response completed. The request was still served (the
+    /// lifecycle never sheds), but downstream consumers can weigh the
+    /// result accordingly.
+    pub stale_plan: bool,
 }
 
 /// Outcome of [`Engine::run_batch`]: per-request results in submission
@@ -362,6 +397,35 @@ struct Job {
     /// Coarse bit budget a tier-1 shed degraded this task to; `None`
     /// serves at the configured budget.
     budget_override: Option<f32>,
+    /// Plan epoch pinned at admission. The request resolves every head
+    /// plan at this epoch for its whole lifetime, so a hot-swap mid-batch
+    /// never mixes plan generations within one request.
+    epoch: u64,
+}
+
+/// Shared calibration-lifecycle state: the published plan epoch, the
+/// staleness watchdog, and the single-recalibration-in-flight guard.
+/// One instance is shared by the engine handle and every worker.
+struct Lifecycle {
+    /// The epoch new admissions pin. Monotonically increasing; published
+    /// *after* a recalibrated generation is fully inserted in the cache,
+    /// so a request can never observe the new epoch without its plans.
+    epoch: AtomicU64,
+    /// Epoch the configured plan artifact was frozen at (0 without an
+    /// artifact). Artifact lookups only satisfy misses at this epoch —
+    /// later epochs exist only in the cache, by construction.
+    base_epoch: u64,
+    watchdog: Option<Watchdog>,
+    policy: RecalibrationPolicy,
+    /// Single-flight guard: at most one recalibration (background or
+    /// synchronous) runs at a time.
+    recalibrating: AtomicBool,
+    /// Handle of the most recent background recalibration thread, joined
+    /// at shutdown so the engine never leaks a running recalibrator.
+    recalib_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Completed requests since the last recalibration started; drives
+    /// [`RecalibrationPolicy::Periodic`].
+    completed_since_recalib: AtomicU64,
 }
 
 /// The in-process attention-serving engine.
@@ -371,6 +435,8 @@ pub struct Engine {
     graph: Arc<WorkGraph<Job>>,
     cache: Arc<PlanCache>,
     metrics: Arc<Metrics>,
+    source: Arc<dyn CalibrationSource>,
+    lifecycle: Arc<Lifecycle>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     started: Instant,
     submitted: std::sync::atomic::AtomicUsize,
@@ -389,6 +455,19 @@ impl Engine {
         source: Arc<dyn CalibrationSource>,
     ) -> Result<Self, ServeError> {
         cfg.validate()?;
+        // The serving engine quantizes pure visual attention: every
+        // pattern family and calibration plan assumes the token sequence
+        // is exactly the video grid. A non-zero text prefix would be
+        // silently mis-modelled, so reject it loudly instead of zeroing
+        // it behind the caller's back (workload::scaled_config documents
+        // the explicit zeroing callers opt into).
+        if model.text_tokens > 0 {
+            return Err(ServeError::InvalidConfig(format!(
+                "model '{}' has text_tokens = {}: the engine serves pure visual attention; \
+                 zero the text prefix explicitly (see workload::scaled_config) before serving",
+                model.name, model.text_tokens
+            )));
+        }
         // A configured plan artifact is loaded and verified once, up
         // front: a corrupt or mismatched artifact fails engine
         // construction with a typed error instead of surfacing (or worse,
@@ -425,6 +504,18 @@ impl Engine {
         let cache = Arc::new(PlanCache::new(cfg.cache_capacity));
         let names: Vec<&str> = cfg.tenants.iter().map(|t| t.name.as_str()).collect();
         let metrics = Arc::new(Metrics::with_tenants(&names));
+        // The engine starts at the artifact's frozen epoch (0 without
+        // one); online recalibration only ever moves forward from there.
+        let base_epoch = plans.as_ref().map_or(0, |p| p.meta().epoch);
+        let lifecycle = Arc::new(Lifecycle {
+            epoch: AtomicU64::new(base_epoch),
+            base_epoch,
+            watchdog: cfg.watchdog.map(Watchdog::new),
+            policy: cfg.recalibration,
+            recalibrating: AtomicBool::new(false),
+            recalib_thread: Mutex::new(None),
+            completed_since_recalib: AtomicU64::new(0),
+        });
         let mut workers = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
             let ctx = WorkerCtx {
@@ -436,6 +527,7 @@ impl Engine {
                 source: Arc::clone(&source),
                 plans: plans.clone(),
                 shed_plans: shed_plans.clone(),
+                lifecycle: Arc::clone(&lifecycle),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("paro-serve-{i}"))
@@ -453,6 +545,8 @@ impl Engine {
             graph,
             cache,
             metrics,
+            source,
+            lifecycle,
             workers: Mutex::new(workers),
             started: Instant::now(),
             submitted: std::sync::atomic::AtomicUsize::new(0),
@@ -539,6 +633,9 @@ impl Engine {
         let tenant = request.tenant;
         let deadline = request.deadline.or(self.cfg.default_deadline);
         let shed_budget = self.cfg.tenants[tenant].shed_budget;
+        // Pin the plan epoch at admission: the request serves every head
+        // at this generation even if a hot-swap lands while it is queued.
+        let epoch = self.lifecycle.epoch.load(Relaxed);
         let admitted = self
             .graph
             .submit(tenant, cost, index as u64, blocking, |admission| Job {
@@ -554,6 +651,7 @@ impl Engine {
                     Admission::Full => None,
                     Admission::Shed => shed_budget,
                 },
+                epoch,
             });
         match admitted {
             Ok(admission) => {
@@ -680,7 +778,60 @@ impl Engine {
                 self.cfg.budget,
                 self.cfg.alpha,
             ),
+            epoch: self.lifecycle.epoch.load(Ordering::Relaxed),
         }
+    }
+
+    /// The plan epoch new admissions currently pin.
+    pub fn current_epoch(&self) -> u64 {
+        self.lifecycle.epoch.load(Ordering::Relaxed)
+    }
+
+    /// The watchdog's current verdict on the serving plan, or `None`
+    /// when no watchdog is configured.
+    pub fn plan_health(&self) -> Option<PlanHealth> {
+        self.lifecycle.watchdog.as_ref().map(Watchdog::health)
+    }
+
+    /// Point-in-time watchdog internals (baseline, EWMA deviation,
+    /// sample counts), or `None` when no watchdog is configured.
+    pub fn watchdog_stats(&self) -> Option<WatchdogStats> {
+        self.lifecycle.watchdog.as_ref().map(Watchdog::stats)
+    }
+
+    /// Recalibrates every ready head plan from the calibration source and
+    /// atomically hot-swaps the new generation in, returning the new
+    /// epoch. In-flight requests finish on their pinned epoch; admissions
+    /// after the swap pick up the new one. Mutually exclusive with any
+    /// background recalibration — this call waits for one in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Faulted`] when the recalibrator faults (including
+    /// injected `serve.recalibrate` failpoints) after the configured
+    /// bounded retries. The engine keeps serving on the old epoch; the
+    /// failure is counted in `recalib_failed`.
+    pub fn recalibrate(&self) -> Result<u64, ServeError> {
+        while self.lifecycle.recalibrating.swap(true, Ordering::AcqRel) {
+            let handle = relock(&self.lifecycle.recalib_thread).take();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        let ctx = RecalibCtx {
+            cfg: self.cfg.clone(),
+            model: self.model.clone(),
+            cache: Arc::clone(&self.cache),
+            metrics: Arc::clone(&self.metrics),
+            source: Arc::clone(&self.source),
+            lifecycle: Arc::clone(&self.lifecycle),
+        };
+        let result = recalibrate_guarded(&ctx);
+        self.lifecycle.recalibrating.store(false, Ordering::Release);
+        result
     }
 }
 
@@ -695,6 +846,12 @@ impl Engine {
         self.graph.close();
         let handles = std::mem::take(&mut *relock(&self.workers));
         for handle in handles {
+            let _ = handle.join();
+        }
+        // A background recalibration may still be running; join it so
+        // shutdown never leaks a thread touching the (shared) cache.
+        let recalib = relock(&self.lifecycle.recalib_thread).take();
+        if let Some(handle) = recalib {
             let _ = handle.join();
         }
     }
@@ -715,6 +872,7 @@ struct WorkerCtx {
     source: Arc<dyn CalibrationSource>,
     plans: Option<Arc<PlanStore>>,
     shed_plans: Option<Arc<PlanStore>>,
+    lifecycle: Arc<Lifecycle>,
 }
 
 fn worker_loop(ctx: &WorkerCtx) {
@@ -796,6 +954,7 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) {
                 row.completed.fetch_add(1, Relaxed);
                 row.total.record(job.enqueued.elapsed());
             }
+            let stale_plan = observe_lifecycle(ctx, job, &exec);
             job.slot.fill_once(Ok(ServeResponse {
                 index: job.index,
                 block: job.block,
@@ -808,6 +967,8 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) {
                 attempts: exec.attempts,
                 tenant: job.tenant,
                 shed: job.budget_override.is_some(),
+                epoch: job.epoch,
+                stale_plan,
             }));
         }
         Err(e) => {
@@ -835,6 +996,228 @@ struct Executed {
     cache_hit: bool,
     degraded: bool,
     attempts: u32,
+}
+
+/// Post-completion lifecycle bookkeeping for one successful request:
+/// feeds the fidelity proxy to the watchdog (sampled), flags/counts stale
+/// service, and triggers background recalibration per the policy.
+/// Returns whether the response should carry `stale_plan`.
+fn observe_lifecycle(ctx: &WorkerCtx, job: &Job, exec: &Executed) -> bool {
+    use std::sync::atomic::Ordering::Relaxed;
+    let lc = &ctx.lifecycle;
+    let mut went_stale = false;
+    if let Some(wd) = &lc.watchdog {
+        // Only clean, current-epoch, full-budget results feed the proxy:
+        // a degraded f32 fallback, a shed coarse-budget run, or a request
+        // pinned to a pre-swap epoch would shift the sparsity baseline
+        // for reasons that have nothing to do with drift.
+        let clean =
+            !exec.degraded && job.budget_override.is_none() && job.epoch == lc.epoch.load(Relaxed);
+        if clean {
+            if let Some(state) = wd.observe((job.block, job.head), f64::from(exec.run.map_sparsity))
+            {
+                // Zero-length marker span: the transition itself is the
+                // event; its detail names the state entered.
+                drop(paro_trace::span_detailed(
+                    paro_trace::stage::PLAN_HEALTH,
+                    state.name(),
+                ));
+                if state == PlanHealth::Stale {
+                    ctx.metrics.stale_detected.fetch_add(1, Relaxed);
+                    went_stale = true;
+                }
+            }
+        }
+    }
+    let stale_plan = lc
+        .watchdog
+        .as_ref()
+        .is_some_and(|wd| wd.health() == PlanHealth::Stale);
+    if stale_plan {
+        ctx.metrics.stale_served.fetch_add(1, Relaxed);
+    }
+    match lc.policy {
+        RecalibrationPolicy::Off => {}
+        RecalibrationPolicy::OnStale => {
+            if went_stale {
+                trigger_background_recalibration(ctx);
+            }
+        }
+        RecalibrationPolicy::Periodic { every_requests } => {
+            let n = lc.completed_since_recalib.fetch_add(1, Relaxed) + 1;
+            if n >= every_requests {
+                trigger_background_recalibration(ctx);
+            }
+        }
+    }
+    stale_plan
+}
+
+/// Everything one recalibration run needs, owned — buildable from the
+/// engine handle (synchronous path) or a worker (background trigger).
+struct RecalibCtx {
+    cfg: ServeConfig,
+    model: ModelConfig,
+    cache: Arc<PlanCache>,
+    metrics: Arc<Metrics>,
+    source: Arc<dyn CalibrationSource>,
+    lifecycle: Arc<Lifecycle>,
+}
+
+/// Starts a background recalibration unless one is already in flight.
+/// The spawned thread owns its whole failure domain (`catch_unwind`), so
+/// a panicking recalibrator can never take a worker — let alone the
+/// engine — down with it.
+fn trigger_background_recalibration(ctx: &WorkerCtx) {
+    let lc = &ctx.lifecycle;
+    if lc.recalibrating.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let rctx = RecalibCtx {
+        cfg: ctx.cfg.clone(),
+        model: ctx.model.clone(),
+        cache: Arc::clone(&ctx.cache),
+        metrics: Arc::clone(&ctx.metrics),
+        source: Arc::clone(&ctx.source),
+        lifecycle: Arc::clone(&ctx.lifecycle),
+    };
+    let spawned = std::thread::Builder::new()
+        .name("paro-recalibrate".into())
+        .spawn(move || {
+            // The recalibrator reports through metrics/trace; a failure
+            // here leaves the old epoch serving, which is the designed
+            // degraded mode (responses flag `stale_plan`).
+            let _ = recalibrate_guarded(&rctx);
+            rctx.lifecycle.recalibrating.store(false, Ordering::Release);
+        });
+    match spawned {
+        Ok(handle) => {
+            let mut guard = relock(&lc.recalib_thread);
+            // Reap the previous (finished) recalibrator before storing.
+            if let Some(prev) = guard.take() {
+                let _ = prev.join();
+            }
+            *guard = Some(handle);
+        }
+        Err(_) => lc.recalibrating.store(false, Ordering::Release),
+    }
+}
+
+/// Runs one recalibration with panic containment: a panic anywhere in
+/// the run (e.g. an injected `serve.recalibrate` panic failpoint) is
+/// converted to a typed fault and counted, exactly like an error return.
+fn recalibrate_guarded(ctx: &RecalibCtx) -> Result<u64, ServeError> {
+    use std::sync::atomic::Ordering::Relaxed;
+    match catch_unwind(AssertUnwindSafe(|| run_recalibration(ctx))) {
+        Ok(result) => result,
+        Err(payload) => {
+            ctx.metrics.recalib_failed.fetch_add(1, Relaxed);
+            Err(ServeError::Faulted {
+                site: paro_failpoint::site::SERVE_RECALIBRATE.into(),
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// One recalibration run: re-freezes every plan the cache holds at the
+/// current epoch from the (possibly drifted) calibration source, then
+/// atomically hot-swaps the new generation in and publishes the bumped
+/// epoch. Transient faults get the same bounded linear-backoff retry as
+/// the serving path; a final failure leaves the old epoch serving.
+fn run_recalibration(ctx: &RecalibCtx) -> Result<u64, ServeError> {
+    use std::sync::atomic::Ordering::Relaxed;
+    // Restart the periodic clock at the *start* so a failing run cannot
+    // re-trigger on every completed request.
+    ctx.lifecycle.completed_since_recalib.store(0, Relaxed);
+    let recalib_span = paro_trace::span(paro_trace::stage::PLAN_RECALIBRATE);
+    let old_epoch = ctx.lifecycle.epoch.load(Relaxed);
+    let new_epoch = old_epoch + 1;
+    let keys = ctx.cache.ready_keys_at(old_epoch);
+    let mut attempts = 1u32;
+    let mut result = attempt_recalibration(ctx, &keys, new_epoch);
+    while let Err(e) = &result {
+        if !(e.is_transient() && attempts <= ctx.cfg.retry_limit) {
+            break;
+        }
+        {
+            let _backoff_span = paro_trace::span(paro_trace::stage::SERVE_RETRY_BACKOFF);
+            std::thread::sleep(ctx.cfg.retry_backoff * attempts);
+        }
+        attempts += 1;
+        result = attempt_recalibration(ctx, &keys, new_epoch);
+    }
+    match result {
+        Ok(entries) => {
+            // The swap is atomic from a request's point of view: the full
+            // generation lands in the cache first, and only then is the
+            // epoch published for new admissions to pin. The span's
+            // correlation context carries the epoch being published.
+            let _swap_ctx = paro_trace::ctx(new_epoch);
+            let swap_span = paro_trace::span(paro_trace::stage::PLAN_SWAP);
+            ctx.cache.insert_generation(entries);
+            ctx.lifecycle.epoch.store(new_epoch, Relaxed);
+            if let Some(wd) = &ctx.lifecycle.watchdog {
+                // Fresh plans need a fresh baseline: the proxy's normal
+                // range legitimately moves with the new generation.
+                wd.reset();
+                drop(paro_trace::span_detailed(
+                    paro_trace::stage::PLAN_HEALTH,
+                    PlanHealth::Fresh.name(),
+                ));
+            }
+            drop(swap_span);
+            ctx.metrics.recalibrations.fetch_add(1, Relaxed);
+            Ok(new_epoch)
+        }
+        Err(e) => {
+            recalib_span.set_outcome(SpanOutcome::Failed);
+            ctx.metrics.recalib_failed.fetch_add(1, Relaxed);
+            Err(e)
+        }
+    }
+}
+
+/// One attempt at re-freezing the whole plan generation. Every head
+/// calibrates on the shared compute pool — recalibration interleaves with
+/// serving work at per-head granularity instead of monopolizing cores.
+fn attempt_recalibration(
+    ctx: &RecalibCtx,
+    keys: &[PlanKey],
+    new_epoch: u64,
+) -> Result<Vec<(PlanKey, Arc<HeadCalibration>)>, ServeError> {
+    if paro_failpoint::fire(paro_failpoint::site::SERVE_RECALIBRATE) {
+        return Err(ServeError::Faulted {
+            site: paro_failpoint::site::SERVE_RECALIBRATE.into(),
+            message: "fault injected".into(),
+        });
+    }
+    let mut entries = Vec::with_capacity(keys.len());
+    for key in keys {
+        let source = Arc::clone(&ctx.source);
+        let (block_idx, head) = (key.block, key.head);
+        let grid = ctx.model.grid;
+        let edge = key.method.block_edge;
+        let calib_bits = key.method.calib_bits;
+        // Re-freeze at the key's own method point, so shed coarse-budget
+        // plans recalibrate at the shed budget, not the full one.
+        let budget = key.method.budget();
+        let alpha = key.method.alpha();
+        let cal = ComputePool::global()
+            .try_run(move || {
+                let maps = source.calibration_maps(block_idx, head)?;
+                let block = BlockGrid::square(edge).map_err(CoreError::from)?;
+                Ok::<_, ServeError>(calibrate_head(
+                    &maps, &grid, block, calib_bits, budget, alpha,
+                )?)
+            })
+            .map_err(|fault| ServeError::Faulted {
+                site: paro_failpoint::site::POOL_JOB.into(),
+                message: fault.message,
+            })??;
+        entries.push((key.at_epoch(new_epoch), Arc::new(cal)));
+    }
+    Ok(entries)
 }
 
 fn execute(ctx: &WorkerCtx, job: &Job) -> Result<Executed, ServeError> {
@@ -869,6 +1252,7 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<Executed, ServeError> {
             budget,
             ctx.cfg.alpha,
         ),
+        epoch: job.epoch,
     };
     // Bounded retry with linear backoff for transient faults (contained
     // panics, injected transient errors). The whole attempt — calibration
@@ -957,7 +1341,11 @@ fn resolve_calibration(
         // thawing a record is pure decoding, so it runs on the worker
         // thread, not the compute pool. Shed tasks consult the coarse
         // pre-staged artifact; full-fidelity tasks the primary one.
-        let store = if job.budget_override.is_some() {
+        // Artifacts only hold the epoch they were frozen at — misses on
+        // recalibrated epochs recompute from the live source instead.
+        let store = if job.epoch != ctx.lifecycle.base_epoch {
+            &None
+        } else if job.budget_override.is_some() {
             &ctx.shed_plans
         } else {
             &ctx.plans

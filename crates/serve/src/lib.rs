@@ -32,6 +32,12 @@
 //!   door, per-request deadlines with cooperative mid-pipeline
 //!   cancellation, and cost-aware LPT batch scheduling reusing the
 //!   simulator's dispatch cost model.
+//! - [`lifecycle`] — the calibration-drift lifecycle: a cheap fidelity
+//!   proxy sampled from served requests feeds a staleness [`Watchdog`]
+//!   (`Fresh → Suspect → Stale` with EWMA thresholds and hysteresis),
+//!   plans carry a **epoch** that requests pin at admission, and a
+//!   [`RecalibrationPolicy`] recalibrates online and hot-swaps the new
+//!   generation atomically. The contract is in `docs/LIFECYCLE.md`.
 //! - [`metrics`] — lock-cheap counters and latency histograms
 //!   (p50/p95/p99, queue depth, cache hit rate, per-stage timing),
 //!   exportable as a serde-JSON snapshot.
@@ -70,6 +76,7 @@
 
 pub mod admission;
 pub mod engine;
+pub mod lifecycle;
 pub mod metrics;
 pub mod plan_cache;
 pub mod plan_store;
@@ -81,6 +88,7 @@ pub use engine::{
     BatchOutcome, CalibrationSource, Engine, Scheduling, ServeConfig, ServeRequest, ServeResponse,
     Ticket,
 };
+pub use lifecycle::{PlanHealth, RecalibrationPolicy, Watchdog, WatchdogConfig, WatchdogStats};
 pub use metrics::{
     LatencyHistogram, LatencySummary, Metrics, MetricsSnapshot, TenantMetrics, TenantSnapshot,
 };

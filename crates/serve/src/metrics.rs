@@ -210,6 +210,17 @@ pub struct Metrics {
     pub faulted: AtomicU64,
     /// Requests rejected at admission for non-finite (NaN/Inf) inputs.
     pub invalid_input: AtomicU64,
+    /// Watchdog transitions into [`crate::lifecycle::PlanHealth::Stale`]
+    /// (one per declared-stale epoch, not per request).
+    pub stale_detected: AtomicU64,
+    /// Online recalibrations that completed and hot-swapped a new epoch.
+    pub recalibrations: AtomicU64,
+    /// Recalibration attempts that failed (fault, panic, or exhausted
+    /// retries); serving continued on the stale epoch.
+    pub recalib_failed: AtomicU64,
+    /// Requests served while the watchdog held the current epoch Stale
+    /// (each such response is flagged `stale_plan`).
+    pub stale_served: AtomicU64,
     /// Time from admission to a worker picking the request up.
     pub queue_wait: LatencyHistogram,
     /// Worker service time (calibration lookup + attention).
@@ -275,6 +286,10 @@ impl Metrics {
             degraded: self.degraded.load(Ordering::Relaxed),
             faulted: self.faulted.load(Ordering::Relaxed),
             invalid_input: self.invalid_input.load(Ordering::Relaxed),
+            stale_detected: self.stale_detected.load(Ordering::Relaxed),
+            recalibrations: self.recalibrations.load(Ordering::Relaxed),
+            recalib_failed: self.recalib_failed.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
             queue_depth,
             elapsed_s: secs,
             requests_per_sec: if secs > 0.0 {
@@ -328,6 +343,15 @@ pub struct MetricsSnapshot {
     pub faulted: u64,
     /// Requests rejected at admission for non-finite inputs.
     pub invalid_input: u64,
+    /// Watchdog transitions into the Stale health state.
+    pub stale_detected: u64,
+    /// Completed online recalibrations (each hot-swapped a new epoch).
+    pub recalibrations: u64,
+    /// Failed recalibration attempts (serving continued on the stale
+    /// epoch).
+    pub recalib_failed: u64,
+    /// Requests served while the current epoch was held Stale.
+    pub stale_served: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Wall-clock window the throughput figure covers (seconds).
@@ -431,6 +455,10 @@ mod tests {
             "degraded",
             "faulted",
             "invalid_input",
+            "stale_detected",
+            "recalibrations",
+            "recalib_failed",
+            "stale_served",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
         }

@@ -25,8 +25,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Cache key: one attention head of one model under one quantization
-/// method configuration. Floats enter via `to_bits` so the key is `Eq` +
-/// `Hash`.
+/// method configuration, at one plan epoch. Floats enter via `to_bits`
+/// so the key is `Eq` + `Hash`.
+///
+/// The **epoch** is the generation counter of the calibration-drift
+/// lifecycle (`docs/LIFECYCLE.md`): an online recalibration freezes a
+/// full set of plans at `epoch + 1` and hot-swaps admissions over to it,
+/// while in-flight requests keep resolving their pinned epoch's entries.
+/// Distinct epochs are distinct cache entries, so a swap never mutates a
+/// plan another request is using.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Model name (e.g. `"CogVideoX-2B"`).
@@ -39,6 +46,19 @@ pub struct PlanKey {
     pub head: usize,
     /// Quantization method configuration.
     pub method: MethodKey,
+    /// Plan epoch the calibration was frozen at (0 = the initial offline
+    /// calibration; incremented by each online recalibration).
+    pub epoch: u64,
+}
+
+impl PlanKey {
+    /// The same head/method key re-pinned to another epoch.
+    pub fn at_epoch(&self, epoch: u64) -> PlanKey {
+        PlanKey {
+            epoch,
+            ..self.clone()
+        }
+    }
 }
 
 /// The method half of a [`PlanKey`]: everything calibration depends on.
@@ -255,6 +275,36 @@ impl PlanCache {
         self.resolved.notify_all();
     }
 
+    /// Inserts a whole recalibrated generation in one critical section:
+    /// every `(key, calibration)` pair lands (refreshing LRU stamps)
+    /// before any lookup can observe a partially-populated epoch. The
+    /// hot-swap publishes the new epoch number only after this returns,
+    /// so admissions never race a half-inserted plan set.
+    pub fn insert_generation(&self, entries: Vec<(PlanKey, Arc<HeadCalibration>)>) {
+        let mut map = relock(&self.map);
+        for (key, cal) in entries {
+            let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+            map.insert(key, Slot::Ready(cal, stamp));
+        }
+        self.evict_over_capacity(&mut map);
+        drop(map);
+        self.resolved.notify_all();
+    }
+
+    /// The keys of every `Ready` entry frozen at `epoch`, in unspecified
+    /// order — the work list an online recalibration re-freezes.
+    /// In-flight markers are skipped (their epoch's entry is about to
+    /// exist; the recalibrator targets what is currently served).
+    pub fn ready_keys_at(&self, epoch: u64) -> Vec<PlanKey> {
+        relock(&self.map)
+            .iter()
+            .filter_map(|(k, s)| match s {
+                Slot::Ready(_, _) if k.epoch == epoch => Some(k.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Evicts lowest-stamp `Ready` entries until within capacity.
     /// In-flight markers are never evicted (their computation is about to
     /// land), so the map may transiently exceed capacity while many cold
@@ -372,6 +422,7 @@ mod tests {
             block,
             head,
             method: MethodKey::new(4, Bitwidth::B4, 4.8, 0.5),
+            epoch: 0,
         }
     }
 
@@ -569,6 +620,29 @@ mod tests {
         }
         // The key resolved and stayed cached despite the initial panic.
         assert!(cache.peek(&key(2, 2)).is_some());
+    }
+
+    #[test]
+    fn epochs_distinguish_keys_and_generation_insert_lists_back() {
+        let cache = PlanCache::new(8);
+        let k0 = key(0, 0);
+        let k1 = k0.at_epoch(1);
+        assert_ne!(k0, k1);
+        cache.insert(k0.clone(), Arc::new(calibration(0, 0)));
+        assert!(cache.peek(&k0).is_some());
+        assert!(cache.peek(&k1).is_none());
+
+        let gen: Vec<_> = (0..2)
+            .map(|h| (key(0, h).at_epoch(1), Arc::new(calibration(0, h))))
+            .collect();
+        cache.insert_generation(gen);
+        assert_eq!(cache.len(), 3);
+        let mut at1 = cache.ready_keys_at(1);
+        at1.sort_by_key(|k| k.head);
+        assert_eq!(at1.len(), 2);
+        assert!(at1.iter().all(|k| k.epoch == 1));
+        assert_eq!(cache.ready_keys_at(0), vec![k0]);
+        assert!(cache.ready_keys_at(2).is_empty());
     }
 
     #[test]

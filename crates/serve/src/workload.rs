@@ -14,11 +14,20 @@ use paro_model::patterns::{synthesize_head, PatternSpec};
 use paro_model::{ModelConfig, TokenGrid};
 use paro_tensor::rng::derive_seed;
 use paro_tensor::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A CogVideoX-style config with the token grid swapped for a smaller
 /// one, keeping the block/head/hidden structure. The full 17.8k-token
 /// grid is an accelerator-scale workload; serving benchmarks on a CPU
 /// functional model run the same per-head algorithm on a reduced grid.
+///
+/// The returned config has `text_tokens = 0`: the serving engine
+/// quantizes pure visual attention and **rejects** configs with a text
+/// prefix ([`crate::Engine::new`] fails with a typed
+/// [`crate::ServeError::InvalidConfig`]). This function is the explicit,
+/// documented place that zeroing happens — callers that build their own
+/// `ModelConfig` must zero the prefix themselves, knowingly, instead of
+/// having the engine silently rewrite it.
 pub fn scaled_config(
     base: &ModelConfig,
     frames: usize,
@@ -28,8 +37,6 @@ pub fn scaled_config(
     let mut cfg = base.clone();
     cfg.name = format!("{}@{}x{}x{}", base.name, frames, height, width);
     cfg.grid = TokenGrid::new(frames, height, width);
-    // The serving path quantizes pure visual attention; text-prefix
-    // handling stays with the offline pipeline.
     cfg.text_tokens = 0;
     cfg
 }
@@ -65,6 +72,20 @@ impl WorkloadSpec {
 /// Panics if the spec has zero blocks, heads or requests, or if the
 /// synthesized inputs are inconsistent (impossible by construction).
 pub fn synthetic_requests(spec: &WorkloadSpec) -> Vec<ServeRequest> {
+    synthetic_requests_at_phase(spec, 0)
+}
+
+/// [`synthetic_requests`] at a given **drift phase**: every head's
+/// pattern family comes from
+/// [`PatternSpec::for_head_phase`], so advancing the phase rotates the
+/// block-sparsity structure of the whole stream while keeping shapes,
+/// seeds and request order fixed. Phase 0 is bit-identical to
+/// [`synthetic_requests`].
+///
+/// # Panics
+///
+/// Same conditions as [`synthetic_requests`].
+pub fn synthetic_requests_at_phase(spec: &WorkloadSpec, phase: usize) -> Vec<ServeRequest> {
     let blocks = spec.blocks.min(spec.model.blocks);
     let heads = spec.heads.min(spec.model.heads);
     assert!(blocks > 0 && heads > 0, "workload needs blocks and heads");
@@ -75,7 +96,7 @@ pub fn synthetic_requests(spec: &WorkloadSpec) -> Vec<ServeRequest> {
         .map(|r| {
             let pair = r % pairs;
             let (block, head) = (pair / heads, pair % heads);
-            let pattern = PatternSpec::for_head(&spec.model.grid, block, head);
+            let pattern = PatternSpec::for_head_phase(&spec.model.grid, block, head, phase);
             let h = synthesize_head(
                 &spec.model.grid,
                 head_dim,
@@ -199,20 +220,90 @@ impl SyntheticSource {
 
 impl CalibrationSource for SyntheticSource {
     fn calibration_maps(&self, block: usize, head: usize) -> Result<Vec<Tensor>, CoreError> {
-        let head_dim = self.model.head_dim();
-        let pattern = PatternSpec::for_head(&self.model.grid, block, head);
-        let pair = (block * self.model.heads.max(1) + head) as u64;
-        (0..self.samples)
-            .map(|s| {
-                let h = synthesize_head(
-                    &self.model.grid,
-                    head_dim,
-                    &pattern,
-                    derive_seed(self.seed, 0xca11b + pair * 97 + s as u64),
-                );
-                attention_map(&h.q, &h.k)
-            })
-            .collect()
+        phased_calibration_maps(&self.model, self.samples, self.seed, block, head, 0)
+    }
+}
+
+/// Shared map synthesis for [`SyntheticSource`] (always phase 0) and
+/// [`DriftSource`] (whatever phase the drift schedule has advanced to).
+fn phased_calibration_maps(
+    model: &ModelConfig,
+    samples: usize,
+    seed: u64,
+    block: usize,
+    head: usize,
+    phase: usize,
+) -> Result<Vec<Tensor>, CoreError> {
+    let head_dim = model.head_dim();
+    let pattern = PatternSpec::for_head_phase(&model.grid, block, head, phase);
+    let pair = (block * model.heads.max(1) + head) as u64;
+    (0..samples)
+        .map(|s| {
+            let h = synthesize_head(
+                &model.grid,
+                head_dim,
+                &pattern,
+                derive_seed(seed, 0xca11b + pair * 97 + s as u64),
+            );
+            attention_map(&h.q, &h.k)
+        })
+        .collect()
+}
+
+/// A calibration source whose underlying pattern families **rotate on a
+/// schedule**: the drift workload for lifecycle tests and
+/// `paro drift-bench`. At phase 0 it is bit-identical to
+/// [`SyntheticSource`]; advancing the phase (the "timestep index" of the
+/// drift schedule) rotates every head's pattern family via
+/// [`PatternSpec::for_head_phase`], modelling traffic whose
+/// block-sparsity structure has walked away from the calibration set.
+///
+/// Determinism caveat: maps depend on `(block, head, phase)` — the
+/// source stays arrival-order independent *within* a phase, which is
+/// what the engine's bit-identity guarantee needs. Advancing the phase
+/// between batches is the controlled violation drift tests exist to
+/// exercise.
+#[derive(Debug)]
+pub struct DriftSource {
+    model: ModelConfig,
+    samples: usize,
+    seed: u64,
+    phase: AtomicUsize,
+}
+
+impl DriftSource {
+    /// A drift source starting at phase 0 (identical to
+    /// [`SyntheticSource`] with the same arguments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn new(model: ModelConfig, samples: usize, seed: u64) -> Self {
+        assert!(samples > 0, "calibration needs at least one sample");
+        DriftSource {
+            model,
+            samples,
+            seed,
+            phase: AtomicUsize::new(0),
+        }
+    }
+
+    /// Advances the drift schedule to the given phase. Calibration maps
+    /// requested after this reflect the rotated pattern families.
+    pub fn set_phase(&self, phase: usize) {
+        self.phase.store(phase, Ordering::Relaxed);
+    }
+
+    /// The current drift phase.
+    pub fn phase(&self) -> usize {
+        self.phase.load(Ordering::Relaxed)
+    }
+}
+
+impl CalibrationSource for DriftSource {
+    fn calibration_maps(&self, block: usize, head: usize) -> Result<Vec<Tensor>, CoreError> {
+        let phase = self.phase.load(Ordering::Relaxed);
+        phased_calibration_maps(&self.model, self.samples, self.seed, block, head, phase)
     }
 }
 
@@ -302,5 +393,92 @@ mod tests {
         let b = src.calibration_maps(1, 3).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn engine_rejects_text_prefix_and_accepts_zeroed_config() {
+        use crate::engine::{Engine, ServeConfig};
+        use crate::ServeError;
+        use std::sync::Arc;
+
+        let cfg = ServeConfig {
+            workers: 1,
+            block_edge: 4,
+            ..ServeConfig::default()
+        };
+        // A text prefix must be rejected loudly, not silently zeroed.
+        let mut with_text = scaled_config(&ModelConfig::cogvideox_2b(), 2, 4, 4);
+        with_text.text_tokens = 226;
+        let source = Arc::new(SyntheticSource::new(with_text.clone(), 1, 7));
+        match Engine::new(cfg.clone(), with_text, source) {
+            Err(ServeError::InvalidConfig(msg)) => {
+                assert!(
+                    msg.contains("text_tokens"),
+                    "message names the field: {msg}"
+                );
+                assert!(msg.contains("226"), "message carries the value: {msg}");
+            }
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+            Ok(_) => panic!("expected InvalidConfig, got a running engine"),
+        }
+        // The explicitly-zeroed config (what scaled_config produces) is
+        // accepted and serves.
+        let model = scaled_config(&ModelConfig::cogvideox_2b(), 2, 4, 4);
+        let source = Arc::new(SyntheticSource::new(model.clone(), 1, 7));
+        let engine = Engine::new(cfg, model.clone(), source).expect("zeroed config accepted");
+        let outcome = engine.run_batch(synthetic_requests(&WorkloadSpec {
+            model,
+            requests: 2,
+            blocks: 1,
+            heads: 1,
+            seed: 3,
+        }));
+        assert_eq!(outcome.completed(), 2);
+    }
+
+    #[test]
+    fn phase_zero_requests_match_unphased_stream() {
+        let s = spec();
+        let a = synthetic_requests(&s);
+        let b = synthetic_requests_at_phase(&s, 0);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.inputs.q(), y.inputs.q());
+            assert_eq!(x.inputs.k(), y.inputs.k());
+        }
+        // A later phase rotates pattern families: the stream changes.
+        let c = synthetic_requests_at_phase(&s, 1);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.inputs.q() != y.inputs.q()),
+            "phase 1 must change at least one request's inputs"
+        );
+    }
+
+    #[test]
+    fn drift_source_matches_synthetic_at_phase_zero_and_rotates_after() {
+        let cfg = scaled_config(&ModelConfig::cogvideox_2b(), 3, 4, 4);
+        let synth = SyntheticSource::new(cfg.clone(), 2, 5);
+        let drift = DriftSource::new(cfg, 2, 5);
+        assert_eq!(drift.phase(), 0);
+        assert_eq!(
+            synth.calibration_maps(1, 3).unwrap(),
+            drift.calibration_maps(1, 3).unwrap(),
+            "phase 0 is bit-identical to the static source"
+        );
+        drift.set_phase(2);
+        assert_eq!(drift.phase(), 2);
+        let rotated: Vec<_> = (0..6)
+            .map(|h| drift.calibration_maps(1, h).unwrap())
+            .collect();
+        let baseline: Vec<_> = (0..6)
+            .map(|h| synth.calibration_maps(1, h).unwrap())
+            .collect();
+        assert!(
+            rotated != baseline,
+            "advancing the phase must rotate some head's maps"
+        );
+        // Within a phase the source is still arrival-order independent.
+        let a = drift.calibration_maps(1, 3).unwrap();
+        let _ = drift.calibration_maps(0, 0).unwrap();
+        assert_eq!(a, drift.calibration_maps(1, 3).unwrap());
     }
 }

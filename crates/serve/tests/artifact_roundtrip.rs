@@ -63,6 +63,7 @@ fn freeze(engine: &Engine, cfg: &ServeConfig) -> Vec<u8> {
                 block,
                 head,
                 method: MethodKey::new(cfg.block_edge, cfg.calib_bits, cfg.budget, cfg.alpha),
+                epoch: 0,
             };
             let cal = engine
                 .cache()

@@ -231,6 +231,7 @@ fn exhausted_retries_degrade_to_bit_exact_reference_fallback() {
         block,
         head,
         method: MethodKey::new(cfg.block_edge, cfg.calib_bits, cfg.budget, cfg.alpha),
+        epoch: 0,
     };
     let cal = engine.cache().peek(&key).expect("plan cached");
     let reference =
@@ -447,5 +448,138 @@ fn mid_wave_tenant_panic_faults_only_that_tenant() {
     assert_eq!(snap.tenants[0].completed, 0);
     assert_eq!(snap.tenants[1].failed, 0, "fault leaked across tenants");
     assert_eq!(snap.tenants[1].completed, 10);
+    fp::reset();
+}
+
+#[test]
+fn recalibrator_panic_is_typed_and_engine_keeps_serving() {
+    let _chaos = chaos_guard();
+    let engine = test_engine(2);
+    let model = engine.model().clone();
+    // Warm a full plan generation and take a clean baseline.
+    let baseline = outputs_bits(&with_watchdog("recalib warmup", {
+        let model = model.clone();
+        let engine = Arc::new(test_engine(1));
+        move || engine.run_batch(test_requests(&model, 4))
+    }));
+    let epoch_before = engine.current_epoch();
+    engine.run_batch(test_requests(&model, 4));
+    // A panicking recalibrator surfaces as a typed fault, not a crash.
+    fp::arm(
+        fp::site::SERVE_RECALIBRATE,
+        FaultSpec::immediate(FaultKind::Panic, 1),
+    );
+    let err = engine
+        .recalibrate()
+        .expect_err("panicking recalibrator must fail typed");
+    assert!(
+        matches!(&err, ServeError::Faulted { site, .. } if site == fp::site::SERVE_RECALIBRATE),
+        "typed fault names the site: {err:?}"
+    );
+    assert_eq!(fp::fired(fp::site::SERVE_RECALIBRATE), 1);
+    assert_eq!(
+        engine.current_epoch(),
+        epoch_before,
+        "failed recalibration never publishes an epoch"
+    );
+    let snap = engine.metrics_snapshot();
+    assert!(snap.recalib_failed >= 1);
+    assert_eq!(snap.recalibrations, 0);
+    // The engine still serves, bit-identical to the never-faulted run.
+    fp::reset();
+    let after = with_watchdog("post-recalib-panic batch", {
+        let model = model.clone();
+        let engine = Arc::new(engine);
+        move || engine.run_batch(test_requests(&model, 4))
+    });
+    assert_eq!(outputs_bits(&after), baseline);
+}
+
+#[test]
+fn background_recalibration_fault_leaves_engine_serving_stale() {
+    use paro_serve::workload::{synthetic_requests_at_phase, DriftSource};
+    use paro_serve::{CalibrationSource, PlanHealth, RecalibrationPolicy, WatchdogConfig};
+
+    let _chaos = chaos_guard();
+    let model = test_model();
+    let source = Arc::new(DriftSource::new(model.clone(), 1, 7));
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        block_edge: 4,
+        watchdog: Some(WatchdogConfig {
+            sample_every: 1,
+            baseline_samples: 3,
+            ewma_alpha: 0.5,
+            suspect_threshold: 0.04,
+            stale_threshold: 0.08,
+            hysteresis: 2,
+        }),
+        recalibration: RecalibrationPolicy::OnStale,
+        ..ServeConfig::default()
+    };
+    let engine = Engine::new(
+        cfg,
+        model.clone(),
+        Arc::clone(&source) as Arc<dyn CalibrationSource>,
+    )
+    .expect("valid config");
+    let phased = |requests: usize, phase: usize| {
+        synthetic_requests_at_phase(
+            &WorkloadSpec {
+                model: model.clone(),
+                requests,
+                blocks: 2,
+                heads: 2,
+                seed: 4242,
+            },
+            phase,
+        )
+    };
+    // Baseline forms on phase-0 traffic.
+    for _ in 0..3 {
+        assert_eq!(engine.run_batch(phased(12, 0)).completed(), 12);
+    }
+    // Every background recalibration attempt panics (covers the bounded
+    // retries too — a panic aborts the run outright).
+    fp::arm(
+        fp::site::SERVE_RECALIBRATE,
+        FaultSpec::immediate(FaultKind::Panic, u64::MAX),
+    );
+    // Drifted traffic flips the watchdog to Stale, which triggers the
+    // (doomed) background recalibration.
+    engine.run_batch(phased(12, 1));
+    assert_eq!(engine.plan_health(), Some(PlanHealth::Stale));
+    // Wait for the background recalibrator to fail (it is asynchronous).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while engine.metrics_snapshot().recalib_failed == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background recalibration failure never surfaced in metrics"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(fp::fired(fp::site::SERVE_RECALIBRATE) >= 1);
+    // The engine is still up, serving on the pinned stale epoch and
+    // flagging it — degraded, not down.
+    let out = with_watchdog("stale-serving batch", {
+        let engine = Arc::new(engine);
+        let reqs = phased(8, 1);
+        move || {
+            let outcome = engine.run_batch(reqs);
+            let epoch = engine.current_epoch();
+            let snap = engine.metrics_snapshot();
+            (outcome, epoch, snap)
+        }
+    });
+    let (outcome, epoch, snap) = out;
+    assert_eq!(outcome.completed(), 8);
+    assert_eq!(epoch, 0, "no epoch was ever published");
+    assert!(outcome
+        .responses
+        .iter()
+        .all(|r| r.as_ref().unwrap().stale_plan));
+    assert!(snap.stale_served >= 8);
+    assert_eq!(snap.recalibrations, 0);
     fp::reset();
 }

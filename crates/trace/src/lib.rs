@@ -179,6 +179,18 @@ pub mod stage {
     /// budget (`detail` = `degrade`) or rejected outright (`detail` =
     /// `reject`).
     pub const SCHED_SHED: &str = "sched.shed";
+    /// Plan-health transition marker: a zero-length span emitted by the
+    /// staleness watchdog when a plan epoch's health state changes
+    /// (`detail` = the new state, `fresh` / `suspect` / `stale`).
+    pub const PLAN_HEALTH: &str = "plan.health";
+    /// One online recalibration attempt: re-freezing every head plan
+    /// from the current calibration source (marked `degraded` when the
+    /// attempt faulted and serving continues on the stale epoch).
+    pub const PLAN_RECALIBRATE: &str = "plan.recalibrate";
+    /// Atomic plan hot-swap: publication of a freshly recalibrated epoch
+    /// to new admissions (the span's correlation context is the new
+    /// epoch).
+    pub const PLAN_SWAP: &str = "plan.swap";
 
     /// Every canonical stage name, for exporter tests and documentation
     /// checks.
@@ -212,6 +224,9 @@ pub mod stage {
         SCHED_QUEUE_WAIT,
         SCHED_WAVE,
         SCHED_SHED,
+        PLAN_HEALTH,
+        PLAN_RECALIBRATE,
+        PLAN_SWAP,
     ];
 }
 
