@@ -1,0 +1,251 @@
+//! Greedy head-group placement for sharded execution.
+//!
+//! Calibration gives every attention head a per-head MAC/bit cost
+//! (0-bit blocks are bypassed and cost nothing — see
+//! [`crate::allocate`]); this module packs heads into `K` balanced
+//! shard groups with the classic longest-processing-time-first (LPT)
+//! heuristic: sort heads by descending cost, always assign to the
+//! least-loaded group. The serving engine routes each head's compute
+//! to its group's pool (`paro-serve`'s shard set), so a static, cheap
+//! plan decides the runtime balance.
+//!
+//! The greedy assignment carries the textbook guarantee the proptests
+//! pin: when a head lands on a group, that group was the lightest, so
+//! the final maximum and minimum group loads can never differ by more
+//! than the heaviest single head's cost.
+
+use paro_quant::Bitwidth;
+
+/// A frozen assignment of heads to shard groups.
+///
+/// Built once by [`plan`]; the accessors answer both routing questions
+/// (which shard owns head `i`?) and layout questions (in what order do
+/// heads have to be packed so each shard owns a contiguous slice?).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    shards: usize,
+    assignment: Vec<usize>,
+    loads: Vec<f64>,
+    max_item: f64,
+}
+
+/// Packs per-head costs into `shards` balanced groups (LPT greedy).
+///
+/// Heads are considered in descending cost order (ties broken by head
+/// index, like [`the LPT batch order`](crate::pool)), each assigned to
+/// the currently least-loaded shard (ties broken by lowest shard
+/// index). Zero-cost heads — fully B0-bypassed under the calibrated
+/// allocation — are still placed exactly once so every head has an
+/// owner, but they cannot move the balance.
+///
+/// With `shards == 1` the placement is the identity: every head on
+/// shard 0.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn plan(costs: &[f64], shards: usize) -> Placement {
+    assert!(shards > 0, "placement needs at least one shard");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]));
+    let mut assignment = vec![0usize; costs.len()];
+    let mut loads = vec![0.0f64; shards];
+    let mut max_item = 0.0f64;
+    for head in order {
+        let cost = costs[head].max(0.0);
+        max_item = max_item.max(cost);
+        let mut lightest = 0;
+        for s in 1..shards {
+            if loads[s] < loads[lightest] {
+                lightest = s;
+            }
+        }
+        assignment[head] = lightest;
+        loads[lightest] += cost;
+    }
+    Placement {
+        shards,
+        assignment,
+        loads,
+        max_item,
+    }
+}
+
+/// Per-head MAC cost of one calibrated bitwidth allocation, in units of
+/// one block's INT8 MACs: B0 blocks are bypassed (zero cost), B2/B4
+/// blocks cost a quarter/half of an INT8 block, B8 blocks the full
+/// amount. This is the same per-block cycle model the simulator's
+/// dispatcher uses (`paro-sim::dispatch::block_costs`), kept here so
+/// the placement planner has no simulator dependency.
+pub fn head_cost(macs_per_block_int8: f64, bits: &[Bitwidth]) -> f64 {
+    bits.iter()
+        .map(|b| match b {
+            Bitwidth::B0 => 0.0,
+            Bitwidth::B2 => macs_per_block_int8 / 4.0,
+            Bitwidth::B4 => macs_per_block_int8 / 2.0,
+            Bitwidth::B8 => macs_per_block_int8,
+        })
+        .sum()
+}
+
+impl Placement {
+    /// Number of shard groups.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of placed heads.
+    pub fn heads(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The shard that owns head `head`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is out of range.
+    pub fn shard_of(&self, head: usize) -> usize {
+        self.assignment[head]
+    }
+
+    /// The full head-to-shard assignment, indexed by head.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Planned cost load per shard.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// The heaviest single head's cost — the LPT bound on the spread
+    /// between the heaviest and lightest shard.
+    pub fn max_item(&self) -> f64 {
+        self.max_item
+    }
+
+    /// Head indices grouped by owning shard, each group ascending.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.shards];
+        for (head, &shard) in self.assignment.iter().enumerate() {
+            groups[shard].push(head);
+        }
+        groups
+    }
+
+    /// Heads reordered shard-by-shard (shard 0's heads first, ascending
+    /// within a shard): packing per-head data — e.g. an artifact's
+    /// packed-code records — in this order gives every shard one
+    /// contiguous slice.
+    pub fn permutation(&self) -> Vec<usize> {
+        self.groups().into_iter().flatten().collect()
+    }
+
+    /// Half-open ranges into [`Placement::permutation`], one per shard:
+    /// shard `s` owns `permutation()[ranges[s].clone()]`.
+    pub fn shard_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let mut ranges = Vec::with_capacity(self.shards);
+        let mut start = 0usize;
+        for group in self.groups() {
+            ranges.push(start..start + group.len());
+            start += group.len();
+        }
+        ranges
+    }
+
+    /// Planned load imbalance in percent: how far the heaviest shard
+    /// sits above the mean shard load (`(max / mean − 1) × 100`), the
+    /// same figure the serving metrics report as measured
+    /// `shard_imbalance_pct`. Zero when no shard carries any cost.
+    pub fn imbalance_pct(&self) -> f64 {
+        let mean = self.loads.iter().sum::<f64>() / self.shards as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let max = self.loads.iter().copied().fold(0.0f64, f64::max);
+        (max / mean - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_is_identity() {
+        let p = plan(&[3.0, 1.0, 2.0], 1);
+        assert_eq!(p.assignment(), &[0, 0, 0]);
+        assert_eq!(p.loads(), &[6.0]);
+        assert_eq!(p.imbalance_pct(), 0.0);
+        assert_eq!(p.permutation(), vec![0, 1, 2]);
+        assert_eq!(p.shard_ranges(), vec![0..3]);
+    }
+
+    #[test]
+    fn lpt_balances_the_textbook_example() {
+        // {8} vs {4, 4}: perfect split across two shards.
+        let p = plan(&[8.0, 4.0, 4.0], 2);
+        assert_eq!(p.loads(), &[8.0, 8.0]);
+        assert_eq!(p.shard_of(0), 0);
+        assert_eq!(p.shard_of(1), 1);
+        assert_eq!(p.shard_of(2), 1);
+        assert!(p.imbalance_pct() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cost_heads_are_still_placed() {
+        let p = plan(&[0.0, 5.0, 0.0, 0.0], 2);
+        assert_eq!(p.heads(), 4);
+        let placed: usize = p.groups().iter().map(Vec::len).sum();
+        assert_eq!(placed, 4);
+        // The B0-bypassed heads never shift the balance.
+        assert_eq!(p.loads().iter().sum::<f64>(), 5.0);
+    }
+
+    #[test]
+    fn all_zero_costs_report_zero_imbalance() {
+        let p = plan(&[0.0, 0.0], 4);
+        assert_eq!(p.imbalance_pct(), 0.0);
+        assert_eq!(p.max_item(), 0.0);
+    }
+
+    #[test]
+    fn empty_head_list_is_fine() {
+        let p = plan(&[], 3);
+        assert_eq!(p.heads(), 0);
+        assert_eq!(p.loads(), &[0.0, 0.0, 0.0]);
+        assert_eq!(p.shard_ranges(), vec![0..0, 0..0, 0..0]);
+    }
+
+    #[test]
+    fn permutation_gives_contiguous_shard_slices() {
+        let p = plan(&[5.0, 1.0, 4.0, 2.0, 3.0], 2);
+        let perm = p.permutation();
+        let ranges = p.shard_ranges();
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 5);
+        for (shard, range) in ranges.iter().enumerate() {
+            for &head in &perm[range.clone()] {
+                assert_eq!(p.shard_of(head), shard);
+            }
+        }
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn head_cost_follows_bitwidths() {
+        let cost = head_cost(
+            100.0,
+            &[Bitwidth::B0, Bitwidth::B2, Bitwidth::B4, Bitwidth::B8],
+        );
+        assert_eq!(cost, 175.0);
+        assert_eq!(head_cost(100.0, &[Bitwidth::B0, Bitwidth::B0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_shards_rejected() {
+        plan(&[1.0], 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the greedy (LPT) head-group placement planner.
+//!
+//! Pins the three guarantees the sharded serving engine leans on:
+//! every head is placed exactly once, a single-shard placement is the
+//! identity, and the spread between the heaviest and lightest shard
+//! never exceeds the heaviest single head's cost (the classic greedy
+//! least-loaded bound — when the eventual heaviest shard received its
+//! last head it was the lightest shard, so it can only overshoot the
+//! minimum by that one head).
+
+use paro_core::placement::plan;
+use proptest::prelude::*;
+
+fn costs_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1_000.0, 0..64)
+}
+
+proptest! {
+    #[test]
+    fn every_head_placed_exactly_once(costs in costs_strategy(), shards in 1usize..9) {
+        let p = plan(&costs, shards);
+        prop_assert_eq!(p.heads(), costs.len());
+        prop_assert_eq!(p.assignment().len(), costs.len());
+        for &s in p.assignment() {
+            prop_assert!(s < shards);
+        }
+        // Group membership agrees with the assignment and covers each
+        // head exactly once.
+        let mut seen = vec![0usize; costs.len()];
+        for (shard, group) in p.groups().iter().enumerate() {
+            for &head in group {
+                seen[head] += 1;
+                prop_assert_eq!(p.shard_of(head), shard);
+            }
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1));
+        // The shard-contiguous permutation is a true permutation.
+        let mut perm = p.permutation();
+        perm.sort_unstable();
+        prop_assert_eq!(perm, (0..costs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_shard_placement_is_identity(costs in costs_strategy()) {
+        let p = plan(&costs, 1);
+        prop_assert!(p.assignment().iter().all(|&s| s == 0));
+        prop_assert_eq!(p.permutation(), (0..costs.len()).collect::<Vec<_>>());
+        let total: f64 = costs.iter().sum();
+        prop_assert!((p.loads()[0] - total).abs() <= total * 1e-12 + 1e-9);
+        prop_assert_eq!(p.imbalance_pct(), 0.0);
+    }
+
+    #[test]
+    fn shard_spread_never_exceeds_the_lpt_bound(
+        costs in costs_strategy(),
+        shards in 1usize..9,
+    ) {
+        let p = plan(&costs, shards);
+        let max = p.loads().iter().copied().fold(0.0f64, f64::max);
+        let min = p.loads().iter().copied().fold(f64::INFINITY, f64::min);
+        // Greedy least-loaded bound: max − min ≤ max single item. The
+        // equivalent ratio form (max/min ≤ 1 + max_item/min) degenerates
+        // when a shard is empty, so pin the difference form plus a small
+        // float-accumulation slack.
+        prop_assert!(max - min <= p.max_item() + 1e-6);
+        // Loads are conserved: shard loads sum to the total head cost.
+        let total: f64 = costs.iter().sum();
+        let placed: f64 = p.loads().iter().sum();
+        prop_assert!((placed - total).abs() <= total * 1e-9 + 1e-6);
+    }
+}

@@ -424,6 +424,7 @@ mod tests {
             iters: 5,
             kernel: "avx2".to_string(),
             kernel_forced: false,
+            pool_threads: 8,
             trace_compiled_in: true,
             stages: vec![
                 PerfStageRow {

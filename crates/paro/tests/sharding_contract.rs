@@ -1,0 +1,173 @@
+//! Pins the sharding contract of `docs/SHARDING.md` against the code.
+//!
+//! The document's `<!-- contract:... -->` sections are markdown tables
+//! whose rows state limits, defaults, the shard label scheme, the
+//! placement cost model, and the guarantee suite. These tests parse the
+//! tables and check every row against the live code: the constants
+//! against their exported values, the labels against
+//! `paro_serve::shard_label`, the cost model against
+//! `paro_core::placement::head_cost`, and every guarantee row against
+//! the file that claims to pin it. Editing either side without the
+//! other fails the suite.
+
+use paro::core::placement::head_cost;
+use paro::quant::Bitwidth;
+use paro::serve::{shard_label, ServeConfig, MAX_SHARDS};
+
+fn sharding_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SHARDING.md");
+    std::fs::read_to_string(path).expect("docs/SHARDING.md must exist")
+}
+
+/// The markdown table rows between `<!-- contract:{section} -->` and its
+/// closing marker, as `(first backticked cell, second cell)` pairs —
+/// header and separator rows carry no leading backtick and are skipped.
+fn contract_rows(doc: &str, section: &str) -> Vec<(String, String)> {
+    let begin = format!("<!-- contract:{section} -->");
+    let end = format!("<!-- /contract:{section} -->");
+    let body = doc
+        .split(&begin)
+        .nth(1)
+        .unwrap_or_else(|| panic!("marker {begin} missing from docs/SHARDING.md"))
+        .split(&end)
+        .next()
+        .unwrap_or_else(|| panic!("marker {end} missing from docs/SHARDING.md"));
+    let rows: Vec<(String, String)> = body
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("| `")?;
+            let (first, tail) = rest.split_once('`')?;
+            let second = tail
+                .split('|')
+                .nth(1)
+                .unwrap_or_else(|| panic!("row for `{first}` in {section} has one column"));
+            Some((first.to_string(), second.trim().to_string()))
+        })
+        .collect();
+    assert!(!rows.is_empty(), "contract section {section} has no rows");
+    rows
+}
+
+/// The first backticked span of a table cell (`` `0.25` `` → `0.25`).
+fn backticked(cell: &str) -> &str {
+    cell.split('`')
+        .nth(1)
+        .unwrap_or_else(|| panic!("cell {cell:?} has no backticked value"))
+}
+
+#[test]
+fn cost_model_matches_head_cost() {
+    // head_cost with a unit block price exposes the per-bitwidth factor.
+    let live = |bits: Bitwidth| head_cost(1.0, &[bits]);
+    for (name, cell) in contract_rows(&sharding_doc(), "cost-model") {
+        let documented: f64 = backticked(&cell)
+            .parse()
+            .unwrap_or_else(|e| panic!("cost for {name} is not a number: {e}"));
+        let actual = match name.as_str() {
+            "B0" => live(Bitwidth::B0),
+            "B2" => live(Bitwidth::B2),
+            "B4" => live(Bitwidth::B4),
+            "B8" => live(Bitwidth::B8),
+            other => panic!("cost-model row {other} is not a bitwidth"),
+        };
+        assert_eq!(
+            actual, documented,
+            "documented {name} cost diverges from placement::head_cost"
+        );
+    }
+    assert_eq!(
+        contract_rows(&sharding_doc(), "cost-model").len(),
+        4,
+        "cost-model table must cover all four bitwidths"
+    );
+}
+
+#[test]
+fn limits_and_defaults_match_the_constants() {
+    let rows = contract_rows(&sharding_doc(), "shard-config");
+    let documented = |name: &str| -> f64 {
+        let cell = &rows
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("shard-config table misses the `{name}` row"))
+            .1;
+        backticked(cell)
+            .parse()
+            .unwrap_or_else(|e| panic!("value for {name} is not a number: {e}"))
+    };
+    assert_eq!(
+        documented("ServeConfig::shards"),
+        ServeConfig::default().shards as f64,
+        "documented default shard count diverges from ServeConfig::default"
+    );
+    assert_eq!(
+        documented("MAX_SHARDS"),
+        MAX_SHARDS as f64,
+        "documented MAX_SHARDS diverges from paro_serve::MAX_SHARDS"
+    );
+    assert_eq!(
+        documented("shard-bench --max-imbalance-pct"),
+        paro::cli::DEFAULT_MAX_IMBALANCE_PCT,
+        "documented imbalance bound diverges from cli::DEFAULT_MAX_IMBALANCE_PCT"
+    );
+    assert_eq!(rows.len(), 3, "shard-config table gained or lost a row");
+}
+
+#[test]
+fn label_scheme_matches_shard_label() {
+    let rows = contract_rows(&sharding_doc(), "shard-labels");
+    assert_eq!(
+        rows.len(),
+        MAX_SHARDS,
+        "shard-labels table must list every shard up to MAX_SHARDS"
+    );
+    for (index, cell) in rows {
+        let shard: usize = index
+            .parse()
+            .unwrap_or_else(|e| panic!("shard index {index:?} is not a number: {e}"));
+        assert_eq!(
+            backticked(&cell),
+            shard_label(shard),
+            "documented label for shard {shard} diverges from shard_label"
+        );
+    }
+}
+
+#[test]
+fn every_guarantee_names_a_pinning_file_that_exists() {
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let rows = contract_rows(&sharding_doc(), "shard-guarantees");
+    for (guarantee, cell) in &rows {
+        let pin = backticked(cell);
+        let path = std::path::Path::new(repo_root).join(pin);
+        assert!(
+            path.is_file(),
+            "guarantee `{guarantee}` claims to be pinned by {pin}, which does not exist"
+        );
+    }
+    // The suite this document promises: bit-identity, the LPT bound, the
+    // CI smoke gate, and the telemetry field contract.
+    for required in ["bit-identity", "lpt-bound", "shard-smoke", "telemetry"] {
+        assert!(
+            rows.iter().any(|(g, _)| g.starts_with(required)),
+            "shard-guarantees table lost the `{required}` row"
+        );
+    }
+}
+
+#[test]
+fn shard_smoke_gate_is_wired_in_ci() {
+    let ci = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../.github/workflows/ci.yml"
+    );
+    let ci = std::fs::read_to_string(ci).expect(".github/workflows/ci.yml must exist");
+    assert!(
+        ci.contains("shard-bench --shards 2"),
+        "ci.yml must run `paro shard-bench --shards 2` (the shard-smoke guarantee)"
+    );
+    assert!(
+        ci.contains("shard-smoke"),
+        "ci.yml must carry the shard-smoke job the guarantees table promises"
+    );
+}

@@ -9,10 +9,11 @@
 
 use paro::report::{
     AttnVThroughput, ChaosBenchReport, DriftBenchReport, InjectedFaultRow, IntPathComparison,
-    PerfBenchReport, PerfStageRow, ServeBenchReport, SoakBenchReport, SoakRunReport, SoakTenantRow,
-    StageSummaryRow, TuneHeadRow, TuneReport, TuneValidation,
+    PerfBenchReport, PerfStageRow, ServeBenchReport, ShardBenchReport, ShardScaleRow, ShardSpanRow,
+    SoakBenchReport, SoakRunReport, SoakTenantRow, StageSummaryRow, TuneHeadRow, TuneReport,
+    TuneValidation,
 };
-use paro::serve::{CacheStats, Metrics};
+use paro::serve::{CacheStats, Metrics, ShardSnapshot};
 use paro::sim::tune::RooflineModel;
 use paro::trace::{stage, SpanOutcome, SpanRecord, Trace, NO_CTX, NO_DETAIL};
 use serde_json::Value;
@@ -111,6 +112,17 @@ fn sample_report() -> ServeBenchReport {
             inflight_waits: 1,
             hit_rate: 0.5,
         },
+        // A populated shard row: `key_paths` walks array *elements*, so
+        // an empty vec would leave the `metrics.shards[].*` fields out
+        // of the emitted set and the contract could not pin them.
+        vec![ShardSnapshot {
+            shard: 0,
+            label: "shard0".to_string(),
+            threads: 2,
+            queue_depth: 0,
+            executed_jobs: 2,
+            busy_ms: 1.2,
+        }],
     );
     ServeBenchReport {
         model: "CogVideoX-2B@3x4x4".to_string(),
@@ -260,6 +272,7 @@ fn sample_perf_report() -> PerfBenchReport {
         iters: 5,
         kernel: "avx2".to_string(),
         kernel_forced: false,
+        pool_threads: 8,
         trace_compiled_in: true,
         stages: vec![PerfStageRow {
             stage: stage::ATTNV_MAC.to_string(),
@@ -453,6 +466,58 @@ fn drift_bench_report_fields_match_docs() {
         &emitted,
         &documented(&telemetry_doc(), "drift-bench"),
         "drift-bench report",
+    );
+}
+
+/// A fully-populated shard-bench report: one scaling row and one
+/// per-shard span row so the array element fields serialize.
+fn sample_shard_report() -> ShardBenchReport {
+    ShardBenchReport {
+        model: "CogVideoX-2B@3x4x4".to_string(),
+        tokens: 48,
+        head_dim: 64,
+        threads: 2,
+        pool_threads: 4,
+        requests: 24,
+        distinct_heads: 4,
+        shards: 2,
+        max_imbalance_pct: 75.0,
+        bit_identical: true,
+        measured_imbalance_pct: 12.5,
+        passed: true,
+        scaling: vec![ShardScaleRow {
+            shards: 2,
+            wall_ms: 21.0,
+            speedup: 1.6,
+            predicted_speedup: 1.9,
+            predicted_imbalance_pct: 5.0,
+            planned_imbalance_pct: 4.2,
+            measured_imbalance_pct: 12.5,
+            bit_identical: true,
+        }],
+        shard_spans: vec![ShardSpanRow {
+            shard: 0,
+            label: "shard0".to_string(),
+            threads: 2,
+            executed_jobs: 12,
+            spans: 12,
+            total_us: 9_800.0,
+            p50_us: 810.0,
+            p95_us: 930.0,
+        }],
+    }
+}
+
+#[test]
+fn shard_bench_report_fields_match_docs() {
+    let json = serde_json::to_string(&sample_shard_report()).expect("report serializes");
+    let value = serde_json::parse_value(&json).expect("report JSON parses");
+    let mut emitted = BTreeSet::new();
+    key_paths(&value, "", &mut emitted);
+    assert_contract(
+        &emitted,
+        &documented(&telemetry_doc(), "shard-bench"),
+        "shard-bench report",
     );
 }
 

@@ -21,9 +21,13 @@
 //!
 //! Worker threads only orchestrate (graph dispatch, cache lookups,
 //! waiting); the CPU-heavy work — calibration and the attention kernels —
-//! runs on the process-wide [`paro_core::pool::ComputePool`], which is
-//! sized by `available_parallelism`. Raising `workers` therefore
-//! increases request concurrency without oversubscribing cores.
+//! runs on the engine's shard set ([`crate::shard::ShardSet`]): by
+//! default one shard delegating to the process-wide
+//! [`paro_core::pool::ComputePool`] (sized by `available_parallelism`),
+//! or with [`ServeConfig::shards`] `> 1` a set of labeled pools splitting
+//! that width, each owning an LPT-balanced head group. Raising `workers`
+//! therefore increases request concurrency without oversubscribing
+//! cores.
 
 use crate::admission::{lpt_order, relock, request_cost, rewait, ServeError};
 use crate::lifecycle::{PlanHealth, RecalibrationPolicy, Watchdog, WatchdogConfig, WatchdogStats};
@@ -31,11 +35,12 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{MethodKey, PlanCache, PlanKey};
 use crate::plan_store::PlanStore;
 use crate::scheduler::{Admission, GraphStats, TenantClass, WavePolicy, WorkGraph};
+use crate::shard::ShardSet;
 use paro_core::calibration::{calibrate_head, HeadCalibration};
 use paro_core::cancel::Deadline;
 use paro_core::int_pipeline::{run_attention_calibrated_int_with, IntAttentionRun};
 use paro_core::pipeline::{run_attention_calibrated_reference, AttentionInputs, AttentionRun};
-use paro_core::pool::{panic_message, ComputePool};
+use paro_core::pool::panic_message;
 use paro_core::CoreError;
 use paro_model::ModelConfig;
 use paro_quant::{Bitwidth, BlockGrid};
@@ -122,6 +127,13 @@ pub struct ServeConfig {
     /// When (if ever) the engine recalibrates online and hot-swaps a new
     /// plan epoch. [`RecalibrationPolicy::OnStale`] requires a watchdog.
     pub recalibration: RecalibrationPolicy,
+    /// Compute-pool shards (1..=[`crate::shard::MAX_SHARDS`]). The
+    /// default of 1 runs every job on the process-wide global pool —
+    /// exactly the unsharded engine. With `K > 1` the engine plans a
+    /// head→shard map (greedy LPT over calibrated per-head costs) and
+    /// splits the global pool's thread width across `K` labeled pools;
+    /// output stays bit-identical to 1 shard. See `docs/SHARDING.md`.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -146,6 +158,7 @@ impl Default for ServeConfig {
             shed_plan_artifact: None,
             watchdog: None,
             recalibration: RecalibrationPolicy::Off,
+            shards: 1,
         }
     }
 }
@@ -232,6 +245,13 @@ impl ServeConfig {
                 ));
             }
             _ => {}
+        }
+        if self.shards == 0 || self.shards > crate::shard::MAX_SHARDS {
+            return Err(ServeError::InvalidConfig(format!(
+                "shards must be in 1..={}, got {}",
+                crate::shard::MAX_SHARDS,
+                self.shards
+            )));
         }
         Ok(())
     }
@@ -437,6 +457,7 @@ pub struct Engine {
     metrics: Arc<Metrics>,
     source: Arc<dyn CalibrationSource>,
     lifecycle: Arc<Lifecycle>,
+    shards: Arc<ShardSet>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     started: Instant,
     submitted: std::sync::atomic::AtomicUsize,
@@ -496,6 +517,18 @@ impl Engine {
             }
             None => None,
         };
+        // The shard set is planned after the primary artifact loads, so
+        // the head→shard map packs the *frozen* per-head costs (a B0-heavy
+        // head weighs almost nothing); without an artifact every head
+        // costs the budget-scaled estimate and LPT degrades to an even
+        // split. Routing is pure in (block, head): it cannot affect the
+        // engine's bit-identical reassembly, only latency.
+        let shards = Arc::new(ShardSet::plan(
+            cfg.shards,
+            &model,
+            cfg.budget,
+            plans.as_deref(),
+        )?);
         let graph = Arc::new(WorkGraph::new(
             &cfg.tenants,
             cfg.queue_capacity,
@@ -528,6 +561,7 @@ impl Engine {
                 plans: plans.clone(),
                 shed_plans: shed_plans.clone(),
                 lifecycle: Arc::clone(&lifecycle),
+                shards: Arc::clone(&shards),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("paro-serve-{i}"))
@@ -547,6 +581,7 @@ impl Engine {
             metrics,
             source,
             lifecycle,
+            shards,
             workers: Mutex::new(workers),
             started: Instant::now(),
             submitted: std::sync::atomic::AtomicUsize::new(0),
@@ -758,8 +793,18 @@ impl Engine {
 
     /// Point-in-time metrics snapshot (JSON-serializable).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics
-            .snapshot(self.graph.len(), self.started.elapsed(), self.cache.stats())
+        self.metrics.snapshot(
+            self.graph.len(),
+            self.started.elapsed(),
+            self.cache.stats(),
+            self.shards.snapshot_rows(),
+        )
+    }
+
+    /// The engine's shard set: the planned head→shard map and the
+    /// per-shard pools (a single global-pool shard by default).
+    pub fn shard_set(&self) -> &ShardSet {
+        &self.shards
     }
 
     fn plan_key(&self, block: usize, head: usize) -> PlanKey {
@@ -828,6 +873,7 @@ impl Engine {
             metrics: Arc::clone(&self.metrics),
             source: Arc::clone(&self.source),
             lifecycle: Arc::clone(&self.lifecycle),
+            shards: Arc::clone(&self.shards),
         };
         let result = recalibrate_guarded(&ctx);
         self.lifecycle.recalibrating.store(false, Ordering::Release);
@@ -873,6 +919,7 @@ struct WorkerCtx {
     plans: Option<Arc<PlanStore>>,
     shed_plans: Option<Arc<PlanStore>>,
     lifecycle: Arc<Lifecycle>,
+    shards: Arc<ShardSet>,
 }
 
 fn worker_loop(ctx: &WorkerCtx) {
@@ -1062,6 +1109,7 @@ struct RecalibCtx {
     metrics: Arc<Metrics>,
     source: Arc<dyn CalibrationSource>,
     lifecycle: Arc<Lifecycle>,
+    shards: Arc<ShardSet>,
 }
 
 /// Starts a background recalibration unless one is already in flight.
@@ -1080,6 +1128,7 @@ fn trigger_background_recalibration(ctx: &WorkerCtx) {
         metrics: Arc::clone(&ctx.metrics),
         source: Arc::clone(&ctx.source),
         lifecycle: Arc::clone(&ctx.lifecycle),
+        shards: Arc::clone(&ctx.shards),
     };
     let spawned = std::thread::Builder::new()
         .name("paro-recalibrate".into())
@@ -1203,7 +1252,9 @@ fn attempt_recalibration(
         // plans recalibrate at the shed budget, not the full one.
         let budget = key.method.budget();
         let alpha = key.method.alpha();
-        let cal = ComputePool::global()
+        let cal = ctx
+            .shards
+            .pool_for(block_idx, head)
             .try_run(move || {
                 let maps = source.calibration_maps(block_idx, head)?;
                 let block = BlockGrid::square(edge).map_err(CoreError::from)?;
@@ -1291,7 +1342,9 @@ fn execute(ctx: &WorkerCtx, job: &Job) -> Result<Executed, ServeError> {
             let inputs = job.inputs.clone();
             let cal_for_run = Arc::clone(&cal);
             let output_aware = ctx.cfg.output_aware;
-            let run = ComputePool::global()
+            let run = ctx
+                .shards
+                .pool_for(job.block, job.head)
                 .try_run(move || {
                     run_attention_calibrated_reference(&inputs, &cal_for_run, output_aware)
                 })
@@ -1367,7 +1420,9 @@ fn resolve_calibration(
         let calib_bits = ctx.cfg.calib_bits;
         let budget = job.budget_override.unwrap_or(ctx.cfg.budget);
         let alpha = ctx.cfg.alpha;
-        let cal = ComputePool::global()
+        let cal = ctx
+            .shards
+            .pool_for(block_idx, head)
             .try_run(move || {
                 let maps = source.calibration_maps(block_idx, head)?;
                 let block = BlockGrid::square(edge).map_err(CoreError::from)?;
@@ -1401,7 +1456,9 @@ fn int_attention(
     let inputs = job.inputs.clone();
     let cal_for_run = Arc::clone(cal);
     let output_aware = ctx.cfg.output_aware;
-    let int = ComputePool::global()
+    let int = ctx
+        .shards
+        .pool_for(job.block, job.head)
         .try_run(move || {
             run_attention_calibrated_int_with(&inputs, &cal_for_run, output_aware, deadline)
         })

@@ -1,0 +1,318 @@
+//! Sharded execution: K labeled compute pools with planned head routing.
+//!
+//! A [`ShardSet`] splits the engine's compute across `K` shard pools.
+//! The head→shard map is planned **statically** with the greedy LPT
+//! packer ([`paro_core::placement`]) over the per-head MAC/bit costs the
+//! calibration artifact froze (B0-bypassed blocks cost nothing, so a
+//! mostly-bypassed head weighs almost nothing in the balance). Each
+//! shard's pool is labeled (`shard0`, `shard1`, …), so its
+//! `pool.execute` spans carry the shard in their `detail` and trace
+//! summaries report per-shard skew.
+//!
+//! Routing never touches results: every request's computation is a pure
+//! function of its inputs and its plan-cache key, so which pool runs it
+//! changes latency only — a `K`-shard engine stays bit-identical to the
+//! 1-shard engine (pinned by the `sharding` proptest and the CI
+//! shard-smoke gate). With `shards == 1` (the default) the set degrades
+//! to exactly today's behavior: every job on the process-wide
+//! [`ComputePool::global`]. The documented contract lives in
+//! `docs/SHARDING.md`.
+
+use crate::admission::{request_cost, ServeError};
+use crate::metrics::ShardSnapshot;
+use crate::plan_store::PlanStore;
+use paro_core::placement::{self, Placement};
+use paro_core::pool::{ComputePool, PoolStats};
+use paro_model::ModelConfig;
+
+/// Upper bound on [`crate::ServeConfig::shards`]. Shard labels are
+/// `&'static str` (they ride on trace spans), so the set is fixed;
+/// sixteen covers every host this engine targets.
+pub const MAX_SHARDS: usize = 16;
+
+/// The static shard labels: `SHARD_LABELS[i]` tags shard `i`'s
+/// `pool.execute` spans and names its row in reports.
+static SHARD_LABELS: [&str; MAX_SHARDS] = [
+    "shard0", "shard1", "shard2", "shard3", "shard4", "shard5", "shard6", "shard7", "shard8",
+    "shard9", "shard10", "shard11", "shard12", "shard13", "shard14", "shard15",
+];
+
+/// The label of shard `shard` (`"shard0"`, `"shard1"`, …).
+///
+/// # Panics
+///
+/// Panics if `shard >= MAX_SHARDS`.
+pub fn shard_label(shard: usize) -> &'static str {
+    SHARD_LABELS[shard]
+}
+
+/// One shard's pool: the process-wide global pool (single-shard sets)
+/// or an owned, labeled slice of the host's threads.
+enum ShardPool {
+    /// Delegate to [`ComputePool::global`] — the 1-shard fast path that
+    /// preserves the global pool's cumulative [`PoolStats`] continuity
+    /// (soak-bench brackets its occupancy window on them).
+    Global,
+    /// A dedicated pool owned by this shard.
+    Owned(ComputePool),
+}
+
+impl ShardPool {
+    fn pool(&self) -> &ComputePool {
+        match self {
+            ShardPool::Global => ComputePool::global(),
+            ShardPool::Owned(pool) => pool,
+        }
+    }
+}
+
+/// `K` compute-pool shards plus the planned `(block, head)` → shard map.
+pub struct ShardSet {
+    pools: Vec<ShardPool>,
+    /// The frozen LPT placement over the model's `blocks × heads` head
+    /// universe; `None` for a single-shard set (identity routing).
+    placement: Option<Placement>,
+    /// Heads per block of the planned universe (the row stride of the
+    /// flattened head index).
+    heads_per_block: usize,
+}
+
+impl ShardSet {
+    /// The single-shard set: all work on the process-wide global pool,
+    /// exactly the unsharded engine's behavior.
+    pub fn single() -> Self {
+        ShardSet {
+            pools: vec![ShardPool::Global],
+            placement: None,
+            heads_per_block: 0,
+        }
+    }
+
+    /// Plans a `shards`-way set for `model`: every `(block, head)` in the
+    /// model's universe is costed — from its frozen calibration when
+    /// `plans` holds one (B0-bypass aware), else from the budget-scaled
+    /// estimate — and LPT-packed into balanced shard groups. The host's
+    /// global-pool thread count (`PARO_POOL_THREADS` /
+    /// `available_parallelism`) is split across the shards, each pool
+    /// getting at least one thread.
+    ///
+    /// `shards == 1` returns [`ShardSet::single`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates artifact lookup failures; rejects `shards` of zero or
+    /// above [`MAX_SHARDS`] (the engine validates its config first, so
+    /// this is a backstop for direct callers).
+    pub fn plan(
+        shards: usize,
+        model: &ModelConfig,
+        budget: f32,
+        plans: Option<&PlanStore>,
+    ) -> Result<Self, ServeError> {
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(ServeError::InvalidConfig(format!(
+                "shards must be in 1..={MAX_SHARDS}, got {shards}"
+            )));
+        }
+        if shards == 1 {
+            return Ok(ShardSet::single());
+        }
+        let tokens = model.grid.len();
+        let head_dim = model.head_dim();
+        let mut costs = Vec::with_capacity(model.blocks * model.heads);
+        for block in 0..model.blocks {
+            for head in 0..model.heads {
+                let cal = match plans {
+                    Some(store) => store.lookup(block, head)?,
+                    None => None,
+                };
+                costs.push(request_cost(tokens, head_dim, budget, cal.as_ref()));
+            }
+        }
+        let placement = placement::plan(&costs, shards);
+        // Split the host's compute width across the shards so a sharded
+        // engine never oversubscribes cores relative to an unsharded one.
+        let total = ComputePool::global().threads();
+        let pools = (0..shards)
+            .map(|i| {
+                let threads = (total / shards + usize::from(i < total % shards)).max(1);
+                ShardPool::Owned(ComputePool::with_label(threads, shard_label(i)))
+            })
+            .collect();
+        Ok(ShardSet {
+            pools,
+            placement: Some(placement),
+            heads_per_block: model.heads,
+        })
+    }
+
+    /// Number of shards in the set.
+    pub fn shard_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The shard that owns `(block, head)`: the planned placement for
+    /// heads inside the planned universe, a deterministic fold for heads
+    /// outside it (requests are free to address blocks/heads the model
+    /// config did not declare — routing must stay total and pure).
+    pub fn shard_of(&self, block: usize, head: usize) -> usize {
+        let Some(placement) = &self.placement else {
+            return 0;
+        };
+        if head < self.heads_per_block {
+            let idx = block * self.heads_per_block + head;
+            if idx < placement.heads() {
+                return placement.shard_of(idx);
+            }
+        }
+        (block.wrapping_mul(31).wrapping_add(head)) % self.pools.len()
+    }
+
+    /// The compute pool that runs `(block, head)`'s jobs.
+    pub fn pool_for(&self, block: usize, head: usize) -> &ComputePool {
+        self.pools[self.shard_of(block, head)].pool()
+    }
+
+    /// Shard `shard`'s pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn pool(&self, shard: usize) -> &ComputePool {
+        self.pools[shard].pool()
+    }
+
+    /// The `pool.execute` span label of shard `shard` (empty for the
+    /// unlabeled global pool of a single-shard set).
+    pub fn label(&self, shard: usize) -> &'static str {
+        self.pools[shard].pool().label()
+    }
+
+    /// Cumulative [`PoolStats`] of every shard pool, indexed by shard.
+    pub fn stats(&self) -> Vec<PoolStats> {
+        self.pools.iter().map(|p| p.pool().stats()).collect()
+    }
+
+    /// The planned placement, when this set was cost-planned (`None` for
+    /// the single-shard set).
+    pub fn placement(&self) -> Option<&Placement> {
+        self.placement.as_ref()
+    }
+
+    /// Planned load imbalance of the placement in percent (0 for a
+    /// single shard): the figure `paro shard-bench` pairs with the
+    /// measured `shard_imbalance_pct`.
+    pub fn planned_imbalance_pct(&self) -> f64 {
+        self.placement
+            .as_ref()
+            .map_or(0.0, Placement::imbalance_pct)
+    }
+
+    /// One [`ShardSnapshot`] metrics row per shard, sampled now.
+    pub fn snapshot_rows(&self) -> Vec<ShardSnapshot> {
+        self.pools
+            .iter()
+            .enumerate()
+            .map(|(shard, p)| {
+                let pool = p.pool();
+                let stats = pool.stats();
+                ShardSnapshot {
+                    shard,
+                    label: pool.label().to_string(),
+                    threads: stats.threads,
+                    queue_depth: pool.queue_depth(),
+                    executed_jobs: stats.executed_jobs,
+                    busy_ms: stats.busy_ns as f64 / 1e6,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::scaled_config;
+    use paro_model::ModelConfig;
+
+    fn tiny_model() -> ModelConfig {
+        scaled_config(&ModelConfig::cogvideox_2b(), 2, 4, 4)
+    }
+
+    #[test]
+    fn single_set_routes_everything_to_the_global_pool() {
+        let set = ShardSet::single();
+        assert_eq!(set.shard_count(), 1);
+        assert_eq!(set.shard_of(0, 0), 0);
+        assert_eq!(set.shard_of(99, 99), 0);
+        assert_eq!(set.planned_imbalance_pct(), 0.0);
+        assert!(set.placement().is_none());
+        assert!(std::ptr::eq(set.pool_for(3, 1), ComputePool::global()));
+        let rows = set.snapshot_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].label, "");
+        assert_eq!(rows[0].threads, ComputePool::global().threads());
+    }
+
+    #[test]
+    fn plan_of_one_shard_is_the_single_set() {
+        let set = ShardSet::plan(1, &tiny_model(), 4.8, None).unwrap();
+        assert_eq!(set.shard_count(), 1);
+        assert!(set.placement().is_none());
+    }
+
+    #[test]
+    fn planned_set_owns_labeled_pools_and_total_routing() {
+        let model = tiny_model();
+        let set = ShardSet::plan(2, &model, 4.8, None).unwrap();
+        assert_eq!(set.shard_count(), 2);
+        assert_eq!(set.label(0), "shard0");
+        assert_eq!(set.label(1), "shard1");
+        // Every in-universe head routes, deterministically, in range.
+        for block in 0..model.blocks {
+            for head in 0..model.heads {
+                let s = set.shard_of(block, head);
+                assert!(s < 2);
+                assert_eq!(s, set.shard_of(block, head));
+                assert!(std::ptr::eq(set.pool_for(block, head), set.pool(s)));
+            }
+        }
+        // Out-of-universe keys still route deterministically.
+        let s = set.shard_of(model.blocks + 7, model.heads + 3);
+        assert!(s < 2);
+        // Without an artifact every head costs the same, so LPT splits
+        // the universe evenly.
+        let placement = set.placement().unwrap();
+        let sizes: Vec<usize> = placement.groups().iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), model.blocks * model.heads);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        assert!(set.planned_imbalance_pct() < 5.0);
+        // Thread split: at least one thread each, never more total than
+        // the global pool (unless clamped up to 1 per shard).
+        let stats = set.stats();
+        assert!(stats.iter().all(|s| s.threads >= 1));
+        assert!(
+            stats.iter().map(|s| s.threads).sum::<usize>()
+                <= ComputePool::global().threads().max(2)
+        );
+        let rows = set.snapshot_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "shard0");
+        assert_eq!(rows[1].shard, 1);
+    }
+
+    #[test]
+    fn shard_bounds_are_enforced() {
+        let model = tiny_model();
+        assert!(ShardSet::plan(0, &model, 4.8, None).is_err());
+        assert!(ShardSet::plan(MAX_SHARDS + 1, &model, 4.8, None).is_err());
+        assert!(ShardSet::plan(MAX_SHARDS, &model, 4.8, None).is_ok());
+    }
+
+    #[test]
+    fn shard_labels_cover_the_full_range() {
+        for i in 0..MAX_SHARDS {
+            assert_eq!(shard_label(i), format!("shard{i}"));
+        }
+    }
+}

@@ -69,7 +69,10 @@ mod collector;
 mod noop;
 
 pub use record::{SpanOutcome, SpanRecord, NO_CTX, NO_DETAIL};
-pub use summary::{format_table, summarize, summarize_by_ctx, CtxSummary, StageSummary};
+pub use summary::{
+    format_table, summarize, summarize_by_ctx, summarize_stage_by_detail, CtxSummary,
+    DetailSummary, StageSummary,
+};
 
 #[cfg(feature = "enabled")]
 pub use collector::{
